@@ -1,0 +1,34 @@
+//! # uba-baselines
+//!
+//! Classic Byzantine agreement algorithms that **know `n` and `f`**, used as the
+//! comparison baselines for the id-only algorithms of `uba-core`:
+//!
+//! * [`srikanth_toueg`] — the authenticated-broadcast simulation of Srikanth & Toueg
+//!   (the algorithm that Algorithm 1 of the paper generalises);
+//! * [`phase_king`] — the Berman–Garay–Perry phase-king consensus (the ancestor of
+//!   Algorithm 3), with the rotating king made possible by consecutive identifiers;
+//! * [`dolev_approx`] — the approximate agreement of Dolev et al. with exact-`f`
+//!   trimming (the ancestor of Algorithm 4);
+//! * [`rotor_known`] — the trivial rotating coordinator over `f + 1` consecutive
+//!   identifiers (what the rotor-coordinator replaces when `f` is unknown).
+//!
+//! The experiments E5 and E10 run the same workloads through these baselines and the
+//! id-only algorithms to verify the paper's claim (Section XII) that dropping the
+//! knowledge of `n` and `f` leaves round and message complexity essentially unchanged.
+//!
+//! All baselines implement [`uba_simnet::Protocol`] and run on the same engine and
+//! against the same adversaries as the id-only algorithms, so the comparison is
+//! apples-to-apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dolev_approx;
+pub mod phase_king;
+pub mod rotor_known;
+pub mod srikanth_toueg;
+
+pub use dolev_approx::DolevApprox;
+pub use phase_king::{PhaseKing, PhaseKingMessage};
+pub use rotor_known::KnownRotor;
+pub use srikanth_toueg::{StBroadcast, StMessage};

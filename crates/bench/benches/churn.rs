@@ -1,0 +1,37 @@
+//! E11 bench: dynamic approximate agreement under increasing churn rates
+//! (Section XI). Each iteration runs a 24-round dynamic execution with one join and
+//! one leave every `period` rounds and returns the final correct-node spread.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_bench::workload::{rolling_churn_plan, uniform_reals};
+use uba_core::dynamic_approx::{run_dynamic_approx, ChurnPlan};
+use uba_core::Real;
+use uba_simnet::{IdSpace, NodeId};
+
+fn bench_dynamic_approx_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_approx_churn");
+    group.sample_size(10);
+    let rounds = 24u64;
+    for &period in &[0u64, 12, 6, 3] {
+        let ids = IdSpace::default().generate(10, 7);
+        let inputs = uniform_reals(10, 0.0, 100.0, 7 + period);
+        let initial: Vec<(NodeId, Real)> =
+            ids.iter().zip(&inputs).map(|(&id, &x)| (id, Real::from_f64(x))).collect();
+        let plan = if period == 0 {
+            ChurnPlan::none()
+        } else {
+            rolling_churn_plan(&ids, rounds, period, 0.0, 100.0, 7 + period)
+        };
+        let label = if period == 0 { "no_churn".to_string() } else { format!("period_{period}") };
+        group.bench_with_input(BenchmarkId::new("spread_after_24_rounds", label), &plan, |b, plan| {
+            b.iter(|| {
+                let report = run_dynamic_approx(&initial, plan, rounds).unwrap();
+                report.final_spread()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic_approx_churn);
+criterion_main!(benches);

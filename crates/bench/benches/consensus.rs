@@ -1,0 +1,54 @@
+//! E4/E5 bench: id-only consensus (Algorithm 3) vs the classic phase-king that knows
+//! `n` and `f`, on identical split-input workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_baselines::PhaseKing;
+use uba_core::runner::{run_consensus, AdversaryKind, Scenario};
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{IdSpace, SyncEngine};
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus");
+    group.sample_size(10);
+    for &f in &[1usize, 2, 3, 4] {
+        let n = 3 * f + 1;
+        let correct = n - f;
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        let scenario = Scenario::new(correct, f, 2021 + f as u64);
+
+        group.bench_with_input(BenchmarkId::new("id_only_announce_silent", f), &f, |b, _| {
+            b.iter(|| {
+                let report =
+                    run_consensus(&scenario, &inputs, AdversaryKind::AnnounceThenSilent).unwrap();
+                assert!(report.agreement && report.validity);
+                report.rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("id_only_split_vote", f), &f, |b, _| {
+            b.iter(|| {
+                let report =
+                    run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
+                assert!(report.agreement && report.validity);
+                report.rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("phase_king_baseline", f), &f, |b, _| {
+            b.iter(|| {
+                let ids = IdSpace::Consecutive.generate(n, 0);
+                let nodes: Vec<_> = ids[..correct]
+                    .iter()
+                    .zip(&inputs)
+                    .map(|(&id, &x)| PhaseKing::new(id, ids.clone(), f, x))
+                    .collect();
+                let mut engine =
+                    SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
+                engine.run_until_all_terminated(300).unwrap();
+                engine.round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E7 bench: the Section IX partition constructions under the three timing models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::impossibility::{run_partition_experiment, TimingModel};
+
+fn bench_impossibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("impossibility");
+    group.sample_size(10);
+    for &(a, b_size) in &[(4usize, 4usize), (8, 8), (16, 16)] {
+        for (label, model) in [
+            ("synchronous", TimingModel::Synchronous),
+            ("semi_synchronous", TimingModel::SemiSynchronous { cross_delay: 1_000 }),
+            ("asynchronous", TimingModel::Asynchronous),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{a}+{b_size}")),
+                &(a, b_size),
+                |bench, _| {
+                    bench.iter(|| {
+                        let outcome =
+                            run_partition_experiment(a, b_size, model, 2021).unwrap();
+                        match model {
+                            TimingModel::Synchronous => assert!(outcome.agreement),
+                            _ => assert!(!outcome.agreement),
+                        }
+                        outcome.ticks
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_impossibility);
+criterion_main!(benches);

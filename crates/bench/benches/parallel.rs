@@ -1,0 +1,37 @@
+//! E8 bench: parallel consensus with growing numbers of concurrent instances and
+//! Byzantine ghost-pair injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::adversaries::GhostPairInjector;
+use uba_core::ParallelConsensus;
+use uba_simnet::{IdSpace, SyncEngine};
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_consensus");
+    group.sample_size(10);
+    for &k in &[1usize, 8, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("instances", k), &k, |b, _| {
+            b.iter(|| {
+                let correct = 7usize;
+                let f = 2usize;
+                let ids = IdSpace::default().generate(correct + f, 2021 + k as u64);
+                let pairs: Vec<(u64, u64)> = (0..k as u64).map(|i| (i, i * 10)).collect();
+                let nodes: Vec<_> = ids[..correct]
+                    .iter()
+                    .map(|&id| ParallelConsensus::new(id, pairs.clone()))
+                    .collect();
+                let adversary =
+                    GhostPairInjector::new(vec![(1_000_001, 13u64), (1_000_002, 17u64)]);
+                let mut engine = SyncEngine::new(nodes, adversary, ids[correct..].to_vec());
+                engine.run_until_all_terminated(400).unwrap();
+                let decision = engine.outputs()[0].1.clone().unwrap();
+                assert_eq!(decision.pairs.len(), k);
+                engine.round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1 bench: reliable broadcast (Algorithm 1) across system sizes and source
+//! behaviours. Regenerates the timing series behind the E1 table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::quorum::max_faults;
+use uba_core::runner::{
+    run_broadcast_correct_source, run_broadcast_equivocating_source, Scenario,
+};
+
+fn bench_reliable_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reliable_broadcast");
+    group.sample_size(10);
+    for &n in &[7usize, 13, 25, 49] {
+        let f = max_faults(n);
+        let scenario = Scenario::new(n - f, f, 2021 + n as u64);
+        group.bench_with_input(BenchmarkId::new("correct_source", n), &n, |b, _| {
+            b.iter(|| {
+                let report = run_broadcast_correct_source(&scenario, 42, 12).unwrap();
+                assert!(report.consistent);
+                report
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("equivocating_source", n), &n, |b, _| {
+            b.iter(|| {
+                let report = run_broadcast_equivocating_source(&scenario, 1, 2, 12).unwrap();
+                assert!(report.consistent);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reliable_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 bench: rotor-coordinator termination across system sizes, against the trivial
+//! known-`f` rotating coordinator baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_baselines::KnownRotor;
+use uba_core::quorum::max_faults;
+use uba_core::runner::{run_rotor, AdversaryKind, Scenario};
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{IdSpace, SyncEngine};
+
+fn bench_rotor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotor");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32, 64] {
+        let f = max_faults(n);
+        let scenario = Scenario::new(n - f, f, 2021 + n as u64);
+        group.bench_with_input(BenchmarkId::new("id_only", n), &n, |b, _| {
+            b.iter(|| {
+                let report = run_rotor(&scenario, AdversaryKind::AnnounceThenSilent).unwrap();
+                assert!(report.good_round);
+                report
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("known_f_baseline", n), &n, |b, _| {
+            b.iter(|| {
+                let ids = IdSpace::Consecutive.generate(n, 0);
+                let nodes: Vec<_> =
+                    ids[..n - f].iter().map(|&id| KnownRotor::new(id, f, id.raw())).collect();
+                let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
+                engine.run_until_all_terminated(3 * n as u64 + 10).unwrap();
+                engine.round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rotor);
+criterion_main!(benches);

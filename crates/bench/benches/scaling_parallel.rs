@@ -1,0 +1,31 @@
+//! E14 bench: wall-clock scaling of the parallel Monte-Carlo sweep harness with the
+//! worker-thread count. The workload (32 consensus trials under a split-vote
+//! adversary) is identical for every worker count; only the fan-out changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_bench::montecarlo::{ResilienceSweep, SweepConfig};
+use uba_core::runner::AdversaryKind;
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo_scaling");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4] {
+        let sweep = ResilienceSweep {
+            correct: 5,
+            byzantine: 2,
+            adversary: AdversaryKind::SplitVote,
+            config: SweepConfig { trials: 32, base_seed: 99, workers },
+        };
+        group.bench_with_input(BenchmarkId::new("workers", workers), &sweep, |b, sweep| {
+            b.iter(|| {
+                let outcome = sweep.run();
+                assert!((outcome.agreement.rate() - 1.0).abs() < 1e-12);
+                outcome.rounds.mean
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

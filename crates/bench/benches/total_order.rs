@@ -1,0 +1,43 @@
+//! E9 bench: dynamic total ordering — events every round, a join and a leave — for
+//! growing founder counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uba_core::TotalOrderNode;
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{IdSpace, NodeId, Protocol, SyncEngine};
+
+fn run_ledger(founders: usize, rounds: u64, seed: u64) -> usize {
+    let ids = IdSpace::default().generate(founders, seed);
+    let nodes: Vec<TotalOrderNode<u64>> =
+        ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+    for round in 0..rounds {
+        if round == 12 {
+            engine.add_node(TotalOrderNode::joining(NodeId::new(999_999))).unwrap();
+        }
+        let submitter = ids[(round as usize) % founders];
+        if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == submitter) {
+            node.submit_event(round);
+        }
+        engine.run_rounds(1).unwrap();
+    }
+    engine.nodes()[0].chain().len()
+}
+
+fn bench_total_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("total_order");
+    group.sample_size(10);
+    for &founders in &[4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("founders", founders), &founders, |b, _| {
+            b.iter(|| {
+                let chain = run_ledger(founders, 60, 2021 + founders as u64);
+                assert!(chain > 0);
+                chain
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_total_order);
+criterion_main!(benches);

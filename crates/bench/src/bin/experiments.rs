@@ -1,0 +1,34 @@
+//! Command-line runner for the E1–E10 experiment suite.
+//!
+//! ```text
+//! cargo run -p uba-bench --release --bin experiments -- all
+//! cargo run -p uba-bench --release --bin experiments -- e4 e7
+//! ```
+
+use uba_bench::{all_experiments, experiment_by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<(&'static str, fn() -> uba_bench::Table)> =
+        if args.is_empty() || args.iter().any(|a| a == "all") {
+            all_experiments()
+        } else {
+            args.iter()
+                .map(|name| {
+                    let f = experiment_by_name(name).unwrap_or_else(|| {
+                        eprintln!("unknown experiment '{name}'; expected e1..e10 or 'all'");
+                        std::process::exit(2);
+                    });
+                    (Box::leak(name.clone().into_boxed_str()) as &'static str, f)
+                })
+                .collect()
+        };
+
+    for (name, run) in selected {
+        eprintln!("running {name}…");
+        let started = std::time::Instant::now();
+        let table = run();
+        println!("{table}");
+        eprintln!("{name} finished in {:.2?}\n", started.elapsed());
+    }
+}

@@ -1,0 +1,447 @@
+//! The E1–E10 experiment suite (see `DESIGN.md` for the claim ↔ experiment map).
+//!
+//! Every experiment is a pure, deterministic function of a seed and returns a
+//! [`Table`]; the `experiments` binary prints them and `EXPERIMENTS.md` records the
+//! outcomes next to the corresponding paper claims.
+
+use uba_baselines::{DolevApprox, KnownRotor, PhaseKing, StBroadcast};
+use uba_core::impossibility::{disagreement_rate, run_partition_experiment, TimingModel};
+use uba_core::quorum::max_faults;
+use uba_core::runner::{
+    run_approx, run_broadcast_correct_source, run_broadcast_equivocating_source, run_consensus,
+    run_iterated_approx, run_rotor, AdversaryKind, Scenario,
+};
+use uba_core::{ParallelConsensus, TotalOrderNode};
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{IdSpace, NodeId, Protocol, SyncEngine};
+
+use crate::table::Table;
+
+const SEED: u64 = 2021;
+
+/// E1 — reliable broadcast: correctness, unforgeability and relay across system sizes
+/// and source behaviours (Theorem 1).
+pub fn e1_reliable_broadcast() -> Table {
+    let mut table = Table::new(
+        "E1: reliable broadcast properties (n > 3f, f = max)",
+        &["n", "f", "source", "consistent", "accepted", "rounds", "messages"],
+    );
+    for &n in &[4usize, 7, 13, 25, 49] {
+        let f = max_faults(n);
+        let scenario = Scenario::new(n - f, f, SEED + n as u64);
+        let correct = run_broadcast_correct_source(&scenario, 42, 12).expect("run completes");
+        table.push_row(vec![
+            n.to_string(),
+            f.to_string(),
+            "correct".into(),
+            correct.consistent.to_string(),
+            format!("{:?}", correct.accepted[0]),
+            correct.rounds.to_string(),
+            correct.messages.to_string(),
+        ]);
+        let equivocating =
+            run_broadcast_equivocating_source(&scenario, 1, 2, 12).expect("run completes");
+        table.push_row(vec![
+            n.to_string(),
+            f.to_string(),
+            "equivocating".into(),
+            equivocating.consistent.to_string(),
+            format!("{:?}", equivocating.accepted[0]),
+            equivocating.rounds.to_string(),
+            equivocating.messages.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E2 — the resiliency boundary: the guarantees hold for `n > 3f` and are allowed to
+/// fail beyond it.
+pub fn e2_resiliency_boundary() -> Table {
+    let mut table = Table::new(
+        "E2: resiliency boundary (consensus under split-vote adversary, n = 10)",
+        &["n", "f", "n > 3f", "terminated", "agreement", "validity", "rounds"],
+    );
+    let n = 10usize;
+    for f in 0..=4usize {
+        let correct = n - f;
+        let scenario = Scenario { max_rounds: 300, ..Scenario::new(correct, f, SEED + f as u64) };
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        match run_consensus(&scenario, &inputs, AdversaryKind::SplitVote) {
+            Ok(report) => table.push_row(vec![
+                n.to_string(),
+                f.to_string(),
+                (n > 3 * f).to_string(),
+                "true".into(),
+                report.agreement.to_string(),
+                report.validity.to_string(),
+                report.rounds.to_string(),
+            ]),
+            Err(_) => table.push_row(vec![
+                n.to_string(),
+                f.to_string(),
+                (n > 3 * f).to_string(),
+                "false (stuck)".into(),
+                "-".into(),
+                "-".into(),
+                ">300".into(),
+            ]),
+        }
+    }
+    table
+}
+
+/// E3 — rotor-coordinator: termination in `O(n)` rounds, existence of a good round,
+/// and cost relative to the trivial known-`f` rotor (Theorem 2).
+pub fn e3_rotor() -> Table {
+    let mut table = Table::new(
+        "E3: rotor-coordinator rounds vs n (announce-then-silent adversary, f = max)",
+        &["n", "f", "rounds", "coordinators", "good round", "messages", "known-rotor rounds"],
+    );
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let f = max_faults(n);
+        let scenario = Scenario::new(n - f, f, SEED + n as u64);
+        let report = run_rotor(&scenario, AdversaryKind::AnnounceThenSilent).expect("terminates");
+
+        // Baseline: rotating through f + 1 known, consecutive identifiers.
+        let ids = IdSpace::Consecutive.generate(n, 0);
+        let nodes: Vec<_> =
+            ids[..n - f].iter().map(|&id| KnownRotor::new(id, f, id.raw())).collect();
+        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
+        engine.run_until_all_terminated(3 * n as u64 + 10).expect("baseline terminates");
+
+        table.push_row(vec![
+            n.to_string(),
+            f.to_string(),
+            report.rounds.to_string(),
+            report.selected.to_string(),
+            report.good_round.to_string(),
+            report.messages.to_string(),
+            engine.round().to_string(),
+        ]);
+    }
+    table
+}
+
+/// E4 — consensus: round complexity grows linearly in `f`, agreement and validity hold
+/// under every adversary (Theorem 3).
+pub fn e4_consensus() -> Table {
+    let mut table = Table::new(
+        "E4: consensus rounds vs f (n = 3f + 1, split inputs)",
+        &["f", "n", "adversary", "rounds", "messages", "agreement", "validity"],
+    );
+    for f in 1..=5usize {
+        let n = 3 * f + 1;
+        let correct = n - f;
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        for kind in [AdversaryKind::AnnounceThenSilent, AdversaryKind::SplitVote] {
+            let scenario = Scenario::new(correct, f, SEED + (f * 7) as u64);
+            let report = run_consensus(&scenario, &inputs, kind).expect("terminates");
+            table.push_row(vec![
+                f.to_string(),
+                n.to_string(),
+                format!("{kind:?}"),
+                report.rounds.to_string(),
+                report.messages.to_string(),
+                report.agreement.to_string(),
+                report.validity.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E5 — the cost of not knowing `n` and `f`: id-only consensus vs the classic
+/// phase-king on identical workloads (Section XII's "does not change much" claim).
+pub fn e5_consensus_vs_phase_king() -> Table {
+    let mut table = Table::new(
+        "E5: id-only consensus vs phase-king (identical workloads, silent-after-announce faults)",
+        &["f", "n", "id-only rounds", "id-only messages", "phase-king rounds", "phase-king messages"],
+    );
+    for f in 1..=4usize {
+        let n = 3 * f + 1;
+        let correct = n - f;
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        let scenario = Scenario::new(correct, f, SEED + f as u64);
+        let ours = run_consensus(&scenario, &inputs, AdversaryKind::AnnounceThenSilent)
+            .expect("terminates");
+
+        let ids = IdSpace::Consecutive.generate(n, 0);
+        let nodes: Vec<_> = ids[..correct]
+            .iter()
+            .zip(&inputs)
+            .map(|(&id, &x)| PhaseKing::new(id, ids.clone(), f, x))
+            .collect();
+        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
+        engine.run_until_all_terminated(300).expect("baseline terminates");
+
+        table.push_row(vec![
+            f.to_string(),
+            n.to_string(),
+            ours.rounds.to_string(),
+            ours.messages.to_string(),
+            engine.round().to_string(),
+            engine.metrics().correct_messages.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E6 — approximate agreement: outputs stay in range and the range halves per
+/// iteration; the contraction matches the known-`f` Dolev et al. baseline (Theorem 4).
+pub fn e6_approx() -> Table {
+    let mut table = Table::new(
+        "E6: approximate agreement contraction (n = 16, f = 5, Byzantine outliers)",
+        &["algorithm", "iteration", "correct-value spread", "in range"],
+    );
+    let correct = 11usize;
+    let f = 5usize;
+    let inputs: Vec<f64> = (0..correct).map(|i| i as f64 * 10.0).collect();
+    let scenario = Scenario::new(correct, f, SEED);
+
+    // Single-shot: ours vs Dolev baseline.
+    let ours = run_approx(&scenario, &inputs).expect("completes");
+    table.push_row(vec![
+        "id-only (Alg. 4)".into(),
+        "1".into(),
+        format!("{:.2}", ours.output_range.1 - ours.output_range.0),
+        ours.outputs_in_range.to_string(),
+    ]);
+
+    let ids = IdSpace::Consecutive.generate(correct + f, 0);
+    let nodes: Vec<_> = ids[..correct]
+        .iter()
+        .zip(&inputs)
+        .map(|(&id, &x)| DolevApprox::new(id, f, (x * 1e6) as i64))
+        .collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
+    engine.run_until_all_output(4).expect("baseline completes");
+    let outputs: Vec<f64> =
+        engine.outputs().into_iter().map(|(_, o)| o.unwrap() as f64 / 1e6).collect();
+    let lo = outputs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = outputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    table.push_row(vec![
+        "Dolev et al. (knows f)".into(),
+        "1".into(),
+        format!("{:.2}", hi - lo),
+        (lo >= 0.0 && hi <= 100.0).to_string(),
+    ]);
+
+    // Iterated convergence of the id-only algorithm.
+    let spreads = run_iterated_approx(&scenario, &inputs, 6).expect("completes");
+    for (i, spread) in spreads.iter().enumerate() {
+        table.push_row(vec![
+            "id-only iterated".into(),
+            (i + 1).to_string(),
+            format!("{spread:.3}"),
+            "true".into(),
+        ]);
+    }
+    table
+}
+
+/// E7 — synchrony is necessary: disagreement probability by timing model
+/// (Lemmas 14–15).
+pub fn e7_impossibility() -> Table {
+    let mut table = Table::new(
+        "E7: partition construction — disagreement rate by timing model (5 trials each)",
+        &["|A|", "|B|", "model", "disagreement rate", "example ticks", "undelivered msgs"],
+    );
+    for &(a, b) in &[(2usize, 2usize), (4, 4), (8, 8), (4, 12)] {
+        for model in [
+            TimingModel::Synchronous,
+            TimingModel::SemiSynchronous { cross_delay: 1_000 },
+            TimingModel::Asynchronous,
+        ] {
+            let rate = disagreement_rate(a, b, model, 5, SEED);
+            let example = run_partition_experiment(a, b, model, SEED).expect("completes");
+            table.push_row(vec![
+                a.to_string(),
+                b.to_string(),
+                format!("{model:?}"),
+                format!("{rate:.2}"),
+                example.ticks.to_string(),
+                example.undelivered.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E8 — parallel consensus: validity, agreement and termination for growing numbers of
+/// concurrent instances, with Byzantine ghost-pair injection (Theorem 5).
+pub fn e8_parallel_consensus() -> Table {
+    let mut table = Table::new(
+        "E8: parallel consensus (n = 9, f = 2, ghost-pair injection)",
+        &["instances", "rounds", "pairs output", "ghost pairs output", "agreement"],
+    );
+    for &k in &[1usize, 4, 16, 64] {
+        let correct = 7usize;
+        let f = 2usize;
+        let ids = IdSpace::default().generate(correct + f, SEED + k as u64);
+        let pairs: Vec<(u64, u64)> = (0..k as u64).map(|i| (i, i * 10)).collect();
+        let nodes: Vec<_> = ids[..correct]
+            .iter()
+            .map(|&id| ParallelConsensus::new(id, pairs.clone()))
+            .collect();
+        let ghosts =
+            uba_core::adversaries::GhostPairInjector::new(vec![(1_000_001, 13u64), (1_000_002, 17u64)]);
+        let mut engine = SyncEngine::new(nodes, ghosts, ids[correct..].to_vec());
+        engine.run_until_all_terminated(400).expect("terminates");
+        let decisions: Vec<_> =
+            engine.outputs().into_iter().map(|(_, d)| d.unwrap()).collect();
+        let agreement = decisions.windows(2).all(|w| w[0].pairs == w[1].pairs);
+        let ghost_output =
+            decisions[0].pairs.keys().filter(|id| **id >= 1_000_000).count();
+        table.push_row(vec![
+            k.to_string(),
+            engine.round().to_string(),
+            decisions[0].pairs.len().to_string(),
+            ghost_output.to_string(),
+            agreement.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E9 — dynamic total ordering: chain-prefix and chain-growth under churn, and the
+/// observed finality lag vs the paper's `5|S|/2 + 2` bound (Theorem 6).
+pub fn e9_total_order() -> Table {
+    let mut table = Table::new(
+        "E9: dynamic total ordering (events every round, join at round 12, leave at round 24)",
+        &["founders", "rounds run", "chain length", "chain-prefix", "joiner in S", "finality lag"],
+    );
+    for &founders in &[4usize, 6, 8] {
+        let ids = IdSpace::default().generate(founders, SEED + founders as u64);
+        let nodes: Vec<TotalOrderNode<u64>> =
+            ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
+        let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+        let joiner = NodeId::new(999_999);
+        let total_rounds = 70u64;
+        for round in 0..total_rounds {
+            if round == 12 {
+                engine.add_node(TotalOrderNode::joining(joiner)).unwrap();
+            }
+            if round == 24 {
+                let leaver = ids[founders - 1];
+                if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == leaver) {
+                    node.announce_leave();
+                }
+            }
+            // One event per round, submitted by rotating founders.
+            let submitter = ids[(round as usize) % (founders - 1)];
+            if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == submitter) {
+                node.submit_event(round);
+            }
+            engine.run_rounds(1).unwrap();
+        }
+        let chains: Vec<Vec<_>> = engine
+            .nodes()
+            .iter()
+            .filter(|n| n.id() != ids[founders - 1])
+            .map(|n| n.chain().to_vec())
+            .collect();
+        let prefix_ok = uba_core::total_order::chains_agree(&chains);
+        let reference = &chains[0];
+        let node0 = &engine.nodes()[0];
+        let joiner_known = node0.members().contains(&joiner);
+        let lag = node0.round() - node0.finalized_upto();
+        table.push_row(vec![
+            founders.to_string(),
+            total_rounds.to_string(),
+            reference.len().to_string(),
+            prefix_ok.to_string(),
+            joiner_known.to_string(),
+            lag.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E10 — message complexity of reliable broadcast: id-only Algorithm 1 vs the classic
+/// Srikanth–Toueg broadcast that knows `f` (Section XII).
+pub fn e10_message_complexity() -> Table {
+    let mut table = Table::new(
+        "E10: reliable broadcast message complexity (correct source, messages per node per round)",
+        &["n", "f", "id-only messages", "Srikanth-Toueg messages", "ratio"],
+    );
+    for &n in &[4usize, 7, 13, 25, 49] {
+        let f = max_faults(n);
+        let scenario = Scenario::new(n - f, f, SEED + n as u64);
+        let ours = run_broadcast_correct_source(&scenario, 7, 8).expect("completes");
+
+        let ids = IdSpace::Consecutive.generate(n, 0);
+        let source = ids[0];
+        let nodes: Vec<_> = ids[..n - f]
+            .iter()
+            .map(|&id| {
+                if id == source {
+                    StBroadcast::sender(id, f, 7u64)
+                } else {
+                    StBroadcast::receiver(id, source, f)
+                }
+            })
+            .collect();
+        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
+        engine.run_rounds(8).expect("completes");
+        let st_messages = engine.metrics().correct_messages;
+        let ratio = ours.messages as f64 / st_messages.max(1) as f64;
+        table.push_row(vec![
+            n.to_string(),
+            f.to_string(),
+            ours.messages.to_string(),
+            st_messages.to_string(),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    table
+}
+
+/// All experiments, in order, as `(short name, function)` pairs.
+pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("e1", e1_reliable_broadcast as fn() -> Table),
+        ("e2", e2_resiliency_boundary),
+        ("e3", e3_rotor),
+        ("e4", e4_consensus),
+        ("e5", e5_consensus_vs_phase_king),
+        ("e6", e6_approx),
+        ("e7", e7_impossibility),
+        ("e8", e8_parallel_consensus),
+        ("e9", e9_total_order),
+        ("e10", e10_message_complexity),
+        ("e11", crate::experiments_ext::e11_dynamic_approx_churn),
+        ("e12", crate::experiments_ext::e12_resilience_matrix),
+        ("e13", crate::experiments_ext::e13_adaptive_attackers),
+        ("e14", crate::experiments_ext::e14_parallel_scaling),
+    ]
+}
+
+/// Looks up one experiment by its short name (`"e1"` … `"e14"`).
+pub fn experiment_by_name(name: &str) -> Option<fn() -> Table> {
+    all_experiments().into_iter().find(|(n, _)| *n == name).map(|(_, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_fourteen_experiments() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 14);
+        assert!(experiment_by_name("e1").is_some());
+        assert!(experiment_by_name("e10").is_some());
+        assert!(experiment_by_name("e14").is_some());
+        assert!(experiment_by_name("e15").is_none());
+    }
+
+    #[test]
+    fn quick_experiments_produce_rows() {
+        // Only the fast experiments are exercised here; the full suite runs via the
+        // `experiments` binary and the benches.
+        let e7 = e7_impossibility();
+        assert_eq!(e7.rows.len(), 12);
+        let e2 = e2_resiliency_boundary();
+        assert_eq!(e2.rows.len(), 5);
+    }
+}

@@ -1,0 +1,31 @@
+//! # uba-bench
+//!
+//! Workload generators, the E1–E10 experiment harness, and shared helpers for the
+//! Criterion benchmarks.
+//!
+//! The paper is a theory paper with no empirical tables; its "results" are theorems
+//! about correctness, resiliency and complexity. The experiment suite here validates
+//! each of those claims empirically (see `DESIGN.md` for the claim ↔ experiment map
+//! and `EXPERIMENTS.md` for the recorded outcomes). Every experiment is a pure
+//! function returning a [`Table`], so the same code backs the `experiments` binary,
+//! the integration tests and the recorded outputs.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p uba-bench --release --bin experiments -- all
+//! cargo bench --workspace
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod experiments_ext;
+pub mod montecarlo;
+pub mod table;
+pub mod workload;
+
+pub use experiments::{all_experiments, experiment_by_name};
+pub use montecarlo::{ResilienceSweep, SweepConfig};
+pub use table::Table;

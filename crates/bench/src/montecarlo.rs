@@ -1,0 +1,241 @@
+//! Parallel Monte-Carlo sweeps over protocol executions.
+//!
+//! A single deterministic run answers "did the property hold for this seed"; the
+//! claims of the paper are universally quantified over adversary behaviour, inputs
+//! and identifier layouts, so the experiment suite repeats every scenario over many
+//! seeds and reports rates and distributions. Those repetitions are embarrassingly
+//! parallel (every trial owns its engine and its RNG stream), which makes them the
+//! natural place to use data parallelism: [`run_trials`] fans the trials out over a
+//! crossbeam scope of worker threads and returns the results **in trial order**, so
+//! the aggregate output is byte-for-byte identical regardless of the worker count.
+//!
+//! On top of the generic runner, [`ResilienceSweep`] packages the sweep used by
+//! experiment E12 and the `resilience_audit` example: consensus under a chosen
+//! adversary, repeated over seeds, aggregated into agreement/validity rates and a
+//! round-count summary.
+
+use crossbeam::thread;
+
+use uba_core::runner::{run_consensus, AdversaryKind, Scenario};
+use uba_simnet::rng::derive_seed;
+use uba_simnet::stats::{RateEstimate, Summary};
+
+/// Configuration of a parallel trial sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Number of independent trials to run.
+    pub trials: u64,
+    /// Base seed; trial `i` runs with `derive_seed(base_seed, i)`.
+    pub base_seed: u64,
+    /// Number of worker threads. `1` runs everything on the calling thread.
+    pub workers: usize,
+}
+
+impl SweepConfig {
+    /// A sweep of `trials` trials on as many workers as the machine has cores
+    /// (capped at 8 to keep the benchmarks well-behaved on shared machines).
+    pub fn new(trials: u64, base_seed: u64) -> Self {
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+        SweepConfig { trials, base_seed, workers: workers.max(1) }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Runs `config.trials` independent trials of `trial(index, seed)` across
+/// `config.workers` threads and returns the results in trial order.
+///
+/// Each trial receives its own derived seed, so the set of executions — and therefore
+/// the aggregated result — does not depend on the number of workers or on scheduling.
+pub fn run_trials<T, F>(config: &SweepConfig, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    let trials = config.trials;
+    if trials == 0 {
+        return Vec::new();
+    }
+    if config.workers <= 1 {
+        return (0..trials).map(|i| trial(i, derive_seed(config.base_seed, i))).collect();
+    }
+
+    let workers = config.workers.min(trials as usize);
+    let mut indexed: Vec<(u64, T)> = thread::scope(|scope| {
+        let trial = &trial;
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move |_| {
+                    // Static striping: worker w runs trials w, w + workers, …
+                    // Every worker touches a spread of indices, so uneven trial costs
+                    // (e.g. larger n later in a sweep) still balance reasonably.
+                    let mut results = Vec::new();
+                    let mut index = worker as u64;
+                    while index < trials {
+                        results.push((index, trial(index, derive_seed(config.base_seed, index))));
+                        index += workers as u64;
+                    }
+                    results
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("trial worker must not panic"))
+            .collect()
+    })
+    .expect("crossbeam scope must not panic");
+
+    indexed.sort_by_key(|(index, _)| *index);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
+/// One consensus trial's outcome inside a resilience sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConsensusTrial {
+    /// Whether all correct nodes decided the same value.
+    pub agreement: bool,
+    /// Whether the decided value was an input of some correct node (with the
+    /// unanimity rule applied).
+    pub validity: bool,
+    /// Rounds until the last correct node decided.
+    pub rounds: u64,
+    /// Point-to-point messages sent by correct nodes.
+    pub messages: u64,
+}
+
+/// Aggregated outcome of a resilience sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceOutcome {
+    /// Fraction of trials with agreement.
+    pub agreement: RateEstimate,
+    /// Fraction of trials with validity.
+    pub validity: RateEstimate,
+    /// Distribution of termination rounds.
+    pub rounds: Summary,
+    /// Distribution of correct-node message counts.
+    pub messages: Summary,
+}
+
+/// A Monte-Carlo sweep of the consensus protocol under one adversary strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceSweep {
+    /// Number of correct nodes per trial.
+    pub correct: usize,
+    /// Number of Byzantine identities per trial.
+    pub byzantine: usize,
+    /// Adversary strategy driving the Byzantine identities.
+    pub adversary: AdversaryKind,
+    /// Sweep configuration (trials, seed, workers).
+    pub config: SweepConfig,
+}
+
+impl ResilienceSweep {
+    /// Runs the sweep. Inputs are a deterministic half/half split of 0s and 1s.
+    ///
+    /// The sweep is also meant to be pointed *outside* the `n > 3f` bound (that is the
+    /// whole point of an audit), where a trial may legitimately never terminate; such
+    /// a trial is recorded as failing agreement and validity with the round cap as its
+    /// round count, rather than aborting the sweep.
+    pub fn run(&self) -> ResilienceOutcome {
+        let inputs: Vec<u64> = (0..self.correct).map(|i| (i % 2) as u64).collect();
+        let trials = run_trials(&self.config, |_, seed| {
+            let mut scenario = Scenario::new(self.correct, self.byzantine, seed);
+            scenario.max_rounds = 400;
+            match run_consensus(&scenario, &inputs, self.adversary) {
+                Ok(report) => ConsensusTrial {
+                    agreement: report.agreement,
+                    validity: report.validity,
+                    rounds: report.rounds,
+                    messages: report.messages,
+                },
+                Err(_) => ConsensusTrial {
+                    agreement: false,
+                    validity: false,
+                    rounds: scenario.max_rounds,
+                    messages: 0,
+                },
+            }
+        });
+        aggregate(&trials)
+    }
+}
+
+/// Aggregates raw trials into rates and summaries.
+pub fn aggregate(trials: &[ConsensusTrial]) -> ResilienceOutcome {
+    let agreement =
+        RateEstimate::new(trials.iter().filter(|t| t.agreement).count() as u64, trials.len() as u64);
+    let validity =
+        RateEstimate::new(trials.iter().filter(|t| t.validity).count() as u64, trials.len() as u64);
+    let rounds = Summary::of_u64(&trials.iter().map(|t| t.rounds).collect::<Vec<_>>());
+    let messages = Summary::of_u64(&trials.iter().map(|t| t.messages).collect::<Vec<_>>());
+    ResilienceOutcome { agreement, validity, rounds, messages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_trials_preserves_trial_order_and_count() {
+        let config = SweepConfig { trials: 25, base_seed: 9, workers: 4 };
+        let results = run_trials(&config, |index, _seed| index * 2);
+        assert_eq!(results, (0..25).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_trials_is_independent_of_worker_count() {
+        let sequential = SweepConfig { trials: 16, base_seed: 3, workers: 1 };
+        let parallel = SweepConfig { trials: 16, base_seed: 3, workers: 5 };
+        let a = run_trials(&sequential, |index, seed| (index, seed));
+        let b = run_trials(&parallel, |index, seed| (index, seed));
+        assert_eq!(a, b, "derived seeds and ordering must not depend on workers");
+    }
+
+    #[test]
+    fn run_trials_handles_zero_trials_and_more_workers_than_trials() {
+        let empty = SweepConfig { trials: 0, base_seed: 1, workers: 4 };
+        assert!(run_trials(&empty, |_, _| 1u64).is_empty());
+        let tiny = SweepConfig { trials: 2, base_seed: 1, workers: 16 };
+        assert_eq!(run_trials(&tiny, |index, _| index).len(), 2);
+    }
+
+    #[test]
+    fn sweep_config_constructor_clamps_workers() {
+        let config = SweepConfig::new(10, 1).with_workers(0);
+        assert_eq!(config.workers, 1);
+        assert!(SweepConfig::new(10, 1).workers >= 1);
+    }
+
+    #[test]
+    fn resilience_sweep_reports_full_agreement_within_resiliency() {
+        let sweep = ResilienceSweep {
+            correct: 5,
+            byzantine: 1,
+            adversary: AdversaryKind::SplitVote,
+            config: SweepConfig { trials: 8, base_seed: 77, workers: 4 },
+        };
+        let outcome = sweep.run();
+        assert_eq!(outcome.agreement.trials, 8);
+        assert!((outcome.agreement.rate() - 1.0).abs() < 1e-12, "n > 3f must always agree");
+        assert!((outcome.validity.rate() - 1.0).abs() < 1e-12);
+        assert!(outcome.rounds.mean > 0.0);
+        assert!(outcome.messages.min > 0.0);
+    }
+
+    #[test]
+    fn aggregate_counts_rates_correctly() {
+        let trials = vec![
+            ConsensusTrial { agreement: true, validity: true, rounds: 8, messages: 100 },
+            ConsensusTrial { agreement: false, validity: true, rounds: 12, messages: 150 },
+        ];
+        let outcome = aggregate(&trials);
+        assert_eq!(outcome.agreement.successes, 1);
+        assert_eq!(outcome.validity.successes, 2);
+        assert_eq!(outcome.rounds.max, 12.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic workload generators.
+//!
+//! Every experiment and benchmark draws its inputs from here, so that (a) two
+//! experiments stressing the same claim use the same input distributions and (b) a
+//! table can be regenerated exactly from its seed. All generators are pure functions
+//! of their parameters and a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use uba_core::dynamic_approx::ChurnPlan;
+use uba_core::Real;
+use uba_simnet::rng::{derive_seed, seeded_rng};
+use uba_simnet::{IdSpace, NodeId};
+
+/// Binary consensus inputs: `n` opinions of which a `ones_fraction` share are 1, the
+/// rest 0, in a seed-determined order.
+pub fn binary_inputs(n: usize, ones_fraction: f64, seed: u64) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&ones_fraction), "fraction must be a probability");
+    let ones = (n as f64 * ones_fraction).round() as usize;
+    let mut inputs: Vec<u64> = (0..n).map(|i| u64::from(i < ones)).collect();
+    inputs.shuffle(&mut seeded_rng(derive_seed(seed, 0xB1)));
+    inputs
+}
+
+/// Real-valued inputs drawn uniformly from `[lo, hi]`.
+pub fn uniform_reals(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    assert!(hi >= lo, "range must be non-empty");
+    let mut rng = seeded_rng(derive_seed(seed, 0xA1));
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// Real-valued inputs clustered around `center` with a few far outliers — the
+/// sensor-fusion shape: most readings agree, a handful are wildly off.
+pub fn clustered_with_outliers(
+    n: usize,
+    center: f64,
+    spread: f64,
+    outliers: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(outliers <= n, "cannot have more outliers than values");
+    let mut rng = seeded_rng(derive_seed(seed, 0xC1));
+    let mut values: Vec<f64> = (0..n - outliers)
+        .map(|_| center + rng.gen_range(-spread..=spread))
+        .collect();
+    for _ in 0..outliers {
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        values.push(center + sign * spread * rng.gen_range(50.0..100.0));
+    }
+    values.shuffle(&mut rng);
+    values
+}
+
+/// A join/leave schedule for the dynamic approximate-agreement driver: every
+/// `period` rounds one node joins with a value drawn from `[lo, hi]` and (when the
+/// correct population allows it) one of the original nodes leaves, keeping the system
+/// size roughly constant.
+pub fn rolling_churn_plan(
+    initial_ids: &[NodeId],
+    rounds: u64,
+    period: u64,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> ChurnPlan {
+    assert!(period > 0, "churn period must be positive");
+    let mut rng = seeded_rng(derive_seed(seed, 0xD1));
+    let mut plan = ChurnPlan::none();
+    let mut leavers: Vec<NodeId> = initial_ids.to_vec();
+    leavers.shuffle(&mut rng);
+    let mut next_fresh_id = initial_ids.iter().map(|id| id.raw()).max().unwrap_or(0) + 1_000;
+    let mut joined = 0usize;
+    for round in (period..=rounds).step_by(period as usize) {
+        let value = Real::from_f64(rng.gen_range(lo..=hi));
+        plan = plan.join(round, NodeId::new(next_fresh_id), value);
+        next_fresh_id += 17;
+        joined += 1;
+        // Only let an original node leave once a replacement has already joined, so
+        // the correct population never dips below its starting size.
+        if joined > 1 {
+            if let Some(leaver) = leavers.pop() {
+                plan = plan.leave(round, leaver);
+            }
+        }
+    }
+    plan
+}
+
+/// Sparse identifiers plus per-node event payloads for the total-ordering workload:
+/// every correct node witnesses one unique event per round.
+pub fn event_payloads(ids: &[NodeId], rounds: u64) -> Vec<Vec<u64>> {
+    ids.iter()
+        .enumerate()
+        .map(|(node_index, _)| {
+            (0..rounds).map(|round| (node_index as u64) << 32 | round).collect()
+        })
+        .collect()
+}
+
+/// Generates the standard `(correct, byzantine)` identifier split used across the
+/// experiment suite.
+pub fn split_ids(correct: usize, byzantine: usize, seed: u64) -> (Vec<NodeId>, Vec<NodeId>) {
+    let ids = IdSpace::default().generate(correct + byzantine, seed);
+    let (c, b) = ids.split_at(correct);
+    (c.to_vec(), b.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_inputs_respect_the_fraction_and_seed() {
+        let inputs = binary_inputs(10, 0.3, 5);
+        assert_eq!(inputs.len(), 10);
+        assert_eq!(inputs.iter().sum::<u64>(), 3);
+        assert_eq!(inputs, binary_inputs(10, 0.3, 5), "same seed, same order");
+        assert_ne!(binary_inputs(10, 0.3, 6), inputs, "different seed shuffles differently");
+        assert_eq!(binary_inputs(4, 0.0, 1).iter().sum::<u64>(), 0);
+        assert_eq!(binary_inputs(4, 1.0, 1).iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn uniform_reals_stay_in_range_and_are_deterministic() {
+        let values = uniform_reals(50, -3.0, 7.0, 11);
+        assert_eq!(values.len(), 50);
+        assert!(values.iter().all(|&v| (-3.0..=7.0).contains(&v)));
+        assert_eq!(values, uniform_reals(50, -3.0, 7.0, 11));
+    }
+
+    #[test]
+    fn clustered_values_contain_the_requested_outliers() {
+        let values = clustered_with_outliers(20, 100.0, 1.0, 3, 13);
+        assert_eq!(values.len(), 20);
+        let far = values.iter().filter(|&&v| (v - 100.0).abs() > 10.0).count();
+        assert_eq!(far, 3, "exactly the outliers are far from the cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "more outliers")]
+    fn clustered_rejects_too_many_outliers() {
+        let _ = clustered_with_outliers(2, 0.0, 1.0, 3, 1);
+    }
+
+    #[test]
+    fn rolling_churn_plan_alternates_joins_and_leaves() {
+        let ids = IdSpace::default().generate(6, 3);
+        let plan = rolling_churn_plan(&ids, 20, 5, 0.0, 10.0, 7);
+        assert_eq!(plan.joins.len(), 4, "one join every 5 rounds for 20 rounds");
+        assert_eq!(plan.leaves.len(), 3, "leaves lag joins by one period");
+        assert!(plan.joins.iter().all(|(round, _, _)| *round % 5 == 0));
+        // Fresh identifiers never collide with the initial ones.
+        assert!(plan.joins.iter().all(|(_, id, _)| !ids.contains(id)));
+        // Deterministic in the seed.
+        assert_eq!(plan, rolling_churn_plan(&ids, 20, 5, 0.0, 10.0, 7));
+    }
+
+    #[test]
+    fn event_payloads_are_unique_across_nodes_and_rounds() {
+        let ids = IdSpace::default().generate(4, 9);
+        let events = event_payloads(&ids, 6);
+        let mut all: Vec<u64> = events.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 24);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 24, "every (node, round) event is unique");
+    }
+
+    #[test]
+    fn split_ids_produces_disjoint_groups() {
+        let (correct, byzantine) = split_ids(7, 2, 21);
+        assert_eq!(correct.len(), 7);
+        assert_eq!(byzantine.len(), 2);
+        assert!(correct.iter().all(|id| !byzantine.contains(id)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Oracle for Theorem 4: approximate agreement containment and contraction
+//! (Section VIII), plus the iterated-convergence claim used by experiment E6.
+
+use uba_core::Real;
+
+use crate::report::CheckReport;
+
+/// Tolerance used when comparing fixed-point values that went through midpoint
+/// rounding (one unit in the last place of [`Real`], i.e. `10^-6`).
+const EPS: f64 = 2e-6;
+
+/// Checks a single-shot approximate-agreement run: every correct output lies within
+/// the range of correct inputs, and the output range is strictly smaller than the
+/// input range whenever the inputs were not already identical.
+pub fn check_approx(correct_inputs: &[f64], correct_outputs: &[f64]) -> CheckReport {
+    let mut report = CheckReport::new();
+    if correct_inputs.is_empty() || correct_outputs.is_empty() {
+        return report;
+    }
+    let imin = fold_min(correct_inputs);
+    let imax = fold_max(correct_inputs);
+    let omin = fold_min(correct_outputs);
+    let omax = fold_max(correct_outputs);
+
+    for (index, &output) in correct_outputs.iter().enumerate() {
+        report.expect(
+            output >= imin - EPS && output <= imax + EPS,
+            "approx/containment",
+            || {
+                format!(
+                    "output #{index} = {output} lies outside the correct input range \
+                     [{imin}, {imax}]"
+                )
+            },
+        );
+    }
+
+    if imax - imin > EPS {
+        report.expect((omax - omin) < (imax - imin), "approx/contraction", || {
+            format!(
+                "output range {} is not strictly smaller than input range {}",
+                omax - omin,
+                imax - imin
+            )
+        });
+    }
+    report
+}
+
+/// Checks the per-iteration spreads of an iterated run: the spread never grows, and
+/// every iteration at least halves it (up to fixed-point rounding), which is the
+/// convergence rate Theorem 4 gives and Section XII claims is unchanged from the
+/// known-`n` algorithm.
+pub fn check_convergence(spreads: &[f64]) -> CheckReport {
+    let mut report = CheckReport::new();
+    for (index, window) in spreads.windows(2).enumerate() {
+        let (previous, current) = (window[0], window[1]);
+        report.expect(current <= previous + EPS, "approx/monotone-spread", || {
+            format!("spread grew from {previous} to {current} at iteration {}", index + 1)
+        });
+        report.expect(current <= previous / 2.0 + EPS, "approx/halving", || {
+            format!(
+                "iteration {} contracted {previous} only to {current}, which is more than half",
+                index + 1
+            )
+        });
+    }
+    report
+}
+
+/// Fixed-point variant of [`check_approx`] for callers that kept everything in
+/// [`Real`] (protocol-native) units.
+pub fn check_approx_real(correct_inputs: &[Real], correct_outputs: &[Real]) -> CheckReport {
+    let inputs: Vec<f64> = correct_inputs.iter().map(|r| r.to_f64()).collect();
+    let outputs: Vec<f64> = correct_outputs.iter().map(|r| r.to_f64()).collect();
+    check_approx(&inputs, &outputs)
+}
+
+fn fold_min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn fold_max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contained_and_contracted_outputs_pass() {
+        let report = check_approx(&[0.0, 10.0, 20.0], &[8.0, 9.0, 12.0]);
+        report.assert_passed("contained outputs");
+        assert!(report.checks >= 4);
+    }
+
+    #[test]
+    fn output_outside_range_violates_containment() {
+        let report = check_approx(&[0.0, 10.0], &[5.0, 11.0]);
+        assert!(report.violations.iter().any(|v| v.property == "approx/containment"));
+    }
+
+    #[test]
+    fn non_shrinking_range_violates_contraction() {
+        let report = check_approx(&[0.0, 10.0], &[0.0, 10.0]);
+        assert!(report.violations.iter().any(|v| v.property == "approx/contraction"));
+    }
+
+    #[test]
+    fn identical_inputs_do_not_require_contraction() {
+        check_approx(&[5.0, 5.0, 5.0], &[5.0, 5.0]).assert_passed("degenerate input range");
+    }
+
+    #[test]
+    fn empty_slices_are_trivially_ok() {
+        assert!(check_approx(&[], &[1.0]).passed());
+        assert!(check_approx(&[1.0], &[]).passed());
+        assert_eq!(check_approx(&[], &[]).checks, 0);
+    }
+
+    #[test]
+    fn halving_convergence_passes() {
+        check_convergence(&[16.0, 8.0, 4.0, 1.9, 0.9]).assert_passed("halving sequence");
+    }
+
+    #[test]
+    fn growing_spread_is_reported() {
+        let report = check_convergence(&[4.0, 6.0]);
+        assert!(report.violations.iter().any(|v| v.property == "approx/monotone-spread"));
+    }
+
+    #[test]
+    fn slow_contraction_is_reported() {
+        let report = check_convergence(&[10.0, 7.0]);
+        assert!(report.violations.iter().any(|v| v.property == "approx/halving"));
+        assert!(!report.violations.iter().any(|v| v.property == "approx/monotone-spread"));
+    }
+
+    #[test]
+    fn real_wrapper_matches_f64_behaviour() {
+        let inputs = [Real::from_f64(0.0), Real::from_f64(10.0)];
+        let good = [Real::from_f64(4.0), Real::from_f64(6.0)];
+        check_approx_real(&inputs, &good).assert_passed("real inputs");
+        let bad = [Real::from_f64(-1.0)];
+        assert!(!check_approx_real(&inputs, &bad).passed());
+    }
+}

@@ -1,0 +1,175 @@
+//! Oracles for Theorem 6: the chain-prefix and chain-growth properties of dynamic
+//! total ordering (Section XI).
+
+use std::fmt::Debug;
+
+use uba_core::total_order::OrderedEvent;
+use uba_simnet::NodeId;
+
+use crate::report::CheckReport;
+
+/// A correct node's finalised log at the end of the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainObservation<E> {
+    /// The observing node.
+    pub node: NodeId,
+    /// Its finalised log, oldest entry first.
+    pub chain: Vec<OrderedEvent<E>>,
+    /// The round the node joined the system (entries before it cannot appear in its
+    /// log; the prefix comparison is restricted to rounds both nodes cover).
+    pub joined_round: u64,
+}
+
+/// Checks the chain-prefix property: for any two correct nodes, the log entries for
+/// the rounds both of them cover are identical and identically ordered.
+pub fn check_chain_prefix<E: Clone + Eq + Debug>(
+    observations: &[ChainObservation<E>],
+) -> CheckReport {
+    let mut report = CheckReport::new();
+    for (index, a) in observations.iter().enumerate() {
+        for b in observations.iter().skip(index + 1) {
+            // Only rounds both nodes were present for can be compared.
+            let from_round = a.joined_round.max(b.joined_round);
+            let a_suffix: Vec<&OrderedEvent<E>> =
+                a.chain.iter().filter(|e| e.round >= from_round).collect();
+            let b_suffix: Vec<&OrderedEvent<E>> =
+                b.chain.iter().filter(|e| e.round >= from_round).collect();
+            let common = a_suffix.len().min(b_suffix.len());
+            report.expect(
+                a_suffix[..common] == b_suffix[..common],
+                "total-order/chain-prefix",
+                || {
+                    let diverge = a_suffix
+                        .iter()
+                        .zip(b_suffix.iter())
+                        .position(|(x, y)| x != y)
+                        .unwrap_or(common);
+                    format!(
+                        "logs of {} and {} diverge at shared position {diverge}: {:?} vs {:?}",
+                        a.node,
+                        b.node,
+                        a_suffix.get(diverge),
+                        b_suffix.get(diverge)
+                    )
+                },
+            );
+        }
+    }
+    report
+}
+
+/// Checks the chain-growth property over a sequence of log-length snapshots taken at
+/// increasing rounds: lengths never shrink, and between the first and the last
+/// snapshot every node's log grows by at least `min_growth` entries (use 1 to assert
+/// "events keep getting appended"; use 0 to only check monotonicity).
+pub fn check_chain_growth(
+    snapshots: &[Vec<(NodeId, usize)>],
+    min_growth: usize,
+) -> CheckReport {
+    let mut report = CheckReport::new();
+    for window in snapshots.windows(2) {
+        let (earlier, later) = (&window[0], &window[1]);
+        for (node, early_len) in earlier {
+            if let Some((_, late_len)) = later.iter().find(|(id, _)| id == node) {
+                report.expect(late_len >= early_len, "total-order/chain-monotone", || {
+                    format!("log of {node} shrank from {early_len} to {late_len}")
+                });
+            }
+        }
+    }
+    if let (Some(first), Some(last)) = (snapshots.first(), snapshots.last()) {
+        if snapshots.len() >= 2 {
+            for (node, first_len) in first {
+                if let Some((_, last_len)) = last.iter().find(|(id, _)| id == node) {
+                    report.expect(
+                        *last_len >= first_len + min_growth,
+                        "total-order/chain-growth",
+                        || {
+                            format!(
+                                "log of {node} grew only from {first_len} to {last_len}, \
+                                 expected at least +{min_growth}"
+                            )
+                        },
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(round: u64, witness: u64, event: u64) -> OrderedEvent<u64> {
+        OrderedEvent { round, witness: NodeId::new(witness), event }
+    }
+
+    fn obs(node: u64, chain: Vec<OrderedEvent<u64>>, joined: u64) -> ChainObservation<u64> {
+        ChainObservation { node: NodeId::new(node), chain, joined_round: joined }
+    }
+
+    #[test]
+    fn identical_chains_pass() {
+        let chain = vec![event(1, 10, 100), event(2, 11, 200)];
+        let observations = vec![obs(10, chain.clone(), 0), obs(11, chain, 0)];
+        check_chain_prefix(&observations).assert_passed("identical chains");
+    }
+
+    #[test]
+    fn prefix_relationship_passes() {
+        let long = vec![event(1, 10, 100), event(2, 11, 200), event(3, 10, 300)];
+        let short = long[..2].to_vec();
+        let observations = vec![obs(10, long, 0), obs(11, short, 0)];
+        check_chain_prefix(&observations).assert_passed("prefix chains");
+    }
+
+    #[test]
+    fn diverging_chains_are_reported() {
+        let a = vec![event(1, 10, 100), event(2, 11, 200)];
+        let b = vec![event(1, 10, 100), event(2, 11, 999)];
+        let observations = vec![obs(10, a, 0), obs(11, b, 0)];
+        let report = check_chain_prefix(&observations);
+        assert!(report.violations.iter().any(|v| v.property == "total-order/chain-prefix"));
+    }
+
+    #[test]
+    fn late_joiner_is_only_compared_on_shared_rounds() {
+        // The founder has entries from round 1; the joiner only from round 3 onwards.
+        let founder = vec![event(1, 10, 100), event(2, 10, 200), event(3, 10, 300)];
+        let joiner = vec![event(3, 10, 300)];
+        let observations = vec![obs(10, founder, 0), obs(20, joiner, 3)];
+        check_chain_prefix(&observations).assert_passed("late joiner");
+    }
+
+    #[test]
+    fn growth_snapshots_must_be_monotone() {
+        let snapshots = vec![
+            vec![(NodeId::new(1), 2), (NodeId::new(2), 2)],
+            vec![(NodeId::new(1), 1), (NodeId::new(2), 3)],
+        ];
+        let report = check_chain_growth(&snapshots, 0);
+        assert!(report.violations.iter().any(|v| v.property == "total-order/chain-monotone"));
+    }
+
+    #[test]
+    fn growth_requires_minimum_progress() {
+        let snapshots = vec![
+            vec![(NodeId::new(1), 2)],
+            vec![(NodeId::new(1), 2)],
+            vec![(NodeId::new(1), 3)],
+        ];
+        check_chain_growth(&snapshots, 1).assert_passed("grew by one");
+        let report = check_chain_growth(&snapshots, 2);
+        assert!(report.violations.iter().any(|v| v.property == "total-order/chain-growth"));
+    }
+
+    #[test]
+    fn single_snapshot_checks_nothing() {
+        let snapshots = vec![vec![(NodeId::new(1), 2)]];
+        let report = check_chain_growth(&snapshots, 5);
+        assert!(report.passed());
+        assert_eq!(report.checks, 0);
+    }
+}

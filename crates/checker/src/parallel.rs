@@ -1,0 +1,211 @@
+//! Oracle for Theorem 5: parallel consensus validity, agreement and termination
+//! (Section X).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+use uba_core::early_consensus::InstanceId;
+use uba_core::parallel_consensus::ParallelDecision;
+use uba_simnet::NodeId;
+
+use crate::report::CheckReport;
+
+/// What one correct node put in and got out of a parallel-consensus execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelObservation<V> {
+    /// The observing node.
+    pub node: NodeId,
+    /// Its input `(identifier, opinion)` pairs.
+    pub inputs: BTreeMap<InstanceId, V>,
+    /// Its decision, if it terminated.
+    pub decision: Option<ParallelDecision<V>>,
+}
+
+/// Runs the Theorem 5 oracle.
+///
+/// * **Termination** — every correct node produced a decision.
+/// * **Agreement** — if a correct node outputs `(id, x)`, every other correct node
+///   that outputs anything for `id` outputs the same `x`; moreover no correct node
+///   omits a pair another correct node output (the paper's agreement is on the full
+///   output set).
+/// * **Validity** — a pair input at *every* correct node appears in every output.
+/// * **No fabrication** — no output pair carries an identifier that no correct node
+///   had as input (Byzantine-injected identifiers must never make it into an output).
+pub fn check_parallel_consensus<V: Clone + Eq + Debug>(
+    observations: &[ParallelObservation<V>],
+) -> CheckReport {
+    let mut report = CheckReport::new();
+    if observations.is_empty() {
+        return report;
+    }
+
+    for obs in observations {
+        report.expect(obs.decision.is_some(), "parallel-consensus/termination", || {
+            format!("node {} never terminated", obs.node)
+        });
+    }
+
+    let decided: Vec<(&NodeId, &ParallelDecision<V>)> = observations
+        .iter()
+        .filter_map(|o| o.decision.as_ref().map(|d| (&o.node, d)))
+        .collect();
+
+    // Agreement: all output pair-sets are identical.
+    if let Some((first_node, first)) = decided.first() {
+        for (node, decision) in decided.iter().skip(1) {
+            report.expect(decision.pairs == first.pairs, "parallel-consensus/agreement", || {
+                format!(
+                    "node {first_node} output {:?} but node {node} output {:?}",
+                    first.pairs, decision.pairs
+                )
+            });
+        }
+    }
+
+    // Validity: pairs shared by every correct node's input must be in every output.
+    let mut common: Option<BTreeMap<InstanceId, V>> = None;
+    for obs in observations {
+        common = Some(match common {
+            None => obs.inputs.clone(),
+            Some(existing) => existing
+                .into_iter()
+                .filter(|(id, value)| obs.inputs.get(id) == Some(value))
+                .collect(),
+        });
+    }
+    let common = common.unwrap_or_default();
+    for (node, decision) in &decided {
+        for (id, value) in &common {
+            report.expect(
+                decision.pairs.get(id) == Some(value),
+                "parallel-consensus/validity",
+                || {
+                    format!(
+                        "pair ({id}, {value:?}) was an input of every correct node but node \
+                         {node} output {:?} for it",
+                        decision.pairs.get(id)
+                    )
+                },
+            );
+        }
+    }
+
+    // No fabrication: every output identifier was the input of some correct node.
+    let known_ids: BTreeSet<InstanceId> =
+        observations.iter().flat_map(|o| o.inputs.keys().copied()).collect();
+    for (node, decision) in &decided {
+        for id in decision.pairs.keys() {
+            report.expect(known_ids.contains(id), "parallel-consensus/no-fabrication", || {
+                format!(
+                    "node {node} output a pair for identifier {id} which no correct node had \
+                     as input"
+                )
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(pairs: &[(InstanceId, u64)]) -> ParallelDecision<u64> {
+        ParallelDecision { pairs: pairs.iter().copied().collect(), phase: 1, round: 9 }
+    }
+
+    fn obs(
+        node: u64,
+        inputs: &[(InstanceId, u64)],
+        output: Option<&[(InstanceId, u64)]>,
+    ) -> ParallelObservation<u64> {
+        ParallelObservation {
+            node: NodeId::new(node),
+            inputs: inputs.iter().copied().collect(),
+            decision: output.map(decision),
+        }
+    }
+
+    #[test]
+    fn identical_outputs_with_common_inputs_pass() {
+        let observations = vec![
+            obs(1, &[(10, 7), (11, 3)], Some(&[(10, 7), (11, 3)])),
+            obs(2, &[(10, 7), (11, 3)], Some(&[(10, 7), (11, 3)])),
+        ];
+        check_parallel_consensus(&observations).assert_passed("common inputs");
+    }
+
+    #[test]
+    fn differing_output_sets_violate_agreement() {
+        let observations = vec![
+            obs(1, &[(10, 7)], Some(&[(10, 7)])),
+            obs(2, &[(10, 7)], Some(&[(10, 7), (11, 1)])),
+        ];
+        let report = check_parallel_consensus(&observations);
+        assert!(report.violations.iter().any(|v| v.property == "parallel-consensus/agreement"));
+    }
+
+    #[test]
+    fn dropping_a_universal_input_violates_validity() {
+        let observations = vec![
+            obs(1, &[(10, 7)], Some(&[])),
+            obs(2, &[(10, 7)], Some(&[])),
+        ];
+        let report = check_parallel_consensus(&observations);
+        assert!(report.violations.iter().any(|v| v.property == "parallel-consensus/validity"));
+    }
+
+    #[test]
+    fn partially_known_input_may_be_dropped() {
+        // Pair (12, 5) is input only at node 1; the protocol may output or drop it,
+        // as long as everyone does the same.
+        let observations = vec![
+            obs(1, &[(10, 7), (12, 5)], Some(&[(10, 7)])),
+            obs(2, &[(10, 7)], Some(&[(10, 7)])),
+        ];
+        check_parallel_consensus(&observations).assert_passed("partially known pair dropped");
+    }
+
+    #[test]
+    fn fabricated_identifier_is_reported() {
+        let observations = vec![
+            obs(1, &[(10, 7)], Some(&[(10, 7), (99, 1)])),
+            obs(2, &[(10, 7)], Some(&[(10, 7), (99, 1)])),
+        ];
+        let report = check_parallel_consensus(&observations);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "parallel-consensus/no-fabrication"));
+    }
+
+    #[test]
+    fn missing_decision_violates_termination() {
+        let observations = vec![obs(1, &[(10, 7)], Some(&[(10, 7)])), obs(2, &[(10, 7)], None)];
+        let report = check_parallel_consensus(&observations);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "parallel-consensus/termination"));
+    }
+
+    #[test]
+    fn conflicting_universal_inputs_have_no_common_pair() {
+        // The two nodes have the same identifier with different opinions — the pair is
+        // not "input at every correct node" in the sense of validity, so any agreeing
+        // output (even dropping it) is fine.
+        let observations = vec![
+            obs(1, &[(10, 1)], Some(&[])),
+            obs(2, &[(10, 2)], Some(&[])),
+        ];
+        check_parallel_consensus(&observations).assert_passed("conflicting inputs");
+    }
+
+    #[test]
+    fn empty_observations_pass_trivially() {
+        let report = check_parallel_consensus::<u64>(&[]);
+        assert!(report.passed());
+        assert_eq!(report.checks, 0);
+    }
+}

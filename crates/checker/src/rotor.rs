@@ -1,0 +1,197 @@
+//! Oracle for Theorem 2: the rotor-coordinator selects a common, correct coordinator
+//! in some round (a *good round*) and terminates within `O(n)` rounds (Section VI).
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+use uba_core::rotor::RotorRecord;
+use uba_simnet::NodeId;
+
+use crate::report::CheckReport;
+
+/// The per-loop-round selection history of one correct node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RotorObservation<V> {
+    /// The observing node.
+    pub node: NodeId,
+    /// One record per loop round, in order.
+    pub history: Vec<RotorRecord<V>>,
+    /// Whether the node terminated (reselected a coordinator).
+    pub terminated: bool,
+}
+
+/// Configuration of the rotor oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RotorCheck {
+    /// Total number of nodes `n` in the system; termination must happen within this
+    /// many loop rounds (Theorem 2's `O(n)` bound is at most `n` selections).
+    pub n: usize,
+    /// Whether every node is required to have terminated by the end of the run.
+    pub expect_termination: bool,
+}
+
+/// Runs the Theorem 2 oracle. `correct` is the ground-truth set of correct node
+/// identifiers (the oracle needs it to decide whether a commonly selected coordinator
+/// was in fact correct).
+pub fn check_rotor<V: Clone + Eq + Debug>(
+    correct: &BTreeSet<NodeId>,
+    observations: &[RotorObservation<V>],
+    config: RotorCheck,
+) -> CheckReport {
+    let mut report = CheckReport::new();
+    if observations.is_empty() {
+        return report;
+    }
+
+    // Termination and the O(n) bound on the number of loop rounds.
+    for obs in observations {
+        if config.expect_termination {
+            report.expect(obs.terminated, "rotor/termination", || {
+                format!("node {} never reselected a coordinator", obs.node)
+            });
+        }
+        report.expect(obs.history.len() <= config.n + 1, "rotor/round-bound", || {
+            format!(
+                "node {} ran {} loop rounds, more than the n = {} bound",
+                obs.node,
+                obs.history.len(),
+                config.n
+            )
+        });
+        // Each node must have selected at least one correct coordinator among its
+        // selections before terminating (there are at most f < n/3 faulty ones and the
+        // selected set grows by one per round).
+        if obs.terminated {
+            report.expect(
+                obs.history.iter().any(|r| correct.contains(&r.coordinator)),
+                "rotor/correct-coordinator-selected",
+                || {
+                    format!(
+                        "node {} terminated having selected only faulty coordinators: {:?}",
+                        obs.node,
+                        obs.history.iter().map(|r| r.coordinator).collect::<Vec<_>>()
+                    )
+                },
+            );
+        }
+    }
+
+    // Good round: there is a loop round in which every correct node selected the same
+    // coordinator and that coordinator is correct. Only loop rounds that every node
+    // reached can qualify (a node terminates earlier than others by at most the paper's
+    // relay slack, but a good round must have been witnessed by all of them).
+    let shortest = observations.iter().map(|o| o.history.len()).min().unwrap_or(0);
+    let mut good_round = None;
+    for loop_round in 0..shortest {
+        let selections: BTreeSet<NodeId> =
+            observations.iter().map(|o| o.history[loop_round].coordinator).collect();
+        if selections.len() == 1 {
+            let coordinator = *selections.iter().next().expect("non-empty");
+            if correct.contains(&coordinator) {
+                good_round = Some(loop_round);
+                break;
+            }
+        }
+    }
+    report.expect(good_round.is_some(), "rotor/good-round", || {
+        format!(
+            "no loop round had every correct node select the same correct coordinator \
+             (searched {shortest} common loop rounds)"
+        )
+    });
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(loop_round: u64, coordinator: u64) -> RotorRecord<u64> {
+        RotorRecord { loop_round, coordinator: NodeId::new(coordinator), accepted_opinion: None }
+    }
+
+    fn correct_set(ids: &[u64]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    fn obs(node: u64, coordinators: &[u64], terminated: bool) -> RotorObservation<u64> {
+        RotorObservation {
+            node: NodeId::new(node),
+            history: coordinators
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| record(i as u64, c))
+                .collect(),
+            terminated,
+        }
+    }
+
+    #[test]
+    fn common_correct_coordinator_passes() {
+        let correct = correct_set(&[1, 2, 3]);
+        let observations = vec![
+            obs(1, &[9, 2, 2], true),
+            obs(2, &[9, 2, 2], true),
+            obs(3, &[2, 2, 2], true),
+        ];
+        check_rotor(&correct, &observations, RotorCheck { n: 4, expect_termination: true })
+            .assert_passed("good round in loop round 1");
+    }
+
+    #[test]
+    fn no_common_round_violates_good_round() {
+        let correct = correct_set(&[1, 2, 3]);
+        let observations = vec![obs(1, &[1, 9], true), obs(2, &[2, 9], true), obs(3, &[3, 9], true)];
+        let report =
+            check_rotor(&correct, &observations, RotorCheck { n: 4, expect_termination: true });
+        assert!(report.violations.iter().any(|v| v.property == "rotor/good-round"));
+    }
+
+    #[test]
+    fn common_but_faulty_coordinator_is_not_a_good_round() {
+        let correct = correct_set(&[1, 2]);
+        // Everyone agrees on node 9 — but 9 is Byzantine, so no good round exists.
+        let observations = vec![obs(1, &[9], true), obs(2, &[9], true)];
+        let report =
+            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: true });
+        assert!(report.violations.iter().any(|v| v.property == "rotor/good-round"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "rotor/correct-coordinator-selected"));
+    }
+
+    #[test]
+    fn exceeding_the_round_bound_is_reported() {
+        let correct = correct_set(&[1, 2]);
+        let long: Vec<u64> = std::iter::repeat(1).take(10).collect();
+        let observations = vec![obs(1, &long, true), obs(2, &long, true)];
+        let report =
+            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: true });
+        assert!(report.violations.iter().any(|v| v.property == "rotor/round-bound"));
+    }
+
+    #[test]
+    fn missing_termination_is_reported_only_when_expected() {
+        let correct = correct_set(&[1, 2]);
+        let observations = vec![obs(1, &[1, 1], true), obs(2, &[1, 1], false)];
+        let strict =
+            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: true });
+        assert!(strict.violations.iter().any(|v| v.property == "rotor/termination"));
+        let lenient =
+            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: false });
+        lenient.assert_passed("partial run");
+    }
+
+    #[test]
+    fn empty_observations_are_trivially_ok() {
+        let report = check_rotor::<u64>(
+            &correct_set(&[1]),
+            &[],
+            RotorCheck { n: 1, expect_termination: true },
+        );
+        assert!(report.passed());
+        assert_eq!(report.checks, 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Protocol-aware Byzantine strategies.
+//!
+//! The generic adversary combinators (silent, crash, closure-driven) live in
+//! `uba_simnet::adversary`; this module adds strategies that need to craft payloads of
+//! the protocols implemented in this crate. They are the worst cases used in the
+//! paper's proofs — equivocation, partial self-announcement, split votes, candidate
+//! poisoning — and are what the experiment suite and the property-based tests throw at
+//! the algorithms.
+
+use uba_simnet::{Adversary, AdversaryView, Directed, NodeId};
+
+use crate::consensus::ConsensusMessage;
+use crate::early_consensus::{InstanceId, ParallelMessage};
+use crate::reliable_broadcast::RbMessage;
+use crate::rotor::RotorMessage;
+use crate::value::Opinion;
+
+/// Payloads that have a round-1 "I exist" announcement. Implemented by every protocol
+/// message type in this crate so that [`AnnounceThenSilent`] can be reused across
+/// protocols.
+pub trait Announce {
+    /// The message a node broadcasts in round 1 to make itself known.
+    fn announce() -> Self;
+}
+
+impl<M: Clone> Announce for RbMessage<M> {
+    fn announce() -> Self {
+        RbMessage::Present
+    }
+}
+
+impl<V: Opinion> Announce for RotorMessage<V> {
+    fn announce() -> Self {
+        RotorMessage::Init
+    }
+}
+
+impl<V: Opinion> Announce for ConsensusMessage<V> {
+    fn announce() -> Self {
+        ConsensusMessage::Init
+    }
+}
+
+impl<V: Opinion> Announce for ParallelMessage<V> {
+    fn announce() -> Self {
+        ParallelMessage::Init
+    }
+}
+
+/// Byzantine nodes that announce themselves in round 1 — so that every correct node
+/// counts them towards `n_v` — and then never send another message.
+///
+/// This is the canonical stress test for the paper's `n_v/3` thresholds: the counted
+/// but silent nodes inflate `n_v` without ever contributing votes, which is exactly
+/// the situation the missing-message substitution rule exists for.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnnounceThenSilent;
+
+impl<P: Announce + Clone> Adversary<P> for AnnounceThenSilent {
+    fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
+        if view.round != 1 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for &to in view.correct_ids {
+                out.push(Directed::new(from, to, P::announce()));
+            }
+        }
+        out
+    }
+}
+
+/// Byzantine nodes that announce themselves to only *half* of the correct nodes,
+/// making different correct nodes hold different values of `n_v` — the "a Byzantine
+/// node may get itself known to only a subset of nodes" behaviour from the model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartialAnnounce;
+
+impl<P: Announce + Clone> Adversary<P> for PartialAnnounce {
+    fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
+        if view.round != 1 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for (i, &to) in view.correct_ids.iter().enumerate() {
+                if i % 2 == 0 {
+                    out.push(Directed::new(from, to, P::announce()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A Byzantine *designated sender* for reliable broadcast that sends a different
+/// message to each half of the correct nodes in round 1 (equivocation). Reliable
+/// broadcast must either expose both values to everyone or accept neither — what it
+/// must never allow is two correct nodes accepting different, *conflicting* views.
+#[derive(Clone, Debug)]
+pub struct EquivocatingSource<M> {
+    source: NodeId,
+    value_for_evens: M,
+    value_for_odds: M,
+}
+
+impl<M> EquivocatingSource<M> {
+    /// Creates the adversary; `source` must be registered as a Byzantine identity.
+    pub fn new(source: NodeId, value_for_evens: M, value_for_odds: M) -> Self {
+        EquivocatingSource { source, value_for_evens, value_for_odds }
+    }
+}
+
+impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>>
+    for EquivocatingSource<M>
+{
+    fn step(&mut self, view: &AdversaryView<'_, RbMessage<M>>) -> Vec<Directed<RbMessage<M>>> {
+        if view.round != 1 {
+            return Vec::new();
+        }
+        view.correct_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &to)| {
+                let value =
+                    if i % 2 == 0 { self.value_for_evens.clone() } else { self.value_for_odds.clone() };
+                Directed::new(self.source, to, RbMessage::Init(value))
+            })
+            .collect()
+    }
+}
+
+/// Byzantine nodes that try to split a consensus execution: they participate in the
+/// initialisation and then, in every voting round, tell half of the correct nodes they
+/// support `low` and the other half that they support `high`, mirroring whichever
+/// message kind is expected in that round.
+#[derive(Clone, Debug)]
+pub struct SplitVote<V> {
+    low: V,
+    high: V,
+}
+
+impl<V> SplitVote<V> {
+    /// Creates a split-vote adversary pushing the two given values.
+    pub fn new(low: V, high: V) -> Self {
+        SplitVote { low, high }
+    }
+}
+
+impl<V: Opinion> Adversary<ConsensusMessage<V>> for SplitVote<V> {
+    fn step(
+        &mut self,
+        view: &AdversaryView<'_, ConsensusMessage<V>>,
+    ) -> Vec<Directed<ConsensusMessage<V>>> {
+        let mut out = Vec::new();
+        for (b, &from) in view.byzantine_ids.iter().enumerate() {
+            for (i, &to) in view.correct_ids.iter().enumerate() {
+                let value =
+                    if (i + b) % 2 == 0 { self.low.clone() } else { self.high.clone() };
+                let payload = match view.round {
+                    1 => ConsensusMessage::Init,
+                    2 => ConsensusMessage::Echo(from),
+                    r if r >= 3 && (r - 3) % 5 == 0 => ConsensusMessage::Input(value),
+                    r if r >= 3 && (r - 3) % 5 == 1 => ConsensusMessage::Prefer(value),
+                    r if r >= 3 && (r - 3) % 5 == 2 => ConsensusMessage::StrongPrefer(value),
+                    r if r >= 3 && (r - 3) % 5 == 3 => ConsensusMessage::Opinion(value),
+                    _ => continue,
+                };
+                out.push(Directed::new(from, to, payload));
+            }
+        }
+        out
+    }
+}
+
+/// Byzantine nodes that try to poison the rotor-coordinator's candidate set by
+/// echoing never-announced, non-existent identifiers, and that echo genuine candidates
+/// only towards a subset of nodes to desynchronise the candidate sets.
+#[derive(Clone, Debug)]
+pub struct CandidatePoisoner {
+    /// Fabricated identifiers the adversary vouches for.
+    pub fabricated: Vec<NodeId>,
+}
+
+impl CandidatePoisoner {
+    /// Creates a poisoner pushing the given fabricated identifiers.
+    pub fn new(fabricated: Vec<NodeId>) -> Self {
+        CandidatePoisoner { fabricated }
+    }
+}
+
+impl<V: Opinion> Adversary<RotorMessage<V>> for CandidatePoisoner {
+    fn step(&mut self, view: &AdversaryView<'_, RotorMessage<V>>) -> Vec<Directed<RotorMessage<V>>> {
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for (i, &to) in view.correct_ids.iter().enumerate() {
+                if view.round == 1 {
+                    out.push(Directed::new(from, to, RotorMessage::Init));
+                } else {
+                    for (j, &ghost) in self.fabricated.iter().enumerate() {
+                        if (i + j) % 2 == 0 {
+                            out.push(Directed::new(from, to, RotorMessage::Echo(ghost)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Byzantine nodes that flood parallel consensus with input pairs for identifiers no
+/// correct node has, trying to bloat the instance set or sneak a fabricated pair into
+/// the output.
+#[derive(Clone, Debug)]
+pub struct GhostPairInjector<V> {
+    /// The fabricated `(identifier, opinion)` pairs to push.
+    pub pairs: Vec<(InstanceId, V)>,
+}
+
+impl<V> GhostPairInjector<V> {
+    /// Creates an injector pushing the given fabricated pairs.
+    pub fn new(pairs: Vec<(InstanceId, V)>) -> Self {
+        GhostPairInjector { pairs }
+    }
+}
+
+impl<V: Opinion> Adversary<ParallelMessage<V>> for GhostPairInjector<V> {
+    fn step(
+        &mut self,
+        view: &AdversaryView<'_, ParallelMessage<V>>,
+    ) -> Vec<Directed<ParallelMessage<V>>> {
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for &to in view.correct_ids {
+                match view.round {
+                    1 => out.push(Directed::new(from, to, ParallelMessage::Init)),
+                    // Phase-1 rounds in which the correct nodes evaluate inputs,
+                    // prefers and strong-prefers respectively.
+                    4 => {
+                        for (id, value) in &self.pairs {
+                            out.push(Directed::new(
+                                from,
+                                to,
+                                ParallelMessage::Input(*id, value.clone()),
+                            ));
+                        }
+                    }
+                    5 => {
+                        for (id, value) in &self.pairs {
+                            out.push(Directed::new(
+                                from,
+                                to,
+                                ParallelMessage::Prefer(*id, Some(value.clone())),
+                            ));
+                        }
+                    }
+                    6 => {
+                        for (id, value) in &self.pairs {
+                            out.push(Directed::new(
+                                from,
+                                to,
+                                ParallelMessage::StrongPrefer(*id, Some(value.clone())),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static CORRECT: [NodeId; 4] =
+        [NodeId::new(2), NodeId::new(4), NodeId::new(5), NodeId::new(7)];
+    static BYZ: [NodeId; 2] = [NodeId::new(100), NodeId::new(101)];
+
+    fn view<P>(round: u64, traffic: &[Directed<P>]) -> AdversaryView<'_, P> {
+        AdversaryView { round, correct_ids: &CORRECT, byzantine_ids: &BYZ, correct_traffic: traffic }
+    }
+
+    #[test]
+    fn announce_then_silent_only_speaks_in_round_one() {
+        let mut adv = AnnounceThenSilent;
+        let t: Vec<Directed<ConsensusMessage<u64>>> = vec![];
+        assert_eq!(Adversary::step(&mut adv, &view(1, &t)).len(), 8);
+        assert!(Adversary::<ConsensusMessage<u64>>::step(&mut adv, &view(2, &t)).is_empty());
+    }
+
+    #[test]
+    fn partial_announce_covers_half_the_nodes() {
+        let mut adv = PartialAnnounce;
+        let t: Vec<Directed<RbMessage<u64>>> = vec![];
+        let out = Adversary::step(&mut adv, &view(1, &t));
+        assert_eq!(out.len(), 4, "2 byzantine × 2 (even-indexed) recipients");
+    }
+
+    #[test]
+    fn equivocating_source_sends_two_values() {
+        let mut adv = EquivocatingSource::new(BYZ[0], 1u64, 2u64);
+        let t: Vec<Directed<RbMessage<u64>>> = vec![];
+        let out = adv.step(&view(1, &t));
+        assert_eq!(out.len(), 4);
+        let ones = out.iter().filter(|m| m.payload == RbMessage::Init(1)).count();
+        let twos = out.iter().filter(|m| m.payload == RbMessage::Init(2)).count();
+        assert_eq!((ones, twos), (2, 2));
+        assert!(adv.step(&view(2, &t)).is_empty());
+    }
+
+    #[test]
+    fn split_vote_tracks_the_phase_schedule() {
+        let mut adv = SplitVote::new(0u64, 1u64);
+        let t: Vec<Directed<ConsensusMessage<u64>>> = vec![];
+        let round3 = adv.step(&view(3, &t));
+        assert!(round3.iter().all(|m| matches!(m.payload, ConsensusMessage::Input(_))));
+        let round4 = adv.step(&view(4, &t));
+        assert!(round4.iter().all(|m| matches!(m.payload, ConsensusMessage::Prefer(_))));
+        let round7 = adv.step(&view(7, &t));
+        assert!(round7.is_empty(), "nothing to say in the resolve round");
+    }
+
+    #[test]
+    fn candidate_poisoner_vouches_for_ghosts() {
+        let mut adv = CandidatePoisoner::new(vec![NodeId::new(999)]);
+        let t: Vec<Directed<RotorMessage<u64>>> = vec![];
+        let out = adv.step(&view(3, &t));
+        assert!(out.iter().all(|m| m.payload == RotorMessage::Echo(NodeId::new(999))));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn ghost_pair_injector_targets_phase_one_rounds() {
+        let mut adv = GhostPairInjector::new(vec![(77, 7u64)]);
+        let t: Vec<Directed<ParallelMessage<u64>>> = vec![];
+        assert!(adv
+            .step(&view(4, &t))
+            .iter()
+            .all(|m| matches!(m.payload, ParallelMessage::Input(77, 7))));
+        assert!(adv
+            .step(&view(6, &t))
+            .iter()
+            .all(|m| matches!(m.payload, ParallelMessage::StrongPrefer(77, Some(7)))));
+        assert!(adv.step(&view(8, &t)).is_empty());
+    }
+}

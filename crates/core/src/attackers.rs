@@ -1,0 +1,363 @@
+//! Adaptive, rushing attack strategies.
+//!
+//! The strategies in [`crate::adversaries`] are *oblivious*: they follow a fixed
+//! script regardless of what the correct nodes do. The strategies here exploit the
+//! strongest capability the model grants the adversary — it speaks last in every
+//! round, after having seen all correct traffic — to adapt the attack to the current
+//! state of the execution:
+//!
+//! * [`MinorityBooster`] — in every consensus voting round, votes (per recipient) for
+//!   whichever of two values currently has *less* correct support, trying to keep the
+//!   network split for as long as possible;
+//! * [`EquivocatingCoordinator`] — campaigns to be selected as the rotor coordinator
+//!   and then sends different opinions to different halves of the network;
+//! * [`EchoWithholder`] — for reliable broadcast, echoes the value that is about to
+//!   reach a threshold only to half of the nodes, trying to make one half accept a
+//!   round earlier than the other (the relay property is exactly what must absorb
+//!   this);
+//! * [`MembershipFlapper`] — for dynamic total ordering, announces `present` and
+//!   `absent` in alternating rounds and spams fabricated events, stressing the member
+//!   set `S` and the per-round instance identifiers.
+
+use std::collections::BTreeMap;
+
+use uba_simnet::{Adversary, AdversaryView, Directed};
+
+use crate::consensus::ConsensusMessage;
+use crate::reliable_broadcast::RbMessage;
+use crate::total_order::TotalOrderMessage;
+use crate::value::Opinion;
+
+/// Phase step the correct nodes are executing in a given engine round, mirroring the
+/// five-round schedule of Algorithm 3 (rounds 1 and 2 are initialisation).
+fn consensus_step(round: u64) -> Option<u64> {
+    if round < 3 {
+        None
+    } else {
+        Some((round - 3) % 5)
+    }
+}
+
+/// A rushing consensus adversary that keeps the network split: in every voting round
+/// it inspects, per correct recipient, how much correct support each of the two
+/// configured values has *in the traffic addressed to that recipient this round*, and
+/// casts all of its votes for the value that is currently behind.
+///
+/// Against the `n_v/3` / `2n_v/3` thresholds this is the natural adaptive
+/// generalisation of [`crate::adversaries::SplitVote`]; Lemma 9 (no two conflicting
+/// quorums) and the rotor-coordinator rounds are what bound the damage to `O(f)`
+/// phases.
+#[derive(Clone, Debug)]
+pub struct MinorityBooster<V> {
+    low: V,
+    high: V,
+}
+
+impl<V> MinorityBooster<V> {
+    /// Creates the attacker fighting over the two given values.
+    pub fn new(low: V, high: V) -> Self {
+        MinorityBooster { low, high }
+    }
+}
+
+impl<V: Opinion> Adversary<ConsensusMessage<V>> for MinorityBooster<V> {
+    fn step(
+        &mut self,
+        view: &AdversaryView<'_, ConsensusMessage<V>>,
+    ) -> Vec<Directed<ConsensusMessage<V>>> {
+        let mut out = Vec::new();
+        for &to in view.correct_ids {
+            // Count correct support per value in the traffic addressed to `to`.
+            let mut low_support = 0usize;
+            let mut high_support = 0usize;
+            for msg in view.traffic_to(to) {
+                let value = match &msg.payload {
+                    ConsensusMessage::Input(v)
+                    | ConsensusMessage::Prefer(v)
+                    | ConsensusMessage::StrongPrefer(v) => v,
+                    _ => continue,
+                };
+                if *value == self.low {
+                    low_support += 1;
+                } else if *value == self.high {
+                    high_support += 1;
+                }
+            }
+            let minority =
+                if low_support <= high_support { self.low.clone() } else { self.high.clone() };
+            for &from in view.byzantine_ids {
+                let payload = match view.round {
+                    1 => ConsensusMessage::Init,
+                    2 => ConsensusMessage::Echo(from),
+                    _ => match consensus_step(view.round) {
+                        Some(0) => ConsensusMessage::Input(minority.clone()),
+                        Some(1) => ConsensusMessage::Prefer(minority.clone()),
+                        Some(2) => ConsensusMessage::StrongPrefer(minority.clone()),
+                        Some(3) => ConsensusMessage::Opinion(minority.clone()),
+                        _ => continue,
+                    },
+                };
+                out.push(Directed::new(from, to, payload));
+            }
+        }
+        out
+    }
+}
+
+/// A consensus adversary that tries to become the selected coordinator (its identities
+/// echo themselves aggressively during initialisation) and, in every rotor round,
+/// sends opinion `low` to even-indexed correct nodes and `high` to odd-indexed ones.
+///
+/// Lemma 11 only promises a common opinion when the coordinator is *correct*; this
+/// attacker checks that Byzantine coordinators merely delay (never derail) agreement.
+#[derive(Clone, Debug)]
+pub struct EquivocatingCoordinator<V> {
+    low: V,
+    high: V,
+}
+
+impl<V> EquivocatingCoordinator<V> {
+    /// Creates the attacker distributing the two given opinions.
+    pub fn new(low: V, high: V) -> Self {
+        EquivocatingCoordinator { low, high }
+    }
+}
+
+impl<V: Opinion> Adversary<ConsensusMessage<V>> for EquivocatingCoordinator<V> {
+    fn step(
+        &mut self,
+        view: &AdversaryView<'_, ConsensusMessage<V>>,
+    ) -> Vec<Directed<ConsensusMessage<V>>> {
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for (index, &to) in view.correct_ids.iter().enumerate() {
+                let payload = match view.round {
+                    // Announce and echo itself so the correct nodes add it to their
+                    // candidate sets (it is a legitimate candidate — it announced).
+                    1 => ConsensusMessage::Init,
+                    2 => ConsensusMessage::Echo(from),
+                    _ => match consensus_step(view.round) {
+                        // Participate honestly enough in the vote rounds to stay
+                        // counted, parroting its own identity's echo.
+                        Some(0) => ConsensusMessage::Echo(from),
+                        // In the rotor round, equivocate as a would-be coordinator.
+                        Some(3) => {
+                            let value =
+                                if index % 2 == 0 { self.low.clone() } else { self.high.clone() };
+                            ConsensusMessage::Opinion(value)
+                        }
+                        _ => continue,
+                    },
+                };
+                out.push(Directed::new(from, to, payload));
+            }
+        }
+        out
+    }
+}
+
+/// A reliable-broadcast adversary that watches the correct `echo` traffic and
+/// amplifies it towards only half of the nodes: whichever value the correct nodes are
+/// echoing, the Byzantine identities echo it too — but only to even-indexed
+/// recipients. The goal is to push one half of the network over the `2n_v/3`
+/// acceptance threshold a round before the other half, maximising the stress on the
+/// relay property.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EchoWithholder;
+
+impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>> for EchoWithholder {
+    fn step(&mut self, view: &AdversaryView<'_, RbMessage<M>>) -> Vec<Directed<RbMessage<M>>> {
+        if view.round == 1 {
+            // Get counted towards n_v.
+            return view
+                .byzantine_ids
+                .iter()
+                .flat_map(|&from| {
+                    view.correct_ids.iter().map(move |&to| Directed::new(from, to, RbMessage::Present))
+                })
+                .collect();
+        }
+        // Find the most-echoed value in this round's correct traffic.
+        let mut counts: BTreeMap<&M, usize> = BTreeMap::new();
+        for msg in view.correct_traffic {
+            if let RbMessage::Echo(value) = &msg.payload {
+                *counts.entry(value).or_default() += 1;
+            }
+        }
+        let Some((value, _)) = counts.into_iter().max_by_key(|(_, count)| *count) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for (index, &to) in view.correct_ids.iter().enumerate() {
+                if index % 2 == 0 {
+                    out.push(Directed::new(from, to, RbMessage::Echo(value.clone())));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A dynamic-total-ordering adversary whose identities flap between `present` and
+/// `absent` every round while spamming fabricated events tagged with whatever round
+/// number the correct nodes are currently using (gleaned from their `Event` traffic).
+#[derive(Clone, Debug)]
+pub struct MembershipFlapper<E> {
+    spam_event: E,
+}
+
+impl<E> MembershipFlapper<E> {
+    /// Creates the attacker injecting the given event payload.
+    pub fn new(spam_event: E) -> Self {
+        MembershipFlapper { spam_event }
+    }
+}
+
+impl<E: Opinion> Adversary<TotalOrderMessage<E>> for MembershipFlapper<E> {
+    fn step(
+        &mut self,
+        view: &AdversaryView<'_, TotalOrderMessage<E>>,
+    ) -> Vec<Directed<TotalOrderMessage<E>>> {
+        // Learn the round number the correct nodes currently tag their events with.
+        let current_round = view
+            .correct_traffic
+            .iter()
+            .filter_map(|msg| match &msg.payload {
+                TotalOrderMessage::Event(round, _) => Some(*round),
+                _ => None,
+            })
+            .max();
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for &to in view.correct_ids {
+                let flap = if view.round % 2 == 0 {
+                    TotalOrderMessage::Absent
+                } else {
+                    TotalOrderMessage::Present
+                };
+                out.push(Directed::new(from, to, flap));
+                if let Some(round) = current_round {
+                    out.push(Directed::new(
+                        from,
+                        to,
+                        TotalOrderMessage::Event(round, self.spam_event.clone()),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_simnet::NodeId;
+
+    static CORRECT: [NodeId; 4] =
+        [NodeId::new(2), NodeId::new(4), NodeId::new(5), NodeId::new(7)];
+    static BYZ: [NodeId; 2] = [NodeId::new(100), NodeId::new(101)];
+
+    fn view<P>(round: u64, traffic: &[Directed<P>]) -> AdversaryView<'_, P> {
+        AdversaryView { round, correct_ids: &CORRECT, byzantine_ids: &BYZ, correct_traffic: traffic }
+    }
+
+    #[test]
+    fn minority_booster_backs_the_value_with_less_support() {
+        // Every correct node is being sent two Input(1) and one Input(0) this round,
+        // so the attacker must push Input(0) to all of them.
+        let mut traffic = Vec::new();
+        for &to in &CORRECT {
+            traffic.push(Directed::new(CORRECT[0], to, ConsensusMessage::Input(1u64)));
+            traffic.push(Directed::new(CORRECT[1], to, ConsensusMessage::Input(1u64)));
+            traffic.push(Directed::new(CORRECT[2], to, ConsensusMessage::Input(0u64)));
+        }
+        let mut adv = MinorityBooster::new(0u64, 1u64);
+        let out = adv.step(&view(3, &traffic));
+        assert_eq!(out.len(), CORRECT.len() * BYZ.len());
+        assert!(out.iter().all(|m| m.payload == ConsensusMessage::Input(0)));
+    }
+
+    #[test]
+    fn minority_booster_follows_the_phase_schedule() {
+        let traffic: Vec<Directed<ConsensusMessage<u64>>> = Vec::new();
+        let mut adv = MinorityBooster::new(0u64, 1u64);
+        assert!(adv.step(&view(1, &traffic)).iter().all(|m| m.payload == ConsensusMessage::Init));
+        assert!(adv
+            .step(&view(4, &traffic))
+            .iter()
+            .all(|m| matches!(m.payload, ConsensusMessage::Prefer(_))));
+        assert!(adv
+            .step(&view(5, &traffic))
+            .iter()
+            .all(|m| matches!(m.payload, ConsensusMessage::StrongPrefer(_))));
+        // Resolve round: nothing useful to inject.
+        assert!(adv.step(&view(7, &traffic)).is_empty());
+    }
+
+    #[test]
+    fn equivocating_coordinator_splits_opinions_in_rotor_rounds() {
+        let traffic: Vec<Directed<ConsensusMessage<u64>>> = Vec::new();
+        let mut adv = EquivocatingCoordinator::new(10u64, 20u64);
+        // Round 6 is the first rotor round (step 3).
+        let out = adv.step(&view(6, &traffic));
+        let lows = out
+            .iter()
+            .filter(|m| m.payload == ConsensusMessage::Opinion(10))
+            .count();
+        let highs = out
+            .iter()
+            .filter(|m| m.payload == ConsensusMessage::Opinion(20))
+            .count();
+        assert_eq!(lows, highs, "opinions must be split evenly across recipients");
+        assert_eq!(lows + highs, CORRECT.len() * BYZ.len());
+        // Initialisation rounds campaign for candidacy.
+        assert!(adv.step(&view(2, &traffic)).iter().all(|m| matches!(m.payload, ConsensusMessage::Echo(_))));
+    }
+
+    #[test]
+    fn echo_withholder_amplifies_the_popular_echo_to_half_the_nodes() {
+        let mut traffic = Vec::new();
+        for &to in &CORRECT {
+            traffic.push(Directed::new(CORRECT[0], to, RbMessage::Echo(42u64)));
+            traffic.push(Directed::new(CORRECT[1], to, RbMessage::Echo(42u64)));
+            traffic.push(Directed::new(CORRECT[2], to, RbMessage::Echo(7u64)));
+        }
+        let mut adv = EchoWithholder;
+        let out = adv.step(&view(3, &traffic));
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|m| m.payload == RbMessage::Echo(42)));
+        // Only even-indexed recipients (2 of the 4 correct nodes).
+        assert_eq!(out.len(), 2 * BYZ.len());
+        // Round 1 announces presence instead.
+        let announce = adv.step(&view(1, &traffic));
+        assert!(announce.iter().all(|m| m.payload == RbMessage::Present));
+    }
+
+    #[test]
+    fn echo_withholder_is_silent_without_correct_echo_traffic() {
+        let traffic: Vec<Directed<RbMessage<u64>>> = Vec::new();
+        let mut adv = EchoWithholder;
+        assert!(adv.step(&view(5, &traffic)).is_empty());
+    }
+
+    #[test]
+    fn membership_flapper_alternates_presence_and_spams_events() {
+        let traffic = vec![Directed::new(
+            CORRECT[0],
+            CORRECT[1],
+            TotalOrderMessage::Event(9, 555u64),
+        )];
+        let mut adv = MembershipFlapper::new(777u64);
+        let odd = adv.step(&view(3, &traffic));
+        assert!(odd.iter().any(|m| m.payload == TotalOrderMessage::Present));
+        assert!(odd.iter().any(|m| m.payload == TotalOrderMessage::Event(9, 777)));
+        let even = adv.step(&view(4, &traffic));
+        assert!(even.iter().any(|m| m.payload == TotalOrderMessage::Absent));
+        // Without observed event traffic there is nothing to tag spam with.
+        let no_traffic: Vec<Directed<TotalOrderMessage<u64>>> = Vec::new();
+        let quiet = adv.step(&view(5, &no_traffic));
+        assert!(quiet.iter().all(|m| !matches!(m.payload, TotalOrderMessage::Event(_, _))));
+    }
+}

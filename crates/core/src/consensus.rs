@@ -1,0 +1,558 @@
+//! Byzantine consensus in `O(f)` rounds without knowing `n` or `f`
+//! (Algorithm 3, Section VII).
+//!
+//! Every correct node starts with an opinion `x_v` (a real number in the paper; any
+//! [`Opinion`] type here) and must output a common value that was the input of some
+//! correct node; if all correct inputs are equal, that value must be the output
+//! (validity). The algorithm generalises the phase-king / rotor-coordinator approach
+//! of Berman, Garay and Perry: each *phase* consists of five rounds —
+//!
+//! 1. broadcast `input(x_v)`;
+//! 2. on receiving `≥ 2n_v/3` matching inputs, broadcast `prefer(x)`;
+//! 3. on `≥ n_v/3` matching prefers adopt the value, on `≥ 2n_v/3` broadcast
+//!    `strongprefer(x)`;
+//! 4. execute one round of the rotor-coordinator, distributing the node's current
+//!    opinion if it happens to be the selected coordinator;
+//! 5. if fewer than `n_v/3` matching strong-prefers arrived, adopt the coordinator's
+//!    opinion; if `≥ 2n_v/3` arrived, decide and terminate.
+//!
+//! Two details of the paper's initialisation matter for liveness and are implemented
+//! here exactly as specified: `n_v` is **frozen** after the two initialisation rounds
+//! (messages from nodes that did not participate in initialisation are discarded), and
+//! a member that was counted during initialisation but stays silent in a later round
+//! is assumed to have sent *the same message this node sent in the previous round*
+//! (the "missing message substitution" rule) — this keeps the `2n_v/3` thresholds
+//! reachable after Byzantine nodes go silent or correct nodes terminate early.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
+
+use crate::membership::SenderTracker;
+use crate::quorum::{meets_one_third, meets_two_thirds};
+use crate::rotor::{RotorMessage, RotorState};
+use crate::value::Opinion;
+use crate::vote::VoteTally;
+
+/// Wire messages of the consensus protocol.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConsensusMessage<V> {
+    /// Rotor initialisation (round 1).
+    Init,
+    /// Rotor candidate echo (round 2 and rotor rounds).
+    Echo(NodeId),
+    /// Coordinator opinion (rotor rounds).
+    Opinion(V),
+    /// Phase step 1: the node's current opinion.
+    Input(V),
+    /// Phase step 2: weak preference.
+    Prefer(V),
+    /// Phase step 3: strong preference.
+    StrongPrefer(V),
+}
+
+/// The decision produced by a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision<V> {
+    /// The decided value.
+    pub value: V,
+    /// The phase (1-based) in which the node decided.
+    pub phase: u64,
+    /// The network round in which the node decided.
+    pub round: u64,
+}
+
+/// Where a node is inside the five-round phase structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PhaseStep {
+    /// Broadcast `input(x_v)`.
+    Input,
+    /// Receive inputs, broadcast `prefer`.
+    Prefer,
+    /// Receive prefers, broadcast `strongprefer`.
+    StrongPrefer,
+    /// Receive strong-prefers (stashed), execute a rotor round.
+    Rotor,
+    /// Receive rotor opinions, apply the strong-prefer rule, possibly decide.
+    Resolve,
+}
+
+impl PhaseStep {
+    fn from_round(round: u64) -> Option<PhaseStep> {
+        if round < 3 {
+            return None;
+        }
+        Some(match (round - 3) % 5 {
+            0 => PhaseStep::Input,
+            1 => PhaseStep::Prefer,
+            2 => PhaseStep::StrongPrefer,
+            3 => PhaseStep::Rotor,
+            _ => PhaseStep::Resolve,
+        })
+    }
+}
+
+/// A node running Algorithm 3.
+#[derive(Clone, Debug)]
+pub struct Consensus<V: Opinion> {
+    id: NodeId,
+    /// The node's current opinion `x_v`.
+    opinion: V,
+    /// The original input (kept for diagnostics).
+    input: V,
+    senders: SenderTracker,
+    rotor: RotorState<V>,
+    /// Rotor echoes received since the last rotor round: candidate → distinct voters.
+    rotor_echo_buffer: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Strong-prefer tally received in the rotor round, applied in the resolve round.
+    stashed_strong: VoteTally<V>,
+    /// The coordinator selected in this phase's rotor round.
+    phase_coordinator: Option<NodeId>,
+    /// Messages this node broadcast in the previous round (for the substitution rule).
+    last_broadcast: Vec<ConsensusMessage<V>>,
+    /// Members heard from since the start of the current phase. The missing-message
+    /// substitution only applies to members *outside* this set: a node that has spoken
+    /// at all during the phase (e.g. broadcast its input but then legitimately had no
+    /// preference to announce) is never substituted — only nodes that went completely
+    /// silent (counted-but-mute Byzantine nodes, or correct nodes that already
+    /// terminated) are, which is exactly what keeps the thresholds reachable without
+    /// letting a node manufacture quorums out of its own opinion.
+    heard_this_phase: BTreeSet<NodeId>,
+    decision: Option<Decision<V>>,
+    phase: u64,
+}
+
+impl<V: Opinion> Consensus<V> {
+    /// Creates a consensus node with the given input opinion.
+    pub fn new(id: NodeId, input: V) -> Self {
+        Consensus {
+            id,
+            opinion: input.clone(),
+            input,
+            senders: SenderTracker::new(),
+            rotor: RotorState::new(),
+            rotor_echo_buffer: BTreeMap::new(),
+            stashed_strong: VoteTally::new(),
+            phase_coordinator: None,
+            last_broadcast: Vec::new(),
+            heard_this_phase: BTreeSet::new(),
+            decision: None,
+            phase: 0,
+        }
+    }
+
+    /// The node's original input.
+    pub fn input(&self) -> &V {
+        &self.input
+    }
+
+    /// The node's current opinion `x_v`.
+    pub fn opinion(&self) -> &V {
+        &self.opinion
+    }
+
+    /// The frozen membership size `n_v` (0 before initialisation completes).
+    pub fn n_v(&self) -> usize {
+        self.senders.n_v()
+    }
+
+    /// The current phase number (1-based; 0 before the first phase starts).
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// The decision, if the node has decided.
+    pub fn decision(&self) -> Option<&Decision<V>> {
+        self.decision.as_ref()
+    }
+
+    /// Buffers rotor echoes and returns the (filtered) inbox restricted to members.
+    fn filtered<'a>(
+        &self,
+        inbox: &'a [Envelope<ConsensusMessage<V>>],
+    ) -> Vec<&'a Envelope<ConsensusMessage<V>>> {
+        inbox.iter().filter(|e| self.senders.contains(e.from)).collect()
+    }
+
+    fn buffer_rotor_echoes(&mut self, inbox: &[Envelope<ConsensusMessage<V>>]) {
+        for envelope in inbox {
+            if !self.senders.contains(envelope.from) {
+                continue;
+            }
+            if let ConsensusMessage::Echo(candidate) = &envelope.payload {
+                self.rotor_echo_buffer.entry(*candidate).or_default().insert(envelope.from);
+            }
+        }
+    }
+
+    /// Tallies the votes of one message kind in this round's inbox, applying the
+    /// missing-message substitution rule: every frozen member that has been silent
+    /// *for the entire current phase* is assumed to have sent whatever this node
+    /// broadcast in the previous round. Members that spoke at any point during the
+    /// phase are never substituted, even if they sent nothing this particular round.
+    fn tally_with_substitution<F>(
+        &self,
+        inbox: &[&Envelope<ConsensusMessage<V>>],
+        extract: F,
+    ) -> VoteTally<V>
+    where
+        F: Fn(&ConsensusMessage<V>) -> Option<&V>,
+    {
+        let mut tally = VoteTally::new();
+        for envelope in inbox {
+            if let Some(value) = extract(&envelope.payload) {
+                tally.insert(envelope.from, value.clone());
+            }
+        }
+        // Substitution: members silent for the whole phase are assumed to have sent
+        // what we sent in the previous round.
+        let substitutes: Vec<&V> =
+            self.last_broadcast.iter().filter_map(|m| extract(m)).collect();
+        if !substitutes.is_empty() {
+            for member in self.senders.members() {
+                if !self.heard_this_phase.contains(&member) {
+                    for value in &substitutes {
+                        tally.insert(member, (*value).clone());
+                    }
+                }
+            }
+        }
+        tally
+    }
+}
+
+impl<V: Opinion> Protocol for Consensus<V> {
+    type Payload = ConsensusMessage<V>;
+    type Output = Decision<V>;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn step(
+        &mut self,
+        ctx: &RoundContext,
+        inbox: &[Envelope<ConsensusMessage<V>>],
+    ) -> Vec<Outgoing<ConsensusMessage<V>>> {
+        if self.decision.is_some() {
+            return Vec::new();
+        }
+
+        // Membership: grows during initialisation (rounds 1–3), frozen afterwards.
+        self.senders.record_inbox(inbox);
+
+        let out: Vec<ConsensusMessage<V>> = match ctx.round {
+            // Round 1: rotor initialisation — announce presence / willingness.
+            1 => vec![ConsensusMessage::Init],
+            // Round 2: echo every init received (rotor line 4).
+            2 => inbox
+                .iter()
+                .filter(|e| e.payload == ConsensusMessage::Init)
+                .map(|e| ConsensusMessage::Echo(e.from))
+                .collect(),
+            _ => {
+                // Round 3 is the first loop round: n_v is initialised from everything
+                // seen during rounds 1–3 and frozen ("later, a node only accepts
+                // messages from a node if it counted towards n_v").
+                if ctx.round == 3 {
+                    self.senders.freeze();
+                }
+                // Rotor echoes can arrive in any round (they are broadcast during the
+                // initialisation echo round and during rotor rounds); buffer them for
+                // the next rotor round.
+                self.buffer_rotor_echoes(inbox);
+
+                let inbox = self.filtered(inbox);
+                let n_v = self.senders.n_v();
+                let step = PhaseStep::from_round(ctx.round).expect("round ≥ 3");
+                if step == PhaseStep::Input {
+                    // A new phase starts: forget who spoke in the previous one. The
+                    // inbox of the input round carries no phase traffic (the resolve
+                    // step broadcasts nothing), so recording starts from the next round.
+                    self.heard_this_phase.clear();
+                } else {
+                    self.heard_this_phase.extend(inbox.iter().map(|e| e.from));
+                }
+
+                match step {
+                    PhaseStep::Input => {
+                        self.phase += 1;
+                        self.phase_coordinator = None;
+                        self.stashed_strong = VoteTally::new();
+                        vec![ConsensusMessage::Input(self.opinion.clone())]
+                    }
+                    PhaseStep::Prefer => {
+                        let tally = self.tally_with_substitution(&inbox, |m| match m {
+                            ConsensusMessage::Input(v) => Some(v),
+                            _ => None,
+                        });
+                        let mut out = Vec::new();
+                        for (value, count) in tally.iter().map(|(v, s)| (v, s.len())) {
+                            if meets_two_thirds(count, n_v) {
+                                out.push(ConsensusMessage::Prefer(value.clone()));
+                            }
+                        }
+                        out
+                    }
+                    PhaseStep::StrongPrefer => {
+                        let tally = self.tally_with_substitution(&inbox, |m| match m {
+                            ConsensusMessage::Prefer(v) => Some(v),
+                            _ => None,
+                        });
+                        let mut out = Vec::new();
+                        // Line 8–10: adopt a value with n_v/3 support.
+                        if let Some((value, count)) = tally.plurality() {
+                            if meets_one_third(count, n_v) {
+                                self.opinion = value.clone();
+                            }
+                        }
+                        // Line 11–13: strong-prefer a value with 2n_v/3 support.
+                        for (value, count) in tally.iter().map(|(v, s)| (v, s.len())) {
+                            if meets_two_thirds(count, n_v) {
+                                out.push(ConsensusMessage::StrongPrefer(value.clone()));
+                            }
+                        }
+                        out
+                    }
+                    PhaseStep::Rotor => {
+                        // The strong-prefer messages physically arrive in this round;
+                        // their effect is applied in the resolve round (line 15–21).
+                        self.stashed_strong = self.tally_with_substitution(&inbox, |m| match m {
+                            ConsensusMessage::StrongPrefer(v) => Some(v),
+                            _ => None,
+                        });
+                        // Line 14: execute one rotor round with the buffered echoes.
+                        let echo_votes = std::mem::take(&mut self.rotor_echo_buffer);
+                        let rotor_out = self.rotor.loop_round(
+                            self.id,
+                            &self.opinion,
+                            n_v,
+                            &echo_votes,
+                            &BTreeMap::new(),
+                        );
+                        self.phase_coordinator = self.rotor.current_coordinator();
+                        rotor_out
+                            .into_iter()
+                            .map(|m| match m {
+                                RotorMessage::Init => ConsensusMessage::Init,
+                                RotorMessage::Echo(p) => ConsensusMessage::Echo(p),
+                                RotorMessage::Opinion(v) => ConsensusMessage::Opinion(v),
+                            })
+                            .collect()
+                    }
+                    PhaseStep::Resolve => {
+                        // The coordinator's opinion (broadcast in the rotor round)
+                        // arrives now.
+                        let coordinator_opinion = self.phase_coordinator.and_then(|p| {
+                            inbox.iter().find_map(|e| match (&e.payload, e.from) {
+                                (ConsensusMessage::Opinion(v), from) if from == p => {
+                                    Some(v.clone())
+                                }
+                                _ => None,
+                            })
+                        });
+                        let strongest = self
+                            .stashed_strong
+                            .plurality()
+                            .map(|(v, c)| (v.clone(), c));
+                        match strongest {
+                            // Line 19–21: decide on 2n_v/3 strong support.
+                            Some((value, count)) if meets_two_thirds(count, n_v) => {
+                                self.decision = Some(Decision {
+                                    value,
+                                    phase: self.phase,
+                                    round: ctx.round,
+                                });
+                            }
+                            // Line 15–18: too little strong support — follow the
+                            // coordinator.
+                            Some((_, count)) if !meets_one_third(count, n_v) => {
+                                if let Some(c) = coordinator_opinion {
+                                    self.opinion = c;
+                                }
+                            }
+                            None => {
+                                if let Some(c) = coordinator_opinion {
+                                    self.opinion = c;
+                                }
+                            }
+                            // n_v/3 ≤ support < 2n_v/3: keep the current opinion.
+                            Some(_) => {}
+                        }
+                        Vec::new()
+                    }
+                }
+            }
+        };
+
+        self.last_broadcast = out.clone();
+        out.into_iter().map(Outgoing::broadcast).collect()
+    }
+
+    fn output(&self) -> Option<Decision<V>> {
+        self.decision.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_simnet::adversary::SilentAdversary;
+    use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, SyncEngine};
+
+    type Msg = ConsensusMessage<u64>;
+
+    fn check_agreement_and_validity(
+        decisions: &[Decision<u64>],
+        inputs: &[u64],
+    ) {
+        assert!(!decisions.is_empty());
+        let value = decisions[0].value;
+        assert!(
+            decisions.iter().all(|d| d.value == value),
+            "agreement violated: {decisions:?}"
+        );
+        assert!(
+            inputs.contains(&value),
+            "validity violated: decided {value} not among correct inputs {inputs:?}"
+        );
+        if inputs.iter().all(|&i| i == inputs[0]) {
+            assert_eq!(value, inputs[0], "unanimous inputs must be decided");
+        }
+    }
+
+    fn run_consensus<A>(
+        inputs: &[u64],
+        byzantine: usize,
+        adversary: A,
+        seed: u64,
+    ) -> Vec<Decision<u64>>
+    where
+        A: uba_simnet::Adversary<Msg>,
+    {
+        let ids = IdSpace::default().generate(inputs.len() + byzantine, seed);
+        let byz: Vec<NodeId> = ids[inputs.len()..].to_vec();
+        let nodes: Vec<_> = ids[..inputs.len()]
+            .iter()
+            .zip(inputs)
+            .map(|(&id, &input)| Consensus::new(id, input))
+            .collect();
+        let mut engine = SyncEngine::new(nodes, adversary, byz);
+        engine
+            .run_until_all_terminated(60 * (inputs.len() + byzantine) as u64 + 100)
+            .expect("consensus terminates");
+        let decisions: Vec<Decision<u64>> =
+            engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        check_agreement_and_validity(&decisions, inputs);
+        decisions
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_in_one_phase() {
+        let decisions = run_consensus(&[7; 5], 0, SilentAdversary, 1);
+        assert!(decisions.iter().all(|d| d.value == 7));
+        assert!(decisions.iter().all(|d| d.phase == 1), "unanimity decides in the first phase");
+    }
+
+    #[test]
+    fn split_inputs_reach_agreement_without_faults() {
+        run_consensus(&[0, 1, 0, 1, 0, 1, 1], 0, SilentAdversary, 2);
+    }
+
+    #[test]
+    fn silent_byzantine_nodes_do_not_block_termination() {
+        // 7 correct, 2 byzantine that announce themselves in round 1 (so they are
+        // counted in n_v) and then stay silent forever. The substitution rule keeps
+        // the thresholds reachable.
+        let adversary = FnAdversary::new(move |view: &AdversaryView<'_, Msg>| {
+            if view.round == 1 {
+                let mut out = Vec::new();
+                for &from in view.byzantine_ids {
+                    for &to in view.correct_ids {
+                        out.push(Directed::new(from, to, ConsensusMessage::Init));
+                    }
+                }
+                out
+            } else {
+                Vec::new()
+            }
+        });
+        run_consensus(&[1, 0, 1, 0, 1, 1, 0], 2, adversary, 3);
+    }
+
+    #[test]
+    fn equivocating_byzantine_inputs_do_not_break_agreement() {
+        // Byzantine nodes participate in initialisation and then send input/prefer/
+        // strong-prefer messages with conflicting values to different nodes.
+        let adversary = FnAdversary::new(move |view: &AdversaryView<'_, Msg>| {
+            let mut out = Vec::new();
+            for (b, &from) in view.byzantine_ids.iter().enumerate() {
+                for (i, &to) in view.correct_ids.iter().enumerate() {
+                    let value = ((i + b) % 2) as u64;
+                    let payload = match view.round {
+                        1 => ConsensusMessage::Init,
+                        2 => ConsensusMessage::Echo(from),
+                        r if (r - 3) % 5 == 0 => ConsensusMessage::Input(value),
+                        r if (r - 3) % 5 == 1 => ConsensusMessage::Prefer(value),
+                        r if (r - 3) % 5 == 2 => ConsensusMessage::StrongPrefer(value),
+                        r if (r - 3) % 5 == 3 => ConsensusMessage::Opinion(value),
+                        _ => continue,
+                    };
+                    out.push(Directed::new(from, to, payload));
+                }
+            }
+            out
+        });
+        run_consensus(&[0, 1, 1, 0, 1, 0, 0, 1, 1], 2, adversary, 4);
+    }
+
+    #[test]
+    fn round_complexity_is_linear_in_f() {
+        // With f silent-after-announcement Byzantine nodes the number of phases is
+        // O(f): a correct coordinator is reached within f + 1 rotor selections.
+        for &(n_correct, f) in &[(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
+            let adversary = FnAdversary::new(move |view: &AdversaryView<'_, Msg>| {
+                if view.round == 1 {
+                    let mut out = Vec::new();
+                    for &from in view.byzantine_ids {
+                        for &to in view.correct_ids {
+                            out.push(Directed::new(from, to, ConsensusMessage::Init));
+                        }
+                    }
+                    out
+                } else {
+                    Vec::new()
+                }
+            });
+            let inputs: Vec<u64> = (0..n_correct).map(|i| (i % 2) as u64).collect();
+            let decisions = run_consensus(&inputs, f, adversary, 50 + f as u64);
+            let max_round = decisions.iter().map(|d| d.round).max().unwrap();
+            assert!(
+                max_round <= 3 + 5 * (f as u64 + 3),
+                "consensus with f = {f} should finish within O(f) phases, took round {max_round}"
+            );
+        }
+    }
+
+    #[test]
+    fn opinion_accessors_reflect_state() {
+        let node = Consensus::new(NodeId::new(9), 42u64);
+        assert_eq!(*node.input(), 42);
+        assert_eq!(*node.opinion(), 42);
+        assert_eq!(node.phase(), 0);
+        assert_eq!(node.n_v(), 0);
+        assert!(node.decision().is_none());
+    }
+
+    #[test]
+    fn phase_step_schedule_is_five_rounds() {
+        assert_eq!(PhaseStep::from_round(1), None);
+        assert_eq!(PhaseStep::from_round(2), None);
+        assert_eq!(PhaseStep::from_round(3), Some(PhaseStep::Input));
+        assert_eq!(PhaseStep::from_round(4), Some(PhaseStep::Prefer));
+        assert_eq!(PhaseStep::from_round(5), Some(PhaseStep::StrongPrefer));
+        assert_eq!(PhaseStep::from_round(6), Some(PhaseStep::Rotor));
+        assert_eq!(PhaseStep::from_round(7), Some(PhaseStep::Resolve));
+        assert_eq!(PhaseStep::from_round(8), Some(PhaseStep::Input));
+    }
+}

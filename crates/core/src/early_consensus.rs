@@ -1,0 +1,487 @@
+//! Per-instance state of the parallel consensus algorithm
+//! (`EarlyConsensus(id)`, Algorithm 5, Section X).
+//!
+//! Parallel consensus lets every correct node submit a *set* of `(identifier, opinion)`
+//! pairs and agree on an output pair for every identifier submitted by a correct node
+//! — even though nodes do not initially agree on which identifiers exist. Each
+//! identifier is handled by one `EarlyConsensus` instance, which is Algorithm 3
+//! extended with three mechanisms:
+//!
+//! * a node that has no input pair for the identifier participates with the opinion
+//!   `⊥` (represented as `None` here), and `⊥` outputs are suppressed;
+//! * explicit `nopreference` / `nostrongpreference` messages distinguish "I am alive
+//!   but have nothing to say" from "I am silent", so the missing-message substitution
+//!   of Algorithm 3 can be applied per *message type*;
+//! * messages of a type first heard in the second phase or later are discarded, which
+//!   is what guarantees that identifiers never submitted by any correct node die out
+//!   with `⊥` and produce no output.
+//!
+//! The instances share the initialisation (membership freeze) and the
+//! rotor-coordinator; that shared machinery lives in
+//! [`ParallelConsensus`](crate::parallel_consensus::ParallelConsensus), which drives
+//! the per-instance [`EarlyConsensus`] state machines defined here.
+
+use std::collections::BTreeSet;
+
+use uba_simnet::NodeId;
+
+use crate::membership::SenderTracker;
+use crate::quorum::{meets_one_third, meets_two_thirds};
+use crate::value::Opinion;
+use crate::vote::VoteTally;
+
+/// Identifier of a parallel-consensus instance (the paper's `id` in `(id, x)` pairs).
+pub type InstanceId = u64;
+
+/// Wire messages of parallel consensus. `None` opinions encode the paper's `⊥`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ParallelMessage<V> {
+    /// Rotor initialisation (round 1).
+    Init,
+    /// Rotor candidate echo.
+    Echo(NodeId),
+    /// `id:input(x)` — only ever carries a real opinion, never `⊥`.
+    Input(InstanceId, V),
+    /// `id:prefer(x)`; `None` is `prefer(⊥)`.
+    Prefer(InstanceId, Option<V>),
+    /// `id:nopreference`.
+    NoPreference(InstanceId),
+    /// `id:strongprefer(x)`; `None` is `strongprefer(⊥)`.
+    StrongPrefer(InstanceId, Option<V>),
+    /// `id:nostrongpreference`.
+    NoStrongPreference(InstanceId),
+    /// The coordinator's opinion for one instance.
+    Opinion(InstanceId, Option<V>),
+}
+
+impl<V> ParallelMessage<V> {
+    /// The instance this message belongs to, if it is instance-scoped.
+    pub fn instance(&self) -> Option<InstanceId> {
+        match self {
+            ParallelMessage::Init | ParallelMessage::Echo(_) => None,
+            ParallelMessage::Input(id, _)
+            | ParallelMessage::Prefer(id, _)
+            | ParallelMessage::NoPreference(id)
+            | ParallelMessage::StrongPrefer(id, _)
+            | ParallelMessage::NoStrongPreference(id)
+            | ParallelMessage::Opinion(id, _) => Some(*id),
+        }
+    }
+}
+
+/// The three counted message kinds of Algorithm 5 (the set `M` in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Input,
+    Prefer,
+    StrongPrefer,
+}
+
+/// A vote for an instance: the sender either proposed an opinion (possibly `⊥`) or
+/// explicitly declared it has nothing to propose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceVote<V> {
+    /// `m(x)` or `m(⊥)`.
+    Value(Option<V>),
+    /// `nopreference` / `nostrongpreference` — counts as "heard from" but carries no vote.
+    Abstain,
+}
+
+/// The state of one `EarlyConsensus(id)` instance at one node.
+#[derive(Clone, Debug)]
+pub struct EarlyConsensus<V: Opinion> {
+    instance: InstanceId,
+    /// The node's current opinion for this instance (`None` = `⊥`).
+    opinion: Option<V>,
+    /// The phase (1-based) in which this node started the instance.
+    started_phase: u64,
+    /// Whether a message of each kind has been received during the first phase.
+    seen_in_phase1: [bool; 3],
+    /// The most recent message of each kind this node sent (`None` = never sent),
+    /// used by the substitution rule.
+    last_sent: [Option<InstanceVote<V>>; 3],
+    /// Strong-prefer tally stashed in the rotor round, resolved one round later.
+    stashed_strong: VoteTally<Option<V>>,
+    /// The decision (`Some(None)` means "decided ⊥" — terminated with no output pair).
+    decided: Option<Option<V>>,
+    /// Phase in which the decision happened.
+    decided_phase: Option<u64>,
+}
+
+impl<V: Opinion> EarlyConsensus<V> {
+    /// Creates an instance for a pair this node has as input.
+    pub fn with_input(instance: InstanceId, opinion: V, phase: u64) -> Self {
+        Self::new_inner(instance, Some(opinion), phase)
+    }
+
+    /// Creates an instance this node first learned about from the network; it
+    /// participates with opinion `⊥`.
+    pub fn without_input(instance: InstanceId, phase: u64) -> Self {
+        Self::new_inner(instance, None, phase)
+    }
+
+    fn new_inner(instance: InstanceId, opinion: Option<V>, phase: u64) -> Self {
+        EarlyConsensus {
+            instance,
+            opinion,
+            started_phase: phase.max(1),
+            seen_in_phase1: [false; 3],
+            last_sent: [None, None, None],
+            stashed_strong: VoteTally::new(),
+            decided: None,
+            decided_phase: None,
+        }
+    }
+
+    /// The instance identifier.
+    pub fn instance(&self) -> InstanceId {
+        self.instance
+    }
+
+    /// The node's current opinion for this instance.
+    pub fn opinion(&self) -> &Option<V> {
+        &self.opinion
+    }
+
+    /// The phase in which the instance was started at this node.
+    pub fn started_phase(&self) -> u64 {
+        self.started_phase
+    }
+
+    /// The decision: `None` = undecided, `Some(None)` = decided `⊥` (no output pair),
+    /// `Some(Some(x))` = decided `x`.
+    pub fn decision(&self) -> Option<&Option<V>> {
+        self.decided.as_ref()
+    }
+
+    /// The phase in which the node decided, if it has.
+    pub fn decided_phase(&self) -> Option<u64> {
+        self.decided_phase
+    }
+
+    /// Whether the instance has decided.
+    pub fn is_decided(&self) -> bool {
+        self.decided.is_some()
+    }
+
+    /// Tallies this round's votes of one kind, applying Algorithm 5's reception rules:
+    ///
+    /// * a kind first heard in phase ≥ 2 is discarded entirely;
+    /// * a kind first heard in phase 1 fills `⊥` for every member that sent nothing of
+    ///   that kind;
+    /// * afterwards, a silent member is substituted with whatever this node itself
+    ///   sent most recently for that kind (possibly an abstention, which adds nothing).
+    fn tally(
+        &mut self,
+        kind: Kind,
+        votes: &[(NodeId, InstanceVote<V>)],
+        members: &SenderTracker,
+        phase: u64,
+    ) -> VoteTally<Option<V>> {
+        let idx = kind as usize;
+        let mut tally = VoteTally::new();
+        let mut heard: BTreeSet<NodeId> = BTreeSet::new();
+
+        let first_contact = !self.seen_in_phase1[idx];
+        if first_contact && !votes.is_empty() {
+            if phase == 1 {
+                self.seen_in_phase1[idx] = true;
+            } else {
+                // First heard in the second phase or later: discard.
+                return tally;
+            }
+        }
+
+        for (from, vote) in votes {
+            heard.insert(*from);
+            if let InstanceVote::Value(v) = vote {
+                tally.insert(*from, v.clone());
+            }
+        }
+
+        // A node is "aware" of this kind once it has received it in phase 1 or has
+        // itself sent it; only aware nodes substitute for the silent.
+        let aware = self.seen_in_phase1[idx] || self.last_sent[idx].is_some();
+        if !aware {
+            return tally;
+        }
+
+        // Substitution for silent members.
+        let substitute: Option<InstanceVote<V>> = if phase == 1 && self.last_sent[idx].is_none() {
+            // First phase, first contact with this kind: fill ⊥ for the silent.
+            Some(InstanceVote::Value(None))
+        } else {
+            self.last_sent[idx].clone()
+        };
+        if let Some(InstanceVote::Value(value)) = substitute {
+            for member in members.members() {
+                if !heard.contains(&member) {
+                    tally.insert(member, value.clone());
+                }
+            }
+        }
+        tally
+    }
+
+    fn record_sent(&mut self, kind: Kind, vote: InstanceVote<V>) {
+        self.last_sent[kind as usize] = Some(vote);
+    }
+
+    /// Phase step 1: the node broadcasts its input opinion if it has one (lines 4–6).
+    pub fn step_input(&mut self) -> Option<ParallelMessage<V>> {
+        if self.decided.is_some() {
+            return None;
+        }
+        match self.opinion.clone() {
+            Some(value) => {
+                self.record_sent(Kind::Input, InstanceVote::Value(Some(value.clone())));
+                Some(ParallelMessage::Input(self.instance, value))
+            }
+            None => None,
+        }
+    }
+
+    /// Phase step 2: evaluate the received `input` votes, answer with `prefer` or
+    /// `nopreference` (lines 7–11).
+    pub fn step_prefer(
+        &mut self,
+        votes: &[(NodeId, InstanceVote<V>)],
+        members: &SenderTracker,
+        n_v: usize,
+        phase: u64,
+    ) -> ParallelMessage<V> {
+        let tally = self.tally(Kind::Input, votes, members, phase);
+        let preferred = tally
+            .iter()
+            .map(|(v, s)| (v.clone(), s.len()))
+            .find(|(_, count)| meets_two_thirds(*count, n_v));
+        match preferred {
+            Some((value, _)) => {
+                self.record_sent(Kind::Prefer, InstanceVote::Value(value.clone()));
+                ParallelMessage::Prefer(self.instance, value)
+            }
+            None => {
+                self.record_sent(Kind::Prefer, InstanceVote::Abstain);
+                ParallelMessage::NoPreference(self.instance)
+            }
+        }
+    }
+
+    /// Phase step 3: evaluate the received `prefer` votes, adopt a value with `n_v/3`
+    /// support, answer with `strongprefer` or `nostrongpreference` (lines 12–19).
+    pub fn step_strong(
+        &mut self,
+        votes: &[(NodeId, InstanceVote<V>)],
+        members: &SenderTracker,
+        n_v: usize,
+        phase: u64,
+    ) -> ParallelMessage<V> {
+        let tally = self.tally(Kind::Prefer, votes, members, phase);
+        if let Some((value, count)) = tally.plurality() {
+            if meets_one_third(count, n_v) {
+                self.opinion = value.clone();
+            }
+        }
+        let strong = tally
+            .iter()
+            .map(|(v, s)| (v.clone(), s.len()))
+            .find(|(_, count)| meets_two_thirds(*count, n_v));
+        match strong {
+            Some((value, _)) => {
+                self.record_sent(Kind::StrongPrefer, InstanceVote::Value(value.clone()));
+                ParallelMessage::StrongPrefer(self.instance, value)
+            }
+            None => {
+                self.record_sent(Kind::StrongPrefer, InstanceVote::Abstain);
+                ParallelMessage::NoStrongPreference(self.instance)
+            }
+        }
+    }
+
+    /// Phase step 4 (rotor round): the `strongprefer` votes physically arrive now and
+    /// are stashed for the resolve step.
+    pub fn step_rotor_stash(
+        &mut self,
+        votes: &[(NodeId, InstanceVote<V>)],
+        members: &SenderTracker,
+        phase: u64,
+    ) {
+        self.stashed_strong = self.tally(Kind::StrongPrefer, votes, members, phase);
+    }
+
+    /// Phase step 5: apply the strong-prefer rule, possibly adopting the coordinator's
+    /// opinion or deciding (lines 20–27).
+    pub fn step_resolve(
+        &mut self,
+        coordinator_opinion: Option<Option<V>>,
+        n_v: usize,
+        phase: u64,
+    ) {
+        if self.decided.is_some() {
+            return;
+        }
+        let strongest = self.stashed_strong.plurality().map(|(v, c)| (v.clone(), c));
+        match strongest {
+            Some((value, count)) if meets_two_thirds(count, n_v) => {
+                self.decided = Some(value);
+                self.decided_phase = Some(phase);
+            }
+            Some((_, count)) if !meets_one_third(count, n_v) => {
+                if let Some(c) = coordinator_opinion {
+                    self.opinion = c;
+                }
+            }
+            None => {
+                if let Some(c) = coordinator_opinion {
+                    self.opinion = c;
+                }
+            }
+            Some(_) => {}
+        }
+        self.stashed_strong = VoteTally::new();
+    }
+
+    /// The output pair, if the instance decided a non-`⊥` value (line 26).
+    pub fn output_pair(&self) -> Option<(InstanceId, V)> {
+        match &self.decided {
+            Some(Some(value)) => Some((self.instance, value.clone())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(ids: &[u64]) -> SenderTracker {
+        let mut tracker = SenderTracker::new();
+        for &id in ids {
+            tracker.record(NodeId::new(id));
+        }
+        tracker.freeze();
+        tracker
+    }
+
+    fn value_votes(pairs: &[(u64, Option<u32>)]) -> Vec<(NodeId, InstanceVote<u32>)> {
+        pairs.iter().map(|&(id, v)| (NodeId::new(id), InstanceVote::Value(v))).collect()
+    }
+
+    #[test]
+    fn unanimous_instance_decides_its_value_in_one_phase() {
+        let m = members(&[1, 2, 3, 4]);
+        let mut inst = EarlyConsensus::with_input(7, 9u32, 1);
+        assert_eq!(inst.step_input(), Some(ParallelMessage::Input(7, 9)));
+        // Everyone sent input(9).
+        let prefer = inst.step_prefer(
+            &value_votes(&[(1, Some(9)), (2, Some(9)), (3, Some(9)), (4, Some(9))]),
+            &m,
+            4,
+            1,
+        );
+        assert_eq!(prefer, ParallelMessage::Prefer(7, Some(9)));
+        let strong = inst.step_strong(
+            &value_votes(&[(1, Some(9)), (2, Some(9)), (3, Some(9)), (4, Some(9))]),
+            &m,
+            4,
+            1,
+        );
+        assert_eq!(strong, ParallelMessage::StrongPrefer(7, Some(9)));
+        inst.step_rotor_stash(
+            &value_votes(&[(1, Some(9)), (2, Some(9)), (3, Some(9)), (4, Some(9))]),
+            &m,
+            1,
+        );
+        inst.step_resolve(None, 4, 1);
+        assert_eq!(inst.decision(), Some(&Some(9)));
+        assert_eq!(inst.output_pair(), Some((7, 9)));
+        assert_eq!(inst.decided_phase(), Some(1));
+        assert!(inst.is_decided());
+        assert_eq!(inst.instance(), 7);
+        assert_eq!(inst.started_phase(), 1);
+    }
+
+    #[test]
+    fn unknown_instance_converges_to_bottom_and_produces_no_output() {
+        // The node learned about the instance from a single (Byzantine) input message;
+        // no correct node has the pair, so the ⊥ fills dominate and the instance dies.
+        let m = members(&[1, 2, 3, 4, 5]);
+        let mut inst: EarlyConsensus<u32> = EarlyConsensus::without_input(3, 1);
+        assert_eq!(inst.step_input(), None);
+        // Only the Byzantine node 5 sent input(42); members 1–4 are filled with ⊥.
+        let prefer = inst.step_prefer(&value_votes(&[(5, Some(42))]), &m, 5, 1);
+        assert_eq!(prefer, ParallelMessage::Prefer(3, None), "⊥ reaches the 2n_v/3 quorum");
+        // Everyone correct ends up preferring ⊥.
+        let strong = inst.step_strong(
+            &value_votes(&[(1, None), (2, None), (3, None), (4, None)]),
+            &m,
+            5,
+            1,
+        );
+        assert_eq!(strong, ParallelMessage::StrongPrefer(3, None));
+        inst.step_rotor_stash(
+            &value_votes(&[(1, None), (2, None), (3, None), (4, None)]),
+            &m,
+            1,
+        );
+        inst.step_resolve(None, 5, 1);
+        assert_eq!(inst.decision(), Some(&None));
+        assert_eq!(inst.output_pair(), None, "⊥ decisions produce no output pair");
+    }
+
+    #[test]
+    fn messages_first_heard_in_second_phase_are_discarded() {
+        let m = members(&[1, 2, 3, 4]);
+        let mut inst: EarlyConsensus<u32> = EarlyConsensus::without_input(9, 2);
+        // Strong-prefer votes arrive, but this is phase 2 and the kind was never seen
+        // in phase 1 → discarded, no decision.
+        inst.step_rotor_stash(
+            &value_votes(&[(1, Some(5)), (2, Some(5)), (3, Some(5)), (4, Some(5))]),
+            &m,
+            2,
+        );
+        inst.step_resolve(None, 4, 2);
+        assert!(inst.decision().is_none());
+    }
+
+    #[test]
+    fn abstentions_suppress_substitution_for_their_sender() {
+        let m = members(&[1, 2, 3, 4, 5, 6]);
+        let mut inst = EarlyConsensus::with_input(1, 7u32, 1);
+        inst.step_input();
+        // Nodes 1–3 vote 7, nodes 4–5 abstain explicitly, node 6 is silent.
+        // n_v = 6 → two thirds needs 4. Votes: 3 real + 1 substitution (node 6 silent,
+        // we sent input(7)) = 4 → prefer(7).
+        let mut votes = value_votes(&[(1, Some(7)), (2, Some(7)), (3, Some(7))]);
+        votes.push((NodeId::new(4), InstanceVote::Abstain));
+        votes.push((NodeId::new(5), InstanceVote::Abstain));
+        let prefer = inst.step_prefer(&votes, &m, 6, 1);
+        assert_eq!(prefer, ParallelMessage::Prefer(1, Some(7)));
+    }
+
+    #[test]
+    fn coordinator_opinion_is_adopted_when_strong_support_is_low() {
+        let m = members(&[1, 2, 3, 4, 5, 6]);
+        let mut inst = EarlyConsensus::with_input(2, 1u32, 1);
+        inst.step_input();
+        inst.step_prefer(&value_votes(&[(1, Some(1)), (2, Some(0))]), &m, 6, 1);
+        inst.step_strong(&value_votes(&[(1, Some(1))]), &m, 6, 1);
+        // Almost everyone explicitly reports "no strong preference", so fewer than
+        // n_v/3 strong-prefer votes exist → adopt the coordinator's opinion.
+        let abstentions: Vec<(NodeId, InstanceVote<u32>)> =
+            (2..=6).map(|id| (NodeId::new(id), InstanceVote::Abstain)).collect();
+        inst.step_rotor_stash(&abstentions, &m, 1);
+        inst.step_resolve(Some(Some(5)), 6, 1);
+        assert_eq!(inst.opinion(), &Some(5));
+        assert!(inst.decision().is_none());
+    }
+
+    #[test]
+    fn message_instance_extraction() {
+        assert_eq!(ParallelMessage::<u32>::Init.instance(), None);
+        assert_eq!(ParallelMessage::<u32>::Echo(NodeId::new(1)).instance(), None);
+        assert_eq!(ParallelMessage::Input(4, 1u32).instance(), Some(4));
+        assert_eq!(ParallelMessage::<u32>::NoPreference(6).instance(), Some(6));
+        assert_eq!(ParallelMessage::<u32>::Opinion(8, None).instance(), Some(8));
+    }
+}

@@ -1,0 +1,171 @@
+//! The impossibility constructions of Section IX: synchrony is necessary.
+//!
+//! Lemmas 14 and 15 show that when nodes know neither `n` nor `f`, consensus is
+//! impossible — even with probabilistic termination, even with **zero** failures — in
+//! asynchronous and semi-synchronous systems. Both proofs construct a partitioned
+//! execution: nodes are split into `A` (all input 1) and `B` (all input 0), messages
+//! inside a partition flow normally, and messages across the partition are delayed
+//! past the point where each side — having no way to know that anyone else exists —
+//! has already decided on its own unanimous input.
+//!
+//! This module reproduces those executions *with the actual consensus algorithm of
+//! this crate* (Algorithm 3) running on the delay engine of `uba-simnet`: under the
+//! synchronous delay model the algorithm reaches agreement, under the partitioned
+//! (semi-synchronous or asynchronous) models the two sides decide opposite values.
+//! Experiment E7 sweeps partition sizes and delay models over these constructions.
+
+use uba_simnet::{DelayEngine, DelayModel, IdSpace, NodeId, PartitionSpec, SimError};
+
+use crate::consensus::Consensus;
+
+/// The timing model under which the partition experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingModel {
+    /// Every message is delivered in the next round — the control arm, where the
+    /// synchronous algorithm is guaranteed to agree.
+    Synchronous,
+    /// Cross-partition messages take `cross_delay` ticks (Lemma 15: the bound exists
+    /// but is unknown to the nodes, so they decide before it elapses).
+    SemiSynchronous {
+        /// Delay, in ticks, of every message crossing the partition.
+        cross_delay: u64,
+    },
+    /// Cross-partition messages are never delivered (Lemma 14).
+    Asynchronous,
+}
+
+/// The outcome of one partition experiment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionOutcome {
+    /// Every node's decision (binary, as in the lemmas).
+    pub decisions: Vec<(NodeId, u64)>,
+    /// Whether all nodes decided the same value.
+    pub agreement: bool,
+    /// Ticks executed until every node decided.
+    pub ticks: u64,
+    /// Cross-partition messages still undelivered when the last node decided — these
+    /// are the "too late" messages of the construction.
+    pub undelivered: usize,
+}
+
+/// Runs the Lemma 14 / 15 construction: `size_a` nodes with input 1 and `size_b`
+/// nodes with input 0, under the given timing model.
+///
+/// All nodes are correct; the only adversarial power used is message timing, which is
+/// exactly what makes the result an impossibility argument rather than a resiliency
+/// bound.
+pub fn run_partition_experiment(
+    size_a: usize,
+    size_b: usize,
+    model: TimingModel,
+    seed: u64,
+) -> Result<PartitionOutcome, SimError> {
+    assert!(size_a > 0 && size_b > 0, "both partitions must be non-empty");
+    let ids = IdSpace::default().generate(size_a + size_b, seed);
+    let (a_ids, b_ids) = ids.split_at(size_a);
+
+    let nodes: Vec<Consensus<u64>> = a_ids
+        .iter()
+        .map(|&id| Consensus::new(id, 1u64))
+        .chain(b_ids.iter().map(|&id| Consensus::new(id, 0u64)))
+        .collect();
+
+    let delay_model = match model {
+        TimingModel::Synchronous => DelayModel::Synchronous,
+        TimingModel::SemiSynchronous { cross_delay } => DelayModel::Partitioned {
+            spec: PartitionSpec::new()
+                .with_group(0, a_ids.iter().copied())
+                .with_group(1, b_ids.iter().copied()),
+            cross_delay: Some(cross_delay),
+        },
+        TimingModel::Asynchronous => DelayModel::Partitioned {
+            spec: PartitionSpec::new()
+                .with_group(0, a_ids.iter().copied())
+                .with_group(1, b_ids.iter().copied()),
+            cross_delay: None,
+        },
+    };
+
+    let mut engine = DelayEngine::new(nodes, delay_model);
+    let ticks = engine.run_until_all_terminated(2_000)?;
+    let decisions: Vec<(NodeId, u64)> = engine
+        .outputs()
+        .into_iter()
+        .map(|(id, decision)| (id, decision.expect("all nodes decided").value))
+        .collect();
+    let first = decisions[0].1;
+    let agreement = decisions.iter().all(|&(_, value)| value == first);
+    Ok(PartitionOutcome { decisions, agreement, ticks, undelivered: engine.in_flight() })
+}
+
+/// Runs `trials` independent partition experiments (different identifier seeds) and
+/// returns the fraction that ended in disagreement. Used by experiment E7 to report a
+/// disagreement *probability* per timing model, as the lemmas are phrased.
+pub fn disagreement_rate(
+    size_a: usize,
+    size_b: usize,
+    model: TimingModel,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let mut disagreements = 0u64;
+    for trial in 0..trials {
+        let outcome = run_partition_experiment(size_a, size_b, model, seed ^ (trial + 1))
+            .expect("partition experiment completes");
+        if !outcome.agreement {
+            disagreements += 1;
+        }
+    }
+    disagreements as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_control_always_agrees() {
+        for seed in 0..3 {
+            let outcome =
+                run_partition_experiment(3, 3, TimingModel::Synchronous, seed).unwrap();
+            assert!(outcome.agreement, "synchronous execution must agree: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn asynchronous_partition_disagrees() {
+        let outcome = run_partition_experiment(3, 4, TimingModel::Asynchronous, 7).unwrap();
+        assert!(!outcome.agreement, "Lemma 14: the partitions decide their own inputs");
+        // Partition A (input 1) decided 1, partition B decided 0.
+        let ones = outcome.decisions.iter().filter(|&&(_, v)| v == 1).count();
+        assert_eq!(ones, 3);
+    }
+
+    #[test]
+    fn semi_synchronous_partition_disagrees_despite_bounded_delay() {
+        let outcome = run_partition_experiment(
+            4,
+            4,
+            TimingModel::SemiSynchronous { cross_delay: 500 },
+            11,
+        )
+        .unwrap();
+        assert!(!outcome.agreement, "Lemma 15: a finite but unknown delay is enough");
+        assert!(
+            outcome.undelivered > 0,
+            "the cross-partition messages exist but arrive after the decisions"
+        );
+    }
+
+    #[test]
+    fn disagreement_rate_is_zero_iff_synchronous() {
+        assert_eq!(disagreement_rate(2, 2, TimingModel::Synchronous, 3, 1), 0.0);
+        assert_eq!(disagreement_rate(2, 2, TimingModel::Asynchronous, 3, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_partitions_are_rejected() {
+        let _ = run_partition_experiment(0, 3, TimingModel::Synchronous, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! # uba-core
+//!
+//! Byzantine agreement **without knowing the number of participants or failures** —
+//! a faithful implementation of the algorithms in Khanchandani & Wattenhofer,
+//! *"Byzantine Agreement with Unknown Participants and Failures"* (IPDPS 2021).
+//!
+//! ## The id-only model
+//!
+//! The system has `n` nodes, at most `f` of them Byzantine, and **no node knows `n`
+//! or `f`**. Nodes have unique but non-consecutive identifiers, the system is
+//! synchronous, and the sender identifier is attached to every message. The paper
+//! shows that all the fundamental agreement primitives can still be solved with the
+//! optimal resiliency `n > 3f`, by replacing the unknown `f` with local `n_v/3`
+//! thresholds, where `n_v` is the number of distinct nodes this node has heard from.
+//!
+//! ## What this crate provides
+//!
+//! | Paper | Module | Primitive |
+//! |---|---|---|
+//! | Algorithm 1 (§V) | [`reliable_broadcast`] | Reliable broadcast |
+//! | Algorithm 2 (§VI) | [`rotor`] | Rotor-coordinator (leader rotation) |
+//! | Algorithm 3 (§VII) | [`consensus`] | Consensus in `O(f)` rounds |
+//! | Algorithm 4 (§VIII) | [`approx`] | Approximate agreement |
+//! | §XI, §XII | [`dynamic_approx`] | Approximate agreement under churn, subset join |
+//! | Algorithm 5 (§X) | [`early_consensus`], [`parallel_consensus`] | Parallel consensus |
+//! | Algorithm 6 (§XI) | [`total_order`] | Total ordering in dynamic networks |
+//! | Lemmas 14–15 (§IX) | [`impossibility`] | Impossibility constructions |
+//!
+//! Supporting modules: [`quorum`] (exact threshold arithmetic), [`membership`]
+//! (`n_v` tracking), [`vote`] (distinct-sender tallies), [`value`] (opinion types),
+//! [`adversaries`] (scripted Byzantine strategies from the proofs), [`attackers`]
+//! (adaptive, rushing attack strategies) and [`runner`] (one-call experiment drivers
+//! used by the examples and benchmarks).
+//!
+//! All protocols implement [`uba_simnet::Protocol`] and run on the deterministic
+//! synchronous engine from the `uba-simnet` crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use uba_core::consensus::Consensus;
+//! use uba_simnet::{IdSpace, SyncEngine, adversary::SilentAdversary};
+//!
+//! // Seven nodes with sparse, non-consecutive identifiers and split opinions.
+//! let ids = IdSpace::default().generate(7, 42);
+//! let nodes: Vec<_> = ids
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, &id)| Consensus::new(id, (i % 2) as u64))
+//!     .collect();
+//!
+//! let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+//! engine.run_until_all_terminated(200).unwrap();
+//!
+//! let decisions: Vec<u64> = engine
+//!     .outputs()
+//!     .into_iter()
+//!     .map(|(_, decision)| decision.unwrap().value)
+//!     .collect();
+//! assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversaries;
+pub mod approx;
+pub mod attackers;
+pub mod consensus;
+pub mod dynamic_approx;
+pub mod early_consensus;
+pub mod impossibility;
+pub mod membership;
+pub mod parallel_consensus;
+pub mod quorum;
+pub mod reliable_broadcast;
+pub mod rotor;
+pub mod runner;
+pub mod total_order;
+pub mod value;
+pub mod vote;
+
+pub use approx::{ApproxAgreement, IteratedApproxAgreement};
+pub use dynamic_approx::{
+    run_dynamic_approx, subset_join_value, ChurnPlan, DynamicApproxNode, DynamicApproxReport,
+};
+pub use consensus::{Consensus, ConsensusMessage, Decision};
+pub use early_consensus::{EarlyConsensus, InstanceId, ParallelMessage};
+pub use parallel_consensus::{ParallelConsensus, ParallelDecision};
+pub use reliable_broadcast::{Accepted, RbMessage, ReliableBroadcast};
+pub use rotor::{RotorCoordinator, RotorMessage, RotorOutcome, RotorState};
+pub use total_order::{OrderedEvent, TotalOrderMessage, TotalOrderNode};
+pub use value::{Opinion, Real};

@@ -1,0 +1,456 @@
+//! Parallel consensus (Section X): agreeing on every pair submitted by a correct node.
+//!
+//! [`ParallelConsensus`] is the [`Protocol`] that multiplexes any number of
+//! [`EarlyConsensus`] instances — one per submitted pair identifier — over a single
+//! sequence of rounds. All instances share the two initialisation rounds (membership
+//! freeze) and the rotor-coordinator; a node starts an instance either because it has
+//! the pair as input, or lazily when it first hears `id:input`, `id:prefer` or
+//! `id:strongprefer` during the first phase (later sightings are discarded, per
+//! Algorithm 5's reception rules).
+//!
+//! Guarantees (Theorem 5), checked by the tests below and experiment E8:
+//!
+//! * **Validity** — a pair input at *every* correct node is output by every correct node;
+//! * **Agreement** — if any correct node outputs `(id, x)`, every correct node does;
+//! * **Termination** — every correct node outputs a (possibly empty) set of pairs in a
+//!   finite number of rounds.
+//!
+//! A pair submitted by only *some* correct nodes may or may not be output — but it is
+//! output consistently.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
+
+use crate::early_consensus::{EarlyConsensus, InstanceId, InstanceVote, ParallelMessage};
+use crate::membership::SenderTracker;
+use crate::rotor::{RotorMessage, RotorState};
+use crate::value::Opinion;
+
+/// The output of a parallel consensus node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParallelDecision<V> {
+    /// The agreed `(identifier, opinion)` pairs (⊥ decisions are omitted).
+    pub pairs: BTreeMap<InstanceId, V>,
+    /// The phase in which the node terminated.
+    pub phase: u64,
+    /// The network round in which the node terminated.
+    pub round: u64,
+}
+
+/// Where a node is inside the five-round phase structure (same schedule as
+/// [`crate::consensus::Consensus`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PhaseStep {
+    Input,
+    Prefer,
+    StrongPrefer,
+    Rotor,
+    Resolve,
+}
+
+impl PhaseStep {
+    fn from_round(round: u64) -> Option<PhaseStep> {
+        if round < 3 {
+            return None;
+        }
+        Some(match (round - 3) % 5 {
+            0 => PhaseStep::Input,
+            1 => PhaseStep::Prefer,
+            2 => PhaseStep::StrongPrefer,
+            3 => PhaseStep::Rotor,
+            _ => PhaseStep::Resolve,
+        })
+    }
+}
+
+/// A node running the parallel consensus algorithm.
+#[derive(Clone, Debug)]
+pub struct ParallelConsensus<V: Opinion> {
+    id: NodeId,
+    /// Input pairs handed to the node at construction.
+    inputs: BTreeMap<InstanceId, V>,
+    senders: SenderTracker,
+    rotor: RotorState<u8>,
+    rotor_echo_buffer: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    instances: BTreeMap<InstanceId, EarlyConsensus<V>>,
+    phase: u64,
+    phase_coordinator: Option<NodeId>,
+    decision: Option<ParallelDecision<V>>,
+}
+
+impl<V: Opinion> ParallelConsensus<V> {
+    /// Creates a node with a set of `(identifier, opinion)` input pairs.
+    pub fn new(id: NodeId, inputs: impl IntoIterator<Item = (InstanceId, V)>) -> Self {
+        ParallelConsensus {
+            id,
+            inputs: inputs.into_iter().collect(),
+            senders: SenderTracker::new(),
+            rotor: RotorState::new(),
+            rotor_echo_buffer: BTreeMap::new(),
+            instances: BTreeMap::new(),
+            phase: 0,
+            phase_coordinator: None,
+            decision: None,
+        }
+    }
+
+    /// The node's input pairs.
+    pub fn inputs(&self) -> &BTreeMap<InstanceId, V> {
+        &self.inputs
+    }
+
+    /// The frozen membership size `n_v`.
+    pub fn n_v(&self) -> usize {
+        self.senders.n_v()
+    }
+
+    /// The instances this node is currently running, keyed by identifier.
+    pub fn instances(&self) -> &BTreeMap<InstanceId, EarlyConsensus<V>> {
+        &self.instances
+    }
+
+    /// The decision, if the node has terminated.
+    pub fn decision(&self) -> Option<&ParallelDecision<V>> {
+        self.decision.as_ref()
+    }
+
+    fn buffer_rotor_echoes(&mut self, inbox: &[Envelope<ParallelMessage<V>>]) {
+        for envelope in inbox {
+            if !self.senders.contains(envelope.from) {
+                continue;
+            }
+            if let ParallelMessage::Echo(candidate) = &envelope.payload {
+                self.rotor_echo_buffer.entry(*candidate).or_default().insert(envelope.from);
+            }
+        }
+    }
+
+    /// Groups this round's instance-scoped votes of the expected kind, spawning
+    /// instances for identifiers first heard now (first phase only).
+    fn collect_votes(
+        &mut self,
+        inbox: &[&Envelope<ParallelMessage<V>>],
+        step: PhaseStep,
+    ) -> BTreeMap<InstanceId, Vec<(NodeId, InstanceVote<V>)>> {
+        let mut votes: BTreeMap<InstanceId, Vec<(NodeId, InstanceVote<V>)>> = BTreeMap::new();
+        for envelope in inbox {
+            let vote = match (&envelope.payload, step) {
+                (ParallelMessage::Input(id, v), PhaseStep::Prefer) => {
+                    Some((*id, InstanceVote::Value(Some(v.clone())), true))
+                }
+                (ParallelMessage::Prefer(id, v), PhaseStep::StrongPrefer) => {
+                    Some((*id, InstanceVote::Value(v.clone()), true))
+                }
+                (ParallelMessage::NoPreference(id), PhaseStep::StrongPrefer) => {
+                    Some((*id, InstanceVote::Abstain, false))
+                }
+                (ParallelMessage::StrongPrefer(id, v), PhaseStep::Rotor) => {
+                    Some((*id, InstanceVote::Value(v.clone()), true))
+                }
+                (ParallelMessage::NoStrongPreference(id), PhaseStep::Rotor) => {
+                    Some((*id, InstanceVote::Abstain, false))
+                }
+                _ => None,
+            };
+            let Some((instance, vote, spawns)) = vote else { continue };
+            // Lazy instance creation: only during the first phase, and only on a real
+            // vote (abstentions never introduce a new identifier).
+            if !self.instances.contains_key(&instance) {
+                if self.phase == 1 && spawns {
+                    self.instances
+                        .insert(instance, EarlyConsensus::without_input(instance, self.phase));
+                } else {
+                    continue;
+                }
+            }
+            votes.entry(instance).or_default().push((envelope.from, vote));
+        }
+        votes
+    }
+}
+
+impl<V: Opinion> Protocol for ParallelConsensus<V> {
+    type Payload = ParallelMessage<V>;
+    type Output = ParallelDecision<V>;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn step(
+        &mut self,
+        ctx: &RoundContext,
+        inbox: &[Envelope<ParallelMessage<V>>],
+    ) -> Vec<Outgoing<ParallelMessage<V>>> {
+        if self.decision.is_some() {
+            return Vec::new();
+        }
+        self.senders.record_inbox(inbox);
+
+        let out: Vec<ParallelMessage<V>> = match ctx.round {
+            1 => vec![ParallelMessage::Init],
+            2 => inbox
+                .iter()
+                .filter(|e| e.payload == ParallelMessage::Init)
+                .map(|e| ParallelMessage::Echo(e.from))
+                .collect(),
+            _ => {
+                if ctx.round == 3 {
+                    self.senders.freeze();
+                }
+                self.buffer_rotor_echoes(inbox);
+                let filtered: Vec<&Envelope<ParallelMessage<V>>> =
+                    inbox.iter().filter(|e| self.senders.contains(e.from)).collect();
+                let n_v = self.senders.n_v();
+                let step = PhaseStep::from_round(ctx.round).expect("round ≥ 3");
+
+                match step {
+                    PhaseStep::Input => {
+                        self.phase += 1;
+                        self.phase_coordinator = None;
+                        if self.phase == 1 {
+                            // Start an instance for every input pair.
+                            let inputs = self.inputs.clone();
+                            for (instance, value) in inputs {
+                                self.instances.insert(
+                                    instance,
+                                    EarlyConsensus::with_input(instance, value, self.phase),
+                                );
+                            }
+                        }
+                        self.instances.values_mut().filter_map(|i| i.step_input()).collect()
+                    }
+                    PhaseStep::Prefer => {
+                        let votes = self.collect_votes(&filtered, step);
+                        let phase = self.phase;
+                        let senders = self.senders.clone();
+                        let mut out = Vec::new();
+                        for (instance, state) in self.instances.iter_mut() {
+                            if state.is_decided() {
+                                continue;
+                            }
+                            let empty = Vec::new();
+                            let v = votes.get(instance).unwrap_or(&empty);
+                            out.push(state.step_prefer(v, &senders, n_v, phase));
+                        }
+                        out
+                    }
+                    PhaseStep::StrongPrefer => {
+                        let votes = self.collect_votes(&filtered, step);
+                        let phase = self.phase;
+                        let senders = self.senders.clone();
+                        let mut out = Vec::new();
+                        for (instance, state) in self.instances.iter_mut() {
+                            if state.is_decided() {
+                                continue;
+                            }
+                            let empty = Vec::new();
+                            let v = votes.get(instance).unwrap_or(&empty);
+                            out.push(state.step_strong(v, &senders, n_v, phase));
+                        }
+                        out
+                    }
+                    PhaseStep::Rotor => {
+                        let votes = self.collect_votes(&filtered, step);
+                        let phase = self.phase;
+                        let senders = self.senders.clone();
+                        for (instance, state) in self.instances.iter_mut() {
+                            if state.is_decided() {
+                                continue;
+                            }
+                            let empty = Vec::new();
+                            let v = votes.get(instance).unwrap_or(&empty);
+                            state.step_rotor_stash(v, &senders, phase);
+                        }
+                        // One shared rotor round for all instances.
+                        let echo_votes = std::mem::take(&mut self.rotor_echo_buffer);
+                        let rotor_out = self.rotor.loop_round(
+                            self.id,
+                            &0,
+                            n_v,
+                            &echo_votes,
+                            &BTreeMap::new(),
+                        );
+                        self.phase_coordinator = self.rotor.current_coordinator();
+                        let mut out: Vec<ParallelMessage<V>> = rotor_out
+                            .into_iter()
+                            .filter_map(|m| match m {
+                                RotorMessage::Init => Some(ParallelMessage::Init),
+                                RotorMessage::Echo(p) => Some(ParallelMessage::Echo(p)),
+                                // The per-instance opinions below replace the scalar one.
+                                RotorMessage::Opinion(_) => None,
+                            })
+                            .collect();
+                        // If this node is the coordinator, distribute its opinion for
+                        // every live instance.
+                        if self.phase_coordinator == Some(self.id) {
+                            for (instance, state) in &self.instances {
+                                if !state.is_decided() {
+                                    out.push(ParallelMessage::Opinion(
+                                        *instance,
+                                        state.opinion().clone(),
+                                    ));
+                                }
+                            }
+                        }
+                        out
+                    }
+                    PhaseStep::Resolve => {
+                        let phase = self.phase;
+                        let coordinator = self.phase_coordinator;
+                        // Coordinator opinions per instance.
+                        let mut opinions: BTreeMap<InstanceId, Option<V>> = BTreeMap::new();
+                        if let Some(p) = coordinator {
+                            for envelope in &filtered {
+                                if envelope.from != p {
+                                    continue;
+                                }
+                                if let ParallelMessage::Opinion(instance, value) = &envelope.payload {
+                                    opinions.insert(*instance, value.clone());
+                                }
+                            }
+                        }
+                        for (instance, state) in self.instances.iter_mut() {
+                            state.step_resolve(opinions.get(instance).cloned(), n_v, phase);
+                        }
+                        // The instance set is final after the first phase's rotor round,
+                        // so the node may terminate at any resolve step at which every
+                        // instance has decided.
+                        if self.instances.values().all(|i| i.is_decided()) {
+                            let pairs = self
+                                .instances
+                                .values()
+                                .filter_map(|i| i.output_pair())
+                                .collect();
+                            self.decision = Some(ParallelDecision {
+                                pairs,
+                                phase,
+                                round: ctx.round,
+                            });
+                        }
+                        Vec::new()
+                    }
+                }
+            }
+        };
+        out.into_iter().map(Outgoing::broadcast).collect()
+    }
+
+    fn output(&self) -> Option<ParallelDecision<V>> {
+        self.decision.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_simnet::adversary::SilentAdversary;
+    use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, SyncEngine};
+
+    type Msg = ParallelMessage<u64>;
+
+    fn run<A: uba_simnet::Adversary<Msg>>(
+        inputs: Vec<Vec<(InstanceId, u64)>>,
+        byzantine: usize,
+        adversary: A,
+        seed: u64,
+    ) -> Vec<ParallelDecision<u64>> {
+        let ids = IdSpace::default().generate(inputs.len() + byzantine, seed);
+        let byz: Vec<NodeId> = ids[inputs.len()..].to_vec();
+        let nodes: Vec<_> = ids[..inputs.len()]
+            .iter()
+            .zip(inputs)
+            .map(|(&id, pairs)| ParallelConsensus::new(id, pairs))
+            .collect();
+        let mut engine = SyncEngine::new(nodes, adversary, byz);
+        engine.run_until_all_terminated(500).expect("parallel consensus terminates");
+        let decisions: Vec<ParallelDecision<u64>> =
+            engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        // Agreement: all output pair sets are identical.
+        for d in &decisions {
+            assert_eq!(d.pairs, decisions[0].pairs, "agreement on the output pair set");
+        }
+        decisions
+    }
+
+    #[test]
+    fn pairs_input_everywhere_are_output_everywhere() {
+        let inputs = vec![vec![(1, 10), (2, 20)]; 5];
+        let decisions = run(inputs, 0, SilentAdversary, 1);
+        assert_eq!(decisions[0].pairs, BTreeMap::from([(1, 10), (2, 20)]));
+        assert_eq!(decisions[0].phase, 1, "unanimous pairs decide in the first phase");
+    }
+
+    #[test]
+    fn pairs_known_to_some_nodes_are_output_consistently() {
+        // Pair 7 is input at three of the five nodes; pair 9 at one node only.
+        let inputs = vec![
+            vec![(7, 70)],
+            vec![(7, 70)],
+            vec![(7, 70), (9, 90)],
+            vec![],
+            vec![],
+        ];
+        let decisions = run(inputs, 0, SilentAdversary, 2);
+        // Whatever the outcome for 7 and 9, it is consistent (checked inside `run`);
+        // additionally no pair may be invented out of thin air.
+        for (id, _) in &decisions[0].pairs {
+            assert!([7, 9].contains(id));
+        }
+    }
+
+    #[test]
+    fn byzantine_only_identifiers_are_never_output() {
+        // The adversary floods a fresh identifier (555) that no correct node has.
+        let adversary = FnAdversary::new(move |view: &AdversaryView<'_, Msg>| {
+            let mut out = Vec::new();
+            for &from in view.byzantine_ids {
+                for &to in view.correct_ids {
+                    let payload = match view.round {
+                        1 => ParallelMessage::Init,
+                        4 => ParallelMessage::Input(555, 5),
+                        5 => ParallelMessage::Prefer(555, Some(5)),
+                        6 => ParallelMessage::StrongPrefer(555, Some(5)),
+                        _ => continue,
+                    };
+                    out.push(Directed::new(from, to, payload));
+                }
+            }
+            out
+        });
+        let inputs = vec![vec![(1, 11)]; 7];
+        let decisions = run(inputs, 2, adversary, 3);
+        assert!(decisions[0].pairs.contains_key(&1));
+        assert!(
+            !decisions[0].pairs.contains_key(&555),
+            "an identifier submitted only by Byzantine nodes must not be output"
+        );
+    }
+
+    #[test]
+    fn nodes_with_no_inputs_terminate_with_an_empty_set() {
+        let decisions = run(vec![vec![]; 4], 0, SilentAdversary, 4);
+        assert!(decisions.iter().all(|d| d.pairs.is_empty()));
+    }
+
+    #[test]
+    fn many_concurrent_instances_all_decide() {
+        let pairs: Vec<(InstanceId, u64)> = (0..16).map(|i| (i, i * 100)).collect();
+        let inputs = vec![pairs.clone(); 6];
+        let decisions = run(inputs, 0, SilentAdversary, 5);
+        assert_eq!(decisions[0].pairs.len(), 16);
+        for (id, value) in &decisions[0].pairs {
+            assert_eq!(*value, id * 100);
+        }
+    }
+
+    #[test]
+    fn accessors_expose_inputs_and_state() {
+        let node = ParallelConsensus::new(NodeId::new(1), vec![(3, 30u64)]);
+        assert_eq!(node.inputs().len(), 1);
+        assert_eq!(node.n_v(), 0);
+        assert!(node.instances().is_empty());
+        assert!(node.decision().is_none());
+    }
+}

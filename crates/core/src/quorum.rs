@@ -1,0 +1,118 @@
+//! Threshold arithmetic for the id-only model.
+//!
+//! The paper's key observation (Section III) is that if every correct node broadcasts
+//! in a round, then each correct node `v` receives fewer than `n_v/3` messages from
+//! Byzantine nodes — where `n_v` is the number of *distinct nodes that have sent `v`
+//! at least one message* — regardless of whether the Byzantine nodes speak up. All
+//! algorithms therefore replace the unknown `f` with local `n_v/3` and `2·n_v/3`
+//! thresholds.
+//!
+//! This module centralises those comparisons. The thresholds are fractions, so the
+//! comparisons are done in exact integer arithmetic (`3·count ≥ n_v` rather than
+//! `count ≥ n_v / 3` with integer or floating-point division), which matches the
+//! paper's `≥ n_v/3` and `≥ 2n_v/3` literally for all values of `n_v`.
+
+/// Returns true if `count` messages are "at least `n_v/3`", i.e. `count ≥ n_v/3`.
+///
+/// Zero messages never meet the threshold: a node that has heard nothing has no
+/// evidence at all, even when `n_v` is still zero.
+pub fn meets_one_third(count: usize, n_v: usize) -> bool {
+    count > 0 && 3 * count >= n_v
+}
+
+/// Returns true if `count` messages are "at least `2·n_v/3`", i.e. `count ≥ 2·n_v/3`.
+///
+/// Zero messages never meet the threshold.
+pub fn meets_two_thirds(count: usize, n_v: usize) -> bool {
+    count > 0 && 3 * count >= 2 * n_v
+}
+
+/// The number of values to trim from each end in the approximate-agreement algorithm:
+/// `⌊n_v/3⌋` (Algorithm 4, line 3).
+pub fn trim_count(n_v: usize) -> usize {
+    n_v / 3
+}
+
+/// Maximum number of Byzantine nodes tolerated in a system of `n` nodes under the
+/// optimal resiliency `n > 3f`, i.e. `⌈n/3⌉ − 1`.
+pub fn max_faults(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n.div_ceil(3) - 1
+    }
+}
+
+/// Whether the global resiliency condition `n > 3f` holds. Only experiment harnesses
+/// and baselines may call this — algorithms in the id-only model never know `n` or `f`.
+pub fn resilient(n: usize, f: usize) -> bool {
+    n > 3 * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_third_threshold_matches_fraction() {
+        // n_v = 9: threshold is 3.
+        assert!(!meets_one_third(2, 9));
+        assert!(meets_one_third(3, 9));
+        // n_v = 10: threshold is 10/3 = 3.33…, so 4 needed.
+        assert!(!meets_one_third(3, 10));
+        assert!(meets_one_third(4, 10));
+        // n_v = 1: a single message suffices.
+        assert!(meets_one_third(1, 1));
+        // Zero messages never suffice.
+        assert!(!meets_one_third(0, 0));
+        assert!(!meets_one_third(0, 3));
+    }
+
+    #[test]
+    fn two_thirds_threshold_matches_fraction() {
+        // n_v = 9: threshold is 6.
+        assert!(!meets_two_thirds(5, 9));
+        assert!(meets_two_thirds(6, 9));
+        // n_v = 10: threshold is 20/3 = 6.66…, so 7 needed.
+        assert!(!meets_two_thirds(6, 10));
+        assert!(meets_two_thirds(7, 10));
+        // n_v = 4: threshold is 8/3 = 2.66…, so 3 needed.
+        assert!(!meets_two_thirds(2, 4));
+        assert!(meets_two_thirds(3, 4));
+        assert!(!meets_two_thirds(0, 0));
+    }
+
+    #[test]
+    fn trim_count_is_floor_of_third() {
+        assert_eq!(trim_count(0), 0);
+        assert_eq!(trim_count(3), 1);
+        assert_eq!(trim_count(4), 1);
+        assert_eq!(trim_count(6), 2);
+        assert_eq!(trim_count(7), 2);
+        assert_eq!(trim_count(100), 33);
+    }
+
+    #[test]
+    fn max_faults_respects_resiliency() {
+        assert_eq!(max_faults(0), 0);
+        assert_eq!(max_faults(1), 0);
+        assert_eq!(max_faults(3), 0);
+        assert_eq!(max_faults(4), 1);
+        assert_eq!(max_faults(6), 1);
+        assert_eq!(max_faults(7), 2);
+        assert_eq!(max_faults(10), 3);
+        for n in 1..200 {
+            let f = max_faults(n);
+            assert!(resilient(n, f), "n = {n}, f = {f} must satisfy n > 3f");
+            assert!(!resilient(n, f + 1), "f = {} must be maximal for n = {n}", f + 1);
+        }
+    }
+
+    #[test]
+    fn resilient_is_strict() {
+        assert!(resilient(4, 1));
+        assert!(!resilient(3, 1));
+        assert!(!resilient(6, 2));
+        assert!(resilient(7, 2));
+    }
+}

@@ -1,0 +1,418 @@
+//! One-call experiment drivers.
+//!
+//! The examples, the integration tests and the benchmark harness all need the same
+//! plumbing: generate sparse identifiers, build the nodes, pick an adversary, run the
+//! engine, and summarise what happened (decisions, rounds, messages, property
+//! violations). This module packages that plumbing so a scenario is a single function
+//! call with a [`Scenario`] describing the system and an adversary selector.
+
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{IdSpace, NodeId, SimError, SyncEngine};
+
+use crate::adversaries::{AnnounceThenSilent, EquivocatingSource, PartialAnnounce, SplitVote};
+use crate::approx::{ApproxAgreement, IteratedApproxAgreement};
+use crate::consensus::Consensus;
+use crate::reliable_broadcast::ReliableBroadcast;
+use crate::rotor::RotorCoordinator;
+use crate::value::Real;
+
+/// Description of a system to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Number of correct nodes.
+    pub correct: usize,
+    /// Number of Byzantine identities handed to the adversary.
+    pub byzantine: usize,
+    /// Identifier-generation strategy.
+    pub id_space: IdSpace,
+    /// Seed for identifier generation and any adversary randomness.
+    pub seed: u64,
+    /// Hard cap on rounds before the run is declared stuck.
+    pub max_rounds: u64,
+}
+
+impl Scenario {
+    /// A scenario with `correct` correct and `byzantine` Byzantine nodes, default
+    /// sparse identifiers and a generous round budget.
+    pub fn new(correct: usize, byzantine: usize, seed: u64) -> Self {
+        Scenario {
+            correct,
+            byzantine,
+            id_space: IdSpace::default(),
+            seed,
+            max_rounds: 1_000,
+        }
+    }
+
+    /// Total number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.correct + self.byzantine
+    }
+
+    /// Whether the scenario satisfies the optimal resiliency `n > 3f`.
+    pub fn resilient(&self) -> bool {
+        crate::quorum::resilient(self.n(), self.byzantine)
+    }
+
+    /// Generates the identifiers: the first `correct` are correct nodes, the rest are
+    /// handed to the adversary.
+    pub fn ids(&self) -> (Vec<NodeId>, Vec<NodeId>) {
+        let ids = self.id_space.generate(self.n(), self.seed);
+        let (c, b) = ids.split_at(self.correct);
+        (c.to_vec(), b.to_vec())
+    }
+}
+
+/// Adversary strategies selectable by name in experiment sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Byzantine nodes never speak (they are invisible).
+    Silent,
+    /// Byzantine nodes announce themselves in round 1 and then stay silent.
+    AnnounceThenSilent,
+    /// Byzantine nodes announce themselves to only half of the correct nodes.
+    PartialAnnounce,
+    /// Byzantine nodes split their votes between the two most popular values.
+    SplitVote,
+}
+
+/// Everything measured in one consensus run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConsensusReport {
+    /// The decided value of every correct node, in construction order.
+    pub decisions: Vec<u64>,
+    /// Rounds until the last correct node decided.
+    pub rounds: u64,
+    /// Total point-to-point messages sent by correct nodes.
+    pub messages: u64,
+    /// Whether every correct node decided the same value.
+    pub agreement: bool,
+    /// Whether the decided value was the input of some correct node.
+    pub validity: bool,
+}
+
+/// Runs binary consensus with the given inputs under the selected adversary.
+pub fn run_consensus(
+    scenario: &Scenario,
+    inputs: &[u64],
+    adversary: AdversaryKind,
+) -> Result<ConsensusReport, SimError> {
+    assert_eq!(inputs.len(), scenario.correct, "one input per correct node");
+    let (correct_ids, byz_ids) = scenario.ids();
+    let nodes: Vec<Consensus<u64>> = correct_ids
+        .iter()
+        .zip(inputs)
+        .map(|(&id, &input)| Consensus::new(id, input))
+        .collect();
+
+    macro_rules! run_with {
+        ($adv:expr) => {{
+            let mut engine = SyncEngine::new(nodes, $adv, byz_ids);
+            engine.run_until_all_terminated(scenario.max_rounds)?;
+            let decisions: Vec<u64> = engine
+                .outputs()
+                .into_iter()
+                .map(|(_, d)| d.expect("terminated nodes decided").value)
+                .collect();
+            (decisions, engine.round(), engine.metrics().correct_messages)
+        }};
+    }
+
+    let (decisions, rounds, messages) = match adversary {
+        AdversaryKind::Silent => run_with!(SilentAdversary),
+        AdversaryKind::AnnounceThenSilent => run_with!(AnnounceThenSilent),
+        AdversaryKind::PartialAnnounce => run_with!(PartialAnnounce),
+        AdversaryKind::SplitVote => run_with!(SplitVote::new(0u64, 1u64)),
+    };
+
+    let agreement = decisions.windows(2).all(|w| w[0] == w[1]);
+    let validity = decisions.first().map(|v| inputs.contains(v)).unwrap_or(false)
+        && (!inputs.iter().all(|&i| i == inputs[0]) || decisions.iter().all(|&d| d == inputs[0]));
+    Ok(ConsensusReport { decisions, rounds, messages, agreement, validity })
+}
+
+/// Everything measured in one reliable-broadcast run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastReport {
+    /// For every correct node: the set of values it accepted.
+    pub accepted: Vec<Vec<u64>>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total point-to-point messages sent by correct nodes.
+    pub messages: u64,
+    /// Whether all correct nodes accepted exactly the same set of values.
+    pub consistent: bool,
+}
+
+/// Runs reliable broadcast with a **correct** designated sender broadcasting `value`.
+pub fn run_broadcast_correct_source(
+    scenario: &Scenario,
+    value: u64,
+    rounds: u64,
+) -> Result<BroadcastReport, SimError> {
+    let (correct_ids, byz_ids) = scenario.ids();
+    let source = correct_ids[0];
+    let nodes: Vec<ReliableBroadcast<u64>> = correct_ids
+        .iter()
+        .map(|&id| {
+            if id == source {
+                ReliableBroadcast::sender(id, value)
+            } else {
+                ReliableBroadcast::receiver(id, source)
+            }
+        })
+        .collect();
+    let mut engine = SyncEngine::new(nodes, AnnounceThenSilent, byz_ids);
+    engine.run_rounds(rounds)?;
+    Ok(summarise_broadcast(engine))
+}
+
+/// Runs reliable broadcast with a **Byzantine** designated sender that equivocates,
+/// sending `value_a` to half the nodes and `value_b` to the other half.
+pub fn run_broadcast_equivocating_source(
+    scenario: &Scenario,
+    value_a: u64,
+    value_b: u64,
+    rounds: u64,
+) -> Result<BroadcastReport, SimError> {
+    assert!(scenario.byzantine >= 1, "the equivocating source needs a Byzantine identity");
+    let (correct_ids, byz_ids) = scenario.ids();
+    let source = byz_ids[0];
+    let nodes: Vec<ReliableBroadcast<u64>> =
+        correct_ids.iter().map(|&id| ReliableBroadcast::receiver(id, source)).collect();
+    let adversary = EquivocatingSource::new(source, value_a, value_b);
+    let mut engine = SyncEngine::new(nodes, adversary, byz_ids);
+    engine.run_rounds(rounds)?;
+    Ok(summarise_broadcast(engine))
+}
+
+fn summarise_broadcast<A>(engine: SyncEngine<ReliableBroadcast<u64>, A>) -> BroadcastReport
+where
+    A: uba_simnet::Adversary<crate::reliable_broadcast::RbMessage<u64>>,
+{
+    let accepted: Vec<Vec<u64>> = engine
+        .nodes()
+        .iter()
+        .map(|n| {
+            let mut values: Vec<u64> = n.accepted().iter().map(|a| a.message).collect();
+            values.sort_unstable();
+            values
+        })
+        .collect();
+    let consistent = accepted.windows(2).all(|w| w[0] == w[1]);
+    BroadcastReport {
+        consistent,
+        rounds: engine.round(),
+        messages: engine.metrics().correct_messages,
+        accepted,
+    }
+}
+
+/// Everything measured in one rotor-coordinator run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RotorReport {
+    /// Rounds until the last correct node terminated.
+    pub rounds: u64,
+    /// Number of coordinators selected by the first correct node.
+    pub selected: usize,
+    /// Whether a *good round* occurred: a loop round in which every correct node
+    /// selected the same correct coordinator.
+    pub good_round: bool,
+    /// Total point-to-point messages sent by correct nodes.
+    pub messages: u64,
+}
+
+/// Runs the standalone rotor-coordinator under the selected announcement adversary.
+pub fn run_rotor(scenario: &Scenario, adversary: AdversaryKind) -> Result<RotorReport, SimError> {
+    let (correct_ids, byz_ids) = scenario.ids();
+    let nodes: Vec<RotorCoordinator<u64>> =
+        correct_ids.iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
+
+    fn drive<A: uba_simnet::Adversary<crate::rotor::RotorMessage<u64>>>(
+        nodes: Vec<RotorCoordinator<u64>>,
+        byz_ids: Vec<NodeId>,
+        adversary: A,
+        max_rounds: u64,
+    ) -> Result<RotorReport, SimError> {
+        let mut engine = SyncEngine::new(nodes, adversary, byz_ids);
+        engine.run_until_all_terminated(max_rounds)?;
+        let correct: std::collections::BTreeSet<NodeId> =
+            engine.correct_ids().into_iter().collect();
+        let histories: Vec<_> = engine.nodes().iter().map(|n| n.state().history()).collect();
+        let shortest = histories.iter().map(|h| h.len()).min().unwrap_or(0);
+        let mut good_round = false;
+        for r in 0..shortest {
+            let selections: std::collections::BTreeSet<NodeId> =
+                histories.iter().map(|h| h[r].coordinator).collect();
+            if selections.len() == 1 && correct.contains(selections.iter().next().unwrap()) {
+                good_round = true;
+                break;
+            }
+        }
+        Ok(RotorReport {
+            rounds: engine.round(),
+            selected: engine.nodes()[0].state().selected().len(),
+            good_round,
+            messages: engine.metrics().correct_messages,
+        })
+    }
+
+    match adversary {
+        AdversaryKind::Silent => drive(nodes, byz_ids, SilentAdversary, scenario.max_rounds),
+        AdversaryKind::AnnounceThenSilent | AdversaryKind::SplitVote => {
+            drive(nodes, byz_ids, AnnounceThenSilent, scenario.max_rounds)
+        }
+        AdversaryKind::PartialAnnounce => {
+            drive(nodes, byz_ids, PartialAnnounce, scenario.max_rounds)
+        }
+    }
+}
+
+/// Everything measured in one approximate-agreement run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApproxReport {
+    /// Input range of the correct nodes.
+    pub input_range: (f64, f64),
+    /// Output range of the correct nodes.
+    pub output_range: (f64, f64),
+    /// Whether every output lies within the input range.
+    pub outputs_in_range: bool,
+    /// `(output range) / (input range)` — the paper guarantees < 1 (½ for one round).
+    pub contraction: f64,
+}
+
+/// Runs single-shot approximate agreement on the given correct inputs, with Byzantine
+/// nodes pushing extreme outliers to half the nodes each.
+pub fn run_approx(scenario: &Scenario, inputs: &[f64]) -> Result<ApproxReport, SimError> {
+    assert_eq!(inputs.len(), scenario.correct);
+    let (correct_ids, byz_ids) = scenario.ids();
+    let nodes: Vec<ApproxAgreement> = correct_ids
+        .iter()
+        .zip(inputs)
+        .map(|(&id, &x)| ApproxAgreement::new(id, Real::from_f64(x)))
+        .collect();
+    let byz_clone = byz_ids.clone();
+    let adversary = uba_simnet::FnAdversary::new(move |view: &uba_simnet::AdversaryView<'_, Real>| {
+        if view.round != 1 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (b, &from) in byz_clone.iter().enumerate() {
+            for (i, &to) in view.correct_ids.iter().enumerate() {
+                let value = if (i + b) % 2 == 0 { Real::from_f64(-1e9) } else { Real::from_f64(1e9) };
+                out.push(uba_simnet::Directed::new(from, to, value));
+            }
+        }
+        out
+    });
+    let mut engine = SyncEngine::new(nodes, adversary, byz_ids);
+    engine.run_until_all_output(5)?;
+    let outputs: Vec<f64> =
+        engine.outputs().into_iter().map(|(_, o)| o.unwrap().to_f64()).collect();
+
+    let imin = inputs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let imax = inputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let omin = outputs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let omax = outputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let input_spread = imax - imin;
+    let output_spread = omax - omin;
+    Ok(ApproxReport {
+        input_range: (imin, imax),
+        output_range: (omin, omax),
+        outputs_in_range: omin >= imin - 1e-9 && omax <= imax + 1e-9,
+        contraction: if input_spread > 0.0 { output_spread / input_spread } else { 0.0 },
+    })
+}
+
+/// Runs iterated approximate agreement and returns the correct-node range after each
+/// iteration (used by the convergence experiment and the sensor-fusion example).
+pub fn run_iterated_approx(
+    scenario: &Scenario,
+    inputs: &[f64],
+    iterations: u64,
+) -> Result<Vec<f64>, SimError> {
+    assert_eq!(inputs.len(), scenario.correct);
+    let (correct_ids, byz_ids) = scenario.ids();
+    let nodes: Vec<IteratedApproxAgreement> = correct_ids
+        .iter()
+        .zip(inputs)
+        .map(|(&id, &x)| IteratedApproxAgreement::new(id, Real::from_f64(x), iterations))
+        .collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, byz_ids);
+    engine.run_until_all_terminated(iterations + 10)?;
+    let mut spreads = Vec::new();
+    for i in 0..iterations as usize {
+        let values: Vec<f64> =
+            engine.nodes().iter().map(|n| n.history()[i].to_f64()).collect();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        spreads.push(hi - lo);
+    }
+    Ok(spreads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_accessors() {
+        let s = Scenario::new(7, 2, 1);
+        assert_eq!(s.n(), 9);
+        assert!(s.resilient());
+        let (c, b) = s.ids();
+        assert_eq!(c.len(), 7);
+        assert_eq!(b.len(), 2);
+        assert!(!Scenario::new(4, 2, 1).resilient());
+    }
+
+    #[test]
+    fn consensus_runner_reports_agreement_and_validity() {
+        let s = Scenario::new(7, 2, 3);
+        let inputs = [0, 1, 0, 1, 0, 1, 0];
+        for kind in [
+            AdversaryKind::Silent,
+            AdversaryKind::AnnounceThenSilent,
+            AdversaryKind::PartialAnnounce,
+            AdversaryKind::SplitVote,
+        ] {
+            let report = run_consensus(&s, &inputs, kind).unwrap();
+            assert!(report.agreement, "agreement under {kind:?}");
+            assert!(report.validity, "validity under {kind:?}");
+            assert!(report.rounds > 0 && report.messages > 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_runners_report_consistency() {
+        let s = Scenario::new(7, 2, 5);
+        let correct = run_broadcast_correct_source(&s, 42, 12).unwrap();
+        assert!(correct.consistent);
+        assert!(correct.accepted.iter().all(|a| a == &vec![42]));
+
+        let equivocating = run_broadcast_equivocating_source(&s, 1, 2, 12).unwrap();
+        assert!(equivocating.consistent, "equivocation must be exposed consistently");
+    }
+
+    #[test]
+    fn rotor_runner_finds_a_good_round() {
+        let s = Scenario::new(7, 2, 7);
+        let report = run_rotor(&s, AdversaryKind::AnnounceThenSilent).unwrap();
+        assert!(report.good_round);
+        assert!(report.selected >= 1);
+        assert!(report.rounds <= 7 + 2 + 10);
+    }
+
+    #[test]
+    fn approx_runner_reports_contraction() {
+        let s = Scenario::new(10, 3, 9);
+        let inputs: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        let report = run_approx(&s, &inputs).unwrap();
+        assert!(report.outputs_in_range);
+        assert!(report.contraction < 1.0);
+
+        let spreads = run_iterated_approx(&s, &inputs, 5).unwrap();
+        assert!(spreads.windows(2).all(|w| w[1] <= w[0] + 1e-9), "spread is non-increasing");
+        assert!(spreads.last().unwrap() < &10.0);
+    }
+}

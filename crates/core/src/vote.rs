@@ -1,0 +1,148 @@
+//! Vote tallying: counting distinct supporters per value.
+//!
+//! Every threshold in the paper is of the form "received at least `n_v/3` (or
+//! `2n_v/3`) messages *of a particular content*". A [`VoteTally`] counts, per value,
+//! the distinct senders supporting it — duplicate votes from the same sender are
+//! ignored, matching the model's "duplicate messages from the same node in a round are
+//! simply discarded".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use uba_simnet::NodeId;
+
+use crate::quorum::{meets_one_third, meets_two_thirds};
+use crate::value::Opinion;
+
+/// Distinct-sender vote counts per value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VoteTally<V: Opinion> {
+    votes: BTreeMap<V, BTreeSet<NodeId>>,
+}
+
+impl<V: Opinion> VoteTally<V> {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        VoteTally { votes: BTreeMap::new() }
+    }
+
+    /// Records that `voter` supports `value`. Returns true if this was a new vote.
+    pub fn insert(&mut self, voter: NodeId, value: V) -> bool {
+        self.votes.entry(value).or_default().insert(voter)
+    }
+
+    /// Number of distinct supporters of `value`.
+    pub fn count(&self, value: &V) -> usize {
+        self.votes.get(value).map_or(0, |s| s.len())
+    }
+
+    /// Total number of distinct `(voter, value)` pairs recorded.
+    pub fn total(&self) -> usize {
+        self.votes.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether `voter` has voted for `value`.
+    pub fn has_voted(&self, voter: NodeId, value: &V) -> bool {
+        self.votes.get(value).is_some_and(|s| s.contains(&voter))
+    }
+
+    /// Whether `voter` has voted for *any* value.
+    pub fn has_voted_any(&self, voter: NodeId) -> bool {
+        self.votes.values().any(|s| s.contains(&voter))
+    }
+
+    /// The value with the most supporters, ties broken towards the smaller value so
+    /// the choice is deterministic. `None` if the tally is empty.
+    pub fn plurality(&self) -> Option<(&V, usize)> {
+        self.votes
+            .iter()
+            .map(|(v, s)| (v, s.len()))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+    }
+
+    /// Values whose support meets the `n_v/3` threshold.
+    pub fn meeting_one_third(&self, n_v: usize) -> impl Iterator<Item = (&V, usize)> {
+        self.votes
+            .iter()
+            .map(|(v, s)| (v, s.len()))
+            .filter(move |&(_, c)| meets_one_third(c, n_v))
+    }
+
+    /// Values whose support meets the `2n_v/3` threshold.
+    pub fn meeting_two_thirds(&self, n_v: usize) -> impl Iterator<Item = (&V, usize)> {
+        self.votes
+            .iter()
+            .map(|(v, s)| (v, s.len()))
+            .filter(move |&(_, c)| meets_two_thirds(c, n_v))
+    }
+
+    /// Iterates over `(value, supporter set)` pairs in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&V, &BTreeSet<NodeId>)> {
+        self.votes.iter()
+    }
+
+    /// Whether no votes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn duplicate_votes_from_same_sender_are_ignored() {
+        let mut tally = VoteTally::new();
+        assert!(tally.insert(id(1), "a"));
+        assert!(!tally.insert(id(1), "a"));
+        assert!(tally.insert(id(1), "b"));
+        assert_eq!(tally.count(&"a"), 1);
+        assert_eq!(tally.count(&"b"), 1);
+        assert_eq!(tally.total(), 2);
+    }
+
+    #[test]
+    fn plurality_breaks_ties_towards_smaller_value() {
+        let mut tally = VoteTally::new();
+        tally.insert(id(1), 5u32);
+        tally.insert(id(2), 5u32);
+        tally.insert(id(3), 2u32);
+        tally.insert(id(4), 2u32);
+        let (value, count) = tally.plurality().unwrap();
+        assert_eq!((*value, count), (2, 2));
+        assert!(VoteTally::<u32>::new().plurality().is_none());
+    }
+
+    #[test]
+    fn threshold_filters_respect_quorum_math() {
+        let mut tally = VoteTally::new();
+        for i in 0..4 {
+            tally.insert(id(i), "major");
+        }
+        tally.insert(id(10), "minor");
+        // n_v = 9: one third needs 3, two thirds needs 6.
+        let one_third: Vec<&&str> = tally.meeting_one_third(9).map(|(v, _)| v).collect();
+        assert_eq!(one_third, vec![&"major"]);
+        assert_eq!(tally.meeting_two_thirds(9).count(), 0);
+        // n_v = 6: two thirds needs 4.
+        let two_thirds: Vec<&&str> = tally.meeting_two_thirds(6).map(|(v, _)| v).collect();
+        assert_eq!(two_thirds, vec![&"major"]);
+    }
+
+    #[test]
+    fn voted_queries() {
+        let mut tally = VoteTally::new();
+        assert!(tally.is_empty());
+        tally.insert(id(1), 7u8);
+        assert!(tally.has_voted(id(1), &7));
+        assert!(!tally.has_voted(id(1), &8));
+        assert!(tally.has_voted_any(id(1)));
+        assert!(!tally.has_voted_any(id(2)));
+        assert!(!tally.is_empty());
+        assert_eq!(tally.iter().count(), 1);
+    }
+}

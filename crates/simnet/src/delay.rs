@@ -1,0 +1,323 @@
+//! Message-delay engine for the impossibility constructions of Section IX.
+//!
+//! The paper shows that without knowledge of `n` and `f`, agreement is impossible —
+//! even with probabilistic termination — in asynchronous and semi-synchronous systems.
+//! Both proofs are constructive: partition the nodes into two sets `A` and `B` with
+//! opposite inputs and delay every cross-partition message long enough that each side
+//! decides, using only local traffic, before hearing from the other side.
+//!
+//! [`DelayEngine`] reproduces those executions. Unlike [`SyncEngine`](crate::SyncEngine)
+//! there is no global round barrier: time advances in *ticks*, each node optimistically
+//! treats every tick as a round (it cannot do otherwise — it does not know how many
+//! messages to wait for), and a message is delivered at the tick assigned by the
+//! [`DelayModel`]. With [`DelayModel::Synchronous`] every message takes exactly one
+//! tick and the engine behaves like the synchronous engine; with a partitioned model
+//! the cross-partition delay (or outright omission, for the asynchronous case) builds
+//! exactly the executions of Lemmas 14 and 15.
+
+use std::collections::HashMap;
+
+use crate::error::SimError;
+use crate::id::NodeId;
+use crate::message::{Destination, Directed, Envelope};
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::node::{Protocol, RoundContext};
+
+/// Assignment of nodes to partition groups.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionSpec {
+    groups: HashMap<NodeId, u32>,
+}
+
+impl PartitionSpec {
+    /// Creates an empty spec (every node defaults to group 0).
+    pub fn new() -> Self {
+        PartitionSpec::default()
+    }
+
+    /// Assigns a node to a group.
+    pub fn assign(&mut self, id: NodeId, group: u32) {
+        self.groups.insert(id, group);
+    }
+
+    /// Builder-style variant of [`PartitionSpec::assign`] for a whole group.
+    pub fn with_group(mut self, group: u32, ids: impl IntoIterator<Item = NodeId>) -> Self {
+        for id in ids {
+            self.assign(id, group);
+        }
+        self
+    }
+
+    /// The group of a node (0 if unassigned).
+    pub fn group_of(&self, id: NodeId) -> u32 {
+        self.groups.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Whether two nodes are in the same group.
+    pub fn same_group(&self, a: NodeId, b: NodeId) -> bool {
+        self.group_of(a) == self.group_of(b)
+    }
+}
+
+/// How long a message takes to be delivered, in ticks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message is delivered at the next tick — equivalent to the synchronous
+    /// model and used as the control arm of experiment E7.
+    Synchronous,
+    /// Messages within a partition group take one tick; messages across groups take
+    /// `cross_delay` ticks, or are never delivered if `cross_delay` is `None`
+    /// (the fully asynchronous construction of Lemma 14).
+    Partitioned {
+        /// Node-to-group assignment.
+        spec: PartitionSpec,
+        /// Cross-partition delay in ticks (`None` = unbounded / never delivered).
+        cross_delay: Option<u64>,
+    },
+}
+
+impl DelayModel {
+    fn delay(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        match self {
+            DelayModel::Synchronous => Some(1),
+            DelayModel::Partitioned { spec, cross_delay } => {
+                if spec.same_group(from, to) {
+                    Some(1)
+                } else {
+                    *cross_delay
+                }
+            }
+        }
+    }
+}
+
+/// An engine where every message carries an individual delivery delay (see module docs).
+///
+/// All nodes are correct — the impossibility constructions need no Byzantine nodes,
+/// which is precisely what makes them so damning: even with zero failures, not knowing
+/// `n` makes agreement impossible without synchrony.
+pub struct DelayEngine<N: Protocol> {
+    nodes: Vec<N>,
+    /// Messages in flight: (delivery_tick, directed message).
+    in_flight: Vec<(u64, Directed<N::Payload>)>,
+    tick: u64,
+    model: DelayModel,
+    metrics: Metrics,
+}
+
+impl<N: Protocol> DelayEngine<N> {
+    /// Creates a delay engine over the given nodes and delay model.
+    pub fn new(nodes: Vec<N>, model: DelayModel) -> Self {
+        DelayEngine { nodes, in_flight: Vec::new(), tick: 0, model, metrics: Metrics::new() }
+    }
+
+    /// The number of ticks executed so far.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Collected metrics (one [`RoundMetrics`] entry per tick).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The nodes, in insertion order.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The `(id, output)` pairs of all nodes.
+    pub fn outputs(&self) -> Vec<(NodeId, Option<N::Output>)> {
+        self.nodes.iter().map(|n| (n.id(), n.output())).collect()
+    }
+
+    /// Number of messages still in flight (not yet delivered).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Executes one tick: delivers due messages, steps every live node, and enqueues
+    /// the produced messages with delays from the model.
+    pub fn run_tick(&mut self) {
+        self.tick += 1;
+        let now = self.tick;
+        let ids: Vec<NodeId> = self.nodes.iter().map(|n| n.id()).collect();
+
+        // Collect deliveries due at this tick, grouped by recipient, deduplicated per
+        // (sender, payload) pair.
+        let mut due: HashMap<NodeId, Vec<Envelope<N::Payload>>> = HashMap::new();
+        let mut still_in_flight = Vec::with_capacity(self.in_flight.len());
+        let mut deliveries = 0u64;
+        for (when, msg) in std::mem::take(&mut self.in_flight) {
+            if when <= now {
+                let inbox = due.entry(msg.to).or_default();
+                if !inbox.iter().any(|e| e.from == msg.from && e.payload == msg.payload) {
+                    deliveries += 1;
+                    inbox.push(Envelope::new(msg.from, msg.payload));
+                }
+            } else {
+                still_in_flight.push((when, msg));
+            }
+        }
+        self.in_flight = still_in_flight;
+
+        let ctx = RoundContext::new(now);
+        let mut sent = 0u64;
+        let mut live = 0u64;
+        for node in &mut self.nodes {
+            if node.terminated() {
+                continue;
+            }
+            live += 1;
+            let id = node.id();
+            let inbox = due.remove(&id).unwrap_or_default();
+            for out in node.step(&ctx, &inbox) {
+                let recipients: Vec<NodeId> = match out.dest {
+                    Destination::Broadcast => ids.clone(),
+                    Destination::Unicast(to) => vec![to],
+                };
+                for to in recipients {
+                    sent += 1;
+                    if let Some(delay) = self.model.delay(id, to) {
+                        self.in_flight
+                            .push((now + delay, Directed::new(id, to, out.payload.clone())));
+                    }
+                    // A `None` delay means the message is never delivered (asynchronous
+                    // omission of cross-partition traffic).
+                }
+            }
+        }
+
+        self.metrics.record_round(RoundMetrics {
+            round: now,
+            correct_messages: sent,
+            byzantine_messages: 0,
+            deliveries,
+            live_correct_nodes: live,
+        });
+    }
+
+    /// Runs ticks until every node has terminated or `max_ticks` is reached.
+    pub fn run_until_all_terminated(&mut self, max_ticks: u64) -> Result<u64, SimError> {
+        while self.tick < max_ticks {
+            if self.nodes.iter().all(|n| n.terminated()) {
+                return Ok(self.tick);
+            }
+            self.run_tick();
+        }
+        if self.nodes.iter().all(|n| n.terminated()) {
+            Ok(self.tick)
+        } else {
+            Err(SimError::MaxRoundsExceeded { limit: max_ticks })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Outgoing;
+
+    /// Decides the majority value among the first `quorum`-ish messages it sees: a toy
+    /// stand-in for an agreement protocol that does not know how many nodes exist.
+    struct NaiveVoter {
+        id: NodeId,
+        input: u8,
+        heard: Vec<u8>,
+        decided: Option<u8>,
+    }
+
+    impl Protocol for NaiveVoter {
+        type Payload = u8;
+        type Output = u8;
+
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn step(&mut self, ctx: &RoundContext, inbox: &[Envelope<u8>]) -> Vec<Outgoing<u8>> {
+            self.heard.extend(inbox.iter().map(|e| e.payload));
+            match ctx.round {
+                1 => vec![Outgoing::broadcast(self.input)],
+                2 => vec![],
+                _ => {
+                    let ones = self.heard.iter().filter(|&&v| v == 1).count();
+                    let zeros = self.heard.len() - ones;
+                    self.decided = Some(u8::from(ones >= zeros));
+                    vec![]
+                }
+            }
+        }
+
+        fn output(&self) -> Option<u8> {
+            self.decided
+        }
+    }
+
+    fn voters(inputs: &[(u64, u8)]) -> Vec<NaiveVoter> {
+        inputs
+            .iter()
+            .map(|&(id, input)| NaiveVoter { id: NodeId::new(id), input, heard: vec![], decided: None })
+            .collect()
+    }
+
+    #[test]
+    fn synchronous_model_reaches_agreement() {
+        let mut engine = DelayEngine::new(
+            voters(&[(1, 1), (2, 1), (3, 0), (4, 1)]),
+            DelayModel::Synchronous,
+        );
+        engine.run_until_all_terminated(10).unwrap();
+        let outputs: Vec<u8> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        assert!(outputs.iter().all(|&o| o == outputs[0]), "all nodes agree under synchrony");
+    }
+
+    #[test]
+    fn partitioned_model_produces_disagreement() {
+        let spec = PartitionSpec::new()
+            .with_group(0, [NodeId::new(1), NodeId::new(2)])
+            .with_group(1, [NodeId::new(3), NodeId::new(4)]);
+        let mut engine = DelayEngine::new(
+            voters(&[(1, 1), (2, 1), (3, 0), (4, 0)]),
+            DelayModel::Partitioned { spec, cross_delay: None },
+        );
+        engine.run_until_all_terminated(10).unwrap();
+        let outputs: Vec<u8> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        // Group 0 decides 1, group 1 decides 0 — exactly the Lemma 14 construction.
+        assert_eq!(outputs, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn semi_synchronous_delay_is_delivered_but_too_late() {
+        let spec = PartitionSpec::new()
+            .with_group(0, [NodeId::new(1), NodeId::new(2)])
+            .with_group(1, [NodeId::new(3), NodeId::new(4)]);
+        let mut engine = DelayEngine::new(
+            voters(&[(1, 1), (2, 1), (3, 0), (4, 0)]),
+            DelayModel::Partitioned { spec, cross_delay: Some(50) },
+        );
+        engine.run_until_all_terminated(10).unwrap();
+        let outputs: Vec<u8> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        assert_eq!(outputs, vec![1, 1, 0, 0]);
+        // The cross-partition messages exist but are still in flight: bounded delay,
+        // unknown to the nodes, is enough to break agreement (Lemma 15).
+        assert!(engine.in_flight() > 0);
+    }
+
+    #[test]
+    fn partition_spec_defaults_to_group_zero() {
+        let spec = PartitionSpec::new();
+        assert_eq!(spec.group_of(NodeId::new(42)), 0);
+        assert!(spec.same_group(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn metrics_track_ticks_and_messages() {
+        let mut engine =
+            DelayEngine::new(voters(&[(1, 1), (2, 0)]), DelayModel::Synchronous);
+        engine.run_until_all_terminated(10).unwrap();
+        assert!(engine.metrics().rounds >= 3);
+        assert_eq!(engine.metrics().correct_messages, 4); // 2 broadcasts × 2 recipients
+        assert_eq!(engine.tick(), engine.metrics().rounds);
+    }
+}

@@ -1,0 +1,169 @@
+//! Declarative churn schedules for dynamic networks (Section XI of the paper).
+//!
+//! The paper's dynamic model lets the adversary decide, before each round, which nodes
+//! join the network — subject to `n > 3f` holding when the round starts — while nodes
+//! leave by announcing it. A [`ChurnSchedule`] captures such a plan: a list of
+//! [`ChurnEvent`]s keyed by the round *before* which they take effect. Experiment
+//! drivers read the schedule and apply it to a [`SyncEngine`](crate::SyncEngine)
+//! through its `add_node` / `remove_node` / `add_byzantine_id` /
+//! `remove_byzantine_id` methods.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+
+/// A single membership change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A correct node with the given identifier joins.
+    JoinCorrect(NodeId),
+    /// A Byzantine identity joins (becomes controllable by the adversary).
+    JoinByzantine(NodeId),
+    /// A correct node announces that it leaves.
+    LeaveCorrect(NodeId),
+    /// A Byzantine identity leaves.
+    LeaveByzantine(NodeId),
+}
+
+impl ChurnEvent {
+    /// The identifier affected by the event.
+    pub fn id(&self) -> NodeId {
+        match *self {
+            ChurnEvent::JoinCorrect(id)
+            | ChurnEvent::JoinByzantine(id)
+            | ChurnEvent::LeaveCorrect(id)
+            | ChurnEvent::LeaveByzantine(id) => id,
+        }
+    }
+
+    /// Whether the event is a join (of either kind).
+    pub fn is_join(&self) -> bool {
+        matches!(self, ChurnEvent::JoinCorrect(_) | ChurnEvent::JoinByzantine(_))
+    }
+}
+
+/// A plan of membership changes over time.
+///
+/// Events are stored as `(round, event)` pairs; an event with round `r` takes effect
+/// *before* round `r` executes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnSchedule {
+    events: Vec<(u64, ChurnEvent)>,
+}
+
+impl ChurnSchedule {
+    /// Creates an empty schedule (a static network).
+    pub fn empty() -> Self {
+        ChurnSchedule::default()
+    }
+
+    /// Adds an event that takes effect before the given round.
+    pub fn push(&mut self, round: u64, event: ChurnEvent) {
+        self.events.push((round, event));
+    }
+
+    /// Builder-style variant of [`ChurnSchedule::push`].
+    pub fn with(mut self, round: u64, event: ChurnEvent) -> Self {
+        self.push(round, event);
+        self
+    }
+
+    /// All events scheduled to take effect before `round`, in insertion order.
+    pub fn events_before_round(&self, round: u64) -> Vec<ChurnEvent> {
+        self.events.iter().filter(|(r, _)| *r == round).map(|(_, e)| *e).collect()
+    }
+
+    /// Total number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The last round for which an event is scheduled, or 0 if empty.
+    pub fn horizon(&self) -> u64 {
+        self.events.iter().map(|(r, _)| *r).max().unwrap_or(0)
+    }
+
+    /// Checks that, assuming `initial_correct` correct and `initial_byzantine`
+    /// Byzantine members, the schedule keeps `n > 3f` at the start of every round up
+    /// to its horizon. Returns the first violating round, if any.
+    ///
+    /// This is the constraint the paper places on the adversary's churn choices; the
+    /// experiment generators use this check to only produce admissible schedules.
+    pub fn first_resiliency_violation(
+        &self,
+        initial_correct: usize,
+        initial_byzantine: usize,
+    ) -> Option<u64> {
+        let mut correct = initial_correct as i64;
+        let mut byz = initial_byzantine as i64;
+        for round in 1..=self.horizon() {
+            for event in self.events_before_round(round) {
+                match event {
+                    ChurnEvent::JoinCorrect(_) => correct += 1,
+                    ChurnEvent::LeaveCorrect(_) => correct -= 1,
+                    ChurnEvent::JoinByzantine(_) => byz += 1,
+                    ChurnEvent::LeaveByzantine(_) => byz -= 1,
+                }
+            }
+            let n = correct + byz;
+            if !(n > 3 * byz) || correct < 0 || byz < 0 {
+                return Some(round);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_report_id_and_kind() {
+        let e = ChurnEvent::JoinCorrect(NodeId::new(7));
+        assert_eq!(e.id(), NodeId::new(7));
+        assert!(e.is_join());
+        assert!(!ChurnEvent::LeaveByzantine(NodeId::new(1)).is_join());
+    }
+
+    #[test]
+    fn schedule_filters_by_round() {
+        let schedule = ChurnSchedule::empty()
+            .with(3, ChurnEvent::JoinCorrect(NodeId::new(1)))
+            .with(3, ChurnEvent::LeaveCorrect(NodeId::new(2)))
+            .with(5, ChurnEvent::JoinByzantine(NodeId::new(3)));
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.horizon(), 5);
+        assert_eq!(schedule.events_before_round(3).len(), 2);
+        assert_eq!(schedule.events_before_round(4).len(), 0);
+        assert_eq!(schedule.events_before_round(5).len(), 1);
+    }
+
+    #[test]
+    fn resiliency_check_accepts_admissible_schedule() {
+        // 7 correct, 2 byzantine initially; add one correct node at round 2.
+        let schedule = ChurnSchedule::empty().with(2, ChurnEvent::JoinCorrect(NodeId::new(100)));
+        assert_eq!(schedule.first_resiliency_violation(7, 2), None);
+    }
+
+    #[test]
+    fn resiliency_check_catches_violation() {
+        // 4 correct, 1 byzantine; adding another byzantine at round 2 gives n = 6, f = 2:
+        // 6 > 6 is false, so round 2 violates n > 3f.
+        let schedule =
+            ChurnSchedule::empty().with(2, ChurnEvent::JoinByzantine(NodeId::new(50)));
+        assert_eq!(schedule.first_resiliency_violation(4, 1), Some(2));
+    }
+
+    #[test]
+    fn empty_schedule_has_no_violation() {
+        assert_eq!(ChurnSchedule::empty().first_resiliency_violation(1, 0), None);
+        assert_eq!(ChurnSchedule::empty().horizon(), 0);
+    }
+}

@@ -1,0 +1,506 @@
+//! The synchronous, lock-step round engine.
+//!
+//! [`SyncEngine`] owns the correct nodes (any [`Protocol`] implementation) and one
+//! [`Adversary`]. Each call to [`SyncEngine::run_round`] performs one synchronous
+//! round of the id-only model:
+//!
+//! 1. every live correct node is handed the inbox accumulated for it in the previous
+//!    round and produces its outgoing messages;
+//! 2. the outgoing messages are expanded to point-to-point deliveries (a broadcast is
+//!    delivered to every current member, including the sender);
+//! 3. the adversary observes all of the round's correct traffic (rushing adversary)
+//!    and injects arbitrary directed messages under its own identities;
+//! 4. the deliveries are grouped into next-round inboxes, deduplicating identical
+//!    `(sender, payload)` pairs as the model prescribes.
+//!
+//! The engine supports **dynamic membership** (nodes joining and leaving between
+//! rounds), which Section XI of the paper relies on, via [`SyncEngine::add_node`],
+//! [`SyncEngine::remove_node`], [`SyncEngine::add_byzantine_id`] and
+//! [`SyncEngine::remove_byzantine_id`].
+
+use std::collections::HashMap;
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::error::SimError;
+use crate::id::NodeId;
+use crate::message::{Destination, Directed, Envelope};
+use crate::metrics::{Metrics, RoundMetrics};
+use crate::node::{Protocol, RoundContext};
+use crate::trace::{TraceEvent, TraceLog};
+
+/// Knobs controlling an engine run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Hard cap on the number of rounds executed by the `run_until*` helpers; a run
+    /// that reaches the cap returns [`SimError::MaxRoundsExceeded`]. This protects
+    /// experiments against livelock caused by a bug or by a too-strong adversary.
+    pub max_rounds: u64,
+    /// Whether to keep a [`TraceLog`] of every delivery (memory-heavy; off by default).
+    pub trace: bool,
+    /// Capacity of the trace log when tracing is enabled.
+    pub trace_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { max_rounds: 10_000, trace: false, trace_capacity: 1 << 20 }
+    }
+}
+
+/// Why a `run_until*` helper stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The stop condition was satisfied after the recorded number of rounds.
+    Completed {
+        /// Rounds executed in total when the condition became true.
+        rounds: u64,
+    },
+}
+
+/// The synchronous round engine (see module docs).
+pub struct SyncEngine<N: Protocol, A: Adversary<N::Payload>> {
+    nodes: Vec<N>,
+    adversary: A,
+    byzantine_ids: Vec<NodeId>,
+    inboxes: HashMap<NodeId, Vec<Envelope<N::Payload>>>,
+    round: u64,
+    metrics: Metrics,
+    trace: Option<TraceLog<N::Payload>>,
+    config: EngineConfig,
+}
+
+impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
+    /// Creates an engine with the default [`EngineConfig`].
+    ///
+    /// `byzantine_ids` are the identities controlled by `adversary`; they may overlap
+    /// with nothing (a purely silent adversary may control zero identities).
+    pub fn new(nodes: Vec<N>, adversary: A, byzantine_ids: Vec<NodeId>) -> Self {
+        Self::with_config(nodes, adversary, byzantine_ids, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(
+        nodes: Vec<N>,
+        adversary: A,
+        byzantine_ids: Vec<NodeId>,
+        config: EngineConfig,
+    ) -> Self {
+        let trace = config.trace.then(|| TraceLog::with_capacity(config.trace_capacity));
+        SyncEngine {
+            nodes,
+            adversary,
+            byzantine_ids,
+            inboxes: HashMap::new(),
+            round: 0,
+            metrics: Metrics::new(),
+            trace,
+            config,
+        }
+    }
+
+    /// Validates that no identifier is used twice across correct and Byzantine nodes.
+    pub fn validate_ids(&self) -> Result<(), SimError> {
+        let mut seen = std::collections::HashSet::new();
+        for id in self.nodes.iter().map(|n| n.id()).chain(self.byzantine_ids.iter().copied()) {
+            if !seen.insert(id) {
+                return Err(SimError::DuplicateId(id));
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The correct nodes, in insertion order.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Mutable access to the correct nodes (used by dynamic-network drivers that need
+    /// to feed external inputs, e.g. events to order, between rounds).
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// Looks up a correct node by identifier.
+    pub fn node(&self, id: NodeId) -> Option<&N> {
+        self.nodes.iter().find(|n| n.id() == id)
+    }
+
+    /// Identifiers of the correct nodes currently in the system.
+    pub fn correct_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id()).collect()
+    }
+
+    /// Identifiers currently controlled by the adversary.
+    pub fn byzantine_ids(&self) -> &[NodeId] {
+        &self.byzantine_ids
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The trace log, if tracing was enabled in the configuration.
+    pub fn trace(&self) -> Option<&TraceLog<N::Payload>> {
+        self.trace.as_ref()
+    }
+
+    /// Adds a correct node between rounds (dynamic join). The node starts executing
+    /// from its own round 1 in the next engine round; its inbox starts empty.
+    pub fn add_node(&mut self, node: N) -> Result<(), SimError> {
+        let id = node.id();
+        if self.nodes.iter().any(|n| n.id() == id) || self.byzantine_ids.contains(&id) {
+            return Err(SimError::DuplicateId(id));
+        }
+        self.nodes.push(node);
+        Ok(())
+    }
+
+    /// Removes a correct node between rounds (dynamic leave). Pending messages to the
+    /// node are dropped. Returns the removed node.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<N, SimError> {
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.id() == id)
+            .ok_or(SimError::UnknownNode(id))?;
+        self.inboxes.remove(&id);
+        Ok(self.nodes.remove(idx))
+    }
+
+    /// Registers an additional Byzantine identity (dynamic join of a faulty node).
+    pub fn add_byzantine_id(&mut self, id: NodeId) -> Result<(), SimError> {
+        if self.nodes.iter().any(|n| n.id() == id) || self.byzantine_ids.contains(&id) {
+            return Err(SimError::DuplicateId(id));
+        }
+        self.byzantine_ids.push(id);
+        Ok(())
+    }
+
+    /// Removes a Byzantine identity (dynamic leave of a faulty node).
+    pub fn remove_byzantine_id(&mut self, id: NodeId) -> Result<(), SimError> {
+        let idx = self
+            .byzantine_ids
+            .iter()
+            .position(|&b| b == id)
+            .ok_or(SimError::UnknownNode(id))?;
+        self.byzantine_ids.remove(idx);
+        Ok(())
+    }
+
+    /// Executes one synchronous round. Returns an error only if the adversary tried
+    /// to forge a sender identity.
+    pub fn run_round(&mut self) -> Result<(), SimError> {
+        self.round += 1;
+        let ctx = RoundContext::new(self.round);
+        let correct_ids = self.correct_ids();
+
+        // Phase 1: correct nodes consume their inboxes and produce outgoing messages.
+        let mut correct_traffic: Vec<Directed<N::Payload>> = Vec::new();
+        let mut live = 0u64;
+        for node in &mut self.nodes {
+            if node.terminated() {
+                continue;
+            }
+            live += 1;
+            let id = node.id();
+            let inbox = self.inboxes.remove(&id).unwrap_or_default();
+            let outgoing = node.step(&ctx, &inbox);
+            for msg in outgoing {
+                match msg.dest {
+                    Destination::Broadcast => {
+                        for &to in correct_ids.iter().chain(self.byzantine_ids.iter()) {
+                            correct_traffic.push(Directed::new(id, to, msg.payload.clone()));
+                        }
+                    }
+                    Destination::Unicast(to) => {
+                        correct_traffic.push(Directed::new(id, to, msg.payload.clone()));
+                    }
+                }
+            }
+        }
+
+        // Terminated nodes' stale inboxes are dropped so memory does not grow.
+        self.inboxes.retain(|id, _| correct_ids.contains(id));
+
+        // Phase 2: the rushing adversary observes the round's traffic and injects its
+        // own directed messages.
+        let view = AdversaryView {
+            round: self.round,
+            correct_ids: &correct_ids,
+            byzantine_ids: &self.byzantine_ids,
+            correct_traffic: &correct_traffic,
+        };
+        let byzantine_traffic = self.adversary.step(&view);
+        for msg in &byzantine_traffic {
+            if !self.byzantine_ids.contains(&msg.from) {
+                return Err(SimError::ForgedSender { claimed: msg.from });
+            }
+        }
+
+        // Phase 3: build next-round inboxes, deduplicating identical (sender, payload)
+        // pairs per recipient.
+        let correct_count = correct_traffic.len() as u64;
+        let byz_count = byzantine_traffic.len() as u64;
+        let mut deliveries = 0u64;
+        let byz_ids = self.byzantine_ids.clone();
+        for msg in correct_traffic.into_iter().chain(byzantine_traffic.into_iter()) {
+            if !correct_ids.contains(&msg.to) {
+                // Messages to Byzantine nodes are "delivered" to the adversary, which
+                // already saw everything via the rushing view; nothing to store.
+                continue;
+            }
+            let inbox = self.inboxes.entry(msg.to).or_default();
+            let dup = inbox.iter().any(|e| e.from == msg.from && e.payload == msg.payload);
+            if dup {
+                continue;
+            }
+            deliveries += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    round: self.round + 1,
+                    from: msg.from,
+                    to: msg.to,
+                    byzantine: byz_ids.contains(&msg.from),
+                    payload: msg.payload.clone(),
+                });
+            }
+            inbox.push(Envelope::new(msg.from, msg.payload));
+        }
+
+        self.metrics.record_round(RoundMetrics {
+            round: self.round,
+            correct_messages: correct_count,
+            byzantine_messages: byz_count,
+            deliveries,
+            live_correct_nodes: live,
+        });
+        Ok(())
+    }
+
+    /// Runs rounds until `stop` returns true (checked after every round) or the
+    /// configured round limit is hit.
+    pub fn run_until<F>(&mut self, mut stop: F) -> Result<RunOutcome, SimError>
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        if stop(self) {
+            return Ok(RunOutcome::Completed { rounds: self.round });
+        }
+        while self.round < self.config.max_rounds {
+            self.run_round()?;
+            if stop(self) {
+                return Ok(RunOutcome::Completed { rounds: self.round });
+            }
+        }
+        Err(SimError::MaxRoundsExceeded { limit: self.config.max_rounds })
+    }
+
+    /// Runs rounds until every correct node has terminated, or at most `max_rounds`.
+    pub fn run_until_all_terminated(&mut self, max_rounds: u64) -> Result<RunOutcome, SimError> {
+        let previous = self.config.max_rounds;
+        self.config.max_rounds = max_rounds;
+        let result = self.run_until(|engine| engine.nodes.iter().all(|n| n.terminated()));
+        self.config.max_rounds = previous;
+        result
+    }
+
+    /// Runs rounds until every correct node has produced an output, or at most
+    /// `max_rounds`. Useful for primitives (like reliable broadcast) that produce an
+    /// output without terminating.
+    pub fn run_until_all_output(&mut self, max_rounds: u64) -> Result<RunOutcome, SimError> {
+        let previous = self.config.max_rounds;
+        self.config.max_rounds = max_rounds;
+        let result = self.run_until(|engine| engine.nodes.iter().all(|n| n.output().is_some()));
+        self.config.max_rounds = previous;
+        result
+    }
+
+    /// Runs exactly `rounds` additional rounds.
+    pub fn run_rounds(&mut self, rounds: u64) -> Result<(), SimError> {
+        for _ in 0..rounds {
+            self.run_round()?;
+        }
+        Ok(())
+    }
+
+    /// The `(id, output)` pairs of all correct nodes, in insertion order.
+    pub fn outputs(&self) -> Vec<(NodeId, Option<N::Output>)> {
+        self.nodes.iter().map(|n| (n.id(), n.output())).collect()
+    }
+
+    /// Consumes the engine and returns its parts (nodes, adversary, metrics) — used by
+    /// drivers that want to inspect adversary state after a run.
+    pub fn into_parts(self) -> (Vec<N>, A, Metrics) {
+        (self.nodes, self.adversary, self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FnAdversary, SilentAdversary};
+    use crate::message::Outgoing;
+
+    /// A node that broadcasts its id's parity in round 1 and from round 2 on outputs
+    /// the number of distinct senders it has heard from.
+    #[derive(Debug)]
+    struct Counter {
+        id: NodeId,
+        senders: std::collections::HashSet<NodeId>,
+        decided: Option<usize>,
+        decide_round: u64,
+    }
+
+    impl Counter {
+        fn new(id: NodeId, decide_round: u64) -> Self {
+            Counter { id, senders: Default::default(), decided: None, decide_round }
+        }
+    }
+
+    impl Protocol for Counter {
+        type Payload = u64;
+        type Output = usize;
+
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn step(&mut self, ctx: &RoundContext, inbox: &[Envelope<u64>]) -> Vec<Outgoing<u64>> {
+            self.senders.extend(inbox.iter().map(|e| e.from));
+            if ctx.round >= self.decide_round {
+                self.decided = Some(self.senders.len());
+                vec![]
+            } else {
+                vec![Outgoing::broadcast(self.id.raw())]
+            }
+        }
+
+        fn output(&self) -> Option<usize> {
+            self.decided
+        }
+    }
+
+    fn nodes(n: usize) -> Vec<Counter> {
+        (0..n).map(|i| Counter::new(NodeId::new(10 + 3 * i as u64), 3)).collect()
+    }
+
+    #[test]
+    fn all_nodes_hear_everyone_without_adversary() {
+        let mut engine = SyncEngine::new(nodes(5), SilentAdversary, vec![]);
+        engine.validate_ids().unwrap();
+        let outcome = engine.run_until_all_terminated(10).unwrap();
+        assert_eq!(outcome, RunOutcome::Completed { rounds: 3 });
+        for (_, out) in engine.outputs() {
+            assert_eq!(out, Some(5));
+        }
+    }
+
+    #[test]
+    fn byzantine_messages_reach_correct_nodes() {
+        let byz = NodeId::new(999);
+        let adv = FnAdversary::new(move |v: &AdversaryView<'_, u64>| {
+            v.correct_ids.iter().map(|&to| Directed::new(byz, to, 4242)).collect()
+        });
+        let mut engine = SyncEngine::new(nodes(4), adv, vec![byz]);
+        engine.run_until_all_terminated(10).unwrap();
+        for (_, out) in engine.outputs() {
+            assert_eq!(out, Some(5)); // 4 correct + 1 byzantine sender seen
+        }
+        assert!(engine.metrics().byzantine_messages > 0);
+    }
+
+    #[test]
+    fn forged_sender_is_rejected() {
+        let adv = FnAdversary::new(|v: &AdversaryView<'_, u64>| {
+            // Claim to be a correct node — must be rejected.
+            vec![Directed::new(v.correct_ids[0], v.correct_ids[1], 1)]
+        });
+        let mut engine = SyncEngine::new(nodes(3), adv, vec![NodeId::new(999)]);
+        let err = engine.run_rounds(1).unwrap_err();
+        assert!(matches!(err, SimError::ForgedSender { .. }));
+    }
+
+    #[test]
+    fn duplicate_payload_from_same_sender_is_deduplicated() {
+        let byz = NodeId::new(777);
+        let adv = FnAdversary::new(move |v: &AdversaryView<'_, u64>| {
+            // Send the same payload to the first correct node 5 times.
+            vec![Directed::new(byz, v.correct_ids[0], 1); 5]
+        });
+        let mut engine = SyncEngine::new(nodes(3), adv, vec![byz]);
+        engine.run_rounds(1).unwrap();
+        // 3 broadcasts × 4 recipients (3 correct + 1 byz) = 12 correct messages;
+        // deliveries to correct nodes: each correct node gets 3 correct messages,
+        // plus exactly ONE deduplicated byzantine delivery to the first node.
+        let m = engine.metrics();
+        assert_eq!(m.correct_messages, 12);
+        assert_eq!(m.byzantine_messages, 5);
+        assert_eq!(m.deliveries, 9 + 1);
+    }
+
+    #[test]
+    fn duplicate_ids_are_detected() {
+        let mut ns = nodes(3);
+        ns.push(Counter::new(NodeId::new(10), 3));
+        let engine = SyncEngine::new(ns, SilentAdversary, vec![]);
+        assert_eq!(engine.validate_ids().unwrap_err(), SimError::DuplicateId(NodeId::new(10)));
+    }
+
+    #[test]
+    fn run_until_respects_max_rounds() {
+        // Nodes decide at round 100, cap at 5 rounds.
+        let ns: Vec<Counter> =
+            (0..3).map(|i| Counter::new(NodeId::new(i), 100)).collect();
+        let mut engine = SyncEngine::new(ns, SilentAdversary, vec![]);
+        let err = engine.run_until_all_terminated(5).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 5 });
+        assert_eq!(engine.round(), 5);
+    }
+
+    #[test]
+    fn dynamic_join_and_leave() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
+        engine.run_rounds(1).unwrap();
+        engine.add_node(Counter::new(NodeId::new(500), 4)).unwrap();
+        assert_eq!(engine.correct_ids().len(), 4);
+        // Duplicate join is rejected.
+        assert!(engine.add_node(Counter::new(NodeId::new(500), 4)).is_err());
+        let removed = engine.remove_node(NodeId::new(500)).unwrap();
+        assert_eq!(removed.id(), NodeId::new(500));
+        assert!(engine.remove_node(NodeId::new(500)).is_err());
+        // Byzantine identity management.
+        engine.add_byzantine_id(NodeId::new(600)).unwrap();
+        assert!(engine.add_byzantine_id(NodeId::new(600)).is_err());
+        engine.remove_byzantine_id(NodeId::new(600)).unwrap();
+        assert!(engine.remove_byzantine_id(NodeId::new(600)).is_err());
+    }
+
+    #[test]
+    fn trace_records_deliveries_when_enabled() {
+        let config = EngineConfig { trace: true, trace_capacity: 1000, ..Default::default() };
+        let mut engine = SyncEngine::with_config(nodes(3), SilentAdversary, vec![], config);
+        engine.run_rounds(2).unwrap();
+        let trace = engine.trace().expect("tracing enabled");
+        assert!(!trace.events().is_empty());
+        // All traced events are from correct nodes here.
+        assert!(trace.events().iter().all(|e| !e.byzantine));
+    }
+
+    #[test]
+    fn terminated_nodes_stop_sending() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
+        engine.run_until_all_terminated(10).unwrap();
+        let msgs_after_done = {
+            let before = engine.metrics().correct_messages;
+            engine.run_rounds(2).unwrap();
+            engine.metrics().correct_messages - before
+        };
+        assert_eq!(msgs_after_done, 0);
+    }
+}

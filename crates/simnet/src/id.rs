@@ -1,0 +1,165 @@
+//! Node identifiers for the id-only model.
+//!
+//! The paper requires identifiers to be *unique* but **not necessarily consecutive**:
+//! a node cannot infer the number of participants from the identifier space. This
+//! module provides the [`NodeId`] newtype and the [`IdSpace`] generator, which produces
+//! deterministic, unique, non-consecutive identifier sets for experiments.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::seeded_rng;
+
+/// Identifier of a node in the id-only model.
+///
+/// Identifiers are unique but carry no structural information: they are not
+/// consecutive, not dense, and reveal nothing about `n` or `f`. Protocol code must
+/// therefore never use arithmetic on identifiers beyond ordering and equality — the
+/// rotor-coordinator, for instance, orders its candidate set by identifier, which is
+/// the only operation the paper's algorithms need.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node identifier from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw 64-bit value backing this identifier.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Strategy for generating a set of unique identifiers.
+///
+/// Experiments must not accidentally leak `n` to the algorithms through the identifier
+/// layout, so the default strategies produce sparse, shuffled identifier sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdSpace {
+    /// Consecutive identifiers `0, 1, 2, …` — only used by the classic baselines,
+    /// which assume consecutive identifiers (e.g. the known-`f` rotating coordinator).
+    Consecutive,
+    /// Identifiers spaced by a fixed stride with per-identifier jitter, e.g.
+    /// `7, 112, 203, 311, …`. This is the default for id-only experiments.
+    Sparse {
+        /// Average gap between successive identifiers (must be ≥ 2).
+        stride: u64,
+    },
+    /// Uniformly random 64-bit identifiers (collisions are re-drawn).
+    Random,
+}
+
+impl Default for IdSpace {
+    fn default() -> Self {
+        IdSpace::Sparse { stride: 97 }
+    }
+}
+
+impl IdSpace {
+    /// Generates `count` unique identifiers deterministically from `seed`.
+    ///
+    /// The returned vector is sorted in increasing identifier order; callers that
+    /// need an arbitrary assignment order should shuffle it themselves.
+    pub fn generate(self, count: usize, seed: u64) -> Vec<NodeId> {
+        let mut rng = seeded_rng(seed);
+        match self {
+            IdSpace::Consecutive => (0..count as u64).map(NodeId::new).collect(),
+            IdSpace::Sparse { stride } => {
+                let stride = stride.max(2);
+                let mut ids = Vec::with_capacity(count);
+                let mut next = rng.gen_range(1..stride);
+                for _ in 0..count {
+                    ids.push(NodeId::new(next));
+                    next += 1 + rng.gen_range(1..stride);
+                }
+                ids
+            }
+            IdSpace::Random => {
+                let mut ids = std::collections::BTreeSet::new();
+                while ids.len() < count {
+                    ids.insert(rng.gen::<u64>());
+                }
+                ids.into_iter().map(NodeId::new).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip_and_display() {
+        let id = NodeId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+        assert_eq!(NodeId::from(7u64), NodeId::new(7));
+    }
+
+    #[test]
+    fn node_ids_order_by_raw_value() {
+        let a = NodeId::new(3);
+        let b = NodeId::new(30);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn consecutive_ids_are_dense() {
+        let ids = IdSpace::Consecutive.generate(5, 0);
+        assert_eq!(ids, (0..5).map(NodeId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_ids_are_unique_sorted_and_non_consecutive() {
+        let ids = IdSpace::Sparse { stride: 50 }.generate(100, 7);
+        assert_eq!(ids.len(), 100);
+        for pair in ids.windows(2) {
+            assert!(pair[0] < pair[1], "ids must be strictly increasing");
+            assert!(
+                pair[1].raw() - pair[0].raw() >= 2,
+                "sparse ids must not be consecutive"
+            );
+        }
+    }
+
+    #[test]
+    fn random_ids_are_unique() {
+        let ids = IdSpace::Random.generate(256, 123);
+        let set: std::collections::HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(set.len(), 256);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_fixed_seed() {
+        let a = IdSpace::default().generate(32, 99);
+        let b = IdSpace::default().generate(32, 99);
+        assert_eq!(a, b);
+        let c = IdSpace::default().generate(32, 100);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,95 @@
+//! # uba-simnet
+//!
+//! A deterministic, synchronous, round-based message-passing simulator for the
+//! *id-only* Byzantine model of Khanchandani & Wattenhofer (IPDPS 2021,
+//! "Byzantine Agreement with Unknown Participants and Failures").
+//!
+//! In the id-only model the system consists of `n` nodes, at most `f` of which are
+//! Byzantine, and **no node knows `n` or `f`**. Nodes have unique but not necessarily
+//! consecutive identifiers, know only their own identifier at initialisation, and the
+//! computation proceeds in synchronous rounds: messages sent in round `r` are delivered
+//! at the beginning of round `r + 1`. A node can broadcast to everyone or reply to a
+//! node it has already heard from. The sender identifier is attached to every message
+//! by the network, so a Byzantine node cannot forge its identifier when communicating
+//! directly — but it can lie about anything else, including claiming to have heard from
+//! non-existent nodes.
+//!
+//! This crate provides the substrate on which the algorithms of the paper
+//! (implemented in `uba-core`) and the classic known-`(n, f)` baselines
+//! (implemented in `uba-baselines`) run:
+//!
+//! * [`NodeId`] and [`IdSpace`] — unique, non-consecutive identifier generation;
+//! * [`Protocol`] — the state-machine interface a correct node implements;
+//! * [`Adversary`] — the interface through which Byzantine nodes inject traffic,
+//!   with a *rushing* view of the round's correct messages;
+//! * [`SyncEngine`] — the lock-step round scheduler (with dynamic membership);
+//! * [`DelayEngine`] — an engine with per-message delays used to reproduce the
+//!   semi-synchronous / asynchronous impossibility constructions of Section IX;
+//! * [`Metrics`] and [`TraceLog`] — round, message and delivery accounting;
+//! * [`ChurnSchedule`] — declarative join/leave schedules for dynamic networks.
+//!
+//! Executions are fully deterministic given a seed (see [`rng`]), which makes every
+//! experiment in the repository reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use uba_simnet::{NodeId, Protocol, RoundContext, Envelope, Outgoing, Destination,
+//!                  SyncEngine, adversary::SilentAdversary};
+//!
+//! /// A toy protocol: every node broadcasts a greeting and outputs the number of
+//! /// distinct greetings it received.
+//! struct Greeter { id: NodeId, heard: usize, done: bool }
+//!
+//! impl Protocol for Greeter {
+//!     type Payload = &'static str;
+//!     type Output = usize;
+//!     fn id(&self) -> NodeId { self.id }
+//!     fn step(&mut self, ctx: &RoundContext, inbox: &[Envelope<&'static str>])
+//!         -> Vec<Outgoing<&'static str>>
+//!     {
+//!         match ctx.round {
+//!             1 => vec![Outgoing { dest: Destination::Broadcast, payload: "hello" }],
+//!             _ => { self.heard = inbox.len(); self.done = true; vec![] }
+//!         }
+//!     }
+//!     fn output(&self) -> Option<usize> { self.done.then_some(self.heard) }
+//! }
+//!
+//! let nodes = (0..4).map(|i| Greeter { id: NodeId::new(10 * i + 7), heard: 0, done: false });
+//! let mut engine = SyncEngine::new(nodes.collect(), SilentAdversary::default(), vec![]);
+//! engine.run_until_all_terminated(10).unwrap();
+//! for (_, out) in engine.outputs() {
+//!     assert_eq!(out, Some(4)); // every node heard all four greetings (self included)
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod delay;
+pub mod dynamic;
+pub mod engine;
+pub mod error;
+pub mod faults;
+pub mod id;
+pub mod message;
+pub mod metrics;
+pub mod node;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use adversary::{Adversary, AdversaryView, FnAdversary, SilentAdversary};
+pub use delay::{DelayEngine, DelayModel, PartitionSpec};
+pub use dynamic::{ChurnEvent, ChurnSchedule};
+pub use engine::{EngineConfig, RunOutcome, SyncEngine};
+pub use error::SimError;
+pub use faults::{Collusion, NoiseAdversary, RecordingAdversary, RoundWindow, StaggeredCrash};
+pub use id::{IdSpace, NodeId};
+pub use message::{Destination, Directed, Envelope, Outgoing};
+pub use metrics::{Metrics, RoundMetrics};
+pub use node::{Protocol, RoundContext};
+pub use stats::{Histogram, RateEstimate, Summary};
+pub use trace::{TraceEvent, TraceLog};

@@ -1,0 +1,117 @@
+//! Message envelopes exchanged through the simulated network.
+//!
+//! The network attaches the *true* sender identifier to every delivered message
+//! ([`Envelope::from`]), so a Byzantine node cannot forge its identity when talking
+//! directly to another node — exactly the guarantee the paper's model gives.
+//! Payloads themselves are protocol-defined and completely opaque to the engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+
+/// Where an outgoing message should be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Destination {
+    /// Deliver to every node currently in the system, including the sender itself.
+    ///
+    /// Self-delivery matches the paper's algorithms (e.g. Algorithm 4 broadcasts the
+    /// input "to all the nodes (including self)") and keeps the counting arguments of
+    /// the proofs, which include the sender among the `g` correct nodes, literal.
+    Broadcast,
+    /// Deliver to a single node. The model only allows a correct node to unicast to a
+    /// node it has already heard from; protocol implementations are responsible for
+    /// respecting that restriction (the engine does not track it).
+    Unicast(NodeId),
+}
+
+/// A message produced by a correct node in a round, before the sender id is attached.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outgoing<P> {
+    /// Where the message goes.
+    pub dest: Destination,
+    /// Protocol-defined payload.
+    pub payload: P,
+}
+
+impl<P> Outgoing<P> {
+    /// Convenience constructor for a broadcast message.
+    pub fn broadcast(payload: P) -> Self {
+        Outgoing { dest: Destination::Broadcast, payload }
+    }
+
+    /// Convenience constructor for a unicast message.
+    pub fn unicast(to: NodeId, payload: P) -> Self {
+        Outgoing { dest: Destination::Unicast(to), payload }
+    }
+}
+
+/// A message as delivered to a recipient: payload plus the authenticated sender id.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope<P> {
+    /// The true identifier of the sender (attached by the network, unforgeable).
+    pub from: NodeId,
+    /// Protocol-defined payload.
+    pub payload: P,
+}
+
+impl<P> Envelope<P> {
+    /// Creates an envelope.
+    pub fn new(from: NodeId, payload: P) -> Self {
+        Envelope { from, payload }
+    }
+}
+
+/// A fully addressed message: sender, recipient and payload.
+///
+/// This is the form in which the [`Adversary`](crate::Adversary) injects traffic —
+/// Byzantine nodes may send *different* payloads to different recipients
+/// (equivocation), which is why the adversary works with `Directed` messages rather
+/// than [`Outgoing`] ones. The engine verifies that `from` is one of the adversary's
+/// own identities, so even a Byzantine node cannot forge someone else's sender id.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Directed<P> {
+    /// Claimed (and engine-verified) sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Protocol-defined payload.
+    pub payload: P,
+}
+
+impl<P> Directed<P> {
+    /// Creates a directed message.
+    pub fn new(from: NodeId, to: NodeId, payload: P) -> Self {
+        Directed { from, to, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let b = Outgoing::broadcast("x");
+        assert_eq!(b.dest, Destination::Broadcast);
+        assert_eq!(b.payload, "x");
+
+        let u = Outgoing::unicast(NodeId::new(3), 7u32);
+        assert_eq!(u.dest, Destination::Unicast(NodeId::new(3)));
+        assert_eq!(u.payload, 7);
+
+        let e = Envelope::new(NodeId::new(1), "hi");
+        assert_eq!(e.from, NodeId::new(1));
+
+        let d = Directed::new(NodeId::new(1), NodeId::new(2), 9u8);
+        assert_eq!((d.from, d.to, d.payload), (NodeId::new(1), NodeId::new(2), 9));
+    }
+
+    #[test]
+    fn destinations_compare_by_target() {
+        assert_ne!(Destination::Broadcast, Destination::Unicast(NodeId::new(0)));
+        assert_eq!(
+            Destination::Unicast(NodeId::new(5)),
+            Destination::Unicast(NodeId::new(5))
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Execution tracing.
+//!
+//! A [`TraceLog`] records every delivered message. It is disabled by default (tracing
+//! every message of a large sweep would dominate memory), and enabled by the tests
+//! and by the experiment runner when a detailed view of an execution is needed — for
+//! instance to verify the *relay* property of reliable broadcast, which is a statement
+//! about the rounds in which different correct nodes accept.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NodeId;
+
+/// A single delivered message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent<P> {
+    /// Round at the beginning of which the message was delivered.
+    pub round: u64,
+    /// True sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Whether the sender was controlled by the adversary.
+    pub byzantine: bool,
+    /// Payload as delivered.
+    pub payload: P,
+}
+
+/// A bounded log of delivered messages.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLog<P> {
+    events: Vec<TraceEvent<P>>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<P> TraceLog<P> {
+    /// Creates a trace log that keeps at most `capacity` events; further events are
+    /// counted but not stored.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event, respecting the capacity bound.
+    pub fn record(&mut self, event: TraceEvent<P>) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in delivery order.
+    pub fn events(&self) -> &[TraceEvent<P>] {
+        &self.events
+    }
+
+    /// Number of events that exceeded the capacity and were dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events delivered in a specific round.
+    pub fn in_round(&self, round: u64) -> impl Iterator<Item = &TraceEvent<P>> {
+        self.events.iter().filter(move |e| e.round == round)
+    }
+
+    /// Events delivered to a specific node.
+    pub fn to_node(&self, to: NodeId) -> impl Iterator<Item = &TraceEvent<P>> {
+        self.events.iter().filter(move |e| e.to == to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: u64, from: u64, to: u64, byz: bool) -> TraceEvent<u32> {
+        TraceEvent { round, from: NodeId::new(from), to: NodeId::new(to), byzantine: byz, payload: 0 }
+    }
+
+    #[test]
+    fn records_up_to_capacity_and_counts_drops() {
+        let mut log = TraceLog::with_capacity(2);
+        log.record(ev(1, 1, 2, false));
+        log.record(ev(1, 2, 1, false));
+        log.record(ev(2, 1, 2, true));
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn filters_by_round_and_recipient() {
+        let mut log = TraceLog::with_capacity(16);
+        log.record(ev(1, 1, 2, false));
+        log.record(ev(2, 2, 3, false));
+        log.record(ev(2, 3, 2, true));
+        assert_eq!(log.in_round(2).count(), 2);
+        assert_eq!(log.to_node(NodeId::new(2)).count(), 2);
+        assert_eq!(log.to_node(NodeId::new(9)).count(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: Byzantine consensus without knowing how many participants there are.
+//!
+//! Seven nodes with sparse, non-consecutive identifiers hold split binary opinions.
+//! Two additional Byzantine nodes announce themselves and then try to split the vote.
+//! No correct node is ever told `n = 9` or `f = 2` — yet they all decide the same
+//! value, and that value was the input of some correct node.
+//!
+//! Run with `cargo run -p uba-core --example quickstart`.
+
+use uba_core::adversaries::SplitVote;
+use uba_core::Consensus;
+use uba_simnet::{IdSpace, Protocol, SyncEngine};
+
+fn main() {
+    // Sparse, non-consecutive identifiers: nobody can infer n from them.
+    let ids = IdSpace::default().generate(9, 42);
+    let (correct_ids, byzantine_ids) = ids.split_at(7);
+
+    println!("correct nodes  : {correct_ids:?}");
+    println!("byzantine nodes: {byzantine_ids:?}");
+
+    // Correct nodes with split opinions. Note that a node is constructed from its id
+    // and its input only — no n, no f, no membership list.
+    let nodes: Vec<Consensus<u64>> = correct_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| Consensus::new(id, (i % 2) as u64))
+        .collect();
+
+    // The adversary pushes opposite values to different halves of the network.
+    let adversary = SplitVote::new(0u64, 1u64);
+
+    let mut engine = SyncEngine::new(nodes, adversary, byzantine_ids.to_vec());
+    engine.run_until_all_terminated(300).expect("consensus terminates");
+
+    println!("\nround | node        | decided | phase");
+    println!("------+-------------+---------+------");
+    for node in engine.nodes() {
+        let decision = node.decision().expect("every correct node decided");
+        println!(
+            "{:>5} | {:<11} | {:>7} | {:>5}",
+            decision.round,
+            node.id().to_string(),
+            decision.value,
+            decision.phase
+        );
+    }
+
+    let decisions: Vec<u64> =
+        engine.outputs().into_iter().map(|(_, d)| d.unwrap().value).collect();
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+    println!(
+        "\nall {} correct nodes agreed on {} after {} rounds and {} messages",
+        decisions.len(),
+        decisions[0],
+        engine.round(),
+        engine.metrics().correct_messages
+    );
+}

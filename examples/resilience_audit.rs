@@ -1,0 +1,68 @@
+//! Monte-Carlo resilience audit of the consensus protocol.
+//!
+//! A single execution shows that one adversary, on one seed, failed to break
+//! agreement; an *audit* repeats the question across seeds, adversary strategies and
+//! failure counts, inside and outside the `n > 3f` bound, and reports rates. The
+//! sweep is embarrassingly parallel, so it fans the trials out over worker threads
+//! with the crossbeam-based harness from `uba-bench` — the aggregate numbers are
+//! identical for any worker count.
+//!
+//! Run with `cargo run -p uba-bench --release --example resilience_audit`.
+
+use std::time::Instant;
+
+use uba_bench::montecarlo::{ResilienceSweep, SweepConfig};
+use uba_core::runner::AdversaryKind;
+
+fn main() {
+    let trials = 24u64;
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+    println!("auditing consensus: {trials} trials per cell, {workers} worker threads\n");
+
+    let adversaries = [
+        ("silent", AdversaryKind::Silent),
+        ("announce-then-silent", AdversaryKind::AnnounceThenSilent),
+        ("partial-announce", AdversaryKind::PartialAnnounce),
+        ("split-vote", AdversaryKind::SplitVote),
+    ];
+
+    println!(
+        "{:>3} {:>3} {:>6} {:<22} {:>11} {:>10} {:>22}",
+        "n", "f", "n>3f?", "adversary", "agreement", "validity", "rounds (mean ± ci)"
+    );
+    println!("{}", "-".repeat(84));
+
+    let started = Instant::now();
+    for &f in &[1usize, 2, 3] {
+        // One configuration inside the bound (n = 3f + 1) and one exactly at n = 3f.
+        for &(correct, label) in &[(2 * f + 1, true), (2 * f, false)] {
+            let n = correct + f;
+            for (name, adversary) in adversaries {
+                let sweep = ResilienceSweep {
+                    correct,
+                    byzantine: f,
+                    adversary,
+                    config: SweepConfig::new(trials, 0xA0D17 + f as u64).with_workers(workers),
+                };
+                let outcome = sweep.run();
+                println!(
+                    "{:>3} {:>3} {:>6} {:<22} {:>11} {:>10} {:>22}",
+                    n,
+                    f,
+                    label,
+                    name,
+                    outcome.agreement.display(),
+                    outcome.validity.display(),
+                    outcome.rounds.display(1)
+                );
+            }
+        }
+        println!();
+    }
+    println!("audit finished in {:.2?}", started.elapsed());
+    println!(
+        "\nReading the table: inside the bound (n > 3f) every cell must show agreement and \
+         validity rates of 1.000 — that is Theorem 3. At n = 3f nothing is promised; the rates \
+         there are whatever the adversary managed on these seeds."
+    );
+}

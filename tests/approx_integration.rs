@@ -1,0 +1,144 @@
+//! Integration tests for approximate agreement (Algorithm 4, Theorem 4), its iterated
+//! and dynamic variants (Section XI) and the subset-join observation (Section XII),
+//! verified through the `uba-checker` oracles.
+
+use uba_bench::workload::{clustered_with_outliers, rolling_churn_plan, uniform_reals};
+use uba_checker::approx::{check_approx, check_approx_real, check_convergence};
+use uba_core::approx::{ApproxAgreement, IteratedApproxAgreement};
+use uba_core::dynamic_approx::{run_dynamic_approx, subset_join_value, ChurnPlan};
+use uba_core::runner::{run_approx, run_iterated_approx, Scenario};
+use uba_core::Real;
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, NodeId, SyncEngine};
+
+#[test]
+fn single_shot_satisfies_theorem_4_across_sizes_and_inputs() {
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (13, 4), (31, 10)] {
+        let scenario = Scenario::new(n - f, f, 1_000 + n as u64);
+        let inputs = uniform_reals(n - f, -50.0, 150.0, 2_000 + n as u64);
+        let report = run_approx(&scenario, &inputs).expect("approx run completes");
+        let outputs = vec![report.output_range.0, report.output_range.1];
+        check_approx(&inputs, &outputs)
+            .assert_passed(&format!("single-shot approx with n = {n}, f = {f}"));
+        assert!(report.outputs_in_range);
+        assert!(report.contraction < 1.0);
+    }
+}
+
+#[test]
+fn sensor_style_outliers_are_trimmed_away() {
+    // Most correct inputs cluster around 100; three are wild outliers. The Byzantine
+    // nodes additionally push extreme values. Outputs must stay inside the *correct*
+    // input range (which includes the honest outliers) and contract.
+    let inputs = clustered_with_outliers(10, 100.0, 2.0, 3, 7);
+    let scenario = Scenario::new(10, 3, 31);
+    let report = run_approx(&scenario, &inputs).expect("approx run completes");
+    let outputs = vec![report.output_range.0, report.output_range.1];
+    check_approx(&inputs, &outputs).assert_passed("clustered inputs with honest outliers");
+}
+
+#[test]
+fn per_sender_deduplication_keeps_byzantine_stuffing_out() {
+    // A single Byzantine identity sends five different extreme values to the same
+    // node in round 1; only one of them may count towards R_v.
+    let ids = IdSpace::default().generate(5, 17);
+    let byz = NodeId::new(999_000);
+    let inputs = [10.0, 11.0, 12.0, 13.0, 14.0];
+    let nodes: Vec<ApproxAgreement> = ids
+        .iter()
+        .zip(&inputs)
+        .map(|(&id, &x)| ApproxAgreement::new(id, Real::from_f64(x)))
+        .collect();
+    let adversary = FnAdversary::new(move |view: &AdversaryView<'_, Real>| {
+        if view.round != 1 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for &to in view.correct_ids {
+            for k in 0..5 {
+                out.push(Directed::new(byz, to, Real::from_f64(-1e6 - k as f64)));
+            }
+        }
+        out
+    });
+    let mut engine = SyncEngine::new(nodes, adversary, vec![byz]);
+    engine.run_until_all_output(4).unwrap();
+    let outputs: Vec<Real> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+    let input_reals: Vec<Real> = inputs.iter().map(|&x| Real::from_f64(x)).collect();
+    check_approx_real(&input_reals, &outputs).assert_passed("value-stuffing adversary");
+    for node in engine.nodes() {
+        assert_eq!(node.n_v(), 6, "5 correct senders + exactly one counted Byzantine sender");
+    }
+}
+
+#[test]
+fn iterated_agreement_halves_every_iteration_and_checker_confirms() {
+    let scenario = Scenario::new(12, 3, 99);
+    let inputs = uniform_reals(12, 0.0, 640.0, 5);
+    let spreads = run_iterated_approx(&scenario, &inputs, 8).expect("iterated run completes");
+    assert_eq!(spreads.len(), 8);
+    check_convergence(&spreads).assert_passed("iterated halving");
+    assert!(*spreads.last().unwrap() < 640.0 / 2f64.powi(7) * 1.01);
+}
+
+#[test]
+fn iterated_agreement_with_injected_values_recovers() {
+    // Model a value injection between iterations (a proxy for a node replacing its
+    // state after a reconfiguration): convergence must resume afterwards.
+    let ids = IdSpace::default().generate(9, 3);
+    let nodes: Vec<IteratedApproxAgreement> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| IteratedApproxAgreement::new(id, Real::from_int(i as i64 * 8), 10))
+        .collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+    engine.run_rounds(3).unwrap();
+    engine.nodes_mut()[0].inject_value(Real::from_int(10_000));
+    engine.run_until_all_terminated(20).unwrap();
+    let finals: Vec<f64> =
+        engine.outputs().into_iter().map(|(_, o)| o.unwrap().to_f64()).collect();
+    let spread = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - finals.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 200.0, "convergence must resume after the injection, spread = {spread}");
+}
+
+#[test]
+fn dynamic_network_reconverges_after_every_join() {
+    let ids = IdSpace::default().generate(10, 11);
+    let inputs = uniform_reals(10, 0.0, 100.0, 13);
+    let initial: Vec<(NodeId, Real)> =
+        ids.iter().zip(&inputs).map(|(&id, &x)| (id, Real::from_f64(x))).collect();
+    // Churn stops at round 24; the run continues to round 32 so the system has a
+    // churn-free tail to reconverge in.
+    let plan = rolling_churn_plan(&ids, 24, 6, 0.0, 100.0, 17);
+    let report = run_dynamic_approx(&initial, &plan, 32).expect("dynamic run completes");
+    // Joiner values come from the same [0, 100] range, so the spread can never exceed
+    // the original range, and well after the last join it must have collapsed again.
+    assert!(report.spread_per_round.iter().all(|&s| s <= 100.0 + 1e-6));
+    assert!(report.final_spread() < 5.0, "final spread {}", report.final_spread());
+}
+
+#[test]
+fn dynamic_network_without_churn_matches_the_static_iterated_protocol() {
+    let ids = IdSpace::default().generate(8, 21);
+    let inputs = uniform_reals(8, -10.0, 10.0, 22);
+    let initial: Vec<(NodeId, Real)> =
+        ids.iter().zip(&inputs).map(|(&id, &x)| (id, Real::from_f64(x))).collect();
+    let report = run_dynamic_approx(&initial, &ChurnPlan::none(), 6).expect("run completes");
+    check_convergence(&report.spread_per_round[1..]).assert_passed("churn-free dynamic run");
+}
+
+#[test]
+fn subset_join_brings_a_newcomer_into_the_cluster() {
+    // Section XII: nodes already agree around 42; a newcomer with a wild value runs
+    // one Algorithm 4 step against a 7-node subset and must land inside the cluster.
+    let subset: Vec<Real> =
+        [41.8, 41.9, 42.0, 42.0, 42.1, 42.2, 42.3].iter().map(|&x| Real::from_f64(x)).collect();
+    for &outlier in &[-1e6, 0.0, 1e9] {
+        let joined = subset_join_value(Real::from_f64(outlier), &subset);
+        assert!(
+            joined >= Real::from_f64(41.8) && joined <= Real::from_f64(42.3),
+            "joiner with input {outlier} landed at {joined}, outside the cluster"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Tests at the resiliency boundary: the paper's guarantees hold exactly when
+//! `n > 3f`. These tests pin the behaviour at `n = 3f + 1` (the hardest admissible
+//! point), document what is and is not promised at `n = 3f` (nothing), and cover the
+//! degenerate corners (`f = 0`, a single node, an empty system).
+
+use uba_checker::consensus::{check_consensus, ConsensusCheck, ConsensusObservation};
+use uba_core::quorum::{max_faults, meets_one_third, meets_two_thirds, resilient};
+use uba_core::runner::{
+    run_approx, run_broadcast_correct_source, run_broadcast_equivocating_source, run_consensus,
+    run_rotor, AdversaryKind, Scenario,
+};
+use uba_core::Consensus;
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{IdSpace, NodeId, Protocol, SyncEngine};
+
+#[test]
+fn every_primitive_holds_at_exactly_n_equals_3f_plus_1() {
+    for &f in &[1usize, 2, 3, 4] {
+        let n = 3 * f + 1;
+        let correct = n - f;
+        let scenario = Scenario::new(correct, f, 500 + f as u64);
+        assert!(scenario.resilient());
+
+        // Consensus under the strongest scripted adversary.
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        let consensus = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
+        assert!(consensus.agreement && consensus.validity, "consensus at n = 3f + 1, f = {f}");
+
+        // Reliable broadcast with correct and equivocating sources.
+        let correct_source = run_broadcast_correct_source(&scenario, 9, 12).unwrap();
+        assert!(correct_source.consistent);
+        assert!(correct_source.accepted.iter().all(|set| set == &vec![9]));
+        let equivocating = run_broadcast_equivocating_source(&scenario, 1, 2, 12).unwrap();
+        assert!(equivocating.consistent);
+
+        // Rotor-coordinator witnesses a good round.
+        let rotor = run_rotor(&scenario, AdversaryKind::AnnounceThenSilent).unwrap();
+        assert!(rotor.good_round, "rotor at n = 3f + 1, f = {f}");
+
+        // Approximate agreement stays inside the correct range.
+        let reals: Vec<f64> = (0..correct).map(|i| i as f64 * 7.0).collect();
+        let approx = run_approx(&scenario, &reals).unwrap();
+        assert!(approx.outputs_in_range && approx.contraction < 1.0);
+    }
+}
+
+#[test]
+fn beyond_the_boundary_nothing_is_promised_but_nothing_panics() {
+    // n = 3f: the guarantees may fail — the paper proves they cannot be guaranteed —
+    // but the implementation must stay well-behaved (terminate or hit the round cap,
+    // never panic or deadlock the test).
+    for &f in &[1usize, 2] {
+        let n = 3 * f;
+        let scenario = Scenario { max_rounds: 200, ..Scenario::new(n - f, f, 900 + f as u64) };
+        assert!(!scenario.resilient());
+        let inputs: Vec<u64> = (0..n - f).map(|i| (i % 2) as u64).collect();
+        // The run may legitimately time out (MaxRoundsExceeded) or disagree; both are
+        // acceptable outcomes outside the resiliency bound.
+        match run_consensus(&scenario, &inputs, AdversaryKind::SplitVote) {
+            Ok(report) => {
+                assert_eq!(report.decisions.len(), n - f);
+            }
+            Err(err) => {
+                assert!(
+                    matches!(err, uba_simnet::SimError::MaxRoundsExceeded { .. }),
+                    "unexpected failure kind: {err}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_systems_decide_fast() {
+    // f = 0: the protocols still work (they never knew f anyway) and unanimity decides
+    // in the first phase.
+    let scenario = Scenario::new(6, 0, 42);
+    let report = run_consensus(&scenario, &[3, 3, 3, 3, 3, 3], AdversaryKind::Silent).unwrap();
+    assert!(report.agreement && report.validity);
+    assert_eq!(report.decisions, vec![3; 6]);
+    assert!(report.rounds <= 8, "unanimous inputs decide in the first phase");
+}
+
+#[test]
+fn a_single_node_system_agrees_with_itself() {
+    let ids = IdSpace::default().generate(1, 7);
+    let nodes = vec![Consensus::new(ids[0], 99u64)];
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+    engine.run_until_all_terminated(100).unwrap();
+    let observations: Vec<ConsensusObservation<u64>> = engine
+        .nodes()
+        .iter()
+        .map(|node| ConsensusObservation {
+            node: Protocol::id(node),
+            input: *node.input(),
+            decision: node.decision().cloned(),
+        })
+        .collect();
+    check_consensus(&observations, ConsensusCheck::default()).assert_passed("single node");
+    assert_eq!(observations[0].decision.as_ref().unwrap().value, 99);
+}
+
+#[test]
+fn quorum_arithmetic_pins_the_boundary_exactly() {
+    // The n > 3f boundary in exact integer arithmetic, for a range of n.
+    for n in 1usize..200 {
+        let f = max_faults(n);
+        assert!(resilient(n, f));
+        assert!(!resilient(n, f + 1));
+        assert_eq!(f, (n - 1) / 3);
+    }
+    // Threshold helpers at the exact fractional boundaries.
+    assert!(meets_one_third(1, 3));
+    assert!(!meets_one_third(0, 3));
+    assert!(meets_two_thirds(2, 3));
+    assert!(!meets_two_thirds(1, 3));
+    assert!(meets_one_third(2, 6));
+    assert!(meets_two_thirds(4, 6));
+    assert!(!meets_two_thirds(3, 6));
+    // n_v = 0 (a node that heard from nobody) can never form a quorum.
+    assert!(!meets_one_third(0, 0));
+    assert!(!meets_two_thirds(0, 0));
+}
+
+#[test]
+fn byzantine_majorities_of_the_candidate_pool_cannot_forge_reliable_broadcast() {
+    // 7 correct receivers, 2 Byzantine identities echoing a value the (correct) source
+    // never sent. 2 < n_v/3 for every correct node, so the forged value is never
+    // accepted anywhere.
+    use uba_core::reliable_broadcast::{RbMessage, ReliableBroadcast};
+    use uba_simnet::{AdversaryView, Directed, FnAdversary};
+
+    let ids = IdSpace::default().generate(10, 77);
+    let byz: Vec<NodeId> = ids[8..].to_vec();
+    let source = ids[0];
+    let nodes: Vec<ReliableBroadcast<u64>> = ids[..8]
+        .iter()
+        .map(|&id| {
+            if id == source {
+                ReliableBroadcast::sender(id, 5u64)
+            } else {
+                ReliableBroadcast::receiver(id, source)
+            }
+        })
+        .collect();
+    let byz_clone = byz.clone();
+    let adversary = FnAdversary::new(move |view: &AdversaryView<'_, RbMessage<u64>>| {
+        let mut out = Vec::new();
+        for &from in &byz_clone {
+            for &to in view.correct_ids {
+                let payload = if view.round == 1 {
+                    RbMessage::Present
+                } else {
+                    RbMessage::Echo(666u64)
+                };
+                out.push(Directed::new(from, to, payload));
+            }
+        }
+        out
+    });
+    let mut engine = SyncEngine::new(nodes, adversary, byz);
+    engine.run_rounds(15).unwrap();
+    for node in engine.nodes() {
+        let accepted: Vec<u64> = node.accepted().iter().map(|a| a.message).collect();
+        assert_eq!(accepted, vec![5], "only the genuine broadcast may be accepted");
+    }
+}

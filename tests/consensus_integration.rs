@@ -1,0 +1,104 @@
+//! Cross-crate integration tests for consensus (Algorithm 3): agreement, validity and
+//! the O(f) round bound across system sizes, input patterns and adversaries.
+
+use uba_core::runner::{run_consensus, AdversaryKind, Scenario};
+use uba_core::Consensus;
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{IdSpace, SyncEngine};
+
+const ADVERSARIES: [AdversaryKind; 4] = [
+    AdversaryKind::Silent,
+    AdversaryKind::AnnounceThenSilent,
+    AdversaryKind::PartialAnnounce,
+    AdversaryKind::SplitVote,
+];
+
+#[test]
+fn agreement_and_validity_across_sizes_and_adversaries() {
+    for f in 1..=4usize {
+        let n = 3 * f + 1;
+        let correct = n - f;
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        for kind in ADVERSARIES {
+            let scenario = Scenario::new(correct, f, 100 + f as u64);
+            let report = run_consensus(&scenario, &inputs, kind)
+                .unwrap_or_else(|e| panic!("f={f}, {kind:?}: {e}"));
+            assert!(report.agreement, "agreement violated for f={f}, {kind:?}");
+            assert!(report.validity, "validity violated for f={f}, {kind:?}");
+        }
+    }
+}
+
+#[test]
+fn unanimous_inputs_always_decide_the_common_value() {
+    for &value in &[0u64, 1, 7, 1_000_000] {
+        let scenario = Scenario::new(7, 2, value.wrapping_add(5));
+        let inputs = vec![value; 7];
+        let report = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
+        assert!(report.decisions.iter().all(|&d| d == value));
+    }
+}
+
+#[test]
+fn round_complexity_grows_linearly_with_f() {
+    let mut previous_rounds = 0u64;
+    for f in 1..=5usize {
+        let correct = 2 * f + 1 + 4; // keep n > 3f with some slack
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        let scenario = Scenario::new(correct, f, 7 * f as u64);
+        let report =
+            run_consensus(&scenario, &inputs, AdversaryKind::AnnounceThenSilent).unwrap();
+        // O(f): at most a constant number of phases beyond f + 1, five rounds each,
+        // plus initialisation.
+        assert!(
+            report.rounds <= 5 * (f as u64 + 3) + 3,
+            "f = {f}: {} rounds exceeds the O(f) bound",
+            report.rounds
+        );
+        // Sanity: the bound itself grows, so runs are allowed to get slower — but the
+        // growth from one f to the next must stay bounded by one extra phase or so.
+        if previous_rounds > 0 {
+            assert!(report.rounds <= previous_rounds + 15);
+        }
+        previous_rounds = report.rounds;
+    }
+}
+
+#[test]
+fn consensus_works_with_non_binary_opinions() {
+    // Real-valued (here: large integer) opinions, as required for ordering events.
+    let ids = IdSpace::default().generate(6, 77);
+    let inputs: Vec<u64> = vec![1_000, 2_000, 3_000, 1_000, 2_000, 3_000];
+    let nodes: Vec<Consensus<u64>> = ids
+        .iter()
+        .zip(&inputs)
+        .map(|(&id, &input)| Consensus::new(id, input))
+        .collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+    engine.run_until_all_terminated(300).unwrap();
+    let decisions: Vec<u64> =
+        engine.outputs().into_iter().map(|(_, d)| d.unwrap().value).collect();
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+    assert!(inputs.contains(&decisions[0]));
+}
+
+#[test]
+fn decided_nodes_do_not_stall_the_rest() {
+    // Some nodes decide a phase earlier than others (the early-termination corner the
+    // substitution rule exists for); everyone must still decide.
+    let scenario = Scenario { max_rounds: 400, ..Scenario::new(10, 3, 909) };
+    let inputs: Vec<u64> = (0..10).map(|i| (i % 2) as u64).collect();
+    let report = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
+    assert_eq!(report.decisions.len(), 10);
+    assert!(report.agreement);
+}
+
+#[test]
+fn sparse_and_random_id_spaces_behave_identically() {
+    for id_space in [IdSpace::Sparse { stride: 1000 }, IdSpace::Random] {
+        let scenario = Scenario { id_space, ..Scenario::new(7, 2, 31) };
+        let inputs: Vec<u64> = (0..7).map(|i| (i % 2) as u64).collect();
+        let report = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
+        assert!(report.agreement && report.validity, "failed for {id_space:?}");
+    }
+}

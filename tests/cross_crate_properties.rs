@@ -1,0 +1,114 @@
+//! Property-based tests (proptest) over the core invariants: quorum arithmetic,
+//! agreement/validity of consensus, range containment of approximate agreement and
+//! consistency of reliable broadcast — under randomly drawn system sizes, inputs,
+//! seeds and adversary choices.
+
+use proptest::prelude::*;
+use uba_core::approx::trimmed_midpoint;
+use uba_core::quorum::{max_faults, meets_one_third, meets_two_thirds, resilient, trim_count};
+use uba_core::runner::{
+    run_approx, run_broadcast_correct_source, run_broadcast_equivocating_source, run_consensus,
+    AdversaryKind, Scenario,
+};
+use uba_core::Real;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact threshold arithmetic agrees with the rational definition for all inputs.
+    #[test]
+    fn quorum_thresholds_match_rational_arithmetic(count in 0usize..2000, n_v in 0usize..2000) {
+        let one_third = count > 0 && (count as f64) >= (n_v as f64) / 3.0 - 1e-12;
+        let two_thirds = count > 0 && (count as f64) >= 2.0 * (n_v as f64) / 3.0 - 1e-12;
+        prop_assert_eq!(meets_one_third(count, n_v), one_third);
+        prop_assert_eq!(meets_two_thirds(count, n_v), two_thirds);
+        prop_assert_eq!(trim_count(n_v), n_v / 3);
+    }
+
+    /// `max_faults` is the largest f with n > 3f.
+    #[test]
+    fn max_faults_is_maximal(n in 1usize..500) {
+        let f = max_faults(n);
+        prop_assert!(resilient(n, f));
+        prop_assert!(!resilient(n, f + 1));
+    }
+
+    /// The trimmed midpoint always lies within the input range and never panics.
+    #[test]
+    fn trimmed_midpoint_stays_in_range(values in proptest::collection::vec(-1_000_000i64..1_000_000, 1..50)) {
+        let reals: Vec<Real> = values.iter().map(|&v| Real::from_raw(v)).collect();
+        if let Some(mid) = trimmed_midpoint(reals.clone()) {
+            let lo = *reals.iter().min().unwrap();
+            let hi = *reals.iter().max().unwrap();
+            prop_assert!(mid >= lo && mid <= hi);
+        }
+    }
+}
+
+proptest! {
+    // End-to-end protocol runs are comparatively slow; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Consensus: agreement and validity hold for random sizes, inputs, seeds and
+    /// adversaries (within n > 3f).
+    #[test]
+    fn consensus_agreement_and_validity(
+        f in 1usize..4,
+        extra in 0usize..3,
+        seed in 0u64..1_000,
+        adversary_pick in 0usize..4,
+        input_bits in 0u32..128,
+    ) {
+        let correct = 2 * f + 1 + extra;
+        let scenario = Scenario::new(correct, f, seed);
+        let inputs: Vec<u64> = (0..correct).map(|i| ((input_bits >> (i % 32)) & 1) as u64).collect();
+        let kind = [
+            AdversaryKind::Silent,
+            AdversaryKind::AnnounceThenSilent,
+            AdversaryKind::PartialAnnounce,
+            AdversaryKind::SplitVote,
+        ][adversary_pick];
+        let report = run_consensus(&scenario, &inputs, kind).expect("terminates");
+        prop_assert!(report.agreement);
+        prop_assert!(report.validity);
+    }
+
+    /// Approximate agreement: outputs stay inside the correct input range and the
+    /// range contracts, for random inputs and Byzantine counts.
+    #[test]
+    fn approx_outputs_contained_and_contracting(
+        f in 1usize..4,
+        extra in 0usize..4,
+        seed in 0u64..1_000,
+        spread in 1.0f64..1_000.0,
+    ) {
+        let correct = 2 * f + 1 + extra;
+        let scenario = Scenario::new(correct, f, seed);
+        let inputs: Vec<f64> = (0..correct).map(|i| i as f64 * spread / correct as f64).collect();
+        let report = run_approx(&scenario, &inputs).expect("completes");
+        prop_assert!(report.outputs_in_range);
+        prop_assert!(report.contraction < 1.0);
+    }
+
+    /// Reliable broadcast: the accept sets of all correct nodes are identical, whether
+    /// the designated sender is correct or equivocating.
+    #[test]
+    fn reliable_broadcast_accept_sets_agree(
+        f in 1usize..4,
+        extra in 0usize..4,
+        seed in 0u64..1_000,
+        equivocate in proptest::bool::ANY,
+    ) {
+        let correct = 2 * f + 1 + extra;
+        let scenario = Scenario::new(correct, f, seed);
+        let report = if equivocate {
+            run_broadcast_equivocating_source(&scenario, 1, 2, 14).expect("completes")
+        } else {
+            run_broadcast_correct_source(&scenario, 7, 14).expect("completes")
+        };
+        prop_assert!(report.consistent);
+        if !equivocate {
+            prop_assert!(report.accepted.iter().all(|a| a == &vec![7]));
+        }
+    }
+}

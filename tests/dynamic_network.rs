@@ -1,0 +1,113 @@
+//! Integration tests for the dynamic-network algorithms (Section XI): total ordering
+//! under churn and approximate agreement with joining nodes.
+
+use uba_core::total_order::chains_agree;
+use uba_core::{IteratedApproxAgreement, OrderedEvent, Real, TotalOrderNode};
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{ChurnEvent, ChurnSchedule, IdSpace, NodeId, Protocol, SyncEngine};
+
+fn assert_prefix(chains: &[Vec<OrderedEvent<u64>>]) {
+    assert!(chains_agree(chains), "chain-prefix violated on the overlapping rounds");
+}
+
+#[test]
+fn total_order_with_join_and_leave_preserves_chain_prefix() {
+    let founder_ids = IdSpace::default().generate(5, 17);
+    let nodes: Vec<TotalOrderNode<u64>> =
+        founder_ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+    let joiner = NodeId::new(424_242);
+
+    for round in 0..90u64 {
+        if round == 15 {
+            engine.add_node(TotalOrderNode::joining(joiner)).unwrap();
+        }
+        if round == 35 {
+            let leaver = founder_ids[4];
+            if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == leaver) {
+                node.announce_leave();
+            }
+        }
+        let submitter = founder_ids[(round as usize) % 4];
+        if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == submitter) {
+            node.submit_event(round);
+        }
+        engine.run_rounds(1).unwrap();
+    }
+
+    // Chains of the nodes that stayed (including the joiner).
+    let chains: Vec<Vec<OrderedEvent<u64>>> = engine
+        .nodes()
+        .iter()
+        .filter(|n| n.id() != founder_ids[4])
+        .map(|n| n.chain().to_vec())
+        .collect();
+    assert_prefix(&chains);
+    assert!(chains.iter().any(|c| !c.is_empty()), "events were finalised");
+    // Chain growth: the founders' chain keeps up with the submitted events (allowing
+    // for the finality lag).
+    let reference = chains.iter().map(|c| c.len()).max().unwrap();
+    assert!(reference >= 40, "expected at least 40 finalised events, got {reference}");
+    // The joiner was integrated and learned the membership.
+    let joiner_node = engine.node(joiner).unwrap();
+    assert!(joiner_node.is_joined());
+    assert!(joiner_node.members().len() >= 4);
+}
+
+#[test]
+fn total_order_events_are_never_duplicated_or_reordered() {
+    let founder_ids = IdSpace::default().generate(4, 19);
+    let nodes: Vec<TotalOrderNode<u64>> =
+        founder_ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+    for round in 0..60u64 {
+        let submitter = founder_ids[(round as usize) % 4];
+        if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == submitter) {
+            node.submit_event(round);
+        }
+        engine.run_rounds(1).unwrap();
+    }
+    let chain = engine.nodes()[0].chain();
+    let events: Vec<u64> = chain.iter().map(|e| e.event).collect();
+    let mut deduped = events.clone();
+    deduped.dedup();
+    assert_eq!(events, deduped, "an event appears twice in the chain");
+    // Ordering follows the round in which events were witnessed.
+    assert!(chain.windows(2).all(|w| w[0].round <= w[1].round));
+}
+
+#[test]
+fn churn_schedule_describes_admissible_membership_changes() {
+    // The schedule helper enforces the paper's "n > 3f holds when the round starts".
+    let schedule = ChurnSchedule::empty()
+        .with(5, ChurnEvent::JoinCorrect(NodeId::new(100)))
+        .with(9, ChurnEvent::JoinByzantine(NodeId::new(200)))
+        .with(12, ChurnEvent::LeaveCorrect(NodeId::new(100)));
+    assert_eq!(schedule.first_resiliency_violation(7, 1), None);
+    // Starting from a barely-resilient system, adding a Byzantine node breaks it.
+    assert_eq!(schedule.first_resiliency_violation(3, 1), Some(9));
+}
+
+#[test]
+fn approximate_agreement_keeps_contracting_in_a_dynamic_setting() {
+    // Section XI: Algorithm 4 keeps working when values are injected between rounds;
+    // the range may temporarily grow when a joiner brings an outlier but contracts
+    // again afterwards.
+    let ids = IdSpace::default().generate(9, 23);
+    let iterations = 10u64;
+    let nodes: Vec<IteratedApproxAgreement> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| IteratedApproxAgreement::new(id, Real::from_int(i as i64 * 8), iterations))
+        .collect();
+    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
+    engine.run_rounds(4).unwrap();
+    // A "new" participant effectively injects a fresh value into one existing node.
+    engine.nodes_mut()[0].inject_value(Real::from_int(100));
+    engine.run_until_all_terminated(iterations + 5).unwrap();
+
+    let finals: Vec<f64> = engine.outputs().into_iter().map(|(_, o)| o.unwrap().to_f64()).collect();
+    let spread = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - finals.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 8.0, "values must re-converge after the injection, spread = {spread}");
+}
