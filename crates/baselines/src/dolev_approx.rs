@@ -24,7 +24,12 @@ pub struct DolevApprox {
 impl DolevApprox {
     /// Creates a node with the known failure bound `f` and its input value.
     pub fn new(id: NodeId, f: usize, input: Micro) -> Self {
-        DolevApprox { id, f, input, output: None }
+        DolevApprox {
+            id,
+            f,
+            input,
+            output: None,
+        }
     }
 
     /// The node's input.
@@ -94,17 +99,24 @@ mod tests {
             let mut out = Vec::new();
             for (b, &from) in byz_clone.iter().enumerate() {
                 for (i, &to) in view.correct_ids.iter().enumerate() {
-                    let v = if (i + b) % 2 == 0 { -1_000_000 } else { 1_000_000 };
+                    let v = if (i + b) % 2 == 0 {
+                        -1_000_000
+                    } else {
+                        1_000_000
+                    };
                     out.push(Directed::new(from, to, v));
                 }
             }
             out
         });
         let mut engine = SyncEngine::new(nodes, adversary, byz);
-        engine.run_until_all_output(4).unwrap();
+        engine.run_to_output(4).unwrap();
         for (_, out) in engine.outputs() {
             let v = out.unwrap();
-            assert!((10..=22).contains(&v), "output {v} escaped the correct range");
+            assert!(
+                (10..=22).contains(&v),
+                "output {v} escaped the correct range"
+            );
         }
     }
 
@@ -117,8 +129,12 @@ mod tests {
             .map(|(i, &id)| DolevApprox::new(id, 1, (i as Micro) * 100))
             .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_output(4).unwrap();
-        let outputs: Vec<Micro> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        engine.run_to_output(4).unwrap();
+        let outputs: Vec<Micro> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         let lo = *outputs.iter().min().unwrap();
         let hi = *outputs.iter().max().unwrap();
         assert!(lo >= 0 && hi <= 400);

@@ -1,0 +1,373 @@
+//! [`ProtocolFactory`] implementations for the known-`(n, f)` baselines.
+//!
+//! These factories let the same [`ScenarioBuilder`](uba_simnet::sim::ScenarioBuilder)
+//! that drives the id-only algorithms drive the classic baselines head-to-head: the
+//! factory reads `n` and `f` off the [`BuildContext`] (the knowledge the classic
+//! model grants every node) and fills the same [`RunReport`] sections as the
+//! corresponding id-only factory, so E5/E10-style comparisons are a matter of
+//! building the same scenario twice.
+//!
+//! The baselines assume consecutive identifiers; pair these factories with
+//! `IdSpace::Consecutive` (they assert it where the protocol depends on it).
+//!
+//! Scripted [`AdversaryKind`]s beyond [`AdversaryKind::Silent`] craft id-only
+//! protocol payloads that do not exist for the baseline wire formats, so every kind
+//! maps to silent faults here — the comparison experiments have always measured the
+//! baselines under fail-silent behaviour.
+
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::sim::{
+    approx_section_from_values, consensus_section_from_parts, AdversaryKind, BroadcastSection,
+    BuildContext, ConsensusDecision, NamedAdversary, NodeAcceptSet, ProtocolFactory, RotorSection,
+    RunReport, StopCondition,
+};
+use uba_simnet::{IdSpace, NodeId, Protocol};
+
+use crate::dolev_approx::DolevApprox;
+use crate::phase_king::PhaseKing;
+use crate::rotor_known::KnownRotor;
+use crate::srikanth_toueg::StBroadcast;
+
+fn silent<P>(kind: AdversaryKind) -> NamedAdversary<P> {
+    let name = match kind {
+        AdversaryKind::Silent => "silent",
+        // The scripted strategies speak id-only wire formats; for the baselines the
+        // Byzantine nodes simply fail silent (see module docs).
+        _ => "silent (baseline substitution)",
+    };
+    NamedAdversary::new(name, SilentAdversary)
+}
+
+/// Factory for Berman–Garay–Perry phase-king consensus (knows `n`, `f` and the full
+/// participant list).
+#[derive(Clone, Debug)]
+pub struct PhaseKingFactory {
+    inputs: Vec<u64>,
+}
+
+impl PhaseKingFactory {
+    /// One input per correct node, in construction order.
+    pub fn new(inputs: impl Into<Vec<u64>>) -> Self {
+        PhaseKingFactory {
+            inputs: inputs.into(),
+        }
+    }
+}
+
+impl ProtocolFactory for PhaseKingFactory {
+    type Node = PhaseKing<u64>;
+
+    fn protocol_name(&self) -> String {
+        "phase-king".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<PhaseKing<u64>> {
+        assert_eq!(
+            self.inputs.len(),
+            ctx.correct_ids.len(),
+            "one input per correct node"
+        );
+        assert_eq!(
+            ctx.spec.id_space,
+            IdSpace::Consecutive,
+            "phase-king's rotating king needs consecutive identifiers"
+        );
+        let participants = ctx.all_ids();
+        ctx.correct_ids
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&id, &input)| PhaseKing::new(id, participants.clone(), ctx.f(), input))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::phase_king::PhaseKingMessage<u64>> {
+        silent(kind)
+    }
+
+    fn record(&self, ctx: &BuildContext, nodes: &[PhaseKing<u64>], report: &mut RunReport) {
+        let inputs: Vec<(NodeId, u64)> = ctx
+            .correct_ids
+            .iter()
+            .copied()
+            .zip(self.inputs.iter().copied())
+            .collect();
+        let mut decisions = Vec::new();
+        let mut undecided = Vec::new();
+        for node in nodes {
+            match node.output() {
+                Some(value) => decisions.push(ConsensusDecision {
+                    node: node.id(),
+                    value,
+                    phase: 0,
+                    round: node.decided_round(),
+                }),
+                None => undecided.push(node.id()),
+            }
+        }
+        report.consensus = Some(consensus_section_from_parts(inputs, decisions, undecided));
+    }
+}
+
+/// Factory for Srikanth–Toueg authenticated broadcast (knows `f`); the designated
+/// sender is the first correct node.
+#[derive(Clone, Debug)]
+pub struct StBroadcastFactory {
+    value: u64,
+}
+
+impl StBroadcastFactory {
+    /// The value the (correct) designated sender broadcasts.
+    pub fn new(value: u64) -> Self {
+        StBroadcastFactory { value }
+    }
+}
+
+impl ProtocolFactory for StBroadcastFactory {
+    type Node = StBroadcast<u64>;
+
+    fn protocol_name(&self) -> String {
+        "srikanth-toueg".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<StBroadcast<u64>> {
+        let source = *ctx
+            .correct_ids
+            .first()
+            .expect("a correct designated sender");
+        ctx.correct_ids
+            .iter()
+            .map(|&id| {
+                if id == source {
+                    StBroadcast::sender(id, ctx.f(), self.value)
+                } else {
+                    StBroadcast::receiver(id, source, ctx.f())
+                }
+            })
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::srikanth_toueg::StMessage<u64>> {
+        silent(kind)
+    }
+
+    fn stop_condition(&self) -> StopCondition {
+        StopCondition::FixedRounds(8)
+    }
+
+    fn record(&self, ctx: &BuildContext, nodes: &[StBroadcast<u64>], report: &mut RunReport) {
+        let accepted: Vec<NodeAcceptSet> = nodes
+            .iter()
+            .map(|node| {
+                let mut values: Vec<(u64, u64)> = node.accepted().to_vec();
+                values.sort_unstable();
+                NodeAcceptSet {
+                    node: node.id(),
+                    values,
+                }
+            })
+            .collect();
+        let sets: Vec<Vec<u64>> = accepted
+            .iter()
+            .map(|set| set.values.iter().map(|&(message, _)| message).collect())
+            .collect();
+        let consistent = sets.windows(2).all(|w| w[0] == w[1]);
+        report.broadcast = Some(BroadcastSection {
+            source: *ctx
+                .correct_ids
+                .first()
+                .expect("a correct designated sender"),
+            source_correct: true,
+            sent: Some(self.value),
+            accepted,
+            consistent,
+        });
+    }
+}
+
+/// Factory for Dolev et al. approximate agreement with exact-`f` trimming; inputs
+/// are `f64`s scaled to micro units on the wire, like the id-only comparison feeds.
+#[derive(Clone, Debug)]
+pub struct DolevApproxFactory {
+    inputs: Vec<f64>,
+}
+
+impl DolevApproxFactory {
+    /// One input per correct node, in construction order.
+    pub fn new(inputs: impl Into<Vec<f64>>) -> Self {
+        DolevApproxFactory {
+            inputs: inputs.into(),
+        }
+    }
+}
+
+impl ProtocolFactory for DolevApproxFactory {
+    type Node = DolevApprox;
+
+    fn protocol_name(&self) -> String {
+        "dolev-approx".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<DolevApprox> {
+        assert_eq!(
+            self.inputs.len(),
+            ctx.correct_ids.len(),
+            "one input per correct node"
+        );
+        ctx.correct_ids
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&id, &input)| DolevApprox::new(id, ctx.f(), (input * 1e6) as i64))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::dolev_approx::Micro> {
+        silent(kind)
+    }
+
+    fn stop_condition(&self) -> StopCondition {
+        StopCondition::AllOutput
+    }
+
+    fn record(&self, _ctx: &BuildContext, nodes: &[DolevApprox], report: &mut RunReport) {
+        let outputs: Vec<f64> = nodes
+            .iter()
+            .filter_map(|n| n.output())
+            .map(|micro| micro as f64 / 1e6)
+            .collect();
+        report.approx = Some(approx_section_from_values(self.inputs.clone(), outputs));
+    }
+}
+
+/// Factory for the trivial known-`f` rotating coordinator over consecutive
+/// identifiers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KnownRotorFactory;
+
+impl ProtocolFactory for KnownRotorFactory {
+    type Node = KnownRotor;
+
+    fn protocol_name(&self) -> String {
+        "known-rotor".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<KnownRotor> {
+        assert_eq!(
+            ctx.spec.id_space,
+            IdSpace::Consecutive,
+            "the known-f rotor schedule needs consecutive identifiers"
+        );
+        ctx.correct_ids
+            .iter()
+            .map(|&id| KnownRotor::new(id, ctx.f(), id.raw()))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::rotor_known::KnownRotorMessage> {
+        silent(kind)
+    }
+
+    fn record(&self, _ctx: &BuildContext, nodes: &[KnownRotor], report: &mut RunReport) {
+        // A good round: some schedule slot in which every correct node accepted the
+        // same (necessarily correct) coordinator's opinion.
+        let slots = nodes.iter().map(|n| n.accepted().len()).min().unwrap_or(0);
+        let good_round = (0..slots).any(|slot| {
+            let mut opinions = nodes.iter().map(|n| &n.accepted()[slot]);
+            match opinions.next() {
+                Some((coordinator, Some(opinion))) => {
+                    let (c, o) = (*coordinator, *opinion);
+                    nodes.iter().all(|n| n.accepted()[slot] == (c, Some(o)))
+                }
+                _ => false,
+            }
+        });
+        report.rotor = Some(RotorSection {
+            selected: nodes.first().map(|n| n.accepted().len()).unwrap_or(0),
+            good_round,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_simnet::sim::Simulation;
+
+    fn consecutive(correct: usize, byzantine: usize) -> uba_simnet::sim::ScenarioBuilder {
+        Simulation::scenario()
+            .correct(correct)
+            .byzantine(byzantine)
+            .ids(IdSpace::Consecutive)
+            .seed(0)
+    }
+
+    #[test]
+    fn phase_king_factory_reaches_agreement() {
+        let inputs = [0u64, 1, 0, 1, 0];
+        let report = consecutive(5, 2)
+            .max_rounds(300)
+            .build(PhaseKingFactory::new(inputs.to_vec()))
+            .run()
+            .unwrap();
+        assert!(report.completed());
+        let section = report.consensus.expect("consensus section");
+        assert!(section.agreement && section.validity);
+        assert!(section.undecided.is_empty());
+    }
+
+    #[test]
+    fn srikanth_toueg_factory_reports_consistent_acceptance() {
+        let report = consecutive(5, 2)
+            .build(StBroadcastFactory::new(7))
+            .run()
+            .unwrap();
+        let section = report.broadcast.expect("broadcast section");
+        assert!(section.consistent);
+        assert!(section
+            .accepted
+            .iter()
+            .all(|set| set.values.iter().map(|&(m, _)| m).eq([7u64])));
+    }
+
+    #[test]
+    fn dolev_factory_contracts_within_range() {
+        let inputs: Vec<f64> = (0..11).map(|i| i as f64 * 9.0).collect();
+        let report = consecutive(11, 4)
+            .max_rounds(6)
+            .build(DolevApproxFactory::new(inputs))
+            .run()
+            .unwrap();
+        let section = report.approx.expect("approx section");
+        assert!(section.outputs_in_range);
+        assert!(section.contraction <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn known_rotor_factory_terminates_fast_with_a_good_round() {
+        let report = consecutive(5, 2)
+            .max_rounds(50)
+            .build(KnownRotorFactory)
+            .run()
+            .unwrap();
+        assert!(report.completed());
+        assert!(report.rounds <= 2 + 2 + 2, "f + 2 rounds for f = 2");
+        let section = report.rotor.expect("rotor section");
+        assert_eq!(section.selected, 3, "f + 1 coordinators");
+        assert!(section.good_round);
+    }
+}

@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod dolev_approx;
+pub mod factory;
 pub mod phase_king;
 pub mod rotor_known;
 pub mod srikanth_toueg;
 
 pub use dolev_approx::DolevApprox;
+pub use factory::{DolevApproxFactory, KnownRotorFactory, PhaseKingFactory, StBroadcastFactory};
 pub use phase_king::{PhaseKing, PhaseKingMessage};
 pub use rotor_known::KnownRotor;
 pub use srikanth_toueg::{StBroadcast, StMessage};

@@ -82,7 +82,7 @@ impl<V: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> PhaseKing<V> {
         self.participants[(phase - 1) % self.participants.len()]
     }
 
-    fn count<'a>(inbox: impl Iterator<Item = &'a V>, ) -> BTreeMap<&'a V, usize>
+    fn count<'a>(inbox: impl Iterator<Item = &'a V>) -> BTreeMap<&'a V, usize>
     where
         V: 'a,
     {
@@ -138,7 +138,9 @@ impl<V: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Protocol for Phase
                         return Vec::new();
                     }
                 }
-                vec![Outgoing::broadcast(PhaseKingMessage::Value(self.value.clone()))]
+                vec![Outgoing::broadcast(PhaseKingMessage::Value(
+                    self.value.clone(),
+                ))]
             }
             // Round 2: evaluate values, broadcast a proposal if one value reached n − f.
             1 => {
@@ -171,7 +173,7 @@ impl<V: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Protocol for Phase
                 let counts = Self::count(proposals.into_iter());
                 self.strong = false;
                 if let Some((v, &c)) = counts.iter().max_by_key(|(_, &c)| c) {
-                    if c >= f + 1 {
+                    if c > f {
                         self.value = (*v).clone();
                     }
                     if c >= n - f {
@@ -179,7 +181,9 @@ impl<V: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Protocol for Phase
                     }
                 }
                 if self.king_of_phase(phase) == self.id {
-                    vec![Outgoing::broadcast(PhaseKingMessage::King(self.value.clone()))]
+                    vec![Outgoing::broadcast(PhaseKingMessage::King(
+                        self.value.clone(),
+                    ))]
                 } else {
                     Vec::new()
                 }
@@ -226,8 +230,12 @@ mod tests {
             out
         });
         let mut engine = SyncEngine::new(nodes, adversary, byz);
-        engine.run_until_all_terminated(200).unwrap();
-        engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect()
+        engine.run_to_termination(200).unwrap();
+        engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect()
     }
 
     #[test]
@@ -246,14 +254,19 @@ mod tests {
     #[test]
     fn fault_free_run_decides_quickly() {
         let ids = IdSpace::Consecutive.generate(4, 0);
-        let nodes: Vec<_> =
-            ids.iter().map(|&id| PhaseKing::new(id, ids.clone(), 1, id.raw() % 2)).collect();
+        let nodes: Vec<_> = ids
+            .iter()
+            .map(|&id| PhaseKing::new(id, ids.clone(), 1, id.raw() % 2))
+            .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_terminated(50).unwrap();
+        engine.run_to_termination(50).unwrap();
         // f = 1 → 2 phases of 3 rounds plus the final evaluation round.
         assert!(engine.round() <= 8);
-        let outputs: Vec<u64> =
-            engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        let outputs: Vec<u64> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         assert!(outputs.windows(2).all(|w| w[0] == w[1]));
     }
 }

@@ -27,7 +27,13 @@ impl KnownRotor {
     /// Creates a node with the known failure bound and the opinion it would
     /// distribute as a coordinator.
     pub fn new(id: NodeId, f: usize, opinion: u64) -> Self {
-        KnownRotor { id, f, opinion, accepted: Vec::new(), done: false }
+        KnownRotor {
+            id,
+            f,
+            opinion,
+            accepted: Vec::new(),
+            done: false,
+        }
     }
 
     /// The `(coordinator, accepted opinion)` pairs, one per round.
@@ -78,10 +84,17 @@ mod tests {
     fn rotates_through_f_plus_one_coordinators() {
         let ids = IdSpace::Consecutive.generate(7, 0);
         let f = 2;
-        let nodes: Vec<_> = ids.iter().map(|&id| KnownRotor::new(id, f, id.raw() * 10)).collect();
+        let nodes: Vec<_> = ids
+            .iter()
+            .map(|&id| KnownRotor::new(id, f, id.raw() * 10))
+            .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_terminated(20).unwrap();
-        assert_eq!(engine.round(), (f + 2) as u64, "terminates right after f + 1 coordinators");
+        engine.run_to_termination(20).unwrap();
+        assert_eq!(
+            engine.round(),
+            (f + 2) as u64,
+            "terminates right after f + 1 coordinators"
+        );
         for (_, output) in engine.outputs() {
             let accepted = output.unwrap();
             assert_eq!(accepted.len(), f + 1);
@@ -98,14 +111,23 @@ mod tests {
         let ids = IdSpace::Consecutive.generate(5, 0);
         let f = 1;
         // Node 0 is Byzantine (silent); nodes 1–4 are correct.
-        let nodes: Vec<_> =
-            ids[1..].iter().map(|&id| KnownRotor::new(id, f, id.raw())).collect();
+        let nodes: Vec<_> = ids[1..]
+            .iter()
+            .map(|&id| KnownRotor::new(id, f, id.raw()))
+            .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![ids[0]]);
-        engine.run_until_all_terminated(20).unwrap();
+        engine.run_to_termination(20).unwrap();
         for (_, output) in engine.outputs() {
             let accepted = output.unwrap();
-            assert_eq!(accepted[0].1, None, "the Byzantine coordinator sent nothing");
-            assert_eq!(accepted[1].1, Some(1), "the correct coordinator's opinion is accepted");
+            assert_eq!(
+                accepted[0].1, None,
+                "the Byzantine coordinator sent nothing"
+            );
+            assert_eq!(
+                accepted[1].1,
+                Some(1),
+                "the correct coordinator's opinion is accepted"
+            );
         }
     }
 }

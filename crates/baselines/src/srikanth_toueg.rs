@@ -72,7 +72,11 @@ impl<M: Clone + Ord + std::fmt::Debug> Protocol for StBroadcast<M> {
         self.id
     }
 
-    fn step(&mut self, ctx: &RoundContext, inbox: &[Envelope<StMessage<M>>]) -> Vec<Outgoing<StMessage<M>>> {
+    fn step(
+        &mut self,
+        ctx: &RoundContext,
+        inbox: &[Envelope<StMessage<M>>],
+    ) -> Vec<Outgoing<StMessage<M>>> {
         let mut out = Vec::new();
         // Cumulative distinct-sender echo counting (the classic formulation).
         for envelope in inbox {
@@ -83,7 +87,10 @@ impl<M: Clone + Ord + std::fmt::Debug> Protocol for StBroadcast<M> {
                     }
                 }
                 StMessage::Echo(m) => {
-                    self.echo_votes.entry(m.clone()).or_default().insert(envelope.from);
+                    self.echo_votes
+                        .entry(m.clone())
+                        .or_default()
+                        .insert(envelope.from);
                 }
                 StMessage::Init(_) => {}
             }
@@ -96,11 +103,11 @@ impl<M: Clone + Ord + std::fmt::Debug> Protocol for StBroadcast<M> {
         let mut newly_echoed = Vec::new();
         for (m, votes) in &self.echo_votes {
             // Relay rule: f + 1 echoes prove a correct node vouched for m.
-            if votes.len() >= self.f + 1 && !self.echoed.contains(m) {
+            if votes.len() > self.f && !self.echoed.contains(m) {
                 newly_echoed.push(m.clone());
             }
             // Accept rule: 2f + 1 echoes.
-            if votes.len() >= 2 * self.f + 1 && !self.accepted.iter().any(|(a, _)| a == m) {
+            if votes.len() > 2 * self.f && !self.accepted.iter().any(|(a, _)| a == m) {
                 self.accepted.push((m.clone(), ctx.round));
             }
         }
@@ -142,7 +149,7 @@ mod tests {
             })
             .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_output(10).unwrap();
+        engine.run_to_output(10).unwrap();
         for node in engine.nodes() {
             assert_eq!(node.output(), Some(99));
         }

@@ -33,9 +33,13 @@ fn bench_adversary_ablation(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("minority_booster", f), &f, |b, _| {
         b.iter(|| consensus_under(correct, f, seed, MinorityBooster::new(0u64, 1u64)))
     });
-    group.bench_with_input(BenchmarkId::new("equivocating_coordinator", f), &f, |b, _| {
-        b.iter(|| consensus_under(correct, f, seed, EquivocatingCoordinator::new(0u64, 1u64)))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("equivocating_coordinator", f),
+        &f,
+        |b, _| {
+            b.iter(|| consensus_under(correct, f, seed, EquivocatingCoordinator::new(0u64, 1u64)))
+        },
+    );
     group.finish();
 }
 

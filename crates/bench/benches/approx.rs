@@ -1,12 +1,19 @@
 //! E6 bench: approximate agreement — single-shot contraction and iterated convergence
-//! of the id-only Algorithm 4 vs the known-`f` Dolev et al. baseline.
+//! of the id-only Algorithm 4 vs the known-`f` Dolev et al. baseline, all driven
+//! through the unified `Simulation` builder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use uba_baselines::DolevApprox;
+use uba_baselines::DolevApproxFactory;
 use uba_core::quorum::max_faults;
-use uba_core::runner::{run_approx, run_iterated_approx, Scenario};
-use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{IdSpace, SyncEngine};
+use uba_core::sim::{AdversaryKind, ScenarioBuilder, ScenarioExt, Simulation};
+use uba_simnet::IdSpace;
+
+fn scenario(correct: usize, byzantine: usize, seed: u64) -> ScenarioBuilder {
+    Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .seed(seed)
+}
 
 fn bench_approx(c: &mut Criterion) {
     let mut group = c.benchmark_group("approx_agreement");
@@ -15,30 +22,39 @@ fn bench_approx(c: &mut Criterion) {
         let f = max_faults(n);
         let correct = n - f;
         let inputs: Vec<f64> = (0..correct).map(|i| i as f64).collect();
-        let scenario = Scenario::new(correct, f, 2021 + n as u64);
 
         group.bench_with_input(BenchmarkId::new("id_only_single_shot", n), &n, |b, _| {
             b.iter(|| {
-                let report = run_approx(&scenario, &inputs).unwrap();
-                assert!(report.outputs_in_range && report.contraction < 1.0);
-                report.contraction
+                let report = scenario(correct, f, 2021 + n as u64)
+                    .adversary(AdversaryKind::Worst)
+                    .approx(&inputs)
+                    .run()
+                    .unwrap();
+                let section = report.approx.unwrap();
+                assert!(section.outputs_in_range && section.contraction < 1.0);
+                section.contraction
             })
         });
         group.bench_with_input(BenchmarkId::new("id_only_iterated_6", n), &n, |b, _| {
-            b.iter(|| run_iterated_approx(&scenario, &inputs, 6).unwrap())
+            b.iter(|| {
+                scenario(correct, f, 2021 + n as u64)
+                    .iterated_approx(&inputs, 6)
+                    .run()
+                    .unwrap()
+                    .spreads
+                    .unwrap()
+                    .per_iteration
+            })
         });
         group.bench_with_input(BenchmarkId::new("dolev_baseline", n), &n, |b, _| {
             b.iter(|| {
-                let ids = IdSpace::Consecutive.generate(n, 0);
-                let nodes: Vec<_> = ids[..correct]
-                    .iter()
-                    .zip(&inputs)
-                    .map(|(&id, &x)| DolevApprox::new(id, f, (x * 1e6) as i64))
-                    .collect();
-                let mut engine =
-                    SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
-                engine.run_until_all_output(4).unwrap();
-                engine.round()
+                scenario(correct, f, 0)
+                    .ids(IdSpace::Consecutive)
+                    .max_rounds(4)
+                    .build(DolevApproxFactory::new(inputs.clone()))
+                    .run()
+                    .unwrap()
+                    .rounds
             })
         });
     }

@@ -15,20 +15,31 @@ fn bench_dynamic_approx_churn(c: &mut Criterion) {
     for &period in &[0u64, 12, 6, 3] {
         let ids = IdSpace::default().generate(10, 7);
         let inputs = uniform_reals(10, 0.0, 100.0, 7 + period);
-        let initial: Vec<(NodeId, Real)> =
-            ids.iter().zip(&inputs).map(|(&id, &x)| (id, Real::from_f64(x))).collect();
+        let initial: Vec<(NodeId, Real)> = ids
+            .iter()
+            .zip(&inputs)
+            .map(|(&id, &x)| (id, Real::from_f64(x)))
+            .collect();
         let plan = if period == 0 {
             ChurnPlan::none()
         } else {
             rolling_churn_plan(&ids, rounds, period, 0.0, 100.0, 7 + period)
         };
-        let label = if period == 0 { "no_churn".to_string() } else { format!("period_{period}") };
-        group.bench_with_input(BenchmarkId::new("spread_after_24_rounds", label), &plan, |b, plan| {
-            b.iter(|| {
-                let report = run_dynamic_approx(&initial, plan, rounds).unwrap();
-                report.final_spread()
-            })
-        });
+        let label = if period == 0 {
+            "no_churn".to_string()
+        } else {
+            format!("period_{period}")
+        };
+        group.bench_with_input(
+            BenchmarkId::new("spread_after_24_rounds", label),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let report = run_dynamic_approx(&initial, plan, rounds).unwrap();
+                    report.final_spread()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,11 +1,10 @@
 //! E4/E5 bench: id-only consensus (Algorithm 3) vs the classic phase-king that knows
-//! `n` and `f`, on identical split-input workloads.
+//! `n` and `f`, on identical split-input workloads, through the `Simulation` builder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use uba_baselines::PhaseKing;
-use uba_core::runner::{run_consensus, AdversaryKind, Scenario};
-use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{IdSpace, SyncEngine};
+use uba_baselines::PhaseKingFactory;
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
+use uba_simnet::IdSpace;
 
 fn bench_consensus(c: &mut Criterion) {
     let mut group = c.benchmark_group("consensus");
@@ -14,36 +13,52 @@ fn bench_consensus(c: &mut Criterion) {
         let n = 3 * f + 1;
         let correct = n - f;
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
-        let scenario = Scenario::new(correct, f, 2021 + f as u64);
+        let id_only = |kind: AdversaryKind| {
+            Simulation::scenario()
+                .correct(correct)
+                .byzantine(f)
+                .seed(2021 + f as u64)
+                .adversary(kind)
+        };
 
-        group.bench_with_input(BenchmarkId::new("id_only_announce_silent", f), &f, |b, _| {
-            b.iter(|| {
-                let report =
-                    run_consensus(&scenario, &inputs, AdversaryKind::AnnounceThenSilent).unwrap();
-                assert!(report.agreement && report.validity);
-                report.rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("id_only_announce_silent", f),
+            &f,
+            |b, _| {
+                b.iter(|| {
+                    let report = id_only(AdversaryKind::AnnounceThenSilent)
+                        .consensus(&inputs)
+                        .run()
+                        .unwrap();
+                    let section = report.consensus.as_ref().unwrap();
+                    assert!(section.agreement && section.validity);
+                    report.rounds
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("id_only_split_vote", f), &f, |b, _| {
             b.iter(|| {
-                let report =
-                    run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
-                assert!(report.agreement && report.validity);
+                let report = id_only(AdversaryKind::SplitVote)
+                    .consensus(&inputs)
+                    .run()
+                    .unwrap();
+                let section = report.consensus.as_ref().unwrap();
+                assert!(section.agreement && section.validity);
                 report.rounds
             })
         });
         group.bench_with_input(BenchmarkId::new("phase_king_baseline", f), &f, |b, _| {
             b.iter(|| {
-                let ids = IdSpace::Consecutive.generate(n, 0);
-                let nodes: Vec<_> = ids[..correct]
-                    .iter()
-                    .zip(&inputs)
-                    .map(|(&id, &x)| PhaseKing::new(id, ids.clone(), f, x))
-                    .collect();
-                let mut engine =
-                    SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
-                engine.run_until_all_terminated(300).unwrap();
-                engine.round()
+                Simulation::scenario()
+                    .correct(correct)
+                    .byzantine(f)
+                    .ids(IdSpace::Consecutive)
+                    .seed(0)
+                    .max_rounds(300)
+                    .build(PhaseKingFactory::new(inputs.clone()))
+                    .run()
+                    .unwrap()
+                    .rounds
             })
         });
     }

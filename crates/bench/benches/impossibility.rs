@@ -9,7 +9,10 @@ fn bench_impossibility(c: &mut Criterion) {
     for &(a, b_size) in &[(4usize, 4usize), (8, 8), (16, 16)] {
         for (label, model) in [
             ("synchronous", TimingModel::Synchronous),
-            ("semi_synchronous", TimingModel::SemiSynchronous { cross_delay: 1_000 }),
+            (
+                "semi_synchronous",
+                TimingModel::SemiSynchronous { cross_delay: 1_000 },
+            ),
             ("asynchronous", TimingModel::Asynchronous),
         ] {
             group.bench_with_input(
@@ -17,8 +20,7 @@ fn bench_impossibility(c: &mut Criterion) {
                 &(a, b_size),
                 |bench, _| {
                     bench.iter(|| {
-                        let outcome =
-                            run_partition_experiment(a, b_size, model, 2021).unwrap();
+                        let outcome = run_partition_experiment(a, b_size, model, 2021).unwrap();
                         match model {
                             TimingModel::Synchronous => assert!(outcome.agreement),
                             _ => assert!(!outcome.agreement),

@@ -1,12 +1,12 @@
 //! E10 bench: message complexity of id-only reliable broadcast vs the classic
-//! Srikanth–Toueg broadcast, as a function of the system size.
+//! Srikanth–Toueg broadcast, as a function of the system size, through the
+//! `Simulation` builder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use uba_baselines::StBroadcast;
-use uba_simnet::adversary::SilentAdversary;
+use uba_baselines::StBroadcastFactory;
 use uba_core::quorum::max_faults;
-use uba_core::runner::{run_broadcast_correct_source, Scenario};
-use uba_simnet::{IdSpace, SyncEngine};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
+use uba_simnet::IdSpace;
 
 fn bench_message_complexity(c: &mut Criterion) {
     let mut group = c.benchmark_group("message_complexity");
@@ -14,30 +14,33 @@ fn bench_message_complexity(c: &mut Criterion) {
     for &n in &[7usize, 13, 25, 49] {
         let f = max_faults(n);
         group.bench_with_input(BenchmarkId::new("id_only_rb", n), &n, |b, _| {
-            let scenario = Scenario::new(n - f, f, 2021 + n as u64);
             b.iter(|| {
-                let report = run_broadcast_correct_source(&scenario, 7, 8).unwrap();
-                report.messages
+                Simulation::scenario()
+                    .correct(n - f)
+                    .byzantine(f)
+                    .seed(2021 + n as u64)
+                    .adversary(AdversaryKind::AnnounceThenSilent)
+                    .broadcast(7)
+                    .rounds(8)
+                    .run()
+                    .unwrap()
+                    .messages
+                    .correct
             })
         });
         group.bench_with_input(BenchmarkId::new("srikanth_toueg", n), &n, |b, _| {
             b.iter(|| {
-                let ids = IdSpace::Consecutive.generate(n, 0);
-                let source = ids[0];
-                let nodes: Vec<_> = ids[..n - f]
-                    .iter()
-                    .map(|&id| {
-                        if id == source {
-                            StBroadcast::sender(id, f, 7u64)
-                        } else {
-                            StBroadcast::receiver(id, source, f)
-                        }
-                    })
-                    .collect();
-                let mut engine =
-                    SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
-                engine.run_rounds(8).unwrap();
-                engine.metrics().correct_messages
+                Simulation::scenario()
+                    .correct(n - f)
+                    .byzantine(f)
+                    .ids(IdSpace::Consecutive)
+                    .seed(0)
+                    .build(StBroadcastFactory::new(7))
+                    .rounds(8)
+                    .run()
+                    .unwrap()
+                    .messages
+                    .correct
             })
         });
     }

@@ -23,7 +23,7 @@ fn bench_parallel(c: &mut Criterion) {
                 let adversary =
                     GhostPairInjector::new(vec![(1_000_001, 13u64), (1_000_002, 17u64)]);
                 let mut engine = SyncEngine::new(nodes, adversary, ids[correct..].to_vec());
-                engine.run_until_all_terminated(400).unwrap();
+                engine.run_to_termination(400).unwrap();
                 let decision = engine.outputs()[0].1.clone().unwrap();
                 assert_eq!(decision.pairs.len(), k);
                 engine.round()

@@ -1,30 +1,39 @@
 //! E1 bench: reliable broadcast (Algorithm 1) across system sizes and source
-//! behaviours. Regenerates the timing series behind the E1 table.
+//! behaviours, driven through the unified `Simulation` builder. Regenerates the
+//! timing series behind the E1 table.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use uba_core::quorum::max_faults;
-use uba_core::runner::{
-    run_broadcast_correct_source, run_broadcast_equivocating_source, Scenario,
-};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
 
 fn bench_reliable_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("reliable_broadcast");
     group.sample_size(10);
     for &n in &[7usize, 13, 25, 49] {
         let f = max_faults(n);
-        let scenario = Scenario::new(n - f, f, 2021 + n as u64);
+        let builder = || {
+            Simulation::scenario()
+                .correct(n - f)
+                .byzantine(f)
+                .seed(2021 + n as u64)
+                .adversary(AdversaryKind::AnnounceThenSilent)
+        };
         group.bench_with_input(BenchmarkId::new("correct_source", n), &n, |b, _| {
             b.iter(|| {
-                let report = run_broadcast_correct_source(&scenario, 42, 12).unwrap();
-                assert!(report.consistent);
-                report
+                let report = builder().broadcast(42).rounds(12).run().unwrap();
+                assert!(report.broadcast.as_ref().unwrap().consistent);
+                report.messages.correct
             })
         });
         group.bench_with_input(BenchmarkId::new("equivocating_source", n), &n, |b, _| {
             b.iter(|| {
-                let report = run_broadcast_equivocating_source(&scenario, 1, 2, 12).unwrap();
-                assert!(report.consistent);
-                report
+                let report = builder()
+                    .broadcast_equivocating(1, 2)
+                    .rounds(12)
+                    .run()
+                    .unwrap();
+                assert!(report.broadcast.as_ref().unwrap().consistent);
+                report.messages.correct
             })
         });
     }

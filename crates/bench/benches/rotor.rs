@@ -1,34 +1,43 @@
 //! E3 bench: rotor-coordinator termination across system sizes, against the trivial
-//! known-`f` rotating coordinator baseline.
+//! known-`f` rotating coordinator baseline, both through the `Simulation` builder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use uba_baselines::KnownRotor;
+use uba_baselines::KnownRotorFactory;
 use uba_core::quorum::max_faults;
-use uba_core::runner::{run_rotor, AdversaryKind, Scenario};
-use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{IdSpace, SyncEngine};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
+use uba_simnet::IdSpace;
 
 fn bench_rotor(c: &mut Criterion) {
     let mut group = c.benchmark_group("rotor");
     group.sample_size(10);
     for &n in &[8usize, 16, 32, 64] {
         let f = max_faults(n);
-        let scenario = Scenario::new(n - f, f, 2021 + n as u64);
         group.bench_with_input(BenchmarkId::new("id_only", n), &n, |b, _| {
             b.iter(|| {
-                let report = run_rotor(&scenario, AdversaryKind::AnnounceThenSilent).unwrap();
-                assert!(report.good_round);
-                report
+                let report = Simulation::scenario()
+                    .correct(n - f)
+                    .byzantine(f)
+                    .seed(2021 + n as u64)
+                    .adversary(AdversaryKind::AnnounceThenSilent)
+                    .rotor()
+                    .run()
+                    .unwrap();
+                assert!(report.rotor.as_ref().unwrap().good_round);
+                report.rounds
             })
         });
         group.bench_with_input(BenchmarkId::new("known_f_baseline", n), &n, |b, _| {
             b.iter(|| {
-                let ids = IdSpace::Consecutive.generate(n, 0);
-                let nodes: Vec<_> =
-                    ids[..n - f].iter().map(|&id| KnownRotor::new(id, f, id.raw())).collect();
-                let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
-                engine.run_until_all_terminated(3 * n as u64 + 10).unwrap();
-                engine.round()
+                Simulation::scenario()
+                    .correct(n - f)
+                    .byzantine(f)
+                    .ids(IdSpace::Consecutive)
+                    .seed(0)
+                    .max_rounds(3 * n as u64 + 10)
+                    .build(KnownRotorFactory)
+                    .run()
+                    .unwrap()
+                    .rounds
             })
         });
     }

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use uba_bench::montecarlo::{ResilienceSweep, SweepConfig};
-use uba_core::runner::AdversaryKind;
+use uba_core::sim::AdversaryKind;
 
 fn bench_sweep_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("montecarlo_scaling");
@@ -14,7 +14,11 @@ fn bench_sweep_scaling(c: &mut Criterion) {
             correct: 5,
             byzantine: 2,
             adversary: AdversaryKind::SplitVote,
-            config: SweepConfig { trials: 32, base_seed: 99, workers },
+            config: SweepConfig {
+                trials: 32,
+                base_seed: 99,
+                workers,
+            },
         };
         group.bench_with_input(BenchmarkId::new("workers", workers), &sweep, |b, sweep| {
             b.iter(|| {

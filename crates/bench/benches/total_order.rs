@@ -13,7 +13,9 @@ fn run_ledger(founders: usize, rounds: u64, seed: u64) -> usize {
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
     for round in 0..rounds {
         if round == 12 {
-            engine.add_node(TotalOrderNode::joining(NodeId::new(999_999))).unwrap();
+            engine
+                .add_node(TotalOrderNode::joining(NodeId::new(999_999)))
+                .unwrap();
         }
         let submitter = ids[(round as usize) % founders];
         if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == submitter) {

@@ -1,28 +1,57 @@
-//! Command-line runner for the E1–E10 experiment suite.
+//! Command-line runner for the E1–E14 experiment suite and the JSON baseline.
 //!
 //! ```text
 //! cargo run -p uba-bench --release --bin experiments -- all
 //! cargo run -p uba-bench --release --bin experiments -- e4 e7
+//! cargo run -p uba-bench --release --bin experiments -- baseline [path]
 //! ```
+//!
+//! `baseline` regenerates `BENCH_baseline.json`: the fixed scenario grid run through
+//! the `Simulation` driver, serialised as verdict-annotated `RunReport`s plus an
+//! aggregate summary (see `uba_bench::baseline`).
 
 use uba_bench::{all_experiments, experiment_by_name};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<(&'static str, fn() -> uba_bench::Table)> =
-        if args.is_empty() || args.iter().any(|a| a == "all") {
-            all_experiments()
-        } else {
-            args.iter()
-                .map(|name| {
-                    let f = experiment_by_name(name).unwrap_or_else(|| {
-                        eprintln!("unknown experiment '{name}'; expected e1..e10 or 'all'");
-                        std::process::exit(2);
-                    });
-                    (Box::leak(name.clone().into_boxed_str()) as &'static str, f)
-                })
-                .collect()
-        };
+
+    if args.first().map(String::as_str) == Some("baseline") {
+        let path = std::path::PathBuf::from(
+            args.get(1)
+                .map(String::as_str)
+                .unwrap_or("BENCH_baseline.json"),
+        );
+        eprintln!("running the baseline grid…");
+        let started = std::time::Instant::now();
+        let json = uba_bench::write_baseline(&path).unwrap_or_else(|error| {
+            eprintln!("cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {} ({} bytes) in {:.2?}",
+            path.display(),
+            json.len(),
+            started.elapsed()
+        );
+        return;
+    }
+
+    #[allow(clippy::type_complexity)]
+    let selected: Vec<(&'static str, fn() -> uba_bench::Table)> = if args.is_empty()
+        || args.iter().any(|a| a == "all")
+    {
+        all_experiments()
+    } else {
+        args.iter()
+            .map(|name| {
+                let f = experiment_by_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{name}'; expected e1..e14, 'all' or 'baseline'");
+                    std::process::exit(2);
+                });
+                (Box::leak(name.clone().into_boxed_str()) as &'static str, f)
+            })
+            .collect()
+    };
 
     for (name, run) in selected {
         eprintln!("running {name}…");

@@ -2,54 +2,104 @@
 //!
 //! Every experiment is a pure, deterministic function of a seed and returns a
 //! [`Table`]; the `experiments` binary prints them and `EXPERIMENTS.md` records the
-//! outcomes next to the corresponding paper claims.
+//! outcomes next to the corresponding paper claims. All experiments drive their
+//! executions through the unified [`Simulation`] builder, so an id-only protocol and
+//! its known-`(n, f)` baseline run the *same* scenario description head-to-head.
 
-use uba_baselines::{DolevApprox, KnownRotor, PhaseKing, StBroadcast};
+use uba_baselines::{DolevApproxFactory, KnownRotorFactory, PhaseKingFactory, StBroadcastFactory};
 use uba_core::impossibility::{disagreement_rate, run_partition_experiment, TimingModel};
 use uba_core::quorum::max_faults;
-use uba_core::runner::{
-    run_approx, run_broadcast_correct_source, run_broadcast_equivocating_source, run_consensus,
-    run_iterated_approx, run_rotor, AdversaryKind, Scenario,
+use uba_core::sim::{
+    AdversaryKind, ParallelConsensusFactory, RunReport, ScenarioBuilder, ScenarioExt, Simulation,
+    TotalOrderFactory, TotalOrderPlan,
 };
-use uba_core::{ParallelConsensus, TotalOrderNode};
-use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{IdSpace, NodeId, Protocol, SyncEngine};
+use uba_simnet::{ChurnEvent, ChurnSchedule, IdSpace, NodeId};
 
 use crate::table::Table;
 
 const SEED: u64 = 2021;
+
+fn scenario(correct: usize, byzantine: usize, seed: u64) -> ScenarioBuilder {
+    Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .seed(seed)
+}
+
+/// The same scenario shape pointed at a known-`(n, f)` baseline: consecutive
+/// identifiers (the knowledge the classic algorithms assume), seed 0 as the historic
+/// experiment tables used.
+fn baseline_scenario(correct: usize, byzantine: usize) -> ScenarioBuilder {
+    Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .ids(IdSpace::Consecutive)
+        .seed(0)
+}
+
+/// Asserts a run met its stop condition. `Harness::run` reports cap exhaustion as a
+/// *status* rather than an error, so experiments that publish absolute numbers must
+/// check it explicitly — otherwise a livelocked run would be tabulated as a result.
+fn completed(report: RunReport, what: &str) -> RunReport {
+    assert!(
+        report.completed(),
+        "{what} hit its round cap ({:?}) instead of finishing",
+        report.status
+    );
+    report
+}
+
+fn accepted_preview(report: &RunReport) -> String {
+    let section = report.broadcast.as_ref().expect("broadcast section");
+    let values: Vec<u64> = section
+        .accepted
+        .first()
+        .map(|set| set.values.iter().map(|&(message, _)| message).collect())
+        .unwrap_or_default();
+    format!("{values:?}")
+}
 
 /// E1 — reliable broadcast: correctness, unforgeability and relay across system sizes
 /// and source behaviours (Theorem 1).
 pub fn e1_reliable_broadcast() -> Table {
     let mut table = Table::new(
         "E1: reliable broadcast properties (n > 3f, f = max)",
-        &["n", "f", "source", "consistent", "accepted", "rounds", "messages"],
+        &[
+            "n",
+            "f",
+            "source",
+            "consistent",
+            "accepted",
+            "rounds",
+            "messages",
+        ],
     );
     for &n in &[4usize, 7, 13, 25, 49] {
         let f = max_faults(n);
-        let scenario = Scenario::new(n - f, f, SEED + n as u64);
-        let correct = run_broadcast_correct_source(&scenario, 42, 12).expect("run completes");
-        table.push_row(vec![
-            n.to_string(),
-            f.to_string(),
-            "correct".into(),
-            correct.consistent.to_string(),
-            format!("{:?}", correct.accepted[0]),
-            correct.rounds.to_string(),
-            correct.messages.to_string(),
-        ]);
-        let equivocating =
-            run_broadcast_equivocating_source(&scenario, 1, 2, 12).expect("run completes");
-        table.push_row(vec![
-            n.to_string(),
-            f.to_string(),
-            "equivocating".into(),
-            equivocating.consistent.to_string(),
-            format!("{:?}", equivocating.accepted[0]),
-            equivocating.rounds.to_string(),
-            equivocating.messages.to_string(),
-        ]);
+        for equivocate in [false, true] {
+            let builder =
+                scenario(n - f, f, SEED + n as u64).adversary(AdversaryKind::AnnounceThenSilent);
+            let report = if equivocate {
+                builder.broadcast_equivocating(1, 2).rounds(12).run()
+            } else {
+                builder.broadcast(42).rounds(12).run()
+            }
+            .expect("run completes");
+            let section = report.broadcast.as_ref().expect("broadcast section");
+            table.push_row(vec![
+                n.to_string(),
+                f.to_string(),
+                if equivocate {
+                    "equivocating".into()
+                } else {
+                    "correct".into()
+                },
+                section.consistent.to_string(),
+                accepted_preview(&report),
+                report.rounds.to_string(),
+                report.messages.correct.to_string(),
+            ]);
+        }
     }
     table
 }
@@ -59,24 +109,39 @@ pub fn e1_reliable_broadcast() -> Table {
 pub fn e2_resiliency_boundary() -> Table {
     let mut table = Table::new(
         "E2: resiliency boundary (consensus under split-vote adversary, n = 10)",
-        &["n", "f", "n > 3f", "terminated", "agreement", "validity", "rounds"],
+        &[
+            "n",
+            "f",
+            "n > 3f",
+            "terminated",
+            "agreement",
+            "validity",
+            "rounds",
+        ],
     );
     let n = 10usize;
     for f in 0..=4usize {
         let correct = n - f;
-        let scenario = Scenario { max_rounds: 300, ..Scenario::new(correct, f, SEED + f as u64) };
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
-        match run_consensus(&scenario, &inputs, AdversaryKind::SplitVote) {
-            Ok(report) => table.push_row(vec![
+        let report = scenario(correct, f, SEED + f as u64)
+            .max_rounds(300)
+            .adversary(AdversaryKind::SplitVote)
+            .consensus(&inputs)
+            .run()
+            .expect("runs never violate engine rules");
+        if report.completed() {
+            let section = report.consensus.as_ref().expect("consensus section");
+            table.push_row(vec![
                 n.to_string(),
                 f.to_string(),
                 (n > 3 * f).to_string(),
                 "true".into(),
-                report.agreement.to_string(),
-                report.validity.to_string(),
+                section.agreement.to_string(),
+                section.validity.to_string(),
                 report.rounds.to_string(),
-            ]),
-            Err(_) => table.push_row(vec![
+            ]);
+        } else {
+            table.push_row(vec![
                 n.to_string(),
                 f.to_string(),
                 (n > 3 * f).to_string(),
@@ -84,7 +149,7 @@ pub fn e2_resiliency_boundary() -> Table {
                 "-".into(),
                 "-".into(),
                 ">300".into(),
-            ]),
+            ]);
         }
     }
     table
@@ -95,28 +160,42 @@ pub fn e2_resiliency_boundary() -> Table {
 pub fn e3_rotor() -> Table {
     let mut table = Table::new(
         "E3: rotor-coordinator rounds vs n (announce-then-silent adversary, f = max)",
-        &["n", "f", "rounds", "coordinators", "good round", "messages", "known-rotor rounds"],
+        &[
+            "n",
+            "f",
+            "rounds",
+            "coordinators",
+            "good round",
+            "messages",
+            "known-rotor rounds",
+        ],
     );
     for &n in &[4usize, 8, 16, 32, 64] {
         let f = max_faults(n);
-        let scenario = Scenario::new(n - f, f, SEED + n as u64);
-        let report = run_rotor(&scenario, AdversaryKind::AnnounceThenSilent).expect("terminates");
+        let report = scenario(n - f, f, SEED + n as u64)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .rotor()
+            .run()
+            .expect("terminates");
+        let report = completed(report, "E3 id-only rotor");
+        let section = report.rotor.as_ref().expect("rotor section");
 
         // Baseline: rotating through f + 1 known, consecutive identifiers.
-        let ids = IdSpace::Consecutive.generate(n, 0);
-        let nodes: Vec<_> =
-            ids[..n - f].iter().map(|&id| KnownRotor::new(id, f, id.raw())).collect();
-        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
-        engine.run_until_all_terminated(3 * n as u64 + 10).expect("baseline terminates");
+        let baseline = baseline_scenario(n - f, f)
+            .max_rounds(3 * n as u64 + 10)
+            .build(KnownRotorFactory)
+            .run()
+            .expect("baseline terminates");
+        let baseline = completed(baseline, "E3 known-rotor baseline");
 
         table.push_row(vec![
             n.to_string(),
             f.to_string(),
             report.rounds.to_string(),
-            report.selected.to_string(),
-            report.good_round.to_string(),
-            report.messages.to_string(),
-            engine.round().to_string(),
+            section.selected.to_string(),
+            section.good_round.to_string(),
+            report.messages.correct.to_string(),
+            baseline.rounds.to_string(),
         ]);
     }
     table
@@ -127,23 +206,36 @@ pub fn e3_rotor() -> Table {
 pub fn e4_consensus() -> Table {
     let mut table = Table::new(
         "E4: consensus rounds vs f (n = 3f + 1, split inputs)",
-        &["f", "n", "adversary", "rounds", "messages", "agreement", "validity"],
+        &[
+            "f",
+            "n",
+            "adversary",
+            "rounds",
+            "messages",
+            "agreement",
+            "validity",
+        ],
     );
     for f in 1..=5usize {
         let n = 3 * f + 1;
         let correct = n - f;
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
         for kind in [AdversaryKind::AnnounceThenSilent, AdversaryKind::SplitVote] {
-            let scenario = Scenario::new(correct, f, SEED + (f * 7) as u64);
-            let report = run_consensus(&scenario, &inputs, kind).expect("terminates");
+            let report = scenario(correct, f, SEED + (f * 7) as u64)
+                .adversary(kind)
+                .consensus(&inputs)
+                .run()
+                .expect("terminates");
+            let report = completed(report, "E4 consensus");
+            let section = report.consensus.as_ref().expect("consensus section");
             table.push_row(vec![
                 f.to_string(),
                 n.to_string(),
                 format!("{kind:?}"),
                 report.rounds.to_string(),
-                report.messages.to_string(),
-                report.agreement.to_string(),
-                report.validity.to_string(),
+                report.messages.correct.to_string(),
+                section.agreement.to_string(),
+                section.validity.to_string(),
             ]);
         }
     }
@@ -155,32 +247,40 @@ pub fn e4_consensus() -> Table {
 pub fn e5_consensus_vs_phase_king() -> Table {
     let mut table = Table::new(
         "E5: id-only consensus vs phase-king (identical workloads, silent-after-announce faults)",
-        &["f", "n", "id-only rounds", "id-only messages", "phase-king rounds", "phase-king messages"],
+        &[
+            "f",
+            "n",
+            "id-only rounds",
+            "id-only messages",
+            "phase-king rounds",
+            "phase-king messages",
+        ],
     );
     for f in 1..=4usize {
         let n = 3 * f + 1;
         let correct = n - f;
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
-        let scenario = Scenario::new(correct, f, SEED + f as u64);
-        let ours = run_consensus(&scenario, &inputs, AdversaryKind::AnnounceThenSilent)
+        let ours = scenario(correct, f, SEED + f as u64)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .consensus(&inputs)
+            .run()
             .expect("terminates");
+        let ours = completed(ours, "E5 id-only consensus");
 
-        let ids = IdSpace::Consecutive.generate(n, 0);
-        let nodes: Vec<_> = ids[..correct]
-            .iter()
-            .zip(&inputs)
-            .map(|(&id, &x)| PhaseKing::new(id, ids.clone(), f, x))
-            .collect();
-        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
-        engine.run_until_all_terminated(300).expect("baseline terminates");
+        let baseline = baseline_scenario(correct, f)
+            .max_rounds(300)
+            .build(PhaseKingFactory::new(inputs.clone()))
+            .run()
+            .expect("baseline terminates");
+        let baseline = completed(baseline, "E5 phase-king baseline");
 
         table.push_row(vec![
             f.to_string(),
             n.to_string(),
             ours.rounds.to_string(),
-            ours.messages.to_string(),
-            engine.round().to_string(),
-            engine.metrics().correct_messages.to_string(),
+            ours.messages.correct.to_string(),
+            baseline.rounds.to_string(),
+            baseline.messages.correct.to_string(),
         ]);
     }
     table
@@ -196,38 +296,50 @@ pub fn e6_approx() -> Table {
     let correct = 11usize;
     let f = 5usize;
     let inputs: Vec<f64> = (0..correct).map(|i| i as f64 * 10.0).collect();
-    let scenario = Scenario::new(correct, f, SEED);
 
     // Single-shot: ours vs Dolev baseline.
-    let ours = run_approx(&scenario, &inputs).expect("completes");
+    let ours = scenario(correct, f, SEED)
+        .adversary(AdversaryKind::Worst)
+        .approx(&inputs)
+        .run()
+        .expect("completes");
+    let ours = completed(ours, "E6 id-only approx");
+    let section = ours.approx.as_ref().expect("approx section");
     table.push_row(vec![
         "id-only (Alg. 4)".into(),
         "1".into(),
-        format!("{:.2}", ours.output_range.1 - ours.output_range.0),
-        ours.outputs_in_range.to_string(),
+        format!("{:.2}", section.output_range.1 - section.output_range.0),
+        section.outputs_in_range.to_string(),
     ]);
 
-    let ids = IdSpace::Consecutive.generate(correct + f, 0);
-    let nodes: Vec<_> = ids[..correct]
-        .iter()
-        .zip(&inputs)
-        .map(|(&id, &x)| DolevApprox::new(id, f, (x * 1e6) as i64))
-        .collect();
-    let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
-    engine.run_until_all_output(4).expect("baseline completes");
-    let outputs: Vec<f64> =
-        engine.outputs().into_iter().map(|(_, o)| o.unwrap() as f64 / 1e6).collect();
-    let lo = outputs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = outputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let baseline = baseline_scenario(correct, f)
+        .max_rounds(4)
+        .build(DolevApproxFactory::new(inputs.clone()))
+        .run()
+        .expect("baseline completes");
+    let baseline = completed(baseline, "E6 Dolev baseline");
+    let baseline_section = baseline.approx.as_ref().expect("approx section");
     table.push_row(vec![
         "Dolev et al. (knows f)".into(),
         "1".into(),
-        format!("{:.2}", hi - lo),
-        (lo >= 0.0 && hi <= 100.0).to_string(),
+        format!(
+            "{:.2}",
+            baseline_section.output_range.1 - baseline_section.output_range.0
+        ),
+        baseline_section.outputs_in_range.to_string(),
     ]);
 
     // Iterated convergence of the id-only algorithm.
-    let spreads = run_iterated_approx(&scenario, &inputs, 6).expect("completes");
+    let spreads = completed(
+        scenario(correct, f, SEED)
+            .iterated_approx(&inputs, 6)
+            .run()
+            .expect("completes"),
+        "E6 iterated approx",
+    )
+    .spreads
+    .expect("spread section")
+    .per_iteration;
     for (i, spread) in spreads.iter().enumerate() {
         table.push_row(vec![
             "id-only iterated".into(),
@@ -244,7 +356,14 @@ pub fn e6_approx() -> Table {
 pub fn e7_impossibility() -> Table {
     let mut table = Table::new(
         "E7: partition construction — disagreement rate by timing model (5 trials each)",
-        &["|A|", "|B|", "model", "disagreement rate", "example ticks", "undelivered msgs"],
+        &[
+            "|A|",
+            "|B|",
+            "model",
+            "disagreement rate",
+            "example ticks",
+            "undelivered msgs",
+        ],
     );
     for &(a, b) in &[(2usize, 2usize), (4, 4), (8, 8), (4, 12)] {
         for model in [
@@ -272,32 +391,39 @@ pub fn e7_impossibility() -> Table {
 pub fn e8_parallel_consensus() -> Table {
     let mut table = Table::new(
         "E8: parallel consensus (n = 9, f = 2, ghost-pair injection)",
-        &["instances", "rounds", "pairs output", "ghost pairs output", "agreement"],
+        &[
+            "instances",
+            "rounds",
+            "pairs output",
+            "ghost pairs output",
+            "agreement",
+        ],
     );
     for &k in &[1usize, 4, 16, 64] {
-        let correct = 7usize;
-        let f = 2usize;
-        let ids = IdSpace::default().generate(correct + f, SEED + k as u64);
         let pairs: Vec<(u64, u64)> = (0..k as u64).map(|i| (i, i * 10)).collect();
-        let nodes: Vec<_> = ids[..correct]
+        let report = scenario(7, 2, SEED + k as u64)
+            .max_rounds(400)
+            .adversary(AdversaryKind::Worst)
+            .build(
+                ParallelConsensusFactory::new(pairs)
+                    .with_ghost_pairs(vec![(1_000_001, 13u64), (1_000_002, 17u64)]),
+            )
+            .run()
+            .expect("terminates");
+        let report = completed(report, "E8 parallel consensus");
+        let section = report.parallel.as_ref().expect("parallel section");
+        let first = section.decisions.first().expect("all nodes decided");
+        let ghost_output = first
+            .pairs
             .iter()
-            .map(|&id| ParallelConsensus::new(id, pairs.clone()))
-            .collect();
-        let ghosts =
-            uba_core::adversaries::GhostPairInjector::new(vec![(1_000_001, 13u64), (1_000_002, 17u64)]);
-        let mut engine = SyncEngine::new(nodes, ghosts, ids[correct..].to_vec());
-        engine.run_until_all_terminated(400).expect("terminates");
-        let decisions: Vec<_> =
-            engine.outputs().into_iter().map(|(_, d)| d.unwrap()).collect();
-        let agreement = decisions.windows(2).all(|w| w[0].pairs == w[1].pairs);
-        let ghost_output =
-            decisions[0].pairs.keys().filter(|id| **id >= 1_000_000).count();
+            .filter(|(id, _)| *id >= 1_000_000)
+            .count();
         table.push_row(vec![
             k.to_string(),
-            engine.round().to_string(),
-            decisions[0].pairs.len().to_string(),
+            report.rounds.to_string(),
+            first.pairs.len().to_string(),
             ghost_output.to_string(),
-            agreement.to_string(),
+            section.agreement.to_string(),
         ]);
     }
     table
@@ -308,48 +434,46 @@ pub fn e8_parallel_consensus() -> Table {
 pub fn e9_total_order() -> Table {
     let mut table = Table::new(
         "E9: dynamic total ordering (events every round, join at round 12, leave at round 24)",
-        &["founders", "rounds run", "chain length", "chain-prefix", "joiner in S", "finality lag"],
+        &[
+            "founders",
+            "rounds run",
+            "chain length",
+            "chain-prefix",
+            "joiner in S",
+            "finality lag",
+        ],
     );
     for &founders in &[4usize, 6, 8] {
-        let ids = IdSpace::default().generate(founders, SEED + founders as u64);
-        let nodes: Vec<TotalOrderNode<u64>> =
-            ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
-        let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
         let joiner = NodeId::new(999_999);
         let total_rounds = 70u64;
+        // One event per round, submitted by rotating founders; one founder leaves
+        // mid-run, and a fresh participant joins through the engine's churn plan.
+        let mut plan = TotalOrderPlan::rounds(total_rounds);
         for round in 0..total_rounds {
-            if round == 12 {
-                engine.add_node(TotalOrderNode::joining(joiner)).unwrap();
-            }
-            if round == 24 {
-                let leaver = ids[founders - 1];
-                if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == leaver) {
-                    node.announce_leave();
-                }
-            }
-            // One event per round, submitted by rotating founders.
-            let submitter = ids[(round as usize) % (founders - 1)];
-            if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == submitter) {
-                node.submit_event(round);
-            }
-            engine.run_rounds(1).unwrap();
+            plan = plan.event(round + 1, (round as usize) % (founders - 1), round);
         }
-        let chains: Vec<Vec<_>> = engine
-            .nodes()
+        let plan = plan.leave(25, founders - 1);
+        let churn = ChurnSchedule::empty().with(13, ChurnEvent::JoinCorrect(joiner));
+        let mut harness = scenario(founders, 0, SEED + founders as u64)
+            .max_rounds(total_rounds)
+            .churn(churn)
+            .build(TotalOrderFactory::new(plan));
+        let report = harness.run().expect("run completes");
+        let section = report.chain.as_ref().expect("chain section");
+        let reference = section
+            .lengths
             .iter()
-            .filter(|n| n.id() != ids[founders - 1])
-            .map(|n| n.chain().to_vec())
-            .collect();
-        let prefix_ok = uba_core::total_order::chains_agree(&chains);
-        let reference = &chains[0];
-        let node0 = &engine.nodes()[0];
+            .map(|&(_, len)| len)
+            .max()
+            .unwrap_or(0);
+        let node0 = &harness.nodes()[0];
         let joiner_known = node0.members().contains(&joiner);
         let lag = node0.round() - node0.finalized_upto();
         table.push_row(vec![
             founders.to_string(),
             total_rounds.to_string(),
-            reference.len().to_string(),
-            prefix_ok.to_string(),
+            reference.to_string(),
+            section.prefix_ok.to_string(),
             joiner_known.to_string(),
             lag.to_string(),
         ]);
@@ -362,33 +486,37 @@ pub fn e9_total_order() -> Table {
 pub fn e10_message_complexity() -> Table {
     let mut table = Table::new(
         "E10: reliable broadcast message complexity (correct source, messages per node per round)",
-        &["n", "f", "id-only messages", "Srikanth-Toueg messages", "ratio"],
+        &[
+            "n",
+            "f",
+            "id-only messages",
+            "Srikanth-Toueg messages",
+            "ratio",
+        ],
     );
     for &n in &[4usize, 7, 13, 25, 49] {
         let f = max_faults(n);
-        let scenario = Scenario::new(n - f, f, SEED + n as u64);
-        let ours = run_broadcast_correct_source(&scenario, 7, 8).expect("completes");
+        let ours = scenario(n - f, f, SEED + n as u64)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .broadcast(7)
+            .rounds(8)
+            .run()
+            .expect("completes");
+        let ours = completed(ours, "E10 id-only broadcast");
 
-        let ids = IdSpace::Consecutive.generate(n, 0);
-        let source = ids[0];
-        let nodes: Vec<_> = ids[..n - f]
-            .iter()
-            .map(|&id| {
-                if id == source {
-                    StBroadcast::sender(id, f, 7u64)
-                } else {
-                    StBroadcast::receiver(id, source, f)
-                }
-            })
-            .collect();
-        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
-        engine.run_rounds(8).expect("completes");
-        let st_messages = engine.metrics().correct_messages;
-        let ratio = ours.messages as f64 / st_messages.max(1) as f64;
+        let baseline = baseline_scenario(n - f, f)
+            .build(StBroadcastFactory::new(7))
+            .rounds(8)
+            .run()
+            .expect("completes");
+        let baseline = completed(baseline, "E10 Srikanth-Toueg baseline");
+
+        let st_messages = baseline.messages.correct;
+        let ratio = ours.messages.correct as f64 / st_messages.max(1) as f64;
         table.push_row(vec![
             n.to_string(),
             f.to_string(),
-            ours.messages.to_string(),
+            ours.messages.correct.to_string(),
             st_messages.to_string(),
             format!("{ratio:.2}"),
         ]);
@@ -397,6 +525,7 @@ pub fn e10_message_complexity() -> Table {
 }
 
 /// All experiments, in order, as `(short name, function)` pairs.
+#[allow(clippy::type_complexity)]
 pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
     vec![
         ("e1", e1_reliable_broadcast as fn() -> Table),
@@ -418,7 +547,10 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
 
 /// Looks up one experiment by its short name (`"e1"` … `"e14"`).
 pub fn experiment_by_name(name: &str) -> Option<fn() -> Table> {
-    all_experiments().into_iter().find(|(n, _)| *n == name).map(|(_, f)| f)
+    all_experiments()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| f)
 }
 
 #[cfg(test)]

@@ -17,15 +17,15 @@
 
 use std::time::Instant;
 
-use uba_checker::consensus::{check_consensus, ConsensusCheck, ConsensusObservation};
+use uba_checker::check_run_report;
 use uba_core::adversaries::{AnnounceThenSilent, PartialAnnounce, SplitVote};
 use uba_core::attackers::{EquivocatingCoordinator, MinorityBooster};
-use uba_core::consensus::{Consensus, ConsensusMessage};
+use uba_core::consensus::ConsensusMessage;
 use uba_core::dynamic_approx::{run_dynamic_approx, ChurnPlan};
-use uba_core::runner::AdversaryKind;
+use uba_core::sim::{AdversaryKind, ConsensusFactory, Simulation};
 use uba_core::Real;
 use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{Adversary, IdSpace, NodeId, Protocol, SyncEngine};
+use uba_simnet::{Adversary, IdSpace, NodeId};
 
 use crate::montecarlo::{ResilienceSweep, SweepConfig};
 use crate::table::Table;
@@ -53,8 +53,11 @@ pub fn e11_dynamic_approx_churn() -> Table {
     for &period in &[0u64, 12, 6, 3] {
         let ids = IdSpace::default().generate(10, SEED);
         let inputs = uniform_reals(10, 0.0, 100.0, SEED + period);
-        let initial: Vec<(NodeId, Real)> =
-            ids.iter().zip(&inputs).map(|(&id, &x)| (id, Real::from_f64(x))).collect();
+        let initial: Vec<(NodeId, Real)> = ids
+            .iter()
+            .zip(&inputs)
+            .map(|(&id, &x)| (id, Real::from_f64(x)))
+            .collect();
         let plan = if period == 0 {
             ChurnPlan::none()
         } else {
@@ -77,7 +80,11 @@ pub fn e11_dynamic_approx_churn() -> Table {
             .map(|round| report.spread_per_round[(round + 2) as usize - 1])
             .unwrap_or(0.0);
         table.push_row(vec![
-            if period == 0 { "none".into() } else { period.to_string() },
+            if period == 0 {
+                "none".into()
+            } else {
+                period.to_string()
+            },
             plan.joins.len().to_string(),
             format!("{:.2}", report.spread_per_round[0]),
             format!("{:.3}", peak_after_join),
@@ -94,7 +101,13 @@ pub fn e11_dynamic_approx_churn() -> Table {
 pub fn e12_resilience_matrix() -> Table {
     let mut table = Table::new(
         "E12: consensus agreement/validity rates over 16 seeds (n = 3f + 1)",
-        &["f", "adversary", "agreement", "validity", "rounds (mean ± ci)"],
+        &[
+            "f",
+            "adversary",
+            "agreement",
+            "validity",
+            "rounds (mean ± ci)",
+        ],
     );
     for &f in &[1usize, 2, 3] {
         for (name, adversary) in [
@@ -125,39 +138,36 @@ pub fn e12_resilience_matrix() -> Table {
 /// Drives one consensus execution under an arbitrary adversary and verifies it with
 /// the `uba-checker` oracle; returns `(rounds, messages, decided value)`.
 ///
-/// This is the workhorse behind E13 and the `ablation_adversary` bench: unlike
-/// [`uba_core::runner::run_consensus`] it accepts *any* [`Adversary`] implementation,
-/// which is what lets the ablation pit the scripted strategies against the adaptive
-/// attackers on identical workloads.
-pub fn consensus_under<A>(correct: usize, byzantine: usize, seed: u64, adversary: A) -> (u64, u64, u64)
+/// This is the workhorse behind E13 and the `ablation_adversary` bench: it goes
+/// through [`ScenarioBuilder::build_with_adversary`](uba_core::sim::ScenarioBuilder)
+/// rather than a named [`AdversaryKind`], which is what lets the ablation pit the
+/// scripted strategies against the adaptive attackers on identical workloads.
+pub fn consensus_under<A>(
+    correct: usize,
+    byzantine: usize,
+    seed: u64,
+    adversary: A,
+) -> (u64, u64, u64)
 where
-    A: Adversary<ConsensusMessage<u64>>,
+    A: Adversary<ConsensusMessage<u64>> + 'static,
 {
-    let ids = IdSpace::default().generate(correct + byzantine, seed);
-    let byz: Vec<NodeId> = ids[correct..].to_vec();
     let inputs = binary_inputs(correct, 0.5, seed);
-    let nodes: Vec<Consensus<u64>> = ids[..correct]
-        .iter()
-        .zip(&inputs)
-        .map(|(&id, &input)| Consensus::new(id, input))
-        .collect();
-    let mut engine = SyncEngine::new(nodes, adversary, byz);
-    engine
-        .run_until_all_terminated(60 * (correct + byzantine) as u64 + 100)
-        .expect("consensus terminates");
-    let observations: Vec<ConsensusObservation<u64>> = engine
-        .nodes()
-        .iter()
-        .map(|node| ConsensusObservation {
-            node: Protocol::id(node),
-            input: *node.input(),
-            decision: node.decision().cloned(),
-        })
-        .collect();
-    check_consensus(&observations, ConsensusCheck::default())
-        .assert_passed("consensus under ablation adversary");
-    let decided = observations[0].decision.as_ref().expect("checked above").value;
-    (engine.round(), engine.metrics().correct_messages, decided)
+    let report = Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .seed(seed)
+        .max_rounds(60 * (correct + byzantine) as u64 + 100)
+        .build_with_adversary(ConsensusFactory::new(inputs), "ablation", adversary)
+        .run()
+        .expect("no engine error");
+    assert!(
+        report.completed(),
+        "consensus terminates under every ablation adversary"
+    );
+    check_run_report(&report).assert_passed("consensus under ablation adversary");
+    let section = report.consensus.as_ref().expect("consensus section");
+    let decided = section.decisions.first().expect("checked above").value;
+    (report.rounds, report.messages.correct, decided)
 }
 
 /// E13 — adversary-adaptivity ablation: termination round and message cost of
@@ -172,10 +182,26 @@ pub fn e13_adaptive_attackers() -> Table {
         let correct = 2 * f + 1;
         let seed = SEED + 31 * f as u64;
         let cells: Vec<(&str, bool, (u64, u64, u64))> = vec![
-            ("silent", false, consensus_under(correct, f, seed, SilentAdversary)),
-            ("announce-then-silent", false, consensus_under(correct, f, seed, AnnounceThenSilent)),
-            ("partial-announce", false, consensus_under(correct, f, seed, PartialAnnounce)),
-            ("split-vote", false, consensus_under(correct, f, seed, SplitVote::new(0u64, 1u64))),
+            (
+                "silent",
+                false,
+                consensus_under(correct, f, seed, SilentAdversary),
+            ),
+            (
+                "announce-then-silent",
+                false,
+                consensus_under(correct, f, seed, AnnounceThenSilent),
+            ),
+            (
+                "partial-announce",
+                false,
+                consensus_under(correct, f, seed, PartialAnnounce),
+            ),
+            (
+                "split-vote",
+                false,
+                consensus_under(correct, f, seed, SplitVote::new(0u64, 1u64)),
+            ),
             (
                 "minority-booster",
                 true,
@@ -207,7 +233,12 @@ pub fn e13_adaptive_attackers() -> Table {
 pub fn e14_parallel_scaling() -> Table {
     let mut table = Table::new(
         "E14: Monte-Carlo sweep wall-clock vs worker count (64 trials, f = 2)",
-        &["workers", "wall-clock (ms)", "speedup vs 1 worker", "agreement rate"],
+        &[
+            "workers",
+            "wall-clock (ms)",
+            "speedup vs 1 worker",
+            "agreement rate",
+        ],
     );
     let mut baseline_ms = None;
     let mut baseline_outcome = None;
@@ -216,7 +247,11 @@ pub fn e14_parallel_scaling() -> Table {
             correct: 5,
             byzantine: 2,
             adversary: AdversaryKind::SplitVote,
-            config: SweepConfig { trials: 64, base_seed: SEED, workers },
+            config: SweepConfig {
+                trials: 64,
+                base_seed: SEED,
+                workers,
+            },
         };
         let started = Instant::now();
         let outcome = sweep.run();
@@ -263,7 +298,10 @@ mod tests {
     fn e13_checks_and_reports_all_attackers() {
         let table = e13_adaptive_attackers();
         assert_eq!(table.rows.len(), 12, "6 attackers × 2 values of f");
-        assert!(table.rows.iter().all(|row| row[3].parse::<u64>().unwrap() > 0));
+        assert!(table
+            .rows
+            .iter()
+            .all(|row| row[3].parse::<u64>().unwrap() > 0));
     }
 
     #[test]

@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod experiments_ext;
 pub mod montecarlo;
 pub mod table;
 pub mod workload;
 
+pub use baseline::{baseline_file, write_baseline, BaselineFile};
 pub use experiments::{all_experiments, experiment_by_name};
 pub use montecarlo::{ResilienceSweep, SweepConfig};
 pub use table::Table;

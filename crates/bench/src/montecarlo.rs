@@ -6,17 +6,15 @@
 //! seeds and reports rates and distributions. Those repetitions are embarrassingly
 //! parallel (every trial owns its engine and its RNG stream), which makes them the
 //! natural place to use data parallelism: [`run_trials`] fans the trials out over a
-//! crossbeam scope of worker threads and returns the results **in trial order**, so
-//! the aggregate output is byte-for-byte identical regardless of the worker count.
+//! scope of worker threads and returns the results **in trial order**, so the
+//! aggregate output is byte-for-byte identical regardless of the worker count.
 //!
 //! On top of the generic runner, [`ResilienceSweep`] packages the sweep used by
 //! experiment E12 and the `resilience_audit` example: consensus under a chosen
 //! adversary, repeated over seeds, aggregated into agreement/validity rates and a
 //! round-count summary.
 
-use crossbeam::thread;
-
-use uba_core::runner::{run_consensus, AdversaryKind, Scenario};
+use uba_core::sim::{AdversaryKind, RunStatus, ScenarioExt, Simulation};
 use uba_simnet::rng::derive_seed;
 use uba_simnet::stats::{RateEstimate, Summary};
 
@@ -35,8 +33,15 @@ impl SweepConfig {
     /// A sweep of `trials` trials on as many workers as the machine has cores
     /// (capped at 8 to keep the benchmarks well-behaved on shared machines).
     pub fn new(trials: u64, base_seed: u64) -> Self {
-        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
-        SweepConfig { trials, base_seed, workers: workers.max(1) }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8);
+        SweepConfig {
+            trials,
+            base_seed,
+            workers: workers.max(1),
+        }
     }
 
     /// Overrides the worker count.
@@ -61,15 +66,17 @@ where
         return Vec::new();
     }
     if config.workers <= 1 {
-        return (0..trials).map(|i| trial(i, derive_seed(config.base_seed, i))).collect();
+        return (0..trials)
+            .map(|i| trial(i, derive_seed(config.base_seed, i)))
+            .collect();
     }
 
     let workers = config.workers.min(trials as usize);
-    let mut indexed: Vec<(u64, T)> = thread::scope(|scope| {
+    let mut indexed: Vec<(u64, T)> = std::thread::scope(|scope| {
         let trial = &trial;
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Static striping: worker w runs trials w, w + workers, …
                     // Every worker touches a spread of indices, so uneven trial costs
                     // (e.g. larger n later in a sweep) still balance reasonably.
@@ -87,8 +94,7 @@ where
             .into_iter()
             .flat_map(|handle| handle.join().expect("trial worker must not panic"))
             .collect()
-    })
-    .expect("crossbeam scope must not panic");
+    });
 
     indexed.sort_by_key(|(index, _)| *index);
     indexed.into_iter().map(|(_, result)| result).collect()
@@ -144,19 +150,31 @@ impl ResilienceSweep {
     pub fn run(&self) -> ResilienceOutcome {
         let inputs: Vec<u64> = (0..self.correct).map(|i| (i % 2) as u64).collect();
         let trials = run_trials(&self.config, |_, seed| {
-            let mut scenario = Scenario::new(self.correct, self.byzantine, seed);
-            scenario.max_rounds = 400;
-            match run_consensus(&scenario, &inputs, self.adversary) {
-                Ok(report) => ConsensusTrial {
-                    agreement: report.agreement,
-                    validity: report.validity,
-                    rounds: report.rounds,
-                    messages: report.messages,
-                },
-                Err(_) => ConsensusTrial {
+            let report = Simulation::scenario()
+                .correct(self.correct)
+                .byzantine(self.byzantine)
+                .seed(seed)
+                .max_rounds(400)
+                .adversary(self.adversary)
+                .consensus(&inputs)
+                .run()
+                .expect("consensus runs never violate engine rules");
+            match report.status {
+                RunStatus::Completed { rounds } => {
+                    let section = report.consensus.expect("consensus section");
+                    ConsensusTrial {
+                        agreement: section.agreement,
+                        validity: section.validity,
+                        rounds,
+                        messages: report.messages.correct,
+                    }
+                }
+                // A stuck trial (legitimate outside n > 3f) counts against both
+                // properties with the round cap as its cost.
+                RunStatus::MaxRoundsExceeded { limit } => ConsensusTrial {
                     agreement: false,
                     validity: false,
-                    rounds: scenario.max_rounds,
+                    rounds: limit,
                     messages: 0,
                 },
             }
@@ -167,13 +185,22 @@ impl ResilienceSweep {
 
 /// Aggregates raw trials into rates and summaries.
 pub fn aggregate(trials: &[ConsensusTrial]) -> ResilienceOutcome {
-    let agreement =
-        RateEstimate::new(trials.iter().filter(|t| t.agreement).count() as u64, trials.len() as u64);
-    let validity =
-        RateEstimate::new(trials.iter().filter(|t| t.validity).count() as u64, trials.len() as u64);
+    let agreement = RateEstimate::new(
+        trials.iter().filter(|t| t.agreement).count() as u64,
+        trials.len() as u64,
+    );
+    let validity = RateEstimate::new(
+        trials.iter().filter(|t| t.validity).count() as u64,
+        trials.len() as u64,
+    );
     let rounds = Summary::of_u64(&trials.iter().map(|t| t.rounds).collect::<Vec<_>>());
     let messages = Summary::of_u64(&trials.iter().map(|t| t.messages).collect::<Vec<_>>());
-    ResilienceOutcome { agreement, validity, rounds, messages }
+    ResilienceOutcome {
+        agreement,
+        validity,
+        rounds,
+        messages,
+    }
 }
 
 #[cfg(test)]
@@ -182,25 +209,48 @@ mod tests {
 
     #[test]
     fn run_trials_preserves_trial_order_and_count() {
-        let config = SweepConfig { trials: 25, base_seed: 9, workers: 4 };
+        let config = SweepConfig {
+            trials: 25,
+            base_seed: 9,
+            workers: 4,
+        };
         let results = run_trials(&config, |index, _seed| index * 2);
         assert_eq!(results, (0..25).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn run_trials_is_independent_of_worker_count() {
-        let sequential = SweepConfig { trials: 16, base_seed: 3, workers: 1 };
-        let parallel = SweepConfig { trials: 16, base_seed: 3, workers: 5 };
+        let sequential = SweepConfig {
+            trials: 16,
+            base_seed: 3,
+            workers: 1,
+        };
+        let parallel = SweepConfig {
+            trials: 16,
+            base_seed: 3,
+            workers: 5,
+        };
         let a = run_trials(&sequential, |index, seed| (index, seed));
         let b = run_trials(&parallel, |index, seed| (index, seed));
-        assert_eq!(a, b, "derived seeds and ordering must not depend on workers");
+        assert_eq!(
+            a, b,
+            "derived seeds and ordering must not depend on workers"
+        );
     }
 
     #[test]
     fn run_trials_handles_zero_trials_and_more_workers_than_trials() {
-        let empty = SweepConfig { trials: 0, base_seed: 1, workers: 4 };
+        let empty = SweepConfig {
+            trials: 0,
+            base_seed: 1,
+            workers: 4,
+        };
         assert!(run_trials(&empty, |_, _| 1u64).is_empty());
-        let tiny = SweepConfig { trials: 2, base_seed: 1, workers: 16 };
+        let tiny = SweepConfig {
+            trials: 2,
+            base_seed: 1,
+            workers: 16,
+        };
         assert_eq!(run_trials(&tiny, |index, _| index).len(), 2);
     }
 
@@ -217,11 +267,18 @@ mod tests {
             correct: 5,
             byzantine: 1,
             adversary: AdversaryKind::SplitVote,
-            config: SweepConfig { trials: 8, base_seed: 77, workers: 4 },
+            config: SweepConfig {
+                trials: 8,
+                base_seed: 77,
+                workers: 4,
+            },
         };
         let outcome = sweep.run();
         assert_eq!(outcome.agreement.trials, 8);
-        assert!((outcome.agreement.rate() - 1.0).abs() < 1e-12, "n > 3f must always agree");
+        assert!(
+            (outcome.agreement.rate() - 1.0).abs() < 1e-12,
+            "n > 3f must always agree"
+        );
         assert!((outcome.validity.rate() - 1.0).abs() < 1e-12);
         assert!(outcome.rounds.mean > 0.0);
         assert!(outcome.messages.min > 0.0);
@@ -230,8 +287,18 @@ mod tests {
     #[test]
     fn aggregate_counts_rates_correctly() {
         let trials = vec![
-            ConsensusTrial { agreement: true, validity: true, rounds: 8, messages: 100 },
-            ConsensusTrial { agreement: false, validity: true, rounds: 12, messages: 150 },
+            ConsensusTrial {
+                agreement: true,
+                validity: true,
+                rounds: 8,
+                messages: 100,
+            },
+            ConsensusTrial {
+                agreement: false,
+                validity: true,
+                rounds: 12,
+                messages: 150,
+            },
         ];
         let outcome = aggregate(&trials);
         assert_eq!(outcome.agreement.successes, 1);

@@ -26,7 +26,11 @@ impl Table {
 
     /// Appends a row (must match the header count).
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match header count");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
         self.rows.push(cells);
     }
 
@@ -55,7 +59,15 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", render(&self.headers))?;
-        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render(row))?;
         }

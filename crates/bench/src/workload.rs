@@ -16,7 +16,10 @@ use uba_simnet::{IdSpace, NodeId};
 /// Binary consensus inputs: `n` opinions of which a `ones_fraction` share are 1, the
 /// rest 0, in a seed-determined order.
 pub fn binary_inputs(n: usize, ones_fraction: f64, seed: u64) -> Vec<u64> {
-    assert!((0.0..=1.0).contains(&ones_fraction), "fraction must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&ones_fraction),
+        "fraction must be a probability"
+    );
     let ones = (n as f64 * ones_fraction).round() as usize;
     let mut inputs: Vec<u64> = (0..n).map(|i| u64::from(i < ones)).collect();
     inputs.shuffle(&mut seeded_rng(derive_seed(seed, 0xB1)));
@@ -93,7 +96,9 @@ pub fn event_payloads(ids: &[NodeId], rounds: u64) -> Vec<Vec<u64>> {
     ids.iter()
         .enumerate()
         .map(|(node_index, _)| {
-            (0..rounds).map(|round| (node_index as u64) << 32 | round).collect()
+            (0..rounds)
+                .map(|round| (node_index as u64) << 32 | round)
+                .collect()
         })
         .collect()
 }
@@ -116,7 +121,11 @@ mod tests {
         assert_eq!(inputs.len(), 10);
         assert_eq!(inputs.iter().sum::<u64>(), 3);
         assert_eq!(inputs, binary_inputs(10, 0.3, 5), "same seed, same order");
-        assert_ne!(binary_inputs(10, 0.3, 6), inputs, "different seed shuffles differently");
+        assert_ne!(
+            binary_inputs(10, 0.3, 6),
+            inputs,
+            "different seed shuffles differently"
+        );
         assert_eq!(binary_inputs(4, 0.0, 1).iter().sum::<u64>(), 0);
         assert_eq!(binary_inputs(4, 1.0, 1).iter().sum::<u64>(), 4);
     }

@@ -56,7 +56,10 @@ pub fn check_convergence(spreads: &[f64]) -> CheckReport {
     for (index, window) in spreads.windows(2).enumerate() {
         let (previous, current) = (window[0], window[1]);
         report.expect(current <= previous + EPS, "approx/monotone-spread", || {
-            format!("spread grew from {previous} to {current} at iteration {}", index + 1)
+            format!(
+                "spread grew from {previous} to {current} at iteration {}",
+                index + 1
+            )
         });
         report.expect(current <= previous / 2.0 + EPS, "approx/halving", || {
             format!(
@@ -98,13 +101,19 @@ mod tests {
     #[test]
     fn output_outside_range_violates_containment() {
         let report = check_approx(&[0.0, 10.0], &[5.0, 11.0]);
-        assert!(report.violations.iter().any(|v| v.property == "approx/containment"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "approx/containment"));
     }
 
     #[test]
     fn non_shrinking_range_violates_contraction() {
         let report = check_approx(&[0.0, 10.0], &[0.0, 10.0]);
-        assert!(report.violations.iter().any(|v| v.property == "approx/contraction"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "approx/contraction"));
     }
 
     #[test]
@@ -127,14 +136,23 @@ mod tests {
     #[test]
     fn growing_spread_is_reported() {
         let report = check_convergence(&[4.0, 6.0]);
-        assert!(report.violations.iter().any(|v| v.property == "approx/monotone-spread"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "approx/monotone-spread"));
     }
 
     #[test]
     fn slow_contraction_is_reported() {
         let report = check_convergence(&[10.0, 7.0]);
-        assert!(report.violations.iter().any(|v| v.property == "approx/halving"));
-        assert!(!report.violations.iter().any(|v| v.property == "approx/monotone-spread"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "approx/halving"));
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| v.property == "approx/monotone-spread"));
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn observe<M: Clone + Ord + Debug + std::hash::Hash>(
 ) -> Vec<NodeAcceptances<M>> {
     nodes
         .iter()
-        .map(|n| NodeAcceptances { node: n.id(), accepted: n.accepted().to_vec() })
+        .map(|n| NodeAcceptances {
+            node: n.id(),
+            accepted: n.accepted().to_vec(),
+        })
         .collect()
 }
 
@@ -126,7 +129,9 @@ pub fn check_reliable_broadcast<M: Clone + Ord + Debug>(
         }
         for obs in observations {
             report.expect(
-                obs.accepted.iter().any(|a| &a.message == message && a.round <= deadline),
+                obs.accepted
+                    .iter()
+                    .any(|a| &a.message == message && a.round <= deadline),
                 "reliable-broadcast/relay",
                 || {
                     format!(
@@ -147,17 +152,27 @@ mod tests {
     use super::*;
 
     fn acc(message: u64, round: u64) -> Accepted<u64> {
-        Accepted { message, source: NodeId::new(1), round }
+        Accepted {
+            message,
+            source: NodeId::new(1),
+            round,
+        }
     }
 
     fn obs(node: u64, accepted: Vec<Accepted<u64>>) -> NodeAcceptances<u64> {
-        NodeAcceptances { node: NodeId::new(node), accepted }
+        NodeAcceptances {
+            node: NodeId::new(node),
+            accepted,
+        }
     }
 
     #[test]
     fn correct_sender_accepted_everywhere_passes() {
-        let observations =
-            vec![obs(10, vec![acc(42, 3)]), obs(11, vec![acc(42, 3)]), obs(12, vec![acc(42, 4)])];
+        let observations = vec![
+            obs(10, vec![acc(42, 3)]),
+            obs(11, vec![acc(42, 3)]),
+            obs(12, vec![acc(42, 4)]),
+        ];
         let report = check_reliable_broadcast(&SenderTruth::Correct(42), &observations, 10);
         report.assert_passed("correct sender");
         assert!(report.checks > 0);
@@ -176,7 +191,10 @@ mod tests {
 
     #[test]
     fn forged_acceptance_violates_unforgeability() {
-        let observations = vec![obs(10, vec![acc(42, 3), acc(99, 4)]), obs(11, vec![acc(42, 3)])];
+        let observations = vec![
+            obs(10, vec![acc(42, 3), acc(99, 4)]),
+            obs(11, vec![acc(42, 3)]),
+        ];
         let report = check_reliable_broadcast(&SenderTruth::Correct(42), &observations, 10);
         assert!(report
             .violations
@@ -188,7 +206,10 @@ mod tests {
     fn byzantine_sender_with_diverging_accept_sets_violates_consistency() {
         let observations = vec![obs(10, vec![acc(1, 3)]), obs(11, vec![acc(2, 3)])];
         let report = check_reliable_broadcast(&SenderTruth::Byzantine, &observations, 10);
-        assert!(report.violations.iter().any(|v| v.property == "reliable-broadcast/consistency"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "reliable-broadcast/consistency"));
     }
 
     #[test]
@@ -203,7 +224,10 @@ mod tests {
         // Node 10 accepts in round 3, node 11 only in round 6 — relay requires round 4.
         let observations = vec![obs(10, vec![acc(7, 3)]), obs(11, vec![acc(7, 6)])];
         let report = check_reliable_broadcast(&SenderTruth::Byzantine, &observations, 10);
-        assert!(report.violations.iter().any(|v| v.property == "reliable-broadcast/relay"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "reliable-broadcast/relay"));
     }
 
     #[test]
@@ -213,8 +237,14 @@ mod tests {
         // relay violation (but it is still a consistency one).
         let observations = vec![obs(10, vec![acc(7, 10)]), obs(11, vec![])];
         let report = check_reliable_broadcast(&SenderTruth::Byzantine, &observations, 10);
-        assert!(!report.violations.iter().any(|v| v.property == "reliable-broadcast/relay"));
-        assert!(report.violations.iter().any(|v| v.property == "reliable-broadcast/consistency"));
+        assert!(!report
+            .violations
+            .iter()
+            .any(|v| v.property == "reliable-broadcast/relay"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "reliable-broadcast/consistency"));
     }
 
     #[test]

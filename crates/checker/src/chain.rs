@@ -62,10 +62,7 @@ pub fn check_chain_prefix<E: Clone + Eq + Debug>(
 /// increasing rounds: lengths never shrink, and between the first and the last
 /// snapshot every node's log grows by at least `min_growth` entries (use 1 to assert
 /// "events keep getting appended"; use 0 to only check monotonicity).
-pub fn check_chain_growth(
-    snapshots: &[Vec<(NodeId, usize)>],
-    min_growth: usize,
-) -> CheckReport {
+pub fn check_chain_growth(snapshots: &[Vec<(NodeId, usize)>], min_growth: usize) -> CheckReport {
     let mut report = CheckReport::new();
     for window in snapshots.windows(2) {
         let (earlier, later) = (&window[0], &window[1]);
@@ -103,11 +100,19 @@ mod tests {
     use super::*;
 
     fn event(round: u64, witness: u64, event: u64) -> OrderedEvent<u64> {
-        OrderedEvent { round, witness: NodeId::new(witness), event }
+        OrderedEvent {
+            round,
+            witness: NodeId::new(witness),
+            event,
+        }
     }
 
     fn obs(node: u64, chain: Vec<OrderedEvent<u64>>, joined: u64) -> ChainObservation<u64> {
-        ChainObservation { node: NodeId::new(node), chain, joined_round: joined }
+        ChainObservation {
+            node: NodeId::new(node),
+            chain,
+            joined_round: joined,
+        }
     }
 
     #[test]
@@ -131,7 +136,10 @@ mod tests {
         let b = vec![event(1, 10, 100), event(2, 11, 999)];
         let observations = vec![obs(10, a, 0), obs(11, b, 0)];
         let report = check_chain_prefix(&observations);
-        assert!(report.violations.iter().any(|v| v.property == "total-order/chain-prefix"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "total-order/chain-prefix"));
     }
 
     #[test]
@@ -150,7 +158,10 @@ mod tests {
             vec![(NodeId::new(1), 1), (NodeId::new(2), 3)],
         ];
         let report = check_chain_growth(&snapshots, 0);
-        assert!(report.violations.iter().any(|v| v.property == "total-order/chain-monotone"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "total-order/chain-monotone"));
     }
 
     #[test]
@@ -162,7 +173,10 @@ mod tests {
         ];
         check_chain_growth(&snapshots, 1).assert_passed("grew by one");
         let report = check_chain_growth(&snapshots, 2);
-        assert!(report.violations.iter().any(|v| v.property == "total-order/chain-growth"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "total-order/chain-growth"));
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct ConsensusCheck {
 
 impl Default for ConsensusCheck {
     fn default() -> Self {
-        ConsensusCheck { expect_termination: true, round_bound: None }
+        ConsensusCheck {
+            expect_termination: true,
+            round_bound: None,
+        }
     }
 }
 
@@ -74,24 +77,24 @@ pub fn check_consensus<V: Clone + Eq + Debug>(
         // Validity: the decided value is the input of some correct node, and unanimous
         // inputs force that value.
         let inputs: Vec<&V> = observations.iter().map(|o| &o.input).collect();
-        report.expect(
-            inputs.iter().any(|input| *input == &first.value),
-            "consensus/validity",
-            || {
-                format!(
-                    "decided value {:?} is not the input of any correct node ({inputs:?})",
-                    first.value
-                )
-            },
-        );
+        report.expect(inputs.contains(&&first.value), "consensus/validity", || {
+            format!(
+                "decided value {:?} is not the input of any correct node ({inputs:?})",
+                first.value
+            )
+        });
         let unanimous = inputs.windows(2).all(|w| w[0] == w[1]);
         if unanimous {
-            report.expect(&first.value == inputs[0], "consensus/validity-unanimous", || {
-                format!(
-                    "all correct inputs were {:?} but the decision was {:?}",
-                    inputs[0], first.value
-                )
-            });
+            report.expect(
+                &first.value == inputs[0],
+                "consensus/validity-unanimous",
+                || {
+                    format!(
+                        "all correct inputs were {:?} but the decision was {:?}",
+                        inputs[0], first.value
+                    )
+                },
+            );
         }
     }
 
@@ -137,14 +140,21 @@ mod tests {
         ConsensusObservation {
             node: NodeId::new(node),
             input,
-            decision: decision.map(|(value, round)| Decision { value, phase: 1, round }),
+            decision: decision.map(|(value, round)| Decision {
+                value,
+                phase: 1,
+                round,
+            }),
         }
     }
 
     #[test]
     fn agreeing_valid_decisions_pass() {
-        let observations =
-            vec![obs(1, 0, Some((0, 8))), obs(2, 1, Some((0, 8))), obs(3, 0, Some((0, 9)))];
+        let observations = vec![
+            obs(1, 0, Some((0, 8))),
+            obs(2, 1, Some((0, 8))),
+            obs(3, 0, Some((0, 9))),
+        ];
         check_consensus(&observations, ConsensusCheck::default()).assert_passed("agreeing run");
     }
 
@@ -152,14 +162,20 @@ mod tests {
     fn disagreement_is_reported() {
         let observations = vec![obs(1, 0, Some((0, 8))), obs(2, 1, Some((1, 8)))];
         let report = check_consensus(&observations, ConsensusCheck::default());
-        assert!(report.violations.iter().any(|v| v.property == "consensus/agreement"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "consensus/agreement"));
     }
 
     #[test]
     fn decision_outside_inputs_violates_validity() {
         let observations = vec![obs(1, 0, Some((7, 8))), obs(2, 1, Some((7, 8)))];
         let report = check_consensus(&observations, ConsensusCheck::default());
-        assert!(report.violations.iter().any(|v| v.property == "consensus/validity"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "consensus/validity"));
     }
 
     #[test]
@@ -167,9 +183,16 @@ mod tests {
         let observations = vec![obs(1, 5, Some((5, 8))), obs(2, 5, Some((5, 8)))];
         check_consensus(&observations, ConsensusCheck::default()).assert_passed("unanimity");
         // Same inputs but a different (still "valid-looking") decision value.
-        let bad = vec![obs(1, 5, Some((5, 8))), obs(2, 5, Some((5, 8))), obs(3, 5, None)];
+        let bad = vec![
+            obs(1, 5, Some((5, 8))),
+            obs(2, 5, Some((5, 8))),
+            obs(3, 5, None),
+        ];
         let report = check_consensus(&bad, ConsensusCheck::default());
-        assert!(report.violations.iter().any(|v| v.property == "consensus/termination"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "consensus/termination"));
     }
 
     #[test]
@@ -179,7 +202,10 @@ mod tests {
         assert!(!strict.passed());
         let lenient = check_consensus(
             &observations,
-            ConsensusCheck { expect_termination: false, round_bound: None },
+            ConsensusCheck {
+                expect_termination: false,
+                round_bound: None,
+            },
         );
         lenient.assert_passed("partial run without termination requirement");
     }
@@ -189,9 +215,15 @@ mod tests {
         let observations = vec![obs(1, 0, Some((0, 30))), obs(2, 0, Some((0, 8)))];
         let report = check_consensus(
             &observations,
-            ConsensusCheck { expect_termination: true, round_bound: Some(20) },
+            ConsensusCheck {
+                expect_termination: true,
+                round_bound: Some(20),
+            },
         );
-        assert!(report.violations.iter().any(|v| v.property == "consensus/round-bound"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "consensus/round-bound"));
     }
 
     #[test]
@@ -205,7 +237,14 @@ mod tests {
     fn observations_from_outputs_joins_by_node_id() {
         let inputs = vec![(NodeId::new(1), 0u64), (NodeId::new(2), 1u64)];
         let outputs = vec![
-            (NodeId::new(2), Some(Decision { value: 0, phase: 1, round: 9 })),
+            (
+                NodeId::new(2),
+                Some(Decision {
+                    value: 0,
+                    phase: 1,
+                    round: 9,
+                }),
+            ),
             (NodeId::new(1), None),
         ];
         let observations = observations_from_outputs(&inputs, &outputs);

@@ -20,6 +20,11 @@
 //! | Theorem 5 — parallel consensus: validity, agreement, termination | [`parallel::check_parallel_consensus`] |
 //! | Theorem 6 — total ordering: chain-prefix, chain-growth | [`chain::check_chain_prefix`], [`chain::check_chain_growth`] |
 //!
+//! The [`run_report`] module replays the applicable oracles directly over a
+//! [`RunReport`](uba_core::sim::RunReport) produced by the `Simulation` driver —
+//! [`attach_verdicts`] stamps the verdicts into the report itself, which is how the
+//! recorded JSON baselines carry their own verification.
+//!
 //! Every oracle returns a [`CheckReport`]: the list of concrete [`Violation`]s found
 //! (empty on success) together with how many individual checks were evaluated, so a
 //! passing report over zero checks is distinguishable from a passing report over
@@ -40,5 +45,7 @@ pub mod consensus;
 pub mod parallel;
 pub mod report;
 pub mod rotor;
+pub mod run_report;
 
 pub use report::{CheckReport, Violation};
+pub use run_report::{attach_verdicts, check_run_report, report_verdicts};

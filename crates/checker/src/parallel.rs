@@ -40,9 +40,11 @@ pub fn check_parallel_consensus<V: Clone + Eq + Debug>(
     }
 
     for obs in observations {
-        report.expect(obs.decision.is_some(), "parallel-consensus/termination", || {
-            format!("node {} never terminated", obs.node)
-        });
+        report.expect(
+            obs.decision.is_some(),
+            "parallel-consensus/termination",
+            || format!("node {} never terminated", obs.node),
+        );
     }
 
     let decided: Vec<(&NodeId, &ParallelDecision<V>)> = observations
@@ -53,12 +55,16 @@ pub fn check_parallel_consensus<V: Clone + Eq + Debug>(
     // Agreement: all output pair-sets are identical.
     if let Some((first_node, first)) = decided.first() {
         for (node, decision) in decided.iter().skip(1) {
-            report.expect(decision.pairs == first.pairs, "parallel-consensus/agreement", || {
-                format!(
-                    "node {first_node} output {:?} but node {node} output {:?}",
-                    first.pairs, decision.pairs
-                )
-            });
+            report.expect(
+                decision.pairs == first.pairs,
+                "parallel-consensus/agreement",
+                || {
+                    format!(
+                        "node {first_node} output {:?} but node {node} output {:?}",
+                        first.pairs, decision.pairs
+                    )
+                },
+            );
         }
     }
 
@@ -91,16 +97,22 @@ pub fn check_parallel_consensus<V: Clone + Eq + Debug>(
     }
 
     // No fabrication: every output identifier was the input of some correct node.
-    let known_ids: BTreeSet<InstanceId> =
-        observations.iter().flat_map(|o| o.inputs.keys().copied()).collect();
+    let known_ids: BTreeSet<InstanceId> = observations
+        .iter()
+        .flat_map(|o| o.inputs.keys().copied())
+        .collect();
     for (node, decision) in &decided {
         for id in decision.pairs.keys() {
-            report.expect(known_ids.contains(id), "parallel-consensus/no-fabrication", || {
-                format!(
-                    "node {node} output a pair for identifier {id} which no correct node had \
+            report.expect(
+                known_ids.contains(id),
+                "parallel-consensus/no-fabrication",
+                || {
+                    format!(
+                        "node {node} output a pair for identifier {id} which no correct node had \
                      as input"
-                )
-            });
+                    )
+                },
+            );
         }
     }
 
@@ -112,7 +124,11 @@ mod tests {
     use super::*;
 
     fn decision(pairs: &[(InstanceId, u64)]) -> ParallelDecision<u64> {
-        ParallelDecision { pairs: pairs.iter().copied().collect(), phase: 1, round: 9 }
+        ParallelDecision {
+            pairs: pairs.iter().copied().collect(),
+            phase: 1,
+            round: 9,
+        }
     }
 
     fn obs(
@@ -143,17 +159,20 @@ mod tests {
             obs(2, &[(10, 7)], Some(&[(10, 7), (11, 1)])),
         ];
         let report = check_parallel_consensus(&observations);
-        assert!(report.violations.iter().any(|v| v.property == "parallel-consensus/agreement"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "parallel-consensus/agreement"));
     }
 
     #[test]
     fn dropping_a_universal_input_violates_validity() {
-        let observations = vec![
-            obs(1, &[(10, 7)], Some(&[])),
-            obs(2, &[(10, 7)], Some(&[])),
-        ];
+        let observations = vec![obs(1, &[(10, 7)], Some(&[])), obs(2, &[(10, 7)], Some(&[]))];
         let report = check_parallel_consensus(&observations);
-        assert!(report.violations.iter().any(|v| v.property == "parallel-consensus/validity"));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "parallel-consensus/validity"));
     }
 
     #[test]
@@ -182,7 +201,10 @@ mod tests {
 
     #[test]
     fn missing_decision_violates_termination() {
-        let observations = vec![obs(1, &[(10, 7)], Some(&[(10, 7)])), obs(2, &[(10, 7)], None)];
+        let observations = vec![
+            obs(1, &[(10, 7)], Some(&[(10, 7)])),
+            obs(2, &[(10, 7)], None),
+        ];
         let report = check_parallel_consensus(&observations);
         assert!(report
             .violations
@@ -195,10 +217,7 @@ mod tests {
         // The two nodes have the same identifier with different opinions — the pair is
         // not "input at every correct node" in the sense of validity, so any agreeing
         // output (even dropping it) is fine.
-        let observations = vec![
-            obs(1, &[(10, 1)], Some(&[])),
-            obs(2, &[(10, 2)], Some(&[])),
-        ];
+        let observations = vec![obs(1, &[(10, 1)], Some(&[])), obs(2, &[(10, 2)], Some(&[]))];
         check_parallel_consensus(&observations).assert_passed("conflicting inputs");
     }
 

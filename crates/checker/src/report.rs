@@ -17,7 +17,10 @@ pub struct Violation {
 impl Violation {
     /// Creates a violation record.
     pub fn new(property: impl Into<String>, details: impl Into<String>) -> Self {
-        Violation { property: property.into(), details: details.into() }
+        Violation {
+            property: property.into(),
+            details: details.into(),
+        }
     }
 }
 
@@ -93,7 +96,11 @@ impl CheckReport {
             "{context}: {} violation(s) across {} checks:\n{}",
             self.violations.len(),
             self.checks,
-            self.violations.iter().map(|v| format!("  - {v}")).collect::<Vec<_>>().join("\n")
+            self.violations
+                .iter()
+                .map(|v| format!("  - {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
         );
     }
 }
@@ -103,7 +110,12 @@ impl fmt::Display for CheckReport {
         if self.passed() {
             write!(f, "ok ({} checks)", self.checks)
         } else {
-            writeln!(f, "FAILED ({} violations / {} checks)", self.violations.len(), self.checks)?;
+            writeln!(
+                f,
+                "FAILED ({} violations / {} checks)",
+                self.violations.len(),
+                self.checks
+            )?;
             for violation in &self.violations {
                 writeln!(f, "  - {violation}")?;
             }
@@ -127,7 +139,9 @@ mod tests {
     #[test]
     fn expect_records_checks_and_violations() {
         let mut report = CheckReport::new();
-        report.expect(true, "p1", || unreachable!("details must not be built on success"));
+        report.expect(true, "p1", || {
+            unreachable!("details must not be built on success")
+        });
         report.expect(false, "p2", || "observed the bad thing".to_string());
         assert_eq!(report.checks, 2);
         assert_eq!(report.violations.len(), 1);
@@ -139,7 +153,7 @@ mod tests {
     #[test]
     fn merge_accumulates_both_fields() {
         let mut a = CheckReport::new();
-        a.expect(true, "x", || String::new());
+        a.expect(true, "x", String::new);
         let mut b = CheckReport::new();
         b.expect(false, "y", || "boom".into());
         a.merge(b);
@@ -157,7 +171,13 @@ mod tests {
 
     #[test]
     fn violation_display_includes_property() {
-        let v = Violation::new("consensus/agreement", "node n3 decided 1, node n4 decided 0");
-        assert_eq!(v.to_string(), "[consensus/agreement] node n3 decided 1, node n4 decided 0");
+        let v = Violation::new(
+            "consensus/agreement",
+            "node n3 decided 1, node n4 decided 0",
+        );
+        assert_eq!(
+            v.to_string(),
+            "[consensus/agreement] node n3 decided 1, node n4 decided 0"
+        );
     }
 }

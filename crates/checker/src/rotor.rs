@@ -50,14 +50,18 @@ pub fn check_rotor<V: Clone + Eq + Debug>(
                 format!("node {} never reselected a coordinator", obs.node)
             });
         }
-        report.expect(obs.history.len() <= config.n + 1, "rotor/round-bound", || {
-            format!(
-                "node {} ran {} loop rounds, more than the n = {} bound",
-                obs.node,
-                obs.history.len(),
-                config.n
-            )
-        });
+        report.expect(
+            obs.history.len() <= config.n + 1,
+            "rotor/round-bound",
+            || {
+                format!(
+                    "node {} ran {} loop rounds, more than the n = {} bound",
+                    obs.node,
+                    obs.history.len(),
+                    config.n
+                )
+            },
+        );
         // Each node must have selected at least one correct coordinator among its
         // selections before terminating (there are at most f < n/3 faulty ones and the
         // selected set grows by one per round).
@@ -69,7 +73,10 @@ pub fn check_rotor<V: Clone + Eq + Debug>(
                     format!(
                         "node {} terminated having selected only faulty coordinators: {:?}",
                         obs.node,
-                        obs.history.iter().map(|r| r.coordinator).collect::<Vec<_>>()
+                        obs.history
+                            .iter()
+                            .map(|r| r.coordinator)
+                            .collect::<Vec<_>>()
                     )
                 },
             );
@@ -80,11 +87,17 @@ pub fn check_rotor<V: Clone + Eq + Debug>(
     // coordinator and that coordinator is correct. Only loop rounds that every node
     // reached can qualify (a node terminates earlier than others by at most the paper's
     // relay slack, but a good round must have been witnessed by all of them).
-    let shortest = observations.iter().map(|o| o.history.len()).min().unwrap_or(0);
+    let shortest = observations
+        .iter()
+        .map(|o| o.history.len())
+        .min()
+        .unwrap_or(0);
     let mut good_round = None;
     for loop_round in 0..shortest {
-        let selections: BTreeSet<NodeId> =
-            observations.iter().map(|o| o.history[loop_round].coordinator).collect();
+        let selections: BTreeSet<NodeId> = observations
+            .iter()
+            .map(|o| o.history[loop_round].coordinator)
+            .collect();
         if selections.len() == 1 {
             let coordinator = *selections.iter().next().expect("non-empty");
             if correct.contains(&coordinator) {
@@ -108,7 +121,11 @@ mod tests {
     use super::*;
 
     fn record(loop_round: u64, coordinator: u64) -> RotorRecord<u64> {
-        RotorRecord { loop_round, coordinator: NodeId::new(coordinator), accepted_opinion: None }
+        RotorRecord {
+            loop_round,
+            coordinator: NodeId::new(coordinator),
+            accepted_opinion: None,
+        }
     }
 
     fn correct_set(ids: &[u64]) -> BTreeSet<NodeId> {
@@ -135,17 +152,37 @@ mod tests {
             obs(2, &[9, 2, 2], true),
             obs(3, &[2, 2, 2], true),
         ];
-        check_rotor(&correct, &observations, RotorCheck { n: 4, expect_termination: true })
-            .assert_passed("good round in loop round 1");
+        check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n: 4,
+                expect_termination: true,
+            },
+        )
+        .assert_passed("good round in loop round 1");
     }
 
     #[test]
     fn no_common_round_violates_good_round() {
         let correct = correct_set(&[1, 2, 3]);
-        let observations = vec![obs(1, &[1, 9], true), obs(2, &[2, 9], true), obs(3, &[3, 9], true)];
-        let report =
-            check_rotor(&correct, &observations, RotorCheck { n: 4, expect_termination: true });
-        assert!(report.violations.iter().any(|v| v.property == "rotor/good-round"));
+        let observations = vec![
+            obs(1, &[1, 9], true),
+            obs(2, &[2, 9], true),
+            obs(3, &[3, 9], true),
+        ];
+        let report = check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n: 4,
+                expect_termination: true,
+            },
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "rotor/good-round"));
     }
 
     #[test]
@@ -153,9 +190,18 @@ mod tests {
         let correct = correct_set(&[1, 2]);
         // Everyone agrees on node 9 — but 9 is Byzantine, so no good round exists.
         let observations = vec![obs(1, &[9], true), obs(2, &[9], true)];
-        let report =
-            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: true });
-        assert!(report.violations.iter().any(|v| v.property == "rotor/good-round"));
+        let report = check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n: 3,
+                expect_termination: true,
+            },
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "rotor/good-round"));
         assert!(report
             .violations
             .iter()
@@ -165,22 +211,46 @@ mod tests {
     #[test]
     fn exceeding_the_round_bound_is_reported() {
         let correct = correct_set(&[1, 2]);
-        let long: Vec<u64> = std::iter::repeat(1).take(10).collect();
+        let long: Vec<u64> = std::iter::repeat_n(1, 10).collect();
         let observations = vec![obs(1, &long, true), obs(2, &long, true)];
-        let report =
-            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: true });
-        assert!(report.violations.iter().any(|v| v.property == "rotor/round-bound"));
+        let report = check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n: 3,
+                expect_termination: true,
+            },
+        );
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "rotor/round-bound"));
     }
 
     #[test]
     fn missing_termination_is_reported_only_when_expected() {
         let correct = correct_set(&[1, 2]);
         let observations = vec![obs(1, &[1, 1], true), obs(2, &[1, 1], false)];
-        let strict =
-            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: true });
-        assert!(strict.violations.iter().any(|v| v.property == "rotor/termination"));
-        let lenient =
-            check_rotor(&correct, &observations, RotorCheck { n: 3, expect_termination: false });
+        let strict = check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n: 3,
+                expect_termination: true,
+            },
+        );
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| v.property == "rotor/termination"));
+        let lenient = check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n: 3,
+                expect_termination: false,
+            },
+        );
         lenient.assert_passed("partial run");
     }
 
@@ -189,7 +259,10 @@ mod tests {
         let report = check_rotor::<u64>(
             &correct_set(&[1]),
             &[],
-            RotorCheck { n: 1, expect_termination: true },
+            RotorCheck {
+                n: 1,
+                expect_termination: true,
+            },
         );
         assert!(report.passed());
         assert_eq!(report.checks, 0);

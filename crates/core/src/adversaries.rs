@@ -108,7 +108,11 @@ pub struct EquivocatingSource<M> {
 impl<M> EquivocatingSource<M> {
     /// Creates the adversary; `source` must be registered as a Byzantine identity.
     pub fn new(source: NodeId, value_for_evens: M, value_for_odds: M) -> Self {
-        EquivocatingSource { source, value_for_evens, value_for_odds }
+        EquivocatingSource {
+            source,
+            value_for_evens,
+            value_for_odds,
+        }
     }
 }
 
@@ -123,8 +127,11 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>>
             .iter()
             .enumerate()
             .map(|(i, &to)| {
-                let value =
-                    if i % 2 == 0 { self.value_for_evens.clone() } else { self.value_for_odds.clone() };
+                let value = if i % 2 == 0 {
+                    self.value_for_evens.clone()
+                } else {
+                    self.value_for_odds.clone()
+                };
                 Directed::new(self.source, to, RbMessage::Init(value))
             })
             .collect()
@@ -156,8 +163,11 @@ impl<V: Opinion> Adversary<ConsensusMessage<V>> for SplitVote<V> {
         let mut out = Vec::new();
         for (b, &from) in view.byzantine_ids.iter().enumerate() {
             for (i, &to) in view.correct_ids.iter().enumerate() {
-                let value =
-                    if (i + b) % 2 == 0 { self.low.clone() } else { self.high.clone() };
+                let value = if (i + b) % 2 == 0 {
+                    self.low.clone()
+                } else {
+                    self.high.clone()
+                };
                 let payload = match view.round {
                     1 => ConsensusMessage::Init,
                     2 => ConsensusMessage::Echo(from),
@@ -191,7 +201,10 @@ impl CandidatePoisoner {
 }
 
 impl<V: Opinion> Adversary<RotorMessage<V>> for CandidatePoisoner {
-    fn step(&mut self, view: &AdversaryView<'_, RotorMessage<V>>) -> Vec<Directed<RotorMessage<V>>> {
+    fn step(
+        &mut self,
+        view: &AdversaryView<'_, RotorMessage<V>>,
+    ) -> Vec<Directed<RotorMessage<V>>> {
         let mut out = Vec::new();
         for &from in view.byzantine_ids {
             for (i, &to) in view.correct_ids.iter().enumerate() {
@@ -277,12 +290,21 @@ impl<V: Opinion> Adversary<ParallelMessage<V>> for GhostPairInjector<V> {
 mod tests {
     use super::*;
 
-    static CORRECT: [NodeId; 4] =
-        [NodeId::new(2), NodeId::new(4), NodeId::new(5), NodeId::new(7)];
+    static CORRECT: [NodeId; 4] = [
+        NodeId::new(2),
+        NodeId::new(4),
+        NodeId::new(5),
+        NodeId::new(7),
+    ];
     static BYZ: [NodeId; 2] = [NodeId::new(100), NodeId::new(101)];
 
     fn view<P>(round: u64, traffic: &[Directed<P>]) -> AdversaryView<'_, P> {
-        AdversaryView { round, correct_ids: &CORRECT, byzantine_ids: &BYZ, correct_traffic: traffic }
+        AdversaryView {
+            round,
+            correct_ids: &CORRECT,
+            byzantine_ids: &BYZ,
+            correct_traffic: traffic,
+        }
     }
 
     #[test]
@@ -307,8 +329,14 @@ mod tests {
         let t: Vec<Directed<RbMessage<u64>>> = vec![];
         let out = adv.step(&view(1, &t));
         assert_eq!(out.len(), 4);
-        let ones = out.iter().filter(|m| m.payload == RbMessage::Init(1)).count();
-        let twos = out.iter().filter(|m| m.payload == RbMessage::Init(2)).count();
+        let ones = out
+            .iter()
+            .filter(|m| m.payload == RbMessage::Init(1))
+            .count();
+        let twos = out
+            .iter()
+            .filter(|m| m.payload == RbMessage::Init(2))
+            .count();
         assert_eq!((ones, twos), (2, 2));
         assert!(adv.step(&view(2, &t)).is_empty());
     }
@@ -318,9 +346,13 @@ mod tests {
         let mut adv = SplitVote::new(0u64, 1u64);
         let t: Vec<Directed<ConsensusMessage<u64>>> = vec![];
         let round3 = adv.step(&view(3, &t));
-        assert!(round3.iter().all(|m| matches!(m.payload, ConsensusMessage::Input(_))));
+        assert!(round3
+            .iter()
+            .all(|m| matches!(m.payload, ConsensusMessage::Input(_))));
         let round4 = adv.step(&view(4, &t));
-        assert!(round4.iter().all(|m| matches!(m.payload, ConsensusMessage::Prefer(_))));
+        assert!(round4
+            .iter()
+            .all(|m| matches!(m.payload, ConsensusMessage::Prefer(_))));
         let round7 = adv.step(&view(7, &t));
         assert!(round7.is_empty(), "nothing to say in the resolve round");
     }
@@ -330,7 +362,9 @@ mod tests {
         let mut adv = CandidatePoisoner::new(vec![NodeId::new(999)]);
         let t: Vec<Directed<RotorMessage<u64>>> = vec![];
         let out = adv.step(&view(3, &t));
-        assert!(out.iter().all(|m| m.payload == RotorMessage::Echo(NodeId::new(999))));
+        assert!(out
+            .iter()
+            .all(|m| m.payload == RotorMessage::Echo(NodeId::new(999))));
         assert!(!out.is_empty());
     }
 

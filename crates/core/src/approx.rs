@@ -56,7 +56,12 @@ pub struct ApproxAgreement {
 impl ApproxAgreement {
     /// Creates a node with the given real-valued input.
     pub fn new(id: NodeId, input: Real) -> Self {
-        ApproxAgreement { id, input, output: None, received: Vec::new() }
+        ApproxAgreement {
+            id,
+            input,
+            output: None,
+            received: Vec::new(),
+        }
     }
 
     /// The node's input.
@@ -204,12 +209,23 @@ mod tests {
     #[test]
     fn trimmed_midpoint_matches_hand_computation() {
         // n_v = 7 → trim 2 from each end; kept = [3, 5, 9] → midpoint 6.
-        let values = vec![real(1.0), real(2.0), real(3.0), real(5.0), real(9.0), real(20.0), real(30.0)];
+        let values = vec![
+            real(1.0),
+            real(2.0),
+            real(3.0),
+            real(5.0),
+            real(9.0),
+            real(20.0),
+            real(30.0),
+        ];
         assert_eq!(trimmed_midpoint(values), Some(real(6.0)));
         // Too few values to survive trimming.
         assert_eq!(trimmed_midpoint(vec![]), None);
         // n_v = 2: trim 0, midpoint of the two.
-        assert_eq!(trimmed_midpoint(vec![real(0.0), real(1.0)]), Some(real(0.5)));
+        assert_eq!(
+            trimmed_midpoint(vec![real(0.0), real(1.0)]),
+            Some(real(0.5))
+        );
     }
 
     #[test]
@@ -222,8 +238,12 @@ mod tests {
             .map(|(&id, &x)| ApproxAgreement::new(id, real(x)))
             .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_output(5).unwrap();
-        let outputs: Vec<Real> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        engine.run_to_output(5).unwrap();
+        let outputs: Vec<Real> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         let (omin, omax) = range(&outputs);
         assert!(omin >= real(0.0) && omax <= real(8.0));
         let spread = omax - omin;
@@ -250,18 +270,32 @@ mod tests {
             let mut out = Vec::new();
             for (b, &from) in byz_clone.iter().enumerate() {
                 for (i, &to) in view.correct_ids.iter().enumerate() {
-                    let value = if (i + b) % 2 == 0 { real(-1e6) } else { real(1e6) };
+                    let value = if (i + b) % 2 == 0 {
+                        real(-1e6)
+                    } else {
+                        real(1e6)
+                    };
                     out.push(Directed::new(from, to, value));
                 }
             }
             out
         });
         let mut engine = SyncEngine::new(nodes, adversary, byz);
-        engine.run_until_all_output(5).unwrap();
-        let outputs: Vec<Real> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        engine.run_to_output(5).unwrap();
+        let outputs: Vec<Real> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         let (omin, omax) = range(&outputs);
-        assert!(omin >= real(10.0), "Byzantine low outlier leaked into an output: {omin}");
-        assert!(omax <= real(20.0), "Byzantine high outlier leaked into an output: {omax}");
+        assert!(
+            omin >= real(10.0),
+            "Byzantine low outlier leaked into an output: {omin}"
+        );
+        assert!(
+            omax <= real(20.0),
+            "Byzantine high outlier leaked into an output: {omax}"
+        );
         assert!(omax - omin < real(10.0), "range must shrink");
     }
 
@@ -275,7 +309,7 @@ mod tests {
             .map(|(&id, &x)| IteratedApproxAgreement::new(id, real(x), 6))
             .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_terminated(20).unwrap();
+        engine.run_to_termination(20).unwrap();
         // Collect the per-iteration ranges.
         let histories: Vec<&[Real]> = engine.nodes().iter().map(|n| n.history()).collect();
         let iterations = histories[0].len();
@@ -290,7 +324,10 @@ mod tests {
             );
             previous = spread;
         }
-        assert!(previous < real(2.0), "after 6 iterations the range must be tiny");
+        assert!(
+            previous < real(2.0),
+            "after 6 iterations the range must be tiny"
+        );
     }
 
     #[test]

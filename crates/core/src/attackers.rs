@@ -83,8 +83,11 @@ impl<V: Opinion> Adversary<ConsensusMessage<V>> for MinorityBooster<V> {
                     high_support += 1;
                 }
             }
-            let minority =
-                if low_support <= high_support { self.low.clone() } else { self.high.clone() };
+            let minority = if low_support <= high_support {
+                self.low.clone()
+            } else {
+                self.high.clone()
+            };
             for &from in view.byzantine_ids {
                 let payload = match view.round {
                     1 => ConsensusMessage::Init,
@@ -142,8 +145,11 @@ impl<V: Opinion> Adversary<ConsensusMessage<V>> for EquivocatingCoordinator<V> {
                         Some(0) => ConsensusMessage::Echo(from),
                         // In the rotor round, equivocate as a would-be coordinator.
                         Some(3) => {
-                            let value =
-                                if index % 2 == 0 { self.low.clone() } else { self.high.clone() };
+                            let value = if index % 2 == 0 {
+                                self.low.clone()
+                            } else {
+                                self.high.clone()
+                            };
                             ConsensusMessage::Opinion(value)
                         }
                         _ => continue,
@@ -165,7 +171,9 @@ impl<V: Opinion> Adversary<ConsensusMessage<V>> for EquivocatingCoordinator<V> {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EchoWithholder;
 
-impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>> for EchoWithholder {
+impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>>
+    for EchoWithholder
+{
     fn step(&mut self, view: &AdversaryView<'_, RbMessage<M>>) -> Vec<Directed<RbMessage<M>>> {
         if view.round == 1 {
             // Get counted towards n_v.
@@ -173,7 +181,9 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>>
                 .byzantine_ids
                 .iter()
                 .flat_map(|&from| {
-                    view.correct_ids.iter().map(move |&to| Directed::new(from, to, RbMessage::Present))
+                    view.correct_ids
+                        .iter()
+                        .map(move |&to| Directed::new(from, to, RbMessage::Present))
                 })
                 .collect();
         }
@@ -231,7 +241,7 @@ impl<E: Opinion> Adversary<TotalOrderMessage<E>> for MembershipFlapper<E> {
         let mut out = Vec::new();
         for &from in view.byzantine_ids {
             for &to in view.correct_ids {
-                let flap = if view.round % 2 == 0 {
+                let flap = if view.round.is_multiple_of(2) {
                     TotalOrderMessage::Absent
                 } else {
                     TotalOrderMessage::Present
@@ -255,12 +265,21 @@ mod tests {
     use super::*;
     use uba_simnet::NodeId;
 
-    static CORRECT: [NodeId; 4] =
-        [NodeId::new(2), NodeId::new(4), NodeId::new(5), NodeId::new(7)];
+    static CORRECT: [NodeId; 4] = [
+        NodeId::new(2),
+        NodeId::new(4),
+        NodeId::new(5),
+        NodeId::new(7),
+    ];
     static BYZ: [NodeId; 2] = [NodeId::new(100), NodeId::new(101)];
 
     fn view<P>(round: u64, traffic: &[Directed<P>]) -> AdversaryView<'_, P> {
-        AdversaryView { round, correct_ids: &CORRECT, byzantine_ids: &BYZ, correct_traffic: traffic }
+        AdversaryView {
+            round,
+            correct_ids: &CORRECT,
+            byzantine_ids: &BYZ,
+            correct_traffic: traffic,
+        }
     }
 
     #[test]
@@ -283,7 +302,10 @@ mod tests {
     fn minority_booster_follows_the_phase_schedule() {
         let traffic: Vec<Directed<ConsensusMessage<u64>>> = Vec::new();
         let mut adv = MinorityBooster::new(0u64, 1u64);
-        assert!(adv.step(&view(1, &traffic)).iter().all(|m| m.payload == ConsensusMessage::Init));
+        assert!(adv
+            .step(&view(1, &traffic))
+            .iter()
+            .all(|m| m.payload == ConsensusMessage::Init));
         assert!(adv
             .step(&view(4, &traffic))
             .iter()
@@ -310,10 +332,16 @@ mod tests {
             .iter()
             .filter(|m| m.payload == ConsensusMessage::Opinion(20))
             .count();
-        assert_eq!(lows, highs, "opinions must be split evenly across recipients");
+        assert_eq!(
+            lows, highs,
+            "opinions must be split evenly across recipients"
+        );
         assert_eq!(lows + highs, CORRECT.len() * BYZ.len());
         // Initialisation rounds campaign for candidacy.
-        assert!(adv.step(&view(2, &traffic)).iter().all(|m| matches!(m.payload, ConsensusMessage::Echo(_))));
+        assert!(adv
+            .step(&view(2, &traffic))
+            .iter()
+            .all(|m| matches!(m.payload, ConsensusMessage::Echo(_))));
     }
 
     #[test]
@@ -352,12 +380,16 @@ mod tests {
         let mut adv = MembershipFlapper::new(777u64);
         let odd = adv.step(&view(3, &traffic));
         assert!(odd.iter().any(|m| m.payload == TotalOrderMessage::Present));
-        assert!(odd.iter().any(|m| m.payload == TotalOrderMessage::Event(9, 777)));
+        assert!(odd
+            .iter()
+            .any(|m| m.payload == TotalOrderMessage::Event(9, 777)));
         let even = adv.step(&view(4, &traffic));
         assert!(even.iter().any(|m| m.payload == TotalOrderMessage::Absent));
         // Without observed event traffic there is nothing to tag spam with.
         let no_traffic: Vec<Directed<TotalOrderMessage<u64>>> = Vec::new();
         let quiet = adv.step(&view(5, &no_traffic));
-        assert!(quiet.iter().all(|m| !matches!(m.payload, TotalOrderMessage::Event(_, _))));
+        assert!(quiet
+            .iter()
+            .all(|m| !matches!(m.payload, TotalOrderMessage::Event(_, _))));
     }
 }

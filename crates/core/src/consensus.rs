@@ -171,7 +171,10 @@ impl<V: Opinion> Consensus<V> {
         &self,
         inbox: &'a [Envelope<ConsensusMessage<V>>],
     ) -> Vec<&'a Envelope<ConsensusMessage<V>>> {
-        inbox.iter().filter(|e| self.senders.contains(e.from)).collect()
+        inbox
+            .iter()
+            .filter(|e| self.senders.contains(e.from))
+            .collect()
     }
 
     fn buffer_rotor_echoes(&mut self, inbox: &[Envelope<ConsensusMessage<V>>]) {
@@ -180,7 +183,10 @@ impl<V: Opinion> Consensus<V> {
                 continue;
             }
             if let ConsensusMessage::Echo(candidate) = &envelope.payload {
-                self.rotor_echo_buffer.entry(*candidate).or_default().insert(envelope.from);
+                self.rotor_echo_buffer
+                    .entry(*candidate)
+                    .or_default()
+                    .insert(envelope.from);
             }
         }
     }
@@ -206,8 +212,7 @@ impl<V: Opinion> Consensus<V> {
         }
         // Substitution: members silent for the whole phase are assumed to have sent
         // what we sent in the previous round.
-        let substitutes: Vec<&V> =
-            self.last_broadcast.iter().filter_map(|m| extract(m)).collect();
+        let substitutes: Vec<&V> = self.last_broadcast.iter().filter_map(extract).collect();
         if !substitutes.is_empty() {
             for member in self.senders.members() {
                 if !self.heard_this_phase.contains(&member) {
@@ -351,10 +356,8 @@ impl<V: Opinion> Protocol for Consensus<V> {
                                 _ => None,
                             })
                         });
-                        let strongest = self
-                            .stashed_strong
-                            .plurality()
-                            .map(|(v, c)| (v.clone(), c));
+                        let strongest =
+                            self.stashed_strong.plurality().map(|(v, c)| (v.clone(), c));
                         match strongest {
                             // Line 19–21: decide on 2n_v/3 strong support.
                             Some((value, count)) if meets_two_thirds(count, n_v) => {
@@ -402,10 +405,7 @@ mod tests {
 
     type Msg = ConsensusMessage<u64>;
 
-    fn check_agreement_and_validity(
-        decisions: &[Decision<u64>],
-        inputs: &[u64],
-    ) {
+    fn check_agreement_and_validity(decisions: &[Decision<u64>], inputs: &[u64]) {
         assert!(!decisions.is_empty());
         let value = decisions[0].value;
         assert!(
@@ -439,10 +439,13 @@ mod tests {
             .collect();
         let mut engine = SyncEngine::new(nodes, adversary, byz);
         engine
-            .run_until_all_terminated(60 * (inputs.len() + byzantine) as u64 + 100)
+            .run_to_termination(60 * (inputs.len() + byzantine) as u64 + 100)
             .expect("consensus terminates");
-        let decisions: Vec<Decision<u64>> =
-            engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        let decisions: Vec<Decision<u64>> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         check_agreement_and_validity(&decisions, inputs);
         decisions
     }
@@ -451,7 +454,10 @@ mod tests {
     fn unanimous_inputs_decide_in_one_phase() {
         let decisions = run_consensus(&[7; 5], 0, SilentAdversary, 1);
         assert!(decisions.iter().all(|d| d.value == 7));
-        assert!(decisions.iter().all(|d| d.phase == 1), "unanimity decides in the first phase");
+        assert!(
+            decisions.iter().all(|d| d.phase == 1),
+            "unanimity decides in the first phase"
+        );
     }
 
     #[test]

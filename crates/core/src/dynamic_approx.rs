@@ -17,7 +17,10 @@
 //!   inside (the trimmed core of) their value range.
 
 use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext, SimError, SyncEngine};
+use uba_simnet::{
+    ChurnEvent, ChurnSchedule, Envelope, NodeId, Outgoing, Protocol, RoundContext, SimError,
+    SyncEngine,
+};
 
 use crate::approx::trimmed_midpoint;
 use crate::value::Real;
@@ -39,7 +42,11 @@ pub struct DynamicApproxNode {
 impl DynamicApproxNode {
     /// Creates a node with the given starting value.
     pub fn new(id: NodeId, input: Real) -> Self {
-        DynamicApproxNode { id, value: input, history: Vec::new() }
+        DynamicApproxNode {
+            id,
+            value: input,
+            history: Vec::new(),
+        }
     }
 
     /// The node's current value.
@@ -146,42 +153,62 @@ impl DynamicApproxReport {
     }
 }
 
+impl ChurnPlan {
+    /// Lowers the value-carrying plan onto the engine-level [`ChurnSchedule`] plus a
+    /// joiner-value lookup, so the engine can apply the plan itself
+    /// (see [`SyncEngine::set_churn`]).
+    pub fn to_schedule(&self) -> (ChurnSchedule, std::collections::HashMap<NodeId, Real>) {
+        let mut schedule = ChurnSchedule::empty();
+        let mut join_values = std::collections::HashMap::new();
+        for &(round, id, value) in &self.joins {
+            schedule.push(round, ChurnEvent::JoinCorrect(id));
+            join_values.insert(id, value);
+        }
+        for &(round, id) in &self.leaves {
+            schedule.push(round, ChurnEvent::LeaveCorrect(id));
+        }
+        for &(round, id) in &self.byzantine_joins {
+            schedule.push(round, ChurnEvent::JoinByzantine(id));
+        }
+        (schedule, join_values)
+    }
+}
+
 /// Runs [`DynamicApproxNode`]s for `rounds` rounds under the given churn plan and a
-/// silent adversary, recording the correct-node spread after every round.
+/// silent adversary, recording the correct-node spread after every round. The plan
+/// is lowered onto the engine's own churn mechanism ([`SyncEngine::set_churn`]); the
+/// driver only observes.
 pub fn run_dynamic_approx(
     initial: &[(NodeId, Real)],
     plan: &ChurnPlan,
     rounds: u64,
 ) -> Result<DynamicApproxReport, SimError> {
-    let nodes: Vec<DynamicApproxNode> =
-        initial.iter().map(|&(id, value)| DynamicApproxNode::new(id, value)).collect();
+    let nodes: Vec<DynamicApproxNode> = initial
+        .iter()
+        .map(|&(id, value)| DynamicApproxNode::new(id, value))
+        .collect();
     let mut engine = SyncEngine::new(nodes, SilentAdversary, Vec::new());
     engine.validate_ids()?;
+    let (schedule, join_values) = plan.to_schedule();
+    engine.set_churn(schedule, move |id| {
+        let value = join_values
+            .get(&id)
+            .copied()
+            .expect("every scheduled joiner has a starting value in the plan");
+        DynamicApproxNode::new(id, value)
+    });
 
     let mut report = DynamicApproxReport::default();
-    for round in 1..=rounds {
-        for &(at, id, value) in &plan.joins {
-            if at == round {
-                engine.add_node(DynamicApproxNode::new(id, value))?;
-            }
-        }
-        for &(at, id) in &plan.leaves {
-            if at == round {
-                engine.remove_node(id)?;
-            }
-        }
-        for &(at, id) in &plan.byzantine_joins {
-            if at == round {
-                engine.add_byzantine_id(id)?;
-            }
-        }
+    for _ in 1..=rounds {
         engine.run_round()?;
-        let values: Vec<f64> =
-            engine.nodes().iter().map(|n| n.value().to_f64()).collect();
+        let values: Vec<f64> = engine.nodes().iter().map(|n| n.value().to_f64()).collect();
         report.spread_per_round.push(spread(&values));
     }
-    report.final_values =
-        engine.nodes().iter().map(|n| (Protocol::id(n), n.value().to_f64())).collect();
+    report.final_values = engine
+        .nodes()
+        .iter()
+        .map(|n| (Protocol::id(n), n.value().to_f64()))
+        .collect();
     Ok(report)
 }
 
@@ -231,7 +258,10 @@ mod tests {
         assert_eq!(report.spread_per_round.len(), 8);
         // The first recorded spread follows the first exchange; after that it halves.
         for window in report.spread_per_round.windows(2) {
-            assert!(window[1] <= window[0] / 2.0 + 1e-5, "spread must halve: {window:?}");
+            assert!(
+                window[1] <= window[0] / 2.0 + 1e-5,
+                "spread must halve: {window:?}"
+            );
         }
         assert!(report.final_spread() < 1.0);
     }
@@ -242,8 +272,14 @@ mod tests {
         let report = run_dynamic_approx(&initial(9, 2, 10.0), &plan, 12).unwrap();
         // The joiner's outlier value may push the spread up around the join round...
         let before_join = report.spread_per_round[2];
-        let after_join_max = report.spread_per_round[3..7].iter().cloned().fold(0.0, f64::max);
-        assert!(after_join_max >= before_join, "an outlier joiner should not shrink the spread");
+        let after_join_max = report.spread_per_round[3..7]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!(
+            after_join_max >= before_join,
+            "an outlier joiner should not shrink the spread"
+        );
         // ... but the system reconverges afterwards.
         assert!(report.final_spread() < after_join_max / 2.0);
         assert_eq!(report.final_values.len(), 10);
@@ -252,8 +288,11 @@ mod tests {
     #[test]
     fn leaves_do_not_break_convergence() {
         let ids = IdSpace::default().generate(10, 3);
-        let start: Vec<(NodeId, Real)> =
-            ids.iter().enumerate().map(|(i, &id)| (id, real(i as f64 * 10.0))).collect();
+        let start: Vec<(NodeId, Real)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, real(i as f64 * 10.0)))
+            .collect();
         let plan = ChurnPlan::none().leave(3, ids[0]).leave(5, ids[1]);
         let report = run_dynamic_approx(&start, &plan, 10).unwrap();
         assert_eq!(report.final_values.len(), 8);
@@ -279,12 +318,18 @@ mod tests {
 
     #[test]
     fn subset_join_lands_within_the_subset_range() {
-        let subset: Vec<Real> = [10.0, 11.0, 12.0, 13.0, 14.0].iter().map(|&x| real(x)).collect();
+        let subset: Vec<Real> = [10.0, 11.0, 12.0, 13.0, 14.0]
+            .iter()
+            .map(|&x| real(x))
+            .collect();
         let joined = subset_join_value(real(1_000.0), &subset);
         assert!(joined >= real(10.0) && joined <= real(1_000.0));
         // With five subset values + the joiner, the trim removes two from each end, so
         // the outlier input itself is discarded and the result is inside the subset.
-        assert!(joined <= real(14.0), "joiner outlier must be trimmed away: {joined}");
+        assert!(
+            joined <= real(14.0),
+            "joiner outlier must be trimmed away: {joined}"
+        );
         // Degenerate subset: falls back to the joiner's own value only when trimming
         // would consume everything (empty subset).
         assert_eq!(subset_join_value(real(3.0), &[]), real(3.0));

@@ -311,12 +311,7 @@ impl<V: Opinion> EarlyConsensus<V> {
 
     /// Phase step 5: apply the strong-prefer rule, possibly adopting the coordinator's
     /// opinion or deciding (lines 20–27).
-    pub fn step_resolve(
-        &mut self,
-        coordinator_opinion: Option<Option<V>>,
-        n_v: usize,
-        phase: u64,
-    ) {
+    pub fn step_resolve(&mut self, coordinator_opinion: Option<Option<V>>, n_v: usize, phase: u64) {
         if self.decided.is_some() {
             return;
         }
@@ -364,7 +359,10 @@ mod tests {
     }
 
     fn value_votes(pairs: &[(u64, Option<u32>)]) -> Vec<(NodeId, InstanceVote<u32>)> {
-        pairs.iter().map(|&(id, v)| (NodeId::new(id), InstanceVote::Value(v))).collect()
+        pairs
+            .iter()
+            .map(|&(id, v)| (NodeId::new(id), InstanceVote::Value(v)))
+            .collect()
     }
 
     #[test]
@@ -410,7 +408,11 @@ mod tests {
         assert_eq!(inst.step_input(), None);
         // Only the Byzantine node 5 sent input(42); members 1–4 are filled with ⊥.
         let prefer = inst.step_prefer(&value_votes(&[(5, Some(42))]), &m, 5, 1);
-        assert_eq!(prefer, ParallelMessage::Prefer(3, None), "⊥ reaches the 2n_v/3 quorum");
+        assert_eq!(
+            prefer,
+            ParallelMessage::Prefer(3, None),
+            "⊥ reaches the 2n_v/3 quorum"
+        );
         // Everyone correct ends up preferring ⊥.
         let strong = inst.step_strong(
             &value_votes(&[(1, None), (2, None), (3, None), (4, None)]),
@@ -426,7 +428,11 @@ mod tests {
         );
         inst.step_resolve(None, 5, 1);
         assert_eq!(inst.decision(), Some(&None));
-        assert_eq!(inst.output_pair(), None, "⊥ decisions produce no output pair");
+        assert_eq!(
+            inst.output_pair(),
+            None,
+            "⊥ decisions produce no output pair"
+        );
     }
 
     #[test]
@@ -468,8 +474,9 @@ mod tests {
         inst.step_strong(&value_votes(&[(1, Some(1))]), &m, 6, 1);
         // Almost everyone explicitly reports "no strong preference", so fewer than
         // n_v/3 strong-prefer votes exist → adopt the coordinator's opinion.
-        let abstentions: Vec<(NodeId, InstanceVote<u32>)> =
-            (2..=6).map(|id| (NodeId::new(id), InstanceVote::Abstain)).collect();
+        let abstentions: Vec<(NodeId, InstanceVote<u32>)> = (2..=6)
+            .map(|id| (NodeId::new(id), InstanceVote::Abstain))
+            .collect();
         inst.step_rotor_stash(&abstentions, &m, 1);
         inst.step_resolve(Some(Some(5)), 6, 1);
         assert_eq!(inst.opinion(), &Some(5));
@@ -479,7 +486,10 @@ mod tests {
     #[test]
     fn message_instance_extraction() {
         assert_eq!(ParallelMessage::<u32>::Init.instance(), None);
-        assert_eq!(ParallelMessage::<u32>::Echo(NodeId::new(1)).instance(), None);
+        assert_eq!(
+            ParallelMessage::<u32>::Echo(NodeId::new(1)).instance(),
+            None
+        );
         assert_eq!(ParallelMessage::Input(4, 1u32).instance(), Some(4));
         assert_eq!(ParallelMessage::<u32>::NoPreference(6).instance(), Some(6));
         assert_eq!(ParallelMessage::<u32>::Opinion(8, None).instance(), Some(8));

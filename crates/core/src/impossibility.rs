@@ -60,7 +60,10 @@ pub fn run_partition_experiment(
     model: TimingModel,
     seed: u64,
 ) -> Result<PartitionOutcome, SimError> {
-    assert!(size_a > 0 && size_b > 0, "both partitions must be non-empty");
+    assert!(
+        size_a > 0 && size_b > 0,
+        "both partitions must be non-empty"
+    );
     let ids = IdSpace::default().generate(size_a + size_b, seed);
     let (a_ids, b_ids) = ids.split_at(size_a);
 
@@ -95,7 +98,12 @@ pub fn run_partition_experiment(
         .collect();
     let first = decisions[0].1;
     let agreement = decisions.iter().all(|&(_, value)| value == first);
-    Ok(PartitionOutcome { decisions, agreement, ticks, undelivered: engine.in_flight() })
+    Ok(PartitionOutcome {
+        decisions,
+        agreement,
+        ticks,
+        undelivered: engine.in_flight(),
+    })
 }
 
 /// Runs `trials` independent partition experiments (different identifier seeds) and
@@ -126,16 +134,21 @@ mod tests {
     #[test]
     fn synchronous_control_always_agrees() {
         for seed in 0..3 {
-            let outcome =
-                run_partition_experiment(3, 3, TimingModel::Synchronous, seed).unwrap();
-            assert!(outcome.agreement, "synchronous execution must agree: {outcome:?}");
+            let outcome = run_partition_experiment(3, 3, TimingModel::Synchronous, seed).unwrap();
+            assert!(
+                outcome.agreement,
+                "synchronous execution must agree: {outcome:?}"
+            );
         }
     }
 
     #[test]
     fn asynchronous_partition_disagrees() {
         let outcome = run_partition_experiment(3, 4, TimingModel::Asynchronous, 7).unwrap();
-        assert!(!outcome.agreement, "Lemma 14: the partitions decide their own inputs");
+        assert!(
+            !outcome.agreement,
+            "Lemma 14: the partitions decide their own inputs"
+        );
         // Partition A (input 1) decided 1, partition B decided 0.
         let ones = outcome.decisions.iter().filter(|&&(_, v)| v == 1).count();
         assert_eq!(ones, 3);
@@ -143,14 +156,13 @@ mod tests {
 
     #[test]
     fn semi_synchronous_partition_disagrees_despite_bounded_delay() {
-        let outcome = run_partition_experiment(
-            4,
-            4,
-            TimingModel::SemiSynchronous { cross_delay: 500 },
-            11,
-        )
-        .unwrap();
-        assert!(!outcome.agreement, "Lemma 15: a finite but unknown delay is enough");
+        let outcome =
+            run_partition_experiment(4, 4, TimingModel::SemiSynchronous { cross_delay: 500 }, 11)
+                .unwrap();
+        assert!(
+            !outcome.agreement,
+            "Lemma 15: a finite but unknown delay is enough"
+        );
         assert!(
             outcome.undelivered > 0,
             "the cross-partition messages exist but arrive after the decisions"
@@ -160,7 +172,10 @@ mod tests {
     #[test]
     fn disagreement_rate_is_zero_iff_synchronous() {
         assert_eq!(disagreement_rate(2, 2, TimingModel::Synchronous, 3, 1), 0.0);
-        assert_eq!(disagreement_rate(2, 2, TimingModel::Asynchronous, 3, 1), 1.0);
+        assert_eq!(
+            disagreement_rate(2, 2, TimingModel::Asynchronous, 3, 1),
+            1.0
+        );
     }
 
     #[test]

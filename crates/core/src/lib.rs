@@ -15,50 +15,59 @@
 //!
 //! ## What this crate provides
 //!
-//! | Paper | Module | Primitive |
-//! |---|---|---|
-//! | Algorithm 1 (§V) | [`reliable_broadcast`] | Reliable broadcast |
-//! | Algorithm 2 (§VI) | [`rotor`] | Rotor-coordinator (leader rotation) |
-//! | Algorithm 3 (§VII) | [`consensus`] | Consensus in `O(f)` rounds |
-//! | Algorithm 4 (§VIII) | [`approx`] | Approximate agreement |
-//! | §XI, §XII | [`dynamic_approx`] | Approximate agreement under churn, subset join |
-//! | Algorithm 5 (§X) | [`early_consensus`], [`parallel_consensus`] | Parallel consensus |
-//! | Algorithm 6 (§XI) | [`total_order`] | Total ordering in dynamic networks |
-//! | Lemmas 14–15 (§IX) | [`impossibility`] | Impossibility constructions |
+//! | Paper | Module | Primitive | Factory ([`sim`]) |
+//! |---|---|---|---|
+//! | Algorithm 1 (§V) | [`reliable_broadcast`] | Reliable broadcast | [`sim::BroadcastFactory`] |
+//! | Algorithm 2 (§VI) | [`rotor`] | Rotor-coordinator (leader rotation) | [`sim::RotorFactory`] |
+//! | Algorithm 3 (§VII) | [`consensus`] | Consensus in `O(f)` rounds | [`sim::ConsensusFactory`] |
+//! | Algorithm 4 (§VIII) | [`approx`] | Approximate agreement | [`sim::ApproxFactory`], [`sim::IteratedApproxFactory`] |
+//! | §XI, §XII | [`dynamic_approx`] | Approximate agreement under churn, subset join | — |
+//! | Algorithm 5 (§X) | [`early_consensus`], [`parallel_consensus`] | Parallel consensus | [`sim::ParallelConsensusFactory`] |
+//! | Algorithm 6 (§XI) | [`total_order`] | Total ordering in dynamic networks | [`sim::TotalOrderFactory`] |
+//! | Lemmas 14–15 (§IX) | [`impossibility`] | Impossibility constructions | — (delay engine) |
 //!
 //! Supporting modules: [`quorum`] (exact threshold arithmetic), [`membership`]
 //! (`n_v` tracking), [`vote`] (distinct-sender tallies), [`value`] (opinion types),
 //! [`adversaries`] (scripted Byzantine strategies from the proofs), [`attackers`]
-//! (adaptive, rushing attack strategies) and [`runner`] (one-call experiment drivers
-//! used by the examples and benchmarks).
+//! (adaptive, rushing attack strategies) and [`sim`] (protocol factories and fluent
+//! sugar for the unified `Simulation` driver; the deprecated one-call drivers in
+//! [`runner`] are thin shims over it).
 //!
 //! All protocols implement [`uba_simnet::Protocol`] and run on the deterministic
 //! synchronous engine from the `uba-simnet` crate.
 //!
 //! ## Quick start
 //!
+//! Describe the system once with the [`sim::Simulation`] builder — correct and
+//! Byzantine counts, identifier space, seed, adversary, optional churn — then point
+//! it at any protocol and read the [`sim::RunReport`]:
+//!
 //! ```
-//! use uba_core::consensus::Consensus;
-//! use uba_simnet::{IdSpace, SyncEngine, adversary::SilentAdversary};
+//! use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
 //!
-//! // Seven nodes with sparse, non-consecutive identifiers and split opinions.
-//! let ids = IdSpace::default().generate(7, 42);
-//! let nodes: Vec<_> = ids
-//!     .iter()
-//!     .enumerate()
-//!     .map(|(i, &id)| Consensus::new(id, (i % 2) as u64))
-//!     .collect();
+//! // Seven correct nodes with sparse identifiers and split opinions; two Byzantine
+//! // identities trying to split the vote. Nobody is told n = 9 or f = 2.
+//! let report = Simulation::scenario()
+//!     .correct(7)
+//!     .byzantine(2)
+//!     .seed(42)
+//!     .adversary(AdversaryKind::SplitVote)
+//!     .consensus(&[0, 1, 0, 1, 0, 1, 0])
+//!     .run()
+//!     .unwrap();
 //!
-//! let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-//! engine.run_until_all_terminated(200).unwrap();
-//!
-//! let decisions: Vec<u64> = engine
-//!     .outputs()
-//!     .into_iter()
-//!     .map(|(_, decision)| decision.unwrap().value)
-//!     .collect();
-//! assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+//! assert!(report.completed() && report.rounds > 0);
+//! let consensus = report.consensus.expect("consensus section");
+//! assert!(consensus.agreement, "agreement");
+//! assert!(consensus.validity, "validity");
 //! ```
+//!
+//! The same builder drives every other primitive (`.broadcast(..)`, `.rotor()`,
+//! `.approx(..)`, `.parallel_consensus(..)`, `.total_order(..)`), the known-`(n, f)`
+//! baselines in `uba-baselines` (via `.build(PhaseKingFactory::new(..))` etc.), and
+//! custom adversaries (via `.build_with_adversary(..)`). Reports serialize through
+//! serde and are verified by the `uba-checker` oracles
+//! (`uba_checker::attach_verdicts`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,15 +85,16 @@ pub mod quorum;
 pub mod reliable_broadcast;
 pub mod rotor;
 pub mod runner;
+pub mod sim;
 pub mod total_order;
 pub mod value;
 pub mod vote;
 
 pub use approx::{ApproxAgreement, IteratedApproxAgreement};
+pub use consensus::{Consensus, ConsensusMessage, Decision};
 pub use dynamic_approx::{
     run_dynamic_approx, subset_join_value, ChurnPlan, DynamicApproxNode, DynamicApproxReport,
 };
-pub use consensus::{Consensus, ConsensusMessage, Decision};
 pub use early_consensus::{EarlyConsensus, InstanceId, ParallelMessage};
 pub use parallel_consensus::{ParallelConsensus, ParallelDecision};
 pub use reliable_broadcast::{Accepted, RbMessage, ReliableBroadcast};

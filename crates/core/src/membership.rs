@@ -67,7 +67,10 @@ impl SenderTracker {
 
     /// Filters an inbox down to the envelopes whose sender counted towards `n_v`.
     /// Used by the frozen-membership algorithms to discard messages from unknown nodes.
-    pub fn filter_inbox<'a, P>(&'a self, inbox: &'a [Envelope<P>]) -> impl Iterator<Item = &'a Envelope<P>> {
+    pub fn filter_inbox<'a, P>(
+        &'a self,
+        inbox: &'a [Envelope<P>],
+    ) -> impl Iterator<Item = &'a Envelope<P>> {
         inbox.iter().filter(move |e| self.contains(e.from))
     }
 }

@@ -121,7 +121,10 @@ impl<V: Opinion> ParallelConsensus<V> {
                 continue;
             }
             if let ParallelMessage::Echo(candidate) = &envelope.payload {
-                self.rotor_echo_buffer.entry(*candidate).or_default().insert(envelope.from);
+                self.rotor_echo_buffer
+                    .entry(*candidate)
+                    .or_default()
+                    .insert(envelope.from);
             }
         }
     }
@@ -153,18 +156,25 @@ impl<V: Opinion> ParallelConsensus<V> {
                 }
                 _ => None,
             };
-            let Some((instance, vote, spawns)) = vote else { continue };
+            let Some((instance, vote, spawns)) = vote else {
+                continue;
+            };
             // Lazy instance creation: only during the first phase, and only on a real
             // vote (abstentions never introduce a new identifier).
             if !self.instances.contains_key(&instance) {
                 if self.phase == 1 && spawns {
-                    self.instances
-                        .insert(instance, EarlyConsensus::without_input(instance, self.phase));
+                    self.instances.insert(
+                        instance,
+                        EarlyConsensus::without_input(instance, self.phase),
+                    );
                 } else {
                     continue;
                 }
             }
-            votes.entry(instance).or_default().push((envelope.from, vote));
+            votes
+                .entry(instance)
+                .or_default()
+                .push((envelope.from, vote));
         }
         votes
     }
@@ -200,8 +210,10 @@ impl<V: Opinion> Protocol for ParallelConsensus<V> {
                     self.senders.freeze();
                 }
                 self.buffer_rotor_echoes(inbox);
-                let filtered: Vec<&Envelope<ParallelMessage<V>>> =
-                    inbox.iter().filter(|e| self.senders.contains(e.from)).collect();
+                let filtered: Vec<&Envelope<ParallelMessage<V>>> = inbox
+                    .iter()
+                    .filter(|e| self.senders.contains(e.from))
+                    .collect();
                 let n_v = self.senders.n_v();
                 let step = PhaseStep::from_round(ctx.round).expect("round ≥ 3");
 
@@ -219,7 +231,10 @@ impl<V: Opinion> Protocol for ParallelConsensus<V> {
                                 );
                             }
                         }
-                        self.instances.values_mut().filter_map(|i| i.step_input()).collect()
+                        self.instances
+                            .values_mut()
+                            .filter_map(|i| i.step_input())
+                            .collect()
                     }
                     PhaseStep::Prefer => {
                         let votes = self.collect_votes(&filtered, step);
@@ -265,13 +280,9 @@ impl<V: Opinion> Protocol for ParallelConsensus<V> {
                         }
                         // One shared rotor round for all instances.
                         let echo_votes = std::mem::take(&mut self.rotor_echo_buffer);
-                        let rotor_out = self.rotor.loop_round(
-                            self.id,
-                            &0,
-                            n_v,
-                            &echo_votes,
-                            &BTreeMap::new(),
-                        );
+                        let rotor_out =
+                            self.rotor
+                                .loop_round(self.id, &0, n_v, &echo_votes, &BTreeMap::new());
                         self.phase_coordinator = self.rotor.current_coordinator();
                         let mut out: Vec<ParallelMessage<V>> = rotor_out
                             .into_iter()
@@ -306,7 +317,8 @@ impl<V: Opinion> Protocol for ParallelConsensus<V> {
                                 if envelope.from != p {
                                     continue;
                                 }
-                                if let ParallelMessage::Opinion(instance, value) = &envelope.payload {
+                                if let ParallelMessage::Opinion(instance, value) = &envelope.payload
+                                {
                                     opinions.insert(*instance, value.clone());
                                 }
                             }
@@ -364,12 +376,20 @@ mod tests {
             .map(|(&id, pairs)| ParallelConsensus::new(id, pairs))
             .collect();
         let mut engine = SyncEngine::new(nodes, adversary, byz);
-        engine.run_until_all_terminated(500).expect("parallel consensus terminates");
-        let decisions: Vec<ParallelDecision<u64>> =
-            engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        engine
+            .run_to_termination(500)
+            .expect("parallel consensus terminates");
+        let decisions: Vec<ParallelDecision<u64>> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         // Agreement: all output pair sets are identical.
         for d in &decisions {
-            assert_eq!(d.pairs, decisions[0].pairs, "agreement on the output pair set");
+            assert_eq!(
+                d.pairs, decisions[0].pairs,
+                "agreement on the output pair set"
+            );
         }
         decisions
     }
@@ -379,7 +399,10 @@ mod tests {
         let inputs = vec![vec![(1, 10), (2, 20)]; 5];
         let decisions = run(inputs, 0, SilentAdversary, 1);
         assert_eq!(decisions[0].pairs, BTreeMap::from([(1, 10), (2, 20)]));
-        assert_eq!(decisions[0].phase, 1, "unanimous pairs decide in the first phase");
+        assert_eq!(
+            decisions[0].phase, 1,
+            "unanimous pairs decide in the first phase"
+        );
     }
 
     #[test]
@@ -395,7 +418,7 @@ mod tests {
         let decisions = run(inputs, 0, SilentAdversary, 2);
         // Whatever the outcome for 7 and 9, it is consistent (checked inside `run`);
         // additionally no pair may be invented out of thin air.
-        for (id, _) in &decisions[0].pairs {
+        for id in decisions[0].pairs.keys() {
             assert!([7, 9].contains(id));
         }
     }

@@ -104,7 +104,11 @@ mod tests {
         for n in 1..200 {
             let f = max_faults(n);
             assert!(resilient(n, f), "n = {n}, f = {f} must satisfy n > 3f");
-            assert!(!resilient(n, f + 1), "f = {} must be maximal for n = {n}", f + 1);
+            assert!(
+                !resilient(n, f + 1),
+                "f = {} must be maximal for n = {n}",
+                f + 1
+            );
         }
     }
 

@@ -231,12 +231,15 @@ mod tests {
     fn correct_sender_is_accepted_by_everyone_in_three_rounds() {
         let (nodes, _) = build_nodes(7, 1);
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_output(10).unwrap();
+        engine.run_to_output(10).unwrap();
         for node in engine.nodes() {
             let accepted = node.accepted();
             assert_eq!(accepted.len(), 1);
             assert_eq!(accepted[0].message, 4242);
-            assert_eq!(accepted[0].round, 3, "acceptance happens in the third round");
+            assert_eq!(
+                accepted[0].round, 3,
+                "acceptance happens in the third round"
+            );
         }
     }
 
@@ -266,8 +269,10 @@ mod tests {
         let ids = IdSpace::default().generate(7, 3);
         let source = ids[6];
         let correct: Vec<NodeId> = ids[..6].to_vec();
-        let nodes: Vec<_> =
-            correct.iter().map(|&id| ReliableBroadcast::<u64>::receiver(id, source)).collect();
+        let nodes: Vec<_> = correct
+            .iter()
+            .map(|&id| ReliableBroadcast::<u64>::receiver(id, source))
+            .collect();
         let correct_clone = correct.clone();
         let adversary = FnAdversary::new(move |view: &AdversaryView<'_, Msg>| {
             if view.round != 1 {
@@ -329,7 +334,11 @@ mod tests {
         engine.run_rounds(20).unwrap();
         for node in engine.nodes() {
             assert!(node.accepted().iter().all(|a| a.message == 7));
-            assert_eq!(node.accepted().len(), 1, "the genuine value is still accepted");
+            assert_eq!(
+                node.accepted().len(),
+                1,
+                "the genuine value is still accepted"
+            );
         }
     }
 
@@ -369,11 +378,19 @@ mod tests {
         let rounds: Vec<u64> = engine
             .nodes()
             .iter()
-            .map(|n| n.accepted().first().expect("all correct nodes accept").round)
+            .map(|n| {
+                n.accepted()
+                    .first()
+                    .expect("all correct nodes accept")
+                    .round
+            })
             .collect();
         let min = *rounds.iter().min().unwrap();
         let max = *rounds.iter().max().unwrap();
-        assert!(max - min <= 1, "relay: acceptance rounds {rounds:?} differ by more than 1");
+        assert!(
+            max - min <= 1,
+            "relay: acceptance rounds {rounds:?} differ by more than 1"
+        );
     }
 
     #[test]

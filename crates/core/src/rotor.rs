@@ -203,7 +203,10 @@ pub fn tally_rotor_inbox<V: Opinion>(
     for envelope in inbox {
         match &envelope.payload {
             RotorMessage::Echo(candidate) => {
-                echo_votes.entry(*candidate).or_default().insert(envelope.from);
+                echo_votes
+                    .entry(*candidate)
+                    .or_default()
+                    .insert(envelope.from);
             }
             RotorMessage::Opinion(value) => {
                 opinions.insert(envelope.from, value.clone());
@@ -238,7 +241,13 @@ pub struct RotorCoordinator<V: Opinion> {
 impl<V: Opinion> RotorCoordinator<V> {
     /// Creates a rotor node with the opinion it would distribute when selected.
     pub fn new(id: NodeId, opinion: V) -> Self {
-        RotorCoordinator { id, opinion, senders: SenderTracker::new(), state: RotorState::new(), rounds: 0 }
+        RotorCoordinator {
+            id,
+            opinion,
+            senders: SenderTracker::new(),
+            state: RotorState::new(),
+            rounds: 0,
+        }
     }
 
     /// Access to the underlying rotor state (candidate set, selections, history).
@@ -311,8 +320,10 @@ mod tests {
     ) -> SyncEngine<RotorCoordinator<u64>, impl uba_simnet::Adversary<RotorMessage<u64>>> {
         let ids = IdSpace::default().generate(n_correct + byzantine, seed);
         let byz: Vec<NodeId> = ids[n_correct..].to_vec();
-        let nodes: Vec<_> =
-            ids[..n_correct].iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
+        let nodes: Vec<_> = ids[..n_correct]
+            .iter()
+            .map(|&id| RotorCoordinator::new(id, id.raw()))
+            .collect();
         let byz_clone = byz.clone();
         // Byzantine nodes announce themselves and echo arbitrary candidates towards a
         // subset of the correct nodes, attempting to poison the candidate sets.
@@ -331,7 +342,7 @@ mod tests {
         });
         let mut engine = SyncEngine::new(nodes, adversary, byz);
         engine
-            .run_until_all_terminated(10 * (n_correct + byzantine) as u64 + 20)
+            .run_to_termination(10 * (n_correct + byzantine) as u64 + 20)
             .expect("rotor terminates in O(n) rounds");
         engine
     }
@@ -339,13 +350,19 @@ mod tests {
     #[test]
     fn all_correct_nodes_terminate_without_faults() {
         let ids = IdSpace::default().generate(6, 11);
-        let nodes: Vec<_> = ids.iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
+        let nodes: Vec<_> = ids
+            .iter()
+            .map(|&id| RotorCoordinator::new(id, id.raw()))
+            .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_terminated(100).unwrap();
+        engine.run_to_termination(100).unwrap();
         // With no faults every node selects every correct node exactly once before
         // cycling, so |S_v| = 6 everywhere and the selections are identical.
-        let outcomes: Vec<RotorOutcome<u64>> =
-            engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        let outcomes: Vec<RotorOutcome<u64>> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         for outcome in &outcomes {
             assert_eq!(outcome.selected, outcomes[0].selected);
             assert_eq!(outcome.selected.len(), 6);
@@ -356,10 +373,12 @@ mod tests {
     fn termination_is_linear_in_n() {
         for &n in &[4usize, 8, 16] {
             let ids = IdSpace::default().generate(n, 17);
-            let nodes: Vec<_> = ids.iter().map(|&id| RotorCoordinator::new(id, 0u64)).collect();
+            let nodes: Vec<_> = ids
+                .iter()
+                .map(|&id| RotorCoordinator::new(id, 0u64))
+                .collect();
             let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-            let outcome = engine.run_until_all_terminated(10 * n as u64 + 20).unwrap();
-            let uba_simnet::RunOutcome::Completed { rounds } = outcome;
+            let rounds = engine.run_to_termination(10 * n as u64 + 20).unwrap();
             assert!(
                 rounds <= n as u64 + 4,
                 "rotor with {n} fault-free nodes should finish within n + 4 rounds, took {rounds}"
@@ -372,19 +391,23 @@ mod tests {
         let engine = run_rotor(7, 2, 23);
         let correct_ids: BTreeSet<NodeId> = engine.correct_ids().into_iter().collect();
         // Find a loop round where every correct node selected the same correct node.
-        let histories: Vec<&RotorState<u64>> =
-            engine.nodes().iter().map(|n| n.state()).collect();
+        let histories: Vec<&RotorState<u64>> = engine.nodes().iter().map(|n| n.state()).collect();
         let max_loop = histories.iter().map(|h| h.history().len()).min().unwrap();
         let mut good_round_found = false;
         for r in 0..max_loop {
-            let selections: BTreeSet<NodeId> =
-                histories.iter().map(|h| h.history()[r].coordinator).collect();
+            let selections: BTreeSet<NodeId> = histories
+                .iter()
+                .map(|h| h.history()[r].coordinator)
+                .collect();
             if selections.len() == 1 && correct_ids.contains(selections.iter().next().unwrap()) {
                 good_round_found = true;
                 break;
             }
         }
-        assert!(good_round_found, "every correct node must witness a good round");
+        assert!(
+            good_round_found,
+            "every correct node must witness a good round"
+        );
     }
 
     #[test]
@@ -392,9 +415,12 @@ mod tests {
         // With no Byzantine nodes, in every loop round after the first the previous
         // coordinator's opinion (its id) must have been accepted by everyone.
         let ids = IdSpace::default().generate(5, 31);
-        let nodes: Vec<_> = ids.iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
+        let nodes: Vec<_> = ids
+            .iter()
+            .map(|&id| RotorCoordinator::new(id, id.raw()))
+            .collect();
         let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-        engine.run_until_all_terminated(100).unwrap();
+        engine.run_to_termination(100).unwrap();
         for node in engine.nodes() {
             let history = node.state().history();
             for pair in history.windows(2) {
@@ -412,8 +438,11 @@ mod tests {
     #[test]
     fn candidate_sets_of_correct_nodes_agree_at_termination() {
         let engine = run_rotor(10, 3, 41);
-        let candidate_sets: Vec<BTreeSet<NodeId>> =
-            engine.nodes().iter().map(|n| n.state().candidates().clone()).collect();
+        let candidate_sets: Vec<BTreeSet<NodeId>> = engine
+            .nodes()
+            .iter()
+            .map(|n| n.state().candidates().clone())
+            .collect();
         // All correct ids are in every candidate set (correctness of the underlying
         // reliable-broadcast style dissemination).
         let correct: BTreeSet<NodeId> = engine.correct_ids().into_iter().collect();
@@ -427,7 +456,12 @@ mod tests {
         let mut state: RotorState<u64> = RotorState::new();
         let me = NodeId::new(1);
         let mut votes: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
-        votes.insert(me, [NodeId::new(1), NodeId::new(2), NodeId::new(3)].into_iter().collect());
+        votes.insert(
+            me,
+            [NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+                .into_iter()
+                .collect(),
+        );
         let opinions = BTreeMap::new();
         // n_v = 3: three votes meet the 2/3 threshold, so `me` joins C_v and is selected.
         state.loop_round(me, &0, 3, &votes, &opinions);

@@ -1,22 +1,40 @@
-//! One-call experiment drivers.
+//! Deprecated one-call experiment drivers, kept for one release as shims.
 //!
-//! The examples, the integration tests and the benchmark harness all need the same
-//! plumbing: generate sparse identifiers, build the nodes, pick an adversary, run the
-//! engine, and summarise what happened (decisions, rounds, messages, property
-//! violations). This module packages that plumbing so a scenario is a single function
-//! call with a [`Scenario`] describing the system and an adversary selector.
+//! This module used to hand-wire a bespoke `run_*` function per scenario shape.
+//! That plumbing now lives behind the unified [`Simulation`](crate::sim::Simulation)
+//! builder (see [`crate::sim`]): a scenario is described once and pointed at any
+//! protocol through its [`ProtocolFactory`](crate::sim::ProtocolFactory). The
+//! functions here translate the old signatures onto the new driver and will be
+//! removed in a future release — new code should use the builder directly:
+//!
+//! ```
+//! use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
+//!
+//! let report = Simulation::scenario()
+//!     .correct(7)
+//!     .byzantine(2)
+//!     .seed(42)
+//!     .adversary(AdversaryKind::SplitVote)
+//!     .consensus(&[0, 1, 0, 1, 0, 1, 0])
+//!     .run()
+//!     .unwrap();
+//! assert!(report.consensus.unwrap().agreement);
+//! ```
 
-use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{IdSpace, NodeId, SimError, SyncEngine};
+#![allow(deprecated)]
 
-use crate::adversaries::{AnnounceThenSilent, EquivocatingSource, PartialAnnounce, SplitVote};
-use crate::approx::{ApproxAgreement, IteratedApproxAgreement};
-use crate::consensus::Consensus;
-use crate::reliable_broadcast::ReliableBroadcast;
-use crate::rotor::RotorCoordinator;
-use crate::value::Real;
+use uba_simnet::{IdSpace, NodeId, SimError};
+
+use crate::sim::{ScenarioBuilder, ScenarioExt, Simulation};
+
+/// Adversary strategies selectable by name in experiment sweeps.
+///
+/// Now a re-export of [`crate::sim::AdversaryKind`] (which gained a `Worst` kind);
+/// the four original variants are unchanged.
+pub use crate::sim::AdversaryKind;
 
 /// Description of a system to simulate.
+#[deprecated(note = "use uba_core::sim::Simulation::scenario() instead")]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Scenario {
     /// Number of correct nodes.
@@ -61,22 +79,20 @@ impl Scenario {
         let (c, b) = ids.split_at(self.correct);
         (c.to_vec(), b.to_vec())
     }
-}
 
-/// Adversary strategies selectable by name in experiment sweeps.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AdversaryKind {
-    /// Byzantine nodes never speak (they are invisible).
-    Silent,
-    /// Byzantine nodes announce themselves in round 1 and then stay silent.
-    AnnounceThenSilent,
-    /// Byzantine nodes announce themselves to only half of the correct nodes.
-    PartialAnnounce,
-    /// Byzantine nodes split their votes between the two most popular values.
-    SplitVote,
+    /// The equivalent [`ScenarioBuilder`] under the new driver API.
+    pub fn builder(&self) -> ScenarioBuilder {
+        Simulation::scenario()
+            .correct(self.correct)
+            .byzantine(self.byzantine)
+            .ids(self.id_space)
+            .seed(self.seed)
+            .max_rounds(self.max_rounds)
+    }
 }
 
 /// Everything measured in one consensus run.
+#[deprecated(note = "use the RunReport produced by the Simulation builder instead")]
 #[derive(Clone, Debug, PartialEq)]
 pub struct ConsensusReport {
     /// The decided value of every correct node, in construction order.
@@ -92,46 +108,39 @@ pub struct ConsensusReport {
 }
 
 /// Runs binary consensus with the given inputs under the selected adversary.
+#[deprecated(note = "use Simulation::scenario()...consensus(inputs).run() instead")]
 pub fn run_consensus(
     scenario: &Scenario,
     inputs: &[u64],
     adversary: AdversaryKind,
 ) -> Result<ConsensusReport, SimError> {
     assert_eq!(inputs.len(), scenario.correct, "one input per correct node");
-    let (correct_ids, byz_ids) = scenario.ids();
-    let nodes: Vec<Consensus<u64>> = correct_ids
-        .iter()
-        .zip(inputs)
-        .map(|(&id, &input)| Consensus::new(id, input))
-        .collect();
-
-    macro_rules! run_with {
-        ($adv:expr) => {{
-            let mut engine = SyncEngine::new(nodes, $adv, byz_ids);
-            engine.run_until_all_terminated(scenario.max_rounds)?;
-            let decisions: Vec<u64> = engine
-                .outputs()
-                .into_iter()
-                .map(|(_, d)| d.expect("terminated nodes decided").value)
-                .collect();
-            (decisions, engine.round(), engine.metrics().correct_messages)
-        }};
-    }
-
-    let (decisions, rounds, messages) = match adversary {
-        AdversaryKind::Silent => run_with!(SilentAdversary),
-        AdversaryKind::AnnounceThenSilent => run_with!(AnnounceThenSilent),
-        AdversaryKind::PartialAnnounce => run_with!(PartialAnnounce),
-        AdversaryKind::SplitVote => run_with!(SplitVote::new(0u64, 1u64)),
+    let report = scenario
+        .builder()
+        .adversary(adversary)
+        .consensus(inputs)
+        .run()?;
+    // The old driver treated cap exhaustion as an error.
+    let rounds = match report.status {
+        crate::sim::RunStatus::Completed { rounds } => rounds,
+        crate::sim::RunStatus::MaxRoundsExceeded { limit } => {
+            return Err(SimError::MaxRoundsExceeded { limit })
+        }
     };
-
-    let agreement = decisions.windows(2).all(|w| w[0] == w[1]);
-    let validity = decisions.first().map(|v| inputs.contains(v)).unwrap_or(false)
-        && (!inputs.iter().all(|&i| i == inputs[0]) || decisions.iter().all(|&d| d == inputs[0]));
-    Ok(ConsensusReport { decisions, rounds, messages, agreement, validity })
+    let section = report
+        .consensus
+        .expect("the consensus factory fills its section");
+    Ok(ConsensusReport {
+        decisions: section.decisions.iter().map(|d| d.value).collect(),
+        rounds,
+        messages: report.messages.correct,
+        agreement: section.agreement,
+        validity: section.validity,
+    })
 }
 
 /// Everything measured in one reliable-broadcast run.
+#[deprecated(note = "use the RunReport produced by the Simulation builder instead")]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BroadcastReport {
     /// For every correct node: the set of values it accepted.
@@ -144,71 +153,73 @@ pub struct BroadcastReport {
     pub consistent: bool,
 }
 
+fn broadcast_report(report: crate::sim::RunReport) -> BroadcastReport {
+    let section = report
+        .broadcast
+        .expect("the broadcast factory fills its section");
+    BroadcastReport {
+        accepted: section
+            .accepted
+            .iter()
+            .map(|set| set.values.iter().map(|&(message, _)| message).collect())
+            .collect(),
+        rounds: report.rounds,
+        messages: report.messages.correct,
+        consistent: section.consistent,
+    }
+}
+
 /// Runs reliable broadcast with a **correct** designated sender broadcasting `value`.
+#[deprecated(note = "use Simulation::scenario()...broadcast(value).rounds(r).run() instead")]
 pub fn run_broadcast_correct_source(
     scenario: &Scenario,
     value: u64,
     rounds: u64,
 ) -> Result<BroadcastReport, SimError> {
-    let (correct_ids, byz_ids) = scenario.ids();
-    let source = correct_ids[0];
-    let nodes: Vec<ReliableBroadcast<u64>> = correct_ids
-        .iter()
-        .map(|&id| {
-            if id == source {
-                ReliableBroadcast::sender(id, value)
-            } else {
-                ReliableBroadcast::receiver(id, source)
-            }
-        })
-        .collect();
-    let mut engine = SyncEngine::new(nodes, AnnounceThenSilent, byz_ids);
-    engine.run_rounds(rounds)?;
-    Ok(summarise_broadcast(engine))
+    // The old driver ran exactly `rounds` rounds regardless of the scenario's round
+    // cap; widen the cap so the fixed-round stop condition is always reachable.
+    let report = scenario
+        .builder()
+        .max_rounds(scenario.max_rounds.max(rounds))
+        .adversary(AdversaryKind::AnnounceThenSilent)
+        .broadcast(value)
+        .rounds(rounds)
+        .run()?;
+    if let crate::sim::RunStatus::MaxRoundsExceeded { limit } = report.status {
+        return Err(SimError::MaxRoundsExceeded { limit });
+    }
+    Ok(broadcast_report(report))
 }
 
 /// Runs reliable broadcast with a **Byzantine** designated sender that equivocates,
 /// sending `value_a` to half the nodes and `value_b` to the other half.
+#[deprecated(
+    note = "use Simulation::scenario()...broadcast_equivocating(a, b).rounds(r).run() instead"
+)]
 pub fn run_broadcast_equivocating_source(
     scenario: &Scenario,
     value_a: u64,
     value_b: u64,
     rounds: u64,
 ) -> Result<BroadcastReport, SimError> {
-    assert!(scenario.byzantine >= 1, "the equivocating source needs a Byzantine identity");
-    let (correct_ids, byz_ids) = scenario.ids();
-    let source = byz_ids[0];
-    let nodes: Vec<ReliableBroadcast<u64>> =
-        correct_ids.iter().map(|&id| ReliableBroadcast::receiver(id, source)).collect();
-    let adversary = EquivocatingSource::new(source, value_a, value_b);
-    let mut engine = SyncEngine::new(nodes, adversary, byz_ids);
-    engine.run_rounds(rounds)?;
-    Ok(summarise_broadcast(engine))
-}
-
-fn summarise_broadcast<A>(engine: SyncEngine<ReliableBroadcast<u64>, A>) -> BroadcastReport
-where
-    A: uba_simnet::Adversary<crate::reliable_broadcast::RbMessage<u64>>,
-{
-    let accepted: Vec<Vec<u64>> = engine
-        .nodes()
-        .iter()
-        .map(|n| {
-            let mut values: Vec<u64> = n.accepted().iter().map(|a| a.message).collect();
-            values.sort_unstable();
-            values
-        })
-        .collect();
-    let consistent = accepted.windows(2).all(|w| w[0] == w[1]);
-    BroadcastReport {
-        consistent,
-        rounds: engine.round(),
-        messages: engine.metrics().correct_messages,
-        accepted,
+    assert!(
+        scenario.byzantine >= 1,
+        "the equivocating source needs a Byzantine identity"
+    );
+    let report = scenario
+        .builder()
+        .max_rounds(scenario.max_rounds.max(rounds))
+        .broadcast_equivocating(value_a, value_b)
+        .rounds(rounds)
+        .run()?;
+    if let crate::sim::RunStatus::MaxRoundsExceeded { limit } = report.status {
+        return Err(SimError::MaxRoundsExceeded { limit });
     }
+    Ok(broadcast_report(report))
 }
 
 /// Everything measured in one rotor-coordinator run.
+#[deprecated(note = "use the RunReport produced by the Simulation builder instead")]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RotorReport {
     /// Rounds until the last correct node terminated.
@@ -223,52 +234,26 @@ pub struct RotorReport {
 }
 
 /// Runs the standalone rotor-coordinator under the selected announcement adversary.
+#[deprecated(note = "use Simulation::scenario()...rotor().run() instead")]
 pub fn run_rotor(scenario: &Scenario, adversary: AdversaryKind) -> Result<RotorReport, SimError> {
-    let (correct_ids, byz_ids) = scenario.ids();
-    let nodes: Vec<RotorCoordinator<u64>> =
-        correct_ids.iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
-
-    fn drive<A: uba_simnet::Adversary<crate::rotor::RotorMessage<u64>>>(
-        nodes: Vec<RotorCoordinator<u64>>,
-        byz_ids: Vec<NodeId>,
-        adversary: A,
-        max_rounds: u64,
-    ) -> Result<RotorReport, SimError> {
-        let mut engine = SyncEngine::new(nodes, adversary, byz_ids);
-        engine.run_until_all_terminated(max_rounds)?;
-        let correct: std::collections::BTreeSet<NodeId> =
-            engine.correct_ids().into_iter().collect();
-        let histories: Vec<_> = engine.nodes().iter().map(|n| n.state().history()).collect();
-        let shortest = histories.iter().map(|h| h.len()).min().unwrap_or(0);
-        let mut good_round = false;
-        for r in 0..shortest {
-            let selections: std::collections::BTreeSet<NodeId> =
-                histories.iter().map(|h| h[r].coordinator).collect();
-            if selections.len() == 1 && correct.contains(selections.iter().next().unwrap()) {
-                good_round = true;
-                break;
-            }
+    let report = scenario.builder().adversary(adversary).rotor().run()?;
+    let rounds = match report.status {
+        crate::sim::RunStatus::Completed { rounds } => rounds,
+        crate::sim::RunStatus::MaxRoundsExceeded { limit } => {
+            return Err(SimError::MaxRoundsExceeded { limit })
         }
-        Ok(RotorReport {
-            rounds: engine.round(),
-            selected: engine.nodes()[0].state().selected().len(),
-            good_round,
-            messages: engine.metrics().correct_messages,
-        })
-    }
-
-    match adversary {
-        AdversaryKind::Silent => drive(nodes, byz_ids, SilentAdversary, scenario.max_rounds),
-        AdversaryKind::AnnounceThenSilent | AdversaryKind::SplitVote => {
-            drive(nodes, byz_ids, AnnounceThenSilent, scenario.max_rounds)
-        }
-        AdversaryKind::PartialAnnounce => {
-            drive(nodes, byz_ids, PartialAnnounce, scenario.max_rounds)
-        }
-    }
+    };
+    let section = report.rotor.expect("the rotor factory fills its section");
+    Ok(RotorReport {
+        rounds,
+        selected: section.selected,
+        good_round: section.good_round,
+        messages: report.messages.correct,
+    })
 }
 
 /// Everything measured in one approximate-agreement run.
+#[deprecated(note = "use the RunReport produced by the Simulation builder instead")]
 #[derive(Clone, Debug, PartialEq)]
 pub struct ApproxReport {
     /// Input range of the correct nodes.
@@ -283,72 +268,48 @@ pub struct ApproxReport {
 
 /// Runs single-shot approximate agreement on the given correct inputs, with Byzantine
 /// nodes pushing extreme outliers to half the nodes each.
+#[deprecated(note = "use Simulation::scenario()...approx(inputs).run() instead")]
 pub fn run_approx(scenario: &Scenario, inputs: &[f64]) -> Result<ApproxReport, SimError> {
     assert_eq!(inputs.len(), scenario.correct);
-    let (correct_ids, byz_ids) = scenario.ids();
-    let nodes: Vec<ApproxAgreement> = correct_ids
-        .iter()
-        .zip(inputs)
-        .map(|(&id, &x)| ApproxAgreement::new(id, Real::from_f64(x)))
-        .collect();
-    let byz_clone = byz_ids.clone();
-    let adversary = uba_simnet::FnAdversary::new(move |view: &uba_simnet::AdversaryView<'_, Real>| {
-        if view.round != 1 {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        for (b, &from) in byz_clone.iter().enumerate() {
-            for (i, &to) in view.correct_ids.iter().enumerate() {
-                let value = if (i + b) % 2 == 0 { Real::from_f64(-1e9) } else { Real::from_f64(1e9) };
-                out.push(uba_simnet::Directed::new(from, to, value));
-            }
-        }
-        out
-    });
-    let mut engine = SyncEngine::new(nodes, adversary, byz_ids);
-    engine.run_until_all_output(5)?;
-    let outputs: Vec<f64> =
-        engine.outputs().into_iter().map(|(_, o)| o.unwrap().to_f64()).collect();
-
-    let imin = inputs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let imax = inputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let omin = outputs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let omax = outputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let input_spread = imax - imin;
-    let output_spread = omax - omin;
+    let report = scenario
+        .builder()
+        .max_rounds(5)
+        .adversary(AdversaryKind::Worst)
+        .approx(inputs)
+        .run()?;
+    if let crate::sim::RunStatus::MaxRoundsExceeded { limit } = report.status {
+        return Err(SimError::MaxRoundsExceeded { limit });
+    }
+    let section = report.approx.expect("the approx factory fills its section");
     Ok(ApproxReport {
-        input_range: (imin, imax),
-        output_range: (omin, omax),
-        outputs_in_range: omin >= imin - 1e-9 && omax <= imax + 1e-9,
-        contraction: if input_spread > 0.0 { output_spread / input_spread } else { 0.0 },
+        input_range: section.input_range,
+        output_range: section.output_range,
+        outputs_in_range: section.outputs_in_range,
+        contraction: section.contraction,
     })
 }
 
 /// Runs iterated approximate agreement and returns the correct-node range after each
 /// iteration (used by the convergence experiment and the sensor-fusion example).
+#[deprecated(note = "use Simulation::scenario()...iterated_approx(inputs, n).run() instead")]
 pub fn run_iterated_approx(
     scenario: &Scenario,
     inputs: &[f64],
     iterations: u64,
 ) -> Result<Vec<f64>, SimError> {
     assert_eq!(inputs.len(), scenario.correct);
-    let (correct_ids, byz_ids) = scenario.ids();
-    let nodes: Vec<IteratedApproxAgreement> = correct_ids
-        .iter()
-        .zip(inputs)
-        .map(|(&id, &x)| IteratedApproxAgreement::new(id, Real::from_f64(x), iterations))
-        .collect();
-    let mut engine = SyncEngine::new(nodes, SilentAdversary, byz_ids);
-    engine.run_until_all_terminated(iterations + 10)?;
-    let mut spreads = Vec::new();
-    for i in 0..iterations as usize {
-        let values: Vec<f64> =
-            engine.nodes().iter().map(|n| n.history()[i].to_f64()).collect();
-        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        spreads.push(hi - lo);
+    let report = scenario
+        .builder()
+        .max_rounds(iterations + 10)
+        .iterated_approx(inputs, iterations)
+        .run()?;
+    if let crate::sim::RunStatus::MaxRoundsExceeded { limit } = report.status {
+        return Err(SimError::MaxRoundsExceeded { limit });
     }
-    Ok(spreads)
+    Ok(report
+        .spreads
+        .expect("the iterated factory fills its section")
+        .per_iteration)
 }
 
 #[cfg(test)]
@@ -364,10 +325,14 @@ mod tests {
         assert_eq!(c.len(), 7);
         assert_eq!(b.len(), 2);
         assert!(!Scenario::new(4, 2, 1).resilient());
+        // The builder shim preserves every knob.
+        let spec = s.builder().spec().clone();
+        assert_eq!((spec.correct, spec.byzantine, spec.seed), (7, 2, 1));
+        assert_eq!(spec.max_rounds, 1_000);
     }
 
     #[test]
-    fn consensus_runner_reports_agreement_and_validity() {
+    fn consensus_shim_matches_the_old_report_shape() {
         let s = Scenario::new(7, 2, 3);
         let inputs = [0, 1, 0, 1, 0, 1, 0];
         for kind in [
@@ -380,22 +345,26 @@ mod tests {
             assert!(report.agreement, "agreement under {kind:?}");
             assert!(report.validity, "validity under {kind:?}");
             assert!(report.rounds > 0 && report.messages > 0);
+            assert_eq!(report.decisions.len(), 7);
         }
     }
 
     #[test]
-    fn broadcast_runners_report_consistency() {
+    fn broadcast_shims_report_consistency() {
         let s = Scenario::new(7, 2, 5);
         let correct = run_broadcast_correct_source(&s, 42, 12).unwrap();
         assert!(correct.consistent);
         assert!(correct.accepted.iter().all(|a| a == &vec![42]));
 
         let equivocating = run_broadcast_equivocating_source(&s, 1, 2, 12).unwrap();
-        assert!(equivocating.consistent, "equivocation must be exposed consistently");
+        assert!(
+            equivocating.consistent,
+            "equivocation must be exposed consistently"
+        );
     }
 
     #[test]
-    fn rotor_runner_finds_a_good_round() {
+    fn rotor_shim_finds_a_good_round() {
         let s = Scenario::new(7, 2, 7);
         let report = run_rotor(&s, AdversaryKind::AnnounceThenSilent).unwrap();
         assert!(report.good_round);
@@ -404,7 +373,7 @@ mod tests {
     }
 
     #[test]
-    fn approx_runner_reports_contraction() {
+    fn approx_shims_report_contraction() {
         let s = Scenario::new(10, 3, 9);
         let inputs: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
         let report = run_approx(&s, &inputs).unwrap();
@@ -412,7 +381,10 @@ mod tests {
         assert!(report.contraction < 1.0);
 
         let spreads = run_iterated_approx(&s, &inputs, 5).unwrap();
-        assert!(spreads.windows(2).all(|w| w[1] <= w[0] + 1e-9), "spread is non-increasing");
+        assert!(
+            spreads.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "spread is non-increasing"
+        );
         assert!(spreads.last().unwrap() < &10.0);
     }
 }

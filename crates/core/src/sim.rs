@@ -1,0 +1,1008 @@
+//! Protocol factories and fluent sugar for the unified [`Simulation`] driver.
+//!
+//! The generic pieces — [`Simulation`], [`ScenarioBuilder`], [`ProtocolFactory`],
+//! [`Harness`], [`RunReport`] — live in [`uba_simnet::sim`] and are re-exported
+//! here; this module adds a [`ProtocolFactory`] implementation for every id-only
+//! algorithm of the paper, so any scenario description can be pointed at any
+//! protocol:
+//!
+//! | Factory | Protocol | Report section |
+//! |---|---|---|
+//! | [`ConsensusFactory`] | Algorithm 3 (`Consensus<u64>`) | `consensus` |
+//! | [`BroadcastFactory`] | Algorithm 1 (`ReliableBroadcast<u64>`) | `broadcast` |
+//! | [`RotorFactory`] | Algorithm 2 (`RotorCoordinator<u64>`) | `rotor` |
+//! | [`ApproxFactory`] | Algorithm 4 (`ApproxAgreement`) | `approx` |
+//! | [`IteratedApproxFactory`] | iterated Algorithm 4 | `spreads` + `approx` |
+//! | [`ParallelConsensusFactory`] | Algorithm 5 (`ParallelConsensus<u64>`) | `parallel` |
+//! | [`TotalOrderFactory`] | Algorithm 6 (`TotalOrderNode<E>`) | `chain` |
+//!
+//! The [`ScenarioExt`] trait hangs protocol-specific conveniences off the generic
+//! builder, so the common cases are one chain:
+//!
+//! ```
+//! use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
+//!
+//! let report = Simulation::scenario()
+//!     .correct(7)
+//!     .byzantine(2)
+//!     .seed(42)
+//!     .adversary(AdversaryKind::SplitVote)
+//!     .consensus(&[0, 1, 0, 1, 0, 1, 0])
+//!     .run()
+//!     .unwrap();
+//! assert!(report.consensus.unwrap().agreement);
+//! ```
+
+use std::collections::BTreeSet;
+
+use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::{AdversaryView, FnAdversary, NodeId, Protocol};
+
+pub use uba_simnet::sim::{
+    approx_section_from_values, consensus_section_from_parts, ApproxSection, BroadcastSection,
+    ChainSection, ConsensusDecision, ConsensusSection, MessageStats, NodeAcceptSet, NodePairs,
+    NodeReport, OracleVerdict, ParallelSection, RotorSection, SpreadSection,
+};
+pub use uba_simnet::sim::{
+    AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
+    RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,
+};
+
+use crate::adversaries::{
+    AnnounceThenSilent, EquivocatingSource, GhostPairInjector, PartialAnnounce, SplitVote,
+};
+use crate::approx::{ApproxAgreement, IteratedApproxAgreement};
+use crate::consensus::Consensus;
+use crate::parallel_consensus::ParallelConsensus;
+use crate::reliable_broadcast::ReliableBroadcast;
+use crate::rotor::RotorCoordinator;
+use crate::total_order::{chains_agree, TotalOrderNode};
+use crate::value::{Opinion, Real};
+
+// ---------------------------------------------------------------------------
+// Consensus (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+/// Factory for binary/multi-valued consensus over `u64` opinions.
+#[derive(Clone, Debug)]
+pub struct ConsensusFactory {
+    inputs: Vec<u64>,
+}
+
+impl ConsensusFactory {
+    /// One input per correct node, in construction order.
+    pub fn new(inputs: impl Into<Vec<u64>>) -> Self {
+        ConsensusFactory {
+            inputs: inputs.into(),
+        }
+    }
+
+    /// The two most popular correct input values (ties broken by value), which is
+    /// what a split-vote adversary pushes — splitting between values nobody holds
+    /// would degrade the attack to background noise. Falls back to `(v, v ^ 1)` for
+    /// unanimous inputs and `(0, 1)` for an empty input set.
+    fn split_values(&self) -> (u64, u64) {
+        let mut counts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for &input in &self.inputs {
+            *counts.entry(input).or_default() += 1;
+        }
+        let mut ranked: Vec<(u64, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        match (ranked.first(), ranked.get(1)) {
+            (Some(&(first, _)), Some(&(second, _))) => (first, second),
+            (Some(&(only, _)), None) => (only, only ^ 1),
+            _ => (0, 1),
+        }
+    }
+}
+
+impl ProtocolFactory for ConsensusFactory {
+    type Node = Consensus<u64>;
+
+    fn protocol_name(&self) -> String {
+        "consensus".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<Consensus<u64>> {
+        assert_eq!(
+            self.inputs.len(),
+            ctx.correct_ids.len(),
+            "one consensus input per correct node"
+        );
+        ctx.correct_ids
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&id, &input)| Consensus::new(id, input))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::consensus::ConsensusMessage<u64>> {
+        match kind {
+            AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
+            AdversaryKind::AnnounceThenSilent => {
+                NamedAdversary::new(kind.name(), AnnounceThenSilent)
+            }
+            AdversaryKind::PartialAnnounce => NamedAdversary::new(kind.name(), PartialAnnounce),
+            AdversaryKind::SplitVote | AdversaryKind::Worst => {
+                let (low, high) = self.split_values();
+                NamedAdversary::new("split-vote", SplitVote::new(low, high))
+            }
+        }
+    }
+
+    fn record(&self, ctx: &BuildContext, nodes: &[Consensus<u64>], report: &mut RunReport) {
+        let inputs: Vec<(NodeId, u64)> = ctx
+            .correct_ids
+            .iter()
+            .copied()
+            .zip(self.inputs.iter().copied())
+            .collect();
+        let mut decisions = Vec::new();
+        let mut undecided = Vec::new();
+        for node in nodes {
+            match node.decision() {
+                Some(decision) => decisions.push(ConsensusDecision {
+                    node: node.id(),
+                    value: decision.value,
+                    phase: decision.phase,
+                    round: decision.round,
+                }),
+                None => undecided.push(node.id()),
+            }
+        }
+        report.consensus = Some(consensus_section_from_parts(inputs, decisions, undecided));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable broadcast (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// Factory for reliable broadcast over `u64` messages, with either a correct
+/// designated sender or an equivocating Byzantine one.
+#[derive(Clone, Debug)]
+pub struct BroadcastFactory {
+    value: u64,
+    equivocate: Option<(u64, u64)>,
+}
+
+impl BroadcastFactory {
+    /// A **correct** designated sender (the first correct node) broadcasting `value`.
+    pub fn correct_source(value: u64) -> Self {
+        BroadcastFactory {
+            value,
+            equivocate: None,
+        }
+    }
+
+    /// A **Byzantine** designated sender (the first Byzantine identity) sending
+    /// `value_a` to half the correct nodes and `value_b` to the other half.
+    pub fn equivocating_source(value_a: u64, value_b: u64) -> Self {
+        BroadcastFactory {
+            value: value_a,
+            equivocate: Some((value_a, value_b)),
+        }
+    }
+
+    fn source(&self, ctx: &BuildContext) -> NodeId {
+        if self.equivocate.is_some() {
+            *ctx.byzantine_ids
+                .first()
+                .expect("an equivocating source needs a Byzantine identity")
+        } else {
+            *ctx.correct_ids
+                .first()
+                .expect("a correct source needs a correct node")
+        }
+    }
+}
+
+impl ProtocolFactory for BroadcastFactory {
+    type Node = ReliableBroadcast<u64>;
+
+    fn protocol_name(&self) -> String {
+        "reliable-broadcast".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<ReliableBroadcast<u64>> {
+        let source = self.source(ctx);
+        ctx.correct_ids
+            .iter()
+            .map(|&id| {
+                if id == source {
+                    ReliableBroadcast::sender(id, self.value)
+                } else {
+                    ReliableBroadcast::receiver(id, source)
+                }
+            })
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<crate::reliable_broadcast::RbMessage<u64>> {
+        if let Some((value_a, value_b)) = self.equivocate {
+            // The equivocating source *is* the attack; the kind is irrelevant.
+            return NamedAdversary::new(
+                "equivocating-source",
+                EquivocatingSource::new(self.source(ctx), value_a, value_b),
+            );
+        }
+        match kind {
+            AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
+            AdversaryKind::PartialAnnounce => NamedAdversary::new(kind.name(), PartialAnnounce),
+            AdversaryKind::AnnounceThenSilent | AdversaryKind::SplitVote | AdversaryKind::Worst => {
+                NamedAdversary::new("announce-then-silent", AnnounceThenSilent)
+            }
+        }
+    }
+
+    fn stop_condition(&self) -> StopCondition {
+        // Reliable broadcast never terminates in the paper; 12 rounds comfortably
+        // cover acceptance plus the relay deadline at every size the suite uses.
+        StopCondition::FixedRounds(12)
+    }
+
+    fn record(&self, ctx: &BuildContext, nodes: &[ReliableBroadcast<u64>], report: &mut RunReport) {
+        let accepted: Vec<NodeAcceptSet> = nodes
+            .iter()
+            .map(|node| {
+                let mut values: Vec<(u64, u64)> = node
+                    .accepted()
+                    .iter()
+                    .map(|a| (a.message, a.round))
+                    .collect();
+                values.sort_unstable();
+                NodeAcceptSet {
+                    node: node.id(),
+                    values,
+                }
+            })
+            .collect();
+        let sets: Vec<Vec<u64>> = accepted
+            .iter()
+            .map(|set| set.values.iter().map(|&(message, _)| message).collect())
+            .collect();
+        let consistent = sets.windows(2).all(|w| w[0] == w[1]);
+        report.broadcast = Some(BroadcastSection {
+            source: self.source(ctx),
+            source_correct: self.equivocate.is_none(),
+            sent: self.equivocate.is_none().then_some(self.value),
+            accepted,
+            consistent,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rotor-coordinator (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// Factory for the standalone rotor-coordinator; each node's opinion is its raw
+/// identifier, which makes coordinator acceptance observable in reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RotorFactory;
+
+impl ProtocolFactory for RotorFactory {
+    type Node = RotorCoordinator<u64>;
+
+    fn protocol_name(&self) -> String {
+        "rotor".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<RotorCoordinator<u64>> {
+        ctx.correct_ids
+            .iter()
+            .map(|&id| RotorCoordinator::new(id, id.raw()))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::rotor::RotorMessage<u64>> {
+        match kind {
+            AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
+            AdversaryKind::PartialAnnounce => NamedAdversary::new(kind.name(), PartialAnnounce),
+            AdversaryKind::AnnounceThenSilent | AdversaryKind::SplitVote | AdversaryKind::Worst => {
+                NamedAdversary::new("announce-then-silent", AnnounceThenSilent)
+            }
+        }
+    }
+
+    fn record(&self, _ctx: &BuildContext, nodes: &[RotorCoordinator<u64>], report: &mut RunReport) {
+        let correct: BTreeSet<NodeId> = nodes.iter().map(|n| n.id()).collect();
+        let histories: Vec<_> = nodes.iter().map(|n| n.state().history()).collect();
+        let shortest = histories.iter().map(|h| h.len()).min().unwrap_or(0);
+        let good_round = (0..shortest).any(|r| {
+            let selections: BTreeSet<NodeId> = histories.iter().map(|h| h[r].coordinator).collect();
+            selections.len() == 1 && correct.contains(selections.iter().next().unwrap())
+        });
+        report.rotor = Some(RotorSection {
+            selected: nodes
+                .first()
+                .map(|n| n.state().selected().len())
+                .unwrap_or(0),
+            good_round,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Approximate agreement (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+/// The round-1 extreme-outlier adversary from the Theorem 4 experiments: Byzantine
+/// identities push `±10⁹` to alternating halves of the correct nodes.
+fn extreme_outliers() -> NamedAdversary<Real> {
+    NamedAdversary::new(
+        "extreme-outliers",
+        FnAdversary::new(|view: &AdversaryView<'_, Real>| {
+            if view.round != 1 {
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            for (b, &from) in view.byzantine_ids.iter().enumerate() {
+                for (i, &to) in view.correct_ids.iter().enumerate() {
+                    let value = if (i + b) % 2 == 0 { -1e9 } else { 1e9 };
+                    out.push(uba_simnet::Directed::new(from, to, Real::from_f64(value)));
+                }
+            }
+            out
+        }),
+    )
+}
+
+/// Factory for single-shot approximate agreement on `f64` inputs.
+#[derive(Clone, Debug)]
+pub struct ApproxFactory {
+    inputs: Vec<f64>,
+}
+
+impl ApproxFactory {
+    /// One input per correct node, in construction order.
+    pub fn new(inputs: impl Into<Vec<f64>>) -> Self {
+        ApproxFactory {
+            inputs: inputs.into(),
+        }
+    }
+}
+
+impl ProtocolFactory for ApproxFactory {
+    type Node = ApproxAgreement;
+
+    fn protocol_name(&self) -> String {
+        "approx-agreement".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<ApproxAgreement> {
+        assert_eq!(
+            self.inputs.len(),
+            ctx.correct_ids.len(),
+            "one input per correct node"
+        );
+        ctx.correct_ids
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&id, &input)| ApproxAgreement::new(id, Real::from_f64(input)))
+            .collect()
+    }
+
+    fn adversary(&self, kind: AdversaryKind, _ctx: &BuildContext) -> NamedAdversary<Real> {
+        match kind {
+            AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
+            // Every active strategy maps to the proof's worst case: values have no
+            // votes to split and no announcements to withhold, only outliers.
+            _ => extreme_outliers(),
+        }
+    }
+
+    fn stop_condition(&self) -> StopCondition {
+        StopCondition::AllOutput
+    }
+
+    fn record(&self, _ctx: &BuildContext, nodes: &[ApproxAgreement], report: &mut RunReport) {
+        let outputs: Vec<f64> = nodes
+            .iter()
+            .filter_map(|n| n.output())
+            .map(|real| real.to_f64())
+            .collect();
+        report.approx = Some(approx_section_from_values(self.inputs.clone(), outputs));
+    }
+}
+
+/// Factory for iterated approximate agreement: convergence over a fixed number of
+/// iterations, recorded as a per-iteration spread series.
+#[derive(Clone, Debug)]
+pub struct IteratedApproxFactory {
+    inputs: Vec<f64>,
+    iterations: u64,
+}
+
+impl IteratedApproxFactory {
+    /// One input per correct node; the protocol runs `iterations` halving rounds.
+    pub fn new(inputs: impl Into<Vec<f64>>, iterations: u64) -> Self {
+        IteratedApproxFactory {
+            inputs: inputs.into(),
+            iterations,
+        }
+    }
+}
+
+impl ProtocolFactory for IteratedApproxFactory {
+    type Node = IteratedApproxAgreement;
+
+    fn protocol_name(&self) -> String {
+        "iterated-approx".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<IteratedApproxAgreement> {
+        assert_eq!(
+            self.inputs.len(),
+            ctx.correct_ids.len(),
+            "one input per correct node"
+        );
+        ctx.correct_ids
+            .iter()
+            .zip(&self.inputs)
+            .map(|(&id, &input)| {
+                IteratedApproxAgreement::new(id, Real::from_f64(input), self.iterations)
+            })
+            .collect()
+    }
+
+    fn adversary(&self, kind: AdversaryKind, _ctx: &BuildContext) -> NamedAdversary<Real> {
+        match kind {
+            AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
+            _ => NamedAdversary::new(
+                "per-round-outliers",
+                FnAdversary::new(|view: &AdversaryView<'_, Real>| {
+                    let mut out = Vec::new();
+                    for (b, &from) in view.byzantine_ids.iter().enumerate() {
+                        for (i, &to) in view.correct_ids.iter().enumerate() {
+                            let value = if (i + b) % 2 == 0 { -1e9 } else { 1e9 };
+                            out.push(uba_simnet::Directed::new(from, to, Real::from_f64(value)));
+                        }
+                    }
+                    out
+                }),
+            ),
+        }
+    }
+
+    fn record(
+        &self,
+        _ctx: &BuildContext,
+        nodes: &[IteratedApproxAgreement],
+        report: &mut RunReport,
+    ) {
+        let mut per_iteration = Vec::new();
+        for iteration in 0..self.iterations as usize {
+            let values: Vec<f64> = nodes
+                .iter()
+                .filter(|n| n.history().len() > iteration)
+                .map(|n| n.history()[iteration].to_f64())
+                .collect();
+            if values.is_empty() {
+                break;
+            }
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            per_iteration.push(hi - lo);
+        }
+        report.spreads = Some(SpreadSection { per_iteration });
+        let outputs: Vec<f64> = nodes
+            .iter()
+            .filter_map(|n| n.output())
+            .map(|real| real.to_f64())
+            .collect();
+        report.approx = Some(approx_section_from_values(self.inputs.clone(), outputs));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel consensus (Algorithm 5)
+// ---------------------------------------------------------------------------
+
+/// Factory for parallel consensus over shared `(instance, value)` pairs.
+#[derive(Clone, Debug)]
+pub struct ParallelConsensusFactory {
+    pairs: Vec<(u64, u64)>,
+    ghosts: Vec<(u64, u64)>,
+}
+
+impl ParallelConsensusFactory {
+    /// Every correct node starts with the same `(instance, value)` input pairs.
+    pub fn new(pairs: impl Into<Vec<(u64, u64)>>) -> Self {
+        ParallelConsensusFactory {
+            pairs: pairs.into(),
+            ghosts: Vec::new(),
+        }
+    }
+
+    /// Fabricated pairs the [`AdversaryKind::Worst`] strategy injects.
+    pub fn with_ghost_pairs(mut self, ghosts: impl Into<Vec<(u64, u64)>>) -> Self {
+        self.ghosts = ghosts.into();
+        self
+    }
+}
+
+impl ProtocolFactory for ParallelConsensusFactory {
+    type Node = ParallelConsensus<u64>;
+
+    fn protocol_name(&self) -> String {
+        "parallel-consensus".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<ParallelConsensus<u64>> {
+        ctx.correct_ids
+            .iter()
+            .map(|&id| ParallelConsensus::new(id, self.pairs.clone()))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::early_consensus::ParallelMessage<u64>> {
+        match kind {
+            AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
+            AdversaryKind::PartialAnnounce => NamedAdversary::new(kind.name(), PartialAnnounce),
+            AdversaryKind::Worst if !self.ghosts.is_empty() => NamedAdversary::new(
+                "ghost-pair-injector",
+                GhostPairInjector::new(self.ghosts.clone()),
+            ),
+            AdversaryKind::AnnounceThenSilent | AdversaryKind::SplitVote | AdversaryKind::Worst => {
+                NamedAdversary::new("announce-then-silent", AnnounceThenSilent)
+            }
+        }
+    }
+
+    fn record(
+        &self,
+        _ctx: &BuildContext,
+        nodes: &[ParallelConsensus<u64>],
+        report: &mut RunReport,
+    ) {
+        let decisions: Vec<NodePairs> = nodes
+            .iter()
+            .filter_map(|node| {
+                node.decision().map(|decision| NodePairs {
+                    node: node.id(),
+                    pairs: decision.pairs.iter().map(|(&k, &v)| (k, v)).collect(),
+                })
+            })
+            .collect();
+        let agreement = decisions.windows(2).all(|w| w[0].pairs == w[1].pairs);
+        report.parallel = Some(ParallelSection {
+            decisions,
+            agreement,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Total ordering (Algorithm 6)
+// ---------------------------------------------------------------------------
+
+/// External inputs for a total-ordering run: who submits which event before which
+/// round, and who announces a leave. Joins go through the scenario's
+/// [`ChurnSchedule`](uba_simnet::ChurnSchedule) — the engine constructs joiners via
+/// [`TotalOrderFactory`]'s churn constructor.
+#[derive(Clone, Debug, Default)]
+pub struct TotalOrderPlan<E> {
+    /// Total rounds to run.
+    pub total_rounds: u64,
+    /// `(before round, founder index, payload)` event submissions.
+    pub events: Vec<(u64, usize, E)>,
+    /// `(before round, founder index)` leave announcements.
+    pub leaves: Vec<(u64, usize)>,
+}
+
+impl<E> TotalOrderPlan<E> {
+    /// A plan running `total_rounds` rounds with no events.
+    pub fn rounds(total_rounds: u64) -> Self {
+        TotalOrderPlan {
+            total_rounds,
+            events: Vec::new(),
+            leaves: Vec::new(),
+        }
+    }
+
+    /// Adds an event submitted by the `founder`-th correct node before `round`.
+    pub fn event(mut self, round: u64, founder: usize, payload: E) -> Self {
+        self.events.push((round, founder, payload));
+        self
+    }
+
+    /// Has the `founder`-th correct node announce its departure before `round`.
+    pub fn leave(mut self, round: u64, founder: usize) -> Self {
+        self.leaves.push((round, founder));
+        self
+    }
+}
+
+/// Factory for dynamic total ordering over events of type `E`.
+#[derive(Clone, Debug)]
+pub struct TotalOrderFactory<E: Opinion> {
+    plan: TotalOrderPlan<E>,
+    founders: Vec<NodeId>,
+}
+
+impl<E: Opinion> TotalOrderFactory<E> {
+    /// Creates the factory from an input plan.
+    pub fn new(plan: TotalOrderPlan<E>) -> Self {
+        TotalOrderFactory {
+            plan,
+            founders: Vec::new(),
+        }
+    }
+
+    fn leaver_ids(&self) -> Vec<NodeId> {
+        self.plan
+            .leaves
+            .iter()
+            .filter_map(|&(_, index)| self.founders.get(index).copied())
+            .collect()
+    }
+}
+
+impl<E: Opinion + 'static> ProtocolFactory for TotalOrderFactory<E> {
+    type Node = TotalOrderNode<E>;
+
+    fn protocol_name(&self) -> String {
+        "total-order".into()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<TotalOrderNode<E>> {
+        self.founders = ctx.correct_ids.clone();
+        ctx.correct_ids
+            .iter()
+            .map(|&id| TotalOrderNode::founding(id))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<crate::total_order::TotalOrderMessage<E>> {
+        match kind {
+            AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
+            // Total-order messages carry arbitrary event payloads the scripted
+            // strategies cannot fabricate generically; protocol-specific attacks
+            // (e.g. MembershipFlapper) go through `build_with_adversary`.
+            _ => NamedAdversary::new("silent", SilentAdversary),
+        }
+    }
+
+    fn stop_condition(&self) -> StopCondition {
+        StopCondition::FixedRounds(self.plan.total_rounds)
+    }
+
+    fn joiner(&self, _ctx: &BuildContext) -> Box<dyn FnMut(NodeId) -> TotalOrderNode<E>> {
+        Box::new(TotalOrderNode::joining)
+    }
+
+    fn before_round(&mut self, round: u64, nodes: &mut [TotalOrderNode<E>]) {
+        for (at, founder, payload) in &self.plan.events {
+            if *at == round {
+                let submitter = self.founders.get(*founder).copied();
+                if let Some(node) = nodes
+                    .iter_mut()
+                    .find(|n| Some(Protocol::id(*n)) == submitter)
+                {
+                    node.submit_event(payload.clone());
+                }
+            }
+        }
+        for (at, founder) in &self.plan.leaves {
+            if *at == round {
+                let leaver = self.founders.get(*founder).copied();
+                if let Some(node) = nodes.iter_mut().find(|n| Some(Protocol::id(*n)) == leaver) {
+                    node.announce_leave();
+                }
+            }
+        }
+    }
+
+    fn record(&self, _ctx: &BuildContext, nodes: &[TotalOrderNode<E>], report: &mut RunReport) {
+        let leavers = self.leaver_ids();
+        let lengths: Vec<(NodeId, usize)> =
+            nodes.iter().map(|n| (n.id(), n.chain().len())).collect();
+        let chains: Vec<Vec<_>> = nodes
+            .iter()
+            .filter(|n| !leavers.contains(&n.id()))
+            .map(|n| n.chain().to_vec())
+            .collect();
+        report.chain = Some(ChainSection {
+            lengths,
+            prefix_ok: chains_agree(&chains),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fluent sugar
+// ---------------------------------------------------------------------------
+
+/// Protocol-specific conveniences on the generic [`ScenarioBuilder`]: each method is
+/// `.build(<factory>)` with the factory spelled inline.
+pub trait ScenarioExt: Sized {
+    /// Consensus with one input per correct node.
+    fn consensus(self, inputs: &[u64]) -> Harness<ConsensusFactory>;
+    /// Reliable broadcast with a correct designated sender broadcasting `value`.
+    fn broadcast(self, value: u64) -> Harness<BroadcastFactory>;
+    /// Reliable broadcast with an equivocating Byzantine designated sender.
+    fn broadcast_equivocating(self, value_a: u64, value_b: u64) -> Harness<BroadcastFactory>;
+    /// The standalone rotor-coordinator.
+    fn rotor(self) -> Harness<RotorFactory>;
+    /// Single-shot approximate agreement on the given correct inputs.
+    fn approx(self, inputs: &[f64]) -> Harness<ApproxFactory>;
+    /// Iterated approximate agreement over `iterations` halving rounds.
+    fn iterated_approx(self, inputs: &[f64], iterations: u64) -> Harness<IteratedApproxFactory>;
+    /// Parallel consensus over shared `(instance, value)` pairs.
+    fn parallel_consensus(self, pairs: &[(u64, u64)]) -> Harness<ParallelConsensusFactory>;
+    /// Dynamic total ordering driven by an input plan.
+    fn total_order(self, plan: TotalOrderPlan<u64>) -> Harness<TotalOrderFactory<u64>>;
+}
+
+impl ScenarioExt for ScenarioBuilder {
+    fn consensus(self, inputs: &[u64]) -> Harness<ConsensusFactory> {
+        self.build(ConsensusFactory::new(inputs.to_vec()))
+    }
+
+    fn broadcast(self, value: u64) -> Harness<BroadcastFactory> {
+        self.build(BroadcastFactory::correct_source(value))
+    }
+
+    fn broadcast_equivocating(self, value_a: u64, value_b: u64) -> Harness<BroadcastFactory> {
+        self.build(BroadcastFactory::equivocating_source(value_a, value_b))
+    }
+
+    fn rotor(self) -> Harness<RotorFactory> {
+        self.build(RotorFactory)
+    }
+
+    fn approx(self, inputs: &[f64]) -> Harness<ApproxFactory> {
+        self.build(ApproxFactory::new(inputs.to_vec()))
+    }
+
+    fn iterated_approx(self, inputs: &[f64], iterations: u64) -> Harness<IteratedApproxFactory> {
+        self.build(IteratedApproxFactory::new(inputs.to_vec(), iterations))
+    }
+
+    fn parallel_consensus(self, pairs: &[(u64, u64)]) -> Harness<ParallelConsensusFactory> {
+        self.build(ParallelConsensusFactory::new(pairs.to_vec()))
+    }
+
+    fn total_order(self, plan: TotalOrderPlan<u64>) -> Harness<TotalOrderFactory<u64>> {
+        self.build(TotalOrderFactory::new(plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consensus_factory_reports_agreement_and_validity() {
+        let inputs = [0u64, 1, 0, 1, 0, 1, 0];
+        for kind in [
+            AdversaryKind::Silent,
+            AdversaryKind::AnnounceThenSilent,
+            AdversaryKind::PartialAnnounce,
+            AdversaryKind::SplitVote,
+        ] {
+            let report = Simulation::scenario()
+                .correct(7)
+                .byzantine(2)
+                .seed(3)
+                .adversary(kind)
+                .consensus(&inputs)
+                .run()
+                .unwrap();
+            assert!(report.completed(), "consensus finished under {kind:?}");
+            let section = report.consensus.expect("consensus section");
+            assert!(section.agreement, "agreement under {kind:?}");
+            assert!(section.validity, "validity under {kind:?}");
+            assert!(section.undecided.is_empty());
+            assert!(report.rounds > 0 && report.messages.correct > 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_factories_report_consistency() {
+        let correct = Simulation::scenario()
+            .correct(7)
+            .byzantine(2)
+            .seed(5)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .broadcast(42)
+            .run()
+            .unwrap();
+        let section = correct.broadcast.expect("broadcast section");
+        assert!(section.consistent);
+        assert!(section.source_correct);
+        assert!(section
+            .accepted
+            .iter()
+            .all(|set| set.values.iter().map(|&(m, _)| m).eq([42u64])));
+
+        let equivocating = Simulation::scenario()
+            .correct(7)
+            .byzantine(2)
+            .seed(5)
+            .broadcast_equivocating(1, 2)
+            .run()
+            .unwrap();
+        let section = equivocating.broadcast.expect("broadcast section");
+        assert_eq!(equivocating.adversary, "equivocating-source");
+        assert!(!section.source_correct);
+        assert!(
+            section.consistent,
+            "equivocation must be exposed consistently"
+        );
+    }
+
+    #[test]
+    fn rotor_factory_finds_a_good_round() {
+        let report = Simulation::scenario()
+            .correct(7)
+            .byzantine(2)
+            .seed(7)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .rotor()
+            .run()
+            .unwrap();
+        let section = report.rotor.expect("rotor section");
+        assert!(section.good_round);
+        assert!(section.selected >= 1);
+    }
+
+    #[test]
+    fn approx_factory_reports_contraction() {
+        let inputs: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        let report = Simulation::scenario()
+            .correct(10)
+            .byzantine(3)
+            .seed(9)
+            .adversary(AdversaryKind::Worst)
+            .approx(&inputs)
+            .run()
+            .unwrap();
+        assert_eq!(report.adversary, "extreme-outliers");
+        let section = report.approx.expect("approx section");
+        assert!(section.outputs_in_range);
+        assert!(section.contraction < 1.0);
+
+        let spreads = Simulation::scenario()
+            .correct(10)
+            .byzantine(3)
+            .seed(9)
+            .iterated_approx(&inputs, 5)
+            .run()
+            .unwrap()
+            .spreads
+            .expect("spread section")
+            .per_iteration;
+        assert_eq!(spreads.len(), 5);
+        assert!(
+            spreads.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "spread is non-increasing"
+        );
+        assert!(spreads.last().unwrap() < &10.0);
+    }
+
+    #[test]
+    fn parallel_factory_rejects_ghost_pairs() {
+        let pairs: Vec<(u64, u64)> = (0..4).map(|i| (i, 100 + i)).collect();
+        let report = Simulation::scenario()
+            .correct(7)
+            .byzantine(2)
+            .seed(11)
+            .max_rounds(500)
+            .adversary(AdversaryKind::Worst)
+            .build(
+                ParallelConsensusFactory::new(pairs.clone())
+                    .with_ghost_pairs(vec![(1_000_001, 13), (1_000_002, 17)]),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.adversary, "ghost-pair-injector");
+        let section = report.parallel.expect("parallel section");
+        assert!(section.agreement);
+        for decision in &section.decisions {
+            assert!(
+                decision.pairs.iter().all(|&(id, _)| id < 1_000_000),
+                "ghost pair output"
+            );
+            for pair in &pairs {
+                assert!(
+                    decision.pairs.contains(pair),
+                    "a unanimous real pair was dropped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_factory_runs_events_under_churn() {
+        use uba_simnet::{ChurnEvent, ChurnSchedule};
+        let joiner = NodeId::new(999_999);
+        let mut plan = TotalOrderPlan::rounds(60);
+        for round in 1..=50u64 {
+            plan = plan.event(round, (round % 3) as usize, round);
+        }
+        let plan = plan.leave(40, 3);
+        let churn = ChurnSchedule::empty().with(13, ChurnEvent::JoinCorrect(joiner));
+        let report = Simulation::scenario()
+            .correct(4)
+            .byzantine(0)
+            .seed(13)
+            .churn(churn)
+            .total_order(plan)
+            .run()
+            .unwrap();
+        let section = report.chain.expect("chain section");
+        assert!(section.prefix_ok, "chain-prefix violated");
+        assert!(
+            section.lengths.iter().any(|&(id, _)| id == joiner),
+            "joiner still present"
+        );
+        assert!(
+            section.lengths.iter().any(|&(_, len)| len > 0),
+            "events were finalised"
+        );
+        assert_eq!(section.lengths.len(), 5, "4 founders + 1 joiner");
+    }
+
+    #[test]
+    fn run_report_round_trips_through_serde_json_shapes() {
+        let inputs = [0u64, 1, 0, 1, 0];
+        let report = Simulation::scenario()
+            .correct(5)
+            .byzantine(1)
+            .seed(21)
+            .adversary(AdversaryKind::SplitVote)
+            .consensus(&inputs)
+            .run()
+            .unwrap();
+        let value = serde::Serialize::to_value(&report);
+        let back: RunReport = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn cap_exhaustion_is_a_status_not_an_error() {
+        // n = 3f with a split-vote adversary may never decide; the report must say
+        // so instead of erroring.
+        let inputs = [0u64, 1, 0, 1];
+        let report = Simulation::scenario()
+            .correct(4)
+            .byzantine(2)
+            .seed(23)
+            .max_rounds(60)
+            .adversary(AdversaryKind::SplitVote)
+            .consensus(&inputs)
+            .run()
+            .unwrap();
+        match report.status {
+            RunStatus::Completed { .. } => {
+                assert!(report.consensus.unwrap().undecided.is_empty());
+            }
+            RunStatus::MaxRoundsExceeded { limit } => {
+                assert_eq!(limit, 60);
+                assert_eq!(report.rounds, 60);
+            }
+        }
+    }
+}

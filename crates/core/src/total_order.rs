@@ -66,14 +66,22 @@ pub struct OrderedEvent<E> {
 pub fn chains_agree<E: Opinion>(chains: &[Vec<OrderedEvent<E>>]) -> bool {
     for a in chains {
         for b in chains {
-            let (Some(a_first), Some(b_first)) = (a.first(), b.first()) else { continue };
-            let (Some(a_last), Some(b_last)) = (a.last(), b.last()) else { continue };
+            let (Some(a_first), Some(b_first)) = (a.first(), b.first()) else {
+                continue;
+            };
+            let (Some(a_last), Some(b_last)) = (a.last(), b.last()) else {
+                continue;
+            };
             let lo = a_first.round.max(b_first.round);
             let hi = a_last.round.min(b_last.round);
-            let a_window: Vec<&OrderedEvent<E>> =
-                a.iter().filter(|e| e.round >= lo && e.round <= hi).collect();
-            let b_window: Vec<&OrderedEvent<E>> =
-                b.iter().filter(|e| e.round >= lo && e.round <= hi).collect();
+            let a_window: Vec<&OrderedEvent<E>> = a
+                .iter()
+                .filter(|e| e.round >= lo && e.round <= hi)
+                .collect();
+            let b_window: Vec<&OrderedEvent<E>> = b
+                .iter()
+                .filter(|e| e.round >= lo && e.round <= hi)
+                .collect();
             if a_window != b_window {
                 return false;
             }
@@ -218,11 +226,15 @@ impl<E: Opinion> TotalOrderNode<E> {
             if next >= self.round {
                 break;
             }
-            let Some(instance) = self.instances.get(&next) else { break };
+            let Some(instance) = self.instances.get(&next) else {
+                break;
+            };
             if !Self::is_final(self.round, next, instance.members.len()) {
                 break;
             }
-            let Some(decided) = &instance.decided else { break };
+            let Some(decided) = &instance.decided else {
+                break;
+            };
             for (witness_raw, event) in decided {
                 self.chain.push(OrderedEvent {
                     round: next,
@@ -399,7 +411,11 @@ mod tests {
     type Node = TotalOrderNode<u64>;
 
     fn founders(n: usize, seed: u64) -> Vec<Node> {
-        IdSpace::default().generate(n, seed).into_iter().map(TotalOrderNode::founding).collect()
+        IdSpace::default()
+            .generate(n, seed)
+            .into_iter()
+            .map(TotalOrderNode::founding)
+            .collect()
     }
 
     fn assert_chain_prefix(chains: &[Vec<OrderedEvent<u64>>]) {
@@ -485,7 +501,11 @@ mod tests {
         engine.run_rounds(6).unwrap();
         let joiner = engine.node(joiner_id).unwrap();
         assert!(joiner.is_joined());
-        assert_eq!(joiner.members().len(), 5, "the joiner learns every acking member plus itself");
+        assert_eq!(
+            joiner.members().len(),
+            5,
+            "the joiner learns every acking member plus itself"
+        );
         // The joiner's round tracks the founders' round (they are one step ahead at
         // most, depending on when the acks were processed).
         let founder_round = engine.nodes()[0].round();
@@ -499,11 +519,19 @@ mod tests {
         let mut engine = SyncEngine::new(founders(5, 4), SilentAdversary, vec![]);
         engine.run_rounds(5).unwrap();
         let leaver = engine.correct_ids()[4];
-        engine.nodes_mut().iter_mut().find(|n| n.id() == leaver).unwrap().announce_leave();
+        engine
+            .nodes_mut()
+            .iter_mut()
+            .find(|n| n.id() == leaver)
+            .unwrap()
+            .announce_leave();
         engine.run_rounds(3).unwrap();
         for node in engine.nodes() {
             if node.id() != leaver {
-                assert!(!node.members().contains(&leaver), "absent node must be dropped from S");
+                assert!(
+                    !node.members().contains(&leaver),
+                    "absent node must be dropped from S"
+                );
             }
         }
     }
@@ -519,7 +547,11 @@ mod tests {
             "an event submitted by a correct node must eventually be ordered: {chain:?}"
         );
         assert_chain_prefix(
-            &engine.nodes().iter().map(|n| n.chain().to_vec()).collect::<Vec<_>>(),
+            &engine
+                .nodes()
+                .iter()
+                .map(|n| n.chain().to_vec())
+                .collect::<Vec<_>>(),
         );
     }
 }

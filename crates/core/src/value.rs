@@ -131,7 +131,10 @@ mod tests {
         let b = Real::from_f64(1.2);
         assert!(a < b);
         assert_eq!(a.max(b), b);
-        assert_eq!(Real::from_f64(0.1) + Real::from_f64(0.2), Real::from_f64(0.3));
+        assert_eq!(
+            Real::from_f64(0.1) + Real::from_f64(0.2),
+            Real::from_f64(0.3)
+        );
     }
 
     #[test]
@@ -151,7 +154,10 @@ mod tests {
     #[test]
     fn arithmetic_behaves_like_fixed_point() {
         assert_eq!(Real::from_int(3) - Real::from_int(5), Real::from_int(-2));
-        assert_eq!(Real::from_int(3).abs_diff(Real::from_int(5)), Real::from_int(2));
+        assert_eq!(
+            Real::from_int(3).abs_diff(Real::from_int(5)),
+            Real::from_int(2)
+        );
         assert_eq!(Real::ZERO, Real::from_int(0));
     }
 

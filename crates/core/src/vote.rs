@@ -22,7 +22,9 @@ pub struct VoteTally<V: Opinion> {
 impl<V: Opinion> VoteTally<V> {
     /// Creates an empty tally.
     pub fn new() -> Self {
-        VoteTally { votes: BTreeMap::new() }
+        VoteTally {
+            votes: BTreeMap::new(),
+        }
     }
 
     /// Records that `voter` supports `value`. Returns true if this was a new vote.

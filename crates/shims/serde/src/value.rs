@@ -1,0 +1,172 @@
+//! The JSON-like tree every type serializes through.
+
+use crate::Error;
+
+/// A JSON-like value tree.
+///
+/// Integers keep their full 64-bit precision (`U64`/`I64` are separate from `F64`)
+/// because node identifiers in this repository are arbitrary 64-bit values that a
+/// float round-trip would corrupt. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or explicitly signed) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered list of `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared `null` used for absent object fields.
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as an unsigned integer, if it is one (or a non-negative signed one).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(x) => Some(x),
+            Value::I64(x) if x >= 0 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) => i64::try_from(x).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::U64(x) => Some(x as f64),
+            Value::I64(x) => Some(x as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's `(key, value)` pairs, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (`None` when absent or not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Field access used by derived `Deserialize` impls: errors when `self` is not an
+    /// object, and maps an absent key to `null` so `Option` fields deserialize.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => Ok(fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(Error::msg(format!(
+                "expected object with field `{key}`, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Array access used by derived `Deserialize` impls on tuple shapes.
+    pub fn element(&self, index: usize, expected: usize) -> Result<&Value, Error> {
+        let items = self
+            .as_array()
+            .ok_or_else(|| Error::msg(format!("expected array of {expected}, found {self:?}")))?;
+        if items.len() != expected {
+            return Err(Error::msg(format!(
+                "expected array of {expected} elements, found {}",
+                items.len()
+            )));
+        }
+        Ok(&items[index])
+    }
+
+    /// Splits an externally tagged enum value into `(variant name, payload)`.
+    ///
+    /// A bare string is a unit variant (payload `null`); a single-key object is a
+    /// data-carrying variant.
+    pub fn enum_parts(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Str(tag) => Ok((tag, &NULL)),
+            Value::Object(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
+            other => Err(Error::msg(format!(
+                "expected enum encoding, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_shapes() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.field("missing").unwrap(), &Value::Null);
+        assert!(Value::U64(1).field("x").is_err());
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn enum_parts_handles_both_encodings() {
+        let unit = Value::Str("Silent".into());
+        assert_eq!(unit.enum_parts().unwrap(), ("Silent", &Value::Null));
+        let data = Value::Object(vec![("Unicast".into(), Value::U64(9))]);
+        let (tag, payload) = data.enum_parts().unwrap();
+        assert_eq!(tag, "Unicast");
+        assert_eq!(payload.as_u64(), Some(9));
+        assert!(Value::U64(3).enum_parts().is_err());
+    }
+
+    #[test]
+    fn signed_unsigned_conversions() {
+        assert_eq!(Value::I64(5).as_u64(), Some(5));
+        assert_eq!(Value::I64(-5).as_u64(), None);
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+    }
+}

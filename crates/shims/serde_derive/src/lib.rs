@@ -1,0 +1,450 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the shim
+//! `serde` crate without `syn`/`quote` (neither is available offline): the item is
+//! parsed directly from the raw token stream and the impl is emitted as source text.
+//!
+//! Supported shapes — the ones that occur in this workspace:
+//!
+//! * structs with named fields, tuple structs (including newtypes), unit structs;
+//! * enums with unit, tuple and struct variants;
+//! * type generics without bounds or lifetimes (e.g. `Envelope<P>`), which are
+//!   bounded by the respective serde trait in the generated impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the shim `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    pos += 1;
+
+    let generics = parse_generics(&tokens, &mut pos);
+
+    // Tolerate (and skip) a `where` clause, which ends at the body or semicolon.
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => pos += 1,
+            }
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(group.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(punct)) if punct.as_char() == '#' => {
+                *pos += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` returning the type-parameter names; bounds and lifetimes are
+/// not supported (none of the serde-derived types in this workspace use them).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while *pos < tokens.len() && depth > 0 {
+        match &tokens[*pos] {
+            TokenTree::Punct(punct) => match punct.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expecting_param = true,
+                _ => {}
+            },
+            TokenTree::Ident(ident) if depth == 1 && expecting_param => {
+                params.push(ident.to_string());
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+/// Parses `{ name: Type, ... }` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(name.to_string());
+        pos += 1;
+        assert!(
+            matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        pos += 1;
+        // Skip the type, tracking generic-bracket depth so a `,` inside `<...>` does
+        // not end the field.
+        let mut depth = 0usize;
+        while pos < tokens.len() {
+            if let TokenTree::Punct(punct) = &tokens[pos] {
+                match punct.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0usize;
+    for (index, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(punct) = token {
+            match punct.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                // A trailing comma does not start a new field.
+                ',' if depth == 0 && index + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(group.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(punct) = &tokens[pos] {
+                if punct.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} ", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} \
+                 ::serde::Value::Object(fields)"
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    let type_name = &item.name;
+                    match &variant.fields {
+                        VariantFields::Unit => format!(
+                            "{type_name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{type_name}::{vname}(f0) => ::serde::Value::Object(vec![({vname:?}\
+                             .to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{type_name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}\
+                                 .to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{type_name}::{vname} {{ {binders} }} => \
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                                 ::serde::Value::Object(vec![{}]))]),",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{header}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let type_name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__value.field({f:?})?)?"))
+                .collect();
+            format!("Ok({type_name} {{ {} }})", inits.join(", "))
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({type_name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(__value.element({i}, {n})?)?"))
+                .collect();
+            format!("Ok({type_name}({}))", inits.join(", "))
+        }
+        Kind::UnitStruct => format!("Ok({type_name})"),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        VariantFields::Unit => {
+                            format!("{vname:?} => Ok({type_name}::{vname}),")
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{vname:?} => Ok({type_name}::{vname}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         __payload.element({i}, {n})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => Ok({type_name}::{vname}({})),",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __payload.field({f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => Ok({type_name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = __value.enum_parts()?; let _ = __payload; \
+                 match __tag {{ {arms} \
+                 other => Err(::serde::Error::msg(format!(\
+                 \"unknown {type_name} variant `{{other}}`\"))), }}"
+            )
+        }
+    };
+    format!(
+        "{header}{{ fn from_value(__value: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        header = impl_header(item, "Deserialize")
+    )
+}

@@ -36,8 +36,12 @@ pub struct AdversaryView<'a, P> {
 impl<'a, P> AdversaryView<'a, P> {
     /// All identifiers currently in the system (correct and Byzantine).
     pub fn all_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> =
-            self.correct_ids.iter().chain(self.byzantine_ids.iter()).copied().collect();
+        let mut ids: Vec<NodeId> = self
+            .correct_ids
+            .iter()
+            .chain(self.byzantine_ids.iter())
+            .copied()
+            .collect();
         ids.sort_unstable();
         ids
     }
@@ -87,7 +91,10 @@ where
 {
     /// Wraps a closure as an adversary.
     pub fn new(f: F) -> Self {
-        FnAdversary { f, _marker: std::marker::PhantomData }
+        FnAdversary {
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -145,7 +152,9 @@ impl ReplayAdversary {
     /// identities only talk to correct nodes whose raw identifier is even, otherwise
     /// to those with odd raw identifiers.
     pub fn new(visible_to_even_raw_ids: bool) -> Self {
-        ReplayAdversary { visible_to_even_raw_ids }
+        ReplayAdversary {
+            visible_to_even_raw_ids,
+        }
     }
 }
 
@@ -155,8 +164,11 @@ impl<P: Clone> Adversary<P> for ReplayAdversary {
         let Some(template_sender) = view.correct_ids.iter().copied().min() else {
             return Vec::new();
         };
-        let template: Vec<&Directed<P>> =
-            view.correct_traffic.iter().filter(|m| m.from == template_sender).collect();
+        let template: Vec<&Directed<P>> = view
+            .correct_traffic
+            .iter()
+            .filter(|m| m.from == template_sender)
+            .collect();
         let mut out = Vec::new();
         for &byz in view.byzantine_ids {
             for msg in &template {
@@ -178,7 +190,12 @@ mod tests {
     static BYZ: [NodeId; 1] = [NodeId::new(9)];
 
     fn view<'a>(traffic: &'a [Directed<u32>]) -> AdversaryView<'a, u32> {
-        AdversaryView { round: 3, correct_ids: &CORRECT, byzantine_ids: &BYZ, correct_traffic: traffic }
+        AdversaryView {
+            round: 3,
+            correct_ids: &CORRECT,
+            byzantine_ids: &BYZ,
+            correct_traffic: traffic,
+        }
     }
 
     #[test]
@@ -226,7 +243,9 @@ mod tests {
         let out = adv.step(&view(&traffic));
         // Only even-raw-id correct recipients (n2, n4) get the replayed payload 5, from n9.
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|m| m.from == NodeId::new(9) && m.payload == 5));
+        assert!(out
+            .iter()
+            .all(|m| m.from == NodeId::new(9) && m.payload == 5));
         assert!(out.iter().any(|m| m.to == NodeId::new(2)));
         assert!(out.iter().any(|m| m.to == NodeId::new(4)));
     }
@@ -236,7 +255,15 @@ mod tests {
         let traffic: Vec<Directed<u32>> = vec![];
         let v = view(&traffic);
         let all = v.all_ids();
-        assert_eq!(all, vec![NodeId::new(2), NodeId::new(4), NodeId::new(5), NodeId::new(9)]);
+        assert_eq!(
+            all,
+            vec![
+                NodeId::new(2),
+                NodeId::new(4),
+                NodeId::new(5),
+                NodeId::new(9)
+            ]
+        );
     }
 
     #[test]

@@ -108,7 +108,13 @@ pub struct DelayEngine<N: Protocol> {
 impl<N: Protocol> DelayEngine<N> {
     /// Creates a delay engine over the given nodes and delay model.
     pub fn new(nodes: Vec<N>, model: DelayModel) -> Self {
-        DelayEngine { nodes, in_flight: Vec::new(), tick: 0, model, metrics: Metrics::new() }
+        DelayEngine {
+            nodes,
+            in_flight: Vec::new(),
+            tick: 0,
+            model,
+            metrics: Metrics::new(),
+        }
     }
 
     /// The number of ticks executed so far.
@@ -151,7 +157,10 @@ impl<N: Protocol> DelayEngine<N> {
         for (when, msg) in std::mem::take(&mut self.in_flight) {
             if when <= now {
                 let inbox = due.entry(msg.to).or_default();
-                if !inbox.iter().any(|e| e.from == msg.from && e.payload == msg.payload) {
+                if !inbox
+                    .iter()
+                    .any(|e| e.from == msg.from && e.payload == msg.payload)
+                {
                     deliveries += 1;
                     inbox.push(Envelope::new(msg.from, msg.payload));
                 }
@@ -257,7 +266,12 @@ mod tests {
     fn voters(inputs: &[(u64, u8)]) -> Vec<NaiveVoter> {
         inputs
             .iter()
-            .map(|&(id, input)| NaiveVoter { id: NodeId::new(id), input, heard: vec![], decided: None })
+            .map(|&(id, input)| NaiveVoter {
+                id: NodeId::new(id),
+                input,
+                heard: vec![],
+                decided: None,
+            })
             .collect()
     }
 
@@ -268,8 +282,15 @@ mod tests {
             DelayModel::Synchronous,
         );
         engine.run_until_all_terminated(10).unwrap();
-        let outputs: Vec<u8> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
-        assert!(outputs.iter().all(|&o| o == outputs[0]), "all nodes agree under synchrony");
+        let outputs: Vec<u8> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
+        assert!(
+            outputs.iter().all(|&o| o == outputs[0]),
+            "all nodes agree under synchrony"
+        );
     }
 
     #[test]
@@ -279,10 +300,17 @@ mod tests {
             .with_group(1, [NodeId::new(3), NodeId::new(4)]);
         let mut engine = DelayEngine::new(
             voters(&[(1, 1), (2, 1), (3, 0), (4, 0)]),
-            DelayModel::Partitioned { spec, cross_delay: None },
+            DelayModel::Partitioned {
+                spec,
+                cross_delay: None,
+            },
         );
         engine.run_until_all_terminated(10).unwrap();
-        let outputs: Vec<u8> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        let outputs: Vec<u8> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         // Group 0 decides 1, group 1 decides 0 — exactly the Lemma 14 construction.
         assert_eq!(outputs, vec![1, 1, 0, 0]);
     }
@@ -294,10 +322,17 @@ mod tests {
             .with_group(1, [NodeId::new(3), NodeId::new(4)]);
         let mut engine = DelayEngine::new(
             voters(&[(1, 1), (2, 1), (3, 0), (4, 0)]),
-            DelayModel::Partitioned { spec, cross_delay: Some(50) },
+            DelayModel::Partitioned {
+                spec,
+                cross_delay: Some(50),
+            },
         );
         engine.run_until_all_terminated(10).unwrap();
-        let outputs: Vec<u8> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+        let outputs: Vec<u8> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
         assert_eq!(outputs, vec![1, 1, 0, 0]);
         // The cross-partition messages exist but are still in flight: bounded delay,
         // unknown to the nodes, is enough to break agreement (Lemma 15).
@@ -313,8 +348,7 @@ mod tests {
 
     #[test]
     fn metrics_track_ticks_and_messages() {
-        let mut engine =
-            DelayEngine::new(voters(&[(1, 1), (2, 0)]), DelayModel::Synchronous);
+        let mut engine = DelayEngine::new(voters(&[(1, 1), (2, 0)]), DelayModel::Synchronous);
         engine.run_until_all_terminated(10).unwrap();
         assert!(engine.metrics().rounds >= 3);
         assert_eq!(engine.metrics().correct_messages, 4); // 2 broadcasts × 2 recipients

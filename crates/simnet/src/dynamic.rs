@@ -38,7 +38,10 @@ impl ChurnEvent {
 
     /// Whether the event is a join (of either kind).
     pub fn is_join(&self) -> bool {
-        matches!(self, ChurnEvent::JoinCorrect(_) | ChurnEvent::JoinByzantine(_))
+        matches!(
+            self,
+            ChurnEvent::JoinCorrect(_) | ChurnEvent::JoinByzantine(_)
+        )
     }
 }
 
@@ -70,7 +73,11 @@ impl ChurnSchedule {
 
     /// All events scheduled to take effect before `round`, in insertion order.
     pub fn events_before_round(&self, round: u64) -> Vec<ChurnEvent> {
-        self.events.iter().filter(|(r, _)| *r == round).map(|(_, e)| *e).collect()
+        self.events
+            .iter()
+            .filter(|(r, _)| *r == round)
+            .map(|(_, e)| *e)
+            .collect()
     }
 
     /// Total number of scheduled events.
@@ -111,7 +118,7 @@ impl ChurnSchedule {
                 }
             }
             let n = correct + byz;
-            if !(n > 3 * byz) || correct < 0 || byz < 0 {
+            if n <= 3 * byz || correct < 0 || byz < 0 {
                 return Some(round);
             }
         }
@@ -156,14 +163,16 @@ mod tests {
     fn resiliency_check_catches_violation() {
         // 4 correct, 1 byzantine; adding another byzantine at round 2 gives n = 6, f = 2:
         // 6 > 6 is false, so round 2 violates n > 3f.
-        let schedule =
-            ChurnSchedule::empty().with(2, ChurnEvent::JoinByzantine(NodeId::new(50)));
+        let schedule = ChurnSchedule::empty().with(2, ChurnEvent::JoinByzantine(NodeId::new(50)));
         assert_eq!(schedule.first_resiliency_violation(4, 1), Some(2));
     }
 
     #[test]
     fn empty_schedule_has_no_violation() {
-        assert_eq!(ChurnSchedule::empty().first_resiliency_violation(1, 0), None);
+        assert_eq!(
+            ChurnSchedule::empty().first_resiliency_violation(1, 0),
+            None
+        );
         assert_eq!(ChurnSchedule::empty().horizon(), 0);
     }
 }

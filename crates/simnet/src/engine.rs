@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use crate::adversary::{Adversary, AdversaryView};
+use crate::dynamic::{ChurnEvent, ChurnSchedule};
 use crate::error::SimError;
 use crate::id::NodeId;
 use crate::message::{Destination, Directed, Envelope};
@@ -32,8 +33,9 @@ use crate::trace::{TraceEvent, TraceLog};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Hard cap on the number of rounds executed by the `run_until*` helpers; a run
-    /// that reaches the cap returns [`SimError::MaxRoundsExceeded`]. This protects
-    /// experiments against livelock caused by a bug or by a too-strong adversary.
+    /// that reaches the cap stops with [`RunOutcome::MaxRoundsExceeded`]. This
+    /// protects experiments against livelock caused by a bug or by a too-strong
+    /// adversary.
     pub max_rounds: u64,
     /// Whether to keep a [`TraceLog`] of every delivery (memory-heavy; off by default).
     pub trace: bool,
@@ -43,18 +45,73 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { max_rounds: 10_000, trace: false, trace_capacity: 1 << 20 }
+        EngineConfig {
+            max_rounds: 10_000,
+            trace: false,
+            trace_capacity: 1 << 20,
+        }
     }
 }
 
 /// Why a `run_until*` helper stopped.
+///
+/// Cap exhaustion is part of the *outcome*, not an error: outside the `n > 3f`
+/// resiliency bound a protocol may legitimately never meet its stop condition, and
+/// experiments record that as a result rather than aborting. Engine errors
+/// ([`SimError`]) remain reserved for genuine rule violations such as forged sender
+/// identities.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "check whether the run completed or exhausted its round cap"]
 pub enum RunOutcome {
     /// The stop condition was satisfied after the recorded number of rounds.
     Completed {
         /// Rounds executed in total when the condition became true.
         rounds: u64,
     },
+    /// The configured round cap was reached before the stop condition was met.
+    MaxRoundsExceeded {
+        /// The cap that was hit (also the number of rounds executed).
+        limit: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the stop condition was met before the round cap.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+
+    /// Rounds executed when the run stopped, regardless of why it stopped.
+    pub fn rounds(&self) -> u64 {
+        match *self {
+            RunOutcome::Completed { rounds } => rounds,
+            RunOutcome::MaxRoundsExceeded { limit } => limit,
+        }
+    }
+
+    /// Converts cap exhaustion into [`SimError::MaxRoundsExceeded`] for callers that
+    /// treat an unfinished run as a hard failure (the pre-redesign behaviour).
+    pub fn expect_completed(self) -> Result<u64, SimError> {
+        match self {
+            RunOutcome::Completed { rounds } => Ok(rounds),
+            RunOutcome::MaxRoundsExceeded { limit } => Err(SimError::MaxRoundsExceeded { limit }),
+        }
+    }
+}
+
+/// A churn plan bound to a node constructor, applied by the engine between rounds.
+///
+/// The schedule says *who* joins or leaves and *when*; the `joiner` callback says how
+/// to construct a correct node for a joining identifier (the engine cannot know how
+/// to initialise protocol state). Registered with [`SyncEngine::set_churn`].
+struct ChurnDriver<N> {
+    schedule: ChurnSchedule,
+    joiner: Box<dyn FnMut(NodeId) -> N>,
+    /// Highest round whose events have been (at least partially) applied. Guards a
+    /// retried `run_round` after a failed event from re-applying the round's earlier
+    /// events (which would turn one inapplicable event into spurious DuplicateId
+    /// errors for the events that did apply).
+    applied_upto: u64,
 }
 
 /// The synchronous round engine (see module docs).
@@ -67,6 +124,7 @@ pub struct SyncEngine<N: Protocol, A: Adversary<N::Payload>> {
     metrics: Metrics,
     trace: Option<TraceLog<N::Payload>>,
     config: EngineConfig,
+    churn: Option<ChurnDriver<N>>,
 }
 
 impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
@@ -85,7 +143,9 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         byzantine_ids: Vec<NodeId>,
         config: EngineConfig,
     ) -> Self {
-        let trace = config.trace.then(|| TraceLog::with_capacity(config.trace_capacity));
+        let trace = config
+            .trace
+            .then(|| TraceLog::with_capacity(config.trace_capacity));
         SyncEngine {
             nodes,
             adversary,
@@ -95,13 +155,66 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             metrics: Metrics::new(),
             trace,
             config,
+            churn: None,
         }
+    }
+
+    /// Registers a churn plan that the engine applies itself: before executing round
+    /// `r`, every [`ChurnEvent`] scheduled for `r` takes effect — correct joiners are
+    /// constructed through `joiner`, leavers are removed, and Byzantine identities
+    /// are handed to (or taken from) the adversary. This replaces the older pattern
+    /// of drivers interleaving `add_node` / `remove_node` calls with `run_rounds`.
+    pub fn set_churn(
+        &mut self,
+        schedule: ChurnSchedule,
+        joiner: impl FnMut(NodeId) -> N + 'static,
+    ) {
+        self.churn = Some(ChurnDriver {
+            schedule,
+            joiner: Box::new(joiner),
+            applied_upto: 0,
+        });
+    }
+
+    /// Applies the churn events scheduled to take effect before `round`. Each round's
+    /// events are applied at most once, even if an error made the caller retry
+    /// `run_round`; the error surfaces once and a retry proceeds with whatever did
+    /// apply.
+    fn apply_churn(&mut self, round: u64) -> Result<(), SimError> {
+        let Some(mut driver) = self.churn.take() else {
+            return Ok(());
+        };
+        if round <= driver.applied_upto {
+            self.churn = Some(driver);
+            return Ok(());
+        }
+        driver.applied_upto = round;
+        let mut result = Ok(());
+        for event in driver.schedule.events_before_round(round) {
+            let applied = match event {
+                ChurnEvent::JoinCorrect(id) => self.add_node((driver.joiner)(id)),
+                ChurnEvent::LeaveCorrect(id) => self.remove_node(id).map(|_| ()),
+                ChurnEvent::JoinByzantine(id) => self.add_byzantine_id(id),
+                ChurnEvent::LeaveByzantine(id) => self.remove_byzantine_id(id),
+            };
+            if let Err(error) = applied {
+                result = Err(error);
+                break;
+            }
+        }
+        self.churn = Some(driver);
+        result
     }
 
     /// Validates that no identifier is used twice across correct and Byzantine nodes.
     pub fn validate_ids(&self) -> Result<(), SimError> {
         let mut seen = std::collections::HashSet::new();
-        for id in self.nodes.iter().map(|n| n.id()).chain(self.byzantine_ids.iter().copied()) {
+        for id in self
+            .nodes
+            .iter()
+            .map(|n| n.id())
+            .chain(self.byzantine_ids.iter().copied())
+        {
             if !seen.insert(id) {
                 return Err(SimError::DuplicateId(id));
             }
@@ -194,8 +307,9 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
     }
 
     /// Executes one synchronous round. Returns an error only if the adversary tried
-    /// to forge a sender identity.
+    /// to forge a sender identity or a registered churn event was inapplicable.
     pub fn run_round(&mut self) -> Result<(), SimError> {
+        self.apply_churn(self.round + 1)?;
         self.round += 1;
         let ctx = RoundContext::new(self.round);
         let correct_ids = self.correct_ids();
@@ -249,14 +363,16 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         let byz_count = byzantine_traffic.len() as u64;
         let mut deliveries = 0u64;
         let byz_ids = self.byzantine_ids.clone();
-        for msg in correct_traffic.into_iter().chain(byzantine_traffic.into_iter()) {
+        for msg in correct_traffic.into_iter().chain(byzantine_traffic) {
             if !correct_ids.contains(&msg.to) {
                 // Messages to Byzantine nodes are "delivered" to the adversary, which
                 // already saw everything via the rushing view; nothing to store.
                 continue;
             }
             let inbox = self.inboxes.entry(msg.to).or_default();
-            let dup = inbox.iter().any(|e| e.from == msg.from && e.payload == msg.payload);
+            let dup = inbox
+                .iter()
+                .any(|e| e.from == msg.from && e.payload == msg.payload);
             if dup {
                 continue;
             }
@@ -285,6 +401,10 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
 
     /// Runs rounds until `stop` returns true (checked after every round) or the
     /// configured round limit is hit.
+    ///
+    /// Cap exhaustion is reported as [`RunOutcome::MaxRoundsExceeded`], not as an
+    /// error — use [`RunOutcome::expect_completed`] where an unfinished run should be
+    /// treated as a failure.
     pub fn run_until<F>(&mut self, mut stop: F) -> Result<RunOutcome, SimError>
     where
         F: FnMut(&Self) -> bool,
@@ -298,7 +418,9 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
                 return Ok(RunOutcome::Completed { rounds: self.round });
             }
         }
-        Err(SimError::MaxRoundsExceeded { limit: self.config.max_rounds })
+        Ok(RunOutcome::MaxRoundsExceeded {
+            limit: self.config.max_rounds,
+        })
     }
 
     /// Runs rounds until every correct node has terminated, or at most `max_rounds`.
@@ -319,6 +441,20 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         let result = self.run_until(|engine| engine.nodes.iter().all(|n| n.output().is_some()));
         self.config.max_rounds = previous;
         result
+    }
+
+    /// Runs until every correct node has terminated, treating cap exhaustion as
+    /// [`SimError::MaxRoundsExceeded`]; returns the rounds executed. Convenience for
+    /// callers (mostly tests) for which an unfinished run *is* a failure.
+    pub fn run_to_termination(&mut self, max_rounds: u64) -> Result<u64, SimError> {
+        self.run_until_all_terminated(max_rounds)?
+            .expect_completed()
+    }
+
+    /// Runs until every correct node has produced an output, treating cap exhaustion
+    /// as [`SimError::MaxRoundsExceeded`]; returns the rounds executed.
+    pub fn run_to_output(&mut self, max_rounds: u64) -> Result<u64, SimError> {
+        self.run_until_all_output(max_rounds)?.expect_completed()
     }
 
     /// Runs exactly `rounds` additional rounds.
@@ -359,7 +495,12 @@ mod tests {
 
     impl Counter {
         fn new(id: NodeId, decide_round: u64) -> Self {
-            Counter { id, senders: Default::default(), decided: None, decide_round }
+            Counter {
+                id,
+                senders: Default::default(),
+                decided: None,
+                decide_round,
+            }
         }
     }
 
@@ -387,7 +528,9 @@ mod tests {
     }
 
     fn nodes(n: usize) -> Vec<Counter> {
-        (0..n).map(|i| Counter::new(NodeId::new(10 + 3 * i as u64), 3)).collect()
+        (0..n)
+            .map(|i| Counter::new(NodeId::new(10 + 3 * i as u64), 3))
+            .collect()
     }
 
     #[test]
@@ -405,10 +548,13 @@ mod tests {
     fn byzantine_messages_reach_correct_nodes() {
         let byz = NodeId::new(999);
         let adv = FnAdversary::new(move |v: &AdversaryView<'_, u64>| {
-            v.correct_ids.iter().map(|&to| Directed::new(byz, to, 4242)).collect()
+            v.correct_ids
+                .iter()
+                .map(|&to| Directed::new(byz, to, 4242))
+                .collect()
         });
         let mut engine = SyncEngine::new(nodes(4), adv, vec![byz]);
-        engine.run_until_all_terminated(10).unwrap();
+        engine.run_to_termination(10).unwrap();
         for (_, out) in engine.outputs() {
             assert_eq!(out, Some(5)); // 4 correct + 1 byzantine sender seen
         }
@@ -449,18 +595,74 @@ mod tests {
         let mut ns = nodes(3);
         ns.push(Counter::new(NodeId::new(10), 3));
         let engine = SyncEngine::new(ns, SilentAdversary, vec![]);
-        assert_eq!(engine.validate_ids().unwrap_err(), SimError::DuplicateId(NodeId::new(10)));
+        assert_eq!(
+            engine.validate_ids().unwrap_err(),
+            SimError::DuplicateId(NodeId::new(10))
+        );
     }
 
     #[test]
     fn run_until_respects_max_rounds() {
         // Nodes decide at round 100, cap at 5 rounds.
-        let ns: Vec<Counter> =
-            (0..3).map(|i| Counter::new(NodeId::new(i), 100)).collect();
+        let ns: Vec<Counter> = (0..3).map(|i| Counter::new(NodeId::new(i), 100)).collect();
         let mut engine = SyncEngine::new(ns, SilentAdversary, vec![]);
-        let err = engine.run_until_all_terminated(5).unwrap_err();
-        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 5 });
+        let outcome = engine.run_until_all_terminated(5).unwrap();
+        assert_eq!(outcome, RunOutcome::MaxRoundsExceeded { limit: 5 });
+        assert!(!outcome.is_completed());
+        assert_eq!(outcome.rounds(), 5);
+        assert_eq!(
+            outcome.expect_completed().unwrap_err(),
+            SimError::MaxRoundsExceeded { limit: 5 }
+        );
         assert_eq!(engine.round(), 5);
+    }
+
+    #[test]
+    fn completed_outcome_reports_rounds() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
+        let outcome = engine.run_until_all_terminated(10).unwrap();
+        assert!(outcome.is_completed());
+        assert_eq!(outcome.rounds(), 3);
+        assert_eq!(outcome.expect_completed().unwrap(), 3);
+    }
+
+    #[test]
+    fn engine_applies_registered_churn() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
+        let schedule = ChurnSchedule::empty()
+            .with(2, ChurnEvent::JoinCorrect(NodeId::new(500)))
+            .with(2, ChurnEvent::JoinByzantine(NodeId::new(600)))
+            .with(3, ChurnEvent::LeaveCorrect(NodeId::new(500)))
+            .with(3, ChurnEvent::LeaveByzantine(NodeId::new(600)));
+        engine.set_churn(schedule, |id| Counter::new(id, 100));
+        engine.run_rounds(1).unwrap();
+        assert_eq!(engine.correct_ids().len(), 3);
+        engine.run_rounds(1).unwrap();
+        assert_eq!(
+            engine.correct_ids().len(),
+            4,
+            "joiner arrives before round 2"
+        );
+        assert_eq!(engine.byzantine_ids().len(), 1);
+        engine.run_rounds(1).unwrap();
+        assert_eq!(
+            engine.correct_ids().len(),
+            3,
+            "leaver departs before round 3"
+        );
+        assert!(engine.byzantine_ids().is_empty());
+    }
+
+    #[test]
+    fn inapplicable_churn_event_is_an_error() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
+        let schedule =
+            ChurnSchedule::empty().with(1, ChurnEvent::LeaveCorrect(NodeId::new(424_242)));
+        engine.set_churn(schedule, |id| Counter::new(id, 100));
+        assert_eq!(
+            engine.run_rounds(1).unwrap_err(),
+            SimError::UnknownNode(NodeId::new(424_242))
+        );
     }
 
     #[test]
@@ -483,7 +685,11 @@ mod tests {
 
     #[test]
     fn trace_records_deliveries_when_enabled() {
-        let config = EngineConfig { trace: true, trace_capacity: 1000, ..Default::default() };
+        let config = EngineConfig {
+            trace: true,
+            trace_capacity: 1000,
+            ..Default::default()
+        };
         let mut engine = SyncEngine::with_config(nodes(3), SilentAdversary, vec![], config);
         engine.run_rounds(2).unwrap();
         let trace = engine.trace().expect("tracing enabled");
@@ -495,7 +701,7 @@ mod tests {
     #[test]
     fn terminated_nodes_stop_sending() {
         let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
-        engine.run_until_all_terminated(10).unwrap();
+        engine.run_to_termination(10).unwrap();
         let msgs_after_done = {
             let before = engine.metrics().correct_messages;
             engine.run_rounds(2).unwrap();

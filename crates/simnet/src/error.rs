@@ -48,11 +48,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(SimError::DuplicateId(NodeId::new(3)).to_string().contains("n3"));
-        assert!(SimError::ForgedSender { claimed: NodeId::new(9) }
+        assert!(SimError::DuplicateId(NodeId::new(3))
             .to_string()
-            .contains("forge"));
-        assert!(SimError::MaxRoundsExceeded { limit: 10 }.to_string().contains("10"));
-        assert!(SimError::UnknownNode(NodeId::new(1)).to_string().contains("n1"));
+            .contains("n3"));
+        assert!(SimError::ForgedSender {
+            claimed: NodeId::new(9)
+        }
+        .to_string()
+        .contains("forge"));
+        assert!(SimError::MaxRoundsExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(SimError::UnknownNode(NodeId::new(1))
+            .to_string()
+            .contains("n1"));
     }
 }

@@ -72,12 +72,21 @@ impl<A> StaggeredCrash<A> {
     /// Creates the combinator; crash rounds are drawn from `[earliest, latest]`.
     pub fn new(inner: A, seed: u64, earliest: u64, latest: u64) -> Self {
         assert!(earliest <= latest, "crash interval must be non-empty");
-        StaggeredCrash { inner, seed, earliest, latest }
+        StaggeredCrash {
+            inner,
+            seed,
+            earliest,
+            latest,
+        }
     }
 
     /// The (deterministic) crash round of the `index`-th Byzantine identity.
     pub fn crash_round(&self, index: usize) -> u64 {
-        let mut rng = seeded_rng(self.seed.wrapping_add(index as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng = seeded_rng(
+            self.seed
+                .wrapping_add(index as u64)
+                .wrapping_mul(0x9E37_79B9),
+        );
         rng.gen_range(self.earliest..=self.latest)
     }
 }
@@ -114,7 +123,11 @@ impl<A, B> Collusion<A, B> {
     /// Creates a collusion of `first` (driving the first `first_count` identities)
     /// and `second` (driving the remainder).
     pub fn new(first: A, first_count: usize, second: B) -> Self {
-        Collusion { first, second, first_count }
+        Collusion {
+            first,
+            second,
+            first_count,
+        }
     }
 }
 
@@ -165,7 +178,11 @@ where
     /// given per-round probability.
     pub fn new(seed: u64, rate: f64, generator: G) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
-        NoiseAdversary { rng: seeded_rng(seed), rate, generator }
+        NoiseAdversary {
+            rng: seeded_rng(seed),
+            rate,
+            generator,
+        }
     }
 }
 
@@ -199,7 +216,10 @@ pub struct RecordingAdversary<A> {
 impl<A> RecordingAdversary<A> {
     /// Wraps `inner`.
     pub fn new(inner: A) -> Self {
-        RecordingAdversary { inner, injected_per_round: Vec::new() }
+        RecordingAdversary {
+            inner,
+            injected_per_round: Vec::new(),
+        }
     }
 
     /// `(round, injected message count)` pairs, in execution order.
@@ -235,7 +255,12 @@ mod tests {
     static BYZ: [NodeId; 2] = [NodeId::new(90), NodeId::new(91)];
 
     fn view(round: u64, traffic: &[Directed<u32>]) -> AdversaryView<'_, u32> {
-        AdversaryView { round, correct_ids: &CORRECT, byzantine_ids: &BYZ, correct_traffic: traffic }
+        AdversaryView {
+            round,
+            correct_ids: &CORRECT,
+            byzantine_ids: &BYZ,
+            correct_traffic: traffic,
+        }
     }
 
     /// An adversary where every Byzantine identity sends `7` to every correct node.
@@ -272,7 +297,11 @@ mod tests {
         let adv = StaggeredCrash::new(flooder(), 11, 2, 6);
         let again = StaggeredCrash::new(flooder(), 11, 2, 6);
         for i in 0..4 {
-            assert_eq!(adv.crash_round(i), again.crash_round(i), "same seed, same schedule");
+            assert_eq!(
+                adv.crash_round(i),
+                again.crash_round(i),
+                "same seed, same schedule"
+            );
             assert!((2..=6).contains(&adv.crash_round(i)));
         }
     }
@@ -288,16 +317,25 @@ mod tests {
         // In between, only non-crashed identities speak.
         let crash0 = adv.crash_round(0);
         let mid = adv.step(&view(crash0, &t));
-        assert!(mid.iter().all(|m| m.from != BYZ[0]), "identity 0 is silent from its crash round");
+        assert!(
+            mid.iter().all(|m| m.from != BYZ[0]),
+            "identity 0 is silent from its crash round"
+        );
     }
 
     #[test]
     fn collusion_splits_identities_between_strategies() {
         let first = FnAdversary::new(|v: &AdversaryView<'_, u32>| {
-            v.byzantine_ids.iter().map(|&from| Directed::new(from, CORRECT[0], 1u32)).collect()
+            v.byzantine_ids
+                .iter()
+                .map(|&from| Directed::new(from, CORRECT[0], 1u32))
+                .collect()
         });
         let second = FnAdversary::new(|v: &AdversaryView<'_, u32>| {
-            v.byzantine_ids.iter().map(|&from| Directed::new(from, CORRECT[1], 2u32)).collect()
+            v.byzantine_ids
+                .iter()
+                .map(|&from| Directed::new(from, CORRECT[1], 2u32))
+                .collect()
         });
         let mut adv = Collusion::new(first, 1, second);
         let t: Vec<Directed<u32>> = vec![];
@@ -319,7 +357,8 @@ mod tests {
     #[test]
     fn noise_adversary_is_seed_deterministic_and_rate_bounded() {
         let run = |seed: u64| {
-            let mut adv = NoiseAdversary::new(seed, 0.5, |rng: &mut SimRng, _to| rng.gen_range(0u32..100));
+            let mut adv =
+                NoiseAdversary::new(seed, 0.5, |rng: &mut SimRng, _to| rng.gen_range(0u32..100));
             let t: Vec<Directed<u32>> = vec![];
             let mut all = Vec::new();
             for round in 1..=20 {
@@ -334,7 +373,9 @@ mod tests {
         assert_ne!(a, c, "different seeds should differ");
         // 2 byzantine × 3 correct × 20 rounds = 120 opportunities at rate 0.5.
         assert!(!a.is_empty() && a.len() < 120);
-        assert!(a.iter().all(|m| BYZ.contains(&m.from) && CORRECT.contains(&m.to)));
+        assert!(a
+            .iter()
+            .all(|m| BYZ.contains(&m.from) && CORRECT.contains(&m.to)));
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //! * [`DelayEngine`] — an engine with per-message delays used to reproduce the
 //!   semi-synchronous / asynchronous impossibility constructions of Section IX;
 //! * [`Metrics`] and [`TraceLog`] — round, message and delivery accounting;
-//! * [`ChurnSchedule`] — declarative join/leave schedules for dynamic networks.
+//! * [`ChurnSchedule`] — declarative join/leave schedules for dynamic networks,
+//!   applied by the engine itself via [`SyncEngine::set_churn`];
+//! * [`sim`] — the unified `Simulation` driver: a fluent [`ScenarioBuilder`], the
+//!   [`ProtocolFactory`] trait every protocol (and baseline) implements, and the
+//!   serialisable [`RunReport`] all experiment tooling consumes.
 //!
 //! Executions are fully deterministic given a seed (see [`rng`]), which makes every
 //! experiment in the repository reproducible.
@@ -78,6 +82,7 @@ pub mod message;
 pub mod metrics;
 pub mod node;
 pub mod rng;
+pub mod sim;
 pub mod stats;
 pub mod trace;
 
@@ -91,5 +96,9 @@ pub use id::{IdSpace, NodeId};
 pub use message::{Destination, Directed, Envelope, Outgoing};
 pub use metrics::{Metrics, RoundMetrics};
 pub use node::{Protocol, RoundContext};
+pub use sim::{
+    AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
+    RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,
+};
 pub use stats::{Histogram, RateEstimate, Summary};
 pub use trace::{TraceEvent, TraceLog};

@@ -36,12 +36,18 @@ pub struct Outgoing<P> {
 impl<P> Outgoing<P> {
     /// Convenience constructor for a broadcast message.
     pub fn broadcast(payload: P) -> Self {
-        Outgoing { dest: Destination::Broadcast, payload }
+        Outgoing {
+            dest: Destination::Broadcast,
+            payload,
+        }
     }
 
     /// Convenience constructor for a unicast message.
     pub fn unicast(to: NodeId, payload: P) -> Self {
-        Outgoing { dest: Destination::Unicast(to), payload }
+        Outgoing {
+            dest: Destination::Unicast(to),
+            payload,
+        }
     }
 }
 
@@ -103,7 +109,10 @@ mod tests {
         assert_eq!(e.from, NodeId::new(1));
 
         let d = Directed::new(NodeId::new(1), NodeId::new(2), 9u8);
-        assert_eq!((d.from, d.to, d.payload), (NodeId::new(1), NodeId::new(2), 9));
+        assert_eq!(
+            (d.from, d.to, d.payload),
+            (NodeId::new(1), NodeId::new(2), 9)
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ mod tests {
         fn step(&mut self, ctx: &RoundContext, inbox: &[Envelope<u32>]) -> Vec<Outgoing<u32>> {
             self.seen.extend(inbox.iter().map(|e| e.from));
             if ctx.round == 1 {
-                vec![Outgoing { dest: Destination::Broadcast, payload: 1 }]
+                vec![Outgoing {
+                    dest: Destination::Broadcast,
+                    payload: 1,
+                }]
             } else {
                 vec![]
             }
@@ -107,7 +110,10 @@ mod tests {
 
     #[test]
     fn default_terminated_follows_output() {
-        let mut node = Echoer { id: NodeId::new(1), seen: vec![] };
+        let mut node = Echoer {
+            id: NodeId::new(1),
+            seen: vec![],
+        };
         assert!(!node.terminated());
         let ctx = RoundContext::new(2);
         node.step(&ctx, &[Envelope::new(NodeId::new(2), 5)]);

@@ -1,0 +1,855 @@
+//! The unified `Simulation` driver: one builder for every protocol, adversary and
+//! churn plan.
+//!
+//! Historically every scenario shape (consensus under a split-vote adversary,
+//! broadcast with an equivocating source, rotor under partial announcement, …) had
+//! its own bespoke `run_*` function wiring identifiers, nodes, adversary and result
+//! summarisation by hand. This module replaces that plumbing with three composable
+//! pieces:
+//!
+//! * [`Simulation::scenario`] → [`ScenarioBuilder`] — a fluent description of the
+//!   *system*: how many correct and Byzantine nodes, which [`IdSpace`], which seed,
+//!   the round budget, an [`AdversaryKind`] and an optional [`ChurnSchedule`]
+//!   (applied by the engine itself, see [`SyncEngine::set_churn`]);
+//! * [`ProtocolFactory`] — how to turn that system description into protocol nodes,
+//!   a concrete adversary and per-protocol report sections. Implemented by all the
+//!   id-only algorithms in `uba-core` **and** by the known-`(n, f)` baselines in
+//!   `uba-baselines`, so the same scenario runs head-to-head across implementations;
+//! * [`Harness`] — the typed execution driver produced by
+//!   [`ScenarioBuilder::build`], whose [`Harness::run`] drives the engine to the
+//!   factory's stop condition and assembles a serde-serializable [`RunReport`].
+//!
+//! The [`RunReport`] is the single result currency of the repository: the `checker`
+//! crate consumes it directly (oracle verdicts are attached into
+//! [`RunReport::verdicts`]), the experiment harness renders tables from it, and the
+//! bench crate serialises it to JSON for recorded baselines.
+//!
+//! ```
+//! use uba_simnet::sim::{AdversaryKind, Simulation};
+//!
+//! let scenario = Simulation::scenario()
+//!     .correct(7)
+//!     .byzantine(2)
+//!     .seed(42)
+//!     .adversary(AdversaryKind::SplitVote);
+//! assert_eq!(scenario.spec().correct, 7);
+//! // `.build(factory)` / `.consensus(&inputs)` etc. attach a protocol; see uba-core.
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::Adversary;
+use crate::dynamic::ChurnSchedule;
+use crate::engine::SyncEngine;
+use crate::error::SimError;
+use crate::id::{IdSpace, NodeId};
+use crate::metrics::RoundMetrics;
+use crate::node::Protocol;
+
+/// A boxed, dynamically dispatched adversary — the form in which
+/// [`ProtocolFactory::adversary`] returns strategies so one harness type covers
+/// every adversary choice.
+pub type BoxedAdversary<P> = Box<dyn Adversary<P>>;
+
+impl<P> Adversary<P> for BoxedAdversary<P> {
+    fn step(&mut self, view: &crate::adversary::AdversaryView<'_, P>) -> Vec<crate::Directed<P>> {
+        (**self).step(view)
+    }
+}
+
+/// An adversary strategy together with the name recorded in the [`RunReport`].
+///
+/// Factories return this from [`ProtocolFactory::adversary`] so a substituted
+/// strategy (a kind that does not apply to the protocol) is reported under the name
+/// of what actually ran, not what was requested.
+pub struct NamedAdversary<P> {
+    /// Name recorded in [`RunReport::adversary`].
+    pub name: String,
+    /// The strategy itself.
+    pub strategy: BoxedAdversary<P>,
+}
+
+impl<P> NamedAdversary<P> {
+    /// Boxes a strategy under a report name.
+    pub fn new(name: impl Into<String>, strategy: impl Adversary<P> + 'static) -> Self {
+        NamedAdversary {
+            name: name.into(),
+            strategy: Box::new(strategy),
+        }
+    }
+}
+
+/// Adversary strategies selectable by name in experiment sweeps.
+///
+/// This is plain *data* (serialisable, comparable); each [`ProtocolFactory`] maps a
+/// kind onto a concrete strategy for its payload type, falling back to the closest
+/// applicable strategy when a kind does not exist for the protocol (e.g. there is no
+/// vote to split in a rotor execution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversaryKind {
+    /// Byzantine nodes never speak (they are invisible).
+    Silent,
+    /// Byzantine nodes announce themselves in round 1 and then stay silent.
+    AnnounceThenSilent,
+    /// Byzantine nodes announce themselves to only half of the correct nodes.
+    PartialAnnounce,
+    /// Byzantine nodes split their votes between the two most popular values.
+    SplitVote,
+    /// The protocol's worst-case scripted strategy from the paper's proofs — each
+    /// factory maps this onto its hardest applicable attack (split votes for
+    /// consensus, extreme outliers for approximate agreement, ghost pairs for
+    /// parallel consensus, …).
+    Worst,
+}
+
+impl AdversaryKind {
+    /// A stable lowercase name used in tables and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryKind::Silent => "silent",
+            AdversaryKind::AnnounceThenSilent => "announce-then-silent",
+            AdversaryKind::PartialAnnounce => "partial-announce",
+            AdversaryKind::SplitVote => "split-vote",
+            AdversaryKind::Worst => "worst-case",
+        }
+    }
+}
+
+/// The serialisable description of a simulated system, echoed into every
+/// [`RunReport`] so a recorded result carries its own reproduction recipe.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Number of correct nodes.
+    pub correct: usize,
+    /// Number of Byzantine identities handed to the adversary.
+    pub byzantine: usize,
+    /// Identifier-generation strategy.
+    pub id_space: IdSpace,
+    /// Seed for identifier generation and any adversary randomness.
+    pub seed: u64,
+    /// Hard cap on rounds before the run is declared stuck.
+    pub max_rounds: u64,
+    /// Selected adversary strategy.
+    pub adversary: AdversaryKind,
+    /// Membership changes applied by the engine during the run.
+    pub churn: ChurnSchedule,
+}
+
+impl ScenarioSpec {
+    /// Total number of nodes `n` at the start of the run.
+    pub fn n(&self) -> usize {
+        self.correct + self.byzantine
+    }
+
+    /// Whether the scenario starts within the optimal resiliency `n > 3f`.
+    pub fn resilient(&self) -> bool {
+        self.n() > 3 * self.byzantine
+    }
+}
+
+/// Entry point of the driver API: `Simulation::scenario()` starts a fluent
+/// [`ScenarioBuilder`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Starts describing a scenario (7 correct nodes, no faults, sparse ids, seed 0,
+    /// a 1000-round budget and a silent adversary by default).
+    pub fn scenario() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+}
+
+/// Fluent builder for a [`ScenarioSpec`]; finish with [`ScenarioBuilder::build`]
+/// (or a protocol-specific convenience from `uba-core::sim`) to obtain a
+/// [`Harness`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                correct: 7,
+                byzantine: 0,
+                id_space: IdSpace::default(),
+                seed: 0,
+                max_rounds: 1_000,
+                adversary: AdversaryKind::Silent,
+                churn: ChurnSchedule::empty(),
+            },
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts from an existing spec (e.g. one deserialised from a recorded report).
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        ScenarioBuilder { spec }
+    }
+
+    /// Sets the number of correct nodes.
+    pub fn correct(mut self, correct: usize) -> Self {
+        self.spec.correct = correct;
+        self
+    }
+
+    /// Sets the number of Byzantine identities.
+    pub fn byzantine(mut self, byzantine: usize) -> Self {
+        self.spec.byzantine = byzantine;
+        self
+    }
+
+    /// Sets the identifier-generation strategy.
+    pub fn ids(mut self, id_space: IdSpace) -> Self {
+        self.spec.id_space = id_space;
+        self
+    }
+
+    /// Sets the seed for identifier generation and adversary randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Sets the hard cap on rounds before the run is declared stuck.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.spec.max_rounds = max_rounds;
+        self
+    }
+
+    /// Selects the adversary strategy.
+    pub fn adversary(mut self, adversary: AdversaryKind) -> Self {
+        self.spec.adversary = adversary;
+        self
+    }
+
+    /// Attaches a churn schedule, applied by the engine between rounds.
+    pub fn churn(mut self, churn: ChurnSchedule) -> Self {
+        self.spec.churn = churn;
+        self
+    }
+
+    /// The spec built so far.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Generates the identifier split for this spec: the first `correct` generated
+    /// identifiers are the correct nodes, the rest belong to the adversary.
+    pub fn context(&self) -> BuildContext {
+        let ids = self.spec.id_space.generate(self.spec.n(), self.spec.seed);
+        let (correct_ids, byzantine_ids) = ids.split_at(self.spec.correct);
+        BuildContext {
+            spec: self.spec.clone(),
+            correct_ids: correct_ids.to_vec(),
+            byzantine_ids: byzantine_ids.to_vec(),
+        }
+    }
+
+    /// Builds a typed [`Harness`] for a protocol, with the adversary selected by the
+    /// scenario's [`AdversaryKind`].
+    pub fn build<F: ProtocolFactory>(self, factory: F) -> Harness<F> {
+        let ctx = self.context();
+        let named = factory.adversary(ctx.spec.adversary, &ctx);
+        Harness::assemble(factory, ctx, named.strategy, named.name)
+    }
+
+    /// Builds a typed [`Harness`] driving an *explicit* adversary instead of a named
+    /// [`AdversaryKind`] — the escape hatch for custom, adaptive or composed
+    /// strategies (anything implementing [`Adversary`]).
+    pub fn build_with_adversary<F, A>(
+        self,
+        factory: F,
+        adversary_name: impl Into<String>,
+        adversary: A,
+    ) -> Harness<F>
+    where
+        F: ProtocolFactory,
+        A: Adversary<<F::Node as Protocol>::Payload> + 'static,
+    {
+        let ctx = self.context();
+        Harness::assemble(factory, ctx, Box::new(adversary), adversary_name.into())
+    }
+}
+
+/// Everything a [`ProtocolFactory`] gets to see while constructing a run.
+#[derive(Clone, Debug)]
+pub struct BuildContext {
+    /// The scenario being built.
+    pub spec: ScenarioSpec,
+    /// Identifiers of the correct nodes, in construction order.
+    pub correct_ids: Vec<NodeId>,
+    /// Identifiers controlled by the adversary.
+    pub byzantine_ids: Vec<NodeId>,
+}
+
+impl BuildContext {
+    /// Total node count `n` (what a known-`(n, f)` baseline is told).
+    pub fn n(&self) -> usize {
+        self.correct_ids.len() + self.byzantine_ids.len()
+    }
+
+    /// Byzantine count `f` (what a known-`(n, f)` baseline is told).
+    pub fn f(&self) -> usize {
+        self.byzantine_ids.len()
+    }
+
+    /// All identifiers, correct first, in generation order.
+    pub fn all_ids(&self) -> Vec<NodeId> {
+        self.correct_ids
+            .iter()
+            .chain(self.byzantine_ids.iter())
+            .copied()
+            .collect()
+    }
+}
+
+/// When a [`Harness`] run is finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCondition {
+    /// Every correct node has terminated.
+    AllTerminated,
+    /// Every correct node has produced an output (it may keep participating).
+    AllOutput,
+    /// Exactly this many rounds have been executed.
+    FixedRounds(u64),
+}
+
+/// How to instantiate a protocol (and everything around it) for a scenario.
+///
+/// A factory encapsulates the protocol-specific choices the old `run_*` drivers
+/// hard-wired: node construction from the identifier split, the mapping from an
+/// [`AdversaryKind`] to a concrete strategy for the protocol's payload, the stop
+/// condition, optional per-round input injection, and the extraction of
+/// protocol-specific [`RunReport`] sections after the run.
+pub trait ProtocolFactory {
+    /// The protocol node type this factory builds. (`'static` because churn joiners
+    /// are stored in the engine as boxed constructors.)
+    type Node: Protocol + 'static;
+
+    /// A stable name for tables and JSON output (e.g. `"consensus"`,
+    /// `"phase-king"`).
+    fn protocol_name(&self) -> String;
+
+    /// Constructs the correct nodes for the scenario. Takes `&mut self` so factories
+    /// can cache build-time data (e.g. the founding identifier set) for later hooks.
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<Self::Node>;
+
+    /// Maps the selected [`AdversaryKind`] onto a concrete, named strategy for this
+    /// protocol's payload. Factories should substitute (and report) the closest
+    /// applicable strategy for kinds that make no sense for the protocol.
+    fn adversary(
+        &self,
+        kind: AdversaryKind,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<<Self::Node as Protocol>::Payload>;
+
+    /// When the run is finished (before the scenario's round cap).
+    fn stop_condition(&self) -> StopCondition {
+        StopCondition::AllTerminated
+    }
+
+    /// Returns the constructor used for identifiers joining through the scenario's
+    /// churn schedule. The default panics on first use, because most protocols need
+    /// explicit support for mid-run joins.
+    fn joiner(&self, _ctx: &BuildContext) -> Box<dyn FnMut(NodeId) -> Self::Node> {
+        let name = self.protocol_name();
+        Box::new(move |id| {
+            panic!("protocol `{name}` does not support mid-run joins (joiner {id} rejected)")
+        })
+    }
+
+    /// Hook invoked before every engine round — the place to inject external inputs
+    /// (events to order, leave announcements) into the nodes.
+    fn before_round(&mut self, _round: u64, _nodes: &mut [Self::Node]) {}
+
+    /// Extracts protocol-specific sections from the finished run into the report.
+    fn record(&self, ctx: &BuildContext, nodes: &[Self::Node], report: &mut RunReport);
+}
+
+/// A typed, runnable simulation: engine + factory + scenario context.
+pub struct Harness<F: ProtocolFactory> {
+    factory: F,
+    ctx: BuildContext,
+    engine: SyncEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>>,
+    stop: StopCondition,
+    adversary_name: String,
+}
+
+impl<F: ProtocolFactory> Harness<F> {
+    fn assemble(
+        mut factory: F,
+        ctx: BuildContext,
+        adversary: BoxedAdversary<<F::Node as Protocol>::Payload>,
+        adversary_name: String,
+    ) -> Self {
+        let nodes = factory.build_nodes(&ctx);
+        let mut engine = SyncEngine::new(nodes, adversary, ctx.byzantine_ids.clone());
+        let stop = factory.stop_condition();
+        if !ctx.spec.churn.is_empty() {
+            // The engine applies the schedule itself; joining correct nodes are
+            // constructed by the factory-provided constructor (which captures what
+            // it needs rather than borrowing the factory, since the factory lives
+            // in the harness alongside the engine).
+            let joiner = factory.joiner(&ctx);
+            engine.set_churn(ctx.spec.churn.clone(), joiner);
+        }
+        Harness {
+            factory,
+            ctx,
+            engine,
+            stop,
+            adversary_name,
+        }
+    }
+
+    /// Overrides the stop condition with a fixed round count — used by primitives
+    /// (like reliable broadcast) that never terminate but stabilise.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.stop = StopCondition::FixedRounds(rounds);
+        self
+    }
+
+    /// Overrides the stop condition.
+    pub fn stop_when(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// The build context (scenario spec and identifier split).
+    pub fn context(&self) -> &BuildContext {
+        &self.ctx
+    }
+
+    /// The underlying engine (escape hatch for inspection beyond the report).
+    pub fn engine(&self) -> &SyncEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>> {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(
+        &mut self,
+    ) -> &mut SyncEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>> {
+        &mut self.engine
+    }
+
+    /// The correct nodes (escape hatch for protocol-specific inspection).
+    pub fn nodes(&self) -> &[F::Node] {
+        self.engine.nodes()
+    }
+
+    fn stop_satisfied(&self) -> bool {
+        match self.stop {
+            StopCondition::AllTerminated => self.engine.nodes().iter().all(|n| n.terminated()),
+            StopCondition::AllOutput => self.engine.nodes().iter().all(|n| n.output().is_some()),
+            StopCondition::FixedRounds(rounds) => self.engine.round() >= rounds,
+        }
+    }
+
+    /// Drives the engine to the stop condition (or the scenario's round cap) and
+    /// assembles the [`RunReport`].
+    ///
+    /// Cap exhaustion is recorded in [`RunReport::status`], not returned as an
+    /// error; errors are reserved for model violations (forged senders,
+    /// inapplicable churn events).
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let status = loop {
+            if self.stop_satisfied() {
+                break RunStatus::Completed {
+                    rounds: self.engine.round(),
+                };
+            }
+            if self.engine.round() >= self.ctx.spec.max_rounds {
+                break RunStatus::MaxRoundsExceeded {
+                    limit: self.ctx.spec.max_rounds,
+                };
+            }
+            self.factory
+                .before_round(self.engine.round() + 1, self.engine.nodes_mut());
+            self.engine.run_round()?;
+        };
+        let mut report = self.base_report(status);
+        self.factory
+            .record(&self.ctx, self.engine.nodes(), &mut report);
+        Ok(report)
+    }
+
+    fn base_report(&self, status: RunStatus) -> RunReport {
+        let metrics = self.engine.metrics();
+        let payload_size = std::mem::size_of::<<F::Node as Protocol>::Payload>() as u64;
+        RunReport {
+            protocol: self.factory.protocol_name(),
+            adversary: self.adversary_name.clone(),
+            scenario: self.ctx.spec.clone(),
+            status,
+            rounds: self.engine.round(),
+            messages: MessageStats {
+                correct: metrics.correct_messages,
+                byzantine: metrics.byzantine_messages,
+                deliveries: metrics.deliveries,
+                correct_bytes_estimate: metrics.correct_messages * payload_size,
+                per_round: metrics.per_round.clone(),
+            },
+            nodes: self
+                .engine
+                .nodes()
+                .iter()
+                .map(|node| NodeReport {
+                    id: node.id(),
+                    terminated: node.terminated(),
+                    output: node.output().map(|output| format!("{output:?}")),
+                })
+                .collect(),
+            consensus: None,
+            broadcast: None,
+            rotor: None,
+            approx: None,
+            spreads: None,
+            parallel: None,
+            chain: None,
+            verdicts: Vec::new(),
+        }
+    }
+}
+
+/// Why a harness run stopped — the report-level mirror of
+/// [`RunOutcome`](crate::engine::RunOutcome), serialisable for recorded results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The factory's stop condition was satisfied.
+    Completed {
+        /// Rounds executed when the condition became true.
+        rounds: u64,
+    },
+    /// The scenario's round cap was exhausted first.
+    MaxRoundsExceeded {
+        /// The cap that was hit.
+        limit: u64,
+    },
+}
+
+impl RunStatus {
+    /// Whether the run met its stop condition.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunStatus::Completed { .. })
+    }
+}
+
+/// Message accounting of one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Point-to-point messages produced by correct nodes.
+    pub correct: u64,
+    /// Messages injected by the adversary.
+    pub byzantine: u64,
+    /// Deliveries to correct nodes after deduplication.
+    pub deliveries: u64,
+    /// `correct × size_of(payload)` — a wire-size estimate (payload sizes are not
+    /// serialised per message, so this is an upper-bound proxy, not a measurement).
+    pub correct_bytes_estimate: u64,
+    /// Per-round breakdown, in round order.
+    pub per_round: Vec<RoundMetrics>,
+}
+
+/// Per-node summary in a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The node.
+    pub id: NodeId,
+    /// Whether it had terminated when the run stopped.
+    pub terminated: bool,
+    /// Debug rendering of its output, if it produced one.
+    pub output: Option<String>,
+}
+
+/// A consensus decision as recorded in a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsensusDecision {
+    /// The deciding node.
+    pub node: NodeId,
+    /// The decided value.
+    pub value: u64,
+    /// The phase in which it decided.
+    pub phase: u64,
+    /// The network round in which it decided.
+    pub round: u64,
+}
+
+/// Consensus-family section of a report (id-only consensus and the phase-king
+/// baseline both fill this).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConsensusSection {
+    /// `(node, input)` pairs of the correct nodes.
+    pub inputs: Vec<(NodeId, u64)>,
+    /// Decisions of the nodes that decided.
+    pub decisions: Vec<ConsensusDecision>,
+    /// Nodes that had not decided when the run stopped.
+    pub undecided: Vec<NodeId>,
+    /// Whether every decided value is identical.
+    pub agreement: bool,
+    /// Whether the decision is the input of some correct node, and unanimous inputs
+    /// forced that value.
+    pub validity: bool,
+}
+
+/// Builds a [`ConsensusSection`], computing agreement and validity the same way for
+/// every implementation (the id-only consensus and the known-`(n, f)` baselines must
+/// be judged by one definition, or head-to-head comparisons compare different
+/// properties).
+pub fn consensus_section_from_parts(
+    inputs: Vec<(NodeId, u64)>,
+    decisions: Vec<ConsensusDecision>,
+    undecided: Vec<NodeId>,
+) -> ConsensusSection {
+    let agreement = decisions.windows(2).all(|w| w[0].value == w[1].value);
+    let validity = match decisions.first() {
+        None => false,
+        Some(first) => {
+            let in_inputs = inputs.iter().any(|(_, input)| *input == first.value);
+            let unanimous = inputs.windows(2).all(|w| w[0].1 == w[1].1);
+            in_inputs
+                && (!unanimous
+                    || decisions
+                        .iter()
+                        .all(|d| Some(d.value) == inputs.first().map(|i| i.1)))
+        }
+    };
+    ConsensusSection {
+        inputs,
+        decisions,
+        undecided,
+        agreement,
+        validity,
+    }
+}
+
+/// One node's accept set in a broadcast run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeAcceptSet {
+    /// The accepting node.
+    pub node: NodeId,
+    /// `(message, acceptance round)` pairs, sorted by message.
+    pub values: Vec<(u64, u64)>,
+}
+
+/// Reliable-broadcast-family section of a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastSection {
+    /// The designated sender.
+    pub source: NodeId,
+    /// Whether the designated sender was a correct node.
+    pub source_correct: bool,
+    /// The value a correct sender broadcast (ground truth for unforgeability).
+    pub sent: Option<u64>,
+    /// Every correct node's accept set.
+    pub accepted: Vec<NodeAcceptSet>,
+    /// Whether all correct nodes accepted exactly the same set of values.
+    pub consistent: bool,
+}
+
+/// Rotor-coordinator section of a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RotorSection {
+    /// Coordinators selected by the first correct node.
+    pub selected: usize,
+    /// Whether a loop round existed in which every correct node selected the same
+    /// correct coordinator.
+    pub good_round: bool,
+}
+
+/// Approximate-agreement section of a report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ApproxSection {
+    /// Correct inputs.
+    pub inputs: Vec<f64>,
+    /// Correct outputs.
+    pub outputs: Vec<f64>,
+    /// `(min, max)` of the inputs.
+    pub input_range: (f64, f64),
+    /// `(min, max)` of the outputs.
+    pub output_range: (f64, f64),
+    /// Whether every output lies within the input range.
+    pub outputs_in_range: bool,
+    /// `(output range) / (input range)` — the paper guarantees `< 1` (½ per round).
+    pub contraction: f64,
+}
+
+/// Builds an [`ApproxSection`] from parallel input/output value lists, computing
+/// containment and contraction uniformly for every implementation.
+pub fn approx_section_from_values(inputs: Vec<f64>, outputs: Vec<f64>) -> ApproxSection {
+    let imin = inputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let imax = inputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let omin = outputs.iter().copied().fold(f64::INFINITY, f64::min);
+    let omax = outputs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let input_spread = imax - imin;
+    let output_spread = omax - omin;
+    ApproxSection {
+        outputs_in_range: omin >= imin - 1e-9 && omax <= imax + 1e-9,
+        contraction: if input_spread > 0.0 {
+            output_spread / input_spread
+        } else {
+            0.0
+        },
+        input_range: (imin, imax),
+        output_range: (omin, omax),
+        inputs,
+        outputs,
+    }
+}
+
+/// Iterated-convergence section: the correct-value spread after each iteration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpreadSection {
+    /// Spread (max − min over correct values) per iteration, in iteration order.
+    pub per_iteration: Vec<f64>,
+}
+
+/// One node's decided pair set in a parallel-consensus run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodePairs {
+    /// The deciding node.
+    pub node: NodeId,
+    /// The decided `(instance, value)` pairs, sorted by instance.
+    pub pairs: Vec<(u64, u64)>,
+}
+
+/// Parallel-consensus section of a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelSection {
+    /// Every correct node's decided pair set.
+    pub decisions: Vec<NodePairs>,
+    /// Whether all decided pair sets are identical.
+    pub agreement: bool,
+}
+
+/// Total-ordering section of a report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainSection {
+    /// `(node, finalised chain length)` for every correct node.
+    pub lengths: Vec<(NodeId, usize)>,
+    /// Whether the chains of the (non-leaving) correct nodes agree on their overlap.
+    pub prefix_ok: bool,
+}
+
+/// A property-oracle verdict attached by the `checker` crate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleVerdict {
+    /// The oracle that ran (e.g. `"consensus"`, `"reliable-broadcast"`).
+    pub oracle: String,
+    /// Whether the oracle found no violations.
+    pub passed: bool,
+    /// Number of individual property evaluations performed.
+    pub checks: usize,
+    /// Rendered violations, in discovery order.
+    pub violations: Vec<String>,
+}
+
+/// Everything measured in one run — the unified, serialisable result every driver
+/// path produces and every consumer (checker, tables, JSON baselines) reads.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Protocol name (from [`ProtocolFactory::protocol_name`]).
+    pub protocol: String,
+    /// Adversary name ([`AdversaryKind::name`] or a custom label).
+    pub adversary: String,
+    /// The scenario that produced this run (its own reproduction recipe).
+    pub scenario: ScenarioSpec,
+    /// Whether the run completed or exhausted its round cap.
+    pub status: RunStatus,
+    /// Rounds executed when the run stopped.
+    pub rounds: u64,
+    /// Message accounting.
+    pub messages: MessageStats,
+    /// Per-node termination and output summaries.
+    pub nodes: Vec<NodeReport>,
+    /// Consensus-family results, if the protocol decides single values.
+    pub consensus: Option<ConsensusSection>,
+    /// Broadcast-family results, if the protocol accepts broadcast values.
+    pub broadcast: Option<BroadcastSection>,
+    /// Rotor-coordinator results.
+    pub rotor: Option<RotorSection>,
+    /// Approximate-agreement results.
+    pub approx: Option<ApproxSection>,
+    /// Iterated-convergence results.
+    pub spreads: Option<SpreadSection>,
+    /// Parallel-consensus results.
+    pub parallel: Option<ParallelSection>,
+    /// Total-ordering results.
+    pub chain: Option<ChainSection>,
+    /// Property-oracle verdicts (attached by `uba_checker::attach_verdicts`).
+    pub verdicts: Vec<OracleVerdict>,
+}
+
+impl RunReport {
+    /// Whether the run completed (met its stop condition before the round cap).
+    pub fn completed(&self) -> bool {
+        self.status.is_completed()
+    }
+
+    /// Whether every attached oracle verdict passed (vacuously true when none ran).
+    pub fn verdicts_passed(&self) -> bool {
+        self.verdicts.iter().all(|verdict| verdict.passed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_the_spec() {
+        let builder = Simulation::scenario()
+            .correct(10)
+            .byzantine(3)
+            .ids(IdSpace::Consecutive)
+            .seed(9)
+            .max_rounds(50)
+            .adversary(AdversaryKind::SplitVote);
+        let spec = builder.spec();
+        assert_eq!(spec.correct, 10);
+        assert_eq!(spec.byzantine, 3);
+        assert_eq!(spec.id_space, IdSpace::Consecutive);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.max_rounds, 50);
+        assert_eq!(spec.adversary, AdversaryKind::SplitVote);
+        assert_eq!(spec.n(), 13);
+        assert!(spec.resilient());
+    }
+
+    #[test]
+    fn context_splits_ids_deterministically() {
+        let builder = Simulation::scenario().correct(5).byzantine(2).seed(7);
+        let a = builder.clone().context();
+        let b = builder.context();
+        assert_eq!(a.correct_ids, b.correct_ids);
+        assert_eq!(a.byzantine_ids, b.byzantine_ids);
+        assert_eq!(a.correct_ids.len(), 5);
+        assert_eq!(a.byzantine_ids.len(), 2);
+        assert_eq!(a.n(), 7);
+        assert_eq!(a.f(), 2);
+        assert_eq!(a.all_ids().len(), 7);
+    }
+
+    #[test]
+    fn adversary_kind_names_are_stable() {
+        assert_eq!(AdversaryKind::Silent.name(), "silent");
+        assert_eq!(AdversaryKind::SplitVote.name(), "split-vote");
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        let spec = Simulation::scenario()
+            .correct(4)
+            .byzantine(1)
+            .seed(3)
+            .adversary(AdversaryKind::PartialAnnounce)
+            .spec()
+            .clone();
+        let value = serde::Serialize::to_value(&spec);
+        let back: ScenarioSpec = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -121,7 +121,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "a histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation.
@@ -160,7 +166,13 @@ impl Histogram {
         self.bins
             .iter()
             .enumerate()
-            .map(|(i, &count)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, count))
+            .map(|(i, &count)| {
+                (
+                    self.lo + i as f64 * width,
+                    self.lo + (i + 1) as f64 * width,
+                    count,
+                )
+            })
             .collect()
     }
 }
@@ -178,7 +190,10 @@ pub struct RateEstimate {
 impl RateEstimate {
     /// Creates an estimate from raw counts.
     pub fn new(successes: u64, trials: u64) -> Self {
-        assert!(successes <= trials, "cannot observe more successes than trials");
+        assert!(
+            successes <= trials,
+            "cannot observe more successes than trials"
+        );
         RateEstimate { successes, trials }
     }
 
@@ -262,7 +277,9 @@ mod tests {
         assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
         assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
         assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
-        let s = Summary::of(&[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+        let s = Summary::of(&[
+            0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+        ]);
         assert!((s.p95 - 95.0).abs() < 1e-9);
     }
 

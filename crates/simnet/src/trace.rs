@@ -37,7 +37,11 @@ impl<P> TraceLog<P> {
     /// Creates a trace log that keeps at most `capacity` events; further events are
     /// counted but not stored.
     pub fn with_capacity(capacity: usize) -> Self {
-        TraceLog { events: Vec::new(), capacity, dropped: 0 }
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records an event, respecting the capacity bound.
@@ -75,7 +79,13 @@ mod tests {
     use super::*;
 
     fn ev(round: u64, from: u64, to: u64, byz: bool) -> TraceEvent<u32> {
-        TraceEvent { round, from: NodeId::new(from), to: NodeId::new(to), byzantine: byz, payload: 0 }
+        TraceEvent {
+            round,
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            byzantine: byz,
+            payload: 0,
+        }
     }
 
     #[test]

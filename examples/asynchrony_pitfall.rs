@@ -3,16 +3,19 @@
 //! The paper proves that once nodes do not know `n` and `f`, Byzantine consensus is
 //! impossible — even with probabilistic termination, even with **zero** faulty nodes —
 //! unless the system is synchronous. This example makes the argument tangible by
-//! running the constructions of Lemmas 14 and 15 on the delay engine:
+//! first running the same split-input population through the synchronous
+//! `Simulation` driver (where Theorem 3 guarantees agreement), then re-running the
+//! constructions of Lemmas 14 and 15 on the delay engine:
 //!
 //! * a synchronous control run, which always agrees;
 //! * a semi-synchronous run where the (unknown) delay bound exceeds the time both
 //!   sides need to decide — the two halves decide their own inputs;
 //! * a fully asynchronous run where cross-partition messages never arrive.
 //!
-//! Run with `cargo run -p uba-bench --example asynchrony_pitfall`.
+//! Run with `cargo run --example asynchrony_pitfall`.
 
 use uba_core::impossibility::{disagreement_rate, run_partition_experiment, TimingModel};
+use uba_core::sim::{ScenarioExt, Simulation};
 
 fn describe(model: TimingModel) -> String {
     match model {
@@ -31,13 +34,33 @@ fn main() {
         partitions.0, partitions.1
     );
 
+    // Under full synchrony the unified driver's consensus run always agrees — this
+    // is the guarantee the timing models below take away.
+    let inputs = [1u64, 1, 1, 1, 0, 0, 0, 0];
+    let control = Simulation::scenario()
+        .correct(8)
+        .byzantine(0)
+        .seed(7)
+        .max_rounds(300)
+        .consensus(&inputs)
+        .run()
+        .expect("synchronous consensus terminates");
+    let section = control.consensus.as_ref().expect("consensus section");
+    println!(
+        "synchronous Simulation driver: agreement = {}, decided {} in {} rounds\n",
+        section.agreement, section.decisions[0].value, control.rounds
+    );
+
     let models = [
         TimingModel::Synchronous,
         TimingModel::SemiSynchronous { cross_delay: 400 },
         TimingModel::Asynchronous,
     ];
 
-    println!("{:<42} {:>10} {:>8} {:>12}", "timing model", "agreement", "ticks", "disagreement");
+    println!(
+        "{:<42} {:>10} {:>8} {:>12}",
+        "timing model", "agreement", "ticks", "disagreement"
+    );
     println!("{}", "-".repeat(78));
     for model in models {
         let outcome = run_partition_experiment(partitions.0, partitions.1, model, 7)

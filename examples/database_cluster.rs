@@ -7,17 +7,19 @@
 //! dynamic total-ordering protocol (Algorithm 6) as that configuration log:
 //!
 //! * three replicas found the cluster;
-//! * replicas are added while the load grows and retired while it shrinks;
-//! * two Byzantine replicas flap their membership and spam fabricated operations;
+//! * replicas are added while the load grows (via the scenario's churn schedule) and
+//!   retired while it shrinks (via the total-order input plan);
+//! * two Byzantine replicas flap their membership and spam fabricated operations
+//!   (a custom attack passed through `build_with_adversary`);
 //! * at the end, the surviving replicas' configuration logs are checked for the
 //!   chain-prefix property with the `uba-checker` oracle.
 //!
-//! Run with `cargo run -p uba-bench --example database_cluster`.
+//! Run with `cargo run --example database_cluster`.
 
 use uba_checker::chain::{check_chain_prefix, ChainObservation};
 use uba_core::attackers::MembershipFlapper;
-use uba_core::total_order::TotalOrderNode;
-use uba_simnet::{IdSpace, NodeId, Protocol, SyncEngine};
+use uba_core::sim::{Simulation, TotalOrderFactory, TotalOrderPlan};
+use uba_simnet::{ChurnEvent, ChurnSchedule, NodeId, Protocol};
 
 /// A configuration operation: (operation code, parameter).
 type ConfigOp = (u64, u64);
@@ -36,68 +38,66 @@ fn op_name(op: u64) -> &'static str {
 }
 
 fn main() {
-    let founder_ids = IdSpace::default().generate(3, 99);
-    let byzantine_ids = vec![NodeId::new(9_000_001), NodeId::new(9_000_002)];
-    println!("founding replicas: {founder_ids:?}");
-    println!("byzantine replicas (membership flapping + op spam): {byzantine_ids:?}\n");
-
-    let nodes: Vec<TotalOrderNode<ConfigOp>> =
-        founder_ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
-    let adversary = MembershipFlapper::new((OP_SET_REPLICATION, 666));
-    let mut engine = SyncEngine::new(nodes, adversary, byzantine_ids);
-
-    // Scale-up replicas join at these rounds, scale-down retires one founder later.
-    let scale_up: Vec<(u64, NodeId)> =
-        vec![(15, NodeId::new(5_000_010)), (30, NodeId::new(5_000_020)), (45, NodeId::new(5_000_030))];
-    let retire_round = 60u64;
-    let retiree = founder_ids[2];
-    let mut joined_rounds: Vec<(NodeId, u64)> = founder_ids.iter().map(|&id| (id, 0)).collect();
-
     let total_rounds = 110u64;
-    for round in 0..total_rounds {
-        for &(at, id) in &scale_up {
-            if round == at {
-                println!("round {round:>3}: scaling up — replica {id} joins");
-                engine.add_node(TotalOrderNode::joining(id)).unwrap();
-                joined_rounds.push((id, round));
-            }
-        }
-        if round == retire_round {
-            println!("round {round:>3}: scaling down — replica {retiree} retires");
-            if let Some(node) = engine.nodes_mut().iter_mut().find(|n| Protocol::id(*n) == retiree) {
-                node.announce_leave();
-            }
-        }
-        // Every third round the operator submits a configuration operation through
-        // one of the founders.
-        if round % 3 == 0 {
-            let submitter = founder_ids[(round as usize / 3) % 2];
-            let op = match (round / 3) % 3 {
-                0 => (OP_ADD_SHARD, round),
-                1 => (OP_MOVE_SHARD, round),
-                _ => (OP_SET_REPLICATION, 3),
-            };
-            if let Some(node) =
-                engine.nodes_mut().iter_mut().find(|n| Protocol::id(*n) == submitter)
-            {
-                node.submit_event(op);
-            }
-        }
-        engine.run_rounds(1).unwrap();
+
+    // Every third round the operator submits a configuration operation through one
+    // of the founders; one founder retires at round 60.
+    let mut plan: TotalOrderPlan<ConfigOp> = TotalOrderPlan::rounds(total_rounds);
+    for round in (0..total_rounds).step_by(3) {
+        let submitter = (round as usize / 3) % 2;
+        let op = match (round / 3) % 3 {
+            0 => (OP_ADD_SHARD, round),
+            1 => (OP_MOVE_SHARD, round),
+            _ => (OP_SET_REPLICATION, 3),
+        };
+        plan = plan.event(round + 1, submitter, op);
+    }
+    let plan = plan.leave(61, 2);
+
+    // Scale-up replicas join through the engine's churn schedule.
+    let scale_up: Vec<(u64, NodeId)> = vec![
+        (16, NodeId::new(5_000_010)),
+        (31, NodeId::new(5_000_020)),
+        (46, NodeId::new(5_000_030)),
+    ];
+    let mut churn = ChurnSchedule::empty();
+    for &(round, id) in &scale_up {
+        churn.push(round, ChurnEvent::JoinCorrect(id));
     }
 
-    println!("\nreplica        | joined | config-log length | finalized up to round");
-    println!("---------------+--------+-------------------+----------------------");
-    for node in engine.nodes() {
-        let joined = joined_rounds
-            .iter()
-            .find(|(id, _)| *id == Protocol::id(node))
-            .map(|(_, round)| *round)
-            .unwrap_or(0);
+    let mut harness = Simulation::scenario()
+        .correct(3)
+        .byzantine(2)
+        .seed(99)
+        .max_rounds(total_rounds)
+        .churn(churn)
+        .build_with_adversary(
+            TotalOrderFactory::new(plan),
+            "membership-flapper",
+            MembershipFlapper::new((OP_SET_REPLICATION, 666)),
+        );
+    println!("founding replicas: {:?}", harness.context().correct_ids);
+    println!(
+        "byzantine replicas (membership flapping + op spam): {:?}\n",
+        harness.context().byzantine_ids
+    );
+    for &(round, id) in &scale_up {
+        println!("round {:>3}: scaling up — replica {id} joins", round - 1);
+    }
+    println!(
+        "round  60: scaling down — replica {} retires",
+        harness.context().correct_ids[2]
+    );
+
+    let report = harness.run().expect("run completes");
+    assert!(report.completed());
+
+    println!("\nreplica        | config-log length | finalized up to round");
+    println!("---------------+-------------------+----------------------");
+    for node in harness.nodes() {
         println!(
-            "{:<14} | {:>6} | {:>17} | {:>21}",
+            "{:<14} | {:>17} | {:>21}",
             Protocol::id(node).to_string(),
-            joined,
             node.chain().len(),
             node.finalized_upto()
         );
@@ -107,7 +107,7 @@ fn main() {
     // necessarily starts a couple of rounds after it was added (its join handshake has
     // to complete before it participates in an instance), so the comparable part of
     // its log starts at its first finalised round.
-    let observations: Vec<ChainObservation<ConfigOp>> = engine
+    let observations: Vec<ChainObservation<ConfigOp>> = harness
         .nodes()
         .iter()
         .map(|node| ChainObservation {
@@ -116,9 +116,12 @@ fn main() {
             joined_round: node.chain().first().map(|entry| entry.round).unwrap_or(0),
         })
         .collect();
-    let report = check_chain_prefix(&observations);
-    report.assert_passed("database cluster configuration log");
-    println!("\nchain-prefix verified across {} replicas ({})", observations.len(), report);
+    let checked = check_chain_prefix(&observations);
+    checked.assert_passed("database cluster configuration log");
+    println!(
+        "\nchain-prefix verified across {} replicas ({checked})",
+        observations.len()
+    );
 
     // Operations fabricated by the Byzantine replicas may only appear if every
     // correct replica agreed to order them (agreement still holds); count them.

@@ -7,63 +7,65 @@
 //! rounds and witnesses a round in which everyone accepted the opinion of the same,
 //! correct coordinator (a *good round*).
 //!
-//! Run with `cargo run -p uba-core --example leader_election`.
-
-use std::collections::BTreeSet;
+//! The custom candidate-poisoning attack goes through the `Simulation` builder's
+//! `build_with_adversary` escape hatch — the scenario description stays the same.
+//!
+//! Run with `cargo run --example leader_election`.
 
 use uba_core::adversaries::CandidatePoisoner;
-use uba_core::RotorCoordinator;
-use uba_simnet::{IdSpace, NodeId, SyncEngine};
+use uba_core::sim::{RotorFactory, Simulation};
+use uba_simnet::NodeId;
 
 fn main() {
-    let ids = IdSpace::default().generate(10, 23);
-    let (correct_ids, byzantine_ids) = ids.split_at(7);
-    println!("cluster members : {correct_ids:?}");
-    println!("byzantine nodes : {byzantine_ids:?}\n");
-
-    // Each node's "opinion" is the configuration epoch it would announce as leader.
-    let nodes: Vec<RotorCoordinator<u64>> =
-        correct_ids.iter().map(|&id| RotorCoordinator::new(id, id.raw() * 1000)).collect();
-
     // The adversary vouches for identifiers that do not exist, trying to get ghost
     // nodes elected.
-    let adversary = CandidatePoisoner::new(vec![NodeId::new(1), NodeId::new(2)]);
+    let ghosts = vec![NodeId::new(1), NodeId::new(2)];
+    let mut harness = Simulation::scenario()
+        .correct(7)
+        .byzantine(3)
+        .seed(23)
+        .max_rounds(200)
+        .build_with_adversary(
+            RotorFactory,
+            "candidate-poisoner",
+            CandidatePoisoner::new(ghosts.clone()),
+        );
+    println!("cluster members : {:?}", harness.context().correct_ids);
+    println!("byzantine nodes : {:?}\n", harness.context().byzantine_ids);
 
-    let mut engine = SyncEngine::new(nodes, adversary, byzantine_ids.to_vec());
-    engine.run_until_all_terminated(200).expect("rotor terminates in O(n) rounds");
+    let report = harness.run().expect("rotor terminates in O(n) rounds");
+    assert!(report.completed());
 
-    println!("terminated after {} rounds\n", engine.round());
-    println!("loop round | coordinator selected by node {}", engine.correct_ids()[0]);
+    println!("terminated after {} rounds\n", report.rounds);
+    println!(
+        "loop round | coordinator selected by node {}",
+        harness.context().correct_ids[0]
+    );
     println!("-----------+----------------------------------");
-    let reference = engine.nodes()[0].state().history();
-    for record in reference {
+    for record in harness.nodes()[0].state().history() {
         println!(
             "{:>10} | {} (accepted opinion: {:?})",
-            record.loop_round,
-            record.coordinator,
-            record.accepted_opinion
+            record.loop_round, record.coordinator, record.accepted_opinion
         );
     }
 
-    // Find the good round: every correct node selected the same correct coordinator.
-    let correct: BTreeSet<NodeId> = engine.correct_ids().into_iter().collect();
-    let histories: Vec<_> = engine.nodes().iter().map(|n| n.state().history()).collect();
-    let rounds = histories.iter().map(|h| h.len()).min().unwrap();
-    let good_round = (0..rounds).find(|&r| {
-        let selections: BTreeSet<NodeId> = histories.iter().map(|h| h[r].coordinator).collect();
-        selections.len() == 1 && correct.contains(selections.iter().next().unwrap())
-    });
-    match good_round {
-        Some(r) => println!(
-            "\ngood round found at loop round {r}: every node trusted the same correct coordinator"
-        ),
-        None => unreachable!("Theorem 2 guarantees a good round before termination"),
-    }
+    // The report's rotor section certifies the good round (Theorem 2).
+    let section = report.rotor.as_ref().expect("rotor section");
+    assert!(
+        section.good_round,
+        "Theorem 2 guarantees a good round before termination"
+    );
+    println!(
+        "\ngood round confirmed: every node trusted the same correct coordinator at least once \
+         ({} coordinators selected)",
+        section.selected
+    );
 
     // No fabricated identifier ever made it into a candidate set.
-    for node in engine.nodes() {
-        assert!(!node.state().candidates().contains(&NodeId::new(1)));
-        assert!(!node.state().candidates().contains(&NodeId::new(2)));
+    for node in harness.nodes() {
+        for ghost in &ghosts {
+            assert!(!node.state().candidates().contains(ghost));
+        }
     }
     println!("fabricated candidate identifiers were kept out of every candidate set");
 }

@@ -6,60 +6,52 @@
 //! participants exist. The finalised chains of all participants are prefixes of one
 //! another (chain-prefix) and keep growing (chain-growth).
 //!
-//! Run with `cargo run -p uba-core --example permissionless_ledger`.
+//! Joins ride the scenario's churn schedule (applied by the engine itself),
+//! transaction submissions and the leave announcement ride the total-order input
+//! plan — the whole run is one `Simulation` builder chain.
+//!
+//! Run with `cargo run --example permissionless_ledger`.
 
-use uba_core::total_order::chains_agree;
-use uba_core::{OrderedEvent, TotalOrderNode};
-use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{IdSpace, NodeId, Protocol, SyncEngine};
-
-/// A toy transaction: (account, amount).
-type Tx = (u64, u64);
+use uba_core::sim::{ScenarioExt, Simulation, TotalOrderPlan};
+use uba_simnet::{ChurnEvent, ChurnSchedule, NodeId, Protocol};
 
 fn main() {
-    let founder_ids = IdSpace::default().generate(5, 7);
-    println!("founders: {founder_ids:?}");
-
-    let nodes: Vec<TotalOrderNode<Tx>> =
-        founder_ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
-    let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-
     let joiner = NodeId::new(1_000_003);
-    let leaver = founder_ids[4];
     let total_rounds = 80u64;
 
+    // Every round, one participant submits a transaction (account, nonce); the
+    // fifth founder announces its departure at round 40.
+    let mut plan = TotalOrderPlan::rounds(total_rounds);
     for round in 0..total_rounds {
-        // A new participant shows up at round 20 without any ceremony beyond
-        // broadcasting `present`.
-        if round == 20 {
-            println!("round {round:>3}: {joiner} joins the network");
-            engine.add_node(TotalOrderNode::joining(joiner)).unwrap();
-        }
-        // One founder announces its departure at round 40.
-        if round == 40 {
-            println!("round {round:>3}: {leaver} announces that it leaves");
-            if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == leaver) {
-                node.announce_leave();
-            }
-        }
-        // Every round, one participant submits a transaction.
-        let submitter = founder_ids[(round as usize) % 4];
-        if let Some(node) = engine.nodes_mut().iter_mut().find(|n| n.id() == submitter) {
-            node.submit_event((submitter.raw() % 100, round));
-        }
-        engine.run_rounds(1).unwrap();
+        let submitter = (round as usize) % 4;
+        plan = plan.event(round + 1, submitter, (submitter as u64) << 32 | round);
     }
+    let plan = plan.leave(41, 4);
+
+    // A new participant shows up at round 20 without any ceremony beyond
+    // broadcasting `present`.
+    let churn = ChurnSchedule::empty().with(21, ChurnEvent::JoinCorrect(joiner));
+
+    let mut harness = Simulation::scenario()
+        .correct(5)
+        .byzantine(0)
+        .seed(7)
+        .max_rounds(total_rounds)
+        .churn(churn)
+        .total_order(plan);
+    println!("founders: {:?}", harness.context().correct_ids);
+    println!("round  21: {joiner} joins the network");
+    println!(
+        "round  41: {} announces that it leaves",
+        harness.context().correct_ids[4]
+    );
+
+    let report = harness.run().expect("run completes");
 
     // Inspect the finalised chains.
-    let chains: Vec<(NodeId, Vec<OrderedEvent<Tx>>)> = engine
-        .nodes()
-        .iter()
-        .map(|n| (n.id(), n.chain().to_vec()))
-        .collect();
-
     println!("\nnode         | chain length | finalized up to round");
     println!("-------------+--------------+----------------------");
-    for node in engine.nodes() {
+    for node in harness.nodes() {
         println!(
             "{:<12} | {:>12} | {:>21}",
             node.id().to_string(),
@@ -69,20 +61,28 @@ fn main() {
     }
 
     // Chain-prefix: every pair of chains agrees on the rounds they both cover (the
-    // joiner's log necessarily starts after it joined).
-    let logs: Vec<Vec<OrderedEvent<Tx>>> = chains.iter().map(|(_, c)| c.clone()).collect();
-    assert!(chains_agree(&logs), "chain-prefix violated");
-    let longest = chains.iter().map(|(_, c)| c.len()).max().unwrap();
-    println!("\nchain-prefix holds across {} nodes; longest finalised chain: {longest} events", chains.len());
+    // joiner's log necessarily starts after it joined) — certified by the report.
+    let section = report.chain.as_ref().expect("chain section");
+    assert!(section.prefix_ok, "chain-prefix violated");
+    let longest = section.lengths.iter().map(|&(_, len)| len).max().unwrap();
+    println!(
+        "\nchain-prefix holds across {} nodes; longest finalised chain: {longest} events",
+        section.lengths.len()
+    );
 
     println!("\nfirst ten ordered events:");
-    for event in chains.iter().max_by_key(|(_, c)| c.len()).unwrap().1.iter().take(10) {
+    let best = harness
+        .nodes()
+        .iter()
+        .max_by_key(|n| n.chain().len())
+        .expect("at least one node");
+    for event in best.chain().iter().take(10) {
         println!(
             "  round {:>3}  witness {:<11} tx = (account {}, nonce {})",
             event.round,
             event.witness.to_string(),
-            event.event.0,
-            event.event.1
+            event.event >> 32,
+            event.event & 0xFFFF_FFFF
         );
     }
 }

@@ -5,55 +5,51 @@
 //! No correct node is ever told `n = 9` or `f = 2` — yet they all decide the same
 //! value, and that value was the input of some correct node.
 //!
-//! Run with `cargo run -p uba-core --example quickstart`.
+//! The whole experiment is one `Simulation` builder chain: describe the system,
+//! pick the adversary, point it at a protocol, read the report.
+//!
+//! Run with `cargo run --example quickstart`.
 
-use uba_core::adversaries::SplitVote;
-use uba_core::Consensus;
-use uba_simnet::{IdSpace, Protocol, SyncEngine};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
 
 fn main() {
-    // Sparse, non-consecutive identifiers: nobody can infer n from them.
-    let ids = IdSpace::default().generate(9, 42);
-    let (correct_ids, byzantine_ids) = ids.split_at(7);
+    // Sparse, non-consecutive identifiers: nobody can infer n from them. Correct
+    // nodes are constructed from id and input only — no n, no f, no membership list.
+    let inputs: Vec<u64> = (0..7).map(|i| (i % 2) as u64).collect();
+    let mut harness = Simulation::scenario()
+        .correct(7)
+        .byzantine(2)
+        .seed(42)
+        .max_rounds(300)
+        // The adversary pushes opposite values to different halves of the network.
+        .adversary(AdversaryKind::SplitVote)
+        .consensus(&inputs);
 
-    println!("correct nodes  : {correct_ids:?}");
-    println!("byzantine nodes: {byzantine_ids:?}");
+    println!("correct nodes  : {:?}", harness.context().correct_ids);
+    println!("byzantine nodes: {:?}", harness.context().byzantine_ids);
 
-    // Correct nodes with split opinions. Note that a node is constructed from its id
-    // and its input only — no n, no f, no membership list.
-    let nodes: Vec<Consensus<u64>> = correct_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| Consensus::new(id, (i % 2) as u64))
-        .collect();
-
-    // The adversary pushes opposite values to different halves of the network.
-    let adversary = SplitVote::new(0u64, 1u64);
-
-    let mut engine = SyncEngine::new(nodes, adversary, byzantine_ids.to_vec());
-    engine.run_until_all_terminated(300).expect("consensus terminates");
+    let report = harness.run().expect("consensus terminates");
+    let section = report.consensus.as_ref().expect("consensus section");
 
     println!("\nround | node        | decided | phase");
     println!("------+-------------+---------+------");
-    for node in engine.nodes() {
-        let decision = node.decision().expect("every correct node decided");
+    for decision in &section.decisions {
         println!(
             "{:>5} | {:<11} | {:>7} | {:>5}",
             decision.round,
-            node.id().to_string(),
+            decision.node.to_string(),
             decision.value,
             decision.phase
         );
     }
 
-    let decisions: Vec<u64> =
-        engine.outputs().into_iter().map(|(_, d)| d.unwrap().value).collect();
-    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+    assert!(section.agreement, "agreement");
+    assert!(section.validity, "validity");
     println!(
         "\nall {} correct nodes agreed on {} after {} rounds and {} messages",
-        decisions.len(),
-        decisions[0],
-        engine.round(),
-        engine.metrics().correct_messages
+        section.decisions.len(),
+        section.decisions[0].value,
+        report.rounds,
+        report.messages.correct
     );
 }

@@ -4,19 +4,22 @@
 //! agreement; an *audit* repeats the question across seeds, adversary strategies and
 //! failure counts, inside and outside the `n > 3f` bound, and reports rates. The
 //! sweep is embarrassingly parallel, so it fans the trials out over worker threads
-//! with the crossbeam-based harness from `uba-bench` — the aggregate numbers are
+//! with the scoped-thread harness from `uba-bench` (each trial one `Simulation` builder run) — the aggregate numbers are
 //! identical for any worker count.
 //!
-//! Run with `cargo run -p uba-bench --release --example resilience_audit`.
+//! Run with `cargo run --release --example resilience_audit`.
 
 use std::time::Instant;
 
 use uba_bench::montecarlo::{ResilienceSweep, SweepConfig};
-use uba_core::runner::AdversaryKind;
+use uba_core::sim::AdversaryKind;
 
 fn main() {
     let trials = 24u64;
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
     println!("auditing consensus: {trials} trials per cell, {workers} worker threads\n");
 
     let adversaries = [

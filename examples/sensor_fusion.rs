@@ -7,34 +7,25 @@
 //! exist or how many are faulty. Iterating Algorithm 4 halves the disagreement every
 //! round while never leaving the range of honest readings.
 //!
-//! Run with `cargo run -p uba-core --example sensor_fusion`.
+//! The domain-specific lie (−40 °C / +85 °C) is injected through the builder's
+//! `build_with_adversary` escape hatch.
+//!
+//! Run with `cargo run --example sensor_fusion`.
 
-use uba_core::{IteratedApproxAgreement, Real};
-use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, SyncEngine};
+use uba_core::sim::{IteratedApproxFactory, Simulation};
+use uba_core::Real;
+use uba_simnet::{AdversaryView, Directed, FnAdversary};
 
 fn main() {
     // 13 honest sensors reading between 18.0 and 23.0 degrees, 4 Byzantine ones.
-    let ids = IdSpace::default().generate(17, 11);
-    let (honest_ids, byzantine_ids) = ids.split_at(13);
-    let readings: Vec<f64> =
-        (0..13).map(|i| 18.0 + (i as f64) * 5.0 / 12.0).collect();
-
-    println!("honest readings: {readings:?}");
-    println!("byzantine sensors: {byzantine_ids:?}\n");
-
-    let iterations = 8;
-    let nodes: Vec<IteratedApproxAgreement> = honest_ids
-        .iter()
-        .zip(&readings)
-        .map(|(&id, &reading)| IteratedApproxAgreement::new(id, Real::from_f64(reading), iterations))
-        .collect();
+    let readings: Vec<f64> = (0..13).map(|i| 18.0 + (i as f64) * 5.0 / 12.0).collect();
+    let iterations = 8u64;
 
     // The faulty sensors report −40 °C to half of the peers and +85 °C to the other
     // half, every single round.
-    let byz: Vec<_> = byzantine_ids.to_vec();
-    let adversary = FnAdversary::new(move |view: &AdversaryView<'_, Real>| {
+    let liar = FnAdversary::new(|view: &AdversaryView<'_, Real>| {
         let mut out = Vec::new();
-        for (b, &from) in byz.iter().enumerate() {
+        for (b, &from) in view.byzantine_ids.iter().enumerate() {
             for (i, &to) in view.correct_ids.iter().enumerate() {
                 let lie = if (i + b) % 2 == 0 { -40.0 } else { 85.0 };
                 out.push(Directed::new(from, to, Real::from_f64(lie)));
@@ -43,22 +34,53 @@ fn main() {
         out
     });
 
-    let mut engine = SyncEngine::new(nodes, adversary, byzantine_ids.to_vec());
-    engine.run_until_all_terminated(iterations + 5).expect("fusion completes");
+    let mut harness = Simulation::scenario()
+        .correct(13)
+        .byzantine(4)
+        .seed(11)
+        .max_rounds(iterations + 5)
+        .build_with_adversary(
+            IteratedApproxFactory::new(readings.clone(), iterations),
+            "freeze-or-boil-liars",
+            liar,
+        );
+
+    println!("honest readings: {readings:?}");
+    println!("byzantine sensors: {:?}\n", harness.context().byzantine_ids);
+
+    let report = harness.run().expect("fusion completes");
+    assert!(report.completed());
 
     println!("iteration | min estimate | max estimate | spread");
     println!("----------+--------------+--------------+-------");
     for i in 0..iterations as usize {
-        let values: Vec<f64> =
-            engine.nodes().iter().map(|n| n.history()[i].to_f64()).collect();
+        let values: Vec<f64> = harness
+            .nodes()
+            .iter()
+            .map(|n| n.history()[i].to_f64())
+            .collect();
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!("{:>9} | {:>12.4} | {:>12.4} | {:>6.4}", i + 1, lo, hi, hi - lo);
-        assert!(lo >= 18.0 - 1e-6 && hi <= 23.0 + 1e-6, "estimates stay in the honest range");
+        println!(
+            "{:>9} | {:>12.4} | {:>12.4} | {:>6.4}",
+            i + 1,
+            lo,
+            hi,
+            hi - lo
+        );
+        assert!(
+            lo >= 18.0 - 1e-6 && hi <= 23.0 + 1e-6,
+            "estimates stay in the honest range"
+        );
     }
 
-    let finals: Vec<f64> = engine.outputs().into_iter().map(|(_, o)| o.unwrap().to_f64()).collect();
-    let spread = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        - finals.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("\nafter {iterations} iterations the honest sensors agree to within {spread:.4} °C");
+    let spreads = &report
+        .spreads
+        .as_ref()
+        .expect("spread section")
+        .per_iteration;
+    println!(
+        "\nafter {iterations} iterations the honest sensors agree to within {:.4} °C",
+        spreads.last().unwrap()
+    );
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use uba_core::adversaries::{
     AnnounceThenSilent, CandidatePoisoner, EquivocatingSource, GhostPairInjector, SplitVote,
 };
-use uba_core::runner::{run_consensus, AdversaryKind, Scenario};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
 use uba_core::{Consensus, ParallelConsensus, ReliableBroadcast, RotorCoordinator};
 use uba_simnet::adversary::CrashAdversary;
 use uba_simnet::{IdSpace, NodeId, SyncEngine};
@@ -23,9 +23,12 @@ fn consensus_survives_a_crash_after_participation() {
         .collect();
     let adversary = CrashAdversary::new(SplitVote::new(0u64, 1u64), 9);
     let mut engine = SyncEngine::new(nodes, adversary, byz);
-    engine.run_until_all_terminated(400).unwrap();
-    let decisions: Vec<u64> =
-        engine.outputs().into_iter().map(|(_, d)| d.unwrap().value).collect();
+    engine.run_to_termination(400).unwrap();
+    let decisions: Vec<u64> = engine
+        .outputs()
+        .into_iter()
+        .map(|(_, d)| d.unwrap().value)
+        .collect();
     assert!(decisions.windows(2).all(|w| w[0] == w[1]));
 }
 
@@ -37,8 +40,10 @@ fn reliable_broadcast_under_equivocation_plus_extra_byzantine_echoers() {
     let correct: Vec<NodeId> = ids[..7].to_vec();
     let byz: Vec<NodeId> = ids[7..].to_vec();
     let source = byz[0];
-    let nodes: Vec<ReliableBroadcast<u64>> =
-        correct.iter().map(|&id| ReliableBroadcast::receiver(id, source)).collect();
+    let nodes: Vec<ReliableBroadcast<u64>> = correct
+        .iter()
+        .map(|&id| ReliableBroadcast::receiver(id, source))
+        .collect();
     // Reuse the library equivocator for the source; the other Byzantine identities
     // stay silent (they are still counted against the thresholds by their presence in
     // the byzantine id list, without ever being seen — the hardest case for n_v).
@@ -50,7 +55,10 @@ fn reliable_broadcast_under_equivocation_plus_extra_byzantine_echoers() {
         .iter()
         .map(|n| n.accepted().iter().map(|a| a.message).collect())
         .collect();
-    assert!(accept_sets.iter().all(|s| s == &accept_sets[0]), "{accept_sets:?}");
+    assert!(
+        accept_sets.iter().all(|s| s == &accept_sets[0]),
+        "{accept_sets:?}"
+    );
 }
 
 #[test]
@@ -59,11 +67,13 @@ fn rotor_excludes_fabricated_candidates_and_still_finds_a_good_round() {
     let correct: Vec<NodeId> = ids[..9].to_vec();
     let byz: Vec<NodeId> = ids[9..].to_vec();
     let ghosts = vec![NodeId::new(1), NodeId::new(3)];
-    let nodes: Vec<RotorCoordinator<u64>> =
-        correct.iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
+    let nodes: Vec<RotorCoordinator<u64>> = correct
+        .iter()
+        .map(|&id| RotorCoordinator::new(id, id.raw()))
+        .collect();
     let adversary = CandidatePoisoner::new(ghosts.clone());
     let mut engine = SyncEngine::new(nodes, adversary, byz);
-    engine.run_until_all_terminated(300).unwrap();
+    engine.run_to_termination(300).unwrap();
 
     for node in engine.nodes() {
         for ghost in &ghosts {
@@ -94,29 +104,47 @@ fn parallel_consensus_rejects_ghost_pairs_even_with_many_real_instances() {
         .collect();
     let adversary = GhostPairInjector::new(vec![(900_001, 66u64), (900_002, 67u64)]);
     let mut engine = SyncEngine::new(nodes, adversary, ids[correct..].to_vec());
-    engine.run_until_all_terminated(500).unwrap();
-    let decisions: Vec<_> = engine.outputs().into_iter().map(|(_, d)| d.unwrap()).collect();
+    engine.run_to_termination(500).unwrap();
+    let decisions: Vec<_> = engine
+        .outputs()
+        .into_iter()
+        .map(|(_, d)| d.unwrap())
+        .collect();
     for decision in &decisions {
         assert_eq!(decision.pairs, decisions[0].pairs);
         for id in decision.pairs.keys() {
             assert!(*id < 900_000, "a ghost pair was output: {id}");
         }
         for (id, value) in &real_pairs {
-            assert_eq!(decision.pairs.get(id), Some(value), "a unanimous real pair was dropped");
+            assert_eq!(
+                decision.pairs.get(id),
+                Some(value),
+                "a unanimous real pair was dropped"
+            );
         }
     }
 }
 
 #[test]
-fn runner_adversary_matrix_is_consistent_across_seeds() {
+fn builder_adversary_matrix_is_consistent_across_seeds() {
     // A quick sweep over seeds (the deterministic analogue of repeated random trials):
     // agreement and validity must hold on every single run.
     for seed in 0..10u64 {
-        let scenario = Scenario::new(7, 2, seed);
         let inputs: Vec<u64> = (0..7).map(|i| (i as u64 + seed) % 2).collect();
         for kind in [AdversaryKind::AnnounceThenSilent, AdversaryKind::SplitVote] {
-            let report = run_consensus(&scenario, &inputs, kind).unwrap();
-            assert!(report.agreement && report.validity, "seed {seed}, {kind:?}");
+            let report = Simulation::scenario()
+                .correct(7)
+                .byzantine(2)
+                .seed(seed)
+                .adversary(kind)
+                .consensus(&inputs)
+                .run()
+                .unwrap();
+            let section = report.consensus.as_ref().expect("consensus section");
+            assert!(
+                section.agreement && section.validity,
+                "seed {seed}, {kind:?}"
+            );
         }
     }
 }
@@ -133,9 +161,13 @@ fn announce_then_silent_inflates_n_v_but_not_forever() {
         .map(|(i, &id)| Consensus::new(id, (i % 2) as u64))
         .collect();
     let mut engine = SyncEngine::new(nodes, AnnounceThenSilent, byz);
-    engine.run_until_all_terminated(400).unwrap();
+    engine.run_to_termination(400).unwrap();
     for node in engine.nodes() {
-        assert_eq!(node.n_v(), 10, "the silent Byzantine nodes were counted towards n_v");
+        assert_eq!(
+            node.n_v(),
+            10,
+            "the silent Byzantine nodes were counted towards n_v"
+        );
         assert!(node.decision().is_some());
     }
 }

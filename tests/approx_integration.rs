@@ -6,7 +6,7 @@ use uba_bench::workload::{clustered_with_outliers, rolling_churn_plan, uniform_r
 use uba_checker::approx::{check_approx, check_approx_real, check_convergence};
 use uba_core::approx::{ApproxAgreement, IteratedApproxAgreement};
 use uba_core::dynamic_approx::{run_dynamic_approx, subset_join_value, ChurnPlan};
-use uba_core::runner::{run_approx, run_iterated_approx, Scenario};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
 use uba_core::Real;
 use uba_simnet::adversary::SilentAdversary;
 use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, NodeId, SyncEngine};
@@ -14,14 +14,20 @@ use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, NodeId, SyncEngi
 #[test]
 fn single_shot_satisfies_theorem_4_across_sizes_and_inputs() {
     for &(n, f) in &[(4usize, 1usize), (7, 2), (13, 4), (31, 10)] {
-        let scenario = Scenario::new(n - f, f, 1_000 + n as u64);
         let inputs = uniform_reals(n - f, -50.0, 150.0, 2_000 + n as u64);
-        let report = run_approx(&scenario, &inputs).expect("approx run completes");
-        let outputs = vec![report.output_range.0, report.output_range.1];
-        check_approx(&inputs, &outputs)
+        let report = Simulation::scenario()
+            .correct(n - f)
+            .byzantine(f)
+            .seed(1_000 + n as u64)
+            .adversary(AdversaryKind::Worst)
+            .approx(&inputs)
+            .run()
+            .expect("approx run completes");
+        let section = report.approx.as_ref().expect("approx section");
+        check_approx(&section.inputs, &section.outputs)
             .assert_passed(&format!("single-shot approx with n = {n}, f = {f}"));
-        assert!(report.outputs_in_range);
-        assert!(report.contraction < 1.0);
+        assert!(section.outputs_in_range);
+        assert!(section.contraction < 1.0);
     }
 }
 
@@ -31,10 +37,17 @@ fn sensor_style_outliers_are_trimmed_away() {
     // nodes additionally push extreme values. Outputs must stay inside the *correct*
     // input range (which includes the honest outliers) and contract.
     let inputs = clustered_with_outliers(10, 100.0, 2.0, 3, 7);
-    let scenario = Scenario::new(10, 3, 31);
-    let report = run_approx(&scenario, &inputs).expect("approx run completes");
-    let outputs = vec![report.output_range.0, report.output_range.1];
-    check_approx(&inputs, &outputs).assert_passed("clustered inputs with honest outliers");
+    let report = Simulation::scenario()
+        .correct(10)
+        .byzantine(3)
+        .seed(31)
+        .adversary(AdversaryKind::Worst)
+        .approx(&inputs)
+        .run()
+        .expect("approx run completes");
+    let section = report.approx.as_ref().expect("approx section");
+    check_approx(&section.inputs, &section.outputs)
+        .assert_passed("clustered inputs with honest outliers");
 }
 
 #[test]
@@ -62,20 +75,36 @@ fn per_sender_deduplication_keeps_byzantine_stuffing_out() {
         out
     });
     let mut engine = SyncEngine::new(nodes, adversary, vec![byz]);
-    engine.run_until_all_output(4).unwrap();
-    let outputs: Vec<Real> = engine.outputs().into_iter().map(|(_, o)| o.unwrap()).collect();
+    engine.run_to_output(4).unwrap();
+    let outputs: Vec<Real> = engine
+        .outputs()
+        .into_iter()
+        .map(|(_, o)| o.unwrap())
+        .collect();
     let input_reals: Vec<Real> = inputs.iter().map(|&x| Real::from_f64(x)).collect();
     check_approx_real(&input_reals, &outputs).assert_passed("value-stuffing adversary");
     for node in engine.nodes() {
-        assert_eq!(node.n_v(), 6, "5 correct senders + exactly one counted Byzantine sender");
+        assert_eq!(
+            node.n_v(),
+            6,
+            "5 correct senders + exactly one counted Byzantine sender"
+        );
     }
 }
 
 #[test]
 fn iterated_agreement_halves_every_iteration_and_checker_confirms() {
-    let scenario = Scenario::new(12, 3, 99);
     let inputs = uniform_reals(12, 0.0, 640.0, 5);
-    let spreads = run_iterated_approx(&scenario, &inputs, 8).expect("iterated run completes");
+    let spreads = Simulation::scenario()
+        .correct(12)
+        .byzantine(3)
+        .seed(99)
+        .iterated_approx(&inputs, 8)
+        .run()
+        .expect("iterated run completes")
+        .spreads
+        .expect("spread section")
+        .per_iteration;
     assert_eq!(spreads.len(), 8);
     check_convergence(&spreads).assert_passed("iterated halving");
     assert!(*spreads.last().unwrap() < 640.0 / 2f64.powi(7) * 1.01);
@@ -94,20 +123,29 @@ fn iterated_agreement_with_injected_values_recovers() {
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
     engine.run_rounds(3).unwrap();
     engine.nodes_mut()[0].inject_value(Real::from_int(10_000));
-    engine.run_until_all_terminated(20).unwrap();
-    let finals: Vec<f64> =
-        engine.outputs().into_iter().map(|(_, o)| o.unwrap().to_f64()).collect();
+    engine.run_to_termination(20).unwrap();
+    let finals: Vec<f64> = engine
+        .outputs()
+        .into_iter()
+        .map(|(_, o)| o.unwrap().to_f64())
+        .collect();
     let spread = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - finals.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread < 200.0, "convergence must resume after the injection, spread = {spread}");
+    assert!(
+        spread < 200.0,
+        "convergence must resume after the injection, spread = {spread}"
+    );
 }
 
 #[test]
 fn dynamic_network_reconverges_after_every_join() {
     let ids = IdSpace::default().generate(10, 11);
     let inputs = uniform_reals(10, 0.0, 100.0, 13);
-    let initial: Vec<(NodeId, Real)> =
-        ids.iter().zip(&inputs).map(|(&id, &x)| (id, Real::from_f64(x))).collect();
+    let initial: Vec<(NodeId, Real)> = ids
+        .iter()
+        .zip(&inputs)
+        .map(|(&id, &x)| (id, Real::from_f64(x)))
+        .collect();
     // Churn stops at round 24; the run continues to round 32 so the system has a
     // churn-free tail to reconverge in.
     let plan = rolling_churn_plan(&ids, 24, 6, 0.0, 100.0, 17);
@@ -115,15 +153,22 @@ fn dynamic_network_reconverges_after_every_join() {
     // Joiner values come from the same [0, 100] range, so the spread can never exceed
     // the original range, and well after the last join it must have collapsed again.
     assert!(report.spread_per_round.iter().all(|&s| s <= 100.0 + 1e-6));
-    assert!(report.final_spread() < 5.0, "final spread {}", report.final_spread());
+    assert!(
+        report.final_spread() < 5.0,
+        "final spread {}",
+        report.final_spread()
+    );
 }
 
 #[test]
 fn dynamic_network_without_churn_matches_the_static_iterated_protocol() {
     let ids = IdSpace::default().generate(8, 21);
     let inputs = uniform_reals(8, -10.0, 10.0, 22);
-    let initial: Vec<(NodeId, Real)> =
-        ids.iter().zip(&inputs).map(|(&id, &x)| (id, Real::from_f64(x))).collect();
+    let initial: Vec<(NodeId, Real)> = ids
+        .iter()
+        .zip(&inputs)
+        .map(|(&id, &x)| (id, Real::from_f64(x)))
+        .collect();
     let report = run_dynamic_approx(&initial, &ChurnPlan::none(), 6).expect("run completes");
     check_convergence(&report.spread_per_round[1..]).assert_passed("churn-free dynamic run");
 }
@@ -132,8 +177,10 @@ fn dynamic_network_without_churn_matches_the_static_iterated_protocol() {
 fn subset_join_brings_a_newcomer_into_the_cluster() {
     // Section XII: nodes already agree around 42; a newcomer with a wild value runs
     // one Algorithm 4 step against a 7-node subset and must land inside the cluster.
-    let subset: Vec<Real> =
-        [41.8, 41.9, 42.0, 42.0, 42.1, 42.2, 42.3].iter().map(|&x| Real::from_f64(x)).collect();
+    let subset: Vec<Real> = [41.8, 41.9, 42.0, 42.0, 42.1, 42.2, 42.3]
+        .iter()
+        .map(|&x| Real::from_f64(x))
+        .collect();
     for &outlier in &[-1e6, 0.0, 1e9] {
         let joined = subset_join_value(Real::from_f64(outlier), &subset);
         assert!(

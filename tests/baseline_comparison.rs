@@ -1,14 +1,28 @@
 //! Integration tests comparing the id-only algorithms with the classic baselines that
 //! know `n` and `f` — the empirical backing of the paper's Section XII claim that
-//! removing that knowledge "does not change much" in terms of cost.
+//! removing that knowledge "does not change much" in terms of cost. Both sides of
+//! every comparison run through the same `Simulation` builder, pointed at different
+//! protocol factories.
 
-use uba_baselines::{DolevApprox, KnownRotor, PhaseKing, StBroadcast};
+use uba_baselines::{DolevApproxFactory, KnownRotorFactory, PhaseKingFactory, StBroadcastFactory};
 use uba_core::quorum::max_faults;
-use uba_core::runner::{
-    run_approx, run_broadcast_correct_source, run_consensus, run_rotor, AdversaryKind, Scenario,
-};
-use uba_simnet::adversary::SilentAdversary;
-use uba_simnet::{IdSpace, SyncEngine};
+use uba_core::sim::{AdversaryKind, ScenarioBuilder, ScenarioExt, Simulation};
+use uba_simnet::IdSpace;
+
+fn id_only(correct: usize, byzantine: usize, seed: u64) -> ScenarioBuilder {
+    Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .seed(seed)
+}
+
+fn baseline(correct: usize, byzantine: usize) -> ScenarioBuilder {
+    Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .ids(IdSpace::Consecutive)
+        .seed(0)
+}
 
 #[test]
 fn consensus_round_complexity_is_within_a_small_factor_of_phase_king() {
@@ -16,26 +30,26 @@ fn consensus_round_complexity_is_within_a_small_factor_of_phase_king() {
         let n = 3 * f + 1;
         let correct = n - f;
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
-        let scenario = Scenario::new(correct, f, 11 * f as u64);
-        let ours =
-            run_consensus(&scenario, &inputs, AdversaryKind::AnnounceThenSilent).unwrap();
+        let ours = id_only(correct, f, 11 * f as u64)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .consensus(&inputs)
+            .run()
+            .unwrap();
 
-        let ids = IdSpace::Consecutive.generate(n, 0);
-        let nodes: Vec<_> = ids[..correct]
-            .iter()
-            .zip(&inputs)
-            .map(|(&id, &x)| PhaseKing::new(id, ids.clone(), f, x))
-            .collect();
-        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
-        engine.run_until_all_terminated(300).unwrap();
-        let baseline_rounds = engine.round();
+        let king = baseline(correct, f)
+            .max_rounds(300)
+            .build(PhaseKingFactory::new(inputs))
+            .run()
+            .unwrap();
+        assert!(king.completed());
 
         // Both are O(f); the id-only algorithm may pay a small constant factor (its
         // phases are five rounds instead of three) but no more.
         assert!(
-            ours.rounds <= 4 * baseline_rounds + 10,
-            "f = {f}: id-only took {} rounds vs phase-king {baseline_rounds}",
-            ours.rounds
+            ours.rounds <= 4 * king.rounds + 10,
+            "f = {f}: id-only took {} rounds vs phase-king {}",
+            ours.rounds,
+            king.rounds
         );
     }
 }
@@ -44,33 +58,27 @@ fn consensus_round_complexity_is_within_a_small_factor_of_phase_king() {
 fn broadcast_message_complexity_is_within_a_small_factor_of_srikanth_toueg() {
     for &n in &[7usize, 13, 25] {
         let f = max_faults(n);
-        let scenario = Scenario::new(n - f, f, n as u64);
-        let ours = run_broadcast_correct_source(&scenario, 7, 8).unwrap();
+        let ours = id_only(n - f, f, n as u64)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .broadcast(7)
+            .rounds(8)
+            .run()
+            .unwrap();
 
-        let ids = IdSpace::Consecutive.generate(n, 0);
-        let source = ids[0];
-        let nodes: Vec<_> = ids[..n - f]
-            .iter()
-            .map(|&id| {
-                if id == source {
-                    StBroadcast::sender(id, f, 7u64)
-                } else {
-                    StBroadcast::receiver(id, source, f)
-                }
-            })
-            .collect();
-        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
-        engine.run_rounds(8).unwrap();
-        let baseline = engine.metrics().correct_messages.max(1);
+        let st = baseline(n - f, f)
+            .build(StBroadcastFactory::new(7))
+            .rounds(8)
+            .run()
+            .unwrap();
+        let st_messages = st.messages.correct.max(1);
 
-        let ratio = ours.messages as f64 / baseline as f64;
+        let ratio = ours.messages.correct as f64 / st_messages as f64;
         assert!(
             ratio < 4.0,
-            "n = {n}: id-only RB used {}× the messages of Srikanth–Toueg",
-            ratio
+            "n = {n}: id-only RB used {ratio}× the messages of Srikanth–Toueg"
         );
         // Both are Θ(n²) per broadcast: the absolute counts grow quadratically.
-        assert!(ours.messages as usize >= (n - f) * (n - f));
+        assert!(ours.messages.correct as usize >= (n - f) * (n - f));
     }
 }
 
@@ -78,21 +86,29 @@ fn broadcast_message_complexity_is_within_a_small_factor_of_srikanth_toueg() {
 fn rotor_uses_more_rounds_than_the_known_f_rotor_but_stays_linear() {
     for &n in &[8usize, 16, 32] {
         let f = max_faults(n);
-        let scenario = Scenario::new(n - f, f, n as u64);
-        let ours = run_rotor(&scenario, AdversaryKind::AnnounceThenSilent).unwrap();
+        let ours = id_only(n - f, f, n as u64)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .rotor()
+            .run()
+            .unwrap();
+        assert!(ours.completed());
+        assert!(ours.rotor.as_ref().unwrap().good_round);
 
-        let ids = IdSpace::Consecutive.generate(n, 0);
-        let nodes: Vec<_> =
-            ids[..n - f].iter().map(|&id| KnownRotor::new(id, f, id.raw())).collect();
-        let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[n - f..].to_vec());
-        engine.run_until_all_terminated(3 * n as u64 + 10).unwrap();
-        let baseline_rounds = engine.round();
+        let known = baseline(n - f, f)
+            .max_rounds(3 * n as u64 + 10)
+            .build(KnownRotorFactory)
+            .run()
+            .unwrap();
+        assert!(known.completed());
 
         // Known-f rotor needs f + 2 rounds; the id-only rotor needs O(n) — that gap is
         // the price of not knowing f, and it must not exceed linear.
-        assert!(ours.rounds as usize <= n + 5, "n = {n}: rotor took {} rounds", ours.rounds);
-        assert!(baseline_rounds as usize <= f + 2);
-        assert!(ours.good_round);
+        assert!(
+            ours.rounds as usize <= n + 5,
+            "n = {n}: rotor took {} rounds",
+            ours.rounds
+        );
+        assert!(known.rounds as usize <= f + 2);
     }
 }
 
@@ -101,24 +117,24 @@ fn approx_agreement_contraction_matches_the_dolev_baseline() {
     let correct = 11usize;
     let f = 4usize;
     let inputs: Vec<f64> = (0..correct).map(|i| i as f64 * 9.0).collect();
-    let scenario = Scenario::new(correct, f, 99);
-    let ours = run_approx(&scenario, &inputs).unwrap();
-    assert!(ours.outputs_in_range);
-    assert!(ours.contraction <= 0.5 + 1e-9, "Algorithm 4 halves the range, got {}", ours.contraction);
+    let ours = id_only(correct, f, 99)
+        .adversary(AdversaryKind::Worst)
+        .approx(&inputs)
+        .run()
+        .unwrap();
+    let section = ours.approx.as_ref().unwrap();
+    assert!(section.outputs_in_range);
+    assert!(
+        section.contraction <= 0.5 + 1e-9,
+        "Algorithm 4 halves the range, got {}",
+        section.contraction
+    );
 
-    let ids = IdSpace::Consecutive.generate(correct + f, 0);
-    let nodes: Vec<_> = ids[..correct]
-        .iter()
-        .zip(&inputs)
-        .map(|(&id, &x)| DolevApprox::new(id, f, (x * 1e6) as i64))
-        .collect();
-    let mut engine = SyncEngine::new(nodes, SilentAdversary, ids[correct..].to_vec());
-    engine.run_until_all_output(4).unwrap();
-    let outputs: Vec<f64> =
-        engine.outputs().into_iter().map(|(_, o)| o.unwrap() as f64 / 1e6).collect();
-    let lo = outputs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = outputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let baseline_contraction = (hi - lo) / 90.0;
+    let dolev = baseline(correct, f)
+        .max_rounds(4)
+        .build(DolevApproxFactory::new(inputs))
+        .run()
+        .unwrap();
     // Same convergence regime (both at most ½ per round, fault-free here).
-    assert!(baseline_contraction <= 0.5 + 1e-9);
+    assert!(dolev.approx.as_ref().unwrap().contraction <= 0.5 + 1e-9);
 }

@@ -1,46 +1,84 @@
 //! Tests at the resiliency boundary: the paper's guarantees hold exactly when
 //! `n > 3f`. These tests pin the behaviour at `n = 3f + 1` (the hardest admissible
 //! point), document what is and is not promised at `n = 3f` (nothing), and cover the
-//! degenerate corners (`f = 0`, a single node, an empty system).
+//! degenerate corners (`f = 0`, a single node, an empty system). All end-to-end runs
+//! go through the unified `Simulation` builder.
 
 use uba_checker::consensus::{check_consensus, ConsensusCheck, ConsensusObservation};
 use uba_core::quorum::{max_faults, meets_one_third, meets_two_thirds, resilient};
-use uba_core::runner::{
-    run_approx, run_broadcast_correct_source, run_broadcast_equivocating_source, run_consensus,
-    run_rotor, AdversaryKind, Scenario,
-};
+use uba_core::sim::{AdversaryKind, RunStatus, ScenarioBuilder, ScenarioExt, Simulation};
 use uba_core::Consensus;
 use uba_simnet::adversary::SilentAdversary;
 use uba_simnet::{IdSpace, NodeId, Protocol, SyncEngine};
+
+fn scenario(correct: usize, byzantine: usize, seed: u64) -> ScenarioBuilder {
+    Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .seed(seed)
+}
 
 #[test]
 fn every_primitive_holds_at_exactly_n_equals_3f_plus_1() {
     for &f in &[1usize, 2, 3, 4] {
         let n = 3 * f + 1;
         let correct = n - f;
-        let scenario = Scenario::new(correct, f, 500 + f as u64);
-        assert!(scenario.resilient());
+        let seed = 500 + f as u64;
+        assert!(scenario(correct, f, seed).spec().resilient());
 
         // Consensus under the strongest scripted adversary.
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
-        let consensus = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
-        assert!(consensus.agreement && consensus.validity, "consensus at n = 3f + 1, f = {f}");
+        let consensus = scenario(correct, f, seed)
+            .adversary(AdversaryKind::SplitVote)
+            .consensus(&inputs)
+            .run()
+            .unwrap();
+        let section = consensus.consensus.as_ref().unwrap();
+        assert!(
+            section.agreement && section.validity,
+            "consensus at n = 3f + 1, f = {f}"
+        );
 
         // Reliable broadcast with correct and equivocating sources.
-        let correct_source = run_broadcast_correct_source(&scenario, 9, 12).unwrap();
-        assert!(correct_source.consistent);
-        assert!(correct_source.accepted.iter().all(|set| set == &vec![9]));
-        let equivocating = run_broadcast_equivocating_source(&scenario, 1, 2, 12).unwrap();
-        assert!(equivocating.consistent);
+        let correct_source = scenario(correct, f, seed)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .broadcast(9)
+            .rounds(12)
+            .run()
+            .unwrap();
+        let broadcast = correct_source.broadcast.as_ref().unwrap();
+        assert!(broadcast.consistent);
+        assert!(broadcast
+            .accepted
+            .iter()
+            .all(|set| set.values.iter().map(|&(m, _)| m).eq([9u64])));
+        let equivocating = scenario(correct, f, seed)
+            .broadcast_equivocating(1, 2)
+            .rounds(12)
+            .run()
+            .unwrap();
+        assert!(equivocating.broadcast.as_ref().unwrap().consistent);
 
         // Rotor-coordinator witnesses a good round.
-        let rotor = run_rotor(&scenario, AdversaryKind::AnnounceThenSilent).unwrap();
-        assert!(rotor.good_round, "rotor at n = 3f + 1, f = {f}");
+        let rotor = scenario(correct, f, seed)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .rotor()
+            .run()
+            .unwrap();
+        assert!(
+            rotor.rotor.as_ref().unwrap().good_round,
+            "rotor at n = 3f + 1, f = {f}"
+        );
 
         // Approximate agreement stays inside the correct range.
         let reals: Vec<f64> = (0..correct).map(|i| i as f64 * 7.0).collect();
-        let approx = run_approx(&scenario, &reals).unwrap();
-        assert!(approx.outputs_in_range && approx.contraction < 1.0);
+        let approx = scenario(correct, f, seed)
+            .adversary(AdversaryKind::Worst)
+            .approx(&reals)
+            .run()
+            .unwrap();
+        let approx_section = approx.approx.as_ref().unwrap();
+        assert!(approx_section.outputs_in_range && approx_section.contraction < 1.0);
     }
 }
 
@@ -51,21 +89,23 @@ fn beyond_the_boundary_nothing_is_promised_but_nothing_panics() {
     // never panic or deadlock the test).
     for &f in &[1usize, 2] {
         let n = 3 * f;
-        let scenario = Scenario { max_rounds: 200, ..Scenario::new(n - f, f, 900 + f as u64) };
-        assert!(!scenario.resilient());
-        let inputs: Vec<u64> = (0..n - f).map(|i| (i % 2) as u64).collect();
-        // The run may legitimately time out (MaxRoundsExceeded) or disagree; both are
-        // acceptable outcomes outside the resiliency bound.
-        match run_consensus(&scenario, &inputs, AdversaryKind::SplitVote) {
-            Ok(report) => {
-                assert_eq!(report.decisions.len(), n - f);
+        let correct = n - f;
+        let builder = scenario(correct, f, 900 + f as u64).max_rounds(200);
+        assert!(!builder.spec().resilient());
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+        // The run may legitimately hit the round cap or disagree; both are acceptable
+        // outcomes outside the resiliency bound — and both are *reported*, not thrown.
+        let report = builder
+            .adversary(AdversaryKind::SplitVote)
+            .consensus(&inputs)
+            .run()
+            .unwrap();
+        match report.status {
+            RunStatus::Completed { .. } => {
+                let section = report.consensus.as_ref().unwrap();
+                assert_eq!(section.decisions.len() + section.undecided.len(), correct);
             }
-            Err(err) => {
-                assert!(
-                    matches!(err, uba_simnet::SimError::MaxRoundsExceeded { .. }),
-                    "unexpected failure kind: {err}"
-                );
-            }
+            RunStatus::MaxRoundsExceeded { limit } => assert_eq!(limit, 200),
         }
     }
 }
@@ -74,11 +114,19 @@ fn beyond_the_boundary_nothing_is_promised_but_nothing_panics() {
 fn fault_free_systems_decide_fast() {
     // f = 0: the protocols still work (they never knew f anyway) and unanimity decides
     // in the first phase.
-    let scenario = Scenario::new(6, 0, 42);
-    let report = run_consensus(&scenario, &[3, 3, 3, 3, 3, 3], AdversaryKind::Silent).unwrap();
-    assert!(report.agreement && report.validity);
-    assert_eq!(report.decisions, vec![3; 6]);
-    assert!(report.rounds <= 8, "unanimous inputs decide in the first phase");
+    let report = scenario(6, 0, 42)
+        .adversary(AdversaryKind::Silent)
+        .consensus(&[3, 3, 3, 3, 3, 3])
+        .run()
+        .unwrap();
+    let section = report.consensus.as_ref().unwrap();
+    assert!(section.agreement && section.validity);
+    assert!(section.decisions.iter().all(|d| d.value == 3));
+    assert_eq!(section.decisions.len(), 6);
+    assert!(
+        report.rounds <= 8,
+        "unanimous inputs decide in the first phase"
+    );
 }
 
 #[test]
@@ -86,7 +134,7 @@ fn a_single_node_system_agrees_with_itself() {
     let ids = IdSpace::default().generate(1, 7);
     let nodes = vec![Consensus::new(ids[0], 99u64)];
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-    engine.run_until_all_terminated(100).unwrap();
+    engine.run_to_termination(100).unwrap();
     let observations: Vec<ConsensusObservation<u64>> = engine
         .nodes()
         .iter()
@@ -162,6 +210,10 @@ fn byzantine_majorities_of_the_candidate_pool_cannot_forge_reliable_broadcast() 
     engine.run_rounds(15).unwrap();
     for node in engine.nodes() {
         let accepted: Vec<u64> = node.accepted().iter().map(|a| a.message).collect();
-        assert_eq!(accepted, vec![5], "only the genuine broadcast may be accepted");
+        assert_eq!(
+            accepted,
+            vec![5],
+            "only the genuine broadcast may be accepted"
+        );
     }
 }

@@ -41,19 +41,27 @@ fn live_broadcast_run_passes_and_tampered_observations_fail() {
 
     // Tamper 1: pretend one node accepted a value the correct source never sent.
     let mut forged = observations.clone();
-    forged[2].accepted.push(uba_core::reliable_broadcast::Accepted {
-        message: 666,
-        source,
-        round: 5,
-    });
+    forged[2]
+        .accepted
+        .push(uba_core::reliable_broadcast::Accepted {
+            message: 666,
+            source,
+            round: 5,
+        });
     let report = check_reliable_broadcast(&truth, &forged, engine.round());
-    assert!(report.violations.iter().any(|v| v.property == "reliable-broadcast/unforgeability"));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.property == "reliable-broadcast/unforgeability"));
 
     // Tamper 2: erase one node's acceptance entirely.
     let mut missing = observations.clone();
     missing[3].accepted.clear();
     let report = check_reliable_broadcast(&truth, &missing, engine.round());
-    assert!(report.violations.iter().any(|v| v.property == "reliable-broadcast/correctness"));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.property == "reliable-broadcast/correctness"));
 }
 
 #[test]
@@ -61,8 +69,10 @@ fn equivocating_source_run_is_consistent_across_nodes() {
     let ids = IdSpace::default().generate(9, 3);
     let byz: Vec<NodeId> = ids[7..].to_vec();
     let source = byz[0];
-    let nodes: Vec<ReliableBroadcast<u64>> =
-        ids[..7].iter().map(|&id| ReliableBroadcast::receiver(id, source)).collect();
+    let nodes: Vec<ReliableBroadcast<u64>> = ids[..7]
+        .iter()
+        .map(|&id| ReliableBroadcast::receiver(id, source))
+        .collect();
     let mut engine = SyncEngine::new(nodes, EquivocatingSource::new(source, 1u64, 2u64), byz);
     engine.run_rounds(12).unwrap();
     let observations: Vec<NodeAcceptances<u64>> = observe(engine.nodes());
@@ -79,7 +89,7 @@ fn live_consensus_passes_and_a_flipped_decision_fails() {
         .map(|(i, &id)| Consensus::new(id, (i % 2) as u64))
         .collect();
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-    engine.run_until_all_terminated(300).unwrap();
+    engine.run_to_termination(300).unwrap();
     let observations: Vec<ConsensusObservation<u64>> = engine
         .nodes()
         .iter()
@@ -96,23 +106,34 @@ fn live_consensus_passes_and_a_flipped_decision_fails() {
         decision.value = 1 - decision.value;
     }
     let report = check_consensus(&tampered, ConsensusCheck::default());
-    assert!(report.violations.iter().any(|v| v.property == "consensus/agreement"));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.property == "consensus/agreement"));
 
     // A too-tight round bound is also reported.
     let strict = check_consensus(
         &observations,
-        ConsensusCheck { expect_termination: true, round_bound: Some(1) },
+        ConsensusCheck {
+            expect_termination: true,
+            round_bound: Some(1),
+        },
     );
-    assert!(strict.violations.iter().any(|v| v.property == "consensus/round-bound"));
+    assert!(strict
+        .violations
+        .iter()
+        .any(|v| v.property == "consensus/round-bound"));
 }
 
 #[test]
 fn live_rotor_passes_and_a_fabricated_history_fails() {
     let ids = IdSpace::default().generate(7, 9);
-    let nodes: Vec<RotorCoordinator<u64>> =
-        ids.iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
+    let nodes: Vec<RotorCoordinator<u64>> = ids
+        .iter()
+        .map(|&id| RotorCoordinator::new(id, id.raw()))
+        .collect();
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-    engine.run_until_all_terminated(100).unwrap();
+    engine.run_to_termination(100).unwrap();
     let correct: BTreeSet<NodeId> = engine.correct_ids().into_iter().collect();
     let observations: Vec<RotorObservation<u64>> = engine
         .nodes()
@@ -123,17 +144,33 @@ fn live_rotor_passes_and_a_fabricated_history_fails() {
             terminated: node.state().terminated(),
         })
         .collect();
-    check_rotor(&correct, &observations, RotorCheck { n: 7, expect_termination: true })
-        .assert_passed("live rotor");
+    check_rotor(
+        &correct,
+        &observations,
+        RotorCheck {
+            n: 7,
+            expect_termination: true,
+        },
+    )
+    .assert_passed("live rotor");
 
     // Tamper: rewrite one node's selections so no common correct coordinator exists.
     let mut tampered = observations.clone();
     for record in &mut tampered[0].history {
         record.coordinator = NodeId::new(123_456_789);
     }
-    let report =
-        check_rotor(&correct, &tampered, RotorCheck { n: 7, expect_termination: true });
-    assert!(report.violations.iter().any(|v| v.property == "rotor/good-round"));
+    let report = check_rotor(
+        &correct,
+        &tampered,
+        RotorCheck {
+            n: 7,
+            expect_termination: true,
+        },
+    );
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.property == "rotor/good-round"));
 }
 
 #[test]
@@ -173,7 +210,10 @@ fn live_total_order_chains_pass_and_a_reordered_chain_fails() {
         if tampered[0].chain[0] != observations[0].chain[0] {
             let report = check_chain_prefix(&tampered);
             assert!(
-                report.violations.iter().any(|v| v.property == "total-order/chain-prefix"),
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.property == "total-order/chain-prefix"),
                 "a reordered chain must be caught"
             );
         }
@@ -188,19 +228,27 @@ fn chain_growth_oracle_distinguishes_progress_from_stalls() {
         vec![(NodeId::new(1), 6), (NodeId::new(2), 6)],
     ];
     check_chain_growth(&growing, 1).assert_passed("growing chains");
-    let stalled = vec![
-        vec![(NodeId::new(1), 4)],
-        vec![(NodeId::new(1), 4)],
-    ];
+    let stalled = vec![vec![(NodeId::new(1), 4)], vec![(NodeId::new(1), 4)]];
     let report = check_chain_growth(&stalled, 1);
-    assert!(report.violations.iter().any(|v| v.property == "total-order/chain-growth"));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.property == "total-order/chain-growth"));
 }
 
 #[test]
 fn ordered_event_round_is_what_joins_chains_across_nodes() {
     // Sanity check of the OrderedEvent shape used throughout: ordering is by round
     // first, so two nodes that finalise the same instances produce identical chains.
-    let a = OrderedEvent { round: 1, witness: NodeId::new(5), event: 10u64 };
-    let b = OrderedEvent { round: 2, witness: NodeId::new(4), event: 20u64 };
+    let a = OrderedEvent {
+        round: 1,
+        witness: NodeId::new(5),
+        event: 10u64,
+    };
+    let b = OrderedEvent {
+        round: 2,
+        witness: NodeId::new(4),
+        event: 20u64,
+    };
     assert!(a < b);
 }

@@ -1,7 +1,8 @@
 //! Cross-crate integration tests for consensus (Algorithm 3): agreement, validity and
-//! the O(f) round bound across system sizes, input patterns and adversaries.
+//! the O(f) round bound across system sizes, input patterns and adversaries, all
+//! driven through the unified `Simulation` builder.
 
-use uba_core::runner::{run_consensus, AdversaryKind, Scenario};
+use uba_core::sim::{AdversaryKind, RunReport, ScenarioExt, Simulation};
 use uba_core::Consensus;
 use uba_simnet::adversary::SilentAdversary;
 use uba_simnet::{IdSpace, SyncEngine};
@@ -13,6 +14,25 @@ const ADVERSARIES: [AdversaryKind; 4] = [
     AdversaryKind::SplitVote,
 ];
 
+fn consensus_run(
+    correct: usize,
+    byzantine: usize,
+    seed: u64,
+    max_rounds: u64,
+    inputs: &[u64],
+    kind: AdversaryKind,
+) -> RunReport {
+    Simulation::scenario()
+        .correct(correct)
+        .byzantine(byzantine)
+        .seed(seed)
+        .max_rounds(max_rounds)
+        .adversary(kind)
+        .consensus(inputs)
+        .run()
+        .expect("no engine error")
+}
+
 #[test]
 fn agreement_and_validity_across_sizes_and_adversaries() {
     for f in 1..=4usize {
@@ -20,11 +40,11 @@ fn agreement_and_validity_across_sizes_and_adversaries() {
         let correct = n - f;
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
         for kind in ADVERSARIES {
-            let scenario = Scenario::new(correct, f, 100 + f as u64);
-            let report = run_consensus(&scenario, &inputs, kind)
-                .unwrap_or_else(|e| panic!("f={f}, {kind:?}: {e}"));
-            assert!(report.agreement, "agreement violated for f={f}, {kind:?}");
-            assert!(report.validity, "validity violated for f={f}, {kind:?}");
+            let report = consensus_run(correct, f, 100 + f as u64, 1_000, &inputs, kind);
+            assert!(report.completed(), "f={f}, {kind:?}: stuck");
+            let section = report.consensus.as_ref().expect("consensus section");
+            assert!(section.agreement, "agreement violated for f={f}, {kind:?}");
+            assert!(section.validity, "validity violated for f={f}, {kind:?}");
         }
     }
 }
@@ -32,10 +52,17 @@ fn agreement_and_validity_across_sizes_and_adversaries() {
 #[test]
 fn unanimous_inputs_always_decide_the_common_value() {
     for &value in &[0u64, 1, 7, 1_000_000] {
-        let scenario = Scenario::new(7, 2, value.wrapping_add(5));
         let inputs = vec![value; 7];
-        let report = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
-        assert!(report.decisions.iter().all(|&d| d == value));
+        let report = consensus_run(
+            7,
+            2,
+            value.wrapping_add(5),
+            1_000,
+            &inputs,
+            AdversaryKind::SplitVote,
+        );
+        let section = report.consensus.as_ref().expect("consensus section");
+        assert!(section.decisions.iter().all(|d| d.value == value));
     }
 }
 
@@ -45,9 +72,14 @@ fn round_complexity_grows_linearly_with_f() {
     for f in 1..=5usize {
         let correct = 2 * f + 1 + 4; // keep n > 3f with some slack
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
-        let scenario = Scenario::new(correct, f, 7 * f as u64);
-        let report =
-            run_consensus(&scenario, &inputs, AdversaryKind::AnnounceThenSilent).unwrap();
+        let report = consensus_run(
+            correct,
+            f,
+            7 * f as u64,
+            1_000,
+            &inputs,
+            AdversaryKind::AnnounceThenSilent,
+        );
         // O(f): at most a constant number of phases beyond f + 1, five rounds each,
         // plus initialisation.
         assert!(
@@ -67,6 +99,8 @@ fn round_complexity_grows_linearly_with_f() {
 #[test]
 fn consensus_works_with_non_binary_opinions() {
     // Real-valued (here: large integer) opinions, as required for ordering events.
+    // This goes through the raw engine: the builder's sugar is u64-typed, but the
+    // protocol itself is generic.
     let ids = IdSpace::default().generate(6, 77);
     let inputs: Vec<u64> = vec![1_000, 2_000, 3_000, 1_000, 2_000, 3_000];
     let nodes: Vec<Consensus<u64>> = ids
@@ -75,9 +109,12 @@ fn consensus_works_with_non_binary_opinions() {
         .map(|(&id, &input)| Consensus::new(id, input))
         .collect();
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
-    engine.run_until_all_terminated(300).unwrap();
-    let decisions: Vec<u64> =
-        engine.outputs().into_iter().map(|(_, d)| d.unwrap().value).collect();
+    engine.run_to_termination(300).unwrap();
+    let decisions: Vec<u64> = engine
+        .outputs()
+        .into_iter()
+        .map(|(_, d)| d.unwrap().value)
+        .collect();
     assert!(decisions.windows(2).all(|w| w[0] == w[1]));
     assert!(inputs.contains(&decisions[0]));
 }
@@ -86,19 +123,31 @@ fn consensus_works_with_non_binary_opinions() {
 fn decided_nodes_do_not_stall_the_rest() {
     // Some nodes decide a phase earlier than others (the early-termination corner the
     // substitution rule exists for); everyone must still decide.
-    let scenario = Scenario { max_rounds: 400, ..Scenario::new(10, 3, 909) };
     let inputs: Vec<u64> = (0..10).map(|i| (i % 2) as u64).collect();
-    let report = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
-    assert_eq!(report.decisions.len(), 10);
-    assert!(report.agreement);
+    let report = consensus_run(10, 3, 909, 400, &inputs, AdversaryKind::SplitVote);
+    assert!(report.completed());
+    let section = report.consensus.as_ref().expect("consensus section");
+    assert_eq!(section.decisions.len(), 10);
+    assert!(section.agreement);
 }
 
 #[test]
 fn sparse_and_random_id_spaces_behave_identically() {
     for id_space in [IdSpace::Sparse { stride: 1000 }, IdSpace::Random] {
-        let scenario = Scenario { id_space, ..Scenario::new(7, 2, 31) };
         let inputs: Vec<u64> = (0..7).map(|i| (i % 2) as u64).collect();
-        let report = run_consensus(&scenario, &inputs, AdversaryKind::SplitVote).unwrap();
-        assert!(report.agreement && report.validity, "failed for {id_space:?}");
+        let report = Simulation::scenario()
+            .correct(7)
+            .byzantine(2)
+            .ids(id_space)
+            .seed(31)
+            .adversary(AdversaryKind::SplitVote)
+            .consensus(&inputs)
+            .run()
+            .expect("no engine error");
+        let section = report.consensus.as_ref().expect("consensus section");
+        assert!(
+            section.agreement && section.validity,
+            "failed for {id_space:?}"
+        );
     }
 }

@@ -1,114 +1,160 @@
-//! Property-based tests (proptest) over the core invariants: quorum arithmetic,
+//! Randomised property tests over the core invariants: quorum arithmetic,
 //! agreement/validity of consensus, range containment of approximate agreement and
-//! consistency of reliable broadcast — under randomly drawn system sizes, inputs,
-//! seeds and adversary choices.
+//! consistency of reliable broadcast — under seed-derived system sizes, inputs and
+//! adversary choices. (The upstream proptest crate is unavailable offline, so cases
+//! are drawn from the workspace's deterministic RNG instead; every failure is
+//! reproducible from the fixed base seed.)
 
-use proptest::prelude::*;
+use rand::Rng;
 use uba_core::approx::trimmed_midpoint;
 use uba_core::quorum::{max_faults, meets_one_third, meets_two_thirds, resilient, trim_count};
-use uba_core::runner::{
-    run_approx, run_broadcast_correct_source, run_broadcast_equivocating_source, run_consensus,
-    AdversaryKind, Scenario,
-};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
 use uba_core::Real;
+use uba_simnet::rng::seeded_rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Exact threshold arithmetic agrees with the rational definition for all inputs.
-    #[test]
-    fn quorum_thresholds_match_rational_arithmetic(count in 0usize..2000, n_v in 0usize..2000) {
+#[test]
+fn quorum_thresholds_match_rational_arithmetic() {
+    let mut rng = seeded_rng(0xC0FFEE);
+    for _ in 0..512 {
+        let count = rng.gen_range(0usize..2000);
+        let n_v = rng.gen_range(0usize..2000);
         let one_third = count > 0 && (count as f64) >= (n_v as f64) / 3.0 - 1e-12;
         let two_thirds = count > 0 && (count as f64) >= 2.0 * (n_v as f64) / 3.0 - 1e-12;
-        prop_assert_eq!(meets_one_third(count, n_v), one_third);
-        prop_assert_eq!(meets_two_thirds(count, n_v), two_thirds);
-        prop_assert_eq!(trim_count(n_v), n_v / 3);
+        assert_eq!(
+            meets_one_third(count, n_v),
+            one_third,
+            "count={count}, n_v={n_v}"
+        );
+        assert_eq!(
+            meets_two_thirds(count, n_v),
+            two_thirds,
+            "count={count}, n_v={n_v}"
+        );
+        assert_eq!(trim_count(n_v), n_v / 3);
     }
+}
 
-    /// `max_faults` is the largest f with n > 3f.
-    #[test]
-    fn max_faults_is_maximal(n in 1usize..500) {
+#[test]
+fn max_faults_is_maximal() {
+    for n in 1usize..500 {
         let f = max_faults(n);
-        prop_assert!(resilient(n, f));
-        prop_assert!(!resilient(n, f + 1));
+        assert!(resilient(n, f));
+        assert!(!resilient(n, f + 1));
     }
+}
 
-    /// The trimmed midpoint always lies within the input range and never panics.
-    #[test]
-    fn trimmed_midpoint_stays_in_range(values in proptest::collection::vec(-1_000_000i64..1_000_000, 1..50)) {
-        let reals: Vec<Real> = values.iter().map(|&v| Real::from_raw(v)).collect();
+#[test]
+fn trimmed_midpoint_stays_in_range() {
+    let mut rng = seeded_rng(0x7F1);
+    for _ in 0..256 {
+        let len = rng.gen_range(1usize..50);
+        let reals: Vec<Real> = (0..len)
+            .map(|_| Real::from_raw(rng.gen_range(-1_000_000i64..1_000_000)))
+            .collect();
         if let Some(mid) = trimmed_midpoint(reals.clone()) {
             let lo = *reals.iter().min().unwrap();
             let hi = *reals.iter().max().unwrap();
-            prop_assert!(mid >= lo && mid <= hi);
+            assert!(
+                mid >= lo && mid <= hi,
+                "midpoint {mid:?} outside [{lo:?}, {hi:?}]"
+            );
         }
     }
 }
 
-proptest! {
-    // End-to-end protocol runs are comparatively slow; keep the case count moderate.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Consensus: agreement and validity hold for random sizes, inputs, seeds and
-    /// adversaries (within n > 3f).
-    #[test]
-    fn consensus_agreement_and_validity(
-        f in 1usize..4,
-        extra in 0usize..3,
-        seed in 0u64..1_000,
-        adversary_pick in 0usize..4,
-        input_bits in 0u32..128,
-    ) {
+#[test]
+fn consensus_agreement_and_validity() {
+    let mut rng = seeded_rng(0xAB5);
+    for case in 0..12 {
+        let f = rng.gen_range(1usize..4);
+        let extra = rng.gen_range(0usize..3);
+        let seed = rng.gen_range(0u64..1_000);
         let correct = 2 * f + 1 + extra;
-        let scenario = Scenario::new(correct, f, seed);
-        let inputs: Vec<u64> = (0..correct).map(|i| ((input_bits >> (i % 32)) & 1) as u64).collect();
+        let input_bits: u32 = rng.gen_range(0u32..128);
+        let inputs: Vec<u64> = (0..correct)
+            .map(|i| ((input_bits >> (i % 32)) & 1) as u64)
+            .collect();
         let kind = [
             AdversaryKind::Silent,
             AdversaryKind::AnnounceThenSilent,
             AdversaryKind::PartialAnnounce,
             AdversaryKind::SplitVote,
-        ][adversary_pick];
-        let report = run_consensus(&scenario, &inputs, kind).expect("terminates");
-        prop_assert!(report.agreement);
-        prop_assert!(report.validity);
+        ][rng.gen_range(0usize..4)];
+        let report = Simulation::scenario()
+            .correct(correct)
+            .byzantine(f)
+            .seed(seed)
+            .adversary(kind)
+            .consensus(&inputs)
+            .run()
+            .expect("terminates");
+        let consensus = report.consensus.as_ref().expect("consensus section");
+        assert!(consensus.agreement, "case {case}: agreement under {kind:?}");
+        assert!(consensus.validity, "case {case}: validity under {kind:?}");
     }
+}
 
-    /// Approximate agreement: outputs stay inside the correct input range and the
-    /// range contracts, for random inputs and Byzantine counts.
-    #[test]
-    fn approx_outputs_contained_and_contracting(
-        f in 1usize..4,
-        extra in 0usize..4,
-        seed in 0u64..1_000,
-        spread in 1.0f64..1_000.0,
-    ) {
+#[test]
+fn approx_outputs_contained_and_contracting() {
+    let mut rng = seeded_rng(0xA44);
+    for case in 0..12 {
+        let f = rng.gen_range(1usize..4);
+        let extra = rng.gen_range(0usize..4);
+        let seed = rng.gen_range(0u64..1_000);
+        let spread = rng.gen_range(1.0f64..1_000.0);
         let correct = 2 * f + 1 + extra;
-        let scenario = Scenario::new(correct, f, seed);
-        let inputs: Vec<f64> = (0..correct).map(|i| i as f64 * spread / correct as f64).collect();
-        let report = run_approx(&scenario, &inputs).expect("completes");
-        prop_assert!(report.outputs_in_range);
-        prop_assert!(report.contraction < 1.0);
+        let inputs: Vec<f64> = (0..correct)
+            .map(|i| i as f64 * spread / correct as f64)
+            .collect();
+        let report = Simulation::scenario()
+            .correct(correct)
+            .byzantine(f)
+            .seed(seed)
+            .approx(&inputs)
+            .run()
+            .expect("completes");
+        let approx = report.approx.as_ref().expect("approx section");
+        assert!(
+            approx.outputs_in_range,
+            "case {case}: outputs left the input range"
+        );
+        assert!(approx.contraction < 1.0, "case {case}: no contraction");
     }
+}
 
-    /// Reliable broadcast: the accept sets of all correct nodes are identical, whether
-    /// the designated sender is correct or equivocating.
-    #[test]
-    fn reliable_broadcast_accept_sets_agree(
-        f in 1usize..4,
-        extra in 0usize..4,
-        seed in 0u64..1_000,
-        equivocate in proptest::bool::ANY,
-    ) {
+#[test]
+fn reliable_broadcast_accept_sets_agree() {
+    let mut rng = seeded_rng(0xB0B);
+    for case in 0..12 {
+        let f = rng.gen_range(1usize..4);
+        let extra = rng.gen_range(0usize..4);
+        let seed = rng.gen_range(0u64..1_000);
+        let equivocate: bool = rng.gen();
         let correct = 2 * f + 1 + extra;
-        let scenario = Scenario::new(correct, f, seed);
+        let scenario = Simulation::scenario()
+            .correct(correct)
+            .byzantine(f)
+            .seed(seed);
         let report = if equivocate {
-            run_broadcast_equivocating_source(&scenario, 1, 2, 14).expect("completes")
+            scenario
+                .broadcast_equivocating(1, 2)
+                .rounds(14)
+                .run()
+                .expect("completes")
         } else {
-            run_broadcast_correct_source(&scenario, 7, 14).expect("completes")
+            scenario.broadcast(7).rounds(14).run().expect("completes")
         };
-        prop_assert!(report.consistent);
+        let broadcast = report.broadcast.as_ref().expect("broadcast section");
+        assert!(broadcast.consistent, "case {case}: accept sets diverged");
         if !equivocate {
-            prop_assert!(report.accepted.iter().all(|a| a == &vec![7]));
+            assert!(
+                broadcast.accepted.iter().all(|per_node| per_node
+                    .values
+                    .iter()
+                    .map(|a| a.0)
+                    .eq([7u64])),
+                "case {case}: the correct sender's value must be accepted everywhere"
+            );
         }
     }
 }

@@ -7,14 +7,19 @@ use uba_simnet::adversary::SilentAdversary;
 use uba_simnet::{ChurnEvent, ChurnSchedule, IdSpace, NodeId, Protocol, SyncEngine};
 
 fn assert_prefix(chains: &[Vec<OrderedEvent<u64>>]) {
-    assert!(chains_agree(chains), "chain-prefix violated on the overlapping rounds");
+    assert!(
+        chains_agree(chains),
+        "chain-prefix violated on the overlapping rounds"
+    );
 }
 
 #[test]
 fn total_order_with_join_and_leave_preserves_chain_prefix() {
     let founder_ids = IdSpace::default().generate(5, 17);
-    let nodes: Vec<TotalOrderNode<u64>> =
-        founder_ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
+    let nodes: Vec<TotalOrderNode<u64>> = founder_ids
+        .iter()
+        .map(|&id| TotalOrderNode::founding(id))
+        .collect();
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
     let joiner = NodeId::new(424_242);
 
@@ -43,11 +48,17 @@ fn total_order_with_join_and_leave_preserves_chain_prefix() {
         .map(|n| n.chain().to_vec())
         .collect();
     assert_prefix(&chains);
-    assert!(chains.iter().any(|c| !c.is_empty()), "events were finalised");
+    assert!(
+        chains.iter().any(|c| !c.is_empty()),
+        "events were finalised"
+    );
     // Chain growth: the founders' chain keeps up with the submitted events (allowing
     // for the finality lag).
     let reference = chains.iter().map(|c| c.len()).max().unwrap();
-    assert!(reference >= 40, "expected at least 40 finalised events, got {reference}");
+    assert!(
+        reference >= 40,
+        "expected at least 40 finalised events, got {reference}"
+    );
     // The joiner was integrated and learned the membership.
     let joiner_node = engine.node(joiner).unwrap();
     assert!(joiner_node.is_joined());
@@ -57,8 +68,10 @@ fn total_order_with_join_and_leave_preserves_chain_prefix() {
 #[test]
 fn total_order_events_are_never_duplicated_or_reordered() {
     let founder_ids = IdSpace::default().generate(4, 19);
-    let nodes: Vec<TotalOrderNode<u64>> =
-        founder_ids.iter().map(|&id| TotalOrderNode::founding(id)).collect();
+    let nodes: Vec<TotalOrderNode<u64>> = founder_ids
+        .iter()
+        .map(|&id| TotalOrderNode::founding(id))
+        .collect();
     let mut engine = SyncEngine::new(nodes, SilentAdversary, vec![]);
     for round in 0..60u64 {
         let submitter = founder_ids[(round as usize) % 4];
@@ -104,10 +117,17 @@ fn approximate_agreement_keeps_contracting_in_a_dynamic_setting() {
     engine.run_rounds(4).unwrap();
     // A "new" participant effectively injects a fresh value into one existing node.
     engine.nodes_mut()[0].inject_value(Real::from_int(100));
-    engine.run_until_all_terminated(iterations + 5).unwrap();
+    engine.run_to_termination(iterations + 5).unwrap();
 
-    let finals: Vec<f64> = engine.outputs().into_iter().map(|(_, o)| o.unwrap().to_f64()).collect();
+    let finals: Vec<f64> = engine
+        .outputs()
+        .into_iter()
+        .map(|(_, o)| o.unwrap().to_f64())
+        .collect();
     let spread = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - finals.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread < 8.0, "values must re-converge after the injection, spread = {spread}");
+    assert!(
+        spread < 8.0,
+        "values must re-converge after the injection, spread = {spread}"
+    );
 }

@@ -27,7 +27,10 @@ fn asynchronous_partition_forces_disagreement() {
     for &(a, b) in &[(2usize, 2usize), (3, 4), (6, 6)] {
         let outcome = run_partition_experiment(a, b, TimingModel::Asynchronous, 7)
             .expect("asynchronous run completes");
-        assert!(!outcome.agreement, "partitioned async execution must disagree");
+        assert!(
+            !outcome.agreement,
+            "partitioned async execution must disagree"
+        );
         // Each side decided its own input.
         let ones = outcome.decisions.iter().filter(|(_, v)| *v == 1).count();
         let zeros = outcome.decisions.iter().filter(|(_, v)| *v == 0).count();
@@ -39,15 +42,17 @@ fn asynchronous_partition_forces_disagreement() {
 fn semi_synchronous_partition_disagrees_when_the_bound_is_large_enough() {
     // Lemma 15: the delay bound Δ exists but exceeds the time both sides need to
     // decide, so the execution is indistinguishable from the two isolated systems.
-    let outcome = run_partition_experiment(
-        4,
-        4,
-        TimingModel::SemiSynchronous { cross_delay: 500 },
-        11,
-    )
-    .expect("semi-synchronous run completes");
-    assert!(!outcome.agreement, "large-Δ semi-synchronous execution must disagree");
-    assert!(outcome.ticks < 500, "both sides must decide before the cross delay elapses");
+    let outcome =
+        run_partition_experiment(4, 4, TimingModel::SemiSynchronous { cross_delay: 500 }, 11)
+            .expect("semi-synchronous run completes");
+    assert!(
+        !outcome.agreement,
+        "large-Δ semi-synchronous execution must disagree"
+    );
+    assert!(
+        outcome.ticks < 500,
+        "both sides must decide before the cross delay elapses"
+    );
 }
 
 #[test]
@@ -64,20 +69,31 @@ fn small_cross_delay_behaves_like_the_synchronous_control() {
 fn disagreement_rates_separate_the_three_timing_models() {
     let trials = 6;
     let sync = disagreement_rate(3, 3, TimingModel::Synchronous, trials, 1);
-    let semi =
-        disagreement_rate(3, 3, TimingModel::SemiSynchronous { cross_delay: 400 }, trials, 1);
+    let semi = disagreement_rate(
+        3,
+        3,
+        TimingModel::SemiSynchronous { cross_delay: 400 },
+        trials,
+        1,
+    );
     let asynchronous = disagreement_rate(3, 3, TimingModel::Asynchronous, trials, 1);
     assert_eq!(sync, 0.0, "synchrony guarantees agreement");
-    assert_eq!(semi, 1.0, "the Lemma 15 construction disagrees in every trial");
-    assert_eq!(asynchronous, 1.0, "the Lemma 14 construction disagrees in every trial");
+    assert_eq!(
+        semi, 1.0,
+        "the Lemma 15 construction disagrees in every trial"
+    );
+    assert_eq!(
+        asynchronous, 1.0,
+        "the Lemma 14 construction disagrees in every trial"
+    );
 }
 
 #[test]
 fn unbalanced_partitions_still_disagree() {
     // The argument does not depend on the partition sizes being equal — a single
     // isolated node already decides its own input.
-    let outcome = run_partition_experiment(1, 9, TimingModel::Asynchronous, 23)
-        .expect("run completes");
+    let outcome =
+        run_partition_experiment(1, 9, TimingModel::Asynchronous, 23).expect("run completes");
     assert!(!outcome.agreement);
     assert_eq!(outcome.decisions.iter().filter(|(_, v)| *v == 1).count(), 1);
 }

@@ -1,13 +1,15 @@
 //! Tests of the parallel Monte-Carlo harness and the workload generators: results
 //! must be independent of the worker count, trial seeds must be stable, and the
 //! resilience sweeps must report perfect agreement inside the `n > 3f` bound for every
-//! scripted adversary.
+//! scripted adversary. Randomised cases are drawn from the workspace's deterministic
+//! RNG (proptest is unavailable offline), so every run covers the same case set.
 
-use proptest::prelude::*;
+use rand::Rng;
 
 use uba_bench::montecarlo::{aggregate, run_trials, ConsensusTrial, ResilienceSweep, SweepConfig};
 use uba_bench::workload::{binary_inputs, clustered_with_outliers, split_ids, uniform_reals};
-use uba_core::runner::AdversaryKind;
+use uba_core::sim::AdversaryKind;
+use uba_simnet::rng::seeded_rng;
 use uba_simnet::stats::Summary;
 
 #[test]
@@ -17,7 +19,11 @@ fn consensus_sweep_results_are_identical_across_worker_counts() {
             correct: 5,
             byzantine: 2,
             adversary: AdversaryKind::AnnounceThenSilent,
-            config: SweepConfig { trials: 12, base_seed: 55, workers },
+            config: SweepConfig {
+                trials: 12,
+                base_seed: 55,
+                workers,
+            },
         }
         .run()
     };
@@ -40,7 +46,11 @@ fn resilience_sweeps_report_perfect_agreement_for_every_scripted_adversary() {
             correct: 5,
             byzantine: 2,
             adversary,
-            config: SweepConfig { trials: 10, base_seed: 2024, workers: 4 },
+            config: SweepConfig {
+                trials: 10,
+                base_seed: 2024,
+                workers: 4,
+            },
         }
         .run();
         assert_eq!(outcome.agreement.trials, 10);
@@ -49,7 +59,10 @@ fn resilience_sweeps_report_perfect_agreement_for_every_scripted_adversary() {
             "agreement violated under {adversary:?}"
         );
         assert!((outcome.validity.rate() - 1.0).abs() < 1e-12);
-        assert!(outcome.rounds.min >= 7.0, "a full phase takes at least seven rounds");
+        assert!(
+            outcome.rounds.min >= 7.0,
+            "a full phase takes at least seven rounds"
+        );
     }
 }
 
@@ -57,7 +70,11 @@ fn resilience_sweeps_report_perfect_agreement_for_every_scripted_adversary() {
 fn trial_workloads_differ_across_trials_but_not_across_runs() {
     // The per-trial seeds must differ (otherwise the sweep is one execution repeated)
     // and must be reproducible across invocations.
-    let config = SweepConfig { trials: 10, base_seed: 7, workers: 3 };
+    let config = SweepConfig {
+        trials: 10,
+        base_seed: 7,
+        workers: 3,
+    };
     let seeds_a = run_trials(&config, |_, seed| seed);
     let seeds_b = run_trials(&config, |_, seed| seed);
     assert_eq!(seeds_a, seeds_b);
@@ -70,9 +87,24 @@ fn trial_workloads_differ_across_trials_but_not_across_runs() {
 #[test]
 fn aggregation_matches_manual_computation() {
     let trials = vec![
-        ConsensusTrial { agreement: true, validity: true, rounds: 7, messages: 200 },
-        ConsensusTrial { agreement: true, validity: false, rounds: 17, messages: 400 },
-        ConsensusTrial { agreement: false, validity: true, rounds: 27, messages: 600 },
+        ConsensusTrial {
+            agreement: true,
+            validity: true,
+            rounds: 7,
+            messages: 200,
+        },
+        ConsensusTrial {
+            agreement: true,
+            validity: false,
+            rounds: 17,
+            messages: 400,
+        },
+        ConsensusTrial {
+            agreement: false,
+            validity: true,
+            rounds: 27,
+            messages: 600,
+        },
     ];
     let outcome = aggregate(&trials);
     assert_eq!(outcome.agreement.successes, 2);
@@ -83,73 +115,93 @@ fn aggregation_matches_manual_computation() {
 
 #[test]
 fn summary_of_sweep_rounds_is_consistent_with_raw_trials() {
-    let config = SweepConfig { trials: 8, base_seed: 31, workers: 2 };
+    let config = SweepConfig {
+        trials: 8,
+        base_seed: 31,
+        workers: 2,
+    };
     let rounds: Vec<u64> = run_trials(&config, |index, _| 7 + index % 3);
     let summary = Summary::of_u64(&rounds);
     assert_eq!(summary.count, 8);
     assert!(summary.min >= 7.0 && summary.max <= 9.0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Binary workloads always produce the requested count and composition.
-    #[test]
-    fn binary_inputs_have_the_requested_composition(
-        n in 1usize..64,
-        fraction in 0.0f64..1.0,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn binary_inputs_have_the_requested_composition() {
+    let mut rng = seeded_rng(0x11);
+    for _ in 0..32 {
+        let n = rng.gen_range(1usize..64);
+        let fraction = rng.gen_range(0.0f64..1.0);
+        let seed = rng.gen_range(0u64..1_000);
         let inputs = binary_inputs(n, fraction, seed);
-        prop_assert_eq!(inputs.len(), n);
+        assert_eq!(inputs.len(), n);
         let ones = inputs.iter().sum::<u64>() as usize;
-        prop_assert_eq!(ones, (n as f64 * fraction).round() as usize);
-        prop_assert!(inputs.iter().all(|&x| x <= 1));
+        assert_eq!(ones, (n as f64 * fraction).round() as usize);
+        assert!(inputs.iter().all(|&x| x <= 1));
     }
+}
 
-    /// Uniform workloads stay inside their range for any seed.
-    #[test]
-    fn uniform_reals_stay_in_range(
-        n in 1usize..64,
-        lo in -1_000.0f64..0.0,
-        width in 0.001f64..1_000.0,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn uniform_reals_stay_in_range() {
+    let mut rng = seeded_rng(0x22);
+    for _ in 0..32 {
+        let n = rng.gen_range(1usize..64);
+        let lo = rng.gen_range(-1_000.0f64..0.0);
+        let width = rng.gen_range(0.001f64..1_000.0);
+        let seed = rng.gen_range(0u64..1_000);
         let hi = lo + width;
         let values = uniform_reals(n, lo, hi, seed);
-        prop_assert_eq!(values.len(), n);
-        prop_assert!(values.iter().all(|&v| v >= lo && v <= hi));
+        assert_eq!(values.len(), n);
+        assert!(values.iter().all(|&v| v >= lo && v <= hi));
     }
+}
 
-    /// Clustered workloads put exactly the requested number of values far away.
-    #[test]
-    fn clustered_outlier_count_is_exact(
-        n in 4usize..40,
-        outliers in 0usize..4,
-        seed in 0u64..1_000,
-    ) {
-        prop_assume!(outliers <= n);
+#[test]
+fn clustered_outlier_count_is_exact() {
+    let mut rng = seeded_rng(0x33);
+    for _ in 0..32 {
+        let n = rng.gen_range(4usize..40);
+        let outliers = rng.gen_range(0usize..4);
+        let seed = rng.gen_range(0u64..1_000);
         let values = clustered_with_outliers(n, 0.0, 1.0, outliers, seed);
         let far = values.iter().filter(|v| v.abs() > 10.0).count();
-        prop_assert_eq!(far, outliers);
+        assert_eq!(far, outliers);
     }
+}
 
-    /// Identifier splits are always disjoint and of the requested sizes.
-    #[test]
-    fn split_ids_are_disjoint(correct in 1usize..30, byzantine in 0usize..10, seed in 0u64..1_000) {
+#[test]
+fn split_ids_are_disjoint() {
+    let mut rng = seeded_rng(0x44);
+    for _ in 0..32 {
+        let correct = rng.gen_range(1usize..30);
+        let byzantine = rng.gen_range(0usize..10);
+        let seed = rng.gen_range(0u64..1_000);
         let (c, b) = split_ids(correct, byzantine, seed);
-        prop_assert_eq!(c.len(), correct);
-        prop_assert_eq!(b.len(), byzantine);
-        prop_assert!(c.iter().all(|id| !b.contains(id)));
+        assert_eq!(c.len(), correct);
+        assert_eq!(b.len(), byzantine);
+        assert!(c.iter().all(|id| !b.contains(id)));
     }
+}
 
-    /// The parallel runner is order- and worker-invariant for arbitrary trial counts.
-    #[test]
-    fn run_trials_worker_invariance(trials in 0u64..40, seed in 0u64..1_000, workers in 1usize..9) {
-        let base = SweepConfig { trials, base_seed: seed, workers: 1 };
-        let multi = SweepConfig { trials, base_seed: seed, workers };
+#[test]
+fn run_trials_worker_invariance() {
+    let mut rng = seeded_rng(0x55);
+    for _ in 0..16 {
+        let trials = rng.gen_range(0u64..40);
+        let seed = rng.gen_range(0u64..1_000);
+        let workers = rng.gen_range(1usize..9);
+        let base = SweepConfig {
+            trials,
+            base_seed: seed,
+            workers: 1,
+        };
+        let multi = SweepConfig {
+            trials,
+            base_seed: seed,
+            workers,
+        };
         let a = run_trials(&base, |index, s| (index, s));
         let b = run_trials(&multi, |index, s| (index, s));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -31,7 +31,9 @@ fn run<A: Adversary<Msg>>(
         .map(|(&id, pairs)| ParallelConsensus::new(id, pairs.clone()))
         .collect();
     let mut engine = SyncEngine::new(nodes, adversary, byz);
-    engine.run_until_all_terminated(500).expect("parallel consensus terminates");
+    engine
+        .run_to_termination(500)
+        .expect("parallel consensus terminates");
     engine
         .nodes()
         .iter()
@@ -108,15 +110,16 @@ fn wide_instance_fan_out_terminates_in_one_phase() {
 fn empty_input_sets_terminate_with_empty_outputs() {
     let observations = run(vec![vec![]; 5], 1, AnnounceThenSilent, 6);
     check_parallel_consensus(&observations).assert_passed("no inputs anywhere");
-    assert!(observations.iter().all(|o| o.decision.as_ref().unwrap().pairs.is_empty()));
+    assert!(observations
+        .iter()
+        .all(|o| o.decision.as_ref().unwrap().pairs.is_empty()));
 }
 
 #[test]
 fn conflicting_opinions_for_the_same_identifier_resolve_to_one_value() {
     // Every node holds instance 5 but with its own opinion; agreement requires that
     // all nodes end up with the same (possibly absent) value for it.
-    let inputs: Vec<Vec<(InstanceId, u64)>> =
-        (0..7).map(|i| vec![(5, 1_000 + i as u64)]).collect();
+    let inputs: Vec<Vec<(InstanceId, u64)>> = (0..7).map(|i| vec![(5, 1_000 + i as u64)]).collect();
     let observations = run(inputs, 2, AnnounceThenSilent, 7);
     check_parallel_consensus(&observations).assert_passed("conflicting opinions");
     // If the pair is output, the value must be one of the submitted opinions.

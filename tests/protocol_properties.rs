@@ -1,10 +1,10 @@
-//! Property-based adversarial tests: the paper's guarantees must hold for *every*
+//! Randomised adversarial tests: the paper's guarantees must hold for *every*
 //! Byzantine behaviour, so beyond the scripted worst cases this suite throws
 //! randomised (but seed-reproducible) adversaries at the protocols — random noise,
 //! randomly staggered crashes, random attack windows and random collusions — and
-//! verifies the outcomes with the `uba-checker` oracles.
+//! verifies the outcomes with the `uba-checker` oracles. Cases are drawn from the
+//! workspace's deterministic RNG (proptest is unavailable offline).
 
-use proptest::prelude::*;
 use rand::Rng;
 
 use uba_checker::approx::check_approx_real;
@@ -18,7 +18,7 @@ use uba_core::early_consensus::ParallelMessage;
 use uba_core::parallel_consensus::ParallelConsensus;
 use uba_core::Real;
 use uba_simnet::faults::{Collusion, NoiseAdversary, RoundWindow, StaggeredCrash};
-use uba_simnet::rng::SimRng;
+use uba_simnet::rng::{seeded_rng, SimRng};
 use uba_simnet::{Adversary, IdSpace, NodeId, Protocol, SyncEngine};
 
 /// A noise adversary producing random but well-formed consensus messages.
@@ -52,7 +52,7 @@ fn run_and_check_consensus<A: Adversary<ConsensusMessage<u64>>>(
         .collect();
     let mut engine = SyncEngine::new(nodes, adversary, byz);
     engine
-        .run_until_all_terminated(80 * (correct + byzantine) as u64 + 200)
+        .run_to_termination(80 * (correct + byzantine) as u64 + 200)
         .expect("consensus terminates under every admissible adversary");
     let observations: Vec<ConsensusObservation<u64>> = engine
         .nodes()
@@ -67,31 +67,30 @@ fn run_and_check_consensus<A: Adversary<ConsensusMessage<u64>>>(
         .assert_passed("randomised adversarial consensus");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Consensus under pure random-noise adversaries of arbitrary intensity.
-    #[test]
-    fn consensus_survives_random_noise(
-        f in 1usize..3,
-        seed in 0u64..10_000,
-        rate in 0.05f64..1.0,
-        input_bits in 0u32..64,
-    ) {
+#[test]
+fn consensus_survives_random_noise() {
+    let mut rng = seeded_rng(0x901);
+    for _ in 0..10 {
+        let f = rng.gen_range(1usize..3);
+        let seed = rng.gen_range(0u64..10_000);
+        let rate = rng.gen_range(0.05f64..1.0);
+        let input_bits = rng.gen_range(0u32..64);
         let correct = 2 * f + 1;
-        let inputs: Vec<u64> = (0..correct).map(|i| ((input_bits >> i) & 1) as u64).collect();
+        let inputs: Vec<u64> = (0..correct)
+            .map(|i| ((input_bits >> i) & 1) as u64)
+            .collect();
         run_and_check_consensus(correct, f, seed, &inputs, consensus_noise(seed, rate));
     }
+}
 
-    /// Consensus when the adversary colludes: half the identities split votes, the
-    /// other half sprays random noise, and everyone crashes at a random round.
-    #[test]
-    fn consensus_survives_random_collusion_and_crashes(
-        f in 1usize..3,
-        seed in 0u64..10_000,
-        crash_lo in 3u64..10,
-        crash_span in 1u64..30,
-    ) {
+#[test]
+fn consensus_survives_random_collusion_and_crashes() {
+    let mut rng = seeded_rng(0x902);
+    for _ in 0..10 {
+        let f = rng.gen_range(1usize..3);
+        let seed = rng.gen_range(0u64..10_000);
+        let crash_lo = rng.gen_range(3u64..10);
+        let crash_span = rng.gen_range(1u64..30);
         let correct = 2 * f + 1;
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
         let colluding = Collusion::new(
@@ -102,36 +101,37 @@ proptest! {
         let adversary = StaggeredCrash::new(colluding, seed, crash_lo, crash_lo + crash_span);
         run_and_check_consensus(correct, f, seed, &inputs, adversary);
     }
+}
 
-    /// Consensus when an adaptive attacker is only active inside a random round
-    /// window (attacks that start late or stop early must not help).
-    #[test]
-    fn consensus_survives_windowed_adaptive_attacks(
-        f in 1usize..3,
-        seed in 0u64..10_000,
-        from in 1u64..12,
-        length in 1u64..25,
-    ) {
+#[test]
+fn consensus_survives_windowed_adaptive_attacks() {
+    let mut rng = seeded_rng(0x903);
+    for _ in 0..10 {
+        let f = rng.gen_range(1usize..3);
+        let seed = rng.gen_range(0u64..10_000);
+        let from = rng.gen_range(1u64..12);
+        let length = rng.gen_range(1u64..25);
         let correct = 2 * f + 1;
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
         let adversary = RoundWindow::new(MinorityBooster::new(0u64, 1u64), from, from + length);
         run_and_check_consensus(correct, f, seed, &inputs, adversary);
     }
+}
 
-    /// Approximate agreement under random Byzantine values: containment and
-    /// contraction hold for every seed, spread and noise intensity.
-    #[test]
-    fn approx_agreement_survives_random_values(
-        f in 1usize..4,
-        extra in 0usize..4,
-        seed in 0u64..10_000,
-        spread in 1.0f64..1_000.0,
-    ) {
+#[test]
+fn approx_agreement_survives_random_values() {
+    let mut rng = seeded_rng(0x904);
+    for _ in 0..10 {
+        let f = rng.gen_range(1usize..4);
+        let extra = rng.gen_range(0usize..4);
+        let seed = rng.gen_range(0u64..10_000);
+        let spread = rng.gen_range(1.0f64..1_000.0);
         let correct = 2 * f + 1 + extra;
         let ids = IdSpace::default().generate(correct + f, seed);
         let byz: Vec<NodeId> = ids[correct..].to_vec();
-        let inputs: Vec<Real> =
-            (0..correct).map(|i| Real::from_f64(i as f64 * spread / correct as f64)).collect();
+        let inputs: Vec<Real> = (0..correct)
+            .map(|i| Real::from_f64(i as f64 * spread / correct as f64))
+            .collect();
         let nodes: Vec<ApproxAgreement> = ids[..correct]
             .iter()
             .zip(&inputs)
@@ -141,24 +141,25 @@ proptest! {
             Real::from_f64(rng.gen_range(-1e7..1e7))
         });
         let mut engine = SyncEngine::new(nodes, adversary, byz);
-        engine.run_until_all_output(4).expect("approx produces outputs");
-        let outputs: Vec<Real> =
-            engine.outputs().into_iter().map(|(_, output)| output.unwrap()).collect();
+        engine.run_to_output(4).expect("approx produces outputs");
+        let outputs: Vec<Real> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, output)| output.unwrap())
+            .collect();
         check_approx_real(&inputs, &outputs).assert_passed("random-value approx agreement");
     }
+}
 
-    /// Parallel consensus under random noise over instance-scoped messages: validity,
-    /// agreement and the no-fabrication rule hold; fabricated instance identifiers may
-    /// exist on the wire but never in an output.
-    #[test]
-    fn parallel_consensus_survives_random_instance_noise(
-        f in 1usize..3,
-        seed in 0u64..10_000,
-        shared_pairs in 1usize..5,
-    ) {
+#[test]
+fn parallel_consensus_survives_random_instance_noise() {
+    let mut rng = seeded_rng(0x905);
+    for _ in 0..10 {
+        let f = rng.gen_range(1usize..3);
+        let seed = rng.gen_range(0u64..10_000);
+        let shared_pairs = rng.gen_range(1usize..5);
         let correct = 2 * f + 1;
-        let pairs: Vec<(u64, u64)> =
-            (0..shared_pairs as u64).map(|i| (i, 100 + i)).collect();
+        let pairs: Vec<(u64, u64)> = (0..shared_pairs as u64).map(|i| (i, 100 + i)).collect();
         let ids = IdSpace::default().generate(correct + f, seed);
         let byz: Vec<NodeId> = ids[correct..].to_vec();
         let nodes: Vec<ParallelConsensus<u64>> = ids[..correct]
@@ -176,7 +177,7 @@ proptest! {
             }
         });
         let mut engine = SyncEngine::new(nodes, adversary, byz);
-        engine.run_until_all_terminated(600).expect("parallel consensus terminates");
+        engine.run_to_termination(600).expect("no engine error");
         let observations: Vec<ParallelObservation<u64>> = engine
             .nodes()
             .iter()
@@ -186,12 +187,11 @@ proptest! {
                 decision: node.decision().cloned(),
             })
             .collect();
-        check_parallel_consensus(&observations)
-            .assert_passed("random instance noise");
+        check_parallel_consensus(&observations).assert_passed("random instance noise");
         // All the genuinely shared pairs must be in every output.
         let output = &observations[0].decision.as_ref().unwrap().pairs;
         for (id, value) in &pairs {
-            prop_assert_eq!(output.get(id), Some(value));
+            assert_eq!(output.get(id), Some(value));
         }
     }
 }

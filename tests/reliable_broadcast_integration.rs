@@ -1,9 +1,7 @@
 //! Cross-crate integration tests for reliable broadcast (Algorithm 1): the three
 //! properties of Theorem 1 under correct, silent and equivocating designated senders.
 
-use uba_core::runner::{
-    run_broadcast_correct_source, run_broadcast_equivocating_source, Scenario,
-};
+use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
 use uba_core::{RbMessage, ReliableBroadcast};
 use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, NodeId, SyncEngine};
 
@@ -11,11 +9,22 @@ use uba_simnet::{AdversaryView, Directed, FnAdversary, IdSpace, NodeId, SyncEngi
 fn correctness_across_sizes() {
     for &n in &[4usize, 7, 10, 19, 31] {
         let f = uba_core::quorum::max_faults(n);
-        let scenario = Scenario::new(n - f, f, n as u64);
-        let report = run_broadcast_correct_source(&scenario, 1234, 12).unwrap();
-        assert!(report.consistent);
-        for accepted in &report.accepted {
-            assert_eq!(accepted, &vec![1234], "n = {n}: every correct node accepts the value");
+        let report = Simulation::scenario()
+            .correct(n - f)
+            .byzantine(f)
+            .seed(n as u64)
+            .adversary(AdversaryKind::AnnounceThenSilent)
+            .broadcast(1234)
+            .rounds(12)
+            .run()
+            .unwrap();
+        let section = report.broadcast.as_ref().expect("broadcast section");
+        assert!(section.consistent);
+        for accepted in &section.accepted {
+            assert!(
+                accepted.values.iter().map(|&(m, _)| m).eq([1234u64]),
+                "n = {n}: every correct node accepts the value"
+            );
         }
     }
 }
@@ -24,12 +33,19 @@ fn correctness_across_sizes() {
 fn equivocating_source_is_exposed_consistently() {
     for &n in &[7usize, 13, 22] {
         let f = uba_core::quorum::max_faults(n);
-        let scenario = Scenario::new(n - f, f, 1000 + n as u64);
-        let report = run_broadcast_equivocating_source(&scenario, 10, 20, 15).unwrap();
+        let report = Simulation::scenario()
+            .correct(n - f)
+            .byzantine(f)
+            .seed(1000 + n as u64)
+            .broadcast_equivocating(10, 20)
+            .rounds(15)
+            .run()
+            .unwrap();
+        let section = report.broadcast.as_ref().expect("broadcast section");
         assert!(
-            report.consistent,
+            section.consistent,
             "n = {n}: correct nodes ended up with different accept sets: {:?}",
-            report.accepted
+            section.accepted
         );
     }
 }
@@ -41,8 +57,10 @@ fn unforgeability_with_a_correct_but_silent_topic() {
     let ids = IdSpace::default().generate(10, 3);
     let source = ids[0];
     let byz: Vec<NodeId> = ids[7..].to_vec();
-    let nodes: Vec<ReliableBroadcast<u64>> =
-        ids[..7].iter().map(|&id| ReliableBroadcast::receiver(id, source)).collect();
+    let nodes: Vec<ReliableBroadcast<u64>> = ids[..7]
+        .iter()
+        .map(|&id| ReliableBroadcast::receiver(id, source))
+        .collect();
     let byz_clone = byz.clone();
     let adversary = FnAdversary::new(move |view: &AdversaryView<'_, RbMessage<u64>>| {
         let mut out = Vec::new();
@@ -88,7 +106,10 @@ fn relay_holds_when_byzantines_boost_a_single_node() {
         if view.round < 2 {
             return vec![];
         }
-        byz_clone.iter().map(|&from| Directed::new(from, favoured, RbMessage::Echo(5))).collect()
+        byz_clone
+            .iter()
+            .map(|&from| Directed::new(from, favoured, RbMessage::Echo(5)))
+            .collect()
     });
     let mut engine = SyncEngine::new(nodes, adversary, byz);
     engine.run_rounds(25).unwrap();

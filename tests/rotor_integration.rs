@@ -25,11 +25,13 @@ fn run_rotor<A: Adversary<Msg>>(
 ) -> SyncEngine<RotorCoordinator<u64>, A> {
     let ids = IdSpace::default().generate(n_correct + byzantine, seed);
     let byz: Vec<NodeId> = ids[n_correct..].to_vec();
-    let nodes: Vec<RotorCoordinator<u64>> =
-        ids[..n_correct].iter().map(|&id| RotorCoordinator::new(id, id.raw())).collect();
+    let nodes: Vec<RotorCoordinator<u64>> = ids[..n_correct]
+        .iter()
+        .map(|&id| RotorCoordinator::new(id, id.raw()))
+        .collect();
     let mut engine = SyncEngine::new(nodes, adversary, byz);
     engine
-        .run_until_all_terminated(10 * (n_correct + byzantine) as u64 + 20)
+        .run_to_termination(10 * (n_correct + byzantine) as u64 + 20)
         .expect("rotor terminates within O(n) rounds");
     engine
 }
@@ -55,8 +57,15 @@ fn rotor_satisfies_theorem_2_without_faults() {
     for &n in &[4usize, 7, 13, 25] {
         let engine = run_rotor(n, 0, SilentAdversary, 100 + n as u64);
         let (correct, observations) = observe(&engine);
-        check_rotor(&correct, &observations, RotorCheck { n, expect_termination: true })
-            .assert_passed(&format!("fault-free rotor with n = {n}"));
+        check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n,
+                expect_termination: true,
+            },
+        )
+        .assert_passed(&format!("fault-free rotor with n = {n}"));
     }
 }
 
@@ -66,8 +75,15 @@ fn rotor_survives_counted_but_silent_byzantine_nodes() {
         let n = 3 * f + 1;
         let engine = run_rotor(n - f, f, AnnounceThenSilent, 200 + f as u64);
         let (correct, observations) = observe(&engine);
-        check_rotor(&correct, &observations, RotorCheck { n, expect_termination: true })
-            .assert_passed(&format!("announce-then-silent rotor with f = {f}"));
+        check_rotor(
+            &correct,
+            &observations,
+            RotorCheck {
+                n,
+                expect_termination: true,
+            },
+        )
+        .assert_passed(&format!("announce-then-silent rotor with f = {f}"));
     }
 }
 
@@ -77,8 +93,15 @@ fn rotor_survives_partial_announcement() {
     // hold different n_v — the situation the candidate-set relay (Lemma 6) handles.
     let engine = run_rotor(7, 2, PartialAnnounce, 77);
     let (correct, observations) = observe(&engine);
-    check_rotor(&correct, &observations, RotorCheck { n: 9, expect_termination: true })
-        .assert_passed("partial announcement");
+    check_rotor(
+        &correct,
+        &observations,
+        RotorCheck {
+            n: 9,
+            expect_termination: true,
+        },
+    )
+    .assert_passed("partial announcement");
 }
 
 #[test]
@@ -91,18 +114,30 @@ fn rotor_survives_candidate_set_poisoning() {
     let adversary = RecordingAdversary::new(CandidatePoisoner::new(ghosts.clone()));
     let engine = run_rotor(7, 2, adversary, 78);
     let (correct, observations) = observe(&engine);
-    check_rotor(&correct, &observations, RotorCheck { n: 9, expect_termination: true })
-        .assert_passed("candidate poisoning");
+    check_rotor(
+        &correct,
+        &observations,
+        RotorCheck {
+            n: 9,
+            expect_termination: true,
+        },
+    )
+    .assert_passed("candidate poisoning");
     // No ghost identifier was ever selected as a coordinator by a correct node.
     for obs in &observations {
         assert!(
-            obs.history.iter().all(|record| !ghosts.contains(&record.coordinator)),
+            obs.history
+                .iter()
+                .all(|record| !ghosts.contains(&record.coordinator)),
             "a fabricated identifier was selected as coordinator by {}",
             obs.node
         );
     }
     let (_, adversary, _) = engine.into_parts();
-    assert!(adversary.total_injected() > 0, "the poisoner must actually have attacked");
+    assert!(
+        adversary.total_injected() > 0,
+        "the poisoner must actually have attacked"
+    );
 }
 
 #[test]
@@ -114,7 +149,10 @@ fn rotor_selects_every_correct_candidate_before_repeating() {
     let correct: BTreeSet<NodeId> = engine.correct_ids().into_iter().collect();
     for node in engine.nodes() {
         let selected: BTreeSet<NodeId> = node.state().selected().iter().copied().collect();
-        assert_eq!(selected, correct, "every correct node is selected exactly once");
+        assert_eq!(
+            selected, correct,
+            "every correct node is selected exactly once"
+        );
     }
 }
 
@@ -145,6 +183,13 @@ fn late_attack_window_cannot_poison_after_candidates_are_fixed() {
     let adversary = RoundWindow::new(CandidatePoisoner::new(vec![NodeId::new(999_999)]), 5, 50);
     let engine = run_rotor(7, 2, adversary, 91);
     let (correct, observations) = observe(&engine);
-    check_rotor(&correct, &observations, RotorCheck { n: 9, expect_termination: true })
-        .assert_passed("late poisoning window");
+    check_rotor(
+        &correct,
+        &observations,
+        RotorCheck {
+            n: 9,
+            expect_termination: true,
+        },
+    )
+    .assert_passed("late poisoning window");
 }

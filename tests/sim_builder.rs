@@ -1,0 +1,152 @@
+//! End-to-end tests of the unified `Simulation` builder: the same scenario
+//! description runs against the id-only consensus (Algorithm 3) *and* the classic
+//! phase-king baseline, the two reports agree on the decided value, round-trip
+//! through serde JSON, and are accepted by the `uba-checker` oracles.
+
+use uba_baselines::PhaseKingFactory;
+use uba_checker::{attach_verdicts, check_run_report};
+use uba_core::sim::{
+    AdversaryKind, RunReport, RunStatus, ScenarioBuilder, ScenarioExt, Simulation,
+};
+use uba_simnet::{ChurnEvent, ChurnSchedule, IdSpace, NodeId};
+
+/// One scenario description, reused verbatim for both protocols (consecutive ids
+/// because the phase-king baseline requires them; the id-only algorithm accepts any).
+fn shared_scenario() -> ScenarioBuilder {
+    Simulation::scenario()
+        .correct(7)
+        .byzantine(2)
+        .ids(IdSpace::Consecutive)
+        .seed(12)
+        .max_rounds(300)
+        .adversary(AdversaryKind::Silent)
+}
+
+const INPUTS: [u64; 7] = [0, 1, 1, 0, 1, 1, 1];
+
+#[test]
+fn same_scenario_runs_consensus_and_phase_king_head_to_head() {
+    let id_only = shared_scenario().consensus(&INPUTS).run().unwrap();
+    let king = shared_scenario()
+        .build(PhaseKingFactory::new(INPUTS.to_vec()))
+        .run()
+        .unwrap();
+
+    for report in [&id_only, &king] {
+        assert!(report.completed(), "{} did not finish", report.protocol);
+        let section = report.consensus.as_ref().expect("consensus section");
+        assert!(section.agreement, "{} disagreed", report.protocol);
+        assert!(
+            section.validity,
+            "{} decided an invalid value",
+            report.protocol
+        );
+        assert!(section.undecided.is_empty());
+        assert_eq!(section.inputs.len(), 7);
+    }
+
+    // Head-to-head comparability: same scenario echo, and both decided values are
+    // inputs of correct nodes (validity is all the theorems promise for split
+    // inputs — the two algorithms may legitimately pick different valid values).
+    assert_eq!(id_only.scenario, king.scenario);
+    assert_eq!(id_only.protocol, "consensus");
+    assert_eq!(king.protocol, "phase-king");
+    for report in [&id_only, &king] {
+        let value = report.consensus.as_ref().unwrap().decisions[0].value;
+        assert!(
+            INPUTS.contains(&value),
+            "{} decided a non-input value",
+            report.protocol
+        );
+    }
+
+    // Under unanimous inputs both implementations MUST decide the common value.
+    let unanimous = [4u64; 7];
+    let id_only = shared_scenario().consensus(&unanimous).run().unwrap();
+    let king = shared_scenario()
+        .build(PhaseKingFactory::new(unanimous.to_vec()))
+        .run()
+        .unwrap();
+    for report in [&id_only, &king] {
+        let section = report.consensus.as_ref().unwrap();
+        assert!(
+            section.decisions.iter().all(|d| d.value == 4),
+            "{}",
+            report.protocol
+        );
+    }
+}
+
+#[test]
+fn reports_round_trip_through_serde_json() {
+    let mut id_only = shared_scenario().consensus(&INPUTS).run().unwrap();
+    let mut king = shared_scenario()
+        .build(PhaseKingFactory::new(INPUTS.to_vec()))
+        .run()
+        .unwrap();
+    attach_verdicts(&mut id_only);
+    attach_verdicts(&mut king);
+
+    for report in [&id_only, &king] {
+        let json = serde_json::to_string_pretty(report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, report, "{} report must round-trip", report.protocol);
+        // The deserialised report is still accepted by the oracles.
+        check_run_report(&back).assert_passed("deserialised report");
+        assert!(back.verdicts_passed());
+        assert!(!back.verdicts.is_empty());
+    }
+}
+
+#[test]
+fn builder_spec_controls_every_knob() {
+    let builder = Simulation::scenario()
+        .correct(9)
+        .byzantine(2)
+        .ids(IdSpace::Sparse { stride: 11 })
+        .seed(77)
+        .max_rounds(55)
+        .adversary(AdversaryKind::PartialAnnounce)
+        .churn(ChurnSchedule::empty().with(3, ChurnEvent::JoinByzantine(NodeId::new(9_999))));
+    let spec = builder.spec().clone();
+    assert_eq!(spec.correct, 9);
+    assert_eq!(spec.byzantine, 2);
+    assert_eq!(spec.id_space, IdSpace::Sparse { stride: 11 });
+    assert_eq!(spec.seed, 77);
+    assert_eq!(spec.max_rounds, 55);
+    assert_eq!(spec.adversary, AdversaryKind::PartialAnnounce);
+    assert_eq!(spec.churn.len(), 1);
+
+    // The context splits ids deterministically and the spec is echoed into reports.
+    let ctx = builder.clone().context();
+    assert_eq!(ctx.correct_ids.len(), 9);
+    assert_eq!(ctx.byzantine_ids.len(), 2);
+    let report = builder
+        .churn(ChurnSchedule::empty())
+        .consensus(&[0, 1, 0, 1, 0, 1, 0, 1, 0])
+        .run()
+        .unwrap();
+    assert_eq!(report.scenario.seed, 77);
+    assert_eq!(report.adversary, "partial-announce");
+}
+
+#[test]
+fn cap_exhaustion_round_trips_as_a_status() {
+    // n = 3f with a split-vote adversary can get stuck; whatever happens, the status
+    // (and not an error) carries the outcome through serialization.
+    let report = Simulation::scenario()
+        .correct(4)
+        .byzantine(2)
+        .seed(5)
+        .max_rounds(40)
+        .adversary(AdversaryKind::SplitVote)
+        .consensus(&[0, 1, 0, 1])
+        .run()
+        .unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.status, report.status);
+    if let RunStatus::MaxRoundsExceeded { limit } = back.status {
+        assert_eq!(limit, 40);
+    }
+}
