@@ -64,7 +64,7 @@ impl<M: Clone + Ord + std::fmt::Debug> StBroadcast<M> {
     }
 }
 
-impl<M: Clone + Ord + std::fmt::Debug> Protocol for StBroadcast<M> {
+impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Protocol for StBroadcast<M> {
     type Payload = StMessage<M>;
     type Output = M;
 

@@ -4,16 +4,76 @@
 //! cargo run -p uba-bench --release --bin experiments -- all
 //! cargo run -p uba-bench --release --bin experiments -- e4 e7
 //! cargo run -p uba-bench --release --bin experiments -- baseline [path]
+//! cargo run -p uba-bench --release --bin experiments -- scaling [--quick] [path]
 //! ```
 //!
 //! `baseline` regenerates `BENCH_baseline.json`: the fixed scenario grid run through
 //! the `Simulation` driver, serialised as verdict-annotated `RunReport`s plus an
 //! aggregate summary (see `uba_bench::baseline`).
+//!
+//! `scaling` regenerates `BENCH_scaling.json`: the wall-clock scaling sweep up to
+//! `n = 128` (see `uba_bench::scaling`). With `--quick` it runs the small-`n`
+//! prefix, re-runs the deterministic baseline grid, and **exits non-zero if the
+//! engine's rounds, message or delivery counts drifted** from the recorded
+//! `BENCH_baseline.json` — the CI regression guard for engine rewrites.
 
 use uba_bench::{all_experiments, experiment_by_name};
 
+fn run_scaling(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    // A quick run writes to its own default file: the checked-in
+    // BENCH_scaling.json holds the full grid, and a prefix-only run must not
+    // silently clobber the recorded trajectory.
+    let default_path = if quick {
+        "scaling-quick.json"
+    } else {
+        "BENCH_scaling.json"
+    };
+    let path = std::path::PathBuf::from(
+        args.iter()
+            .find(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or(default_path),
+    );
+    if quick {
+        eprintln!("checking the engine against BENCH_baseline.json…");
+        let recorded =
+            uba_bench::scaling::load_baseline(std::path::Path::new("BENCH_baseline.json"))
+                .unwrap_or_else(|error| {
+                    eprintln!("cannot load BENCH_baseline.json: {error}");
+                    std::process::exit(1);
+                });
+        let drift = uba_bench::scaling::baseline_drift(&recorded);
+        if !drift.is_empty() {
+            eprintln!("engine behaviour drifted from BENCH_baseline.json:");
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("baseline counts unchanged ✓");
+    }
+    eprintln!("running the scaling grid (quick = {quick})…");
+    let started = std::time::Instant::now();
+    let json = uba_bench::write_scaling(&path, quick).unwrap_or_else(|error| {
+        eprintln!("cannot write {}: {error}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {} ({} bytes) in {:.2?}",
+        path.display(),
+        json.len(),
+        started.elapsed()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("scaling") {
+        run_scaling(&args[1..]);
+        return;
+    }
 
     if args.first().map(String::as_str) == Some("baseline") {
         let path = std::path::PathBuf::from(
@@ -45,7 +105,9 @@ fn main() {
         args.iter()
             .map(|name| {
                 let f = experiment_by_name(name).unwrap_or_else(|| {
-                    eprintln!("unknown experiment '{name}'; expected e1..e14, 'all' or 'baseline'");
+                    eprintln!(
+                        "unknown experiment '{name}'; expected e1..e14, 'all', 'baseline' or 'scaling'"
+                    );
                     std::process::exit(2);
                 });
                 (Box::leak(name.clone().into_boxed_str()) as &'static str, f)

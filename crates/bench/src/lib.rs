@@ -24,10 +24,12 @@ pub mod baseline;
 pub mod experiments;
 pub mod experiments_ext;
 pub mod montecarlo;
+pub mod scaling;
 pub mod table;
 pub mod workload;
 
 pub use baseline::{baseline_file, write_baseline, BaselineFile};
 pub use experiments::{all_experiments, experiment_by_name};
 pub use montecarlo::{ResilienceSweep, SweepConfig};
+pub use scaling::{scaling_file, write_scaling, ScalingFile};
 pub use table::Table;

@@ -1,0 +1,412 @@
+//! Wall-clock scaling sweep (`BENCH_scaling.json`).
+//!
+//! `BENCH_baseline.json` records *what* the protocols do (rounds, messages,
+//! verdicts) on a small grid; this module records *how fast the engine executes
+//! them* as the system grows. [`scaling_file`] runs a broadcast-heavy grid —
+//! id-only consensus and the phase-king baseline up to `n = 128`, reliable
+//! broadcast at the largest sizes — through the unified `Simulation` driver and
+//! measures the wall-clock time of every run. Regenerate with:
+//!
+//! ```text
+//! cargo run -p uba-bench --release --bin experiments -- scaling
+//! ```
+//!
+//! Two consumers read the result differently:
+//!
+//! * **Perf tracking** reads the `wall_ms` column and the [`SpeedupRow`]s, which
+//!   compare the current engine against the recorded pre-rewrite reference
+//!   timings (see [`PRE_CHANGE_REFERENCE_MS`]). Wall-clock is machine-dependent,
+//!   so these numbers are documentation, not a gate.
+//! * **CI** runs `experiments -- scaling --quick`, which executes the small-`n`
+//!   prefix of the grid plus the full `BENCH_baseline.json` grid and **fails on
+//!   any drift in rounds, message or delivery counts** — the deterministic part
+//!   of the result. This is the regression guard that keeps engine rewrites
+//!   behaviour-preserving.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use uba_baselines::PhaseKingFactory;
+use uba_core::sim::{AdversaryKind, RunReport, ScenarioExt, Simulation};
+use uba_simnet::IdSpace;
+
+use crate::baseline::{baseline_file, BaselineFile};
+
+/// Base seed of the scaling grid (distinct from the baseline grid's seed so the
+/// two files never share identifier layouts).
+pub const SEED: u64 = 0x5CA1E;
+
+/// System sizes of the full grid. `--quick` stops at 32 to keep CI fast.
+pub const FULL_SIZES: &[usize] = &[8, 16, 32, 64, 128];
+
+/// System sizes exercised by `--quick`.
+pub const QUICK_SIZES: &[usize] = &[8, 16, 32];
+
+/// Wall-clock (milliseconds) of the grid's scenarios measured **before** the
+/// broadcast-aware engine rewrite (eager per-recipient expansion, `Vec::contains`
+/// membership checks and O(k²) inbox dedup), on the machine that recorded
+/// `BENCH_scaling.json`. Scenarios are keyed as `protocol/adversary/n`. These
+/// reference points are what the ≥5× speedup claim in the scaling file is
+/// measured against; scenarios missing here produce no [`SpeedupRow`].
+pub const PRE_CHANGE_REFERENCE_MS: &[(&str, f64)] = &[
+    ("consensus/silent/n32", 7.45),
+    ("consensus/split-vote/n32", 13.40),
+    ("consensus/silent/n64", 147.18),
+    ("consensus/split-vote/n64", 345.78),
+    ("consensus/silent/n128", 5756.39),
+    ("consensus/split-vote/n128", 11262.76),
+    ("phase-king/silent/n128", 88.60),
+    ("reliable-broadcast/announce-then-silent/n128", 4.48),
+];
+
+/// One measured run of the scaling grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// System size `n`.
+    pub n: usize,
+    /// Byzantine count `f`.
+    pub f: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Correct-node point-to-point messages.
+    pub messages: u64,
+    /// Deliveries to correct nodes after deduplication.
+    pub deliveries: u64,
+    /// Whether the run completed before its round cap.
+    pub ok: bool,
+    /// Whether the engine's parallel node-step path was enabled for this run.
+    pub parallel: bool,
+    /// Wall-clock time of the run in milliseconds (machine-dependent).
+    pub wall_ms: f64,
+}
+
+impl ScalingRow {
+    /// The `protocol/adversary/n[/parallel]` scenario key. The reference lookup
+    /// deliberately ignores the `/parallel` suffix: both modes are compared
+    /// against the same (serial) pre-rewrite timing.
+    pub fn key(&self) -> String {
+        let suffix = if self.parallel { "/parallel" } else { "" };
+        format!("{}/{}/n{}{}", self.protocol, self.adversary, self.n, suffix)
+    }
+
+    fn reference_key(&self) -> String {
+        format!("{}/{}/n{}", self.protocol, self.adversary, self.n)
+    }
+}
+
+/// A measured-vs-reference comparison for one scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// The `protocol/adversary/n` scenario key.
+    pub scenario: String,
+    /// Pre-rewrite wall-clock in milliseconds (from [`PRE_CHANGE_REFERENCE_MS`]).
+    pub pre_change_ms: f64,
+    /// Wall-clock of this run in milliseconds.
+    pub measured_ms: f64,
+    /// `pre_change_ms / measured_ms`.
+    pub speedup: f64,
+}
+
+/// The serialised scaling file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFile {
+    /// Base seed of the grid.
+    pub seed: u64,
+    /// Whether this file holds the quick (CI) prefix or the full grid.
+    pub quick: bool,
+    /// One row per measured run.
+    pub rows: Vec<ScalingRow>,
+    /// Speedup against the recorded pre-rewrite engine, where a reference exists.
+    pub speedups: Vec<SpeedupRow>,
+}
+
+fn timed(run: impl FnOnce() -> RunReport) -> (RunReport, f64) {
+    let started = Instant::now();
+    let report = run();
+    (report, started.elapsed().as_secs_f64() * 1_000.0)
+}
+
+fn row(report: &RunReport, parallel: bool, wall_ms: f64) -> ScalingRow {
+    ScalingRow {
+        protocol: report.protocol.clone(),
+        adversary: report.adversary.clone(),
+        n: report.scenario.n(),
+        f: report.scenario.byzantine,
+        rounds: report.rounds,
+        messages: report.messages.correct,
+        deliveries: report.messages.deliveries,
+        ok: report.completed(),
+        parallel,
+        wall_ms,
+    }
+}
+
+/// Runs the scaling grid (`--quick` restricts it to the small-`n` prefix) and
+/// returns one measured row per scenario.
+pub fn scaling_rows(quick: bool) -> Vec<ScalingRow> {
+    let sizes = if quick { QUICK_SIZES } else { FULL_SIZES };
+    let mut rows = Vec::new();
+
+    for &n in sizes {
+        let f = (n - 1) / 3;
+        let correct = n - f;
+        let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
+
+        // Id-only consensus: every phase is a sequence of all-to-all broadcasts,
+        // which is the traffic pattern the engine rewrite targets. Split-vote is
+        // the broadcast-heavy headline (the adversary keeps the phases coming).
+        // At n ≥ 64 the same scenario is re-run with the opt-in parallel
+        // node-step path; the counts must not move (equality is asserted), only
+        // the wall clock may.
+        for kind in [AdversaryKind::Silent, AdversaryKind::SplitVote] {
+            let run = |parallel: bool| {
+                timed(|| {
+                    let mut harness = Simulation::scenario()
+                        .correct(correct)
+                        .byzantine(f)
+                        .seed(SEED + n as u64)
+                        .max_rounds(5_000)
+                        .adversary(kind)
+                        .consensus(&inputs);
+                    if parallel {
+                        harness = harness.parallel_stepping();
+                    }
+                    harness.run().expect("consensus scaling run completes")
+                })
+            };
+            let (report, wall_ms) = run(false);
+            rows.push(row(&report, false, wall_ms));
+            if n >= 64 {
+                let (parallel_report, parallel_ms) = run(true);
+                assert_eq!(
+                    (parallel_report.rounds, &parallel_report.messages),
+                    (report.rounds, &report.messages),
+                    "parallel stepping must not change behaviour"
+                );
+                rows.push(row(&parallel_report, true, parallel_ms));
+            }
+        }
+
+        // Phase-king head-to-head on the same sizes (known `(n, f)`, silent
+        // faults — the only behaviour its wire format admits).
+
+        let (report, wall_ms) = timed(|| {
+            Simulation::scenario()
+                .correct(correct)
+                .byzantine(f)
+                .ids(IdSpace::Consecutive)
+                .seed(0)
+                .max_rounds(5_000)
+                .build(PhaseKingFactory::new(inputs.clone()))
+                .run()
+                .expect("phase-king scaling run completes")
+        });
+        rows.push(row(&report, false, wall_ms));
+    }
+
+    // Reliable broadcast at the largest sizes: a fixed round budget, so the cost
+    // is pure per-round engine work (echo broadcasts every round).
+    let broadcast_sizes: &[usize] = if quick { &[32] } else { &[64, 128] };
+    for &n in broadcast_sizes {
+        let f = (n - 1) / 3;
+        let (report, wall_ms) = timed(|| {
+            Simulation::scenario()
+                .correct(n - f)
+                .byzantine(f)
+                .seed(SEED + n as u64)
+                .adversary(AdversaryKind::AnnounceThenSilent)
+                .broadcast(42)
+                .rounds(12)
+                .run()
+                .expect("broadcast scaling run completes")
+        });
+        rows.push(row(&report, false, wall_ms));
+    }
+
+    rows
+}
+
+/// Assembles the scaling file: measured rows plus speedups against the recorded
+/// pre-rewrite reference.
+pub fn scaling_file(quick: bool) -> ScalingFile {
+    let rows = scaling_rows(quick);
+    let speedups = rows
+        .iter()
+        .filter_map(|r| {
+            let reference = r.reference_key();
+            PRE_CHANGE_REFERENCE_MS
+                .iter()
+                .find(|(scenario, _)| *scenario == reference)
+                .map(|&(_, pre_change_ms)| SpeedupRow {
+                    scenario: r.key(),
+                    pre_change_ms,
+                    measured_ms: r.wall_ms,
+                    speedup: pre_change_ms / r.wall_ms,
+                })
+        })
+        .collect();
+    ScalingFile {
+        seed: SEED,
+        quick,
+        rows,
+        speedups,
+    }
+}
+
+/// Writes `BENCH_scaling.json` (or another path) and returns the rendered JSON.
+pub fn write_scaling(path: &std::path::Path, quick: bool) -> std::io::Result<String> {
+    let json = serde_json::to_string_pretty(&scaling_file(quick))
+        .expect("scaling serialization is infallible");
+    std::fs::write(path, &json)?;
+    Ok(json)
+}
+
+/// Re-runs the deterministic baseline grid and compares the aggregate rows against
+/// a recorded `BENCH_baseline.json`. Returns the human-readable drift lines, empty
+/// when the engine still reproduces the recorded behaviour exactly.
+///
+/// This is the CI regression guard: wall-clock may move with the hardware, but
+/// rounds, messages, deliveries and verdicts must not move with an engine rewrite.
+pub fn baseline_drift(recorded: &BaselineFile) -> Vec<String> {
+    baseline_drift_against(recorded, &baseline_file())
+}
+
+/// The comparison behind [`baseline_drift`], with the current grid supplied by the
+/// caller (unit-testable without running the grid).
+pub fn baseline_drift_against(recorded: &BaselineFile, current: &BaselineFile) -> Vec<String> {
+    let mut drift = Vec::new();
+    if recorded.seed != current.seed {
+        drift.push(format!(
+            "baseline seed changed: recorded {:#x}, current {:#x}",
+            recorded.seed, current.seed
+        ));
+    }
+    if recorded.summary.len() != current.summary.len() {
+        drift.push(format!(
+            "baseline grid size changed: recorded {} rows, current {}",
+            recorded.summary.len(),
+            current.summary.len()
+        ));
+    }
+    for (recorded_row, current_row) in recorded.summary.iter().zip(&current.summary) {
+        if recorded_row != current_row {
+            drift.push(format!(
+                "{}/{} n={}: recorded (rounds {}, messages {}, ok {}) vs current \
+                 (rounds {}, messages {}, ok {})",
+                recorded_row.protocol,
+                recorded_row.adversary,
+                recorded_row.n,
+                recorded_row.rounds,
+                recorded_row.messages,
+                recorded_row.ok,
+                current_row.rounds,
+                current_row.messages,
+                current_row.ok,
+            ));
+        }
+    }
+    // The summary has no delivery column; deliveries are guarded through the full
+    // per-round metrics embedded in the recorded reports. A length mismatch is
+    // itself drift — `zip` would otherwise skip the unmatched scenarios silently.
+    if recorded.reports.len() != current.reports.len() {
+        drift.push(format!(
+            "baseline report count changed: recorded {} reports, current {}",
+            recorded.reports.len(),
+            current.reports.len()
+        ));
+    }
+    for (recorded_report, current_report) in recorded.reports.iter().zip(&current.reports) {
+        if recorded_report.messages.deliveries != current_report.messages.deliveries {
+            drift.push(format!(
+                "{}/{} n={}: deliveries changed: recorded {} vs current {}",
+                recorded_report.protocol,
+                recorded_report.adversary,
+                recorded_report.scenario.n(),
+                recorded_report.messages.deliveries,
+                current_report.messages.deliveries,
+            ));
+        }
+    }
+    drift
+}
+
+/// Loads a recorded baseline file from disk.
+pub fn load_baseline(path: &std::path::Path) -> std::io::Result<BaselineFile> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|error| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("cannot parse {}: {error:?}", path.display()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_is_deterministic_up_to_wall_clock() {
+        let strip = |rows: Vec<ScalingRow>| -> Vec<ScalingRow> {
+            rows.into_iter()
+                .map(|mut r| {
+                    r.wall_ms = 0.0;
+                    r
+                })
+                .collect()
+        };
+        let a = strip(scaling_rows(true));
+        let b = strip(scaling_rows(true));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|r| r.ok), "every quick scenario completes");
+    }
+
+    #[test]
+    fn scaling_file_round_trips_through_serde() {
+        let file = scaling_file(true);
+        let json = serde_json::to_string(&file).unwrap();
+        let back: ScalingFile = serde_json::from_str(&json).unwrap();
+        // Wall-clock survives serialisation; equality is over the whole struct.
+        assert_eq!(back, file);
+    }
+
+    // The end-to-end "current engine reproduces BENCH_baseline.json" assertion
+    // lives in tests/engine_equivalence.rs (full RunReport equality, strictly
+    // stronger than the drift summary); here only the comparison logic itself is
+    // tested, on synthetic files, so the expensive grid is not run twice.
+    #[test]
+    fn baseline_drift_reports_every_mismatch_class() {
+        let row = |rounds: u64| crate::baseline::BaselineSummaryRow {
+            protocol: "consensus".into(),
+            adversary: "silent".into(),
+            n: 4,
+            f: 1,
+            rounds,
+            messages: 100,
+            bytes_estimate: 1_600,
+            ok: true,
+        };
+        let recorded = BaselineFile {
+            seed: 1,
+            summary: vec![row(7), row(9)],
+            reports: Vec::new(),
+        };
+        let identical = recorded.clone();
+        assert!(baseline_drift_against(&recorded, &identical).is_empty());
+
+        let mut drifted = recorded.clone();
+        drifted.seed = 2;
+        drifted.summary[1] = row(10);
+        drifted.summary.push(row(3));
+        let drift = baseline_drift_against(&recorded, &drifted);
+        assert_eq!(drift.len(), 3, "seed, grid size and row drift:\n{drift:#?}");
+        assert!(drift.iter().any(|line| line.contains("seed changed")));
+        assert!(drift.iter().any(|line| line.contains("grid size changed")));
+        assert!(drift.iter().any(|line| line.contains("rounds 10")));
+    }
+}

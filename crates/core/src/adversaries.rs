@@ -289,6 +289,7 @@ impl<V: Opinion> Adversary<ParallelMessage<V>> for GhostPairInjector<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uba_simnet::RoundTraffic;
 
     static CORRECT: [NodeId; 4] = [
         NodeId::new(2),
@@ -298,7 +299,7 @@ mod tests {
     ];
     static BYZ: [NodeId; 2] = [NodeId::new(100), NodeId::new(101)];
 
-    fn view<P>(round: u64, traffic: &[Directed<P>]) -> AdversaryView<'_, P> {
+    fn view<P>(round: u64, traffic: &RoundTraffic<P>) -> AdversaryView<'_, P> {
         AdversaryView {
             round,
             correct_ids: &CORRECT,
@@ -310,7 +311,7 @@ mod tests {
     #[test]
     fn announce_then_silent_only_speaks_in_round_one() {
         let mut adv = AnnounceThenSilent;
-        let t: Vec<Directed<ConsensusMessage<u64>>> = vec![];
+        let t: RoundTraffic<ConsensusMessage<u64>> = RoundTraffic::new();
         assert_eq!(Adversary::step(&mut adv, &view(1, &t)).len(), 8);
         assert!(Adversary::<ConsensusMessage<u64>>::step(&mut adv, &view(2, &t)).is_empty());
     }
@@ -318,7 +319,7 @@ mod tests {
     #[test]
     fn partial_announce_covers_half_the_nodes() {
         let mut adv = PartialAnnounce;
-        let t: Vec<Directed<RbMessage<u64>>> = vec![];
+        let t: RoundTraffic<RbMessage<u64>> = RoundTraffic::new();
         let out = Adversary::step(&mut adv, &view(1, &t));
         assert_eq!(out.len(), 4, "2 byzantine × 2 (even-indexed) recipients");
     }
@@ -326,7 +327,7 @@ mod tests {
     #[test]
     fn equivocating_source_sends_two_values() {
         let mut adv = EquivocatingSource::new(BYZ[0], 1u64, 2u64);
-        let t: Vec<Directed<RbMessage<u64>>> = vec![];
+        let t: RoundTraffic<RbMessage<u64>> = RoundTraffic::new();
         let out = adv.step(&view(1, &t));
         assert_eq!(out.len(), 4);
         let ones = out
@@ -344,7 +345,7 @@ mod tests {
     #[test]
     fn split_vote_tracks_the_phase_schedule() {
         let mut adv = SplitVote::new(0u64, 1u64);
-        let t: Vec<Directed<ConsensusMessage<u64>>> = vec![];
+        let t: RoundTraffic<ConsensusMessage<u64>> = RoundTraffic::new();
         let round3 = adv.step(&view(3, &t));
         assert!(round3
             .iter()
@@ -360,7 +361,7 @@ mod tests {
     #[test]
     fn candidate_poisoner_vouches_for_ghosts() {
         let mut adv = CandidatePoisoner::new(vec![NodeId::new(999)]);
-        let t: Vec<Directed<RotorMessage<u64>>> = vec![];
+        let t: RoundTraffic<RotorMessage<u64>> = RoundTraffic::new();
         let out = adv.step(&view(3, &t));
         assert!(out
             .iter()
@@ -371,7 +372,7 @@ mod tests {
     #[test]
     fn ghost_pair_injector_targets_phase_one_rounds() {
         let mut adv = GhostPairInjector::new(vec![(77, 7u64)]);
-        let t: Vec<Directed<ParallelMessage<u64>>> = vec![];
+        let t: RoundTraffic<ParallelMessage<u64>> = RoundTraffic::new();
         assert!(adv
             .step(&view(4, &t))
             .iter()

@@ -263,7 +263,7 @@ impl<E: Opinion> Adversary<TotalOrderMessage<E>> for MembershipFlapper<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uba_simnet::NodeId;
+    use uba_simnet::{NodeId, RoundTraffic};
 
     static CORRECT: [NodeId; 4] = [
         NodeId::new(2),
@@ -273,7 +273,7 @@ mod tests {
     ];
     static BYZ: [NodeId; 2] = [NodeId::new(100), NodeId::new(101)];
 
-    fn view<P>(round: u64, traffic: &[Directed<P>]) -> AdversaryView<'_, P> {
+    fn view<P>(round: u64, traffic: &RoundTraffic<P>) -> AdversaryView<'_, P> {
         AdversaryView {
             round,
             correct_ids: &CORRECT,
@@ -286,12 +286,13 @@ mod tests {
     fn minority_booster_backs_the_value_with_less_support() {
         // Every correct node is being sent two Input(1) and one Input(0) this round,
         // so the attacker must push Input(0) to all of them.
-        let mut traffic = Vec::new();
+        let mut messages = Vec::new();
         for &to in &CORRECT {
-            traffic.push(Directed::new(CORRECT[0], to, ConsensusMessage::Input(1u64)));
-            traffic.push(Directed::new(CORRECT[1], to, ConsensusMessage::Input(1u64)));
-            traffic.push(Directed::new(CORRECT[2], to, ConsensusMessage::Input(0u64)));
+            messages.push(Directed::new(CORRECT[0], to, ConsensusMessage::Input(1u64)));
+            messages.push(Directed::new(CORRECT[1], to, ConsensusMessage::Input(1u64)));
+            messages.push(Directed::new(CORRECT[2], to, ConsensusMessage::Input(0u64)));
         }
+        let traffic = RoundTraffic::from_directed(messages);
         let mut adv = MinorityBooster::new(0u64, 1u64);
         let out = adv.step(&view(3, &traffic));
         assert_eq!(out.len(), CORRECT.len() * BYZ.len());
@@ -300,7 +301,7 @@ mod tests {
 
     #[test]
     fn minority_booster_follows_the_phase_schedule() {
-        let traffic: Vec<Directed<ConsensusMessage<u64>>> = Vec::new();
+        let traffic: RoundTraffic<ConsensusMessage<u64>> = RoundTraffic::new();
         let mut adv = MinorityBooster::new(0u64, 1u64);
         assert!(adv
             .step(&view(1, &traffic))
@@ -320,7 +321,7 @@ mod tests {
 
     #[test]
     fn equivocating_coordinator_splits_opinions_in_rotor_rounds() {
-        let traffic: Vec<Directed<ConsensusMessage<u64>>> = Vec::new();
+        let traffic: RoundTraffic<ConsensusMessage<u64>> = RoundTraffic::new();
         let mut adv = EquivocatingCoordinator::new(10u64, 20u64);
         // Round 6 is the first rotor round (step 3).
         let out = adv.step(&view(6, &traffic));
@@ -346,12 +347,13 @@ mod tests {
 
     #[test]
     fn echo_withholder_amplifies_the_popular_echo_to_half_the_nodes() {
-        let mut traffic = Vec::new();
+        let mut messages = Vec::new();
         for &to in &CORRECT {
-            traffic.push(Directed::new(CORRECT[0], to, RbMessage::Echo(42u64)));
-            traffic.push(Directed::new(CORRECT[1], to, RbMessage::Echo(42u64)));
-            traffic.push(Directed::new(CORRECT[2], to, RbMessage::Echo(7u64)));
+            messages.push(Directed::new(CORRECT[0], to, RbMessage::Echo(42u64)));
+            messages.push(Directed::new(CORRECT[1], to, RbMessage::Echo(42u64)));
+            messages.push(Directed::new(CORRECT[2], to, RbMessage::Echo(7u64)));
         }
+        let traffic = RoundTraffic::from_directed(messages);
         let mut adv = EchoWithholder;
         let out = adv.step(&view(3, &traffic));
         assert!(!out.is_empty());
@@ -365,18 +367,18 @@ mod tests {
 
     #[test]
     fn echo_withholder_is_silent_without_correct_echo_traffic() {
-        let traffic: Vec<Directed<RbMessage<u64>>> = Vec::new();
+        let traffic: RoundTraffic<RbMessage<u64>> = RoundTraffic::new();
         let mut adv = EchoWithholder;
         assert!(adv.step(&view(5, &traffic)).is_empty());
     }
 
     #[test]
     fn membership_flapper_alternates_presence_and_spams_events() {
-        let traffic = vec![Directed::new(
+        let traffic = RoundTraffic::from_directed(vec![Directed::new(
             CORRECT[0],
             CORRECT[1],
             TotalOrderMessage::Event(9, 555u64),
-        )];
+        )]);
         let mut adv = MembershipFlapper::new(777u64);
         let odd = adv.step(&view(3, &traffic));
         assert!(odd.iter().any(|m| m.payload == TotalOrderMessage::Present));
@@ -386,7 +388,7 @@ mod tests {
         let even = adv.step(&view(4, &traffic));
         assert!(even.iter().any(|m| m.payload == TotalOrderMessage::Absent));
         // Without observed event traffic there is nothing to tag spam with.
-        let no_traffic: Vec<Directed<TotalOrderMessage<u64>>> = Vec::new();
+        let no_traffic: RoundTraffic<TotalOrderMessage<u64>> = RoundTraffic::new();
         let quiet = adv.step(&view(5, &no_traffic));
         assert!(quiet
             .iter()

@@ -30,8 +30,8 @@
 //! (`n_v` tracking), [`vote`] (distinct-sender tallies), [`value`] (opinion types),
 //! [`adversaries`] (scripted Byzantine strategies from the proofs), [`attackers`]
 //! (adaptive, rushing attack strategies) and [`sim`] (protocol factories and fluent
-//! sugar for the unified `Simulation` driver; the deprecated one-call drivers in
-//! [`runner`] are thin shims over it).
+//! sugar for the unified `Simulation` driver — the single driver API; the old
+//! one-call `runner` shims have been removed).
 //!
 //! All protocols implement [`uba_simnet::Protocol`] and run on the deterministic
 //! synchronous engine from the `uba-simnet` crate.
@@ -84,7 +84,6 @@ pub mod parallel_consensus;
 pub mod quorum;
 pub mod reliable_broadcast;
 pub mod rotor;
-pub mod runner;
 pub mod sim;
 pub mod total_order;
 pub mod value;

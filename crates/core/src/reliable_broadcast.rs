@@ -407,11 +407,12 @@ mod tests {
     fn adversary_trait_objects_compose_with_rb_payloads() {
         // Regression guard: the generic adversary helpers stay usable with RbMessage.
         let mut silent = SilentAdversary;
+        let traffic = uba_simnet::RoundTraffic::new();
         let view = AdversaryView::<Msg> {
             round: 1,
             correct_ids: &[],
             byzantine_ids: &[],
-            correct_traffic: &[],
+            correct_traffic: &traffic,
         };
         assert!(Adversary::<Msg>::step(&mut silent, &view).is_empty());
     }

@@ -14,13 +14,16 @@
 
 use crate::id::NodeId;
 use crate::message::Directed;
+use crate::traffic::{RoundTraffic, SentRef, TrafficIter};
 
 /// What the adversary gets to see before injecting its messages for a round.
 ///
-/// `correct_traffic` contains the point-to-point expansion of everything the correct
-/// nodes sent *this* round — the adversary is rushing: it speaks last, with full
-/// knowledge of the round's honest messages, which is the strongest position the
-/// synchronous model allows.
+/// `correct_traffic` holds everything the correct nodes sent *this* round in its
+/// compact, broadcast-aware form — the adversary is rushing: it speaks last, with
+/// full knowledge of the round's honest messages, which is the strongest position
+/// the synchronous model allows. The full point-to-point expansion is available
+/// through the lazy [`AdversaryView::traffic`] / [`AdversaryView::traffic_to`]
+/// iterators; the engine never allocates it.
 #[derive(Debug)]
 pub struct AdversaryView<'a, P> {
     /// Current round number (1-based, same numbering the correct nodes see).
@@ -29,8 +32,8 @@ pub struct AdversaryView<'a, P> {
     pub correct_ids: &'a [NodeId],
     /// Identifiers controlled by the adversary.
     pub byzantine_ids: &'a [NodeId],
-    /// Point-to-point messages produced by the correct nodes this round.
-    pub correct_traffic: &'a [Directed<P>],
+    /// The round's correct traffic, broadcasts unexpanded.
+    pub correct_traffic: &'a RoundTraffic<P>,
 }
 
 impl<'a, P> AdversaryView<'a, P> {
@@ -46,9 +49,16 @@ impl<'a, P> AdversaryView<'a, P> {
         ids
     }
 
-    /// Messages the correct nodes sent to a particular recipient this round.
-    pub fn traffic_to(&self, to: NodeId) -> impl Iterator<Item = &Directed<P>> {
-        self.correct_traffic.iter().filter(move |m| m.to == to)
+    /// Lazily iterates the full point-to-point expansion of the round's correct
+    /// traffic, in the order the old eager engine materialised it.
+    pub fn traffic(&self) -> TrafficIter<'a, P> {
+        self.correct_traffic.iter()
+    }
+
+    /// Messages the correct nodes sent to a particular recipient this round
+    /// (lazily expanded; a full pass costs O(traffic items), not O(items × n)).
+    pub fn traffic_to(&self, to: NodeId) -> impl Iterator<Item = SentRef<'a, P>> + 'a {
+        self.correct_traffic.to(to)
     }
 }
 
@@ -164,14 +174,9 @@ impl<P: Clone> Adversary<P> for ReplayAdversary {
         let Some(template_sender) = view.correct_ids.iter().copied().min() else {
             return Vec::new();
         };
-        let template: Vec<&Directed<P>> = view
-            .correct_traffic
-            .iter()
-            .filter(|m| m.from == template_sender)
-            .collect();
         let mut out = Vec::new();
         for &byz in view.byzantine_ids {
-            for msg in &template {
+            for msg in view.traffic().filter(|m| m.from == template_sender) {
                 let parity_ok = (msg.to.raw() % 2 == 0) == self.visible_to_even_raw_ids;
                 if parity_ok && view.correct_ids.contains(&msg.to) {
                     out.push(Directed::new(byz, msg.to, msg.payload.clone()));
@@ -189,7 +194,11 @@ mod tests {
     static CORRECT: [NodeId; 3] = [NodeId::new(2), NodeId::new(4), NodeId::new(5)];
     static BYZ: [NodeId; 1] = [NodeId::new(9)];
 
-    fn view<'a>(traffic: &'a [Directed<u32>]) -> AdversaryView<'a, u32> {
+    fn traffic(messages: Vec<Directed<u32>>) -> RoundTraffic<u32> {
+        RoundTraffic::from_directed(messages)
+    }
+
+    fn view<'a>(traffic: &'a RoundTraffic<u32>) -> AdversaryView<'a, u32> {
         AdversaryView {
             round: 3,
             correct_ids: &CORRECT,
@@ -200,14 +209,14 @@ mod tests {
 
     #[test]
     fn silent_adversary_sends_nothing() {
-        let traffic = vec![Directed::new(NodeId::new(2), NodeId::new(4), 7u32)];
+        let traffic = traffic(vec![Directed::new(NodeId::new(2), NodeId::new(4), 7u32)]);
         let mut adv = SilentAdversary;
         assert!(Adversary::<u32>::step(&mut adv, &view(&traffic)).is_empty());
     }
 
     #[test]
     fn fn_adversary_uses_closure() {
-        let traffic: Vec<Directed<u32>> = vec![];
+        let traffic = traffic(vec![]);
         let mut adv = FnAdversary::new(|v: &AdversaryView<'_, u32>| {
             vec![Directed::new(v.byzantine_ids[0], v.correct_ids[0], 99)]
         });
@@ -217,7 +226,7 @@ mod tests {
 
     #[test]
     fn crash_adversary_goes_silent_at_crash_round() {
-        let traffic: Vec<Directed<u32>> = vec![];
+        let traffic = traffic(vec![]);
         let inner = FnAdversary::new(|v: &AdversaryView<'_, u32>| {
             vec![Directed::new(v.byzantine_ids[0], v.correct_ids[0], 1)]
         });
@@ -232,13 +241,12 @@ mod tests {
 
     #[test]
     fn replay_adversary_copies_template_to_parity_subset() {
-        // Template sender is n2 (smallest correct id); it broadcast payload 5 to everyone.
-        let traffic = vec![
-            Directed::new(NodeId::new(2), NodeId::new(2), 5u32),
-            Directed::new(NodeId::new(2), NodeId::new(4), 5u32),
-            Directed::new(NodeId::new(2), NodeId::new(5), 5u32),
-            Directed::new(NodeId::new(4), NodeId::new(2), 8u32),
-        ];
+        // Template sender is n2 (smallest correct id); it broadcast payload 5. The
+        // broadcast is stored compactly; the replay adversary sees its expansion.
+        let mut traffic = RoundTraffic::new();
+        traffic.begin_round(CORRECT.iter().copied().chain(BYZ.iter().copied()));
+        traffic.push_broadcast(NodeId::new(2), 5u32);
+        traffic.push_unicast(Directed::new(NodeId::new(4), NodeId::new(2), 8u32));
         let mut adv = ReplayAdversary::new(true);
         let out = adv.step(&view(&traffic));
         // Only even-raw-id correct recipients (n2, n4) get the replayed payload 5, from n9.
@@ -252,7 +260,7 @@ mod tests {
 
     #[test]
     fn view_all_ids_is_sorted_union() {
-        let traffic: Vec<Directed<u32>> = vec![];
+        let traffic = traffic(vec![]);
         let v = view(&traffic);
         let all = v.all_ids();
         assert_eq!(
@@ -268,13 +276,25 @@ mod tests {
 
     #[test]
     fn view_traffic_to_filters_recipient() {
-        let traffic = vec![
+        let traffic = traffic(vec![
             Directed::new(NodeId::new(2), NodeId::new(4), 1u32),
             Directed::new(NodeId::new(5), NodeId::new(4), 2u32),
             Directed::new(NodeId::new(5), NodeId::new(2), 3u32),
-        ];
+        ]);
         let v = view(&traffic);
         assert_eq!(v.traffic_to(NodeId::new(4)).count(), 2);
         assert_eq!(v.traffic_to(NodeId::new(2)).count(), 1);
+    }
+
+    #[test]
+    fn view_traffic_expands_broadcasts_lazily() {
+        let mut traffic = RoundTraffic::new();
+        traffic.begin_round(CORRECT.iter().copied().chain(BYZ.iter().copied()));
+        traffic.push_broadcast(NodeId::new(4), 11u32);
+        let v = view(&traffic);
+        let expanded: Vec<Directed<u32>> = v.traffic().map(|m| m.to_directed()).collect();
+        assert_eq!(expanded.len(), 4, "one copy per member, including n9");
+        assert!(expanded.iter().all(|m| m.from == NodeId::new(4)));
+        assert_eq!(v.traffic_to(NodeId::new(9)).count(), 1);
     }
 }

@@ -2,23 +2,40 @@
 //!
 //! [`SyncEngine`] owns the correct nodes (any [`Protocol`] implementation) and one
 //! [`Adversary`]. Each call to [`SyncEngine::run_round`] performs one synchronous
-//! round of the id-only model:
+//! round of the id-only model, with the following phases and per-round costs (for
+//! `n` nodes, `m` compact traffic items produced this round, and `d` point-to-point
+//! deliveries to correct nodes):
 //!
-//! 1. every live correct node is handed the inbox accumulated for it in the previous
-//!    round and produces its outgoing messages;
-//! 2. the outgoing messages are expanded to point-to-point deliveries (a broadcast is
-//!    delivered to every current member, including the sender);
-//! 3. the adversary observes all of the round's correct traffic (rushing adversary)
-//!    and injects arbitrary directed messages under its own identities;
-//! 4. the deliveries are grouped into next-round inboxes, deduplicating identical
-//!    `(sender, payload)` pairs as the model prescribes.
+//! 1. **Node step — O(n + m).** Every live correct node is handed the inbox
+//!    accumulated for it in the previous round and produces its outgoing messages.
+//!    Broadcasts are *not* expanded: a broadcast is stored once as a compact
+//!    [`TrafficItem`](crate::traffic::TrafficItem) in the round's
+//!    [`RoundTraffic`]; inbox buffers are recycled across rounds instead of
+//!    reallocated. An opt-in parallel path
+//!    ([`SyncEngine::enable_parallel_stepping`]) fans the stepping out over
+//!    `std::thread::scope` threads once the node count reaches
+//!    [`EngineConfig::parallel_node_threshold`], merging per-thread traffic in node
+//!    order so executions stay bit-for-bit deterministic.
+//! 2. **Adversary — O(1) + whatever the strategy reads.** The rushing adversary
+//!    observes the full point-to-point expansion of the round's correct traffic
+//!    through the lazy [`AdversaryView`] iterators (nothing is allocated by the
+//!    engine) and injects arbitrary directed messages; sender identities are
+//!    verified against an O(1) membership index.
+//! 3. **Delivery — O(d) expected.** The compact traffic is expanded *only towards
+//!    correct recipients* (messages to Byzantine identities never materialise —
+//!    the adversary already saw everything via its view), grouped into next-round
+//!    inboxes, and deduplicated per `(sender, payload)` pair through a per-inbox
+//!    payload-hash set: O(1) expected per delivery instead of a linear scan of the
+//!    inbox. Correct-node membership of each recipient is an O(1) index lookup.
 //!
 //! The engine supports **dynamic membership** (nodes joining and leaving between
 //! rounds), which Section XI of the paper relies on, via [`SyncEngine::add_node`],
 //! [`SyncEngine::remove_node`], [`SyncEngine::add_byzantine_id`] and
-//! [`SyncEngine::remove_byzantine_id`].
+//! [`SyncEngine::remove_byzantine_id`]; the membership indices are maintained
+//! incrementally, so none of these paths rescans the node vectors.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::dynamic::{ChurnEvent, ChurnSchedule};
@@ -28,6 +45,7 @@ use crate::message::{Destination, Directed, Envelope};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::node::{Protocol, RoundContext};
 use crate::trace::{TraceEvent, TraceLog};
+use crate::traffic::{RoundTraffic, TrafficItem};
 
 /// Knobs controlling an engine run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +59,10 @@ pub struct EngineConfig {
     pub trace: bool,
     /// Capacity of the trace log when tracing is enabled.
     pub trace_capacity: usize,
+    /// Minimum node count at which the parallel node-step path kicks in. Only
+    /// consulted after [`SyncEngine::enable_parallel_stepping`] was called; below
+    /// the threshold stepping stays serial (the fan-out overhead would dominate).
+    pub parallel_node_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +71,7 @@ impl Default for EngineConfig {
             max_rounds: 10_000,
             trace: false,
             trace_capacity: 1 << 20,
+            parallel_node_threshold: 64,
         }
     }
 }
@@ -114,12 +137,200 @@ struct ChurnDriver<N> {
     applied_upto: u64,
 }
 
+/// A recipient's accumulating inbox: the delivered envelopes plus the
+/// `(sender, payload hash)` pairs already seen, for O(1)-expected deduplication.
+/// Buffers are recycled through the engine's spare pool rather than reallocated.
+#[derive(Debug)]
+struct Inbox<P> {
+    messages: Vec<Envelope<P>>,
+    seen: HashSet<(NodeId, u64)>,
+}
+
+impl<P> Default for Inbox<P> {
+    fn default() -> Self {
+        Inbox {
+            messages: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl<P> Inbox<P> {
+    fn recycle(&mut self) {
+        self.messages.clear();
+        self.seen.clear();
+    }
+}
+
+/// Stable 64-bit payload digest used as the dedup key alongside the sender id.
+/// A hash hit falls back to an exact scan (see [`deliver`]), so a collision can
+/// never drop a genuinely distinct message.
+fn payload_hash<P: Hash>(payload: &P) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    payload.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Delivers one point-to-point message into a recipient's next-round inbox,
+/// deduplicating identical `(sender, payload)` pairs as the model prescribes.
+#[allow(clippy::too_many_arguments)]
+fn deliver<P: Clone + std::fmt::Debug + PartialEq + Hash>(
+    inboxes: &mut HashMap<NodeId, Inbox<P>>,
+    spare: &mut Vec<Inbox<P>>,
+    trace: &mut Option<TraceLog<P>>,
+    byzantine_index: &HashSet<NodeId>,
+    delivery_round: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: &P,
+    deliveries: &mut u64,
+) {
+    let inbox = inboxes
+        .entry(to)
+        .or_insert_with(|| spare.pop().unwrap_or_default());
+    if !inbox.seen.insert((from, payload_hash(payload))) {
+        // The hash pair was already present: either a true duplicate (drop it) or a
+        // 64-bit collision between distinct payloads (deliver anyway). The exact
+        // check runs only on hash hits, so the common path stays O(1).
+        if inbox
+            .messages
+            .iter()
+            .any(|e| e.from == from && e.payload == *payload)
+        {
+            return;
+        }
+    }
+    *deliveries += 1;
+    if let Some(trace) = trace {
+        trace.record(TraceEvent {
+            round: delivery_round,
+            from,
+            to,
+            byzantine: byzantine_index.contains(&from),
+            payload: payload.clone(),
+        });
+    }
+    inbox.messages.push(Envelope::new(from, payload.clone()));
+}
+
+/// The phase-1 node stepper: consumes the extracted per-node inboxes (aligned with
+/// `nodes`) and appends the produced traffic, returning the live-node count. Stored
+/// as a plain function pointer so the parallel variant — which needs `N: Send` —
+/// can be installed without putting that bound on the whole engine.
+type StepperFn<N> = fn(
+    &mut [N],
+    &RoundContext,
+    &mut [Option<Inbox<<N as Protocol>::Payload>>],
+    &mut RoundTraffic<<N as Protocol>::Payload>,
+) -> u64;
+
+fn step_serial<N: Protocol>(
+    nodes: &mut [N],
+    ctx: &RoundContext,
+    inboxes: &mut [Option<Inbox<N::Payload>>],
+    traffic: &mut RoundTraffic<N::Payload>,
+) -> u64 {
+    let mut live = 0u64;
+    for (node, slot) in nodes.iter_mut().zip(inboxes.iter_mut()) {
+        if node.terminated() {
+            continue;
+        }
+        live += 1;
+        let id = node.id();
+        let empty: &[Envelope<N::Payload>] = &[];
+        let inbox = slot.as_ref().map_or(empty, |b| b.messages.as_slice());
+        for message in node.step(ctx, inbox) {
+            match message.dest {
+                Destination::Broadcast => traffic.push_broadcast(id, message.payload),
+                Destination::Unicast(to) => {
+                    traffic.push_unicast(Directed::new(id, to, message.payload))
+                }
+            }
+        }
+    }
+    live
+}
+
+fn step_parallel<N>(
+    nodes: &mut [N],
+    ctx: &RoundContext,
+    inboxes: &mut [Option<Inbox<N::Payload>>],
+    traffic: &mut RoundTraffic<N::Payload>,
+) -> u64
+where
+    N: Protocol + Send,
+    N::Payload: Send,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(nodes.len().max(1));
+    if workers <= 1 {
+        return step_serial::<N>(nodes, ctx, inboxes, traffic);
+    }
+    let chunk = nodes.len().div_ceil(workers);
+    let mut results: Vec<(u64, Vec<TrafficItem<N::Payload>>)> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (node_chunk, inbox_chunk) in nodes.chunks_mut(chunk).zip(inboxes.chunks_mut(chunk)) {
+            handles.push(scope.spawn(move || {
+                let mut items: Vec<TrafficItem<N::Payload>> = Vec::new();
+                let mut live = 0u64;
+                for (node, slot) in node_chunk.iter_mut().zip(inbox_chunk.iter_mut()) {
+                    if node.terminated() {
+                        continue;
+                    }
+                    live += 1;
+                    let id = node.id();
+                    let empty: &[Envelope<N::Payload>] = &[];
+                    let inbox = slot.as_ref().map_or(empty, |b| b.messages.as_slice());
+                    for message in node.step(ctx, inbox) {
+                        items.push(match message.dest {
+                            Destination::Broadcast => TrafficItem::Broadcast {
+                                from: id,
+                                payload: message.payload,
+                            },
+                            Destination::Unicast(to) => {
+                                TrafficItem::Unicast(Directed::new(id, to, message.payload))
+                            }
+                        });
+                    }
+                }
+                (live, items)
+            }));
+        }
+        // Joining in spawn order merges the per-chunk traffic in node order, which
+        // keeps the execution identical to the serial stepper.
+        for handle in handles {
+            results.push(handle.join().expect("node-step worker panicked"));
+        }
+    });
+    let mut live = 0u64;
+    for (chunk_live, items) in results {
+        live += chunk_live;
+        traffic.extend_items(items);
+    }
+    live
+}
+
 /// The synchronous round engine (see module docs).
 pub struct SyncEngine<N: Protocol, A: Adversary<N::Payload>> {
     nodes: Vec<N>,
     adversary: A,
     byzantine_ids: Vec<NodeId>,
-    inboxes: HashMap<NodeId, Vec<Envelope<N::Payload>>>,
+    /// O(1) membership index mirroring `nodes` (by id).
+    correct_index: HashSet<NodeId>,
+    /// O(1) membership index mirroring `byzantine_ids`.
+    byzantine_index: HashSet<NodeId>,
+    inboxes: HashMap<NodeId, Inbox<N::Payload>>,
+    /// Recycled inbox buffers, reused instead of reallocating every round.
+    spare_inboxes: Vec<Inbox<N::Payload>>,
+    /// Reusable per-node inbox slots for the step phase (aligned with `nodes`).
+    step_inboxes: Vec<Option<Inbox<N::Payload>>>,
+    /// Reusable compact traffic buffer for the current round.
+    traffic: RoundTraffic<N::Payload>,
+    /// Installed by [`SyncEngine::enable_parallel_stepping`]; `None` means serial.
+    parallel_stepper: Option<StepperFn<N>>,
     round: u64,
     metrics: Metrics,
     trace: Option<TraceLog<N::Payload>>,
@@ -146,11 +357,19 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         let trace = config
             .trace
             .then(|| TraceLog::with_capacity(config.trace_capacity));
+        let correct_index = nodes.iter().map(|n| n.id()).collect();
+        let byzantine_index = byzantine_ids.iter().copied().collect();
         SyncEngine {
             nodes,
             adversary,
             byzantine_ids,
+            correct_index,
+            byzantine_index,
             inboxes: HashMap::new(),
+            spare_inboxes: Vec::new(),
+            step_inboxes: Vec::new(),
+            traffic: RoundTraffic::new(),
+            parallel_stepper: None,
             round: 0,
             metrics: Metrics::new(),
             trace,
@@ -208,7 +427,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
 
     /// Validates that no identifier is used twice across correct and Byzantine nodes.
     pub fn validate_ids(&self) -> Result<(), SimError> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         for id in self
             .nodes
             .iter()
@@ -253,9 +472,26 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         &self.byzantine_ids
     }
 
+    /// Whether `id` is currently a correct node (O(1)).
+    pub fn is_correct(&self, id: NodeId) -> bool {
+        self.correct_index.contains(&id)
+    }
+
+    /// Whether `id` is currently controlled by the adversary (O(1)).
+    pub fn is_byzantine(&self, id: NodeId) -> bool {
+        self.byzantine_index.contains(&id)
+    }
+
     /// Collected metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Overrides the node count at which the parallel step path engages (see
+    /// [`EngineConfig::parallel_node_threshold`]). Mostly useful for equivalence
+    /// tests that want to force the parallel path at small sizes.
+    pub fn set_parallel_node_threshold(&mut self, threshold: usize) {
+        self.config.parallel_node_threshold = threshold;
     }
 
     /// The trace log, if tracing was enabled in the configuration.
@@ -267,9 +503,10 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
     /// from its own round 1 in the next engine round; its inbox starts empty.
     pub fn add_node(&mut self, node: N) -> Result<(), SimError> {
         let id = node.id();
-        if self.nodes.iter().any(|n| n.id() == id) || self.byzantine_ids.contains(&id) {
+        if self.correct_index.contains(&id) || self.byzantine_index.contains(&id) {
             return Err(SimError::DuplicateId(id));
         }
+        self.correct_index.insert(id);
         self.nodes.push(node);
         Ok(())
     }
@@ -282,15 +519,20 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             .iter()
             .position(|n| n.id() == id)
             .ok_or(SimError::UnknownNode(id))?;
-        self.inboxes.remove(&id);
+        self.correct_index.remove(&id);
+        if let Some(mut inbox) = self.inboxes.remove(&id) {
+            inbox.recycle();
+            self.spare_inboxes.push(inbox);
+        }
         Ok(self.nodes.remove(idx))
     }
 
     /// Registers an additional Byzantine identity (dynamic join of a faulty node).
     pub fn add_byzantine_id(&mut self, id: NodeId) -> Result<(), SimError> {
-        if self.nodes.iter().any(|n| n.id() == id) || self.byzantine_ids.contains(&id) {
+        if self.correct_index.contains(&id) || self.byzantine_index.contains(&id) {
             return Err(SimError::DuplicateId(id));
         }
+        self.byzantine_index.insert(id);
         self.byzantine_ids.push(id);
         Ok(())
     }
@@ -302,6 +544,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             .iter()
             .position(|&b| b == id)
             .ok_or(SimError::UnknownNode(id))?;
+        self.byzantine_index.remove(&id);
         self.byzantine_ids.remove(idx);
         Ok(())
     }
@@ -314,79 +557,125 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         let ctx = RoundContext::new(self.round);
         let correct_ids = self.correct_ids();
 
-        // Phase 1: correct nodes consume their inboxes and produce outgoing messages.
-        let mut correct_traffic: Vec<Directed<N::Payload>> = Vec::new();
-        let mut live = 0u64;
-        for node in &mut self.nodes {
-            if node.terminated() {
-                continue;
-            }
-            live += 1;
-            let id = node.id();
-            let inbox = self.inboxes.remove(&id).unwrap_or_default();
-            let outgoing = node.step(&ctx, &inbox);
-            for msg in outgoing {
-                match msg.dest {
-                    Destination::Broadcast => {
-                        for &to in correct_ids.iter().chain(self.byzantine_ids.iter()) {
-                            correct_traffic.push(Directed::new(id, to, msg.payload.clone()));
-                        }
-                    }
-                    Destination::Unicast(to) => {
-                        correct_traffic.push(Directed::new(id, to, msg.payload.clone()));
-                    }
-                }
-            }
+        // Phase 1: correct nodes consume their inboxes and produce outgoing
+        // messages, kept compact (broadcasts unexpanded) in the round traffic.
+        self.traffic.begin_round(
+            correct_ids
+                .iter()
+                .copied()
+                .chain(self.byzantine_ids.iter().copied()),
+        );
+        self.step_inboxes.clear();
+        for node in &self.nodes {
+            self.step_inboxes.push(if node.terminated() {
+                None
+            } else {
+                self.inboxes.remove(&node.id())
+            });
+        }
+        let stepper = match self.parallel_stepper {
+            Some(parallel) if self.nodes.len() >= self.config.parallel_node_threshold => parallel,
+            _ => step_serial::<N>,
+        };
+        let live = stepper(
+            &mut self.nodes,
+            &ctx,
+            &mut self.step_inboxes,
+            &mut self.traffic,
+        );
+        for mut inbox in self.step_inboxes.drain(..).flatten() {
+            inbox.recycle();
+            self.spare_inboxes.push(inbox);
         }
 
-        // Terminated nodes' stale inboxes are dropped so memory does not grow.
-        self.inboxes.retain(|id, _| correct_ids.contains(id));
+        // Inboxes left unconsumed belong to terminated nodes, whose dedup state
+        // must persist; any entry whose id is no longer a correct node is dropped
+        // (O(1) membership check per entry).
+        let correct_index = &self.correct_index;
+        self.inboxes.retain(|id, _| correct_index.contains(id));
 
-        // Phase 2: the rushing adversary observes the round's traffic and injects its
-        // own directed messages.
+        // Phase 2: the rushing adversary observes the round's traffic (lazily
+        // expanded) and injects its own directed messages.
         let view = AdversaryView {
             round: self.round,
             correct_ids: &correct_ids,
             byzantine_ids: &self.byzantine_ids,
-            correct_traffic: &correct_traffic,
+            correct_traffic: &self.traffic,
         };
         let byzantine_traffic = self.adversary.step(&view);
         for msg in &byzantine_traffic {
-            if !self.byzantine_ids.contains(&msg.from) {
+            if !self.byzantine_index.contains(&msg.from) {
                 return Err(SimError::ForgedSender { claimed: msg.from });
             }
         }
 
-        // Phase 3: build next-round inboxes, deduplicating identical (sender, payload)
-        // pairs per recipient.
-        let correct_count = correct_traffic.len() as u64;
+        // Phase 3: build next-round inboxes. Broadcast payloads are materialised
+        // per *correct* recipient only — messages to Byzantine identities are
+        // "delivered" to the adversary, which already saw everything via the
+        // rushing view, so nothing is stored (or cloned) for them.
+        let correct_count = self.traffic.point_to_point_count();
         let byz_count = byzantine_traffic.len() as u64;
+        let delivery_round = self.round + 1;
         let mut deliveries = 0u64;
-        let byz_ids = self.byzantine_ids.clone();
-        for msg in correct_traffic.into_iter().chain(byzantine_traffic) {
-            if !correct_ids.contains(&msg.to) {
-                // Messages to Byzantine nodes are "delivered" to the adversary, which
-                // already saw everything via the rushing view; nothing to store.
-                continue;
+        let SyncEngine {
+            traffic,
+            inboxes,
+            spare_inboxes,
+            trace,
+            correct_index,
+            byzantine_index,
+            ..
+        } = self;
+        for item in traffic.items() {
+            match item {
+                TrafficItem::Broadcast { from, payload } => {
+                    for &to in traffic.recipients() {
+                        if correct_index.contains(&to) {
+                            deliver(
+                                inboxes,
+                                spare_inboxes,
+                                trace,
+                                byzantine_index,
+                                delivery_round,
+                                *from,
+                                to,
+                                payload,
+                                &mut deliveries,
+                            );
+                        }
+                    }
+                }
+                TrafficItem::Unicast(message) => {
+                    if correct_index.contains(&message.to) {
+                        deliver(
+                            inboxes,
+                            spare_inboxes,
+                            trace,
+                            byzantine_index,
+                            delivery_round,
+                            message.from,
+                            message.to,
+                            &message.payload,
+                            &mut deliveries,
+                        );
+                    }
+                }
             }
-            let inbox = self.inboxes.entry(msg.to).or_default();
-            let dup = inbox
-                .iter()
-                .any(|e| e.from == msg.from && e.payload == msg.payload);
-            if dup {
-                continue;
+        }
+        for message in &byzantine_traffic {
+            if correct_index.contains(&message.to) {
+                deliver(
+                    inboxes,
+                    spare_inboxes,
+                    trace,
+                    byzantine_index,
+                    delivery_round,
+                    message.from,
+                    message.to,
+                    &message.payload,
+                    &mut deliveries,
+                );
             }
-            deliveries += 1;
-            if let Some(trace) = &mut self.trace {
-                trace.record(TraceEvent {
-                    round: self.round + 1,
-                    from: msg.from,
-                    to: msg.to,
-                    byzantine: byz_ids.contains(&msg.from),
-                    payload: msg.payload.clone(),
-                });
-            }
-            inbox.push(Envelope::new(msg.from, msg.payload));
         }
 
         self.metrics.record_round(RoundMetrics {
@@ -474,6 +763,24 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
     /// drivers that want to inspect adversary state after a run.
     pub fn into_parts(self) -> (Vec<N>, A, Metrics) {
         (self.nodes, self.adversary, self.metrics)
+    }
+}
+
+impl<N, A> SyncEngine<N, A>
+where
+    N: Protocol + Send,
+    N::Payload: Send,
+    A: Adversary<N::Payload>,
+{
+    /// Opts in to the parallel node-step path: once the node count reaches
+    /// [`EngineConfig::parallel_node_threshold`], phase 1 fans the `step` calls out
+    /// over scoped threads (one contiguous chunk per available core) and merges the
+    /// produced traffic in node order. Executions are bit-for-bit identical to the
+    /// serial path — protocols are independent deterministic state machines, and
+    /// the merge preserves the serial traffic order — so this is purely a
+    /// wall-clock optimisation for large systems.
+    pub fn enable_parallel_stepping(&mut self) {
+        self.parallel_stepper = Some(step_parallel::<N>);
     }
 }
 
@@ -588,6 +895,88 @@ mod tests {
         assert_eq!(m.correct_messages, 12);
         assert_eq!(m.byzantine_messages, 5);
         assert_eq!(m.deliveries, 9 + 1);
+    }
+
+    #[test]
+    fn dedup_state_persists_for_terminated_nodes() {
+        // Every correct node decides in round 1 (decide_round 1 → no broadcasts);
+        // the adversary keeps sending the identical (sender, payload) pair. The
+        // accumulated inbox of a terminated node is never consumed, so the pair
+        // must be delivered exactly once across all rounds — the behaviour the
+        // linear-scan dedup of the eager engine had.
+        let byz = NodeId::new(777);
+        let adv = FnAdversary::new(move |v: &AdversaryView<'_, u64>| {
+            vec![Directed::new(byz, v.correct_ids[0], 42)]
+        });
+        let ns: Vec<Counter> = (0..2).map(|i| Counter::new(NodeId::new(i), 1)).collect();
+        let mut engine = SyncEngine::new(ns, adv, vec![byz]);
+        engine.run_rounds(4).unwrap();
+        assert_eq!(engine.metrics().byzantine_messages, 4);
+        assert_eq!(
+            engine.metrics().deliveries,
+            1,
+            "cross-round duplicate dropped"
+        );
+    }
+
+    #[test]
+    fn membership_queries_are_maintained_incrementally() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![NodeId::new(900)]);
+        assert!(engine.is_correct(NodeId::new(10)));
+        assert!(!engine.is_byzantine(NodeId::new(10)));
+        assert!(engine.is_byzantine(NodeId::new(900)));
+        engine.remove_node(NodeId::new(10)).unwrap();
+        assert!(!engine.is_correct(NodeId::new(10)));
+        engine.add_node(Counter::new(NodeId::new(10), 3)).unwrap();
+        assert!(engine.is_correct(NodeId::new(10)));
+        engine.remove_byzantine_id(NodeId::new(900)).unwrap();
+        assert!(!engine.is_byzantine(NodeId::new(900)));
+    }
+
+    #[test]
+    fn parallel_stepping_matches_serial_execution() {
+        let run = |parallel: bool| {
+            let byz = NodeId::new(999);
+            let adv = FnAdversary::new(move |v: &AdversaryView<'_, u64>| {
+                v.correct_ids
+                    .iter()
+                    .map(|&to| Directed::new(byz, to, v.round))
+                    .collect()
+            });
+            let config = EngineConfig {
+                parallel_node_threshold: 1,
+                trace: true,
+                trace_capacity: 1 << 16,
+                ..Default::default()
+            };
+            let ns: Vec<Counter> = (0..33)
+                .map(|i| Counter::new(NodeId::new(10 + 3 * i as u64), 4))
+                .collect();
+            let mut engine = SyncEngine::with_config(ns, adv, vec![byz], config);
+            if parallel {
+                engine.enable_parallel_stepping();
+            }
+            engine.run_to_termination(10).unwrap();
+            (
+                engine.metrics().clone(),
+                engine.outputs(),
+                engine.trace().unwrap().events().to_vec(),
+            )
+        };
+        let (serial_metrics, serial_outputs, serial_trace) = run(false);
+        let (parallel_metrics, parallel_outputs, parallel_trace) = run(true);
+        assert_eq!(serial_metrics, parallel_metrics);
+        assert_eq!(
+            serial_outputs
+                .iter()
+                .map(|(id, out)| (*id, *out))
+                .collect::<Vec<_>>(),
+            parallel_outputs
+                .iter()
+                .map(|(id, out)| (*id, *out))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(serial_trace, parallel_trace, "delivery order is identical");
     }
 
     #[test]

@@ -250,11 +250,12 @@ impl<P, A: Adversary<P>> Adversary<P> for RecordingAdversary<A> {
 mod tests {
     use super::*;
     use crate::adversary::FnAdversary;
+    use crate::traffic::RoundTraffic;
 
     static CORRECT: [NodeId; 3] = [NodeId::new(2), NodeId::new(4), NodeId::new(5)];
     static BYZ: [NodeId; 2] = [NodeId::new(90), NodeId::new(91)];
 
-    fn view(round: u64, traffic: &[Directed<u32>]) -> AdversaryView<'_, u32> {
+    fn view(round: u64, traffic: &RoundTraffic<u32>) -> AdversaryView<'_, u32> {
         AdversaryView {
             round,
             correct_ids: &CORRECT,
@@ -279,7 +280,7 @@ mod tests {
     #[test]
     fn round_window_restricts_activity() {
         let mut adv = RoundWindow::new(flooder(), 2, 3);
-        let t: Vec<Directed<u32>> = vec![];
+        let t = RoundTraffic::from_directed(vec![]);
         assert!(adv.step(&view(1, &t)).is_empty());
         assert_eq!(adv.step(&view(2, &t)).len(), 6);
         assert_eq!(adv.step(&view(3, &t)).len(), 6);
@@ -309,7 +310,7 @@ mod tests {
     #[test]
     fn staggered_crash_silences_identities_after_their_round() {
         let mut adv = StaggeredCrash::new(flooder(), 3, 2, 4);
-        let t: Vec<Directed<u32>> = vec![];
+        let t = RoundTraffic::from_directed(vec![]);
         // Before any crash round everyone floods.
         assert_eq!(adv.step(&view(1, &t)).len(), 6);
         // Far past the latest crash round, everyone is silent.
@@ -338,7 +339,7 @@ mod tests {
                 .collect()
         });
         let mut adv = Collusion::new(first, 1, second);
-        let t: Vec<Directed<u32>> = vec![];
+        let t = RoundTraffic::from_directed(vec![]);
         let out = adv.step(&view(1, &t));
         assert_eq!(out.len(), 2);
         assert!(out.contains(&Directed::new(BYZ[0], CORRECT[0], 1)));
@@ -350,7 +351,7 @@ mod tests {
         let first = flooder();
         let second = FnAdversary::new(|_: &AdversaryView<'_, u32>| vec![]);
         let mut adv = Collusion::new(first, 10, second);
-        let t: Vec<Directed<u32>> = vec![];
+        let t = RoundTraffic::from_directed(vec![]);
         assert_eq!(adv.step(&view(1, &t)).len(), 6);
     }
 
@@ -359,7 +360,7 @@ mod tests {
         let run = |seed: u64| {
             let mut adv =
                 NoiseAdversary::new(seed, 0.5, |rng: &mut SimRng, _to| rng.gen_range(0u32..100));
-            let t: Vec<Directed<u32>> = vec![];
+            let t = RoundTraffic::from_directed(vec![]);
             let mut all = Vec::new();
             for round in 1..=20 {
                 all.extend(adv.step(&view(round, &t)));
@@ -380,7 +381,7 @@ mod tests {
 
     #[test]
     fn noise_rate_zero_and_one_are_exact() {
-        let t: Vec<Directed<u32>> = vec![];
+        let t = RoundTraffic::from_directed(vec![]);
         let mut silent = NoiseAdversary::new(1, 0.0, |_: &mut SimRng, _| 0u32);
         assert!(silent.step(&view(1, &t)).is_empty());
         let mut full = NoiseAdversary::new(1, 1.0, |_: &mut SimRng, _| 0u32);
@@ -390,7 +391,7 @@ mod tests {
     #[test]
     fn recording_adversary_counts_injections() {
         let mut adv = RecordingAdversary::new(RoundWindow::new(flooder(), 2, 2));
-        let t: Vec<Directed<u32>> = vec![];
+        let t = RoundTraffic::from_directed(vec![]);
         adv.step(&view(1, &t));
         adv.step(&view(2, &t));
         adv.step(&view(3, &t));

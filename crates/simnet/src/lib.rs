@@ -85,6 +85,7 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod trace;
+pub mod traffic;
 
 pub use adversary::{Adversary, AdversaryView, FnAdversary, SilentAdversary};
 pub use delay::{DelayEngine, DelayModel, PartitionSpec};
@@ -102,3 +103,4 @@ pub use sim::{
 };
 pub use stats::{Histogram, RateEstimate, Summary};
 pub use trace::{TraceEvent, TraceLog};
+pub use traffic::{RoundTraffic, SentRef, TrafficItem};

@@ -35,7 +35,12 @@ impl RoundContext {
 /// identifiers observed in inboxes — exactly the id-only model.
 pub trait Protocol {
     /// The wire payload exchanged by this protocol.
-    type Payload: Clone + std::fmt::Debug + PartialEq;
+    ///
+    /// The `Hash` bound is what lets the engine deduplicate deliveries through a
+    /// per-inbox `(sender, payload hash)` set in O(1) expected time instead of a
+    /// linear scan; every wire format is a plain data enum, so the bound costs
+    /// implementations a `#[derive(Hash)]` at most.
+    type Payload: Clone + std::fmt::Debug + PartialEq + std::hash::Hash;
     /// The value the node eventually outputs (decision, accepted message, chain, …).
     type Output: Clone + std::fmt::Debug;
 

@@ -413,6 +413,19 @@ impl<F: ProtocolFactory> Harness<F> {
         self
     }
 
+    /// Opts in to the engine's parallel node-step path (see
+    /// [`SyncEngine::enable_parallel_stepping`]); a no-op below the engine's
+    /// configured node-count threshold. Executions stay bit-for-bit identical to
+    /// the serial path, so reports remain comparable across modes.
+    pub fn parallel_stepping(mut self) -> Self
+    where
+        F::Node: Send,
+        <F::Node as Protocol>::Payload: Send,
+    {
+        self.engine.enable_parallel_stepping();
+        self
+    }
+
     /// Overrides the stop condition.
     pub fn stop_when(mut self, stop: StopCondition) -> Self {
         self.stop = stop;

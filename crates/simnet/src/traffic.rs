@@ -1,0 +1,304 @@
+//! Broadcast-aware round traffic.
+//!
+//! The engine used to expand every broadcast into `n` cloned [`Directed`] messages
+//! the moment a node produced it, which made each round cost O(messages × n) in
+//! allocation alone. [`RoundTraffic`] keeps a round's correct traffic in its compact
+//! form instead — one [`TrafficItem::Broadcast`] entry per broadcast, holding a
+//! single payload — and only materialises point-to-point messages where someone
+//! actually consumes them:
+//!
+//! * the engine walks the items once at delivery time, cloning a broadcast payload
+//!   only per *correct* recipient (messages to Byzantine identities never exist as
+//!   values; the adversary already saw everything through its view);
+//! * a rushing adversary observes the full point-to-point expansion through the
+//!   lazy [`RoundTraffic::iter`] / [`RoundTraffic::to`] iterators, which yield
+//!   borrowed [`SentRef`]s without allocating.
+//!
+//! The expansion order is fixed — items in production order, broadcast recipients
+//! in the engine's recipient order (correct nodes first, then Byzantine
+//! identities) — so executions are bit-for-bit identical to the old eager engine.
+
+use crate::id::NodeId;
+use crate::message::Directed;
+
+/// One message-production event of a round, in its compact form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrafficItem<P> {
+    /// A broadcast to every current member (including the sender); the payload is
+    /// stored once, not once per recipient.
+    Broadcast {
+        /// The broadcasting node.
+        from: NodeId,
+        /// The payload every member receives.
+        payload: P,
+    },
+    /// A point-to-point message.
+    Unicast(Directed<P>),
+}
+
+/// A borrowed view of one point-to-point message in the round's expansion.
+///
+/// This is what the lazy iterators yield: sender, recipient and a reference to the
+/// (possibly shared) payload. Adversaries that need an owned message call
+/// [`SentRef::to_directed`].
+#[derive(Debug)]
+pub struct SentRef<'a, P> {
+    /// The sending correct node.
+    pub from: NodeId,
+    /// The recipient.
+    pub to: NodeId,
+    /// The payload (shared across all recipients of a broadcast).
+    pub payload: &'a P,
+}
+
+impl<P> Clone for SentRef<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P> Copy for SentRef<'_, P> {}
+
+impl<P: Clone> SentRef<'_, P> {
+    /// Materialises the message as an owned [`Directed`] value.
+    pub fn to_directed(&self) -> Directed<P> {
+        Directed::new(self.from, self.to, self.payload.clone())
+    }
+}
+
+/// A round's correct traffic in compact, broadcast-aware form.
+///
+/// Built by the engine during the node-step phase; read by the adversary (lazily
+/// expanded) and by the delivery phase (expanded only towards correct recipients).
+/// The buffers are reused across rounds via [`RoundTraffic::begin_round`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundTraffic<P> {
+    items: Vec<TrafficItem<P>>,
+    recipients: Vec<NodeId>,
+    broadcasts: usize,
+}
+
+impl<P> RoundTraffic<P> {
+    /// An empty traffic set with no broadcast recipients (broadcasts added to it
+    /// expand to nobody). Mostly useful for tests and adversary unit fixtures.
+    pub fn new() -> Self {
+        RoundTraffic {
+            items: Vec::new(),
+            recipients: Vec::new(),
+            broadcasts: 0,
+        }
+    }
+
+    /// Wraps a list of explicit point-to-point messages — the shape of the old
+    /// eager engine — as a traffic set. Used by tests and adversary fixtures that
+    /// want to describe traffic per recipient.
+    pub fn from_directed(messages: Vec<Directed<P>>) -> Self {
+        RoundTraffic {
+            items: messages.into_iter().map(TrafficItem::Unicast).collect(),
+            recipients: Vec::new(),
+            broadcasts: 0,
+        }
+    }
+
+    /// Clears the buffers and installs the round's broadcast recipient set (every
+    /// current member, correct first, then Byzantine — the engine's delivery
+    /// order). Reuses the allocations of the previous round.
+    pub fn begin_round(&mut self, recipients: impl IntoIterator<Item = NodeId>) {
+        self.items.clear();
+        self.recipients.clear();
+        self.recipients.extend(recipients);
+        self.broadcasts = 0;
+    }
+
+    /// Records a broadcast (one payload, every recipient).
+    pub fn push_broadcast(&mut self, from: NodeId, payload: P) {
+        self.broadcasts += 1;
+        self.items.push(TrafficItem::Broadcast { from, payload });
+    }
+
+    /// Records a unicast.
+    pub fn push_unicast(&mut self, message: Directed<P>) {
+        self.items.push(TrafficItem::Unicast(message));
+    }
+
+    /// Appends pre-built items (used when merging per-thread buffers in node
+    /// order).
+    pub fn extend_items(&mut self, items: impl IntoIterator<Item = TrafficItem<P>>) {
+        for item in items {
+            if matches!(item, TrafficItem::Broadcast { .. }) {
+                self.broadcasts += 1;
+            }
+            self.items.push(item);
+        }
+    }
+
+    /// The compact items, in production order.
+    pub fn items(&self) -> &[TrafficItem<P>] {
+        &self.items
+    }
+
+    /// The round's broadcast recipient set, in delivery order.
+    pub fn recipients(&self) -> &[NodeId] {
+        &self.recipients
+    }
+
+    /// Number of point-to-point messages in the expansion (what the old engine
+    /// would have allocated): `broadcasts × |recipients| + unicasts`.
+    pub fn point_to_point_count(&self) -> u64 {
+        let unicasts = (self.items.len() - self.broadcasts) as u64;
+        self.broadcasts as u64 * self.recipients.len() as u64 + unicasts
+    }
+
+    /// Whether the round produced no traffic at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lazily iterates the full point-to-point expansion, in the exact order the
+    /// old eager engine produced it: items in production order, broadcast
+    /// recipients in recipient order. Nothing is allocated.
+    pub fn iter(&self) -> TrafficIter<'_, P> {
+        TrafficIter {
+            items: self.items.iter(),
+            recipients: &self.recipients,
+            pending: None,
+        }
+    }
+
+    /// Lazily iterates the messages addressed to one recipient. A broadcast
+    /// contributes one message iff `to` is in the recipient set; the membership
+    /// test is hoisted out of the loop, so a full pass costs O(items), not
+    /// O(items × recipients).
+    pub fn to<'a>(&'a self, to: NodeId) -> impl Iterator<Item = SentRef<'a, P>> + 'a {
+        let broadcast_reaches = self.recipients.contains(&to);
+        self.items.iter().filter_map(move |item| match item {
+            TrafficItem::Broadcast { from, payload } if broadcast_reaches => Some(SentRef {
+                from: *from,
+                to,
+                payload,
+            }),
+            TrafficItem::Unicast(message) if message.to == to => Some(SentRef {
+                from: message.from,
+                to,
+                payload: &message.payload,
+            }),
+            _ => None,
+        })
+    }
+}
+
+impl<'a, P> IntoIterator for &'a RoundTraffic<P> {
+    type Item = SentRef<'a, P>;
+    type IntoIter = TrafficIter<'a, P>;
+
+    fn into_iter(self) -> TrafficIter<'a, P> {
+        self.iter()
+    }
+}
+
+/// Lazy point-to-point expansion of a [`RoundTraffic`] (see [`RoundTraffic::iter`]).
+#[derive(Clone, Debug)]
+pub struct TrafficIter<'a, P> {
+    items: std::slice::Iter<'a, TrafficItem<P>>,
+    recipients: &'a [NodeId],
+    /// A broadcast mid-expansion: sender, payload, index of the next recipient.
+    pending: Option<(NodeId, &'a P, usize)>,
+}
+
+impl<'a, P> Iterator for TrafficIter<'a, P> {
+    type Item = SentRef<'a, P>;
+
+    fn next(&mut self) -> Option<SentRef<'a, P>> {
+        loop {
+            if let Some((from, payload, index)) = self.pending {
+                if let Some(&to) = self.recipients.get(index) {
+                    self.pending = Some((from, payload, index + 1));
+                    return Some(SentRef { from, to, payload });
+                }
+                self.pending = None;
+            }
+            match self.items.next()? {
+                TrafficItem::Broadcast { from, payload } => {
+                    self.pending = Some((*from, payload, 0));
+                }
+                TrafficItem::Unicast(message) => {
+                    return Some(SentRef {
+                        from: message.from,
+                        to: message.to,
+                        payload: &message.payload,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn sample() -> RoundTraffic<u32> {
+        let mut traffic = RoundTraffic::new();
+        traffic.begin_round([n(1), n(2), n(9)]);
+        traffic.push_broadcast(n(1), 100);
+        traffic.push_unicast(Directed::new(n(2), n(1), 200));
+        traffic.push_broadcast(n(2), 300);
+        traffic
+    }
+
+    #[test]
+    fn expansion_matches_the_eager_order() {
+        let traffic = sample();
+        let expanded: Vec<Directed<u32>> = traffic.iter().map(|m| m.to_directed()).collect();
+        assert_eq!(
+            expanded,
+            vec![
+                Directed::new(n(1), n(1), 100),
+                Directed::new(n(1), n(2), 100),
+                Directed::new(n(1), n(9), 100),
+                Directed::new(n(2), n(1), 200),
+                Directed::new(n(2), n(1), 300),
+                Directed::new(n(2), n(2), 300),
+                Directed::new(n(2), n(9), 300),
+            ]
+        );
+        assert_eq!(traffic.point_to_point_count(), 7);
+    }
+
+    #[test]
+    fn per_recipient_iteration_filters_and_expands() {
+        let traffic = sample();
+        let to_1: Vec<u32> = traffic.to(n(1)).map(|m| *m.payload).collect();
+        assert_eq!(to_1, vec![100, 200, 300]);
+        let to_9: Vec<u32> = traffic.to(n(9)).map(|m| *m.payload).collect();
+        assert_eq!(to_9, vec![100, 300]);
+        // Not a recipient: broadcasts do not reach it, unicasts still would.
+        let to_5: Vec<u32> = traffic.to(n(5)).map(|m| *m.payload).collect();
+        assert!(to_5.is_empty());
+    }
+
+    #[test]
+    fn buffers_are_reusable_across_rounds() {
+        let mut traffic = sample();
+        traffic.begin_round([n(4)]);
+        assert!(traffic.is_empty());
+        assert_eq!(traffic.point_to_point_count(), 0);
+        traffic.push_broadcast(n(4), 7);
+        assert_eq!(traffic.point_to_point_count(), 1);
+        assert_eq!(traffic.recipients(), &[n(4)]);
+    }
+
+    #[test]
+    fn from_directed_wraps_explicit_messages() {
+        let traffic = RoundTraffic::from_directed(vec![Directed::new(n(1), n(2), 5u32)]);
+        assert_eq!(traffic.point_to_point_count(), 1);
+        let all: Vec<Directed<u32>> = traffic.iter().map(|m| m.to_directed()).collect();
+        assert_eq!(all, vec![Directed::new(n(1), n(2), 5)]);
+        assert_eq!(traffic.to(n(2)).count(), 1);
+        assert_eq!(traffic.to(n(1)).count(), 0);
+    }
+}
