@@ -5,6 +5,8 @@
 //! cargo run -p uba-bench --release --bin experiments -- e4 e7
 //! cargo run -p uba-bench --release --bin experiments -- baseline [path]
 //! cargo run -p uba-bench --release --bin experiments -- scaling [--quick] [path]
+//! cargo run -p uba-bench --release --bin experiments -- fuzz [--smoke] [--out path]
+//! cargo run -p uba-bench --release --bin experiments -- fuzz --replay path
 //! ```
 //!
 //! `baseline` regenerates `BENCH_baseline.json`: the fixed scenario grid run through
@@ -16,8 +18,105 @@
 //! prefix, re-runs the deterministic baseline grid, and **exits non-zero if the
 //! engine's rounds, message or delivery counts drifted** from the recorded
 //! `BENCH_baseline.json` — the CI regression guard for engine rewrites.
+//!
+//! `fuzz` runs the deterministic property-fuzz grid (`uba_bench::fuzz`,
+//! `docs/FUZZING.md`): every protocol/baseline family × attack plans × churn ×
+//! derived seeds, checked against the `uba-checker` oracles. `--smoke` runs the
+//! bounded CI grid. On failure the first shrunk counterexample is written to
+//! `FUZZ_counterexample.json` (override with `--out`) and the exit code is 1;
+//! `--replay <path>` re-executes a saved counterexample (either a bare `FuzzCase`
+//! or a whole counterexample file).
 
 use uba_bench::{all_experiments, experiment_by_name};
+
+/// The value following `flag`, exiting with a usage error when the flag is
+/// present but followed by nothing or by another flag (so `--out --smoke` cannot
+/// silently write to a file named `--smoke`).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let pos = args.iter().position(|a| a == flag)?;
+    match args.get(pos + 1).map(String::as_str) {
+        Some(value) if !value.starts_with("--") => Some(value),
+        _ => {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn replay_case(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|error| {
+        eprintln!("cannot read {path}: {error}");
+        std::process::exit(2);
+    });
+    // Accept either a serialized Counterexample (replay its shrunk case) or a
+    // bare FuzzCase.
+    let case = serde_json::from_str::<uba_bench::Counterexample>(&text)
+        .map(|ce| ce.shrunk)
+        .or_else(|_| serde_json::from_str::<uba_bench::FuzzCase>(&text))
+        .unwrap_or_else(|error| {
+            eprintln!("{path} is neither a counterexample nor a fuzz case: {error}");
+            std::process::exit(2);
+        });
+    eprintln!("replaying {}…", case.describe());
+    let report = uba_bench::run_case(&case);
+    let failures = uba_bench::fuzz::case_failures(&case, &report);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("reports serialise")
+    );
+    if failures.is_empty() {
+        eprintln!("replay passed every property ✓");
+        std::process::exit(0);
+    }
+    eprintln!("replay still violates {} propert(ies):", failures.len());
+    for failure in &failures {
+        eprintln!("  {failure}");
+    }
+    std::process::exit(1);
+}
+
+fn run_fuzz(args: &[String]) {
+    if let Some(path) = flag_value(args, "--replay") {
+        replay_case(path);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(args, "--out").unwrap_or("FUZZ_counterexample.json");
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+    let grid = uba_bench::default_grid(smoke);
+    eprintln!(
+        "fuzzing {} cases (smoke = {smoke}, {workers} workers)…",
+        grid.len()
+    );
+    let started = std::time::Instant::now();
+    let outcome = uba_bench::fuzz_grid(&grid, workers, 3);
+    println!("{}", uba_bench::fuzz::fuzz_table(&grid, &outcome));
+    eprintln!("fuzz finished in {:.2?}", started.elapsed());
+    if outcome.passed() {
+        eprintln!("all {} cases passed every property ✓", outcome.cases);
+        return;
+    }
+    let first = &outcome.counterexamples[0];
+    eprintln!(
+        "found {} counterexample(s); first: {} (shrunk from {} in {} steps)",
+        outcome.counterexamples.len(),
+        first.shrunk.describe(),
+        first.original.describe(),
+        first.shrink_steps,
+    );
+    for failure in &first.failures {
+        eprintln!("  {failure}");
+    }
+    let json = serde_json::to_string_pretty(first).expect("counterexamples serialise");
+    if let Err(error) = std::fs::write(out, &json) {
+        eprintln!("cannot write {out}: {error}");
+    } else {
+        eprintln!("shrunk reproducer written to {out} (replay with fuzz --replay {out})");
+    }
+    std::process::exit(1);
+}
 
 fn run_scaling(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
@@ -75,6 +174,11 @@ fn main() {
         return;
     }
 
+    if args.first().map(String::as_str) == Some("fuzz") {
+        run_fuzz(&args[1..]);
+        return;
+    }
+
     if args.first().map(String::as_str) == Some("baseline") {
         let path = std::path::PathBuf::from(
             args.get(1)
@@ -106,7 +210,7 @@ fn main() {
             .map(|name| {
                 let f = experiment_by_name(name).unwrap_or_else(|| {
                     eprintln!(
-                        "unknown experiment '{name}'; expected e1..e14, 'all', 'baseline' or 'scaling'"
+                        "unknown experiment '{name}'; expected e1..e14, 'all', 'baseline', 'scaling' or 'fuzz'"
                     );
                     std::process::exit(2);
                 });

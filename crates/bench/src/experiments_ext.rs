@@ -67,13 +67,12 @@ pub fn e11_dynamic_approx_churn() -> Table {
             run_dynamic_approx(&initial, &plan, total_rounds).expect("dynamic run completes");
         // Spread recorded right after a join round is the range expansion the joiner
         // caused; two rounds later one full exchange has absorbed it.
-        let peak_after_join = plan
-            .joins
+        let joins = plan.joins();
+        let peak_after_join = joins
             .iter()
             .map(|&(round, _, _)| report.spread_per_round[round as usize - 1])
             .fold(0.0f64, f64::max);
-        let after_last_join = plan
-            .joins
+        let after_last_join = joins
             .iter()
             .map(|&(round, _, _)| round)
             .max()
@@ -85,7 +84,7 @@ pub fn e11_dynamic_approx_churn() -> Table {
             } else {
                 period.to_string()
             },
-            plan.joins.len().to_string(),
+            joins.len().to_string(),
             format!("{:.2}", report.spread_per_round[0]),
             format!("{:.3}", peak_after_join),
             format!("{:.4}", after_last_join),

@@ -1,0 +1,598 @@
+//! Property-based fuzzing over the scenario-sweep DSL, with a shrinking
+//! counterexample minimiser.
+//!
+//! The pipeline is: a [`ScenarioGrid`] enumerates protocols × `(n, f)` sizes ×
+//! [`AttackPlan`]s × churn schedules × derived seeds (`uba_simnet::sweep`); each
+//! case runs through the `Simulation` builder via [`run_case`] with deterministic,
+//! seed-derived inputs; the `uba-checker` oracles plus a few structural liveness
+//! checks act as the *properties* ([`case_failures`]); and any failing case is
+//! greedily minimised by [`shrink_case`] — fewer correct nodes, fewer Byzantine
+//! identities, fewer plan steps, fewer churn events — into a small serialized
+//! [`FuzzCase`] reproducer that replays with [`run_case`] (or
+//! `experiments -- fuzz --replay <file>`).
+//!
+//! Trials fan out over the [`run_trials`] worker pool; because the grid's case
+//! enumeration and per-case seeds are pure functions of the grid definition, the
+//! fuzz outcome is byte-for-byte identical regardless of the worker count.
+//!
+//! Properties are only asserted on *admissible* scenarios
+//! ([`ScenarioSpec::admissible`]: `n > 3f` at the start and across the churn
+//! horizon) — outside the bound the theorems make no promise and a violated
+//! property is not a bug.
+
+use serde::{Deserialize, Serialize};
+
+use uba_baselines::{DolevApproxFactory, KnownRotorFactory, PhaseKingFactory, StBroadcastFactory};
+use uba_checker::attach_verdicts;
+use uba_core::sim::{
+    ApproxFactory, BroadcastFactory, ConsensusFactory, ParallelConsensusFactory, RotorFactory,
+    TotalOrderFactory, TotalOrderPlan,
+};
+use uba_simnet::attack::{AttackBehavior, AttackPlan};
+use uba_simnet::sim::{AdversaryKind, RunReport, ScenarioBuilder, ScenarioSpec};
+use uba_simnet::sweep::{ScenarioGrid, SweepCase};
+use uba_simnet::{ChurnEvent, ChurnSchedule, IdSpace, NodeId};
+
+use crate::montecarlo::{run_trials, SweepConfig};
+use crate::table::Table;
+
+/// Every protocol and baseline family the `Simulation` driver can run — the
+/// protocol axis of the fuzz grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolId {
+    /// Algorithm 3, id-only consensus.
+    Consensus,
+    /// Algorithm 1, id-only reliable broadcast with a correct designated sender.
+    ReliableBroadcast,
+    /// Algorithm 2, id-only rotor-coordinator.
+    Rotor,
+    /// Algorithm 4, id-only approximate agreement.
+    Approx,
+    /// Algorithm 5, id-only parallel consensus.
+    ParallelConsensus,
+    /// Algorithm 6, id-only dynamic total ordering.
+    TotalOrder,
+    /// Berman–Garay–Perry phase-king consensus (knows `n`, `f`).
+    PhaseKing,
+    /// Srikanth–Toueg authenticated broadcast (knows `f`).
+    SrikanthToueg,
+    /// Dolev et al. approximate agreement (knows `f`).
+    DolevApprox,
+    /// The known-`f` rotating coordinator.
+    KnownRotor,
+}
+
+impl ProtocolId {
+    /// All ten protocol/baseline families, in a stable order.
+    pub const ALL: [ProtocolId; 10] = [
+        ProtocolId::Consensus,
+        ProtocolId::ReliableBroadcast,
+        ProtocolId::Rotor,
+        ProtocolId::Approx,
+        ProtocolId::ParallelConsensus,
+        ProtocolId::TotalOrder,
+        ProtocolId::PhaseKing,
+        ProtocolId::SrikanthToueg,
+        ProtocolId::DolevApprox,
+        ProtocolId::KnownRotor,
+    ];
+
+    /// Stable lowercase name (matches the factory's `protocol_name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolId::Consensus => "consensus",
+            ProtocolId::ReliableBroadcast => "reliable-broadcast",
+            ProtocolId::Rotor => "rotor",
+            ProtocolId::Approx => "approx-agreement",
+            ProtocolId::ParallelConsensus => "parallel-consensus",
+            ProtocolId::TotalOrder => "total-order",
+            ProtocolId::PhaseKing => "phase-king",
+            ProtocolId::SrikanthToueg => "srikanth-toueg",
+            ProtocolId::DolevApprox => "dolev-approx",
+            ProtocolId::KnownRotor => "known-rotor",
+        }
+    }
+
+    /// Whether the family's factories assume consecutive identifiers.
+    fn needs_consecutive_ids(self) -> bool {
+        matches!(self, ProtocolId::PhaseKing | ProtocolId::KnownRotor)
+    }
+
+    /// Whether an admissible run must meet its stop condition before the round
+    /// budget (the fixed-round primitives always "complete"; this marks the
+    /// families whose completion is itself a theorem).
+    fn expects_termination(self) -> bool {
+        matches!(
+            self,
+            ProtocolId::Consensus
+                | ProtocolId::Rotor
+                | ProtocolId::Approx
+                | ProtocolId::ParallelConsensus
+                | ProtocolId::PhaseKing
+                | ProtocolId::DolevApprox
+                | ProtocolId::KnownRotor
+        )
+    }
+
+    /// The smallest correct-node count a family's factory can be built with (the
+    /// broadcast families need a correct designated sender; everything degrades
+    /// gracefully to a single node).
+    fn min_correct(self) -> usize {
+        1
+    }
+}
+
+/// A self-contained, serialisable fuzz reproducer: one protocol family plus the
+/// full scenario (sizes, seed, plan, churn, budget). Inputs are derived
+/// deterministically from the spec inside [`run_case`], so the case is the whole
+/// recipe.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FuzzCase {
+    /// The protocol family to run.
+    pub protocol: ProtocolId,
+    /// The scenario to run it in.
+    pub spec: ScenarioSpec,
+}
+
+impl FuzzCase {
+    /// Lowers a sweep case onto a runnable fuzz case, normalising the identifier
+    /// space for the families that require consecutive identifiers.
+    pub fn from_sweep(case: &SweepCase<ProtocolId>) -> Self {
+        let mut spec = case.spec.clone();
+        if case.protocol.needs_consecutive_ids() {
+            spec.id_space = IdSpace::Consecutive;
+        }
+        FuzzCase {
+            protocol: case.protocol,
+            spec,
+        }
+    }
+
+    /// A one-line description used in logs and tables.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} n={} f={} seed={} plan={}",
+            self.protocol.name(),
+            self.spec.correct,
+            self.spec.byzantine,
+            self.spec.seed,
+            self.spec
+                .attack
+                .as_ref()
+                .map(AttackPlan::label)
+                .unwrap_or_else(|| self.spec.adversary.name().to_string()),
+        )
+    }
+}
+
+/// Deterministic binary inputs (half 0s, half 1s) for the consensus families.
+fn binary_inputs(correct: usize) -> Vec<u64> {
+    (0..correct).map(|i| (i % 2) as u64).collect()
+}
+
+/// Deterministic spread-out real inputs for the approximate-agreement families.
+fn real_inputs(correct: usize) -> Vec<f64> {
+    (0..correct).map(|i| i as f64 * 10.0).collect()
+}
+
+/// The total-ordering workload: a round-robin event stream plus one mid-run leave
+/// when enough founders exist, over a fixed 16-round window.
+fn total_order_plan(correct: usize) -> TotalOrderPlan<u64> {
+    let mut plan = TotalOrderPlan::rounds(16);
+    for round in 1..=8u64 {
+        plan = plan.event(round, (round as usize) % correct.max(1), round);
+    }
+    if correct >= 4 {
+        plan = plan.leave(10, correct - 1);
+    }
+    plan
+}
+
+/// Runs one fuzz case through the `Simulation` builder and attaches the checker
+/// oracle verdicts to the report.
+pub fn run_case(case: &FuzzCase) -> RunReport {
+    let builder = ScenarioBuilder::from_spec(case.spec.clone());
+    let correct = case.spec.correct;
+    let mut report = match case.protocol {
+        ProtocolId::Consensus => builder
+            .build(ConsensusFactory::new(binary_inputs(correct)))
+            .run(),
+        ProtocolId::ReliableBroadcast => builder.build(BroadcastFactory::correct_source(42)).run(),
+        ProtocolId::Rotor => builder.build(RotorFactory).run(),
+        ProtocolId::Approx => builder
+            .build(ApproxFactory::new(real_inputs(correct)))
+            .run(),
+        ProtocolId::ParallelConsensus => builder
+            .build(ParallelConsensusFactory::new(vec![
+                (0, 100),
+                (1, 101),
+                (2, 102),
+            ]))
+            .run(),
+        ProtocolId::TotalOrder => builder
+            .build(TotalOrderFactory::new(total_order_plan(correct)))
+            .run(),
+        ProtocolId::PhaseKing => builder
+            .build(PhaseKingFactory::new(binary_inputs(correct)))
+            .run(),
+        ProtocolId::SrikanthToueg => builder.build(StBroadcastFactory::new(42)).run(),
+        ProtocolId::DolevApprox => builder
+            .build(DolevApproxFactory::new(real_inputs(correct)))
+            .run(),
+        ProtocolId::KnownRotor => builder.build(KnownRotorFactory).run(),
+    }
+    .expect("fuzz scenarios never violate engine rules");
+    attach_verdicts(&mut report);
+    report
+}
+
+/// Evaluates the properties over a finished case: every attached oracle verdict
+/// plus the structural guarantees the report sections encode (termination within
+/// the budget where the theorems promise it, rotor good rounds, parallel
+/// agreement, chain-prefix consistency). Returns the violated properties;
+/// non-admissible scenarios vacuously pass.
+pub fn case_failures(case: &FuzzCase, report: &RunReport) -> Vec<String> {
+    if !case.spec.admissible() {
+        return Vec::new();
+    }
+    let mut failures = Vec::new();
+    for verdict in &report.verdicts {
+        if !verdict.passed {
+            for violation in &verdict.violations {
+                failures.push(format!("oracle {}: {}", verdict.oracle, violation));
+            }
+        }
+    }
+    if case.protocol.expects_termination() && !report.status.is_completed() {
+        failures.push(format!(
+            "liveness: run exhausted its {}-round budget",
+            case.spec.max_rounds
+        ));
+    }
+    if let Some(rotor) = &report.rotor {
+        if !rotor.good_round {
+            failures.push("rotor: no good round (all-correct coordinator) occurred".into());
+        }
+    }
+    if let Some(parallel) = &report.parallel {
+        if !parallel.agreement {
+            failures.push("parallel-consensus: decided pair sets differ".into());
+        }
+    }
+    if let Some(chain) = &report.chain {
+        if !chain.prefix_ok {
+            failures.push("total-order: chain prefixes disagree".into());
+        }
+    }
+    if let Some(broadcast) = &report.broadcast {
+        if !broadcast.consistent {
+            failures.push("broadcast: accept sets differ across correct nodes".into());
+        }
+    }
+    failures
+}
+
+/// The attack-plan axis of the default grids: the five legacy presets plus the
+/// composed shapes the scripted enum could not express.
+pub fn default_plans(smoke: bool) -> Vec<AttackPlan> {
+    let mut plans = vec![
+        AttackPlan::preset(AdversaryKind::SplitVote),
+        AttackPlan::preset(AdversaryKind::PartialAnnounce),
+        AttackPlan::crash_window(AdversaryKind::SplitVote, 1, 4),
+        AttackPlan::collusion(
+            AttackBehavior::Preset(AdversaryKind::SplitVote),
+            1,
+            AttackBehavior::Preset(AdversaryKind::AnnounceThenSilent),
+        ),
+        AttackPlan::new().behavior(AttackBehavior::Replay {
+            visible_to_even_raw_ids: true,
+        }),
+        AttackPlan::new().behavior(AttackBehavior::AnnounceToSubset {
+            modulus: 3,
+            remainder: 1,
+        }),
+        AttackPlan::new().behavior(AttackBehavior::Outliers { magnitude: 1e6 }),
+    ];
+    if !smoke {
+        plans.extend([
+            AttackPlan::preset(AdversaryKind::Silent),
+            AttackPlan::preset(AdversaryKind::AnnounceThenSilent),
+            AttackPlan::preset(AdversaryKind::Worst),
+            AttackPlan::new().behavior(AttackBehavior::Equivocate { low: 0, high: 1 }),
+            AttackPlan::new()
+                .behavior(AttackBehavior::Preset(AdversaryKind::PartialAnnounce))
+                .step(
+                    uba_simnet::attack::AttackStep::new(AttackBehavior::Preset(
+                        AdversaryKind::SplitVote,
+                    ))
+                    .window(3, 9),
+                ),
+        ]);
+    }
+    plans
+}
+
+/// The churn axis of the default grids: a static network plus a mid-run Byzantine
+/// join (fresh identifier, so it composes with every identifier layout).
+pub fn default_churns() -> Vec<ChurnSchedule> {
+    vec![
+        ChurnSchedule::empty(),
+        ChurnSchedule::empty().with(3, ChurnEvent::JoinByzantine(NodeId::new(9_000_001))),
+    ]
+}
+
+/// The bounded deterministic grid behind `experiments -- fuzz`: every protocol
+/// family under every default plan and churn schedule. `smoke` trims the axes to
+/// the CI-sized grid (fixed seed, a few hundred cases, a handful of seconds).
+pub fn default_grid(smoke: bool) -> ScenarioGrid<ProtocolId> {
+    let sizes: Vec<(usize, usize)> = if smoke {
+        vec![(4, 1), (7, 2)]
+    } else {
+        vec![(4, 1), (7, 2), (10, 3), (13, 4)]
+    };
+    ScenarioGrid::new()
+        .protocols(ProtocolId::ALL.to_vec())
+        .sizes(sizes)
+        .plans(default_plans(smoke))
+        .churns(default_churns())
+        .trials(if smoke { 2 } else { 4 })
+        .base_seed(0xF0CC_5EED)
+        .max_rounds(400)
+}
+
+/// One minimised counterexample: the case as found, the case after shrinking, and
+/// the properties the shrunk case still violates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// The failing case exactly as the grid enumerated it.
+    pub original: FuzzCase,
+    /// The minimised case (replay with `experiments -- fuzz --replay`).
+    pub shrunk: FuzzCase,
+    /// Violated properties of the shrunk case.
+    pub failures: Vec<String>,
+    /// Number of accepted shrinking moves.
+    pub shrink_steps: u64,
+}
+
+/// The outcome of one fuzz run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuzzOutcome {
+    /// Cases enumerated and executed.
+    pub cases: u64,
+    /// Minimised counterexamples, in grid order (capped by the runner).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl FuzzOutcome {
+    /// Whether every property held on every case.
+    pub fn passed(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+/// Runs every case of the grid across `workers` threads (deterministically in the
+/// worker count), then shrinks up to `max_counterexamples` failing cases.
+pub fn fuzz_grid(
+    grid: &ScenarioGrid<ProtocolId>,
+    workers: usize,
+    max_counterexamples: usize,
+) -> FuzzOutcome {
+    let total = grid.len();
+    let config = SweepConfig {
+        trials: total,
+        base_seed: 0, // unused: each case's seed is derived by the grid itself
+        workers,
+    };
+    let failing: Vec<Option<FuzzCase>> = run_trials(&config, |index, _seed| {
+        let case = FuzzCase::from_sweep(&grid.case(index));
+        let report = run_case(&case);
+        if case_failures(&case, &report).is_empty() {
+            None
+        } else {
+            Some(case)
+        }
+    });
+    let counterexamples = failing
+        .into_iter()
+        .flatten()
+        .take(max_counterexamples)
+        .map(|case| shrink_case(&case))
+        .collect();
+    FuzzOutcome {
+        cases: total,
+        counterexamples,
+    }
+}
+
+/// The candidate shrinking moves for a failing case, most aggressive first:
+/// halve/decrement the correct population, halve/decrement/zero the Byzantine
+/// population, drop one churn event, drop one attack-plan step.
+fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let spec = &case.spec;
+    let mut with_spec = |mutate: &dyn Fn(&mut ScenarioSpec)| {
+        let mut candidate = case.clone();
+        mutate(&mut candidate.spec);
+        out.push(candidate);
+    };
+    let min_correct = case.protocol.min_correct();
+    for correct in [spec.correct / 2, spec.correct.saturating_sub(1)] {
+        if correct >= min_correct && correct < spec.correct {
+            with_spec(&|s: &mut ScenarioSpec| s.correct = correct);
+        }
+    }
+    for byzantine in [0, spec.byzantine / 2, spec.byzantine.saturating_sub(1)] {
+        if byzantine < spec.byzantine {
+            with_spec(&|s: &mut ScenarioSpec| s.byzantine = byzantine);
+        }
+    }
+    for index in 0..spec.churn.len() {
+        with_spec(&|s: &mut ScenarioSpec| s.churn = s.churn.without_event(index));
+    }
+    if let Some(plan) = &spec.attack {
+        for index in 0..plan.len() {
+            with_spec(&|s: &mut ScenarioSpec| {
+                let shrunk = s.attack.as_ref().expect("plan present").without_step(index);
+                s.attack = Some(shrunk);
+            });
+        }
+    }
+    out
+}
+
+/// Greedily minimises a failing case: in each pass the first candidate move that
+/// still violates a property is accepted, until no move survives. The result is a
+/// local minimum — removing anything else makes the failure disappear.
+pub fn shrink_case(original: &FuzzCase) -> Counterexample {
+    let still_failing = |case: &FuzzCase| -> Vec<String> {
+        let report = run_case(case);
+        case_failures(case, &report)
+    };
+    let mut current = original.clone();
+    let mut shrink_steps = 0u64;
+    loop {
+        let accepted = shrink_candidates(&current)
+            .into_iter()
+            .find(|candidate| !still_failing(candidate).is_empty());
+        match accepted {
+            Some(candidate) => {
+                current = candidate;
+                shrink_steps += 1;
+            }
+            None => break,
+        }
+    }
+    let failures = still_failing(&current);
+    Counterexample {
+        original: original.clone(),
+        shrunk: current,
+        failures,
+        shrink_steps,
+    }
+}
+
+/// Renders a per-protocol summary of a fuzz run (rows only for the protocols the
+/// grid actually enumerates, counted from its case list).
+pub fn fuzz_table(grid: &ScenarioGrid<ProtocolId>, outcome: &FuzzOutcome) -> Table {
+    let mut table = Table::new(
+        format!("fuzz: {} cases over the scenario grid", outcome.cases),
+        &["protocol", "cases", "counterexamples"],
+    );
+    let mut case_counts = vec![0u64; ProtocolId::ALL.len()];
+    for case in grid.cases() {
+        if let Some(slot) = ProtocolId::ALL.iter().position(|&p| p == case.protocol) {
+            case_counts[slot] += 1;
+        }
+    }
+    for (protocol, cases) in ProtocolId::ALL.into_iter().zip(case_counts) {
+        if cases == 0 {
+            continue;
+        }
+        let counterexamples = outcome
+            .counterexamples
+            .iter()
+            .filter(|ce| ce.original.protocol == protocol)
+            .count();
+        table.push_row(vec![
+            protocol.name().to_string(),
+            cases.to_string(),
+            counterexamples.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_simnet::sim::Simulation;
+
+    #[test]
+    fn protocol_ids_serialise_and_name_stably() {
+        for protocol in ProtocolId::ALL {
+            let value = serde::Serialize::to_value(&protocol);
+            let back: ProtocolId = serde::Deserialize::from_value(&value).unwrap();
+            assert_eq!(back, protocol);
+            assert!(!protocol.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn fuzz_cases_normalise_baseline_id_spaces() {
+        let grid = ScenarioGrid::new()
+            .protocols(vec![ProtocolId::PhaseKing, ProtocolId::Consensus])
+            .sizes(vec![(4, 1)]);
+        let phase_king = FuzzCase::from_sweep(&grid.case(0));
+        assert_eq!(phase_king.spec.id_space, IdSpace::Consecutive);
+        let consensus = FuzzCase::from_sweep(&grid.case(1));
+        assert_eq!(consensus.spec.id_space, IdSpace::default());
+        assert!(consensus.describe().starts_with("consensus n=4 f=1"));
+    }
+
+    #[test]
+    fn a_clean_case_runs_and_passes_all_properties() {
+        let case = FuzzCase {
+            protocol: ProtocolId::Consensus,
+            spec: Simulation::scenario()
+                .correct(5)
+                .byzantine(1)
+                .seed(7)
+                .attack(AttackPlan::preset(AdversaryKind::SplitVote))
+                .spec()
+                .clone(),
+        };
+        let report = run_case(&case);
+        assert!(report.completed());
+        assert!(!report.verdicts.is_empty(), "oracles must have run");
+        assert_eq!(case_failures(&case, &report), Vec::<String>::new());
+    }
+
+    #[test]
+    fn inadmissible_cases_pass_vacuously() {
+        // n = 3f: the split-vote adversary may prevent agreement, and that is not
+        // a counterexample.
+        let case = FuzzCase {
+            protocol: ProtocolId::Consensus,
+            spec: Simulation::scenario()
+                .correct(4)
+                .byzantine(2)
+                .seed(23)
+                .max_rounds(60)
+                .attack(AttackPlan::preset(AdversaryKind::SplitVote))
+                .spec()
+                .clone(),
+        };
+        assert!(!case.spec.admissible());
+        let report = run_case(&case);
+        assert_eq!(case_failures(&case, &report), Vec::<String>::new());
+    }
+
+    #[test]
+    fn shrink_candidates_cover_every_axis() {
+        let case = FuzzCase {
+            protocol: ProtocolId::Consensus,
+            spec: Simulation::scenario()
+                .correct(8)
+                .byzantine(2)
+                .churn(
+                    ChurnSchedule::empty()
+                        .with(3, ChurnEvent::JoinByzantine(NodeId::new(9_000_001))),
+                )
+                .attack(AttackPlan::collusion(
+                    AttackBehavior::Preset(AdversaryKind::SplitVote),
+                    1,
+                    AttackBehavior::Preset(AdversaryKind::Silent),
+                ))
+                .spec()
+                .clone(),
+        };
+        let candidates = shrink_candidates(&case);
+        assert!(candidates.iter().any(|c| c.spec.correct == 4), "halving");
+        assert!(candidates.iter().any(|c| c.spec.correct == 7), "decrement");
+        assert!(candidates.iter().any(|c| c.spec.byzantine == 0), "no byz");
+        assert!(candidates.iter().any(|c| c.spec.churn.is_empty()));
+        assert!(candidates
+            .iter()
+            .any(|c| c.spec.attack.as_ref().unwrap().len() == 1));
+    }
+}

@@ -23,6 +23,7 @@
 pub mod baseline;
 pub mod experiments;
 pub mod experiments_ext;
+pub mod fuzz;
 pub mod montecarlo;
 pub mod scaling;
 pub mod table;
@@ -30,6 +31,7 @@ pub mod workload;
 
 pub use baseline::{baseline_file, write_baseline, BaselineFile};
 pub use experiments::{all_experiments, experiment_by_name};
+pub use fuzz::{default_grid, fuzz_grid, run_case, Counterexample, FuzzCase, ProtocolId};
 pub use montecarlo::{ResilienceSweep, SweepConfig};
 pub use scaling::{scaling_file, write_scaling, ScalingFile};
 pub use table::Table;

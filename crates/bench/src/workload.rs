@@ -156,11 +156,15 @@ mod tests {
     fn rolling_churn_plan_alternates_joins_and_leaves() {
         let ids = IdSpace::default().generate(6, 3);
         let plan = rolling_churn_plan(&ids, 20, 5, 0.0, 10.0, 7);
-        assert_eq!(plan.joins.len(), 4, "one join every 5 rounds for 20 rounds");
-        assert_eq!(plan.leaves.len(), 3, "leaves lag joins by one period");
-        assert!(plan.joins.iter().all(|(round, _, _)| *round % 5 == 0));
+        assert_eq!(
+            plan.joins().len(),
+            4,
+            "one join every 5 rounds for 20 rounds"
+        );
+        assert_eq!(plan.leaves().len(), 3, "leaves lag joins by one period");
+        assert!(plan.joins().iter().all(|(round, _, _)| *round % 5 == 0));
         // Fresh identifiers never collide with the initial ones.
-        assert!(plan.joins.iter().all(|(_, id, _)| !ids.contains(id)));
+        assert!(plan.joins().iter().all(|(_, id, _)| !ids.contains(id)));
         // Deterministic in the seed.
         assert_eq!(plan, rolling_churn_plan(&ids, 20, 5, 0.0, 10.0, 7));
     }

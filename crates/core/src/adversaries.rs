@@ -94,6 +94,45 @@ impl<P: Announce + Clone> Adversary<P> for PartialAnnounce {
     }
 }
 
+/// Byzantine nodes that announce themselves only to the correct nodes whose
+/// construction index `i` satisfies `i % modulus == remainder` — the generalised
+/// form of [`PartialAnnounce`] used by attack-plan behaviours
+/// ([`AttackBehavior::AnnounceToSubset`](uba_simnet::AttackBehavior)): sweeping the
+/// modulus explores how uneven the per-node `n_v` counts can be made.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnounceToSubset {
+    modulus: u64,
+    remainder: u64,
+}
+
+impl AnnounceToSubset {
+    /// Creates the adversary; a modulus below 2 degrades to announcing to everyone.
+    pub fn new(modulus: u64, remainder: u64) -> Self {
+        let modulus = modulus.max(1);
+        AnnounceToSubset {
+            modulus,
+            remainder: remainder % modulus,
+        }
+    }
+}
+
+impl<P: Announce + Clone> Adversary<P> for AnnounceToSubset {
+    fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
+        if view.round != 1 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for &from in view.byzantine_ids {
+            for (i, &to) in view.correct_ids.iter().enumerate() {
+                if i as u64 % self.modulus == self.remainder {
+                    out.push(Directed::new(from, to, P::announce()));
+                }
+            }
+        }
+        out
+    }
+}
+
 /// A Byzantine *designated sender* for reliable broadcast that sends a different
 /// message to each half of the correct nodes in round 1 (equivocation). Reliable
 /// broadcast must either expose both values to everyone or accept neither — what it
@@ -120,7 +159,10 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>>
     for EquivocatingSource<M>
 {
     fn step(&mut self, view: &AdversaryView<'_, RbMessage<M>>) -> Vec<Directed<RbMessage<M>>> {
-        if view.round != 1 {
+        // Only speak when the source identity is in the view's Byzantine set: an
+        // attack-plan step whose actor range excludes the source must silence it,
+        // not keep sending from an identity the step does not drive.
+        if view.round != 1 || !view.byzantine_ids.contains(&self.source) {
             return Vec::new();
         }
         view.correct_ids
@@ -325,6 +367,25 @@ mod tests {
     }
 
     #[test]
+    fn announce_to_subset_generalises_partial_announce() {
+        let t: RoundTraffic<RbMessage<u64>> = RoundTraffic::new();
+        // modulus 2, remainder 0 is exactly PartialAnnounce.
+        let mut halves = AnnounceToSubset::new(2, 0);
+        let halved = Adversary::step(&mut halves, &view(1, &t));
+        let mut partial = PartialAnnounce;
+        assert_eq!(halved, Adversary::step(&mut partial, &view(1, &t)));
+        // modulus 4 picks exactly one of the four correct nodes per remainder.
+        let mut quarter = AnnounceToSubset::new(4, 3);
+        let out = Adversary::step(&mut quarter, &view(1, &t));
+        assert_eq!(out.len(), 2, "2 byzantine × 1 recipient");
+        assert!(out.iter().all(|m| m.to == CORRECT[3]));
+        // Nothing after round 1; degenerate modulus announces to everyone.
+        assert!(Adversary::<RbMessage<u64>>::step(&mut quarter, &view(2, &t)).is_empty());
+        let mut all = AnnounceToSubset::new(0, 5);
+        assert_eq!(Adversary::step(&mut all, &view(1, &t)).len(), 8);
+    }
+
+    #[test]
     fn equivocating_source_sends_two_values() {
         let mut adv = EquivocatingSource::new(BYZ[0], 1u64, 2u64);
         let t: RoundTraffic<RbMessage<u64>> = RoundTraffic::new();
@@ -340,6 +401,18 @@ mod tests {
             .count();
         assert_eq!((ones, twos), (2, 2));
         assert!(adv.step(&view(2, &t)).is_empty());
+    }
+
+    #[test]
+    fn equivocating_source_respects_a_restricted_actor_view() {
+        // An attack-plan step whose actor range excludes the source identity must
+        // silence it — the strategy may only drive identities in its view.
+        let mut adv = EquivocatingSource::new(BYZ[0], 1u64, 2u64);
+        let t: RoundTraffic<RbMessage<u64>> = RoundTraffic::new();
+        let mut restricted = view(1, &t);
+        restricted.byzantine_ids = &BYZ[1..];
+        assert!(adv.step(&restricted).is_empty());
+        assert_eq!(adv.step(&view(1, &t)).len(), 4, "full view still attacks");
     }
 
     #[test]

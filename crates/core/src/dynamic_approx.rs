@@ -99,16 +99,18 @@ impl Protocol for DynamicApproxNode {
 /// A join/leave schedule for the dynamic approximate-agreement driver. Rounds are the
 /// engine's 1-based round numbers; an event scheduled for round `r` is applied just
 /// before round `r` executes.
+///
+/// The plan is a thin value-carrying layer over the engine-level [`ChurnSchedule`]:
+/// the schedule records *who* joins or leaves and *when* (and is handed verbatim to
+/// [`SyncEngine::set_churn`]), while the plan only adds the one thing the engine
+/// cannot know — the starting value each correct joiner brings.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ChurnPlan {
-    /// `(round, id, starting value)` — correct nodes joining.
-    pub joins: Vec<(u64, NodeId, Real)>,
-    /// `(round, id)` — correct nodes leaving.
-    pub leaves: Vec<(u64, NodeId)>,
-    /// `(round, id)` — Byzantine identities joining (they are counted by whoever they
-    /// talk to but are driven by the adversary; with the default silent adversary they
-    /// only dilute quorums).
-    pub byzantine_joins: Vec<(u64, NodeId)>,
+    schedule: ChurnSchedule,
+    /// `(round, id, value)` mirroring the schedule's `JoinCorrect` events — kept
+    /// as a list (not a map) so an identifier that leaves and rejoins can carry a
+    /// different value each time.
+    join_values: Vec<(u64, NodeId, Real)>,
 }
 
 impl ChurnPlan {
@@ -119,20 +121,68 @@ impl ChurnPlan {
 
     /// Adds a correct join.
     pub fn join(mut self, round: u64, id: NodeId, value: Real) -> Self {
-        self.joins.push((round, id, value));
+        self.schedule.push(round, ChurnEvent::JoinCorrect(id));
+        self.join_values.push((round, id, value));
         self
     }
 
     /// Adds a correct leave.
     pub fn leave(mut self, round: u64, id: NodeId) -> Self {
-        self.leaves.push((round, id));
+        self.schedule.push(round, ChurnEvent::LeaveCorrect(id));
         self
     }
 
-    /// Adds a Byzantine join.
+    /// Adds a Byzantine join (the joining identity is counted by whoever it talks
+    /// to but is driven by the adversary; with the default silent adversary it only
+    /// dilutes quorums).
     pub fn byzantine_join(mut self, round: u64, id: NodeId) -> Self {
-        self.byzantine_joins.push((round, id));
+        self.schedule.push(round, ChurnEvent::JoinByzantine(id));
         self
+    }
+
+    /// The engine-level schedule the plan wraps.
+    pub fn schedule(&self) -> &ChurnSchedule {
+        &self.schedule
+    }
+
+    /// The starting value of the *earliest* scheduled join of `id` (a rejoining
+    /// identifier's later values are consumed in round order by the driver).
+    pub fn join_value(&self, id: NodeId) -> Option<Real> {
+        self.join_values
+            .iter()
+            .filter(|&&(_, jid, _)| jid == id)
+            .min_by_key(|&&(round, _, _)| round)
+            .map(|&(_, _, value)| value)
+    }
+
+    /// `(round, id, starting value)` of every scheduled correct join, in insertion
+    /// order.
+    pub fn joins(&self) -> Vec<(u64, NodeId, Real)> {
+        self.join_values.clone()
+    }
+
+    /// `(round, id)` of every scheduled correct leave, in insertion order.
+    pub fn leaves(&self) -> Vec<(u64, NodeId)> {
+        self.schedule
+            .events()
+            .iter()
+            .filter_map(|&(round, event)| match event {
+                ChurnEvent::LeaveCorrect(id) => Some((round, id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(round, id)` of every scheduled Byzantine join, in insertion order.
+    pub fn byzantine_joins(&self) -> Vec<(u64, NodeId)> {
+        self.schedule
+            .events()
+            .iter()
+            .filter_map(|&(round, event)| match event {
+                ChurnEvent::JoinByzantine(id) => Some((round, id)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -153,31 +203,10 @@ impl DynamicApproxReport {
     }
 }
 
-impl ChurnPlan {
-    /// Lowers the value-carrying plan onto the engine-level [`ChurnSchedule`] plus a
-    /// joiner-value lookup, so the engine can apply the plan itself
-    /// (see [`SyncEngine::set_churn`]).
-    pub fn to_schedule(&self) -> (ChurnSchedule, std::collections::HashMap<NodeId, Real>) {
-        let mut schedule = ChurnSchedule::empty();
-        let mut join_values = std::collections::HashMap::new();
-        for &(round, id, value) in &self.joins {
-            schedule.push(round, ChurnEvent::JoinCorrect(id));
-            join_values.insert(id, value);
-        }
-        for &(round, id) in &self.leaves {
-            schedule.push(round, ChurnEvent::LeaveCorrect(id));
-        }
-        for &(round, id) in &self.byzantine_joins {
-            schedule.push(round, ChurnEvent::JoinByzantine(id));
-        }
-        (schedule, join_values)
-    }
-}
-
 /// Runs [`DynamicApproxNode`]s for `rounds` rounds under the given churn plan and a
-/// silent adversary, recording the correct-node spread after every round. The plan
-/// is lowered onto the engine's own churn mechanism ([`SyncEngine::set_churn`]); the
-/// driver only observes.
+/// silent adversary, recording the correct-node spread after every round. The plan's
+/// [`ChurnSchedule`] is handed to the engine's own churn mechanism
+/// ([`SyncEngine::set_churn`]) unchanged; the driver only observes.
 pub fn run_dynamic_approx(
     initial: &[(NodeId, Real)],
     plan: &ChurnPlan,
@@ -189,12 +218,18 @@ pub fn run_dynamic_approx(
         .collect();
     let mut engine = SyncEngine::new(nodes, SilentAdversary, Vec::new());
     engine.validate_ids()?;
-    let (schedule, join_values) = plan.to_schedule();
-    engine.set_churn(schedule, move |id| {
-        let value = join_values
-            .get(&id)
-            .copied()
+    // Joins are consumed earliest-round-first per identifier, so a leave/rejoin
+    // of the same id picks up each scheduled value in order.
+    let mut pending_joins = plan.joins();
+    engine.set_churn(plan.schedule().clone(), move |id| {
+        let position = pending_joins
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, jid, _))| jid == id)
+            .min_by_key(|(_, &(round, _, _))| round)
+            .map(|(index, _)| index)
             .expect("every scheduled joiner has a starting value in the plan");
+        let (_, _, value) = pending_joins.remove(position);
         DynamicApproxNode::new(id, value)
     });
 
@@ -306,6 +341,37 @@ mod tests {
             .byzantine_join(2, NodeId::new(77_002));
         let report = run_dynamic_approx(&initial(9, 4, 40.0), &plan, 10).unwrap();
         assert!(report.final_spread() < 1.0);
+    }
+
+    #[test]
+    fn rejoining_id_carries_each_scheduled_value_in_round_order() {
+        let start = initial(6, 8, 10.0);
+        let id = NodeId::new(50_000);
+        let plan = ChurnPlan::none()
+            .join(2, id, real(100.0))
+            .leave(5, id)
+            .join(8, id, real(200.0));
+        assert_eq!(plan.joins().len(), 2, "both joins are preserved");
+        assert_eq!(
+            plan.join_value(id),
+            Some(real(100.0)),
+            "earliest value wins"
+        );
+        let report = run_dynamic_approx(&start, &plan, 12).unwrap();
+        // The round-2 join must bring 100 (spread ≈ 100), the round-8 rejoin 200
+        // (spread ≈ 200 against the reconverged cluster) — an id-keyed overwrite
+        // would make the first join bring 200 as well.
+        assert!(
+            report.spread_per_round[1] > 50.0 && report.spread_per_round[1] < 150.0,
+            "first join must carry 100: spread {}",
+            report.spread_per_round[1]
+        );
+        assert!(
+            report.spread_per_round[7] > 150.0,
+            "rejoin must carry 200: spread {}",
+            report.spread_per_round[7]
+        );
+        assert_eq!(report.final_values.len(), 7);
     }
 
     #[test]

@@ -28,6 +28,34 @@ use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
 use crate::membership::SenderTracker;
 use crate::quorum::{meets_one_third, meets_two_thirds};
 
+/// Deliberate-bug switches for the property-fuzz mutation check.
+///
+/// The fuzz harness (`uba-bench::fuzz`) must itself be tested: a harness that never
+/// fires is indistinguishable from a correct protocol. These process-global,
+/// default-off toggles let the mutation-check test inject a known protocol bug at
+/// runtime and assert the fuzzer detects it and shrinks the counterexample. They
+/// exist **only** for that test; nothing in the repository sets them outside
+/// `tests/fuzz_mutation.rs`.
+#[doc(hidden)]
+pub mod mutation {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// When set, every node skips the round-2 echo of the designated sender's
+    /// `Init` — echoes then never reach the `2n_v/3` acceptance threshold, which
+    /// breaks Theorem 1's correctness property for every correct sender.
+    pub static SKIP_ECHO_ROUND: AtomicBool = AtomicBool::new(false);
+
+    /// Whether the echo-skipping mutation is active.
+    pub fn skip_echo_round() -> bool {
+        SKIP_ECHO_ROUND.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the echo-skipping mutation.
+    pub fn set_skip_echo_round(enabled: bool) {
+        SKIP_ECHO_ROUND.store(enabled, Ordering::Relaxed);
+    }
+}
+
 /// Wire messages of the reliable-broadcast protocol.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RbMessage<M> {
@@ -156,6 +184,9 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Protocol for ReliableBr
             // designated sender itself — the network-attached sender id makes this
             // unforgeable.
             2 => {
+                if mutation::skip_echo_round() {
+                    return Vec::new();
+                }
                 let mut out = Vec::new();
                 for envelope in inbox {
                     if envelope.from == self.source {

@@ -36,8 +36,10 @@
 use std::collections::BTreeSet;
 
 use uba_simnet::adversary::SilentAdversary;
+use uba_simnet::sim::scripted_attack_behavior;
 use uba_simnet::{AdversaryView, FnAdversary, NodeId, Protocol};
 
+pub use uba_simnet::attack::{ActorRange, AttackBehavior, AttackPlan, AttackStep};
 pub use uba_simnet::sim::{
     approx_section_from_values, consensus_section_from_parts, ApproxSection, BroadcastSection,
     ChainSection, ConsensusDecision, ConsensusSection, MessageStats, NodeAcceptSet, NodePairs,
@@ -47,9 +49,11 @@ pub use uba_simnet::sim::{
     AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
     RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,
 };
+pub use uba_simnet::sweep::{ScenarioGrid, SweepCase};
 
 use crate::adversaries::{
-    AnnounceThenSilent, EquivocatingSource, GhostPairInjector, PartialAnnounce, SplitVote,
+    AnnounceThenSilent, AnnounceToSubset, EquivocatingSource, GhostPairInjector, PartialAnnounce,
+    SplitVote,
 };
 use crate::approx::{ApproxAgreement, IteratedApproxAgreement};
 use crate::consensus::Consensus;
@@ -131,6 +135,25 @@ impl ProtocolFactory for ConsensusFactory {
                 let (low, high) = self.split_values();
                 NamedAdversary::new("split-vote", SplitVote::new(low, high))
             }
+        }
+    }
+
+    fn attack_behavior(
+        &self,
+        behavior: &AttackBehavior,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<crate::consensus::ConsensusMessage<u64>> {
+        match *behavior {
+            // Vote equivocation *is* the split-vote attack, with the plan choosing
+            // the pushed values instead of the input histogram.
+            AttackBehavior::Equivocate { low, high } => {
+                NamedAdversary::new("split-vote", SplitVote::new(low, high))
+            }
+            AttackBehavior::AnnounceToSubset { modulus, remainder } => NamedAdversary::new(
+                "announce-to-subset",
+                AnnounceToSubset::new(modulus, remainder),
+            ),
+            ref other => scripted_attack_behavior(self, other, ctx),
         }
     }
 
@@ -243,6 +266,28 @@ impl ProtocolFactory for BroadcastFactory {
         }
     }
 
+    fn attack_behavior(
+        &self,
+        behavior: &AttackBehavior,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<crate::reliable_broadcast::RbMessage<u64>> {
+        match *behavior {
+            // Sender equivocation needs a Byzantine designated sender; with one
+            // configured, the plan chooses the two conflicting values.
+            AttackBehavior::Equivocate { low, high } if self.equivocate.is_some() => {
+                NamedAdversary::new(
+                    "equivocating-source",
+                    EquivocatingSource::new(self.source(ctx), low, high),
+                )
+            }
+            AttackBehavior::AnnounceToSubset { modulus, remainder } => NamedAdversary::new(
+                "announce-to-subset",
+                AnnounceToSubset::new(modulus, remainder),
+            ),
+            ref other => scripted_attack_behavior(self, other, ctx),
+        }
+    }
+
     fn stop_condition(&self) -> StopCondition {
         // Reliable broadcast never terminates in the paper; 12 rounds comfortably
         // cover acceptance plus the relay deadline at every size the suite uses.
@@ -317,6 +362,20 @@ impl ProtocolFactory for RotorFactory {
         }
     }
 
+    fn attack_behavior(
+        &self,
+        behavior: &AttackBehavior,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<crate::rotor::RotorMessage<u64>> {
+        match *behavior {
+            AttackBehavior::AnnounceToSubset { modulus, remainder } => NamedAdversary::new(
+                "announce-to-subset",
+                AnnounceToSubset::new(modulus, remainder),
+            ),
+            ref other => scripted_attack_behavior(self, other, ctx),
+        }
+    }
+
     fn record(&self, _ctx: &BuildContext, nodes: &[RotorCoordinator<u64>], report: &mut RunReport) {
         let correct: BTreeSet<NodeId> = nodes.iter().map(|n| n.id()).collect();
         let histories: Vec<_> = nodes.iter().map(|n| n.state().history()).collect();
@@ -339,25 +398,36 @@ impl ProtocolFactory for RotorFactory {
 // Approximate agreement (Algorithm 4)
 // ---------------------------------------------------------------------------
 
-/// The round-1 extreme-outlier adversary from the Theorem 4 experiments: Byzantine
-/// identities push `±10⁹` to alternating halves of the correct nodes.
-fn extreme_outliers() -> NamedAdversary<Real> {
+/// Value-outlier adversary for the approximate-agreement family: Byzantine
+/// identities push `±magnitude` to alternating halves of the correct nodes, in
+/// round 1 only (`every_round = false`) or in every round.
+fn outliers_with(name: &str, magnitude: f64, every_round: bool) -> NamedAdversary<Real> {
     NamedAdversary::new(
-        "extreme-outliers",
-        FnAdversary::new(|view: &AdversaryView<'_, Real>| {
-            if view.round != 1 {
+        name,
+        FnAdversary::new(move |view: &AdversaryView<'_, Real>| {
+            if !every_round && view.round != 1 {
                 return Vec::new();
             }
             let mut out = Vec::new();
             for (b, &from) in view.byzantine_ids.iter().enumerate() {
                 for (i, &to) in view.correct_ids.iter().enumerate() {
-                    let value = if (i + b) % 2 == 0 { -1e9 } else { 1e9 };
+                    let value = if (i + b) % 2 == 0 {
+                        -magnitude
+                    } else {
+                        magnitude
+                    };
                     out.push(uba_simnet::Directed::new(from, to, Real::from_f64(value)));
                 }
             }
             out
         }),
     )
+}
+
+/// The round-1 extreme-outlier adversary from the Theorem 4 experiments: Byzantine
+/// identities push `±10⁹` to alternating halves of the correct nodes.
+fn extreme_outliers() -> NamedAdversary<Real> {
+    outliers_with("extreme-outliers", 1e9, false)
 }
 
 /// Factory for single-shot approximate agreement on `f64` inputs.
@@ -401,6 +471,17 @@ impl ProtocolFactory for ApproxFactory {
             // Every active strategy maps to the proof's worst case: values have no
             // votes to split and no announcements to withhold, only outliers.
             _ => extreme_outliers(),
+        }
+    }
+
+    fn attack_behavior(
+        &self,
+        behavior: &AttackBehavior,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<Real> {
+        match *behavior {
+            AttackBehavior::Outliers { magnitude } => outliers_with("outliers", magnitude, false),
+            ref other => scripted_attack_behavior(self, other, ctx),
         }
     }
 
@@ -461,19 +542,20 @@ impl ProtocolFactory for IteratedApproxFactory {
     fn adversary(&self, kind: AdversaryKind, _ctx: &BuildContext) -> NamedAdversary<Real> {
         match kind {
             AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
-            _ => NamedAdversary::new(
-                "per-round-outliers",
-                FnAdversary::new(|view: &AdversaryView<'_, Real>| {
-                    let mut out = Vec::new();
-                    for (b, &from) in view.byzantine_ids.iter().enumerate() {
-                        for (i, &to) in view.correct_ids.iter().enumerate() {
-                            let value = if (i + b) % 2 == 0 { -1e9 } else { 1e9 };
-                            out.push(uba_simnet::Directed::new(from, to, Real::from_f64(value)));
-                        }
-                    }
-                    out
-                }),
-            ),
+            _ => outliers_with("per-round-outliers", 1e9, true),
+        }
+    }
+
+    fn attack_behavior(
+        &self,
+        behavior: &AttackBehavior,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<Real> {
+        match *behavior {
+            AttackBehavior::Outliers { magnitude } => {
+                outliers_with("per-round-outliers", magnitude, true)
+            }
+            ref other => scripted_attack_behavior(self, other, ctx),
         }
     }
 
@@ -563,6 +645,20 @@ impl ProtocolFactory for ParallelConsensusFactory {
             AdversaryKind::AnnounceThenSilent | AdversaryKind::SplitVote | AdversaryKind::Worst => {
                 NamedAdversary::new("announce-then-silent", AnnounceThenSilent)
             }
+        }
+    }
+
+    fn attack_behavior(
+        &self,
+        behavior: &AttackBehavior,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<crate::early_consensus::ParallelMessage<u64>> {
+        match *behavior {
+            AttackBehavior::AnnounceToSubset { modulus, remainder } => NamedAdversary::new(
+                "announce-to-subset",
+                AnnounceToSubset::new(modulus, remainder),
+            ),
+            ref other => scripted_attack_behavior(self, other, ctx),
         }
     }
 

@@ -71,6 +71,22 @@ impl ChurnSchedule {
         self
     }
 
+    /// Every scheduled `(round, event)` pair, in insertion order.
+    pub fn events(&self) -> &[(u64, ChurnEvent)] {
+        &self.events
+    }
+
+    /// The schedule with the `index`-th event (in insertion order) removed — the
+    /// shrinking move of the fuzz harness. Indices out of range return the
+    /// schedule unchanged.
+    pub fn without_event(&self, index: usize) -> ChurnSchedule {
+        let mut shrunk = self.clone();
+        if index < shrunk.events.len() {
+            shrunk.events.remove(index);
+        }
+        shrunk
+    }
+
     /// All events scheduled to take effect before `round`, in insertion order.
     pub fn events_before_round(&self, round: u64) -> Vec<ChurnEvent> {
         self.events

@@ -28,6 +28,11 @@
 //! * [`Metrics`] and [`TraceLog`] — round, message and delivery accounting;
 //! * [`ChurnSchedule`] — declarative join/leave schedules for dynamic networks,
 //!   applied by the engine itself via [`SyncEngine::set_churn`];
+//! * [`attack`] — composable, serialisable [`AttackPlan`]s: round-windowed,
+//!   actor-scoped Byzantine behaviours generalising the scripted
+//!   [`AdversaryKind`] presets;
+//! * [`sweep`] — the [`ScenarioGrid`] DSL enumerating protocols × sizes × attack
+//!   plans × churn schedules × derived seeds as replayable [`SweepCase`]s;
 //! * [`sim`] — the unified `Simulation` driver: a fluent [`ScenarioBuilder`], the
 //!   [`ProtocolFactory`] trait every protocol (and baseline) implements, and the
 //!   serialisable [`RunReport`] all experiment tooling consumes.
@@ -72,6 +77,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod attack;
 pub mod delay;
 pub mod dynamic;
 pub mod engine;
@@ -84,10 +90,12 @@ pub mod node;
 pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 pub mod traffic;
 
 pub use adversary::{Adversary, AdversaryView, FnAdversary, SilentAdversary};
+pub use attack::{ActorRange, AttackBehavior, AttackPlan, AttackStep, PlanAdversary};
 pub use delay::{DelayEngine, DelayModel, PartitionSpec};
 pub use dynamic::{ChurnEvent, ChurnSchedule};
 pub use engine::{EngineConfig, RunOutcome, SyncEngine};
@@ -102,5 +110,6 @@ pub use sim::{
     RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,
 };
 pub use stats::{Histogram, RateEstimate, Summary};
+pub use sweep::{ScenarioGrid, SweepCase};
 pub use trace::{TraceEvent, TraceLog};
 pub use traffic::{RoundTraffic, SentRef, TrafficItem};

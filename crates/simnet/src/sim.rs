@@ -38,7 +38,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::adversary::Adversary;
+use crate::adversary::{Adversary, ReplayAdversary};
+use crate::attack::{AttackBehavior, AttackPlan, CompiledStep, PlanAdversary};
 use crate::dynamic::ChurnSchedule;
 use crate::engine::SyncEngine;
 use crate::error::SimError;
@@ -133,6 +134,9 @@ pub struct ScenarioSpec {
     pub adversary: AdversaryKind,
     /// Membership changes applied by the engine during the run.
     pub churn: ChurnSchedule,
+    /// Composed attack plan; when present it supersedes `adversary` (which is kept
+    /// in sync for pure preset plans). Absent in pre-plan recorded reports.
+    pub attack: Option<AttackPlan>,
 }
 
 impl ScenarioSpec {
@@ -144,6 +148,17 @@ impl ScenarioSpec {
     /// Whether the scenario starts within the optimal resiliency `n > 3f`.
     pub fn resilient(&self) -> bool {
         self.n() > 3 * self.byzantine
+    }
+
+    /// Whether the scenario is admissible under the paper's model: `n > 3f` at the
+    /// start *and* at every round of the churn schedule. Property-based harnesses
+    /// only assert the theorems on admissible scenarios.
+    pub fn admissible(&self) -> bool {
+        self.resilient()
+            && self
+                .churn
+                .first_resiliency_violation(self.correct, self.byzantine)
+                .is_none()
     }
 }
 
@@ -179,6 +194,7 @@ impl Default for ScenarioBuilder {
                 max_rounds: 1_000,
                 adversary: AdversaryKind::Silent,
                 churn: ChurnSchedule::empty(),
+                attack: None,
             },
         }
     }
@@ -223,6 +239,18 @@ impl ScenarioBuilder {
     /// Selects the adversary strategy.
     pub fn adversary(mut self, adversary: AdversaryKind) -> Self {
         self.spec.adversary = adversary;
+        self.spec.attack = None;
+        self
+    }
+
+    /// Attaches a composed [`AttackPlan`], superseding any [`AdversaryKind`]. A
+    /// plan that is exactly a preset also updates the spec's `adversary` field so
+    /// the recorded scenario reads the same either way.
+    pub fn attack(mut self, plan: AttackPlan) -> Self {
+        if let Some(kind) = plan.as_preset() {
+            self.spec.adversary = kind;
+        }
+        self.spec.attack = Some(plan);
         self
     }
 
@@ -250,10 +278,13 @@ impl ScenarioBuilder {
     }
 
     /// Builds a typed [`Harness`] for a protocol, with the adversary selected by the
-    /// scenario's [`AdversaryKind`].
+    /// scenario's [`AttackPlan`] (when one is attached) or its [`AdversaryKind`].
     pub fn build<F: ProtocolFactory>(self, factory: F) -> Harness<F> {
         let ctx = self.context();
-        let named = factory.adversary(ctx.spec.adversary, &ctx);
+        let named = match ctx.spec.attack.clone() {
+            Some(plan) => compile_attack_plan(&factory, &plan, &ctx),
+            None => factory.adversary(ctx.spec.adversary, &ctx),
+        };
         Harness::assemble(factory, ctx, named.strategy, named.name)
     }
 
@@ -347,6 +378,21 @@ pub trait ProtocolFactory {
         ctx: &BuildContext,
     ) -> NamedAdversary<<Self::Node as Protocol>::Payload>;
 
+    /// Maps one abstract [`AttackBehavior`] of a composed [`AttackPlan`] onto a
+    /// concrete, named strategy for this protocol's payload. The default resolves
+    /// presets through [`ProtocolFactory::adversary`], runs [`AttackBehavior::Replay`]
+    /// generically, and substitutes the closest scripted kind for the value-shaped
+    /// behaviours; factories whose payloads can express a behaviour exactly
+    /// (outliers for approximate agreement, vote equivocation for consensus, …)
+    /// override it.
+    fn attack_behavior(
+        &self,
+        behavior: &AttackBehavior,
+        ctx: &BuildContext,
+    ) -> NamedAdversary<<Self::Node as Protocol>::Payload> {
+        scripted_attack_behavior(self, behavior, ctx)
+    }
+
     /// When the run is finished (before the scenario's round cap).
     fn stop_condition(&self) -> StopCondition {
         StopCondition::AllTerminated
@@ -368,6 +414,71 @@ pub trait ProtocolFactory {
 
     /// Extracts protocol-specific sections from the finished run into the report.
     fn record(&self, ctx: &BuildContext, nodes: &[Self::Node], report: &mut RunReport);
+}
+
+/// The default [`AttackBehavior`] → strategy mapping (see
+/// [`ProtocolFactory::attack_behavior`]). Kept as a free function so factory
+/// overrides can fall back to it for the behaviours they do not specialise.
+pub fn scripted_attack_behavior<F: ProtocolFactory + ?Sized>(
+    factory: &F,
+    behavior: &AttackBehavior,
+    ctx: &BuildContext,
+) -> NamedAdversary<<F::Node as Protocol>::Payload> {
+    match behavior {
+        AttackBehavior::Preset(kind) => factory.adversary(*kind, ctx),
+        AttackBehavior::Replay {
+            visible_to_even_raw_ids,
+        } => NamedAdversary::new("replay", ReplayAdversary::new(*visible_to_even_raw_ids)),
+        // The value-shaped behaviours need payload vocabularies the generic layer
+        // does not have; substitute the protocol's closest scripted kind, exactly
+        // like `adversary` substitutes inapplicable kinds.
+        AttackBehavior::AnnounceToSubset { .. } => {
+            factory.adversary(AdversaryKind::PartialAnnounce, ctx)
+        }
+        AttackBehavior::Equivocate { .. } | AttackBehavior::Outliers { .. } => {
+            factory.adversary(AdversaryKind::Worst, ctx)
+        }
+    }
+}
+
+/// Compiles an [`AttackPlan`] against a factory: each step's behaviour is resolved
+/// to a payload-typed strategy and bound to the step's round window and actor
+/// range. A plan that is exactly one whole-run step is reported under the resolved
+/// strategy's own name, so preset plans produce reports identical to their legacy
+/// [`AdversaryKind`]; composed plans are reported as `plan(...)`.
+pub fn compile_attack_plan<F: ProtocolFactory + ?Sized>(
+    factory: &F,
+    plan: &AttackPlan,
+    ctx: &BuildContext,
+) -> NamedAdversary<<F::Node as Protocol>::Payload> {
+    let mut compiled = Vec::with_capacity(plan.steps.len());
+    let mut resolved_names = Vec::with_capacity(plan.steps.len());
+    for step in &plan.steps {
+        let inner = factory.attack_behavior(&step.behavior, ctx);
+        resolved_names.push(inner.name);
+        compiled.push(CompiledStep {
+            from_round: step.from_round,
+            to_round: step.to_round,
+            actors: step.actors,
+            strategy: inner.strategy,
+        });
+    }
+    let name = match plan.steps.as_slice() {
+        [step] if step.covers_everything() => resolved_names.pop().expect("one name per step"),
+        [] => "plan(empty)".to_string(),
+        steps => {
+            let parts: Vec<String> = steps
+                .iter()
+                .zip(&resolved_names)
+                .map(|(step, resolved)| step.describe_as(resolved))
+                .collect();
+            format!("plan({})", parts.join(" + "))
+        }
+    };
+    NamedAdversary {
+        name,
+        strategy: Box::new(PlanAdversary::new(compiled)),
+    }
 }
 
 /// A typed, runnable simulation: engine + factory + scenario context.

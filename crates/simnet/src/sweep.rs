@@ -1,0 +1,266 @@
+//! The scenario-sweep DSL: a deterministic grid over every scenario axis.
+//!
+//! The paper's guarantees are universally quantified over adversary strategies,
+//! inputs and identifier layouts; a single run answers one point of that space. A
+//! [`ScenarioGrid`] enumerates a *rectangle* of it — protocols × `(correct,
+//! byzantine)` sizes × [`AttackPlan`]s × [`ChurnSchedule`]s × derived seeds — as a
+//! flat, indexable case list:
+//!
+//! * every case is a plain [`SweepCase`]: a protocol label plus a fully resolved
+//!   [`ScenarioSpec`] (the spec embeds the plan, the churn schedule and a seed
+//!   derived from the grid's base seed and the case index), so a case serialises
+//!   to its own reproduction recipe;
+//! * enumeration order and per-case seeds depend only on the grid definition —
+//!   `case(i)` is a pure function — so fanning the grid out over any worker pool
+//!   (`uba-bench`'s `run_trials` stripes it across threads) produces results that
+//!   are byte-for-byte independent of the worker count;
+//! * the protocol axis is a caller-chosen label type `P` (the generic engine layer
+//!   cannot name concrete protocols); `uba-bench::fuzz` instantiates it with its
+//!   `ProtocolId` enum covering every protocol and baseline family.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attack::AttackPlan;
+use crate::dynamic::ChurnSchedule;
+use crate::id::IdSpace;
+use crate::rng::derive_seed;
+use crate::sim::{ScenarioBuilder, ScenarioSpec, Simulation};
+
+/// A grid of scenarios over protocols, sizes, attack plans, churn schedules and
+/// seeds. Build with the fluent setters, then enumerate with [`ScenarioGrid::case`]
+/// / [`ScenarioGrid::cases`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioGrid<P> {
+    protocols: Vec<P>,
+    sizes: Vec<(usize, usize)>,
+    plans: Vec<AttackPlan>,
+    churns: Vec<ChurnSchedule>,
+    trials: u64,
+    base_seed: u64,
+    max_rounds: u64,
+    id_space: IdSpace,
+}
+
+impl<P> Default for ScenarioGrid<P> {
+    fn default() -> Self {
+        ScenarioGrid {
+            protocols: Vec::new(),
+            sizes: vec![(5, 1)],
+            plans: vec![AttackPlan::preset(crate::sim::AdversaryKind::Silent)],
+            churns: vec![ChurnSchedule::empty()],
+            trials: 1,
+            base_seed: 0,
+            max_rounds: 400,
+            id_space: IdSpace::default(),
+        }
+    }
+}
+
+impl<P: Clone> ScenarioGrid<P> {
+    /// An empty grid (no protocols yet) with one silent plan, one `(5, 1)` size,
+    /// no churn, one trial per point and a 400-round budget.
+    pub fn new() -> Self {
+        ScenarioGrid::default()
+    }
+
+    /// Sets the protocol axis.
+    pub fn protocols(mut self, protocols: impl Into<Vec<P>>) -> Self {
+        self.protocols = protocols.into();
+        self
+    }
+
+    /// Sets the `(correct, byzantine)` size axis.
+    pub fn sizes(mut self, sizes: impl Into<Vec<(usize, usize)>>) -> Self {
+        self.sizes = sizes.into();
+        self
+    }
+
+    /// Sets the attack-plan axis.
+    pub fn plans(mut self, plans: impl Into<Vec<AttackPlan>>) -> Self {
+        self.plans = plans.into();
+        self
+    }
+
+    /// Sets the churn-schedule axis.
+    pub fn churns(mut self, churns: impl Into<Vec<ChurnSchedule>>) -> Self {
+        self.churns = churns.into();
+        self
+    }
+
+    /// Sets the number of derived-seed trials per grid point.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Sets the base seed every case seed is derived from.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the per-case round budget.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the identifier-generation strategy for every case.
+    pub fn ids(mut self, id_space: IdSpace) -> Self {
+        self.id_space = id_space;
+        self
+    }
+
+    /// Total number of cases the grid enumerates.
+    pub fn len(&self) -> u64 {
+        self.protocols.len() as u64
+            * self.sizes.len() as u64
+            * self.plans.len() as u64
+            * self.churns.len() as u64
+            * self.trials
+    }
+
+    /// Whether the grid enumerates no cases.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `index`-th case (0-based). Pure in the grid definition: trial varies
+    /// fastest, then churn, plan, size, and protocol slowest — and the case seed is
+    /// `derive_seed(base_seed, index)`, so every case owns an independent stream.
+    ///
+    /// Panics if `index >= len()`.
+    pub fn case(&self, index: u64) -> SweepCase<P> {
+        assert!(index < self.len(), "grid index {index} out of range");
+        let mut rest = index;
+        let trial = rest % self.trials;
+        rest /= self.trials;
+        let churn = &self.churns[(rest % self.churns.len() as u64) as usize];
+        rest /= self.churns.len() as u64;
+        let plan = &self.plans[(rest % self.plans.len() as u64) as usize];
+        rest /= self.plans.len() as u64;
+        let (correct, byzantine) = self.sizes[(rest % self.sizes.len() as u64) as usize];
+        rest /= self.sizes.len() as u64;
+        let protocol = self.protocols[rest as usize].clone();
+
+        let spec = Simulation::scenario()
+            .correct(correct)
+            .byzantine(byzantine)
+            .ids(self.id_space)
+            .seed(derive_seed(self.base_seed, index))
+            .max_rounds(self.max_rounds)
+            .churn(churn.clone())
+            .attack(plan.clone())
+            .spec()
+            .clone();
+        SweepCase {
+            index,
+            trial,
+            protocol,
+            spec,
+        }
+    }
+
+    /// All cases, in index order.
+    pub fn cases(&self) -> Vec<SweepCase<P>> {
+        (0..self.len()).map(|index| self.case(index)).collect()
+    }
+}
+
+/// One enumerated point of a [`ScenarioGrid`]: a protocol label plus the fully
+/// resolved scenario. Serialisable, so a failing case is its own reproducer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepCase<P> {
+    /// Position in the grid's enumeration order.
+    pub index: u64,
+    /// Trial number within the case's grid point (seeds differ per trial).
+    pub trial: u64,
+    /// The protocol label chosen by the grid's `protocols` axis.
+    pub protocol: P,
+    /// The scenario to run (embeds plan, churn, seed and round budget).
+    pub spec: ScenarioSpec,
+}
+
+impl<P> SweepCase<P> {
+    /// A [`ScenarioBuilder`] reproducing this case's scenario; attach a factory
+    /// with [`ScenarioBuilder::build`] to run it.
+    pub fn builder(&self) -> ScenarioBuilder {
+        ScenarioBuilder::from_spec(self.spec.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{AttackBehavior, AttackPlan};
+    use crate::dynamic::ChurnEvent;
+    use crate::id::NodeId;
+    use crate::sim::AdversaryKind;
+
+    fn grid() -> ScenarioGrid<&'static str> {
+        ScenarioGrid::new()
+            .protocols(vec!["a", "b"])
+            .sizes(vec![(4, 1), (7, 2)])
+            .plans(vec![
+                AttackPlan::preset(AdversaryKind::SplitVote),
+                AttackPlan::new().behavior(AttackBehavior::Replay {
+                    visible_to_even_raw_ids: true,
+                }),
+            ])
+            .churns(vec![
+                ChurnSchedule::empty(),
+                ChurnSchedule::empty().with(3, ChurnEvent::JoinByzantine(NodeId::new(9_000_001))),
+            ])
+            .trials(3)
+            .base_seed(42)
+    }
+
+    #[test]
+    fn grid_len_is_the_axis_product() {
+        assert_eq!(grid().len(), 2 * 2 * 2 * 2 * 3);
+        assert!(!grid().is_empty());
+        assert!(ScenarioGrid::<&'static str>::new().is_empty());
+    }
+
+    #[test]
+    fn cases_enumerate_every_combination_deterministically() {
+        let grid = grid();
+        let cases = grid.cases();
+        assert_eq!(cases.len() as u64, grid.len());
+        // Indices are the enumeration order and seeds are pairwise distinct.
+        let mut seeds = std::collections::HashSet::new();
+        for (i, case) in cases.iter().enumerate() {
+            assert_eq!(case.index, i as u64);
+            assert_eq!(case.trial, i as u64 % 3, "trial varies fastest");
+            assert!(
+                seeds.insert(case.spec.seed),
+                "derived seeds must not repeat"
+            );
+            assert_eq!(case, &grid.case(case.index), "case() is pure");
+        }
+        // The protocol axis varies slowest.
+        assert!(cases[..24].iter().all(|c| c.protocol == "a"));
+        assert!(cases[24..].iter().all(|c| c.protocol == "b"));
+    }
+
+    #[test]
+    fn preset_plans_normalise_the_spec_adversary() {
+        let case = grid().case(0);
+        assert_eq!(case.spec.adversary, AdversaryKind::SplitVote);
+        assert_eq!(
+            case.spec.attack.as_ref().and_then(AttackPlan::as_preset),
+            Some(AdversaryKind::SplitVote)
+        );
+        assert_eq!(case.builder().spec(), &case.spec);
+    }
+
+    #[test]
+    fn sweep_cases_round_trip_through_serde() {
+        let case = grid().case(17);
+        let value = serde::Serialize::to_value(&case);
+        let back: SweepCase<String> = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back.index, case.index);
+        assert_eq!(back.spec, case.spec);
+        assert_eq!(back.protocol, "a");
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration suite for the scenario-sweep fuzz harness (`uba_bench::fuzz`):
+//! the CI smoke grid must pass every property on the unmutated protocols, the
+//! whole pipeline must be deterministic in the worker count, and serialized
+//! counterexamples must replay.
+
+use uba_bench::fuzz::{
+    case_failures, default_grid, fuzz_grid, fuzz_table, run_case, FuzzCase, ProtocolId,
+};
+use uba_bench::montecarlo::{run_trials, SweepConfig};
+use uba_core::sim::{AdversaryKind, AttackBehavior, AttackPlan};
+use uba_simnet::sweep::ScenarioGrid;
+
+/// The exact grid CI runs (`experiments -- fuzz --smoke`): every protocol and
+/// baseline family × plans × churn × 2 derived seeds. All properties must hold —
+/// this is the test that keeps the CI job green and meaningful.
+#[test]
+fn the_smoke_grid_passes_every_property() {
+    let grid = default_grid(true);
+    assert!(grid.len() >= 500, "the smoke grid must stay a real sweep");
+    let outcome = fuzz_grid(&grid, 4, 3);
+    assert_eq!(outcome.cases, grid.len());
+    assert!(
+        outcome.passed(),
+        "smoke grid found counterexamples: {:?}",
+        outcome
+            .counterexamples
+            .iter()
+            .map(|ce| (ce.shrunk.describe(), ce.failures.clone()))
+            .collect::<Vec<_>>()
+    );
+    let table = fuzz_table(&grid, &outcome).to_string();
+    assert!(table.contains("consensus") && table.contains("known-rotor"));
+}
+
+/// Every case's full report must be byte-identical no matter how the trial pool
+/// stripes the grid across workers — the property that makes fuzz results (and
+/// CI failures) reproducible on any machine.
+#[test]
+fn fuzz_case_reports_do_not_depend_on_the_worker_count() {
+    let grid = ScenarioGrid::new()
+        .protocols(ProtocolId::ALL.to_vec())
+        .sizes(vec![(5, 1)])
+        .plans(vec![
+            AttackPlan::preset(AdversaryKind::SplitVote),
+            AttackPlan::collusion(
+                AttackBehavior::Preset(AdversaryKind::SplitVote),
+                1,
+                AttackBehavior::Replay {
+                    visible_to_even_raw_ids: false,
+                },
+            ),
+        ])
+        .trials(2)
+        .base_seed(7);
+    let run = |workers: usize| -> Vec<String> {
+        let config = SweepConfig {
+            trials: grid.len(),
+            base_seed: 0,
+            workers,
+        };
+        run_trials(&config, |index, _| {
+            let case = FuzzCase::from_sweep(&grid.case(index));
+            serde_json::to_string(&run_case(&case)).expect("reports serialise")
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial.len() as u64, grid.len());
+    assert_eq!(serial, run(4));
+    assert_eq!(serial, run(8));
+}
+
+/// A fuzz case serialises to JSON and replays to the same report — the reproducer
+/// contract behind `experiments -- fuzz --replay`.
+#[test]
+fn serialized_cases_replay_identically() {
+    let grid = default_grid(true);
+    for index in [0, grid.len() / 2, grid.len() - 1] {
+        let case = FuzzCase::from_sweep(&grid.case(index));
+        let json = serde_json::to_string(&case).expect("cases serialise");
+        let back: FuzzCase = serde_json::from_str(&json).expect("cases deserialise");
+        assert_eq!(back, case);
+        let original = run_case(&case);
+        let replayed = run_case(&back);
+        assert_eq!(original, replayed, "replay must reproduce the report");
+        assert!(case_failures(&back, &replayed).is_empty());
+    }
+}
+
+/// The composed plan shapes (windows, collusion, subset announces, outliers,
+/// replay) all drive real traffic against the consensus protocol without breaking
+/// its guarantees — the sweep axes are live, not vacuous.
+#[test]
+fn composed_plans_inject_traffic_and_keep_consensus_safe() {
+    use uba_core::sim::{ScenarioExt, Simulation};
+    let inputs: Vec<u64> = (0..7).map(|i| i % 2).collect();
+    let plans = [
+        AttackPlan::crash_window(AdversaryKind::SplitVote, 2, 6),
+        AttackPlan::collusion(
+            AttackBehavior::Preset(AdversaryKind::SplitVote),
+            1,
+            AttackBehavior::Preset(AdversaryKind::AnnounceThenSilent),
+        ),
+        AttackPlan::new().behavior(AttackBehavior::AnnounceToSubset {
+            modulus: 3,
+            remainder: 1,
+        }),
+        AttackPlan::new().behavior(AttackBehavior::Equivocate { low: 0, high: 1 }),
+    ];
+    for plan in plans {
+        let report = Simulation::scenario()
+            .correct(7)
+            .byzantine(2)
+            .seed(11)
+            .attack(plan.clone())
+            .consensus(&inputs)
+            .run()
+            .unwrap();
+        assert!(
+            report.messages.byzantine > 0,
+            "plan {} must actually attack",
+            plan.label()
+        );
+        let section = report.consensus.expect("consensus section");
+        assert!(
+            section.agreement && section.validity,
+            "plan {}",
+            plan.label()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The mutation check: a fuzzer is only trustworthy if it *fires* when the
+//! protocol is actually broken. This suite injects a deliberate bug into reliable
+//! broadcast through the runtime hook `uba_core::reliable_broadcast::mutation`
+//! (skipping the round-2 echo starves the `2n_v/3` acceptance threshold, breaking
+//! Theorem 1's correctness for every correct sender), then asserts the fuzz
+//! harness detects it, shrinks the counterexample to at most 6 nodes, and that the
+//! serialized reproducer flips back to passing once the bug is removed.
+//!
+//! The mutation toggle is process-global, so this file holds exactly one test —
+//! integration-test binaries run in their own processes, which keeps the mutation
+//! from leaking into the rest of the suite.
+
+use uba_bench::fuzz::{case_failures, fuzz_grid, run_case, Counterexample, ProtocolId};
+use uba_core::reliable_broadcast::mutation;
+use uba_core::sim::{AdversaryKind, AttackPlan};
+use uba_simnet::sweep::ScenarioGrid;
+
+#[test]
+fn fuzzer_finds_the_injected_echo_bug_and_shrinks_it_to_six_nodes_or_fewer() {
+    mutation::set_skip_echo_round(true);
+
+    // A sliver of the default grid: the broadcast family under two plans and two
+    // seeds. The harness itself decides which cases fail.
+    let grid = ScenarioGrid::new()
+        .protocols(vec![ProtocolId::ReliableBroadcast])
+        .sizes(vec![(7, 2)])
+        .plans(vec![
+            AttackPlan::preset(AdversaryKind::Silent),
+            AttackPlan::preset(AdversaryKind::AnnounceThenSilent),
+        ])
+        .trials(2)
+        .base_seed(0xBAD_ECC0);
+    let outcome = fuzz_grid(&grid, 2, 1);
+    assert!(
+        !outcome.passed(),
+        "the injected echo-skipping bug must be detected"
+    );
+    let counterexample = &outcome.counterexamples[0];
+    assert!(
+        counterexample
+            .failures
+            .iter()
+            .any(|failure| failure.contains("reliable-broadcast")),
+        "the broadcast oracle must be the property that fired: {:?}",
+        counterexample.failures
+    );
+
+    // The shrinker must reach a small reproducer (the bug is size-independent, so
+    // a greedy minimiser gets to the floor).
+    assert!(
+        counterexample.shrunk.spec.n() <= 6,
+        "shrunk to n = {} (correct = {}, byzantine = {}), expected ≤ 6",
+        counterexample.shrunk.spec.n(),
+        counterexample.shrunk.spec.correct,
+        counterexample.shrunk.spec.byzantine
+    );
+    assert!(counterexample.shrink_steps > 0, "shrinking must make moves");
+
+    // The counterexample survives a serde round trip and still reproduces — the
+    // `fuzz --replay` contract.
+    let json = serde_json::to_string(counterexample).expect("counterexamples serialise");
+    let replayed: Counterexample =
+        serde_json::from_str(&json).expect("counterexamples deserialise");
+    assert_eq!(&replayed, counterexample);
+    let report = run_case(&replayed.shrunk);
+    assert!(
+        !case_failures(&replayed.shrunk, &report).is_empty(),
+        "the replayed reproducer must still fail while the bug is present"
+    );
+
+    // Remove the bug: the same reproducer must pass every property again.
+    mutation::set_skip_echo_round(false);
+    let healthy = run_case(&replayed.shrunk);
+    assert!(
+        case_failures(&replayed.shrunk, &healthy).is_empty(),
+        "with the mutation disabled the reproducer must pass"
+    );
+}
