@@ -55,7 +55,7 @@ impl Protocol for DolevApprox {
                 for envelope in inbox {
                     if !seen.contains(&envelope.from) {
                         seen.push(envelope.from);
-                        values.push(envelope.payload);
+                        values.push(*envelope.payload());
                     }
                 }
                 values.sort_unstable();

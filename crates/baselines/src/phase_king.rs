@@ -123,7 +123,7 @@ impl<V: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Protocol for Phase
             0 => {
                 if phase > 1 {
                     let king = self.king_of_phase(phase - 1);
-                    let king_value = inbox.iter().find_map(|e| match &e.payload {
+                    let king_value = inbox.iter().find_map(|e| match e.payload() {
                         PhaseKingMessage::King(v) if e.from == king => Some(v.clone()),
                         _ => None,
                     });
@@ -146,7 +146,7 @@ impl<V: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Protocol for Phase
             1 => {
                 let values: Vec<&V> = inbox
                     .iter()
-                    .filter_map(|e| match &e.payload {
+                    .filter_map(|e| match e.payload() {
                         PhaseKingMessage::Value(v) => Some(v),
                         _ => None,
                     })
@@ -165,7 +165,7 @@ impl<V: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug> Protocol for Phase
             _ => {
                 let proposals: Vec<&V> = inbox
                     .iter()
-                    .filter_map(|e| match &e.payload {
+                    .filter_map(|e| match e.payload() {
                         PhaseKingMessage::Proposal(v) => Some(v),
                         _ => None,
                     })

@@ -55,7 +55,10 @@ impl Protocol for KnownRotor {
         // received (and recorded) in round r + 1.
         if ctx.round >= 2 {
             let previous = NodeId::new(ctx.round - 2);
-            let opinion = inbox.iter().find(|e| e.from == previous).map(|e| e.payload);
+            let opinion = inbox
+                .iter()
+                .find(|e| e.from == previous)
+                .map(|e| *e.payload());
             self.accepted.push((previous, opinion));
             if self.accepted.len() > self.f {
                 self.done = true;

@@ -80,7 +80,7 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Protocol for StBroadcas
         let mut out = Vec::new();
         // Cumulative distinct-sender echo counting (the classic formulation).
         for envelope in inbox {
-            match &envelope.payload {
+            match envelope.payload() {
                 StMessage::Init(m) if envelope.from == self.source => {
                     if self.echoed.insert(m.clone()) {
                         out.push(Outgoing::broadcast(StMessage::Echo(m.clone())));

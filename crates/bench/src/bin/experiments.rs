@@ -6,6 +6,7 @@
 //! cargo run -p uba-bench --release --bin experiments -- baseline [path]
 //! cargo run -p uba-bench --release --bin experiments -- scaling [--quick] [path]
 //! cargo run -p uba-bench --release --bin experiments -- fuzz [--smoke] [--out path]
+//! cargo run -p uba-bench --release --bin experiments -- fuzz --boundary [--smoke]
 //! cargo run -p uba-bench --release --bin experiments -- fuzz --replay path
 //! ```
 //!
@@ -14,10 +15,16 @@
 //! aggregate summary (see `uba_bench::baseline`).
 //!
 //! `scaling` regenerates `BENCH_scaling.json`: the wall-clock scaling sweep up to
-//! `n = 128` (see `uba_bench::scaling`). With `--quick` it runs the small-`n`
-//! prefix, re-runs the deterministic baseline grid, and **exits non-zero if the
-//! engine's rounds, message or delivery counts drifted** from the recorded
-//! `BENCH_baseline.json` — the CI regression guard for engine rewrites.
+//! `n = 256` with the per-phase timing split (see `uba_bench::scaling` and
+//! `docs/ENGINE.md`). With `--quick` it runs the small-`n` prefix and two gates:
+//! the deterministic baseline grid is compared against the recorded
+//! `BENCH_baseline.json`, and the quick grid is re-run forced through the
+//! parallel step path at two `parallel_node_threshold` values — **any count
+//! drift exits non-zero**. This is the CI regression guard for engine rewrites.
+//!
+//! `fuzz --boundary` sweeps scenarios pinned *at* `n = 3f` and **fails if no
+//! case violates a theorem property**: outside the resiliency bound a violation
+//! is the expected outcome (it demonstrates the bound is tight).
 //!
 //! `fuzz` runs the deterministic property-fuzz grid (`uba_bench::fuzz`,
 //! `docs/FUZZING.md`): every protocol/baseline family × attack plans × churn ×
@@ -75,6 +82,42 @@ fn replay_case(path: &str) -> ! {
     std::process::exit(1);
 }
 
+fn run_boundary(smoke: bool, workers: usize) {
+    let grid = uba_bench::boundary_grid(smoke);
+    eprintln!(
+        "boundary-fuzzing {} inadmissible (n = 3f) cases (smoke = {smoke}, {workers} workers)…",
+        grid.len()
+    );
+    let outcome = uba_bench::fuzz_boundary(&grid, workers, 16);
+    if outcome.counterexamples.is_empty() {
+        // The *expected-failure* property: outside the resiliency bound some
+        // case must demonstrably violate a theorem, or the bound is not shown
+        // tight (and the attack library has lost its teeth).
+        eprintln!(
+            "no n = 3f case violated any theorem property — the expected failure did not \
+             materialise"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "{} demonstration(s) that n > 3f is tight; smallest after shrinking:",
+        outcome.counterexamples.len()
+    );
+    let smallest = outcome
+        .counterexamples
+        .iter()
+        .min_by_key(|ce| ce.shrunk.spec.n())
+        .expect("non-empty");
+    eprintln!(
+        "  {} ({} shrink steps)",
+        smallest.shrunk.describe(),
+        smallest.shrink_steps
+    );
+    for failure in &smallest.failures {
+        eprintln!("    {failure}");
+    }
+}
+
 fn run_fuzz(args: &[String]) {
     if let Some(path) = flag_value(args, "--replay") {
         replay_case(path);
@@ -85,6 +128,10 @@ fn run_fuzz(args: &[String]) {
         .map(|p| p.get())
         .unwrap_or(1)
         .min(8);
+    if args.iter().any(|a| a == "--boundary") {
+        run_boundary(smoke, workers);
+        return;
+    }
     let grid = uba_bench::default_grid(smoke);
     eprintln!(
         "fuzzing {} cases (smoke = {smoke}, {workers} workers)…",
@@ -151,6 +198,19 @@ fn run_scaling(args: &[String]) {
             std::process::exit(1);
         }
         eprintln!("baseline counts unchanged ✓");
+        // Second gate: the quick grid forced through the parallel step path at
+        // two thresholds must reproduce the serial counts exactly — serial ≡
+        // parallel is an engine invariant, not a hope.
+        eprintln!("checking count drift across parallel_node_threshold values 1 and 64…");
+        let threshold_drift = uba_bench::scaling::threshold_drift(true, &[1, 64]);
+        if !threshold_drift.is_empty() {
+            eprintln!("parallel stepping drifted from the serial counts:");
+            for line in &threshold_drift {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("threshold counts identical ✓");
     }
     eprintln!("running the scaling grid (quick = {quick})…");
     let started = std::time::Instant::now();

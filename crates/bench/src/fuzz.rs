@@ -272,6 +272,134 @@ pub fn case_failures(case: &FuzzCase, report: &RunReport) -> Vec<String> {
     failures
 }
 
+/// The *expected-failure* properties of an **inadmissible** scenario (`n ≤ 3f`
+/// somewhere along the churn horizon): outside the resiliency bound the paper
+/// makes no promise, so a violated theorem-property is not a bug — it is the
+/// demonstration that the `n > 3f` bound is *tight*. This returns the violations
+/// such a case exhibits (the same oracle and structural checks as
+/// [`case_failures`], without the admissibility gate); admissible cases return
+/// nothing, because for them a violation belongs to [`case_failures`].
+pub fn boundary_violations(case: &FuzzCase, report: &RunReport) -> Vec<String> {
+    if case.spec.admissible() {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    for verdict in &report.verdicts {
+        if !verdict.passed {
+            for violation in &verdict.violations {
+                violations.push(format!("oracle {}: {}", verdict.oracle, violation));
+            }
+        }
+    }
+    if case.protocol.expects_termination() && !report.status.is_completed() {
+        violations.push(format!(
+            "liveness: run exhausted its {}-round budget",
+            case.spec.max_rounds
+        ));
+    }
+    if let Some(rotor) = &report.rotor {
+        if !rotor.good_round {
+            violations.push("rotor: no good round (all-correct coordinator) occurred".into());
+        }
+    }
+    if let Some(parallel) = &report.parallel {
+        if !parallel.agreement {
+            violations.push("parallel-consensus: decided pair sets differ".into());
+        }
+    }
+    if let Some(chain) = &report.chain {
+        if !chain.prefix_ok {
+            violations.push("total-order: chain prefixes disagree".into());
+        }
+    }
+    if let Some(broadcast) = &report.broadcast {
+        if !broadcast.consistent {
+            violations.push("broadcast: accept sets differ across correct nodes".into());
+        }
+    }
+    violations
+}
+
+/// The grid `fuzz --boundary` sweeps: scenarios pinned *at* the `n = 3f`
+/// resiliency boundary (correct = 2f, so `n = 3f` exactly) under the strong
+/// attacks, for the families whose theorems give the adversary something to
+/// break there. The expected-failure property of this grid is that **some** case
+/// exhibits a violation — if every inadmissible case still satisfied the
+/// theorems, the bound would not be demonstrably tight (and our attacks would be
+/// toothless).
+pub fn boundary_grid(smoke: bool) -> ScenarioGrid<ProtocolId> {
+    let sizes: Vec<(usize, usize)> = if smoke {
+        vec![(2, 1), (4, 2)]
+    } else {
+        vec![(2, 1), (4, 2), (6, 3)]
+    };
+    let plans = vec![
+        AttackPlan::preset(AdversaryKind::SplitVote),
+        AttackPlan::preset(AdversaryKind::Worst),
+        AttackPlan::new().behavior(AttackBehavior::Equivocate { low: 0, high: 1 }),
+        // A composed plan with a redundant silent step: the violation survives
+        // dropping it, so the shrinker demonstrably minimises the *plan* too.
+        AttackPlan::collusion(
+            AttackBehavior::Preset(AdversaryKind::SplitVote),
+            1,
+            AttackBehavior::Preset(AdversaryKind::Silent),
+        ),
+    ];
+    ScenarioGrid::new()
+        .protocols(vec![
+            ProtocolId::Consensus,
+            ProtocolId::ParallelConsensus,
+            ProtocolId::PhaseKing,
+        ])
+        .sizes(sizes)
+        .plans(plans)
+        .trials(if smoke { 2 } else { 3 })
+        .base_seed(0xB0BD_5EED)
+        .max_rounds(150)
+}
+
+/// Runs the boundary grid and returns the cases that *do* violate a theorem
+/// property outside the bound, each shrunk to a locally minimal demonstration.
+/// Shrinking preserves both inadmissibility and the violation, so a shrunk
+/// demonstration is still at (or below) the boundary — the pinned regression
+/// test asserts a ≤ 6-node `n = 3f` consensus demonstration survives shrinking.
+pub fn fuzz_boundary(
+    grid: &ScenarioGrid<ProtocolId>,
+    workers: usize,
+    max_demonstrations: usize,
+) -> FuzzOutcome {
+    let total = grid.len();
+    let config = SweepConfig {
+        trials: total,
+        base_seed: 0, // unused: each case's seed is derived by the grid itself
+        workers,
+    };
+    let violating: Vec<Option<FuzzCase>> = run_trials(&config, |index, _seed| {
+        let case = FuzzCase::from_sweep(&grid.case(index));
+        let report = run_case(&case);
+        if boundary_violations(&case, &report).is_empty() {
+            None
+        } else {
+            Some(case)
+        }
+    });
+    let counterexamples = violating
+        .into_iter()
+        .flatten()
+        .take(max_demonstrations)
+        .map(|case| {
+            shrink_case_with(&case, &|candidate| {
+                let report = run_case(candidate);
+                boundary_violations(candidate, &report)
+            })
+        })
+        .collect();
+    FuzzOutcome {
+        cases: total,
+        counterexamples,
+    }
+}
+
 /// The attack-plan axis of the default grids: the five legacy presets plus the
 /// composed shapes the scripted enum could not express.
 pub fn default_plans(smoke: bool) -> Vec<AttackPlan> {
@@ -444,10 +572,21 @@ fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
 /// still violates a property is accepted, until no move survives. The result is a
 /// local minimum — removing anything else makes the failure disappear.
 pub fn shrink_case(original: &FuzzCase) -> Counterexample {
-    let still_failing = |case: &FuzzCase| -> Vec<String> {
+    shrink_case_with(original, &|case| {
         let report = run_case(case);
         case_failures(case, &report)
-    };
+    })
+}
+
+/// The shrinker behind [`shrink_case`], parameterised over the "still
+/// interesting" oracle: a candidate move is accepted iff the oracle still
+/// returns violations. Boundary fuzzing passes [`boundary_violations`] here, so
+/// a shrunk demonstration cannot drift back into the admissible region (the
+/// oracle returns nothing there).
+pub fn shrink_case_with(
+    original: &FuzzCase,
+    still_failing: &dyn Fn(&FuzzCase) -> Vec<String>,
+) -> Counterexample {
     let mut current = original.clone();
     let mut shrink_steps = 0u64;
     loop {

@@ -31,7 +31,10 @@ pub mod workload;
 
 pub use baseline::{baseline_file, write_baseline, BaselineFile};
 pub use experiments::{all_experiments, experiment_by_name};
-pub use fuzz::{default_grid, fuzz_grid, run_case, Counterexample, FuzzCase, ProtocolId};
+pub use fuzz::{
+    boundary_grid, boundary_violations, default_grid, fuzz_boundary, fuzz_grid, run_case,
+    Counterexample, FuzzCase, ProtocolId,
+};
 pub use montecarlo::{ResilienceSweep, SweepConfig};
 pub use scaling::{scaling_file, write_scaling, ScalingFile};
 pub use table::Table;

@@ -3,9 +3,12 @@
 //! `BENCH_baseline.json` records *what* the protocols do (rounds, messages,
 //! verdicts) on a small grid; this module records *how fast the engine executes
 //! them* as the system grows. [`scaling_file`] runs a broadcast-heavy grid —
-//! id-only consensus and the phase-king baseline up to `n = 128`, reliable
+//! id-only consensus and the phase-king baseline up to `n = 256`, reliable
 //! broadcast at the largest sizes — through the unified `Simulation` driver and
-//! measures the wall-clock time of every run. Regenerate with:
+//! measures the wall-clock time of every run, including the engine's per-phase
+//! split (produce / adversary / deliver / step — see `docs/ENGINE.md` for how to
+//! read it; the [`PhaseSplit::deliver_share`] column is the zero-copy headline).
+//! Regenerate with:
 //!
 //! ```text
 //! cargo run -p uba-bench --release --bin experiments -- scaling
@@ -28,8 +31,8 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use uba_baselines::PhaseKingFactory;
-use uba_core::sim::{AdversaryKind, RunReport, ScenarioExt, Simulation};
-use uba_simnet::IdSpace;
+use uba_core::sim::{AdversaryKind, Harness, ProtocolFactory, RunReport, ScenarioExt, Simulation};
+use uba_simnet::{IdSpace, PhaseTimings};
 
 use crate::baseline::{baseline_file, BaselineFile};
 
@@ -38,7 +41,7 @@ use crate::baseline::{baseline_file, BaselineFile};
 pub const SEED: u64 = 0x5CA1E;
 
 /// System sizes of the full grid. `--quick` stops at 32 to keep CI fast.
-pub const FULL_SIZES: &[usize] = &[8, 16, 32, 64, 128];
+pub const FULL_SIZES: &[usize] = &[8, 16, 32, 64, 128, 256];
 
 /// System sizes exercised by `--quick`.
 pub const QUICK_SIZES: &[usize] = &[8, 16, 32];
@@ -59,6 +62,53 @@ pub const PRE_CHANGE_REFERENCE_MS: &[(&str, f64)] = &[
     ("phase-king/silent/n128", 88.60),
     ("reliable-broadcast/announce-then-silent/n128", 4.48),
 ];
+
+/// Wall-clock split of one run across the engine's round phases, in milliseconds
+/// (machine-dependent, like `wall_ms`). `produce` is node stepping, `adversary`
+/// the injection phase, `deliver` inbox construction, `step` the engine
+/// bookkeeping around them — see `docs/ENGINE.md` for how to read these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSplit {
+    /// Phase 1 — node stepping and traffic production.
+    pub produce_ms: f64,
+    /// Phase 2 — adversary observation and injection.
+    pub adversary_ms: f64,
+    /// Phase 3 — delivery and deduplication.
+    pub deliver_ms: f64,
+    /// Engine bookkeeping (churn, inbox staging/recycling, metrics).
+    pub step_ms: f64,
+}
+
+impl PhaseSplit {
+    fn from_timings(timings: PhaseTimings) -> Self {
+        let ms = |ns: u64| ns as f64 / 1_000_000.0;
+        PhaseSplit {
+            produce_ms: ms(timings.produce_ns),
+            adversary_ms: ms(timings.adversary_ns),
+            deliver_ms: ms(timings.deliver_ns),
+            step_ms: ms(timings.step_ns),
+        }
+    }
+
+    /// Total engine-phase time (excludes driver overhead around `run_round`).
+    pub fn total_ms(&self) -> f64 {
+        self.produce_ms + self.adversary_ms + self.deliver_ms + self.step_ms
+    }
+
+    /// The delivery phase's share of the engine-phase total (0.0 when nothing
+    /// was measured). The zero-copy headline: at large `n` this used to approach
+    /// 1.0 and now stays well below the produce share. (For the dominant-phase
+    /// *name*, use [`PhaseTimings::dominant`] on the live harness — this split
+    /// only exists so the JSON carries the recorded numbers.)
+    pub fn deliver_share(&self) -> f64 {
+        let total = self.total_ms();
+        if total > 0.0 {
+            self.deliver_ms / total
+        } else {
+            0.0
+        }
+    }
+}
 
 /// One measured run of the scaling grid.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -83,6 +133,23 @@ pub struct ScalingRow {
     pub parallel: bool,
     /// Wall-clock time of the run in milliseconds (machine-dependent).
     pub wall_ms: f64,
+    /// Engine-phase wall-clock split (machine-dependent).
+    pub phases: PhaseSplit,
+    /// `phases.deliver_share()`, precomputed so the JSON carries the headline.
+    pub deliver_share: f64,
+}
+
+impl ScalingRow {
+    /// The row with its machine-dependent measurements zeroed — the deterministic
+    /// residue the drift gates compare.
+    pub fn counts_only(&self) -> ScalingRow {
+        ScalingRow {
+            wall_ms: 0.0,
+            phases: PhaseSplit::default(),
+            deliver_share: 0.0,
+            ..self.clone()
+        }
+    }
 }
 
 impl ScalingRow {
@@ -125,13 +192,32 @@ pub struct ScalingFile {
     pub speedups: Vec<SpeedupRow>,
 }
 
-fn timed(run: impl FnOnce() -> RunReport) -> (RunReport, f64) {
-    let started = Instant::now();
-    let report = run();
-    (report, started.elapsed().as_secs_f64() * 1_000.0)
+/// How the grid drives the engine's node-step path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StepMode {
+    /// Serial rows, plus a forced-parallel re-run at `n ≥ 64` whose counts are
+    /// asserted identical — the shape recorded in `BENCH_scaling.json`.
+    Recorded,
+    /// Every run opts in to parallel stepping with the given engine threshold —
+    /// the shape the CI threshold-drift gate compares across thresholds.
+    Forced {
+        threshold: usize,
+    },
+    Serial,
 }
 
-fn row(report: &RunReport, parallel: bool, wall_ms: f64) -> ScalingRow {
+fn timed_run<F: ProtocolFactory>(mut harness: Harness<F>) -> (RunReport, f64, PhaseSplit) {
+    let started = Instant::now();
+    let report = harness.run().expect("scaling run completes");
+    let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    (
+        report,
+        wall_ms,
+        PhaseSplit::from_timings(harness.phase_timings()),
+    )
+}
+
+fn row(report: &RunReport, parallel: bool, wall_ms: f64, phases: PhaseSplit) -> ScalingRow {
     ScalingRow {
         protocol: report.protocol.clone(),
         adversary: report.adversary.clone(),
@@ -143,14 +229,36 @@ fn row(report: &RunReport, parallel: bool, wall_ms: f64) -> ScalingRow {
         ok: report.completed(),
         parallel,
         wall_ms,
+        deliver_share: phases.deliver_share(),
+        phases,
     }
 }
 
-/// Runs the scaling grid (`--quick` restricts it to the small-`n` prefix) and
-/// returns one measured row per scenario.
-pub fn scaling_rows(quick: bool) -> Vec<ScalingRow> {
+fn grid_rows(quick: bool, mode: StepMode) -> Vec<ScalingRow> {
     let sizes = if quick { QUICK_SIZES } else { FULL_SIZES };
     let mut rows = Vec::new();
+
+    // Applies the step mode to a built harness; returns whether the run counts
+    // as "parallel" in the row.
+    macro_rules! drive {
+        ($harness:expr, $force_parallel:expr) => {{
+            let mut harness = $harness;
+            let parallel = match mode {
+                StepMode::Recorded => {
+                    if $force_parallel {
+                        harness = harness.parallel_stepping();
+                    }
+                    $force_parallel
+                }
+                StepMode::Forced { threshold } => {
+                    harness = harness.parallel_stepping().parallel_threshold(threshold);
+                    true
+                }
+                StepMode::Serial => false,
+            };
+            (timed_run(harness), parallel)
+        }};
+    }
 
     for &n in sizes {
         let f = (n - 1) / 3;
@@ -158,77 +266,126 @@ pub fn scaling_rows(quick: bool) -> Vec<ScalingRow> {
         let inputs: Vec<u64> = (0..correct).map(|i| (i % 2) as u64).collect();
 
         // Id-only consensus: every phase is a sequence of all-to-all broadcasts,
-        // which is the traffic pattern the engine rewrite targets. Split-vote is
-        // the broadcast-heavy headline (the adversary keeps the phases coming).
-        // At n ≥ 64 the same scenario is re-run with the opt-in parallel
-        // node-step path; the counts must not move (equality is asserted), only
-        // the wall clock may.
+        // which is the traffic pattern the zero-copy message plane targets.
+        // Split-vote is the broadcast-heavy headline (the adversary keeps the
+        // phases coming). In the recorded mode, at n ≥ 64 the same scenario is
+        // re-run with the opt-in parallel node-step path; the counts must not
+        // move (equality is asserted), only the wall clock may.
         for kind in [AdversaryKind::Silent, AdversaryKind::SplitVote] {
-            let run = |parallel: bool| {
-                timed(|| {
-                    let mut harness = Simulation::scenario()
-                        .correct(correct)
-                        .byzantine(f)
-                        .seed(SEED + n as u64)
-                        .max_rounds(5_000)
-                        .adversary(kind)
-                        .consensus(&inputs);
-                    if parallel {
-                        harness = harness.parallel_stepping();
-                    }
-                    harness.run().expect("consensus scaling run completes")
-                })
+            let build = || {
+                Simulation::scenario()
+                    .correct(correct)
+                    .byzantine(f)
+                    .seed(SEED + n as u64)
+                    .max_rounds(5_000)
+                    .adversary(kind)
+                    .consensus(&inputs)
             };
-            let (report, wall_ms) = run(false);
-            rows.push(row(&report, false, wall_ms));
-            if n >= 64 {
-                let (parallel_report, parallel_ms) = run(true);
+            let ((report, wall_ms, phases), parallel) = drive!(build(), false);
+            rows.push(row(&report, parallel, wall_ms, phases));
+            if mode == StepMode::Recorded && n >= 64 {
+                let ((parallel_report, parallel_ms, parallel_phases), _) = drive!(build(), true);
                 assert_eq!(
                     (parallel_report.rounds, &parallel_report.messages),
                     (report.rounds, &report.messages),
                     "parallel stepping must not change behaviour"
                 );
-                rows.push(row(&parallel_report, true, parallel_ms));
+                rows.push(row(&parallel_report, true, parallel_ms, parallel_phases));
             }
         }
 
         // Phase-king head-to-head on the same sizes (known `(n, f)`, silent
         // faults — the only behaviour its wire format admits).
-
-        let (report, wall_ms) = timed(|| {
+        let ((report, wall_ms, phases), parallel) = drive!(
             Simulation::scenario()
                 .correct(correct)
                 .byzantine(f)
                 .ids(IdSpace::Consecutive)
                 .seed(0)
                 .max_rounds(5_000)
-                .build(PhaseKingFactory::new(inputs.clone()))
-                .run()
-                .expect("phase-king scaling run completes")
-        });
-        rows.push(row(&report, false, wall_ms));
+                .build(PhaseKingFactory::new(inputs.clone())),
+            false
+        );
+        rows.push(row(&report, parallel, wall_ms, phases));
     }
 
     // Reliable broadcast at the largest sizes: a fixed round budget, so the cost
     // is pure per-round engine work (echo broadcasts every round).
-    let broadcast_sizes: &[usize] = if quick { &[32] } else { &[64, 128] };
+    let broadcast_sizes: &[usize] = if quick { &[32] } else { &[64, 128, 256] };
     for &n in broadcast_sizes {
         let f = (n - 1) / 3;
-        let (report, wall_ms) = timed(|| {
+        let ((report, wall_ms, phases), parallel) = drive!(
             Simulation::scenario()
                 .correct(n - f)
                 .byzantine(f)
                 .seed(SEED + n as u64)
                 .adversary(AdversaryKind::AnnounceThenSilent)
                 .broadcast(42)
-                .rounds(12)
-                .run()
-                .expect("broadcast scaling run completes")
-        });
-        rows.push(row(&report, false, wall_ms));
+                .rounds(12),
+            false
+        );
+        rows.push(row(&report, parallel, wall_ms, phases));
     }
 
     rows
+}
+
+/// Runs the scaling grid (`--quick` restricts it to the small-`n` prefix) and
+/// returns one measured row per scenario.
+pub fn scaling_rows(quick: bool) -> Vec<ScalingRow> {
+    grid_rows(quick, StepMode::Recorded)
+}
+
+/// The CI threshold-drift gate (see `.github/workflows/ci.yml`): runs the quick
+/// grid once serially and once per parallel threshold, every run forced through
+/// the opt-in parallel path, and compares the deterministic residue of the rows
+/// (rounds, message and delivery counts, completion). Any difference between two
+/// thresholds — or between a threshold and the serial reference — is returned as
+/// a human-readable drift line; an empty result means the step modes are
+/// behaviourally indistinguishable, as the engine promises.
+pub fn threshold_drift(quick: bool, thresholds: &[usize]) -> Vec<String> {
+    let reference: Vec<ScalingRow> = grid_rows(quick, StepMode::Serial)
+        .iter()
+        .map(ScalingRow::counts_only)
+        .collect();
+    let mut drift = Vec::new();
+    for &threshold in thresholds {
+        let rows = grid_rows(quick, StepMode::Forced { threshold });
+        if rows.len() != reference.len() {
+            drift.push(format!(
+                "threshold {threshold}: {} rows vs {} serial rows",
+                rows.len(),
+                reference.len()
+            ));
+            continue;
+        }
+        for (serial, forced) in reference.iter().zip(&rows) {
+            let forced = ScalingRow {
+                parallel: serial.parallel,
+                ..forced.counts_only()
+            };
+            if *serial != forced {
+                drift.push(format!(
+                    "{}/{} n={} threshold={}: counts drifted: serial (rounds {}, messages {}, \
+                     deliveries {}, ok {}) vs parallel (rounds {}, messages {}, deliveries {}, \
+                     ok {})",
+                    serial.protocol,
+                    serial.adversary,
+                    serial.n,
+                    threshold,
+                    serial.rounds,
+                    serial.messages,
+                    serial.deliveries,
+                    serial.ok,
+                    forced.rounds,
+                    forced.messages,
+                    forced.deliveries,
+                    forced.ok,
+                ));
+            }
+        }
+    }
+    drift
 }
 
 /// Assembles the scaling file: measured rows plus speedups against the recorded
@@ -353,17 +510,20 @@ mod tests {
     #[test]
     fn quick_grid_is_deterministic_up_to_wall_clock() {
         let strip = |rows: Vec<ScalingRow>| -> Vec<ScalingRow> {
-            rows.into_iter()
-                .map(|mut r| {
-                    r.wall_ms = 0.0;
-                    r
-                })
-                .collect()
+            rows.iter().map(ScalingRow::counts_only).collect()
         };
         let a = strip(scaling_rows(true));
         let b = strip(scaling_rows(true));
         assert_eq!(a, b);
         assert!(a.iter().all(|r| r.ok), "every quick scenario completes");
+    }
+
+    #[test]
+    fn threshold_drift_is_empty_across_step_modes() {
+        // The CI gate's core promise: forcing the parallel path at any threshold
+        // reproduces the serial counts exactly.
+        let drift = threshold_drift(true, &[1, 64]);
+        assert_eq!(drift, Vec::<String>::new());
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub mod parallel;
 pub mod report;
 pub mod rotor;
 pub mod run_report;
+pub mod trace;
 
 pub use report::{CheckReport, Violation};
 pub use run_report::{attach_verdicts, check_run_report, report_verdicts};
+pub use trace::{attribute_trace, check_zero_copy, TraceAttribution};

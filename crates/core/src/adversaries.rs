@@ -7,7 +7,9 @@
 //! poisoning — and are what the experiment suite and the property-based tests throw at
 //! the algorithms.
 
-use uba_simnet::{Adversary, AdversaryView, Directed, NodeId};
+use std::hash::Hash;
+
+use uba_simnet::{Adversary, AdversaryView, Directed, NodeId, Shared};
 
 use crate::consensus::ConsensusMessage;
 use crate::early_consensus::{InstanceId, ParallelMessage};
@@ -56,15 +58,18 @@ impl<V: Opinion> Announce for ParallelMessage<V> {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AnnounceThenSilent;
 
-impl<P: Announce + Clone> Adversary<P> for AnnounceThenSilent {
+impl<P: Announce + Hash> Adversary<P> for AnnounceThenSilent {
     fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
         if view.round != 1 {
             return Vec::new();
         }
+        // One payload allocation for the whole fan-out; every injected message
+        // forwards the handle.
+        let announce = Shared::new(P::announce());
         let mut out = Vec::new();
         for &from in view.byzantine_ids {
             for &to in view.correct_ids {
-                out.push(Directed::new(from, to, P::announce()));
+                out.push(Directed::new(from, to, announce.clone()));
             }
         }
         out
@@ -77,16 +82,17 @@ impl<P: Announce + Clone> Adversary<P> for AnnounceThenSilent {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PartialAnnounce;
 
-impl<P: Announce + Clone> Adversary<P> for PartialAnnounce {
+impl<P: Announce + Hash> Adversary<P> for PartialAnnounce {
     fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
         if view.round != 1 {
             return Vec::new();
         }
+        let announce = Shared::new(P::announce());
         let mut out = Vec::new();
         for &from in view.byzantine_ids {
             for (i, &to) in view.correct_ids.iter().enumerate() {
                 if i % 2 == 0 {
-                    out.push(Directed::new(from, to, P::announce()));
+                    out.push(Directed::new(from, to, announce.clone()));
                 }
             }
         }
@@ -116,16 +122,17 @@ impl AnnounceToSubset {
     }
 }
 
-impl<P: Announce + Clone> Adversary<P> for AnnounceToSubset {
+impl<P: Announce + Hash> Adversary<P> for AnnounceToSubset {
     fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
         if view.round != 1 {
             return Vec::new();
         }
+        let announce = Shared::new(P::announce());
         let mut out = Vec::new();
         for &from in view.byzantine_ids {
             for (i, &to) in view.correct_ids.iter().enumerate() {
                 if i as u64 % self.modulus == self.remainder {
-                    out.push(Directed::new(from, to, P::announce()));
+                    out.push(Directed::new(from, to, announce.clone()));
                 }
             }
         }
@@ -165,16 +172,16 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>>
         if view.round != 1 || !view.byzantine_ids.contains(&self.source) {
             return Vec::new();
         }
+        // Exactly two fabricated payloads — the tamper cost of equivocation —
+        // shared across however many recipients each half has.
+        let for_evens = Shared::new(RbMessage::Init(self.value_for_evens.clone()));
+        let for_odds = Shared::new(RbMessage::Init(self.value_for_odds.clone()));
         view.correct_ids
             .iter()
             .enumerate()
             .map(|(i, &to)| {
-                let value = if i % 2 == 0 {
-                    self.value_for_evens.clone()
-                } else {
-                    self.value_for_odds.clone()
-                };
-                Directed::new(self.source, to, RbMessage::Init(value))
+                let payload = if i % 2 == 0 { &for_evens } else { &for_odds };
+                Directed::new(self.source, to, payload.clone())
             })
             .collect()
     }
@@ -202,22 +209,38 @@ impl<V: Opinion> Adversary<ConsensusMessage<V>> for SplitVote<V> {
         &mut self,
         view: &AdversaryView<'_, ConsensusMessage<V>>,
     ) -> Vec<Directed<ConsensusMessage<V>>> {
+        // The attack fabricates at most two distinct values per voting round (the
+        // equivocation pair) — so at most two payload allocations per round, plus
+        // one `Echo(from)` per identity in round 2, shared across all recipients.
+        let split_pair = |make: fn(V) -> ConsensusMessage<V>| {
+            Some((
+                Shared::new(make(self.low.clone())),
+                Shared::new(make(self.high.clone())),
+            ))
+        };
+        let pair = match view.round {
+            r if r >= 3 && (r - 3) % 5 == 0 => split_pair(ConsensusMessage::Input),
+            r if r >= 3 && (r - 3) % 5 == 1 => split_pair(ConsensusMessage::Prefer),
+            r if r >= 3 && (r - 3) % 5 == 2 => split_pair(ConsensusMessage::StrongPrefer),
+            r if r >= 3 && (r - 3) % 5 == 3 => split_pair(ConsensusMessage::Opinion),
+            _ => None,
+        };
+        let init = (view.round == 1).then(|| Shared::new(ConsensusMessage::Init));
         let mut out = Vec::new();
         for (b, &from) in view.byzantine_ids.iter().enumerate() {
+            let echo = (view.round == 2).then(|| Shared::new(ConsensusMessage::Echo(from)));
             for (i, &to) in view.correct_ids.iter().enumerate() {
-                let value = if (i + b) % 2 == 0 {
-                    self.low.clone()
-                } else {
-                    self.high.clone()
-                };
-                let payload = match view.round {
-                    1 => ConsensusMessage::Init,
-                    2 => ConsensusMessage::Echo(from),
-                    r if r >= 3 && (r - 3) % 5 == 0 => ConsensusMessage::Input(value),
-                    r if r >= 3 && (r - 3) % 5 == 1 => ConsensusMessage::Prefer(value),
-                    r if r >= 3 && (r - 3) % 5 == 2 => ConsensusMessage::StrongPrefer(value),
-                    r if r >= 3 && (r - 3) % 5 == 3 => ConsensusMessage::Opinion(value),
-                    _ => continue,
+                let payload = match (&init, &echo, &pair) {
+                    (Some(init), _, _) => init.clone(),
+                    (_, Some(echo), _) => echo.clone(),
+                    (_, _, Some((low, high))) => {
+                        if (i + b) % 2 == 0 {
+                            low.clone()
+                        } else {
+                            high.clone()
+                        }
+                    }
+                    _ => break,
                 };
                 out.push(Directed::new(from, to, payload));
             }
@@ -247,15 +270,26 @@ impl<V: Opinion> Adversary<RotorMessage<V>> for CandidatePoisoner {
         &mut self,
         view: &AdversaryView<'_, RotorMessage<V>>,
     ) -> Vec<Directed<RotorMessage<V>>> {
+        // One allocation per distinct fabricated payload per round (the Init
+        // announcement or one ghost echo per fabricated identifier).
+        let init = (view.round == 1).then(|| Shared::new(RotorMessage::<V>::Init));
+        let ghosts: Vec<Shared<RotorMessage<V>>> = if view.round == 1 {
+            Vec::new()
+        } else {
+            self.fabricated
+                .iter()
+                .map(|&ghost| Shared::new(RotorMessage::Echo(ghost)))
+                .collect()
+        };
         let mut out = Vec::new();
         for &from in view.byzantine_ids {
             for (i, &to) in view.correct_ids.iter().enumerate() {
-                if view.round == 1 {
-                    out.push(Directed::new(from, to, RotorMessage::Init));
+                if let Some(init) = &init {
+                    out.push(Directed::new(from, to, init.clone()));
                 } else {
-                    for (j, &ghost) in self.fabricated.iter().enumerate() {
+                    for (j, echo) in ghosts.iter().enumerate() {
                         if (i + j) % 2 == 0 {
-                            out.push(Directed::new(from, to, RotorMessage::Echo(ghost)));
+                            out.push(Directed::new(from, to, echo.clone()));
                         }
                     }
                 }
@@ -286,41 +320,35 @@ impl<V: Opinion> Adversary<ParallelMessage<V>> for GhostPairInjector<V> {
         &mut self,
         view: &AdversaryView<'_, ParallelMessage<V>>,
     ) -> Vec<Directed<ParallelMessage<V>>> {
+        // Phase-1 rounds in which the correct nodes evaluate inputs, prefers and
+        // strong-prefers respectively. One allocation per fabricated pair per
+        // round, shared across the (byzantine × correct) fan-out.
+        let payloads: Vec<Shared<ParallelMessage<V>>> = match view.round {
+            1 => vec![Shared::new(ParallelMessage::Init)],
+            4 => self
+                .pairs
+                .iter()
+                .map(|(id, value)| Shared::new(ParallelMessage::Input(*id, value.clone())))
+                .collect(),
+            5 => self
+                .pairs
+                .iter()
+                .map(|(id, value)| Shared::new(ParallelMessage::Prefer(*id, Some(value.clone()))))
+                .collect(),
+            6 => self
+                .pairs
+                .iter()
+                .map(|(id, value)| {
+                    Shared::new(ParallelMessage::StrongPrefer(*id, Some(value.clone())))
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         let mut out = Vec::new();
         for &from in view.byzantine_ids {
             for &to in view.correct_ids {
-                match view.round {
-                    1 => out.push(Directed::new(from, to, ParallelMessage::Init)),
-                    // Phase-1 rounds in which the correct nodes evaluate inputs,
-                    // prefers and strong-prefers respectively.
-                    4 => {
-                        for (id, value) in &self.pairs {
-                            out.push(Directed::new(
-                                from,
-                                to,
-                                ParallelMessage::Input(*id, value.clone()),
-                            ));
-                        }
-                    }
-                    5 => {
-                        for (id, value) in &self.pairs {
-                            out.push(Directed::new(
-                                from,
-                                to,
-                                ParallelMessage::Prefer(*id, Some(value.clone())),
-                            ));
-                        }
-                    }
-                    6 => {
-                        for (id, value) in &self.pairs {
-                            out.push(Directed::new(
-                                from,
-                                to,
-                                ParallelMessage::StrongPrefer(*id, Some(value.clone())),
-                            ));
-                        }
-                    }
-                    _ => {}
+                for payload in &payloads {
+                    out.push(Directed::new(from, to, payload.clone()));
                 }
             }
         }
@@ -422,11 +450,11 @@ mod tests {
         let round3 = adv.step(&view(3, &t));
         assert!(round3
             .iter()
-            .all(|m| matches!(m.payload, ConsensusMessage::Input(_))));
+            .all(|m| matches!(m.payload(), ConsensusMessage::Input(_))));
         let round4 = adv.step(&view(4, &t));
         assert!(round4
             .iter()
-            .all(|m| matches!(m.payload, ConsensusMessage::Prefer(_))));
+            .all(|m| matches!(m.payload(), ConsensusMessage::Prefer(_))));
         let round7 = adv.step(&view(7, &t));
         assert!(round7.is_empty(), "nothing to say in the resolve round");
     }
@@ -449,11 +477,11 @@ mod tests {
         assert!(adv
             .step(&view(4, &t))
             .iter()
-            .all(|m| matches!(m.payload, ParallelMessage::Input(77, 7))));
+            .all(|m| matches!(m.payload(), ParallelMessage::Input(77, 7))));
         assert!(adv
             .step(&view(6, &t))
             .iter()
-            .all(|m| matches!(m.payload, ParallelMessage::StrongPrefer(77, Some(7)))));
+            .all(|m| matches!(m.payload(), ParallelMessage::StrongPrefer(77, Some(7)))));
         assert!(adv.step(&view(8, &t)).is_empty());
     }
 }

@@ -93,7 +93,7 @@ impl Protocol for ApproxAgreement {
                     // At most one value per sender counts (a Byzantine node may try to
                     // stuff several distinct values; only its first is kept).
                     if !self.received.iter().any(|(from, _)| *from == envelope.from) {
-                        self.received.push((envelope.from, envelope.payload));
+                        self.received.push((envelope.from, *envelope.payload()));
                     }
                 }
                 let values: Vec<Real> = self.received.iter().map(|(_, v)| *v).collect();
@@ -170,7 +170,7 @@ impl Protocol for IteratedApproxAgreement {
             self.received.clear();
             for envelope in inbox {
                 if !self.received.iter().any(|(from, _)| *from == envelope.from) {
-                    self.received.push((envelope.from, envelope.payload));
+                    self.received.push((envelope.from, *envelope.payload()));
                 }
             }
             let values: Vec<Real> = self.received.iter().map(|(_, v)| *v).collect();

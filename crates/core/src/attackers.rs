@@ -71,7 +71,7 @@ impl<V: Opinion> Adversary<ConsensusMessage<V>> for MinorityBooster<V> {
             let mut low_support = 0usize;
             let mut high_support = 0usize;
             for msg in view.traffic_to(to) {
-                let value = match &msg.payload {
+                let value = match msg.payload() {
                     ConsensusMessage::Input(v)
                     | ConsensusMessage::Prefer(v)
                     | ConsensusMessage::StrongPrefer(v) => v,
@@ -190,7 +190,7 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Adversary<RbMessage<M>>
         // Find the most-echoed value in this round's correct traffic.
         let mut counts: BTreeMap<&M, usize> = BTreeMap::new();
         for msg in view.correct_traffic {
-            if let RbMessage::Echo(value) = &msg.payload {
+            if let RbMessage::Echo(value) = msg.payload() {
                 *counts.entry(value).or_default() += 1;
             }
         }
@@ -233,7 +233,7 @@ impl<E: Opinion> Adversary<TotalOrderMessage<E>> for MembershipFlapper<E> {
         let current_round = view
             .correct_traffic
             .iter()
-            .filter_map(|msg| match &msg.payload {
+            .filter_map(|msg| match msg.payload() {
                 TotalOrderMessage::Event(round, _) => Some(*round),
                 _ => None,
             })
@@ -310,11 +310,11 @@ mod tests {
         assert!(adv
             .step(&view(4, &traffic))
             .iter()
-            .all(|m| matches!(m.payload, ConsensusMessage::Prefer(_))));
+            .all(|m| matches!(m.payload(), ConsensusMessage::Prefer(_))));
         assert!(adv
             .step(&view(5, &traffic))
             .iter()
-            .all(|m| matches!(m.payload, ConsensusMessage::StrongPrefer(_))));
+            .all(|m| matches!(m.payload(), ConsensusMessage::StrongPrefer(_))));
         // Resolve round: nothing useful to inject.
         assert!(adv.step(&view(7, &traffic)).is_empty());
     }
@@ -342,7 +342,7 @@ mod tests {
         assert!(adv
             .step(&view(2, &traffic))
             .iter()
-            .all(|m| matches!(m.payload, ConsensusMessage::Echo(_))));
+            .all(|m| matches!(m.payload(), ConsensusMessage::Echo(_))));
     }
 
     #[test]
@@ -392,6 +392,6 @@ mod tests {
         let quiet = adv.step(&view(5, &no_traffic));
         assert!(quiet
             .iter()
-            .all(|m| !matches!(m.payload, TotalOrderMessage::Event(_, _))));
+            .all(|m| !matches!(m.payload(), TotalOrderMessage::Event(_, _))));
     }
 }

@@ -182,7 +182,7 @@ impl<V: Opinion> Consensus<V> {
             if !self.senders.contains(envelope.from) {
                 continue;
             }
-            if let ConsensusMessage::Echo(candidate) = &envelope.payload {
+            if let ConsensusMessage::Echo(candidate) = envelope.payload() {
                 self.rotor_echo_buffer
                     .entry(*candidate)
                     .or_default()
@@ -206,7 +206,7 @@ impl<V: Opinion> Consensus<V> {
     {
         let mut tally = VoteTally::new();
         for envelope in inbox {
-            if let Some(value) = extract(&envelope.payload) {
+            if let Some(value) = extract(envelope.payload()) {
                 tally.insert(envelope.from, value.clone());
             }
         }
@@ -349,7 +349,7 @@ impl<V: Opinion> Protocol for Consensus<V> {
                         // The coordinator's opinion (broadcast in the rotor round)
                         // arrives now.
                         let coordinator_opinion = self.phase_coordinator.and_then(|p| {
-                            inbox.iter().find_map(|e| match (&e.payload, e.from) {
+                            inbox.iter().find_map(|e| match (e.payload(), e.from) {
                                 (ConsensusMessage::Opinion(v), from) if from == p => {
                                     Some(v.clone())
                                 }

@@ -75,7 +75,7 @@ impl Protocol for DynamicApproxNode {
             let mut received: Vec<(NodeId, Real)> = Vec::new();
             for envelope in inbox {
                 if !received.iter().any(|(from, _)| *from == envelope.from) {
-                    received.push((envelope.from, envelope.payload));
+                    received.push((envelope.from, *envelope.payload()));
                 }
             }
             let values: Vec<Real> = received.iter().map(|(_, v)| *v).collect();

@@ -122,7 +122,7 @@ mod tests {
         tracker.record(NodeId::new(2));
         tracker.freeze();
         let inbox = vec![envelope(1, 10), envelope(9, 11), envelope(2, 12)];
-        let kept: Vec<u32> = tracker.filter_inbox(&inbox).map(|e| e.payload).collect();
+        let kept: Vec<u32> = tracker.filter_inbox(&inbox).map(|e| *e.payload()).collect();
         assert_eq!(kept, vec![10, 12]);
     }
 }

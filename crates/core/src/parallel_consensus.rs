@@ -120,7 +120,7 @@ impl<V: Opinion> ParallelConsensus<V> {
             if !self.senders.contains(envelope.from) {
                 continue;
             }
-            if let ParallelMessage::Echo(candidate) = &envelope.payload {
+            if let ParallelMessage::Echo(candidate) = envelope.payload() {
                 self.rotor_echo_buffer
                     .entry(*candidate)
                     .or_default()
@@ -138,7 +138,7 @@ impl<V: Opinion> ParallelConsensus<V> {
     ) -> BTreeMap<InstanceId, Vec<(NodeId, InstanceVote<V>)>> {
         let mut votes: BTreeMap<InstanceId, Vec<(NodeId, InstanceVote<V>)>> = BTreeMap::new();
         for envelope in inbox {
-            let vote = match (&envelope.payload, step) {
+            let vote = match (envelope.payload(), step) {
                 (ParallelMessage::Input(id, v), PhaseStep::Prefer) => {
                     Some((*id, InstanceVote::Value(Some(v.clone())), true))
                 }
@@ -317,7 +317,8 @@ impl<V: Opinion> Protocol for ParallelConsensus<V> {
                                 if envelope.from != p {
                                     continue;
                                 }
-                                if let ParallelMessage::Opinion(instance, value) = &envelope.payload
+                                if let ParallelMessage::Opinion(instance, value) =
+                                    envelope.payload()
                                 {
                                     opinions.insert(*instance, value.clone());
                                 }

@@ -146,7 +146,7 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> ReliableBroadcast<M> {
     fn echo_tally(&self, inbox: &[Envelope<RbMessage<M>>]) -> BTreeMap<M, BTreeSet<NodeId>> {
         let mut tally: BTreeMap<M, BTreeSet<NodeId>> = BTreeMap::new();
         for envelope in inbox {
-            if let RbMessage::Echo(m) = &envelope.payload {
+            if let RbMessage::Echo(m) = envelope.payload() {
                 tally.entry(m.clone()).or_default().insert(envelope.from);
             }
         }
@@ -190,7 +190,7 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Protocol for ReliableBr
                 let mut out = Vec::new();
                 for envelope in inbox {
                     if envelope.from == self.source {
-                        if let RbMessage::Init(m) = &envelope.payload {
+                        if let RbMessage::Init(m) = envelope.payload() {
                             out.push(Outgoing::broadcast(RbMessage::Echo(m.clone())));
                         }
                     }

@@ -201,7 +201,7 @@ pub fn tally_rotor_inbox<V: Opinion>(
     let mut echo_votes: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
     let mut opinions: BTreeMap<NodeId, V> = BTreeMap::new();
     for envelope in inbox {
-        match &envelope.payload {
+        match envelope.payload() {
             RotorMessage::Echo(candidate) => {
                 echo_votes
                     .entry(*candidate)

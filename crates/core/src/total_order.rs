@@ -274,8 +274,8 @@ impl<E: Opinion> Protocol for TotalOrderNode<E> {
                     let mut acks: BTreeMap<u64, usize> = BTreeMap::new();
                     let mut senders: BTreeSet<NodeId> = BTreeSet::new();
                     for envelope in inbox {
-                        if let TotalOrderMessage::Ack(r) = envelope.payload {
-                            *acks.entry(r).or_default() += 1;
+                        if let TotalOrderMessage::Ack(r) = envelope.payload() {
+                            *acks.entry(*r).or_default() += 1;
                             senders.insert(envelope.from);
                         }
                     }
@@ -309,7 +309,7 @@ impl<E: Opinion> Protocol for TotalOrderNode<E> {
         let mut event_inputs: Vec<(u64, E)> = Vec::new();
         let mut instance_inbox: BTreeMap<u64, Vec<Envelope<ParallelMessage<E>>>> = BTreeMap::new();
         for envelope in inbox {
-            match &envelope.payload {
+            match envelope.payload() {
                 TotalOrderMessage::Present => {
                     self.members.insert(envelope.from);
                     out.push(Outgoing::unicast(envelope.from, TotalOrderMessage::Ack(r)));

@@ -168,7 +168,7 @@ impl ReplayAdversary {
     }
 }
 
-impl<P: Clone> Adversary<P> for ReplayAdversary {
+impl<P> Adversary<P> for ReplayAdversary {
     fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
         // Pick the lexicographically smallest correct sender as the template.
         let Some(template_sender) = view.correct_ids.iter().copied().min() else {
@@ -179,6 +179,8 @@ impl<P: Clone> Adversary<P> for ReplayAdversary {
             for msg in view.traffic().filter(|m| m.from == template_sender) {
                 let parity_ok = (msg.to.raw() % 2 == 0) == self.visible_to_even_raw_ids;
                 if parity_ok && view.correct_ids.contains(&msg.to) {
+                    // Forward by handle: replayed honest traffic never clones the
+                    // payload (which is why this impl needs no `P: Clone`).
                     out.push(Directed::new(byz, msg.to, msg.payload.clone()));
                 }
             }
@@ -256,6 +258,14 @@ mod tests {
             .all(|m| m.from == NodeId::new(9) && m.payload == 5));
         assert!(out.iter().any(|m| m.to == NodeId::new(2)));
         assert!(out.iter().any(|m| m.to == NodeId::new(4)));
+        // Zero-copy forwarding: the replayed messages share the broadcast's one
+        // payload allocation instead of cloning it.
+        let crate::traffic::TrafficItem::Broadcast { payload, .. } = &traffic.items()[0] else {
+            panic!("first item is the broadcast");
+        };
+        assert!(out
+            .iter()
+            .all(|m| crate::shared::Shared::ptr_eq(&m.payload, payload)));
     }
 
     #[test]

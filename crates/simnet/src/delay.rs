@@ -185,11 +185,14 @@ impl<N: Protocol> DelayEngine<N> {
                     Destination::Broadcast => ids.clone(),
                     Destination::Unicast(to) => vec![to],
                 };
+                // One allocation per produced message; every in-flight copy is a
+                // handle to it, mirroring the synchronous engine's zero-copy plane.
+                let payload = crate::shared::Shared::new(out.payload);
                 for to in recipients {
                     sent += 1;
                     if let Some(delay) = self.model.delay(id, to) {
                         self.in_flight
-                            .push((now + delay, Directed::new(id, to, out.payload.clone())));
+                            .push((now + delay, Directed::new(id, to, payload.clone())));
                     }
                     // A `None` delay means the message is never delivered (asynchronous
                     // omission of cross-partition traffic).
@@ -245,7 +248,7 @@ mod tests {
         }
 
         fn step(&mut self, ctx: &RoundContext, inbox: &[Envelope<u8>]) -> Vec<Outgoing<u8>> {
-            self.heard.extend(inbox.iter().map(|e| e.payload));
+            self.heard.extend(inbox.iter().map(|e| *e.payload()));
             match ctx.round {
                 1 => vec![Outgoing::broadcast(self.input)],
                 2 => vec![],

@@ -6,11 +6,13 @@
 //! `n` nodes, `m` compact traffic items produced this round, and `d` point-to-point
 //! deliveries to correct nodes):
 //!
-//! 1. **Node step — O(n + m).** Every live correct node is handed the inbox
+//! 1. **Produce — O(n + m).** Every live correct node is handed the inbox
 //!    accumulated for it in the previous round and produces its outgoing messages.
 //!    Broadcasts are *not* expanded: a broadcast is stored once as a compact
 //!    [`TrafficItem`](crate::traffic::TrafficItem) in the round's
-//!    [`RoundTraffic`]; inbox buffers are recycled across rounds instead of
+//!    [`RoundTraffic`], and its payload is wrapped into a [`Shared`] handle —
+//!    **the only payload allocation it will ever cost**, with the dedup digest
+//!    computed right there; inbox buffers are recycled across rounds instead of
 //!    reallocated. An opt-in parallel path
 //!    ([`SyncEngine::enable_parallel_stepping`]) fans the stepping out over
 //!    `std::thread::scope` threads once the node count reaches
@@ -19,14 +21,22 @@
 //! 2. **Adversary — O(1) + whatever the strategy reads.** The rushing adversary
 //!    observes the full point-to-point expansion of the round's correct traffic
 //!    through the lazy [`AdversaryView`] iterators (nothing is allocated by the
-//!    engine) and injects arbitrary directed messages; sender identities are
-//!    verified against an O(1) membership index.
-//! 3. **Delivery — O(d) expected.** The compact traffic is expanded *only towards
-//!    correct recipients* (messages to Byzantine identities never materialise —
-//!    the adversary already saw everything via its view), grouped into next-round
-//!    inboxes, and deduplicated per `(sender, payload)` pair through a per-inbox
-//!    payload-hash set: O(1) expected per delivery instead of a linear scan of the
-//!    inbox. Correct-node membership of each recipient is an O(1) index lookup.
+//!    engine) and injects arbitrary directed messages — forwarded honest traffic
+//!    rides on cloned handles, only fabricated payloads allocate; sender
+//!    identities are verified against an O(1) membership index.
+//! 3. **Deliver — O(d) expected, zero-copy.** The compact traffic is expanded
+//!    *only towards correct recipients* (messages to Byzantine identities never
+//!    materialise — the adversary already saw everything via its view), grouped
+//!    into next-round inboxes, and deduplicated per `(sender, payload)` pair
+//!    through a per-inbox `(sender, digest)` set. A delivery is a
+//!    reference-count bump plus a set insert of the payload's **cached** digest:
+//!    no payload clone and no payload hash, regardless of fan-out.
+//!
+//! The wall-clock cost of each phase is accumulated in [`PhaseTimings`]
+//! (`produce` / `adversary` / `deliver` / `step`, where *step* is the bookkeeping
+//! around the phases: churn, inbox staging and recycling, metrics); the scaling
+//! benchmark records the split so "delivery no longer dominates" is a measured
+//! statement.
 //!
 //! The engine supports **dynamic membership** (nodes joining and leaving between
 //! rounds), which Section XI of the paper relies on, via [`SyncEngine::add_node`],
@@ -35,7 +45,8 @@
 //! incrementally, so none of these paths rescans the node vectors.
 
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::time::Instant;
 
 use crate::adversary::{Adversary, AdversaryView};
 use crate::dynamic::{ChurnEvent, ChurnSchedule};
@@ -44,6 +55,7 @@ use crate::id::NodeId;
 use crate::message::{Destination, Directed, Envelope};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::node::{Protocol, RoundContext};
+use crate::shared::Shared;
 use crate::trace::{TraceEvent, TraceLog};
 use crate::traffic::{RoundTraffic, TrafficItem};
 
@@ -137,20 +149,71 @@ struct ChurnDriver<N> {
     applied_upto: u64,
 }
 
+/// A deterministic, multiply-rotate hasher for the engine's *internal* maps
+/// (inbox registry, dedup sets, delivery slot index). These maps are hot — the
+/// dedup set is touched once per delivery — and never observed through their
+/// iteration order, so the default SipHash's DoS resistance buys nothing here.
+/// Collisions are harmless for correctness: the maps store full keys, and a
+/// payload-digest collision still falls back to the exact scan in [`deliver`].
+#[derive(Clone, Copy, Default)]
+struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, value: u64) {
+        self.0 = (self.0.rotate_left(5) ^ value).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.mix(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.mix(value as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so the high bits (hashbrown's control bytes) carry
+        // entropy from every mixed word.
+        let mut hash = self.0;
+        hash ^= hash >> 32;
+        hash = hash.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        hash ^= hash >> 32;
+        hash
+    }
+}
+
+type FastState = BuildHasherDefault<FastHasher>;
+
 /// A recipient's accumulating inbox: the delivered envelopes plus the
-/// `(sender, payload hash)` pairs already seen, for O(1)-expected deduplication.
-/// Buffers are recycled through the engine's spare pool rather than reallocated.
+/// `(sender, payload digest)` pairs already seen, for O(1)-expected
+/// deduplication. Buffers are recycled through the engine's spare pool rather
+/// than reallocated.
 #[derive(Debug)]
 struct Inbox<P> {
     messages: Vec<Envelope<P>>,
-    seen: HashSet<(NodeId, u64)>,
+    seen: HashSet<(NodeId, u64), FastState>,
 }
 
 impl<P> Default for Inbox<P> {
     fn default() -> Self {
         Inbox {
             messages: Vec::new(),
-            seen: HashSet::new(),
+            seen: HashSet::default(),
         }
     }
 }
@@ -162,36 +225,74 @@ impl<P> Inbox<P> {
     }
 }
 
-/// Stable 64-bit payload digest used as the dedup key alongside the sender id.
-/// A hash hit falls back to an exact scan (see [`deliver`]), so a collision can
-/// never drop a genuinely distinct message.
-fn payload_hash<P: Hash>(payload: &P) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    payload.hash(&mut hasher);
-    hasher.finish()
+/// Wall-clock time accumulated in each phase of [`SyncEngine::run_round`], in
+/// nanoseconds. `produce` is phase 1 (nodes consuming inboxes and producing
+/// traffic), `adversary` phase 2, `deliver` phase 3; `step` is the per-round
+/// bookkeeping around them (churn application, inbox staging and recycling,
+/// membership maintenance, metrics). Timings are measurement-only: they never
+/// influence execution, and reports never contain them, so runs stay
+/// bit-for-bit reproducible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Phase 1 — node stepping and traffic production.
+    pub produce_ns: u64,
+    /// Phase 2 — adversary observation and injection.
+    pub adversary_ns: u64,
+    /// Phase 3 — inbox delivery and deduplication.
+    pub deliver_ns: u64,
+    /// Everything else in `run_round` (churn, staging, recycling, metrics).
+    pub step_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Total time spent inside `run_round`.
+    pub fn total_ns(&self) -> u64 {
+        self.produce_ns + self.adversary_ns + self.deliver_ns + self.step_ns
+    }
+
+    /// Name of the phase with the largest accumulated time.
+    pub fn dominant(&self) -> &'static str {
+        let phases = [
+            ("produce", self.produce_ns),
+            ("adversary", self.adversary_ns),
+            ("deliver", self.deliver_ns),
+            ("step", self.step_ns),
+        ];
+        phases
+            .iter()
+            .max_by_key(|(_, ns)| *ns)
+            .map(|(name, _)| *name)
+            .unwrap_or("produce")
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
 }
 
 /// Delivers one point-to-point message into a recipient's next-round inbox,
 /// deduplicating identical `(sender, payload)` pairs as the model prescribes.
+///
+/// Zero-copy and zero-hash: the payload handle is cloned (a reference-count
+/// bump) and its **cached** digest keys the dedup set — neither a payload clone
+/// nor a payload hash happens here. The caller already resolved the recipient's
+/// inbox to a per-round slot, so the common path is one fast-hashed set insert
+/// plus a vector push, regardless of payload size or fan-out.
 #[allow(clippy::too_many_arguments)]
-fn deliver<P: Clone + std::fmt::Debug + PartialEq + Hash>(
-    inboxes: &mut HashMap<NodeId, Inbox<P>>,
-    spare: &mut Vec<Inbox<P>>,
+fn deliver<P: PartialEq>(
+    inbox: &mut Inbox<P>,
     trace: &mut Option<TraceLog<P>>,
     byzantine_index: &HashSet<NodeId>,
     delivery_round: u64,
     from: NodeId,
     to: NodeId,
-    payload: &P,
+    payload: &Shared<P>,
     deliveries: &mut u64,
 ) {
-    let inbox = inboxes
-        .entry(to)
-        .or_insert_with(|| spare.pop().unwrap_or_default());
-    if !inbox.seen.insert((from, payload_hash(payload))) {
-        // The hash pair was already present: either a true duplicate (drop it) or a
-        // 64-bit collision between distinct payloads (deliver anyway). The exact
-        // check runs only on hash hits, so the common path stays O(1).
+    if !inbox.seen.insert((from, payload.digest())) {
+        // The digest pair was already present: either a true duplicate (drop it)
+        // or a 64-bit collision between distinct payloads (deliver anyway). The
+        // exact check runs only on digest hits, so the common path stays O(1).
         if inbox
             .messages
             .iter()
@@ -259,7 +360,7 @@ fn step_parallel<N>(
 ) -> u64
 where
     N: Protocol + Send,
-    N::Payload: Send,
+    N::Payload: Send + Sync,
 {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -288,7 +389,7 @@ where
                         items.push(match message.dest {
                             Destination::Broadcast => TrafficItem::Broadcast {
                                 from: id,
-                                payload: message.payload,
+                                payload: Shared::new(message.payload),
                             },
                             Destination::Unicast(to) => {
                                 TrafficItem::Unicast(Directed::new(id, to, message.payload))
@@ -322,17 +423,25 @@ pub struct SyncEngine<N: Protocol, A: Adversary<N::Payload>> {
     correct_index: HashSet<NodeId>,
     /// O(1) membership index mirroring `byzantine_ids`.
     byzantine_index: HashSet<NodeId>,
-    inboxes: HashMap<NodeId, Inbox<N::Payload>>,
+    inboxes: HashMap<NodeId, Inbox<N::Payload>, FastState>,
     /// Recycled inbox buffers, reused instead of reallocating every round.
     spare_inboxes: Vec<Inbox<N::Payload>>,
     /// Reusable per-node inbox slots for the step phase (aligned with `nodes`).
     step_inboxes: Vec<Option<Inbox<N::Payload>>>,
+    /// Reusable delivery slots (aligned with the round's correct recipients), so
+    /// a broadcast's fan-out indexes straight into its targets instead of paying
+    /// a map lookup per delivery.
+    delivery_slots: Vec<Inbox<N::Payload>>,
+    /// Reusable `NodeId → delivery slot` index, rebuilt each round (one hash op
+    /// per *member* per round instead of one per *delivery*).
+    slot_index: HashMap<NodeId, usize, FastState>,
     /// Reusable compact traffic buffer for the current round.
     traffic: RoundTraffic<N::Payload>,
     /// Installed by [`SyncEngine::enable_parallel_stepping`]; `None` means serial.
     parallel_stepper: Option<StepperFn<N>>,
     round: u64,
     metrics: Metrics,
+    timings: PhaseTimings,
     trace: Option<TraceLog<N::Payload>>,
     config: EngineConfig,
     churn: Option<ChurnDriver<N>>,
@@ -365,13 +474,16 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             byzantine_ids,
             correct_index,
             byzantine_index,
-            inboxes: HashMap::new(),
+            inboxes: HashMap::default(),
             spare_inboxes: Vec::new(),
             step_inboxes: Vec::new(),
+            delivery_slots: Vec::new(),
+            slot_index: HashMap::default(),
             traffic: RoundTraffic::new(),
             parallel_stepper: None,
             round: 0,
             metrics: Metrics::new(),
+            timings: PhaseTimings::default(),
             trace,
             config,
             churn: None,
@@ -487,6 +599,12 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         &self.metrics
     }
 
+    /// Wall-clock time accumulated per round phase since the engine was created
+    /// (see [`PhaseTimings`]). Measurement-only; never part of a report.
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.timings
+    }
+
     /// Overrides the node count at which the parallel step path engages (see
     /// [`EngineConfig::parallel_node_threshold`]). Mostly useful for equivalence
     /// tests that want to force the parallel path at small sizes.
@@ -552,13 +670,15 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
     /// Executes one synchronous round. Returns an error only if the adversary tried
     /// to forge a sender identity or a registered churn event was inapplicable.
     pub fn run_round(&mut self) -> Result<(), SimError> {
+        let step_started = Instant::now();
         self.apply_churn(self.round + 1)?;
         self.round += 1;
         let ctx = RoundContext::new(self.round);
         let correct_ids = self.correct_ids();
 
-        // Phase 1: correct nodes consume their inboxes and produce outgoing
-        // messages, kept compact (broadcasts unexpanded) in the round traffic.
+        // Phase 1 (produce): correct nodes consume their inboxes and produce
+        // outgoing messages, kept compact (broadcasts unexpanded, payloads
+        // allocated once into shared handles) in the round traffic.
         self.traffic.begin_round(
             correct_ids
                 .iter()
@@ -577,12 +697,16 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             Some(parallel) if self.nodes.len() >= self.config.parallel_node_threshold => parallel,
             _ => step_serial::<N>,
         };
+        self.timings.step_ns += elapsed_ns(step_started);
+        let produce_started = Instant::now();
         let live = stepper(
             &mut self.nodes,
             &ctx,
             &mut self.step_inboxes,
             &mut self.traffic,
         );
+        self.timings.produce_ns += elapsed_ns(produce_started);
+        let step_started = Instant::now();
         for mut inbox in self.step_inboxes.drain(..).flatten() {
             inbox.recycle();
             self.spare_inboxes.push(inbox);
@@ -593,9 +717,11 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         // (O(1) membership check per entry).
         let correct_index = &self.correct_index;
         self.inboxes.retain(|id, _| correct_index.contains(id));
+        self.timings.step_ns += elapsed_ns(step_started);
 
-        // Phase 2: the rushing adversary observes the round's traffic (lazily
-        // expanded) and injects its own directed messages.
+        // Phase 2 (adversary): the rushing adversary observes the round's traffic
+        // (lazily expanded) and injects its own directed messages.
+        let adversary_started = Instant::now();
         let view = AdversaryView {
             round: self.round,
             correct_ids: &correct_ids,
@@ -608,11 +734,14 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
                 return Err(SimError::ForgedSender { claimed: msg.from });
             }
         }
+        self.timings.adversary_ns += elapsed_ns(adversary_started);
 
-        // Phase 3: build next-round inboxes. Broadcast payloads are materialised
-        // per *correct* recipient only — messages to Byzantine identities are
-        // "delivered" to the adversary, which already saw everything via the
-        // rushing view, so nothing is stored (or cloned) for them.
+        // Phase 3 (deliver): build next-round inboxes. A broadcast reaches each
+        // *correct* recipient as a reference-count bump of its one shared payload
+        // allocation — messages to Byzantine identities are "delivered" to the
+        // adversary, which already saw everything via the rushing view, so
+        // nothing is stored (or cloned) for them.
+        let deliver_started = Instant::now();
         let correct_count = self.traffic.point_to_point_count();
         let byz_count = byzantine_traffic.len() as u64;
         let delivery_round = self.round + 1;
@@ -621,35 +750,46 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             traffic,
             inboxes,
             spare_inboxes,
+            delivery_slots,
+            slot_index,
             trace,
-            correct_index,
             byzantine_index,
             ..
         } = self;
+        // Stage the correct recipients' inboxes into index-aligned slots (the
+        // round's recipient list leads with the correct nodes, in this exact
+        // order), so a broadcast's fan-out is a straight array walk and a
+        // unicast target costs one fast-map lookup — no per-delivery hashing of
+        // recipient ids.
+        slot_index.clear();
+        delivery_slots.clear();
+        for &id in &correct_ids {
+            let inbox = inboxes
+                .remove(&id)
+                .unwrap_or_else(|| spare_inboxes.pop().unwrap_or_default());
+            slot_index.insert(id, delivery_slots.len());
+            delivery_slots.push(inbox);
+        }
         for item in traffic.items() {
             match item {
                 TrafficItem::Broadcast { from, payload } => {
-                    for &to in traffic.recipients() {
-                        if correct_index.contains(&to) {
-                            deliver(
-                                inboxes,
-                                spare_inboxes,
-                                trace,
-                                byzantine_index,
-                                delivery_round,
-                                *from,
-                                to,
-                                payload,
-                                &mut deliveries,
-                            );
-                        }
+                    for (slot, &to) in delivery_slots.iter_mut().zip(&correct_ids) {
+                        deliver(
+                            slot,
+                            trace,
+                            byzantine_index,
+                            delivery_round,
+                            *from,
+                            to,
+                            payload,
+                            &mut deliveries,
+                        );
                     }
                 }
                 TrafficItem::Unicast(message) => {
-                    if correct_index.contains(&message.to) {
+                    if let Some(&slot) = slot_index.get(&message.to) {
                         deliver(
-                            inboxes,
-                            spare_inboxes,
+                            &mut delivery_slots[slot],
                             trace,
                             byzantine_index,
                             delivery_round,
@@ -663,10 +803,9 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             }
         }
         for message in &byzantine_traffic {
-            if correct_index.contains(&message.to) {
+            if let Some(&slot) = slot_index.get(&message.to) {
                 deliver(
-                    inboxes,
-                    spare_inboxes,
+                    &mut delivery_slots[slot],
                     trace,
                     byzantine_index,
                     delivery_round,
@@ -677,7 +816,20 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
                 );
             }
         }
+        // Unstage: inboxes that accumulated state go back into the registry;
+        // untouched ones return to the spare pool (matching the old lazy
+        // behaviour, which materialised an inbox only on first delivery).
+        for (&id, inbox) in correct_ids.iter().zip(delivery_slots.drain(..)) {
+            if inbox.messages.is_empty() && inbox.seen.is_empty() {
+                spare_inboxes.push(inbox);
+            } else {
+                inboxes.insert(id, inbox);
+            }
+        }
 
+        self.timings.deliver_ns += elapsed_ns(deliver_started);
+
+        let step_started = Instant::now();
         self.metrics.record_round(RoundMetrics {
             round: self.round,
             correct_messages: correct_count,
@@ -685,6 +837,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             deliveries,
             live_correct_nodes: live,
         });
+        self.timings.step_ns += elapsed_ns(step_started);
         Ok(())
     }
 
@@ -769,7 +922,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
 impl<N, A> SyncEngine<N, A>
 where
     N: Protocol + Send,
-    N::Payload: Send,
+    N::Payload: Send + Sync,
     A: Adversary<N::Payload>,
 {
     /// Opts in to the parallel node-step path: once the node count reaches
@@ -977,6 +1130,24 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         assert_eq!(serial_trace, parallel_trace, "delivery order is identical");
+    }
+
+    #[test]
+    fn phase_timings_accumulate_and_name_a_dominant_phase() {
+        let mut engine = SyncEngine::new(nodes(5), SilentAdversary, vec![]);
+        assert_eq!(engine.phase_timings(), PhaseTimings::default());
+        engine.run_rounds(3).unwrap();
+        let timings = engine.phase_timings();
+        assert!(timings.total_ns() > 0, "rounds take measurable time");
+        assert!(
+            timings.total_ns()
+                >= timings
+                    .produce_ns
+                    .max(timings.adversary_ns)
+                    .max(timings.deliver_ns),
+            "the total covers every phase"
+        );
+        assert!(["produce", "adversary", "deliver", "step"].contains(&timings.dominant()));
     }
 
     #[test]

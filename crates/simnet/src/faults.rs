@@ -10,6 +10,9 @@
 //! * [`StaggeredCrash`] — every Byzantine identity crashes at its own round;
 //! * [`Collusion`] — splits the Byzantine identities between two inner strategies;
 //! * [`NoiseAdversary`] — seeded random traffic drawn from a payload generator;
+//! * [`TamperAdversary`] — edits each injected payload in place through the
+//!   copy-on-write [`Shared::modify`](crate::shared::Shared::modify) path (the
+//!   message plane's tamper rule: only an actually edited payload pays a clone);
 //! * [`RecordingAdversary`] — wraps a strategy and counts what it injected (used by
 //!   tests that must assert an attack actually happened).
 //!
@@ -188,6 +191,7 @@ where
 
 impl<P, G> Adversary<P> for NoiseAdversary<P, G>
 where
+    P: std::hash::Hash,
     G: FnMut(&mut SimRng, NodeId) -> P,
 {
     fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
@@ -199,6 +203,44 @@ where
                     out.push(Directed::new(from, to, payload));
                 }
             }
+        }
+        out
+    }
+}
+
+/// Wraps an adversary and edits each injected message's payload in place,
+/// through the message plane's copy-on-write path ([`Shared::modify`](crate::shared::Shared::modify)): a
+/// payload whose handle is shared (e.g. an inner strategy replaying honest
+/// traffic, or fanning one fabrication out to many recipients) is cloned
+/// exactly once at the first edit; a payload the inner strategy owns uniquely
+/// is mutated in place, paying nothing. This is the generic "corrupt what you
+/// relay" attacker — compose it over [`crate::adversary::ReplayAdversary`] to
+/// turn zero-copy replay into a tampering man-in-the-middle.
+pub struct TamperAdversary<A, F> {
+    inner: A,
+    tamper: F,
+}
+
+impl<A, F> TamperAdversary<A, F> {
+    /// Wraps `inner`; `tamper` receives the round, the recipient and the
+    /// payload to edit.
+    pub fn new(inner: A, tamper: F) -> Self {
+        TamperAdversary { inner, tamper }
+    }
+}
+
+impl<P, A, F> Adversary<P> for TamperAdversary<A, F>
+where
+    P: Clone + std::hash::Hash,
+    A: Adversary<P>,
+    F: FnMut(u64, NodeId, &mut P),
+{
+    fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
+        let mut out = self.inner.step(view);
+        for message in &mut out {
+            message
+                .payload
+                .modify(|payload| (self.tamper)(view.round, message.to, payload));
         }
         out
     }
@@ -386,6 +428,54 @@ mod tests {
         assert!(silent.step(&view(1, &t)).is_empty());
         let mut full = NoiseAdversary::new(1, 1.0, |_: &mut SimRng, _| 0u32);
         assert_eq!(full.step(&view(1, &t)).len(), 6);
+    }
+
+    #[test]
+    fn tamper_adversary_edits_through_copy_on_write() {
+        use crate::adversary::ReplayAdversary;
+        use crate::traffic::TrafficItem;
+
+        // The template correct node (n2, the smallest id) broadcasts 100; the
+        // replay adversary forwards the *handle* to the even-raw-id correct
+        // nodes, and the tamper wrapper corrupts each forwarded copy.
+        let mut traffic = RoundTraffic::new();
+        traffic.begin_round(CORRECT.iter().copied().chain(BYZ.iter().copied()));
+        traffic.push_broadcast(CORRECT[0], 100u32);
+
+        let before = crate::shared::allocations();
+        let mut adv =
+            TamperAdversary::new(ReplayAdversary::new(true), |round, _to, p: &mut u32| {
+                *p += round as u32;
+            });
+        let out = adv.step(&view(3, &traffic));
+        // Replay reaches the even-raw-id correct nodes (n2, n4) per Byzantine
+        // identity: 2 × 2 messages, every payload tampered to 103.
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|m| m.payload == 103));
+        // Copy-on-write: every forwarded handle shares the broadcast's one
+        // allocation, so each tampered copy pays exactly one clone — and the
+        // honest payload in the traffic is untouched.
+        assert_eq!(crate::shared::allocations() - before, out.len() as u64);
+        let TrafficItem::Broadcast { payload, .. } = &traffic.items()[0] else {
+            panic!("broadcast item");
+        };
+        assert_eq!(*payload, 100u32, "the honest payload is never edited");
+
+        // A uniquely owned payload (fabricated by the inner strategy) is edited
+        // in place: the tamper layer adds zero allocations on top.
+        let before = crate::shared::allocations();
+        let inner = FnAdversary::new(|v: &AdversaryView<'_, u32>| {
+            vec![Directed::new(v.byzantine_ids[0], CORRECT[0], 7u32)]
+        });
+        let mut adv = TamperAdversary::new(inner, |_round, _to, p: &mut u32| *p = 9);
+        let out = adv.step(&view(1, &traffic));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 9u32);
+        assert_eq!(
+            crate::shared::allocations() - before,
+            1,
+            "one fabrication, zero tamper clones"
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! (implemented in `uba-baselines`) run:
 //!
 //! * [`NodeId`] and [`IdSpace`] — unique, non-consecutive identifier generation;
+//! * [`Shared`] — the reference-counted, digest-caching payload handle behind the
+//!   zero-copy message plane (one allocation per payload, regardless of fan-out);
 //! * [`Protocol`] — the state-machine interface a correct node implements;
 //! * [`Adversary`] — the interface through which Byzantine nodes inject traffic,
 //!   with a *rushing* view of the round's correct messages;
@@ -88,6 +90,7 @@ pub mod message;
 pub mod metrics;
 pub mod node;
 pub mod rng;
+pub mod shared;
 pub mod sim;
 pub mod stats;
 pub mod sweep;
@@ -98,13 +101,16 @@ pub use adversary::{Adversary, AdversaryView, FnAdversary, SilentAdversary};
 pub use attack::{ActorRange, AttackBehavior, AttackPlan, AttackStep, PlanAdversary};
 pub use delay::{DelayEngine, DelayModel, PartitionSpec};
 pub use dynamic::{ChurnEvent, ChurnSchedule};
-pub use engine::{EngineConfig, RunOutcome, SyncEngine};
+pub use engine::{EngineConfig, PhaseTimings, RunOutcome, SyncEngine};
 pub use error::SimError;
-pub use faults::{Collusion, NoiseAdversary, RecordingAdversary, RoundWindow, StaggeredCrash};
+pub use faults::{
+    Collusion, NoiseAdversary, RecordingAdversary, RoundWindow, StaggeredCrash, TamperAdversary,
+};
 pub use id::{IdSpace, NodeId};
 pub use message::{Destination, Directed, Envelope, Outgoing};
 pub use metrics::{Metrics, RoundMetrics};
 pub use node::{Protocol, RoundContext};
+pub use shared::Shared;
 pub use sim::{
     AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
     RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,

@@ -4,10 +4,19 @@
 //! ([`Envelope::from`]), so a Byzantine node cannot forge its identity when talking
 //! directly to another node — exactly the guarantee the paper's model gives.
 //! Payloads themselves are protocol-defined and completely opaque to the engine.
+//!
+//! Everything on the *receive side* — [`Envelope`], [`Directed`], the traffic plane
+//! in [`traffic`](crate::traffic) — stores its payload behind a [`Shared`] handle:
+//! a broadcast's payload is allocated once and every recipient's envelope holds a
+//! reference-count bump of the same allocation. Only the *produce side*
+//! ([`Outgoing`]) carries an owned payload, because a node's freshly produced
+//! message is the one place a payload legitimately comes into existence.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
+use std::hash::Hash;
 
 use crate::id::NodeId;
+use crate::shared::Shared;
 
 /// Where an outgoing message should be delivered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -25,6 +34,9 @@ pub enum Destination {
 }
 
 /// A message produced by a correct node in a round, before the sender id is attached.
+///
+/// The payload is owned: production is where a payload is born. The engine wraps it
+/// into a [`Shared`] handle exactly once when it enters the round's traffic.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Outgoing<P> {
     /// Where the message goes.
@@ -51,49 +63,160 @@ impl<P> Outgoing<P> {
     }
 }
 
-/// A message as delivered to a recipient: payload plus the authenticated sender id.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// A message as delivered to a recipient: shared payload plus the authenticated
+/// sender id.
+///
+/// Every recipient of a broadcast holds an envelope whose `payload` handle points at
+/// the *same* allocation; inspect it through [`Envelope::payload`] (or deref the
+/// field). Cloning an envelope clones the handle, never the payload.
+#[derive(Debug)]
 pub struct Envelope<P> {
     /// The true identifier of the sender (attached by the network, unforgeable).
     pub from: NodeId,
-    /// Protocol-defined payload.
-    pub payload: P,
+    /// Protocol-defined payload, shared across all recipients of a broadcast.
+    pub payload: Shared<P>,
 }
 
 impl<P> Envelope<P> {
-    /// Creates an envelope.
-    pub fn new(from: NodeId, payload: P) -> Self {
-        Envelope { from, payload }
+    /// Creates an envelope. Accepts either an owned payload (allocated into a fresh
+    /// handle) or an existing [`Shared`] handle (forwarded without a copy).
+    pub fn new(from: NodeId, payload: impl Into<Shared<P>>) -> Self {
+        Envelope {
+            from,
+            payload: payload.into(),
+        }
+    }
+
+    /// The payload value (the method shadows the field for ergonomic matching:
+    /// `match envelope.payload() { … }`).
+    pub fn payload(&self) -> &P {
+        &self.payload
     }
 }
 
-/// A fully addressed message: sender, recipient and payload.
+impl<P> Clone for Envelope<P> {
+    /// A handle clone — no payload copy, regardless of `P`.
+    fn clone(&self) -> Self {
+        Envelope {
+            from: self.from,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+impl<P: PartialEq> PartialEq for Envelope<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.from == other.from && self.payload == other.payload
+    }
+}
+
+impl<P: Eq> Eq for Envelope<P> {}
+
+impl<P: Serialize> Serialize for Envelope<P> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("from".to_string(), self.from.to_value()),
+            ("payload".to_string(), self.payload.to_value()),
+        ])
+    }
+}
+
+impl<P: Deserialize + Hash> Deserialize for Envelope<P> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Envelope {
+            from: field(value, "from")?,
+            payload: field(value, "payload")?,
+        })
+    }
+}
+
+/// A fully addressed message: sender, recipient and shared payload.
 ///
 /// This is the form in which the [`Adversary`](crate::Adversary) injects traffic —
 /// Byzantine nodes may send *different* payloads to different recipients
 /// (equivocation), which is why the adversary works with `Directed` messages rather
 /// than [`Outgoing`] ones. The engine verifies that `from` is one of the adversary's
 /// own identities, so even a Byzantine node cannot forge someone else's sender id.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// An adversary that *forwards* observed honest traffic passes the handle along
+/// (one reference-count bump); only a message it actually fabricates or tampers
+/// with allocates a payload.
+#[derive(Debug)]
 pub struct Directed<P> {
     /// Claimed (and engine-verified) sender.
     pub from: NodeId,
     /// Recipient.
     pub to: NodeId,
-    /// Protocol-defined payload.
-    pub payload: P,
+    /// Protocol-defined payload, possibly shared with other messages.
+    pub payload: Shared<P>,
 }
 
 impl<P> Directed<P> {
-    /// Creates a directed message.
-    pub fn new(from: NodeId, to: NodeId, payload: P) -> Self {
-        Directed { from, to, payload }
+    /// Creates a directed message from an owned payload or an existing handle.
+    pub fn new(from: NodeId, to: NodeId, payload: impl Into<Shared<P>>) -> Self {
+        Directed {
+            from,
+            to,
+            payload: payload.into(),
+        }
     }
+
+    /// The payload value (method shadowing the field, for ergonomic matching).
+    pub fn payload(&self) -> &P {
+        &self.payload
+    }
+}
+
+impl<P> Clone for Directed<P> {
+    /// A handle clone — no payload copy, regardless of `P`.
+    fn clone(&self) -> Self {
+        Directed {
+            from: self.from,
+            to: self.to,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+impl<P: PartialEq> PartialEq for Directed<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.from == other.from && self.to == other.to && self.payload == other.payload
+    }
+}
+
+impl<P: Eq> Eq for Directed<P> {}
+
+impl<P: Serialize> Serialize for Directed<P> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("from".to_string(), self.from.to_value()),
+            ("to".to_string(), self.to.to_value()),
+            ("payload".to_string(), self.payload.to_value()),
+        ])
+    }
+}
+
+impl<P: Deserialize + Hash> Deserialize for Directed<P> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Directed {
+            from: field(value, "from")?,
+            to: field(value, "to")?,
+            payload: field(value, "payload")?,
+        })
+    }
+}
+
+/// Deserialises one named field of an object [`Value`] (the impls above are
+/// hand-written because the shared payload field needs a `P: Hash` bound the
+/// derive does not know to add).
+fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    T::from_value(value.field(name)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::Shared;
 
     #[test]
     fn constructors_set_fields() {
@@ -107,10 +230,11 @@ mod tests {
 
         let e = Envelope::new(NodeId::new(1), "hi");
         assert_eq!(e.from, NodeId::new(1));
+        assert_eq!(*e.payload(), "hi");
 
         let d = Directed::new(NodeId::new(1), NodeId::new(2), 9u8);
         assert_eq!(
-            (d.from, d.to, d.payload),
+            (d.from, d.to, *d.payload()),
             (NodeId::new(1), NodeId::new(2), 9)
         );
     }
@@ -122,5 +246,32 @@ mod tests {
             Destination::Unicast(NodeId::new(5)),
             Destination::Unicast(NodeId::new(5))
         );
+    }
+
+    #[test]
+    fn envelopes_accept_and_forward_shared_handles() {
+        let handle = Shared::new(41u64);
+        let a = Envelope::new(NodeId::new(1), handle.clone());
+        let b = a.clone();
+        assert!(
+            Shared::ptr_eq(&a.payload, &b.payload),
+            "cloning an envelope shares the payload"
+        );
+        assert!(Shared::ptr_eq(&a.payload, &handle));
+        assert_eq!(a, b);
+        // Value comparison works directly against a payload.
+        assert_eq!(a.payload, 41u64);
+    }
+
+    #[test]
+    fn directed_serde_round_trips_with_the_derived_shape() {
+        let d = Directed::new(NodeId::new(1), NodeId::new(2), 9u64);
+        let value = Serialize::to_value(&d);
+        let back: Directed<u64> = Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, d);
+
+        let e = Envelope::new(NodeId::new(4), 5u32);
+        let back: Envelope<u32> = Deserialize::from_value(&Serialize::to_value(&e)).unwrap();
+        assert_eq!(back, e);
     }
 }

@@ -1,0 +1,272 @@
+//! Shared, immutable message payloads.
+//!
+//! The eager engine cloned every payload once per recipient, so one broadcast at
+//! `n = 256` cost 256 payload clones (and 256 dedup hashes) before a single node
+//! stepped. [`Shared<P>`] is the zero-copy alternative threaded through the whole
+//! message plane: a thin reference-counted handle over an immutable payload that
+//!
+//! * allocates the payload **exactly once** — [`Shared::new`] is the only place a
+//!   payload is ever materialised, and it bumps a process-wide counter that tests
+//!   assert against ([`Shared::allocations`]);
+//! * carries a **cached digest** — the same 64-bit value the engine's dedup set
+//!   used to recompute per delivery is now computed once per allocation
+//!   ([`Shared::digest`]), so delivering a broadcast to `k` recipients hashes the
+//!   payload once, not `k` times;
+//! * compares and hashes **by value**, so inboxes, dedup fallbacks and recorded
+//!   traces behave exactly as if they stored owned payloads;
+//! * is **copy-on-write**: forwarding a handle ([`Clone`]) is a reference-count
+//!   bump; only a mutation through [`Shared::modify`] pays a payload clone, and
+//!   only when the handle is actually shared.
+//!
+//! The handle is an [`Arc`] rather than an `Rc` because the engine's opt-in
+//! parallel node-step path moves inboxes (and the traffic produced by worker
+//! threads) across `std::thread::scope` threads; the atomic reference-count bump
+//! is still orders of magnitude cheaper than the deep clones it replaces.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Process-wide count of payload allocations (see [`Shared::allocations`]).
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The digest the dedup set keys on: identical to hashing the payload through
+/// `DefaultHasher` directly, so executions are bit-for-bit identical to the
+/// engine that hashed per delivery.
+fn digest_of<P: Hash>(value: &P) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+struct SharedInner<P> {
+    digest: u64,
+    value: P,
+}
+
+/// A reference-counted, immutable payload handle (see module docs).
+///
+/// `Shared<P>` derefs to `P`, compares/hashes by value, and passes through serde
+/// transparently, so it can replace `P` in any receive-side position without
+/// changing observable behaviour — only the allocation profile.
+pub struct Shared<P>(Arc<SharedInner<P>>);
+
+impl<P: Hash> Shared<P> {
+    /// Wraps a payload, computing its dedup digest once. This is the **only**
+    /// constructor — every call is one payload allocation, counted in
+    /// [`Shared::allocations`].
+    pub fn new(value: P) -> Self {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let digest = digest_of(&value);
+        Shared(Arc::new(SharedInner { digest, value }))
+    }
+}
+
+impl<P> Shared<P> {
+    /// The wrapped payload.
+    pub fn get(&self) -> &P {
+        &self.0.value
+    }
+
+    /// The payload's cached 64-bit digest (computed once, at allocation).
+    pub fn digest(&self) -> u64 {
+        self.0.digest
+    }
+
+    /// Whether two handles point at the *same* allocation — the zero-copy
+    /// witness: a forwarded or fan-out-delivered payload keeps its pointer.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// The allocation's address, as an opaque token. Distinct live handles with
+    /// equal tokens share one allocation; tests use this to prove a delivery
+    /// fan-out did not silently re-materialise payloads.
+    pub fn token(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+}
+
+/// Total payloads allocated by this process so far (monotone counter, bumped by
+/// every [`Shared::new`]). Subtract two readings to measure the allocations of a
+/// code region — the allocation-counting tests assert a broadcast round costs
+/// O(#broadcasts), not O(n · #broadcasts).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+impl<P: Hash + Clone> Shared<P> {
+    /// Copy-on-write mutation: applies `mutate` to the payload, cloning it first
+    /// **only if** the handle is shared, and recomputes the cached digest. This
+    /// is the in-place tamper primitive — the
+    /// [`TamperAdversary`](crate::faults::TamperAdversary) combinator edits
+    /// relayed traffic through it, so an edited forward pays exactly one clone
+    /// while honest forwarding stays a reference-count bump. (The scripted
+    /// attacks that fabricate whole payloads go through [`Shared::new`]
+    /// instead: one allocation per *distinct* fabrication.)
+    pub fn modify(&mut self, mutate: impl FnOnce(&mut P)) {
+        match Arc::get_mut(&mut self.0) {
+            Some(inner) => {
+                mutate(&mut inner.value);
+                inner.digest = digest_of(&inner.value);
+            }
+            None => {
+                let mut value = self.0.value.clone();
+                mutate(&mut value);
+                *self = Shared::new(value);
+            }
+        }
+    }
+}
+
+impl<P> Clone for Shared<P> {
+    /// A reference-count bump — never a payload clone.
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<P> std::ops::Deref for Shared<P> {
+    type Target = P;
+
+    fn deref(&self) -> &P {
+        &self.0.value
+    }
+}
+
+impl<P> AsRef<P> for Shared<P> {
+    fn as_ref(&self) -> &P {
+        &self.0.value
+    }
+}
+
+impl<P: Hash> From<P> for Shared<P> {
+    fn from(value: P) -> Self {
+        Shared::new(value)
+    }
+}
+
+impl<P: fmt::Debug> fmt::Debug for Shared<P> {
+    /// Transparent: renders exactly like the wrapped payload, so debug output
+    /// recorded in reports is unchanged.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.value.fmt(f)
+    }
+}
+
+impl<P: PartialEq> PartialEq for Shared<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.value == other.0.value
+    }
+}
+
+impl<P: Eq> Eq for Shared<P> {}
+
+/// Compare a handle directly against a payload value (`envelope.payload == X`).
+impl<P: PartialEq> PartialEq<P> for Shared<P> {
+    fn eq(&self, other: &P) -> bool {
+        self.0.value == *other
+    }
+}
+
+impl<P: Hash> Hash for Shared<P> {
+    /// By value, consistent with `Eq` (the cached digest is an engine-internal
+    /// fast path, not the `Hash` impl).
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.value.hash(state);
+    }
+}
+
+impl<P: Serialize> Serialize for Shared<P> {
+    fn to_value(&self) -> Value {
+        self.0.value.to_value()
+    }
+}
+
+impl<P: Deserialize + Hash> Deserialize for Shared<P> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        P::from_value(value).map(Shared::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let before = allocations();
+        let a = Shared::new(vec![1u32, 2, 3]);
+        let b = a.clone();
+        assert_eq!(allocations() - before, 1, "one allocation, two handles");
+        assert!(Shared::ptr_eq(&a, &b));
+        assert_eq!(a.token(), b.token());
+        assert_eq!(a, b);
+        assert_eq!(*a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn digest_matches_default_hasher() {
+        let payload = ("hello", 42u64);
+        let shared = Shared::new(payload);
+        assert_eq!(shared.digest(), digest_of(&payload));
+        // Hash-by-value: a map keyed on Shared behaves like one keyed on P.
+        let direct = digest_of(&payload);
+        let via_handle = digest_of(&shared);
+        assert_eq!(direct, via_handle);
+    }
+
+    #[test]
+    fn equality_is_by_value_across_allocations() {
+        let a = Shared::new(7u64);
+        let b = Shared::new(7u64);
+        assert_eq!(a, b);
+        assert!(!Shared::ptr_eq(&a, &b));
+        assert_eq!(a, 7u64, "direct payload comparison");
+        assert_ne!(a, Shared::new(8u64));
+    }
+
+    #[test]
+    fn modify_is_copy_on_write() {
+        let before = allocations();
+        let mut unique = Shared::new(10u64);
+        unique.modify(|v| *v += 1);
+        assert_eq!(*unique, 11);
+        assert_eq!(
+            allocations() - before,
+            1,
+            "a unique handle mutates in place"
+        );
+        assert_eq!(
+            unique.digest(),
+            digest_of(&11u64),
+            "digest tracks the value"
+        );
+
+        let shared = unique.clone();
+        let mut tampered = shared.clone();
+        tampered.modify(|v| *v = 99);
+        assert_eq!(*shared, 11, "the original is untouched");
+        assert_eq!(*tampered, 99);
+        assert!(!Shared::ptr_eq(&shared, &tampered));
+        assert_eq!(allocations() - before, 2, "only the tamper paid a clone");
+    }
+
+    #[test]
+    fn serde_passes_through_transparently() {
+        let shared = Shared::new(vec![1u64, 2, 3]);
+        let value = Serialize::to_value(&shared);
+        assert_eq!(value, Serialize::to_value(&vec![1u64, 2, 3]));
+        let back: Shared<Vec<u64>> = Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, shared);
+        assert_eq!(back.digest(), shared.digest());
+    }
+
+    #[test]
+    fn debug_renders_the_payload_only() {
+        assert_eq!(format!("{:?}", Shared::new(5u8)), "5");
+    }
+}

@@ -268,21 +268,29 @@ impl ScenarioBuilder {
     /// Generates the identifier split for this spec: the first `correct` generated
     /// identifiers are the correct nodes, the rest belong to the adversary.
     pub fn context(&self) -> BuildContext {
+        self.clone().into_context()
+    }
+
+    /// Like [`ScenarioBuilder::context`], but consumes the builder so the spec is
+    /// *moved* into the context instead of cloned — the build paths below use
+    /// this, which leaves exactly one owned [`ScenarioSpec`] per run (the one the
+    /// final [`RunReport`] carries).
+    pub fn into_context(self) -> BuildContext {
         let ids = self.spec.id_space.generate(self.spec.n(), self.spec.seed);
         let (correct_ids, byzantine_ids) = ids.split_at(self.spec.correct);
         BuildContext {
-            spec: self.spec.clone(),
             correct_ids: correct_ids.to_vec(),
             byzantine_ids: byzantine_ids.to_vec(),
+            spec: self.spec,
         }
     }
 
     /// Builds a typed [`Harness`] for a protocol, with the adversary selected by the
     /// scenario's [`AttackPlan`] (when one is attached) or its [`AdversaryKind`].
     pub fn build<F: ProtocolFactory>(self, factory: F) -> Harness<F> {
-        let ctx = self.context();
-        let named = match ctx.spec.attack.clone() {
-            Some(plan) => compile_attack_plan(&factory, &plan, &ctx),
+        let ctx = self.into_context();
+        let named = match &ctx.spec.attack {
+            Some(plan) => compile_attack_plan(&factory, plan, &ctx),
             None => factory.adversary(ctx.spec.adversary, &ctx),
         };
         Harness::assemble(factory, ctx, named.strategy, named.name)
@@ -301,7 +309,7 @@ impl ScenarioBuilder {
         F: ProtocolFactory,
         A: Adversary<<F::Node as Protocol>::Payload> + 'static,
     {
-        let ctx = self.context();
+        let ctx = self.into_context();
         Harness::assemble(factory, ctx, Box::new(adversary), adversary_name.into())
     }
 }
@@ -531,10 +539,26 @@ impl<F: ProtocolFactory> Harness<F> {
     pub fn parallel_stepping(mut self) -> Self
     where
         F::Node: Send,
-        <F::Node as Protocol>::Payload: Send,
+        <F::Node as Protocol>::Payload: Send + Sync,
     {
         self.engine.enable_parallel_stepping();
         self
+    }
+
+    /// Overrides the node count at which the parallel step path engages. The CI
+    /// count-drift gate runs the same grid at two thresholds and asserts the
+    /// reports are identical, so serial/parallel divergence cannot land silently.
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.engine.set_parallel_node_threshold(threshold);
+        self
+    }
+
+    /// Wall-clock time accumulated per engine phase across the run so far (see
+    /// [`PhaseTimings`](crate::engine::PhaseTimings)). Measurement-only — reports
+    /// never contain timings, so recorded baselines stay byte-identical across
+    /// machines.
+    pub fn phase_timings(&self) -> crate::engine::PhaseTimings {
+        self.engine.phase_timings()
     }
 
     /// Overrides the stop condition.
@@ -601,6 +625,12 @@ impl<F: ProtocolFactory> Harness<F> {
         Ok(report)
     }
 
+    /// Assembles the protocol-agnostic report skeleton from *borrowed* context.
+    /// The scenario spec was moved (not cloned) into the context at build time and
+    /// is cloned exactly once here, into the report that owns it — the single
+    /// payload-independent copy a run makes. Everything else is read through
+    /// references; the harness, engine and nodes stay untouched and inspectable
+    /// after the run.
     fn base_report(&self, status: RunStatus) -> RunReport {
         let metrics = self.engine.metrics();
         let payload_size = std::mem::size_of::<<F::Node as Protocol>::Payload>() as u64;

@@ -5,13 +5,22 @@
 //! and by the experiment runner when a detailed view of an execution is needed — for
 //! instance to verify the *relay* property of reliable broadcast, which is a statement
 //! about the rounds in which different correct nodes accept.
+//!
+//! Events hold their payload behind the same [`Shared`] handle the inboxes use, so
+//! tracing a broadcast-heavy run costs one payload allocation per *message*, not per
+//! delivery — and the handle tokens let consumers (see `uba_checker`'s trace
+//! attribution) verify that a delivery fan-out really shared its payload instead of
+//! silently re-materialising it.
 
-use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::id::NodeId;
+use crate::shared::Shared;
 
 /// A single delivered message.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct TraceEvent<P> {
     /// Round at the beginning of which the message was delivered.
     pub round: u64,
@@ -21,17 +30,75 @@ pub struct TraceEvent<P> {
     pub to: NodeId,
     /// Whether the sender was controlled by the adversary.
     pub byzantine: bool,
-    /// Payload as delivered.
-    pub payload: P,
+    /// Payload as delivered (a handle shared with the recipient's inbox).
+    pub payload: Shared<P>,
+}
+
+impl<P> TraceEvent<P> {
+    /// The payload value (method shadowing the field, for ergonomic matching).
+    pub fn payload(&self) -> &P {
+        &self.payload
+    }
+}
+
+impl<P> Clone for TraceEvent<P> {
+    /// A handle clone — no payload copy, regardless of `P`.
+    fn clone(&self) -> Self {
+        TraceEvent {
+            round: self.round,
+            from: self.from,
+            to: self.to,
+            byzantine: self.byzantine,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+impl<P: PartialEq> PartialEq for TraceEvent<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.round == other.round
+            && self.from == other.from
+            && self.to == other.to
+            && self.byzantine == other.byzantine
+            && self.payload == other.payload
+    }
+}
+
+impl<P: Eq> Eq for TraceEvent<P> {}
+
+impl<P: Serialize> Serialize for TraceEvent<P> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("round".to_string(), self.round.to_value()),
+            ("from".to_string(), self.from.to_value()),
+            ("to".to_string(), self.to.to_value()),
+            ("byzantine".to_string(), self.byzantine.to_value()),
+            ("payload".to_string(), self.payload.to_value()),
+        ])
+    }
+}
+
+impl<P: Deserialize + Hash> Deserialize for TraceEvent<P> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(TraceEvent {
+            round: field(value, "round")?,
+            from: field(value, "from")?,
+            to: field(value, "to")?,
+            byzantine: field(value, "byzantine")?,
+            payload: field(value, "payload")?,
+        })
+    }
 }
 
 /// A bounded log of delivered messages.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceLog<P> {
     events: Vec<TraceEvent<P>>,
     capacity: usize,
     dropped: u64,
 }
+
+impl<P: Eq> Eq for TraceLog<P> {}
 
 impl<P> TraceLog<P> {
     /// Creates a trace log that keeps at most `capacity` events; further events are
@@ -74,6 +141,33 @@ impl<P> TraceLog<P> {
     }
 }
 
+impl<P: Serialize> Serialize for TraceLog<P> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("events".to_string(), self.events.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("dropped".to_string(), self.dropped.to_value()),
+        ])
+    }
+}
+
+impl<P: Deserialize + Hash> Deserialize for TraceLog<P> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(TraceLog {
+            events: field(value, "events")?,
+            capacity: field(value, "capacity")?,
+            dropped: field(value, "dropped")?,
+        })
+    }
+}
+
+/// Deserialises one named field of an object [`Value`] (the impls above are
+/// hand-written because the shared payload field needs a `P: Hash` bound the
+/// derive does not know to add).
+fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    T::from_value(value.field(name)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,7 +178,7 @@ mod tests {
             from: NodeId::new(from),
             to: NodeId::new(to),
             byzantine: byz,
-            payload: 0,
+            payload: Shared::new(0),
         }
     }
 
@@ -107,5 +201,14 @@ mod tests {
         assert_eq!(log.in_round(2).count(), 2);
         assert_eq!(log.to_node(NodeId::new(2)).count(), 2);
         assert_eq!(log.to_node(NodeId::new(9)).count(), 0);
+    }
+
+    #[test]
+    fn serde_round_trips_events_and_logs() {
+        let mut log = TraceLog::with_capacity(4);
+        log.record(ev(1, 1, 2, false));
+        log.record(ev(2, 3, 1, true));
+        let back: TraceLog<u32> = Deserialize::from_value(&Serialize::to_value(&log)).unwrap();
+        assert_eq!(back, log);
     }
 }

@@ -1,18 +1,21 @@
-//! Broadcast-aware round traffic.
+//! Broadcast-aware, shared-payload round traffic.
 //!
 //! The engine used to expand every broadcast into `n` cloned [`Directed`] messages
 //! the moment a node produced it, which made each round cost O(messages × n) in
 //! allocation alone. [`RoundTraffic`] keeps a round's correct traffic in its compact
 //! form instead — one [`TrafficItem::Broadcast`] entry per broadcast, holding a
-//! single payload — and only materialises point-to-point messages where someone
-//! actually consumes them:
+//! single [`Shared`] payload handle — and only materialises point-to-point messages
+//! where someone actually consumes them:
 //!
-//! * the engine walks the items once at delivery time, cloning a broadcast payload
-//!   only per *correct* recipient (messages to Byzantine identities never exist as
-//!   values; the adversary already saw everything through its view);
+//! * the engine walks the items once at delivery time; a broadcast's payload is
+//!   allocated (and digest-hashed) **exactly once**, in [`RoundTraffic::push_broadcast`],
+//!   and every correct recipient's envelope is a reference-count bump of that one
+//!   allocation (messages to Byzantine identities never exist as values; the
+//!   adversary already saw everything through its view);
 //! * a rushing adversary observes the full point-to-point expansion through the
 //!   lazy [`RoundTraffic::iter`] / [`RoundTraffic::to`] iterators, which yield
-//!   borrowed [`SentRef`]s without allocating.
+//!   borrowed [`SentRef`]s without allocating, and forwards whatever it wants to
+//!   replay by cloning the handle — not the payload.
 //!
 //! The expansion order is fixed — items in production order, broadcast recipients
 //! in the engine's recipient order (correct nodes first, then Byzantine
@@ -20,35 +23,52 @@
 
 use crate::id::NodeId;
 use crate::message::Directed;
+use crate::shared::Shared;
 
 /// One message-production event of a round, in its compact form.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum TrafficItem<P> {
     /// A broadcast to every current member (including the sender); the payload is
-    /// stored once, not once per recipient.
+    /// allocated once, not once per recipient.
     Broadcast {
         /// The broadcasting node.
         from: NodeId,
-        /// The payload every member receives.
-        payload: P,
+        /// The payload every member receives (one allocation, shared handles).
+        payload: Shared<P>,
     },
     /// A point-to-point message.
     Unicast(Directed<P>),
 }
 
+impl<P: Eq> Eq for TrafficItem<P> {}
+
 /// A borrowed view of one point-to-point message in the round's expansion.
 ///
 /// This is what the lazy iterators yield: sender, recipient and a reference to the
-/// (possibly shared) payload. Adversaries that need an owned message call
-/// [`SentRef::to_directed`].
+/// shared payload handle. Adversaries that forward a message call
+/// [`SentRef::to_directed`], which clones the handle — never the payload.
 #[derive(Debug)]
 pub struct SentRef<'a, P> {
     /// The sending correct node.
     pub from: NodeId,
     /// The recipient.
     pub to: NodeId,
-    /// The payload (shared across all recipients of a broadcast).
-    pub payload: &'a P,
+    /// The payload handle (shared across all recipients of a broadcast).
+    pub payload: &'a Shared<P>,
+}
+
+impl<'a, P> SentRef<'a, P> {
+    /// The payload value, borrowed for the traffic's full lifetime (method
+    /// shadowing the field, for ergonomic matching).
+    pub fn payload(&self) -> &'a P {
+        self.payload.get()
+    }
+
+    /// Materialises the message as an owned [`Directed`] value by forwarding the
+    /// payload handle (a reference-count bump, not a payload clone).
+    pub fn to_directed(&self) -> Directed<P> {
+        Directed::new(self.from, self.to, self.payload.clone())
+    }
 }
 
 impl<P> Clone for SentRef<'_, P> {
@@ -59,19 +79,12 @@ impl<P> Clone for SentRef<'_, P> {
 
 impl<P> Copy for SentRef<'_, P> {}
 
-impl<P: Clone> SentRef<'_, P> {
-    /// Materialises the message as an owned [`Directed`] value.
-    pub fn to_directed(&self) -> Directed<P> {
-        Directed::new(self.from, self.to, self.payload.clone())
-    }
-}
-
 /// A round's correct traffic in compact, broadcast-aware form.
 ///
 /// Built by the engine during the node-step phase; read by the adversary (lazily
 /// expanded) and by the delivery phase (expanded only towards correct recipients).
 /// The buffers are reused across rounds via [`RoundTraffic::begin_round`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RoundTraffic<P> {
     items: Vec<TrafficItem<P>>,
     recipients: Vec<NodeId>,
@@ -110,10 +123,15 @@ impl<P> RoundTraffic<P> {
         self.broadcasts = 0;
     }
 
-    /// Records a broadcast (one payload, every recipient).
-    pub fn push_broadcast(&mut self, from: NodeId, payload: P) {
+    /// Records a broadcast: the one place its payload is allocated, regardless of
+    /// how many recipients the expansion reaches. Accepts an owned payload or an
+    /// existing handle.
+    pub fn push_broadcast(&mut self, from: NodeId, payload: impl Into<Shared<P>>) {
         self.broadcasts += 1;
-        self.items.push(TrafficItem::Broadcast { from, payload });
+        self.items.push(TrafficItem::Broadcast {
+            from,
+            payload: payload.into(),
+        });
     }
 
     /// Records a unicast.
@@ -185,6 +203,13 @@ impl<P> RoundTraffic<P> {
             _ => None,
         })
     }
+
+    /// Number of payload allocations the compact form holds — one per item. The
+    /// zero-copy invariant asserted by tests: this never depends on the recipient
+    /// count.
+    pub fn payload_allocations(&self) -> u64 {
+        self.items.len() as u64
+    }
 }
 
 impl<'a, P> IntoIterator for &'a RoundTraffic<P> {
@@ -202,7 +227,7 @@ pub struct TrafficIter<'a, P> {
     items: std::slice::Iter<'a, TrafficItem<P>>,
     recipients: &'a [NodeId],
     /// A broadcast mid-expansion: sender, payload, index of the next recipient.
-    pending: Option<(NodeId, &'a P, usize)>,
+    pending: Option<(NodeId, &'a Shared<P>, usize)>,
 }
 
 impl<'a, P> Iterator for TrafficIter<'a, P> {
@@ -236,6 +261,7 @@ impl<'a, P> Iterator for TrafficIter<'a, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::Shared;
 
     fn n(raw: u64) -> NodeId {
         NodeId::new(raw)
@@ -267,17 +293,43 @@ mod tests {
             ]
         );
         assert_eq!(traffic.point_to_point_count(), 7);
+        assert_eq!(
+            traffic.payload_allocations(),
+            3,
+            "one per item, not per copy"
+        );
+    }
+
+    #[test]
+    fn expansion_shares_one_payload_allocation_per_broadcast() {
+        let traffic = sample();
+        let tokens: Vec<usize> = traffic
+            .iter()
+            .filter(|m| m.from == n(1))
+            .map(|m| m.payload.token())
+            .collect();
+        assert_eq!(tokens.len(), 3);
+        assert!(
+            tokens.windows(2).all(|w| w[0] == w[1]),
+            "all recipients see the same allocation"
+        );
+        let forwarded = traffic.iter().next().unwrap().to_directed();
+        assert_eq!(
+            forwarded.payload.token(),
+            tokens[0],
+            "to_directed forwards the handle"
+        );
     }
 
     #[test]
     fn per_recipient_iteration_filters_and_expands() {
         let traffic = sample();
-        let to_1: Vec<u32> = traffic.to(n(1)).map(|m| *m.payload).collect();
+        let to_1: Vec<u32> = traffic.to(n(1)).map(|m| *m.payload()).collect();
         assert_eq!(to_1, vec![100, 200, 300]);
-        let to_9: Vec<u32> = traffic.to(n(9)).map(|m| *m.payload).collect();
+        let to_9: Vec<u32> = traffic.to(n(9)).map(|m| *m.payload()).collect();
         assert_eq!(to_9, vec![100, 300]);
         // Not a recipient: broadcasts do not reach it, unicasts still would.
-        let to_5: Vec<u32> = traffic.to(n(5)).map(|m| *m.payload).collect();
+        let to_5: Vec<u32> = traffic.to(n(5)).map(|m| *m.payload()).collect();
         assert!(to_5.is_empty());
     }
 
@@ -300,5 +352,15 @@ mod tests {
         assert_eq!(all, vec![Directed::new(n(1), n(2), 5)]);
         assert_eq!(traffic.to(n(2)).count(), 1);
         assert_eq!(traffic.to(n(1)).count(), 0);
+    }
+
+    #[test]
+    fn push_broadcast_accepts_existing_handles() {
+        let handle = Shared::new(11u32);
+        let mut traffic = RoundTraffic::new();
+        traffic.begin_round([n(1), n(2)]);
+        traffic.push_broadcast(n(1), handle.clone());
+        let delivered = traffic.to(n(2)).next().unwrap();
+        assert!(Shared::ptr_eq(delivered.payload, &handle));
     }
 }

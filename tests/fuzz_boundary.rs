@@ -1,0 +1,90 @@
+//! Pinned demonstration that the fuzzer now probes **across** the `n > 3f`
+//! resiliency boundary instead of passing vacuously there.
+//!
+//! Inadmissible scenarios used to contribute nothing: `case_failures` gates on
+//! admissibility, so a grid of `n = 3f` cases was all-green by construction. The
+//! boundary mode inverts the property — outside the bound a theorem violation is
+//! *expected* (it demonstrates the bound is tight), and the shrinker minimises
+//! the demonstration while keeping it inadmissible and still-violating.
+
+use uba_bench::fuzz::{boundary_violations, case_failures};
+use uba_bench::{boundary_grid, fuzz_boundary, run_case, FuzzCase, ProtocolId};
+use uba_core::sim::{AdversaryKind, AttackPlan, Simulation};
+
+#[test]
+fn boundary_grid_cases_are_all_inadmissible_and_would_pass_vacuously() {
+    let grid = boundary_grid(true);
+    assert!(!grid.is_empty(), "the smoke boundary grid is non-empty");
+    for index in 0..grid.len() {
+        let case = FuzzCase::from_sweep(&grid.case(index));
+        assert!(
+            !case.spec.admissible(),
+            "{}: boundary grid must stay at/below n = 3f",
+            case.describe()
+        );
+        assert_eq!(
+            case.spec.n(),
+            3 * case.spec.byzantine,
+            "{}: boundary grid sits exactly at n = 3f",
+            case.describe()
+        );
+        // The old harness's blind spot, kept as a regression pin: the *regular*
+        // property set is vacuous here, whatever the run does.
+        let report = run_case(&case);
+        assert_eq!(case_failures(&case, &report), Vec::<String>::new());
+    }
+}
+
+#[test]
+fn boundary_fuzz_finds_and_shrinks_a_small_n_equals_3f_counterexample() {
+    let outcome = fuzz_boundary(&boundary_grid(true), 4, 16);
+    assert!(
+        !outcome.counterexamples.is_empty(),
+        "some n = 3f case must demonstrably violate a theorem property \
+         (otherwise the resiliency bound is not shown tight)"
+    );
+    let demo = &outcome.counterexamples[0];
+    assert!(
+        !demo.failures.is_empty(),
+        "the shrunk demonstration still violates"
+    );
+    assert!(
+        outcome.counterexamples.iter().any(|c| c.shrink_steps > 0),
+        "at least one demonstration is actually minimised (e.g. the redundant \
+         collusion step is dropped)"
+    );
+    assert!(
+        !demo.shrunk.spec.admissible(),
+        "shrinking must not drift back into the admissible region"
+    );
+    assert!(
+        demo.shrunk.spec.n() <= 6,
+        "the demonstration shrinks to at most 6 nodes, got n = {} ({})",
+        demo.shrunk.spec.n(),
+        demo.shrunk.describe()
+    );
+    // Replaying the shrunk case through the public entry point reproduces the
+    // violation — the demonstration is a self-contained reproducer.
+    let report = run_case(&demo.shrunk);
+    assert_eq!(boundary_violations(&demo.shrunk, &report), demo.failures);
+}
+
+#[test]
+fn admissible_cases_produce_no_boundary_violations() {
+    // boundary_violations is the *complement* of case_failures: inside the bound
+    // it must stay silent even for a run that would be judged by the regular
+    // properties.
+    let case = FuzzCase {
+        protocol: ProtocolId::Consensus,
+        spec: Simulation::scenario()
+            .correct(5)
+            .byzantine(1)
+            .seed(7)
+            .attack(AttackPlan::preset(AdversaryKind::SplitVote))
+            .spec()
+            .clone(),
+    };
+    assert!(case.spec.admissible());
+    let report = run_case(&case);
+    assert_eq!(boundary_violations(&case, &report), Vec::<String>::new());
+}
