@@ -21,12 +21,13 @@ use uba_simnet::sim::{
     BuildContext, ConsensusDecision, NamedAdversary, NodeAcceptSet, ProtocolFactory, RotorSection,
     RunReport, StopCondition,
 };
+use uba_simnet::vocab::{PayloadVocab, VocabScene};
 use uba_simnet::{IdSpace, NodeId, Protocol};
 
-use crate::dolev_approx::DolevApprox;
-use crate::phase_king::PhaseKing;
-use crate::rotor_known::KnownRotor;
-use crate::srikanth_toueg::StBroadcast;
+use crate::dolev_approx::{DolevApprox, Micro};
+use crate::phase_king::{PhaseKing, PhaseKingMessage};
+use crate::rotor_known::{KnownRotor, KnownRotorMessage};
+use crate::srikanth_toueg::{StBroadcast, StMessage};
 
 fn silent<P>(kind: AdversaryKind) -> NamedAdversary<P> {
     let name = match kind {
@@ -76,7 +77,7 @@ impl ProtocolFactory for PhaseKingFactory {
         ctx.correct_ids
             .iter()
             .zip(&self.inputs)
-            .map(|(&id, &input)| PhaseKing::new(id, participants.clone(), ctx.f(), input))
+            .map(|(&id, &input)| PhaseKing::new(id, participants.clone(), ctx.known_f(), input))
             .collect()
     }
 
@@ -86,6 +87,13 @@ impl ProtocolFactory for PhaseKingFactory {
         _ctx: &BuildContext,
     ) -> NamedAdversary<crate::phase_king::PhaseKingMessage<u64>> {
         silent(kind)
+    }
+
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<PhaseKingMessage<u64>>>> {
+        Some(Box::new(self.clone()))
     }
 
     fn record(&self, ctx: &BuildContext, nodes: &[PhaseKing<u64>], report: &mut RunReport) {
@@ -109,6 +117,39 @@ impl ProtocolFactory for PhaseKingFactory {
             }
         }
         report.consensus = Some(consensus_section_from_parts(inputs, decisions, undecided));
+    }
+}
+
+/// The phase-king wire vocabulary, following the three-round phase schedule
+/// (value, proposal, king). The boundary class is the classic split: the two
+/// binary values at the phase-appropriate message shape, partitioned across the
+/// correct nodes — the attack Berman–Garay–Perry's `n > 3f` requirement guards
+/// against, which the silent baseline substitution never exercised.
+impl PayloadVocab<PhaseKingMessage<u64>> for PhaseKingFactory {
+    fn valid(&self, scene: &VocabScene<'_>) -> Vec<PhaseKingMessage<u64>> {
+        let value = self.inputs.first().copied().unwrap_or(0);
+        vec![phase_king_message(scene.round, value)]
+    }
+
+    fn boundary(&self, scene: &VocabScene<'_>) -> Vec<PhaseKingMessage<u64>> {
+        vec![
+            phase_king_message(scene.round, 0),
+            phase_king_message(scene.round, 1),
+        ]
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<PhaseKingMessage<u64>> {
+        vec![phase_king_message(scene.round, scene.derived_value(0))]
+    }
+}
+
+/// The message shape phase-king counts in `round` (three rounds per phase:
+/// value, proposal, king).
+fn phase_king_message(round: u64, value: u64) -> PhaseKingMessage<u64> {
+    match (round.max(1) - 1) % 3 {
+        0 => PhaseKingMessage::Value(value),
+        1 => PhaseKingMessage::Proposal(value),
+        _ => PhaseKingMessage::King(value),
     }
 }
 
@@ -142,9 +183,9 @@ impl ProtocolFactory for StBroadcastFactory {
             .iter()
             .map(|&id| {
                 if id == source {
-                    StBroadcast::sender(id, ctx.f(), self.value)
+                    StBroadcast::sender(id, ctx.known_f(), self.value)
                 } else {
-                    StBroadcast::receiver(id, source, ctx.f())
+                    StBroadcast::receiver(id, source, ctx.known_f())
                 }
             })
             .collect()
@@ -156,6 +197,10 @@ impl ProtocolFactory for StBroadcastFactory {
         _ctx: &BuildContext,
     ) -> NamedAdversary<crate::srikanth_toueg::StMessage<u64>> {
         silent(kind)
+    }
+
+    fn payload_vocab(&self, _ctx: &BuildContext) -> Option<Box<dyn PayloadVocab<StMessage<u64>>>> {
+        Some(Box::new(self.clone()))
     }
 
     fn stop_condition(&self) -> StopCondition {
@@ -192,6 +237,28 @@ impl ProtocolFactory for StBroadcastFactory {
     }
 }
 
+/// The Srikanth–Toueg wire vocabulary. Unlike the id-only broadcast, the
+/// thresholds here are the *absolute* `f + 1` and `2f + 1`, which `f` Byzantine
+/// echoes can never reach — the vocabulary exists to demonstrate exactly that:
+/// forged echoes stay inert at every `n`, while at `n = 3f` the protocol loses
+/// *correctness* instead (the `2f` correct echoers cannot reach `2f + 1`).
+impl PayloadVocab<StMessage<u64>> for StBroadcastFactory {
+    fn valid(&self, _scene: &VocabScene<'_>) -> Vec<StMessage<u64>> {
+        vec![StMessage::Echo(self.value)]
+    }
+
+    fn boundary(&self, _scene: &VocabScene<'_>) -> Vec<StMessage<u64>> {
+        vec![StMessage::Echo(self.value ^ 0x5A5A)]
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<StMessage<u64>> {
+        vec![
+            StMessage::Init(scene.derived_value(0)),
+            StMessage::Echo(scene.derived_value(1)),
+        ]
+    }
+}
+
 /// Factory for Dolev et al. approximate agreement with exact-`f` trimming; inputs
 /// are `f64`s scaled to micro units on the wire, like the id-only comparison feeds.
 #[derive(Clone, Debug)]
@@ -205,6 +272,12 @@ impl DolevApproxFactory {
         DolevApproxFactory {
             inputs: inputs.into(),
         }
+    }
+
+    /// The correct input range in wire (micro) units, `[min, max]`.
+    fn input_extremes(&self) -> [Micro; 2] {
+        let (lo, hi) = uba_simnet::vocab::input_extremes(&self.inputs);
+        [(lo * 1e6) as Micro, (hi * 1e6) as Micro]
     }
 }
 
@@ -224,7 +297,7 @@ impl ProtocolFactory for DolevApproxFactory {
         ctx.correct_ids
             .iter()
             .zip(&self.inputs)
-            .map(|(&id, &input)| DolevApprox::new(id, ctx.f(), (input * 1e6) as i64))
+            .map(|(&id, &input)| DolevApprox::new(id, ctx.known_f(), (input * 1e6) as i64))
             .collect()
     }
 
@@ -234,6 +307,10 @@ impl ProtocolFactory for DolevApproxFactory {
         _ctx: &BuildContext,
     ) -> NamedAdversary<crate::dolev_approx::Micro> {
         silent(kind)
+    }
+
+    fn payload_vocab(&self, _ctx: &BuildContext) -> Option<Box<dyn PayloadVocab<Micro>>> {
+        Some(Box::new(self.clone()))
     }
 
     fn stop_condition(&self) -> StopCondition {
@@ -247,6 +324,30 @@ impl ProtocolFactory for DolevApproxFactory {
             .map(|micro| micro as f64 / 1e6)
             .collect();
         report.approx = Some(approx_section_from_values(self.inputs.clone(), outputs));
+    }
+}
+
+/// The Dolev et al. wire vocabulary (bare micro-unit integers). The boundary
+/// class is the *valid-range* extremes, partitioned per recipient: at `n = 3f`
+/// each node's exact-`f` trim then anchors its kept window at a different end of
+/// the correct range, and with `f = 1` the outputs equal the input extremes —
+/// the contraction guarantee fails without a single out-of-range value on the
+/// wire.
+impl PayloadVocab<Micro> for DolevApproxFactory {
+    fn valid(&self, _scene: &VocabScene<'_>) -> Vec<Micro> {
+        self.input_extremes().to_vec()
+    }
+
+    fn boundary(&self, _scene: &VocabScene<'_>) -> Vec<Micro> {
+        self.input_extremes().to_vec()
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<Micro> {
+        let wobble = (scene.round % 5) as Micro;
+        vec![
+            1_000_000_000_000_000 + wobble,
+            -1_000_000_000_000_000 - wobble,
+        ]
     }
 }
 
@@ -270,7 +371,7 @@ impl ProtocolFactory for KnownRotorFactory {
         );
         ctx.correct_ids
             .iter()
-            .map(|&id| KnownRotor::new(id, ctx.f(), id.raw()))
+            .map(|&id| KnownRotor::new(id, ctx.known_f(), id.raw()))
             .collect()
     }
 
@@ -280,6 +381,13 @@ impl ProtocolFactory for KnownRotorFactory {
         _ctx: &BuildContext,
     ) -> NamedAdversary<crate::rotor_known::KnownRotorMessage> {
         silent(kind)
+    }
+
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<KnownRotorMessage>>> {
+        Some(Box::new(*self))
     }
 
     fn record(&self, _ctx: &BuildContext, nodes: &[KnownRotor], report: &mut RunReport) {
@@ -300,6 +408,26 @@ impl ProtocolFactory for KnownRotorFactory {
             selected: nodes.first().map(|n| n.accepted().len()).unwrap_or(0),
             good_round,
         });
+    }
+}
+
+/// The known-rotor wire vocabulary (bare `u64` opinions). Provided for
+/// completeness and as a *negative control*: the known-`f` schedule only ever
+/// consults the coordinators with identifiers `0 … f`, which under the required
+/// consecutive layout are all correct, and the network's sender authentication
+/// stops a Byzantine identity from speaking as one of them — so no vocabulary
+/// payload can move this baseline's oracle, at the boundary or anywhere else.
+impl PayloadVocab<KnownRotorMessage> for KnownRotorFactory {
+    fn valid(&self, _scene: &VocabScene<'_>) -> Vec<KnownRotorMessage> {
+        vec![0]
+    }
+
+    fn boundary(&self, _scene: &VocabScene<'_>) -> Vec<KnownRotorMessage> {
+        vec![0, u64::MAX]
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<KnownRotorMessage> {
+        vec![scene.derived_value(0)]
     }
 }
 

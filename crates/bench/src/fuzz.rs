@@ -20,6 +20,8 @@
 //! horizon) — outside the bound the theorems make no promise and a violated
 //! property is not a bug.
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 
 use uba_baselines::{DolevApproxFactory, KnownRotorFactory, PhaseKingFactory, StBroadcastFactory};
@@ -28,7 +30,7 @@ use uba_core::sim::{
     ApproxFactory, BroadcastFactory, ConsensusFactory, ParallelConsensusFactory, RotorFactory,
     TotalOrderFactory, TotalOrderPlan,
 };
-use uba_simnet::attack::{AttackBehavior, AttackPlan};
+use uba_simnet::attack::{AttackBehavior, AttackPlan, AttackStep, SemanticStrategy};
 use uba_simnet::sim::{AdversaryKind, RunReport, ScenarioBuilder, ScenarioSpec};
 use uba_simnet::sweep::{ScenarioGrid, SweepCase};
 use uba_simnet::{ChurnEvent, ChurnSchedule, IdSpace, NodeId};
@@ -120,6 +122,28 @@ impl ProtocolId {
     fn min_correct(self) -> usize {
         1
     }
+
+    /// For families whose theorem oracle **cannot** fail at `n = 3f`, the
+    /// documented reason why — the "test-documented impossibility" half of the
+    /// boundary matrix. `None` means the family is expected to yield an
+    /// `n = 3f` counterexample under the boundary grid's attack plans.
+    pub fn boundary_immunity(self) -> Option<&'static str> {
+        match self {
+            // The known-f rotating coordinator only ever consults the
+            // coordinators with identifiers 0…f. Under the consecutive layout
+            // the factory requires, those are all correct nodes (the adversary
+            // holds the *top* f identifiers), the schedule needs no
+            // communication to agree on, and sender authentication stops a
+            // Byzantine identity from speaking as a scheduled coordinator. The
+            // first slot is therefore always a good round and the run always
+            // terminates after f + 2 rounds — at n = 3f exactly as at n > 3f.
+            ProtocolId::KnownRotor => Some(
+                "the known-f schedule consults only coordinators 0…f, which the consecutive \
+                 layout makes all-correct; sender authentication blocks every vocabulary payload",
+            ),
+            _ => None,
+        }
+    }
 }
 
 /// A self-contained, serialisable fuzz reproducer: one protocol family plus the
@@ -203,11 +227,14 @@ pub fn run_case(case: &FuzzCase) -> RunReport {
             .build(ApproxFactory::new(real_inputs(correct)))
             .run(),
         ProtocolId::ParallelConsensus => builder
-            .build(ParallelConsensusFactory::new(vec![
-                (0, 100),
-                (1, 101),
-                (2, 102),
-            ]))
+            .build(
+                ParallelConsensusFactory::new(vec![(0, 100), (1, 101), (2, 102)])
+                    // The partial pair (held by the even-indexed correct nodes
+                    // only) is the workload where Theorem 5's consistency clause
+                    // binds — and what the vocabulary's boundary campaign splits
+                    // at n = 3f.
+                    .with_partial_pair((7, 700)),
+            )
             .run(),
         ProtocolId::TotalOrder => builder
             .build(TotalOrderFactory::new(total_order_plan(correct)))
@@ -320,23 +347,31 @@ pub fn boundary_violations(case: &FuzzCase, report: &RunReport) -> Vec<String> {
     violations
 }
 
-/// The grid `fuzz --boundary` sweeps: scenarios pinned *at* the `n = 3f`
-/// resiliency boundary (correct = 2f, so `n = 3f` exactly) under the strong
-/// attacks, for the families whose theorems give the adversary something to
-/// break there. The expected-failure property of this grid is that **some** case
-/// exhibits a violation — if every inadmissible case still satisfied the
-/// theorems, the bound would not be demonstrably tight (and our attacks would be
-/// toothless).
-pub fn boundary_grid(smoke: bool) -> ScenarioGrid<ProtocolId> {
-    let sizes: Vec<(usize, usize)> = if smoke {
-        vec![(2, 1), (4, 2)]
-    } else {
-        vec![(2, 1), (4, 2), (6, 3)]
-    };
-    let plans = vec![
+/// The attack-plan axis of the boundary grids: the legacy scripted presets plus
+/// the vocabulary-driven behaviours that speak every family's payload language
+/// (noise, per-class semantic fabrication, and a late-window boundary step that
+/// starves fixed-budget primitives of the relay rounds they need).
+pub fn boundary_plans() -> Vec<AttackPlan> {
+    vec![
+        AttackPlan::preset(AdversaryKind::Silent),
         AttackPlan::preset(AdversaryKind::SplitVote),
         AttackPlan::preset(AdversaryKind::Worst),
         AttackPlan::new().behavior(AttackBehavior::Equivocate { low: 0, high: 1 }),
+        AttackPlan::new().behavior(AttackBehavior::Noise),
+        AttackPlan::new().behavior(AttackBehavior::Semantic {
+            strategy: SemanticStrategy::Boundary,
+        }),
+        AttackPlan::new().behavior(AttackBehavior::Semantic {
+            strategy: SemanticStrategy::Garbage,
+        }),
+        // Late-window threshold pressure: amplification started this close to a
+        // fixed round budget cannot finish relaying, so accept sets diverge.
+        AttackPlan::new().step(
+            AttackStep::new(AttackBehavior::Semantic {
+                strategy: SemanticStrategy::Boundary,
+            })
+            .starting(9),
+        ),
         // A composed plan with a redundant silent step: the violation survives
         // dropping it, so the shrinker demonstrably minimises the *plan* too.
         AttackPlan::collusion(
@@ -344,16 +379,46 @@ pub fn boundary_grid(smoke: bool) -> ScenarioGrid<ProtocolId> {
             1,
             AttackBehavior::Preset(AdversaryKind::Silent),
         ),
-    ];
+    ]
+}
+
+/// The identifier-layout axis of the default boundary grids: the sparse default
+/// plus the adversary-chosen layout (Byzantine identities take the smallest
+/// identifiers, fronting every identifier-ordered structure).
+pub fn boundary_id_spaces() -> Vec<IdSpace> {
+    vec![IdSpace::default(), IdSpace::AdversaryLow { stride: 97 }]
+}
+
+/// The grid `fuzz --boundary` sweeps: scenarios pinned *at* the `n = 3f`
+/// resiliency boundary (correct = 2f, so `n = 3f` exactly) under the strong
+/// attacks, for **all ten** protocol/baseline families and every boundary
+/// identifier layout. The expected-failure property of this grid is that **some**
+/// case exhibits a violation — if every inadmissible case still satisfied the
+/// theorems, the bound would not be demonstrably tight (and our attacks would be
+/// toothless).
+pub fn boundary_grid(smoke: bool) -> ScenarioGrid<ProtocolId> {
+    boundary_grid_with(smoke, ProtocolId::ALL.to_vec(), boundary_id_spaces())
+}
+
+/// [`boundary_grid`] with explicit protocol and identifier-layout axes — the
+/// form behind the per-family boundary matrix and the CI layout matrix
+/// (`experiments -- fuzz --boundary --ids <layout>`).
+pub fn boundary_grid_with(
+    smoke: bool,
+    protocols: Vec<ProtocolId>,
+    id_spaces: Vec<IdSpace>,
+) -> ScenarioGrid<ProtocolId> {
+    let sizes: Vec<(usize, usize)> = if smoke {
+        vec![(2, 1), (4, 2)]
+    } else {
+        vec![(2, 1), (4, 2), (6, 3)]
+    };
     ScenarioGrid::new()
-        .protocols(vec![
-            ProtocolId::Consensus,
-            ProtocolId::ParallelConsensus,
-            ProtocolId::PhaseKing,
-        ])
+        .protocols(protocols)
         .sizes(sizes)
-        .plans(plans)
-        .trials(if smoke { 2 } else { 3 })
+        .plans(boundary_plans())
+        .id_spaces(id_spaces)
+        .trials(if smoke { 1 } else { 2 })
         .base_seed(0xB0BD_5EED)
         .max_rounds(150)
 }
@@ -400,6 +465,66 @@ pub fn fuzz_boundary(
     }
 }
 
+/// One row of the per-family boundary matrix: either a shrunk `n = 3f`
+/// counterexample for the family, or nothing — in which case the family's
+/// [`ProtocolId::boundary_immunity`] is expected to document why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilyBoundary {
+    /// The protocol/baseline family.
+    pub protocol: ProtocolId,
+    /// Boundary cases enumerated for the family.
+    pub cases: u64,
+    /// The first violating case, shrunk to a locally minimal demonstration.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl FamilyBoundary {
+    /// Whether the row states a theorem-shaped result: a violating demonstration
+    /// *or* a documented impossibility. A row that is neither means the attack
+    /// library cannot yet speak the family's payload language sharply enough.
+    pub fn theorem_shaped(&self) -> bool {
+        self.counterexample.is_some() || self.protocol.boundary_immunity().is_some()
+    }
+}
+
+/// Runs the boundary grid family by family: for each of the ten families, the
+/// first `n = 3f` case violating a theorem property is shrunk and returned. This
+/// is the machine behind the full-boundary theorem suite — the claim "`n > 3f`
+/// is tight for family X" is `counterexample.is_some()`, and the claim "family
+/// X's oracle cannot fail at the boundary" is `boundary_immunity().is_some()`.
+pub fn boundary_matrix(
+    smoke: bool,
+    workers: usize,
+    id_spaces: Vec<IdSpace>,
+) -> Vec<FamilyBoundary> {
+    ProtocolId::ALL
+        .into_iter()
+        .map(|protocol| {
+            let grid = boundary_grid_with(smoke, vec![protocol], id_spaces.clone());
+            let outcome = fuzz_boundary(&grid, workers, 1);
+            FamilyBoundary {
+                protocol,
+                cases: grid.len(),
+                counterexample: outcome.counterexamples.into_iter().next(),
+            }
+        })
+        .collect()
+}
+
+/// The failing properties of a *replayed* case, judged by the oracle that found
+/// it: admissible cases are judged by the theorem properties
+/// ([`case_failures`]), inadmissible ones by the expected-failure boundary
+/// properties ([`boundary_violations`]). This is what makes a boundary
+/// counterexample JSON replayable — judging it by the admissible-only property
+/// set would wave every `n = 3f` reproducer through as vacuously green.
+pub fn replay_failures(case: &FuzzCase, report: &RunReport) -> Vec<String> {
+    if case.spec.admissible() {
+        case_failures(case, report)
+    } else {
+        boundary_violations(case, report)
+    }
+}
+
 /// The attack-plan axis of the default grids: the five legacy presets plus the
 /// composed shapes the scripted enum could not express.
 pub fn default_plans(smoke: bool) -> Vec<AttackPlan> {
@@ -427,6 +552,10 @@ pub fn default_plans(smoke: bool) -> Vec<AttackPlan> {
             AttackPlan::preset(AdversaryKind::AnnounceThenSilent),
             AttackPlan::preset(AdversaryKind::Worst),
             AttackPlan::new().behavior(AttackBehavior::Equivocate { low: 0, high: 1 }),
+            AttackPlan::new().behavior(AttackBehavior::Noise),
+            AttackPlan::new().behavior(AttackBehavior::Semantic {
+                strategy: SemanticStrategy::Valid,
+            }),
             AttackPlan::new()
                 .behavior(AttackBehavior::Preset(AdversaryKind::PartialAnnounce))
                 .step(
@@ -534,7 +663,8 @@ pub fn fuzz_grid(
 
 /// The candidate shrinking moves for a failing case, most aggressive first:
 /// halve/decrement the correct population, halve/decrement/zero the Byzantine
-/// population, drop one churn event, drop one attack-plan step.
+/// population, simplify an exotic identifier layout back to the default, drop
+/// one churn event, drop one attack-plan step.
 fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
     let mut out = Vec::new();
     let spec = &case.spec;
@@ -553,6 +683,11 @@ fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         if byzantine < spec.byzantine {
             with_spec(&|s: &mut ScenarioSpec| s.byzantine = byzantine);
         }
+    }
+    // An adversary-chosen or random identifier layout is only part of a minimal
+    // demonstration if the failure actually needs it.
+    if spec.id_space != IdSpace::default() && !case.protocol.needs_consecutive_ids() {
+        with_spec(&|s: &mut ScenarioSpec| s.id_space = IdSpace::default());
     }
     for index in 0..spec.churn.len() {
         with_spec(&|s: &mut ScenarioSpec| s.churn = s.churn.without_event(index));
@@ -578,21 +713,47 @@ pub fn shrink_case(original: &FuzzCase) -> Counterexample {
     })
 }
 
+/// The stable identity of a failing property: the bracketed `[oracle/property]`
+/// tag when the failure carries one, the prefix before the first `:` otherwise
+/// (`liveness`, `parallel-consensus`, …). Shrinking compares candidates by this
+/// id, and the replay round-trip test uses it to assert a reproducer still
+/// demonstrates the bug it was minimised from.
+pub fn property_id(failure: &str) -> &str {
+    if let (Some(open), Some(close)) = (failure.find('['), failure.find(']')) {
+        if open < close {
+            return &failure[open + 1..close];
+        }
+    }
+    failure.split(':').next().unwrap_or(failure).trim()
+}
+
 /// The shrinker behind [`shrink_case`], parameterised over the "still
-/// interesting" oracle: a candidate move is accepted iff the oracle still
-/// returns violations. Boundary fuzzing passes [`boundary_violations`] here, so
-/// a shrunk demonstration cannot drift back into the admissible region (the
+/// interesting" oracle. A candidate move is accepted iff the oracle still
+/// reports a violation **with the same property id** as one of the original
+/// failures ([`property_id`]) — "smaller but failing differently" is a
+/// *different* bug, and accepting it would shrink one reproducer into another.
+/// Boundary fuzzing passes [`boundary_violations`] here, so a shrunk
+/// demonstration cannot drift back into the admissible region either (the
 /// oracle returns nothing there).
 pub fn shrink_case_with(
     original: &FuzzCase,
     still_failing: &dyn Fn(&FuzzCase) -> Vec<String>,
 ) -> Counterexample {
+    let original_ids: BTreeSet<String> = still_failing(original)
+        .iter()
+        .map(|failure| property_id(failure).to_string())
+        .collect();
+    let keeps_the_bug = |case: &FuzzCase| {
+        still_failing(case)
+            .iter()
+            .any(|failure| original_ids.contains(property_id(failure)))
+    };
     let mut current = original.clone();
     let mut shrink_steps = 0u64;
     loop {
         let accepted = shrink_candidates(&current)
             .into_iter()
-            .find(|candidate| !still_failing(candidate).is_empty());
+            .find(|candidate| keeps_the_bug(candidate));
         match accepted {
             Some(candidate) => {
                 current = candidate;

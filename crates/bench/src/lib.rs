@@ -32,8 +32,9 @@ pub mod workload;
 pub use baseline::{baseline_file, write_baseline, BaselineFile};
 pub use experiments::{all_experiments, experiment_by_name};
 pub use fuzz::{
-    boundary_grid, boundary_violations, default_grid, fuzz_boundary, fuzz_grid, run_case,
-    Counterexample, FuzzCase, ProtocolId,
+    boundary_grid, boundary_grid_with, boundary_id_spaces, boundary_matrix, boundary_violations,
+    default_grid, fuzz_boundary, fuzz_grid, property_id, replay_failures, run_case, Counterexample,
+    FamilyBoundary, FuzzCase, ProtocolId,
 };
 pub use montecarlo::{ResilienceSweep, SweepConfig};
 pub use scaling::{scaling_file, write_scaling, ScalingFile};

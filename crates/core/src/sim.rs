@@ -37,6 +37,7 @@ use std::collections::BTreeSet;
 
 use uba_simnet::adversary::SilentAdversary;
 use uba_simnet::sim::scripted_attack_behavior;
+use uba_simnet::vocab::{PayloadVocab, VocabScene};
 use uba_simnet::{AdversaryView, FnAdversary, NodeId, Protocol};
 
 pub use uba_simnet::attack::{ActorRange, AttackBehavior, AttackPlan, AttackStep};
@@ -56,10 +57,10 @@ use crate::adversaries::{
     SplitVote,
 };
 use crate::approx::{ApproxAgreement, IteratedApproxAgreement};
-use crate::consensus::Consensus;
+use crate::consensus::{Consensus, ConsensusMessage};
 use crate::parallel_consensus::ParallelConsensus;
-use crate::reliable_broadcast::ReliableBroadcast;
-use crate::rotor::RotorCoordinator;
+use crate::reliable_broadcast::{RbMessage, ReliableBroadcast};
+use crate::rotor::{RotorCoordinator, RotorMessage};
 use crate::total_order::{chains_agree, TotalOrderNode};
 use crate::value::{Opinion, Real};
 
@@ -157,6 +158,13 @@ impl ProtocolFactory for ConsensusFactory {
         }
     }
 
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<crate::consensus::ConsensusMessage<u64>>>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn record(&self, ctx: &BuildContext, nodes: &[Consensus<u64>], report: &mut RunReport) {
         let inputs: Vec<(NodeId, u64)> = ctx
             .correct_ids
@@ -178,6 +186,71 @@ impl ProtocolFactory for ConsensusFactory {
             }
         }
         report.consensus = Some(consensus_section_from_parts(inputs, decisions, undecided));
+    }
+}
+
+/// The consensus wire vocabulary, phase-aware: Algorithm 3 runs `Init`/`Echo`
+/// rounds and then five-round phases (`Input`, `Prefer`, `StrongPrefer`,
+/// `Opinion`, resolve), so valid and boundary payloads must carry the message
+/// shape the correct nodes are counting *this* round.
+impl PayloadVocab<ConsensusMessage<u64>> for ConsensusFactory {
+    fn valid(&self, scene: &VocabScene<'_>) -> Vec<ConsensusMessage<u64>> {
+        let (low, _) = self.split_values();
+        match scene.round {
+            1 => vec![ConsensusMessage::Init],
+            2 => scene
+                .byzantine_ids
+                .iter()
+                .take(2)
+                .map(|&b| ConsensusMessage::Echo(b))
+                .collect(),
+            r => match (r - 3) % 5 {
+                0 => vec![ConsensusMessage::Input(low)],
+                1 => vec![ConsensusMessage::Prefer(low)],
+                2 => vec![ConsensusMessage::StrongPrefer(low)],
+                3 => vec![ConsensusMessage::Opinion(low)],
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    fn boundary(&self, scene: &VocabScene<'_>) -> Vec<ConsensusMessage<u64>> {
+        // The equivocation pair at the phase-appropriate shape — the split-vote
+        // attack with the plan (not the input histogram) choosing the values.
+        let (low, high) = self.split_values();
+        match scene.round {
+            1 => vec![ConsensusMessage::Init],
+            2 => scene
+                .byzantine_ids
+                .iter()
+                .take(2)
+                .map(|&b| ConsensusMessage::Echo(b))
+                .collect(),
+            r => match (r - 3) % 5 {
+                0 => vec![ConsensusMessage::Input(low), ConsensusMessage::Input(high)],
+                1 => vec![
+                    ConsensusMessage::Prefer(low),
+                    ConsensusMessage::Prefer(high),
+                ],
+                2 => vec![
+                    ConsensusMessage::StrongPrefer(low),
+                    ConsensusMessage::StrongPrefer(high),
+                ],
+                3 => vec![
+                    ConsensusMessage::Opinion(low),
+                    ConsensusMessage::Opinion(high),
+                ],
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<ConsensusMessage<u64>> {
+        vec![
+            ConsensusMessage::Echo(scene.ghost_id(0)),
+            ConsensusMessage::Opinion(scene.derived_value(0)),
+            ConsensusMessage::Input(u64::MAX),
+        ]
     }
 }
 
@@ -288,6 +361,13 @@ impl ProtocolFactory for BroadcastFactory {
         }
     }
 
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<crate::reliable_broadcast::RbMessage<u64>>>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn stop_condition(&self) -> StopCondition {
         // Reliable broadcast never terminates in the paper; 12 rounds comfortably
         // cover acceptance plus the relay deadline at every size the suite uses.
@@ -322,6 +402,38 @@ impl ProtocolFactory for BroadcastFactory {
             accepted,
             consistent,
         });
+    }
+}
+
+/// The broadcast wire vocabulary. The boundary payload is a **forged-value
+/// echo**: `f` Byzantine echoes of a value the correct sender never broadcast
+/// meet the `n_v/3` support rule *exactly* at `n = 3f` (`3·f ≥ n_v`), at which
+/// point the correct nodes amplify the forgery to full acceptance — an
+/// unforgeability violation. One node inside the bound (`n > 3f`) the same
+/// echoes fall below every threshold and are inert, which is precisely the
+/// tightness argument Theorem 1's bound needs.
+impl PayloadVocab<RbMessage<u64>> for BroadcastFactory {
+    fn valid(&self, scene: &VocabScene<'_>) -> Vec<RbMessage<u64>> {
+        match scene.round {
+            1 => vec![RbMessage::Present],
+            _ => vec![RbMessage::Echo(self.value)],
+        }
+    }
+
+    fn boundary(&self, scene: &VocabScene<'_>) -> Vec<RbMessage<u64>> {
+        let forged = self.value ^ 0x5A5A;
+        match scene.round {
+            1 => vec![RbMessage::Present],
+            _ => vec![RbMessage::Echo(forged)],
+        }
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<RbMessage<u64>> {
+        vec![
+            RbMessage::Init(scene.derived_value(0)),
+            RbMessage::Echo(scene.derived_value(1)),
+            RbMessage::Present,
+        ]
     }
 }
 
@@ -376,6 +488,13 @@ impl ProtocolFactory for RotorFactory {
         }
     }
 
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<crate::rotor::RotorMessage<u64>>>> {
+        Some(Box::new(*self))
+    }
+
     fn record(&self, _ctx: &BuildContext, nodes: &[RotorCoordinator<u64>], report: &mut RunReport) {
         let correct: BTreeSet<NodeId> = nodes.iter().map(|n| n.id()).collect();
         let histories: Vec<_> = nodes.iter().map(|n| n.state().history()).collect();
@@ -391,6 +510,51 @@ impl ProtocolFactory for RotorFactory {
                 .unwrap_or(0),
             good_round,
         });
+    }
+}
+
+/// The rotor wire vocabulary. The garbage class emits **one fresh ghost
+/// candidate echo per round**: at `n = 3f` the `f` Byzantine votes meet the
+/// `n_v/3` support rule, the correct nodes amplify the ghost past `2n_v/3`, and
+/// the candidate set `C_v` grows by one forever — the rotation index never
+/// revisits a selected coordinator, so Algorithm 2 never terminates. Inside the
+/// bound the same echoes never reach support and the rotor is untouched.
+impl PayloadVocab<RotorMessage<u64>> for RotorFactory {
+    fn valid(&self, scene: &VocabScene<'_>) -> Vec<RotorMessage<u64>> {
+        match scene.round {
+            1 => vec![RotorMessage::Init],
+            _ => scene
+                .correct_ids
+                .iter()
+                .take(1)
+                .map(|&c| RotorMessage::Echo(c))
+                .collect(),
+        }
+    }
+
+    fn boundary(&self, scene: &VocabScene<'_>) -> Vec<RotorMessage<u64>> {
+        // Vouch for the Byzantine identities as coordinators, and equivocate the
+        // opinion a (selected) Byzantine coordinator distributes.
+        let mut out: Vec<RotorMessage<u64>> = scene
+            .byzantine_ids
+            .iter()
+            .take(2)
+            .map(|&b| RotorMessage::Echo(b))
+            .collect();
+        if scene.round == 1 {
+            out.push(RotorMessage::Init);
+        } else {
+            out.push(RotorMessage::Opinion(0));
+            out.push(RotorMessage::Opinion(u64::MAX));
+        }
+        out
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<RotorMessage<u64>> {
+        vec![
+            RotorMessage::Echo(scene.ghost_id(0)),
+            RotorMessage::Opinion(scene.derived_value(0)),
+        ]
     }
 }
 
@@ -485,6 +649,12 @@ impl ProtocolFactory for ApproxFactory {
         }
     }
 
+    fn payload_vocab(&self, _ctx: &BuildContext) -> Option<Box<dyn PayloadVocab<Real>>> {
+        Some(Box::new(ApproxVocab {
+            inputs: self.inputs.clone(),
+        }))
+    }
+
     fn stop_condition(&self) -> StopCondition {
         StopCondition::AllOutput
     }
@@ -496,6 +666,36 @@ impl ProtocolFactory for ApproxFactory {
             .map(|real| real.to_f64())
             .collect();
         report.approx = Some(approx_section_from_values(self.inputs.clone(), outputs));
+    }
+}
+
+/// The approximate-agreement vocabulary (shared by the single-shot and iterated
+/// factories): real-valued payloads need no phase awareness, only placement.
+/// The boundary pair `±10⁹` is dispatched per recipient (payload `j` to nodes
+/// `i % 2 == j`), which at `n = 3f` leaves each node's trimmed multiset anchored
+/// at a different end of the correct range — with `f = 1` the outputs *equal*
+/// the input extremes and the contraction property fails outright.
+struct ApproxVocab {
+    inputs: Vec<f64>,
+}
+
+impl PayloadVocab<Real> for ApproxVocab {
+    fn valid(&self, _scene: &VocabScene<'_>) -> Vec<Real> {
+        let (lo, hi) = uba_simnet::vocab::input_extremes(&self.inputs);
+        vec![Real::from_f64(lo), Real::from_f64(hi)]
+    }
+
+    fn boundary(&self, _scene: &VocabScene<'_>) -> Vec<Real> {
+        vec![Real::from_f64(-1e9), Real::from_f64(1e9)]
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<Real> {
+        let wobble = (scene.round % 7) as f64;
+        vec![
+            Real::from_f64(1e12 + wobble),
+            Real::from_f64(-1e12 - wobble),
+            Real::ZERO,
+        ]
     }
 }
 
@@ -559,6 +759,12 @@ impl ProtocolFactory for IteratedApproxFactory {
         }
     }
 
+    fn payload_vocab(&self, _ctx: &BuildContext) -> Option<Box<dyn PayloadVocab<Real>>> {
+        Some(Box::new(ApproxVocab {
+            inputs: self.inputs.clone(),
+        }))
+    }
+
     fn record(
         &self,
         _ctx: &BuildContext,
@@ -598,6 +804,7 @@ impl ProtocolFactory for IteratedApproxFactory {
 pub struct ParallelConsensusFactory {
     pairs: Vec<(u64, u64)>,
     ghosts: Vec<(u64, u64)>,
+    partial: Option<(u64, u64)>,
 }
 
 impl ParallelConsensusFactory {
@@ -606,12 +813,24 @@ impl ParallelConsensusFactory {
         ParallelConsensusFactory {
             pairs: pairs.into(),
             ghosts: Vec::new(),
+            partial: None,
         }
     }
 
     /// Fabricated pairs the [`AdversaryKind::Worst`] strategy injects.
     pub fn with_ghost_pairs(mut self, ghosts: impl Into<Vec<(u64, u64)>>) -> Self {
         self.ghosts = ghosts.into();
+        self
+    }
+
+    /// Adds a pair held by only the **even-indexed** correct nodes (construction
+    /// order). The paper guarantees such a pair "may or may not be output — but
+    /// is output consistently" inside the bound; it is also exactly where the
+    /// `n > 3f` requirement binds, because at `n = 3f` the `f` holders plus the
+    /// `f` Byzantine identities form a `2n_v/3` quorum the non-holders cannot
+    /// see through (the vocabulary's boundary campaign exploits this).
+    pub fn with_partial_pair(mut self, pair: (u64, u64)) -> Self {
+        self.partial = Some(pair);
         self
     }
 }
@@ -626,7 +845,16 @@ impl ProtocolFactory for ParallelConsensusFactory {
     fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<ParallelConsensus<u64>> {
         ctx.correct_ids
             .iter()
-            .map(|&id| ParallelConsensus::new(id, self.pairs.clone()))
+            .enumerate()
+            .map(|(i, &id)| {
+                let mut pairs = self.pairs.clone();
+                if let Some(partial) = self.partial {
+                    if i % 2 == 0 {
+                        pairs.push(partial);
+                    }
+                }
+                ParallelConsensus::new(id, pairs)
+            })
             .collect()
     }
 
@@ -662,6 +890,13 @@ impl ProtocolFactory for ParallelConsensusFactory {
         }
     }
 
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<crate::early_consensus::ParallelMessage<u64>>>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn record(
         &self,
         _ctx: &BuildContext,
@@ -682,6 +917,123 @@ impl ProtocolFactory for ParallelConsensusFactory {
             decisions,
             agreement,
         });
+    }
+}
+
+/// The parallel-consensus vocabulary, following the five-round phase schedule
+/// the instances evaluate (inputs at `(r − 3) % 5 == 0`, prefers next, strong
+/// prefers after — the same cadence the consensus split-vote attack tracks, in
+/// *every* phase, not just the first). The boundary class equivocates between a
+/// partial pair's value and `⊥` on the same instance — the sharpest pressure on
+/// Theorem 5's "a partially submitted pair is output *consistently*" clause —
+/// falling back to a ghost-instance campaign when the factory has no partial
+/// pair.
+impl PayloadVocab<crate::early_consensus::ParallelMessage<u64>> for ParallelConsensusFactory {
+    fn valid(&self, scene: &VocabScene<'_>) -> Vec<crate::early_consensus::ParallelMessage<u64>> {
+        use crate::early_consensus::ParallelMessage as Pm;
+        match scene.round {
+            1 => vec![Pm::Init],
+            2 => scene
+                .byzantine_ids
+                .iter()
+                .take(1)
+                .map(|&b| Pm::Echo(b))
+                .collect(),
+            r => match (r - 3) % 5 {
+                0 => self.pairs.iter().map(|&(id, v)| Pm::Input(id, v)).collect(),
+                1 => self
+                    .pairs
+                    .iter()
+                    .map(|&(id, v)| Pm::Prefer(id, Some(v)))
+                    .collect(),
+                2 => self
+                    .pairs
+                    .iter()
+                    .map(|&(id, v)| Pm::StrongPrefer(id, Some(v)))
+                    .collect(),
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    fn boundary(
+        &self,
+        scene: &VocabScene<'_>,
+    ) -> Vec<crate::early_consensus::ParallelMessage<u64>> {
+        use crate::early_consensus::ParallelMessage as Pm;
+        // The sharp campaign targets a *partial* pair (one held by the
+        // even-indexed correct nodes only, see [`Self::with_partial_pair`]): at
+        // n = 3f its f holders plus the f Byzantine identities form a 2n_v/3
+        // quorum that only the recipients the adversary courts can see. The
+        // boundary partition (payload 0 to even recipients, payload 1 to odd)
+        // therefore splits the correct nodes into one half that observes a
+        // two-thirds quorum for the pair's value at every step — and decides it —
+        // and one half for which the adversary stays silent on the instance, so
+        // the phase-1 ⊥-fills (f silent non-holders + f silent Byzantine = 2f =
+        // 2n_v/3) drive it to decide ⊥: the pair is output inconsistently, which
+        // is exactly the consistency clause of Theorem 5 failing at the
+        // boundary. One node inside the bound neither quorum closes, the odd
+        // half adopts the value via the n_v/3 rule and decides it one phase
+        // later — the bound is tight.
+        if let Some((instance, value)) = self.partial {
+            return match scene.round {
+                1 => vec![Pm::Init],
+                2 => Vec::new(),
+                r => match (r - 3) % 5 {
+                    // `NoPreference` is ignored at the input-counting step, so the
+                    // odd half sees the adversary as silent on the instance and
+                    // fills ⊥ for it.
+                    0 => vec![Pm::Input(instance, value), Pm::NoPreference(instance)],
+                    1 => vec![
+                        Pm::Prefer(instance, Some(value)),
+                        Pm::Prefer(instance, None),
+                    ],
+                    2 => vec![
+                        Pm::StrongPrefer(instance, Some(value)),
+                        Pm::StrongPrefer(instance, None),
+                    ],
+                    // If the rotor happens to select a Byzantine coordinator, its
+                    // opinion equivocates along the same partition.
+                    3 => vec![
+                        Pm::Opinion(instance, Some(value)),
+                        Pm::Opinion(instance, None),
+                    ],
+                    _ => Vec::new(),
+                },
+            };
+        }
+        // Without a partial pair the fallback is a *ghost* instance no correct
+        // node has as input: its vote landscape is entirely adversary-controlled,
+        // though the phase-1 ⊥-fills (2f ≥ 2n_v/3 even at the boundary) mean the
+        // ghost always dies consistently — the campaign pressures the reception
+        // rules without a theorem-violating payoff. The id is fixed across
+        // rounds (campaigns need continuity) and far above every real instance.
+        const GHOST_INSTANCE: u64 = 1 << 41;
+        match scene.round {
+            1 => vec![Pm::Init],
+            2 => Vec::new(),
+            r => match (r - 3) % 5 {
+                0 => vec![Pm::Input(GHOST_INSTANCE, 0), Pm::Input(GHOST_INSTANCE, 1)],
+                1 => vec![
+                    Pm::Prefer(GHOST_INSTANCE, Some(0)),
+                    Pm::Prefer(GHOST_INSTANCE, Some(1)),
+                ],
+                2 => vec![
+                    Pm::StrongPrefer(GHOST_INSTANCE, Some(0)),
+                    Pm::StrongPrefer(GHOST_INSTANCE, Some(1)),
+                ],
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<crate::early_consensus::ParallelMessage<u64>> {
+        use crate::early_consensus::ParallelMessage as Pm;
+        vec![
+            Pm::Input(scene.ghost_id(0).raw(), scene.derived_value(0)),
+            Pm::NoPreference(scene.ghost_id(1).raw()),
+            Pm::Opinion(scene.ghost_id(2).raw(), None),
+        ]
     }
 }
 
@@ -780,6 +1132,13 @@ impl<E: Opinion + 'static> ProtocolFactory for TotalOrderFactory<E> {
         }
     }
 
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<crate::total_order::TotalOrderMessage<E>>>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn stop_condition(&self) -> StopCondition {
         StopCondition::FixedRounds(self.plan.total_rounds)
     }
@@ -823,6 +1182,56 @@ impl<E: Opinion + 'static> ProtocolFactory for TotalOrderFactory<E> {
             lengths,
             prefix_ok: chains_agree(&chains),
         });
+    }
+}
+
+/// The total-ordering vocabulary. Event payloads of type `E` cannot be
+/// synthesised generically, so the vocabulary *replays* the plan's own event
+/// payloads under Byzantine identities — mis-tagged rounds, equivocated
+/// embedded-consensus votes, spurious `Absent` departures — which is exactly the
+/// material a membership-tracking total order has to survive.
+impl<E: Opinion + 'static> PayloadVocab<crate::total_order::TotalOrderMessage<E>>
+    for TotalOrderFactory<E>
+{
+    fn valid(&self, scene: &VocabScene<'_>) -> Vec<crate::total_order::TotalOrderMessage<E>> {
+        use crate::total_order::TotalOrderMessage as Tm;
+        let mut out = vec![Tm::Present, Tm::Ack(scene.round)];
+        if let Some((_, _, event)) = self.plan.events.first() {
+            out.push(Tm::Event(scene.round, event.clone()));
+        }
+        out
+    }
+
+    fn boundary(&self, scene: &VocabScene<'_>) -> Vec<crate::total_order::TotalOrderMessage<E>> {
+        use crate::early_consensus::ParallelMessage as Pm;
+        use crate::total_order::TotalOrderMessage as Tm;
+        let instance = scene.byzantine_ids.first().map(|b| b.raw()).unwrap_or(0);
+        let mut out = vec![Tm::Absent];
+        if let Some((_, _, event)) = self.plan.events.first() {
+            // Equivocate the embedded consensus instance of the current round
+            // between a real event value and ⊥, and re-witness the event under a
+            // stale round tag.
+            out.push(Tm::Instance(
+                scene.round,
+                Pm::Prefer(instance, Some(event.clone())),
+            ));
+            out.push(Tm::Instance(scene.round, Pm::Prefer(instance, None)));
+            out.push(Tm::Event(scene.round.saturating_sub(1), event.clone()));
+        }
+        out
+    }
+
+    fn garbage(&self, scene: &VocabScene<'_>) -> Vec<crate::total_order::TotalOrderMessage<E>> {
+        use crate::early_consensus::ParallelMessage as Pm;
+        use crate::total_order::TotalOrderMessage as Tm;
+        let mut out = vec![
+            Tm::Ack(scene.round + 997),
+            Tm::Instance(scene.round, Pm::NoPreference(scene.ghost_id(0).raw())),
+        ];
+        if let Some((_, _, event)) = self.plan.events.first() {
+            out.push(Tm::Event(scene.round + 50, event.clone()));
+        }
+        out
     }
 }
 

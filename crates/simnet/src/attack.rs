@@ -133,6 +133,44 @@ pub enum AttackBehavior {
         /// Absolute magnitude of the injected outliers.
         magnitude: f64,
     },
+    /// Flood the protocol with everything its payload vocabulary can express —
+    /// valid traffic, threshold-probing payloads and fresh per-round garbage,
+    /// scattered across recipients (see
+    /// [`VocabAdversary`](crate::vocab::VocabAdversary)). Factories without a
+    /// vocabulary substitute their worst scripted attack.
+    Noise,
+    /// Fabricate exactly one vocabulary class, with its class-specific dispatch
+    /// (valid → full flood, boundary → equivocation partition, garbage →
+    /// sustained nonsense flood).
+    Semantic {
+        /// The vocabulary class to draw from.
+        strategy: SemanticStrategy,
+    },
+}
+
+/// Which class of a [`PayloadVocab`](crate::vocab::PayloadVocab) the
+/// [`AttackBehavior::Semantic`] behaviour fabricates from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SemanticStrategy {
+    /// Semantically valid payloads, sent to every correct node — the Byzantine
+    /// identities imitate correct participants at full volume.
+    Valid,
+    /// Threshold-probing payloads, partitioned across the correct nodes
+    /// (equivocation-shaped: payload `j` to recipients with `i % len == j`).
+    Boundary,
+    /// Fresh per-round garbage, sent to every correct node.
+    Garbage,
+}
+
+impl SemanticStrategy {
+    /// A stable lowercase label used in plan and adversary names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SemanticStrategy::Valid => "valid",
+            SemanticStrategy::Boundary => "boundary",
+            SemanticStrategy::Garbage => "garbage",
+        }
+    }
 }
 
 impl AttackBehavior {
@@ -144,6 +182,8 @@ impl AttackBehavior {
             AttackBehavior::AnnounceToSubset { .. } => "announce-to-subset".to_string(),
             AttackBehavior::Equivocate { .. } => "equivocate".to_string(),
             AttackBehavior::Outliers { .. } => "outliers".to_string(),
+            AttackBehavior::Noise => "noise".to_string(),
+            AttackBehavior::Semantic { strategy } => format!("semantic-{}", strategy.name()),
         }
     }
 }

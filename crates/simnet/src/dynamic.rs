@@ -111,6 +111,26 @@ impl ChurnSchedule {
         self.events.iter().map(|(r, _)| *r).max().unwrap_or(0)
     }
 
+    /// The largest number of Byzantine identities simultaneously in the system at
+    /// any point of the schedule, starting from `initial` — the failure bound a
+    /// known-`f` protocol must be told, since a promise that covers only the
+    /// initial adversaries is broken the moment a Byzantine identity joins.
+    pub fn peak_byzantine(&self, initial: usize) -> usize {
+        let mut byz = initial as i64;
+        let mut peak = byz;
+        for round in 1..=self.horizon() {
+            for event in self.events_before_round(round) {
+                match event {
+                    ChurnEvent::JoinByzantine(_) => byz += 1,
+                    ChurnEvent::LeaveByzantine(_) => byz -= 1,
+                    ChurnEvent::JoinCorrect(_) | ChurnEvent::LeaveCorrect(_) => {}
+                }
+                peak = peak.max(byz);
+            }
+        }
+        peak.max(0) as usize
+    }
+
     /// Checks that, assuming `initial_correct` correct and `initial_byzantine`
     /// Byzantine members, the schedule keeps `n > 3f` at the start of every round up
     /// to its horizon. Returns the first violating round, if any.

@@ -69,6 +69,19 @@ pub enum IdSpace {
     },
     /// Uniformly random 64-bit identifiers (collisions are re-drawn).
     Random,
+    /// The adversary-chosen layout: a sparse identifier set handed out from the
+    /// **top down**, so the *last* generated identifiers — the Byzantine split in
+    /// [`ScenarioBuilder::context`](crate::sim::ScenarioBuilder::context), which
+    /// always assigns the tail of the generated list to the adversary — are the
+    /// **smallest** in the system. Every identifier-ordered structure (rotor
+    /// candidate sets, consecutive-id coordinator schedules, smallest-id
+    /// tie-breaks) then encounters the Byzantine identities first. This is the
+    /// layout a paper-strength adversary would pick, since the model lets faulty
+    /// nodes choose their identifiers.
+    AdversaryLow {
+        /// Average gap between successive identifiers (must be ≥ 2).
+        stride: u64,
+    },
 }
 
 impl Default for IdSpace {
@@ -80,8 +93,11 @@ impl Default for IdSpace {
 impl IdSpace {
     /// Generates `count` unique identifiers deterministically from `seed`.
     ///
-    /// The returned vector is sorted in increasing identifier order; callers that
-    /// need an arbitrary assignment order should shuffle it themselves.
+    /// The returned vector is sorted in increasing identifier order — except for
+    /// [`IdSpace::AdversaryLow`], which hands the same sparse set out in
+    /// *decreasing* order so the tail of the list (the Byzantine split) receives
+    /// the smallest identifiers. Callers that need an arbitrary assignment order
+    /// should shuffle the result themselves.
     pub fn generate(self, count: usize, seed: u64) -> Vec<NodeId> {
         let mut rng = seeded_rng(seed);
         match self {
@@ -102,6 +118,11 @@ impl IdSpace {
                     ids.insert(rng.gen::<u64>());
                 }
                 ids.into_iter().map(NodeId::new).collect()
+            }
+            IdSpace::AdversaryLow { stride } => {
+                let mut ids = IdSpace::Sparse { stride }.generate(count, seed);
+                ids.reverse();
+                ids
             }
         }
     }
@@ -152,6 +173,24 @@ mod tests {
         let ids = IdSpace::Random.generate(256, 123);
         let set: std::collections::HashSet<_> = ids.iter().copied().collect();
         assert_eq!(set.len(), 256);
+    }
+
+    #[test]
+    fn adversary_low_hands_the_smallest_ids_to_the_tail() {
+        let forward = IdSpace::Sparse { stride: 50 }.generate(9, 7);
+        let reversed = IdSpace::AdversaryLow { stride: 50 }.generate(9, 7);
+        let mut expected = forward.clone();
+        expected.reverse();
+        assert_eq!(reversed, expected, "same sparse set, top-down hand-out");
+        // The tail (what the builder assigns to the adversary) holds the minimum.
+        assert_eq!(
+            reversed.last().copied(),
+            forward.first().copied(),
+            "the last handed-out identifier is the smallest in the system"
+        );
+        for pair in reversed.windows(2) {
+            assert!(pair[0] > pair[1], "strictly decreasing hand-out order");
+        }
     }
 
     #[test]

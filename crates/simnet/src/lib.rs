@@ -96,9 +96,12 @@ pub mod stats;
 pub mod sweep;
 pub mod trace;
 pub mod traffic;
+pub mod vocab;
 
 pub use adversary::{Adversary, AdversaryView, FnAdversary, SilentAdversary};
-pub use attack::{ActorRange, AttackBehavior, AttackPlan, AttackStep, PlanAdversary};
+pub use attack::{
+    ActorRange, AttackBehavior, AttackPlan, AttackStep, PlanAdversary, SemanticStrategy,
+};
 pub use delay::{DelayEngine, DelayModel, PartitionSpec};
 pub use dynamic::{ChurnEvent, ChurnSchedule};
 pub use engine::{EngineConfig, PhaseTimings, RunOutcome, SyncEngine};
@@ -119,3 +122,4 @@ pub use stats::{Histogram, RateEstimate, Summary};
 pub use sweep::{ScenarioGrid, SweepCase};
 pub use trace::{TraceEvent, TraceLog};
 pub use traffic::{RoundTraffic, SentRef, TrafficItem};
+pub use vocab::{input_extremes, PayloadVocab, VocabAdversary, VocabScene};

@@ -269,4 +269,117 @@ mod tests {
     fn debug_renders_the_payload_only() {
         assert_eq!(format!("{:?}", Shared::new(5u8)), "5");
     }
+
+    /// Seeded property sweeps (the workspace's stand-in for proptest): over
+    /// hundreds of arbitrary payloads, a `Shared<P>` must be observably
+    /// indistinguishable from the `P` it wraps.
+    mod properties {
+        use super::*;
+        use crate::rng::seeded_rng;
+        use rand::RngCore;
+
+        /// An arbitrary structured payload: length, content and value range all
+        /// drawn from the stream.
+        fn arbitrary_payload(rng: &mut impl RngCore) -> Vec<u64> {
+            let len = (rng.next_u64() % 9) as usize;
+            (0..len).map(|_| rng.next_u64() % 1000).collect()
+        }
+
+        #[test]
+        fn eq_and_hash_agree_with_the_underlying_value() {
+            let mut rng = seeded_rng(0xEC0);
+            for _ in 0..256 {
+                let payload = arbitrary_payload(&mut rng);
+                let a = Shared::new(payload.clone());
+                let b = Shared::new(payload.clone());
+                // Value semantics: equal to the payload, equal across distinct
+                // allocations of it, and `Hash` consistent with `Eq` (same
+                // `DefaultHasher` stream as hashing the payload directly).
+                assert_eq!(a, payload);
+                assert_eq!(a, b);
+                assert!(!Shared::ptr_eq(&a, &b));
+                assert_eq!(digest_of(&a), digest_of(&payload));
+                assert_eq!(digest_of(&a), digest_of(&b));
+                // A perturbed payload disagrees on eq (and, for a digest this
+                // wide, on hash).
+                let mut other = payload.clone();
+                other.push(31_337);
+                assert_ne!(a, Shared::new(other.clone()));
+                assert_ne!(digest_of(&a), digest_of(&other));
+            }
+        }
+
+        #[test]
+        fn digest_is_stable_across_clones() {
+            let mut rng = seeded_rng(0xD16);
+            for _ in 0..256 {
+                let payload = arbitrary_payload(&mut rng);
+                let handle = Shared::new(payload.clone());
+                let expected = digest_of(&payload);
+                assert_eq!(handle.digest(), expected, "computed once, at allocation");
+                let fanned: Vec<Shared<Vec<u64>>> = (0..4).map(|_| handle.clone()).collect();
+                for clone in &fanned {
+                    assert_eq!(clone.digest(), expected, "clones share the cache");
+                    assert!(
+                        Shared::ptr_eq(clone, &handle),
+                        "…because they share the allocation"
+                    );
+                }
+                drop(handle);
+                assert_eq!(fanned[0].digest(), expected, "survives the original handle");
+            }
+        }
+
+        #[test]
+        fn serde_round_trips() {
+            let mut rng = seeded_rng(0x5ED);
+            for _ in 0..256 {
+                let payload = arbitrary_payload(&mut rng);
+                let handle = Shared::new(payload.clone());
+                let value = Serialize::to_value(&handle);
+                assert_eq!(
+                    value,
+                    Serialize::to_value(&payload),
+                    "the wire form is the payload's, not a wrapper's"
+                );
+                let back: Shared<Vec<u64>> = Deserialize::from_value(&value).unwrap();
+                assert_eq!(back, handle);
+                assert_eq!(
+                    back.digest(),
+                    handle.digest(),
+                    "the digest is recomputed identically"
+                );
+            }
+        }
+
+        #[test]
+        fn modify_on_a_uniquely_owned_handle_does_not_allocate() {
+            let mut rng = seeded_rng(0xA110C);
+            for _ in 0..256 {
+                let payload = arbitrary_payload(&mut rng);
+                let mut handle = Shared::new(payload.clone());
+                // The allocation's address is the witness: an in-place mutation
+                // keeps it, a copy-on-write (or any re-materialisation) changes
+                // it. Unlike the process-wide counter, the token cannot be
+                // perturbed by concurrently running tests.
+                let token = handle.token();
+                handle.modify(|v| v.push(7));
+                assert_eq!(handle.token(), token, "uniquely owned ⇒ mutated in place");
+                let mut expected = payload.clone();
+                expected.push(7);
+                assert_eq!(handle, expected);
+                assert_eq!(
+                    handle.digest(),
+                    digest_of(&expected),
+                    "digest tracks the mutation"
+                );
+                // The moment the handle is shared, the same call pays exactly
+                // one clone instead (and leaves the sibling untouched).
+                let sibling = handle.clone();
+                handle.modify(|v| v.push(8));
+                assert_ne!(handle.token(), sibling.token(), "shared ⇒ copy-on-write");
+                assert_eq!(sibling, expected, "the sibling keeps the old value");
+            }
+        }
+    }
 }

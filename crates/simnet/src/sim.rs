@@ -46,6 +46,7 @@ use crate::error::SimError;
 use crate::id::{IdSpace, NodeId};
 use crate::metrics::RoundMetrics;
 use crate::node::Protocol;
+use crate::vocab::{PayloadVocab, VocabAdversary};
 
 /// A boxed, dynamically dispatched adversary — the form in which
 /// [`ProtocolFactory::adversary`] returns strategies so one harness type covers
@@ -336,6 +337,16 @@ impl BuildContext {
         self.byzantine_ids.len()
     }
 
+    /// The failure bound a known-`f` protocol is promised: the peak number of
+    /// Byzantine identities simultaneously in the system over the whole run,
+    /// including any the churn schedule joins later. A baseline configured with
+    /// only the *initial* count would be run outside its model the moment a
+    /// Byzantine identity joins — its thresholds would be forgeable by design,
+    /// not by theorem.
+    pub fn known_f(&self) -> usize {
+        self.spec.churn.peak_byzantine(self.byzantine_ids.len())
+    }
+
     /// All identifiers, correct first, in generation order.
     pub fn all_ids(&self) -> Vec<NodeId> {
         self.correct_ids
@@ -401,6 +412,19 @@ pub trait ProtocolFactory {
         scripted_attack_behavior(self, behavior, ctx)
     }
 
+    /// The protocol's payload vocabulary (see [`PayloadVocab`]): how to fabricate
+    /// semantically valid, threshold-probing and garbage payloads for this
+    /// protocol's wire format, drawn from the live scenario. Factories that
+    /// provide one unlock the `AttackBehavior::Noise` / `AttackBehavior::Semantic`
+    /// behaviours; the default (`None`) makes those behaviours substitute the
+    /// protocol's worst scripted attack, following the usual substitution rule.
+    fn payload_vocab(
+        &self,
+        _ctx: &BuildContext,
+    ) -> Option<Box<dyn PayloadVocab<<Self::Node as Protocol>::Payload>>> {
+        None
+    }
+
     /// When the run is finished (before the scenario's round cap).
     fn stop_condition(&self) -> StopCondition {
         StopCondition::AllTerminated
@@ -446,6 +470,22 @@ pub fn scripted_attack_behavior<F: ProtocolFactory + ?Sized>(
         AttackBehavior::Equivocate { .. } | AttackBehavior::Outliers { .. } => {
             factory.adversary(AdversaryKind::Worst, ctx)
         }
+        // The vocabulary-driven behaviours: resolved through the factory's
+        // payload vocabulary when it provides one, substituted by the worst
+        // scripted attack otherwise (same substitution rule as above).
+        AttackBehavior::Noise => match factory.payload_vocab(ctx) {
+            Some(vocab) => {
+                NamedAdversary::new("noise", VocabAdversary::noise(vocab, ctx.spec.seed))
+            }
+            None => factory.adversary(AdversaryKind::Worst, ctx),
+        },
+        AttackBehavior::Semantic { strategy } => match factory.payload_vocab(ctx) {
+            Some(vocab) => NamedAdversary::new(
+                format!("semantic-{}", strategy.name()),
+                VocabAdversary::semantic(vocab, *strategy, ctx.spec.seed),
+            ),
+            None => factory.adversary(AdversaryKind::Worst, ctx),
+        },
     }
 }
 

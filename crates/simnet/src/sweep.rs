@@ -35,10 +35,10 @@ pub struct ScenarioGrid<P> {
     sizes: Vec<(usize, usize)>,
     plans: Vec<AttackPlan>,
     churns: Vec<ChurnSchedule>,
+    id_spaces: Vec<IdSpace>,
     trials: u64,
     base_seed: u64,
     max_rounds: u64,
-    id_space: IdSpace,
 }
 
 impl<P> Default for ScenarioGrid<P> {
@@ -48,10 +48,10 @@ impl<P> Default for ScenarioGrid<P> {
             sizes: vec![(5, 1)],
             plans: vec![AttackPlan::preset(crate::sim::AdversaryKind::Silent)],
             churns: vec![ChurnSchedule::empty()],
+            id_spaces: vec![IdSpace::default()],
             trials: 1,
             base_seed: 0,
             max_rounds: 400,
-            id_space: IdSpace::default(),
         }
     }
 }
@@ -105,9 +105,18 @@ impl<P: Clone> ScenarioGrid<P> {
         self
     }
 
-    /// Sets the identifier-generation strategy for every case.
+    /// Sets a single identifier-generation strategy for every case (collapses
+    /// the identifier-layout axis to one point).
     pub fn ids(mut self, id_space: IdSpace) -> Self {
-        self.id_space = id_space;
+        self.id_spaces = vec![id_space];
+        self
+    }
+
+    /// Sets the identifier-layout axis: every case is enumerated once per
+    /// layout, so a sweep probes dense, sparse and adversary-chosen identifier
+    /// assignments side by side.
+    pub fn id_spaces(mut self, id_spaces: impl Into<Vec<IdSpace>>) -> Self {
+        self.id_spaces = id_spaces.into();
         self
     }
 
@@ -117,6 +126,7 @@ impl<P: Clone> ScenarioGrid<P> {
             * self.sizes.len() as u64
             * self.plans.len() as u64
             * self.churns.len() as u64
+            * self.id_spaces.len() as u64
             * self.trials
     }
 
@@ -126,8 +136,9 @@ impl<P: Clone> ScenarioGrid<P> {
     }
 
     /// The `index`-th case (0-based). Pure in the grid definition: trial varies
-    /// fastest, then churn, plan, size, and protocol slowest — and the case seed is
-    /// `derive_seed(base_seed, index)`, so every case owns an independent stream.
+    /// fastest, then identifier layout, churn, plan, size, and protocol slowest —
+    /// and the case seed is `derive_seed(base_seed, index)`, so every case owns
+    /// an independent stream.
     ///
     /// Panics if `index >= len()`.
     pub fn case(&self, index: u64) -> SweepCase<P> {
@@ -135,6 +146,8 @@ impl<P: Clone> ScenarioGrid<P> {
         let mut rest = index;
         let trial = rest % self.trials;
         rest /= self.trials;
+        let id_space = self.id_spaces[(rest % self.id_spaces.len() as u64) as usize];
+        rest /= self.id_spaces.len() as u64;
         let churn = &self.churns[(rest % self.churns.len() as u64) as usize];
         rest /= self.churns.len() as u64;
         let plan = &self.plans[(rest % self.plans.len() as u64) as usize];
@@ -146,7 +159,7 @@ impl<P: Clone> ScenarioGrid<P> {
         let spec = Simulation::scenario()
             .correct(correct)
             .byzantine(byzantine)
-            .ids(self.id_space)
+            .ids(id_space)
             .seed(derive_seed(self.base_seed, index))
             .max_rounds(self.max_rounds)
             .churn(churn.clone())
@@ -241,6 +254,32 @@ mod tests {
         // The protocol axis varies slowest.
         assert!(cases[..24].iter().all(|c| c.protocol == "a"));
         assert!(cases[24..].iter().all(|c| c.protocol == "b"));
+    }
+
+    #[test]
+    fn id_space_axis_multiplies_and_threads_layouts_into_specs() {
+        let grid = ScenarioGrid::<&'static str>::new()
+            .protocols(vec!["a"])
+            .sizes(vec![(4, 2)])
+            .id_spaces(vec![
+                IdSpace::default(),
+                IdSpace::AdversaryLow { stride: 97 },
+                IdSpace::Consecutive,
+            ])
+            .trials(2);
+        assert_eq!(grid.len(), 3 * 2, "layout axis multiplies the case count");
+        // Trial varies fastest, layout second; each case records its layout.
+        assert_eq!(grid.case(0).spec.id_space, IdSpace::default());
+        assert_eq!(grid.case(1).spec.id_space, IdSpace::default());
+        assert_eq!(
+            grid.case(2).spec.id_space,
+            IdSpace::AdversaryLow { stride: 97 }
+        );
+        assert_eq!(grid.case(4).spec.id_space, IdSpace::Consecutive);
+        // A single `.ids(...)` call collapses the axis again.
+        let collapsed = grid.clone().ids(IdSpace::Random);
+        assert_eq!(collapsed.len(), 2);
+        assert_eq!(collapsed.case(1).spec.id_space, IdSpace::Random);
     }
 
     #[test]

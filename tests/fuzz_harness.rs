@@ -86,6 +86,70 @@ fn serialized_cases_replay_identically() {
     }
 }
 
+/// The shrinker round-trip contract behind `experiments -- fuzz --replay`:
+/// every shrunk reproducer the harness emits, re-judged through the replay
+/// oracle (`replay_failures` — the exact function the `--replay` driver calls),
+/// reproduces the recorded failures *and* at least one failing property id of
+/// the case it was shrunk from. Without the id check a shrinking move could
+/// quietly trade the found bug for a different one that happens to fail on a
+/// smaller scenario, and the pinned reproducer would document the wrong thing.
+#[test]
+fn shrunk_reproducers_replay_the_same_property_id() {
+    use uba_bench::{
+        boundary_grid_with, boundary_violations, fuzz_boundary, property_id, replay_failures,
+    };
+    use uba_simnet::IdSpace;
+    // A cheap but diverse failing pool: three families at n = 3f under the full
+    // plan axis, one identifier layout.
+    let grid = boundary_grid_with(
+        true,
+        vec![
+            ProtocolId::Consensus,
+            ProtocolId::ReliableBroadcast,
+            ProtocolId::ParallelConsensus,
+        ],
+        vec![IdSpace::default()],
+    );
+    let outcome = fuzz_boundary(&grid, 4, 8);
+    assert!(
+        !outcome.counterexamples.is_empty(),
+        "the boundary pool must produce reproducers to round-trip"
+    );
+    for ce in &outcome.counterexamples {
+        // The JSON the driver writes and reads back.
+        let json = serde_json::to_string(&ce.shrunk).expect("cases serialise");
+        let replayed_case: FuzzCase = serde_json::from_str(&json).expect("cases deserialise");
+        let report = run_case(&replayed_case);
+        let replayed = replay_failures(&replayed_case, &report);
+        assert!(
+            !replayed.is_empty(),
+            "{}: a reproducer that replays green is stale (the --replay driver \
+             exits non-zero on it)",
+            ce.shrunk.describe()
+        );
+        assert_eq!(
+            replayed,
+            ce.failures,
+            "{}: the replay reproduces the recorded failures byte-identically",
+            ce.shrunk.describe()
+        );
+        let original_report = run_case(&ce.original);
+        let original_ids: Vec<String> = boundary_violations(&ce.original, &original_report)
+            .iter()
+            .map(|failure| property_id(failure).to_string())
+            .collect();
+        assert!(
+            replayed
+                .iter()
+                .any(|failure| original_ids.iter().any(|id| id == property_id(failure))),
+            "{}: shrunk into a different bug — original ids {:?}, replayed {:?}",
+            ce.original.describe(),
+            original_ids,
+            replayed
+        );
+    }
+}
+
 /// The composed plan shapes (windows, collusion, subset announces, outliers,
 /// replay) all drive real traffic against the consensus protocol without breaking
 /// its guarantees — the sweep axes are live, not vacuous.
