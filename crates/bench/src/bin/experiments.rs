@@ -226,6 +226,50 @@ fn run_fuzz(args: &[String]) {
 
 fn run_scaling(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
+    // `--engine event` forces the whole grid through the discrete-event
+    // scheduler (zero-jitter timing) and writes the overhead rows to its own
+    // file — counts are identical by construction, the wall clock is the point.
+    match flag_value(args, "--engine") {
+        None | Some("sync") => {}
+        Some("event") => {
+            let engine_value_pos = args.iter().position(|a| a == "--engine").map(|p| p + 1);
+            let path = std::path::PathBuf::from(
+                args.iter()
+                    .enumerate()
+                    .find(|(i, a)| !a.starts_with("--") && Some(*i) != engine_value_pos)
+                    .map(|(_, a)| a.as_str())
+                    .unwrap_or("scaling-event.json"),
+            );
+            eprintln!("running the scaling grid through the event engine (quick = {quick})…");
+            let started = std::time::Instant::now();
+            let rows = uba_bench::scaling::scaling_rows_with_engine(
+                quick,
+                uba_simnet::EngineKind::event(),
+            );
+            let file = uba_bench::ScalingFile {
+                seed: uba_bench::scaling::SEED,
+                quick,
+                rows,
+                speedups: Vec::new(),
+            };
+            let json = serde_json::to_string_pretty(&file).expect("scaling files serialise");
+            if let Err(error) = std::fs::write(&path, &json) {
+                eprintln!("cannot write {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {} ({} bytes) in {:.2?}",
+                path.display(),
+                json.len(),
+                started.elapsed()
+            );
+            return;
+        }
+        Some(other) => {
+            eprintln!("--engine expects sync or event, got '{other}'");
+            std::process::exit(2);
+        }
+    }
     // A quick run writes to its own default file: the checked-in
     // BENCH_scaling.json holds the full grid, and a prefix-only run must not
     // silently clobber the recorded trajectory.

@@ -33,7 +33,7 @@ use uba_core::sim::{
 use uba_simnet::attack::{AttackBehavior, AttackPlan, AttackStep, SemanticStrategy};
 use uba_simnet::sim::{AdversaryKind, RunReport, ScenarioBuilder, ScenarioSpec};
 use uba_simnet::sweep::{ScenarioGrid, SweepCase};
-use uba_simnet::{ChurnEvent, ChurnSchedule, IdSpace, NodeId};
+use uba_simnet::{ChurnEvent, ChurnSchedule, EngineKind, IdSpace, NodeId, TimingSpec};
 
 use crate::montecarlo::{run_trials, SweepConfig};
 use crate::table::Table;
@@ -664,7 +664,8 @@ pub fn fuzz_grid(
 /// The candidate shrinking moves for a failing case, most aggressive first:
 /// halve/decrement the correct population, halve/decrement/zero the Byzantine
 /// population, simplify an exotic identifier layout back to the default, drop
-/// one churn event, drop one attack-plan step.
+/// the engine axis (or soften non-synchronous timing to zero-jitter), drop one
+/// churn event, drop one attack-plan step.
 fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
     let mut out = Vec::new();
     let spec = &case.spec;
@@ -688,6 +689,19 @@ fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
     // demonstration if the failure actually needs it.
     if spec.id_space != IdSpace::default() && !case.protocol.needs_consecutive_ids() {
         with_spec(&|s: &mut ScenarioSpec| s.id_space = IdSpace::default());
+    }
+    // Timing shrinks toward synchrony, mirroring the identifier-layout move: a
+    // non-synchronous engine is only part of a minimal demonstration if the
+    // failure needs it. Dropping the axis entirely is the aggressive move;
+    // softening the timing to zero-jitter keeps the event engine but removes
+    // the delay behaviour.
+    if spec.engine.is_some() {
+        with_spec(&|s: &mut ScenarioSpec| s.engine = None);
+    }
+    if matches!(&spec.engine, Some(EngineKind::Event(t)) if *t != TimingSpec::synchronous()) {
+        with_spec(&|s: &mut ScenarioSpec| {
+            s.engine = Some(EngineKind::Event(TimingSpec::synchronous()));
+        });
     }
     for index in 0..spec.churn.len() {
         with_spec(&|s: &mut ScenarioSpec| s.churn = s.churn.without_event(index));
@@ -894,5 +908,49 @@ mod tests {
         assert!(candidates
             .iter()
             .any(|c| c.spec.attack.as_ref().unwrap().len() == 1));
+    }
+
+    #[test]
+    fn shrinking_moves_the_engine_axis_toward_synchrony() {
+        let mut case = FuzzCase {
+            protocol: ProtocolId::Consensus,
+            spec: Simulation::scenario()
+                .correct(4)
+                .byzantine(1)
+                .engine(EngineKind::Event(
+                    TimingSpec::synchronous()
+                        .with_delay(uba_simnet::DelaySpec::Jitter { min: 1, max: 3 }),
+                ))
+                .spec()
+                .clone(),
+        };
+        let candidates = shrink_candidates(&case);
+        assert!(
+            candidates.iter().any(|c| c.spec.engine.is_none()),
+            "the aggressive move drops the axis"
+        );
+        assert!(
+            candidates
+                .iter()
+                .any(|c| c.spec.engine == Some(EngineKind::Event(TimingSpec::synchronous()))),
+            "the soft move keeps the engine but zeroes the timing"
+        );
+
+        // Once the timing is synchronous only the drop-the-axis move touches
+        // the engine: every candidate either keeps it verbatim or clears it.
+        case.spec.engine = Some(EngineKind::Event(TimingSpec::synchronous()));
+        let candidates = shrink_candidates(&case);
+        let engine_moves: Vec<_> = candidates
+            .iter()
+            .filter(|c| c.spec.engine != case.spec.engine)
+            .collect();
+        assert_eq!(engine_moves.len(), 1);
+        assert!(engine_moves[0].spec.engine.is_none());
+
+        // And with no engine set, neither move fires.
+        case.spec.engine = None;
+        assert!(shrink_candidates(&case)
+            .iter()
+            .all(|c| c.spec.engine.is_none()));
     }
 }

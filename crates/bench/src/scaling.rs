@@ -6,9 +6,14 @@
 //! id-only consensus and the phase-king baseline up to `n = 256`, reliable
 //! broadcast at the largest sizes — through the unified `Simulation` driver and
 //! measures the wall-clock time of every run, including the engine's per-phase
-//! split (produce / adversary / deliver / step — see `docs/ENGINE.md` for how to
-//! read it; the [`PhaseSplit::deliver_share`] column is the zero-copy headline).
-//! Regenerate with:
+//! split. Phases are *named*, not a fixed schema: the synchronous engine reports
+//! `step` / `produce` / `adversary` / `deliver`, the discrete-event engine adds
+//! `schedule` and `dispatch` slots (see `docs/ENGINE.md` for how to read them;
+//! the [`PhaseSplit::deliver_share`] column is the zero-copy headline). At
+//! `n = 128` the recorded grid re-runs the consensus scenarios through the
+//! discrete-event engine under zero-jitter timing, asserting identical counts
+//! and recording the scheduler's overhead as `engine: "event"` rows. Regenerate
+//! with:
 //!
 //! ```text
 //! cargo run -p uba-bench --release --bin experiments -- scaling
@@ -32,7 +37,7 @@ use serde::{Deserialize, Serialize};
 
 use uba_baselines::PhaseKingFactory;
 use uba_core::sim::{AdversaryKind, Harness, ProtocolFactory, RunReport, ScenarioExt, Simulation};
-use uba_simnet::{IdSpace, PhaseTimings};
+use uba_simnet::{EngineKind, IdSpace, PhaseTimings};
 
 use crate::baseline::{baseline_file, BaselineFile};
 
@@ -63,47 +68,67 @@ pub const PRE_CHANGE_REFERENCE_MS: &[(&str, f64)] = &[
     ("reliable-broadcast/announce-then-silent/n128", 4.48),
 ];
 
-/// Wall-clock split of one run across the engine's round phases, in milliseconds
-/// (machine-dependent, like `wall_ms`). `produce` is node stepping, `adversary`
-/// the injection phase, `deliver` inbox construction, `step` the engine
-/// bookkeeping around them — see `docs/ENGINE.md` for how to read these.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+/// One named engine phase and its wall-clock share of a run, in milliseconds
+/// (machine-dependent, like `wall_ms`).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMs {
+    /// Phase name as reported by the engine (`step`, `produce`, `adversary`,
+    /// `deliver` for the synchronous engine; the event engine adds `schedule`
+    /// and `dispatch`).
+    pub phase: String,
+    /// Wall-clock spent in this phase across the whole run.
+    pub ms: f64,
+}
+
+/// Wall-clock split of one run across the engine's named round phases. The
+/// schema is open-ended on purpose: the split mirrors whatever phase names the
+/// engine recorded, so the event engine's `schedule` / `dispatch` slots appear
+/// here instead of silently reporting as zero — see `docs/ENGINE.md` for how to
+/// read the names.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseSplit {
-    /// Phase 1 — node stepping and traffic production.
-    pub produce_ms: f64,
-    /// Phase 2 — adversary observation and injection.
-    pub adversary_ms: f64,
-    /// Phase 3 — delivery and deduplication.
-    pub deliver_ms: f64,
-    /// Engine bookkeeping (churn, inbox staging/recycling, metrics).
-    pub step_ms: f64,
+    /// Per-phase wall clock, in the order the engine first entered each phase.
+    pub phases: Vec<PhaseMs>,
 }
 
 impl PhaseSplit {
     fn from_timings(timings: PhaseTimings) -> Self {
-        let ms = |ns: u64| ns as f64 / 1_000_000.0;
         PhaseSplit {
-            produce_ms: ms(timings.produce_ns),
-            adversary_ms: ms(timings.adversary_ns),
-            deliver_ms: ms(timings.deliver_ns),
-            step_ms: ms(timings.step_ns),
+            phases: timings
+                .phases()
+                .iter()
+                .map(|&(phase, ns)| PhaseMs {
+                    phase: phase.to_string(),
+                    ms: ns as f64 / 1_000_000.0,
+                })
+                .collect(),
         }
+    }
+
+    /// Wall-clock of the named phase, `0.0` when the engine never entered it.
+    pub fn ms(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map_or(0.0, |p| p.ms)
     }
 
     /// Total engine-phase time (excludes driver overhead around `run_round`).
     pub fn total_ms(&self) -> f64 {
-        self.produce_ms + self.adversary_ms + self.deliver_ms + self.step_ms
+        self.phases.iter().map(|p| p.ms).sum()
     }
 
-    /// The delivery phase's share of the engine-phase total (0.0 when nothing
-    /// was measured). The zero-copy headline: at large `n` this used to approach
-    /// 1.0 and now stays well below the produce share. (For the dominant-phase
-    /// *name*, use [`PhaseTimings::dominant`] on the live harness — this split
-    /// only exists so the JSON carries the recorded numbers.)
+    /// The delivery work's share of the engine-phase total (0.0 when nothing
+    /// was measured): the sync engine's `deliver` phase plus the event engine's
+    /// `dispatch` phase, which plays the same role there. The zero-copy
+    /// headline: at large `n` this used to approach 1.0 and now stays well
+    /// below the produce share. (For the dominant-phase *name*, use
+    /// [`PhaseTimings::dominant`] on the live harness — this split only exists
+    /// so the JSON carries the recorded numbers.)
     pub fn deliver_share(&self) -> f64 {
         let total = self.total_ms();
         if total > 0.0 {
-            self.deliver_ms / total
+            (self.ms("deliver") + self.ms("dispatch")) / total
         } else {
             0.0
         }
@@ -129,6 +154,11 @@ pub struct ScalingRow {
     pub deliveries: u64,
     /// Whether the run completed before its round cap.
     pub ok: bool,
+    /// Which engine executed the run: `"sync"` for the lock-step scheduler,
+    /// `"event"` for the discrete-event scheduler under zero-jitter timing
+    /// (same counts by construction; the wall-clock difference is the
+    /// scheduler's overhead).
+    pub engine: String,
     /// Whether the engine's parallel node-step path was enabled for this run.
     pub parallel: bool,
     /// Wall-clock time of the run in milliseconds (machine-dependent).
@@ -153,12 +183,20 @@ impl ScalingRow {
 }
 
 impl ScalingRow {
-    /// The `protocol/adversary/n[/parallel]` scenario key. The reference lookup
-    /// deliberately ignores the `/parallel` suffix: both modes are compared
-    /// against the same (serial) pre-rewrite timing.
+    /// The `protocol/adversary/n[/engine][/parallel]` scenario key. The
+    /// reference lookup deliberately ignores both suffixes: every mode is
+    /// compared against the same (serial, synchronous) pre-rewrite timing.
     pub fn key(&self) -> String {
+        let engine = if self.engine == "sync" {
+            String::new()
+        } else {
+            format!("/{}", self.engine)
+        };
         let suffix = if self.parallel { "/parallel" } else { "" };
-        format!("{}/{}/n{}{}", self.protocol, self.adversary, self.n, suffix)
+        format!(
+            "{}/{}/n{}{}{}",
+            self.protocol, self.adversary, self.n, engine, suffix
+        )
     }
 
     fn reference_key(&self) -> String {
@@ -227,6 +265,10 @@ fn row(report: &RunReport, parallel: bool, wall_ms: f64, phases: PhaseSplit) -> 
         messages: report.messages.correct,
         deliveries: report.messages.deliveries,
         ok: report.completed(),
+        engine: match report.scenario.engine {
+            None | Some(EngineKind::Sync) => "sync".to_string(),
+            Some(EngineKind::Event(_)) => "event".to_string(),
+        },
         parallel,
         wall_ms,
         deliver_share: phases.deliver_share(),
@@ -234,7 +276,10 @@ fn row(report: &RunReport, parallel: bool, wall_ms: f64, phases: PhaseSplit) -> 
     }
 }
 
-fn grid_rows(quick: bool, mode: StepMode) -> Vec<ScalingRow> {
+/// `engine = None` runs the recorded sync-engine grid (with the event overhead
+/// re-runs at `n = 128` in [`StepMode::Recorded`]); `engine = Some(..)` forces
+/// every run through that engine instead, for overhead sweeps.
+fn grid_rows(quick: bool, mode: StepMode, engine: Option<EngineKind>) -> Vec<ScalingRow> {
     let sizes = if quick { QUICK_SIZES } else { FULL_SIZES };
     let mut rows = Vec::new();
 
@@ -269,22 +314,28 @@ fn grid_rows(quick: bool, mode: StepMode) -> Vec<ScalingRow> {
         // which is the traffic pattern the zero-copy message plane targets.
         // Split-vote is the broadcast-heavy headline (the adversary keeps the
         // phases coming). In the recorded mode, at n ≥ 64 the same scenario is
-        // re-run with the opt-in parallel node-step path; the counts must not
-        // move (equality is asserted), only the wall clock may.
+        // re-run with the opt-in parallel node-step path, and at n = 128 once
+        // more through the discrete-event scheduler under zero-jitter timing;
+        // the counts must not move (equality is asserted), only the wall clock
+        // may — the event rows record the scheduler's overhead.
         for kind in [AdversaryKind::Silent, AdversaryKind::SplitVote] {
-            let build = || {
-                Simulation::scenario()
+            let build = |engine: Option<EngineKind>| {
+                let mut scenario = Simulation::scenario()
                     .correct(correct)
                     .byzantine(f)
                     .seed(SEED + n as u64)
                     .max_rounds(5_000)
-                    .adversary(kind)
-                    .consensus(&inputs)
+                    .adversary(kind);
+                if let Some(engine) = engine {
+                    scenario = scenario.engine(engine);
+                }
+                scenario.consensus(&inputs)
             };
-            let ((report, wall_ms, phases), parallel) = drive!(build(), false);
+            let ((report, wall_ms, phases), parallel) = drive!(build(engine.clone()), false);
             rows.push(row(&report, parallel, wall_ms, phases));
             if mode == StepMode::Recorded && n >= 64 {
-                let ((parallel_report, parallel_ms, parallel_phases), _) = drive!(build(), true);
+                let ((parallel_report, parallel_ms, parallel_phases), _) =
+                    drive!(build(engine.clone()), true);
                 assert_eq!(
                     (parallel_report.rounds, &parallel_report.messages),
                     (report.rounds, &report.messages),
@@ -292,18 +343,33 @@ fn grid_rows(quick: bool, mode: StepMode) -> Vec<ScalingRow> {
                 );
                 rows.push(row(&parallel_report, true, parallel_ms, parallel_phases));
             }
+            if mode == StepMode::Recorded && engine.is_none() && n == 128 {
+                let ((event_report, event_ms, event_phases), _) =
+                    drive!(build(Some(EngineKind::event())), false);
+                assert_eq!(
+                    (event_report.rounds, &event_report.messages),
+                    (report.rounds, &report.messages),
+                    "the zero-jitter event engine must not change behaviour"
+                );
+                rows.push(row(&event_report, false, event_ms, event_phases));
+            }
         }
 
         // Phase-king head-to-head on the same sizes (known `(n, f)`, silent
         // faults — the only behaviour its wire format admits).
         let ((report, wall_ms, phases), parallel) = drive!(
-            Simulation::scenario()
-                .correct(correct)
-                .byzantine(f)
-                .ids(IdSpace::Consecutive)
-                .seed(0)
-                .max_rounds(5_000)
-                .build(PhaseKingFactory::new(inputs.clone())),
+            {
+                let mut scenario = Simulation::scenario()
+                    .correct(correct)
+                    .byzantine(f)
+                    .ids(IdSpace::Consecutive)
+                    .seed(0)
+                    .max_rounds(5_000);
+                if let Some(engine) = engine.clone() {
+                    scenario = scenario.engine(engine);
+                }
+                scenario.build(PhaseKingFactory::new(inputs.clone()))
+            },
             false
         );
         rows.push(row(&report, parallel, wall_ms, phases));
@@ -315,13 +381,17 @@ fn grid_rows(quick: bool, mode: StepMode) -> Vec<ScalingRow> {
     for &n in broadcast_sizes {
         let f = (n - 1) / 3;
         let ((report, wall_ms, phases), parallel) = drive!(
-            Simulation::scenario()
-                .correct(n - f)
-                .byzantine(f)
-                .seed(SEED + n as u64)
-                .adversary(AdversaryKind::AnnounceThenSilent)
-                .broadcast(42)
-                .rounds(12),
+            {
+                let mut scenario = Simulation::scenario()
+                    .correct(n - f)
+                    .byzantine(f)
+                    .seed(SEED + n as u64)
+                    .adversary(AdversaryKind::AnnounceThenSilent);
+                if let Some(engine) = engine.clone() {
+                    scenario = scenario.engine(engine);
+                }
+                scenario.broadcast(42).rounds(12)
+            },
             false
         );
         rows.push(row(&report, parallel, wall_ms, phases));
@@ -333,7 +403,14 @@ fn grid_rows(quick: bool, mode: StepMode) -> Vec<ScalingRow> {
 /// Runs the scaling grid (`--quick` restricts it to the small-`n` prefix) and
 /// returns one measured row per scenario.
 pub fn scaling_rows(quick: bool) -> Vec<ScalingRow> {
-    grid_rows(quick, StepMode::Recorded)
+    grid_rows(quick, StepMode::Recorded, None)
+}
+
+/// Runs the whole scaling grid through the given engine (the
+/// `experiments -- scaling --engine event` overhead sweep). Counts are
+/// engine-independent by construction; the wall clock is the point.
+pub fn scaling_rows_with_engine(quick: bool, engine: EngineKind) -> Vec<ScalingRow> {
+    grid_rows(quick, StepMode::Recorded, Some(engine))
 }
 
 /// The CI threshold-drift gate (see `.github/workflows/ci.yml`): runs the quick
@@ -344,13 +421,13 @@ pub fn scaling_rows(quick: bool) -> Vec<ScalingRow> {
 /// a human-readable drift line; an empty result means the step modes are
 /// behaviourally indistinguishable, as the engine promises.
 pub fn threshold_drift(quick: bool, thresholds: &[usize]) -> Vec<String> {
-    let reference: Vec<ScalingRow> = grid_rows(quick, StepMode::Serial)
+    let reference: Vec<ScalingRow> = grid_rows(quick, StepMode::Serial, None)
         .iter()
         .map(ScalingRow::counts_only)
         .collect();
     let mut drift = Vec::new();
     for &threshold in thresholds {
-        let rows = grid_rows(quick, StepMode::Forced { threshold });
+        let rows = grid_rows(quick, StepMode::Forced { threshold }, None);
         if rows.len() != reference.len() {
             drift.push(format!(
                 "threshold {threshold}: {} rows vs {} serial rows",
@@ -394,6 +471,10 @@ pub fn scaling_file(quick: bool) -> ScalingFile {
     let rows = scaling_rows(quick);
     let speedups = rows
         .iter()
+        // Event rows measure the discrete-event scheduler's overhead, not the
+        // engine-rewrite speedup — only the sync rows are comparable to the
+        // recorded pre-rewrite timings.
+        .filter(|r| r.engine == "sync")
         .filter_map(|r| {
             let reference = r.reference_key();
             PRE_CHANGE_REFERENCE_MS
@@ -524,6 +605,52 @@ mod tests {
         // reproduces the serial counts exactly.
         let drift = threshold_drift(true, &[1, 64]);
         assert_eq!(drift, Vec::<String>::new());
+    }
+
+    #[test]
+    fn phase_split_totals_and_shares_follow_the_named_slots() {
+        let split = PhaseSplit {
+            phases: vec![
+                PhaseMs {
+                    phase: "produce".into(),
+                    ms: 6.0,
+                },
+                PhaseMs {
+                    phase: "deliver".into(),
+                    ms: 3.0,
+                },
+                PhaseMs {
+                    phase: "dispatch".into(),
+                    ms: 1.0,
+                },
+            ],
+        };
+        assert_eq!(split.ms("deliver"), 3.0);
+        assert_eq!(split.ms("schedule"), 0.0, "unknown phases read as zero");
+        assert_eq!(split.total_ms(), 10.0);
+        // deliver + dispatch over the total: the share stays meaningful for
+        // event-engine rows where delivery work lives in `dispatch`.
+        assert_eq!(split.deliver_share(), 0.4);
+        assert_eq!(PhaseSplit::default().deliver_share(), 0.0);
+    }
+
+    #[test]
+    fn the_event_engine_reproduces_the_sync_grid_counts() {
+        // The scaling grid run end-to-end through the discrete-event scheduler
+        // under zero-jitter timing must be count-identical to the sync grid —
+        // the engine-level equivalence (tests/event_equivalence.rs) surfacing
+        // at the benchmark layer.
+        let normalize = |rows: Vec<ScalingRow>| -> Vec<ScalingRow> {
+            rows.iter()
+                .map(|r| ScalingRow {
+                    engine: "sync".into(),
+                    ..r.counts_only()
+                })
+                .collect()
+        };
+        let sync = normalize(grid_rows(true, StepMode::Serial, None));
+        let event = normalize(grid_rows(true, StepMode::Serial, Some(EngineKind::event())));
+        assert_eq!(sync, event);
     }
 
     #[test]

@@ -32,6 +32,20 @@ pub enum TimingModel {
     },
     /// Cross-partition messages are never delivered (Lemma 14).
     Asynchronous,
+    /// Partial synchrony in the DLS sense: **every** message sent before the
+    /// global stabilisation time `gst` arrives at `gst + bound`; afterwards
+    /// the network is synchronous with delay `bound`. Unlike the partitioned
+    /// models this delays traffic uniformly — the adversary needs no knowledge
+    /// of the partition, only control of the clock. A `gst` later than the
+    /// algorithm's decision point silences the whole network long enough that
+    /// each side decides on its own unanimous input, and the late GST traffic
+    /// cannot take the decisions back.
+    PartialSynchrony {
+        /// Global stabilisation time, in ticks.
+        gst: u64,
+        /// Post-stabilisation delivery bound, in ticks.
+        bound: u64,
+    },
 }
 
 /// The outcome of one partition experiment.
@@ -87,6 +101,7 @@ pub fn run_partition_experiment(
                 .with_group(1, b_ids.iter().copied()),
             cross_delay: None,
         },
+        TimingModel::PartialSynchrony { gst, bound } => DelayModel::Gst { gst, bound },
     };
 
     let mut engine = DelayEngine::new(nodes, delay_model);
@@ -167,6 +182,32 @@ mod tests {
             outcome.undelivered > 0,
             "the cross-partition messages exist but arrive after the decisions"
         );
+    }
+
+    #[test]
+    fn partial_synchrony_with_a_late_gst_denies_termination() {
+        // A GST after the algorithm's initialisation rounds silences the whole
+        // network during rounds 1–2 — a node does not even hear its own
+        // broadcast. Algorithm 3 freezes its member estimate `n_v` after those
+        // rounds, so every node is stuck with an empty membership and the phase
+        // machinery never produces a coordinator to decide with: the silent
+        // prologue costs liveness *permanently*, even though the network is
+        // fully synchronous after GST. This is behaviour the synchronous
+        // engine cannot express — there, round-1 traffic always arrives.
+        let err =
+            run_partition_experiment(3, 3, TimingModel::PartialSynchrony { gst: 5, bound: 1 }, 13)
+                .unwrap_err();
+        assert!(
+            matches!(err, SimError::MaxRoundsExceeded { .. }),
+            "a late GST starves the round-driven algorithm forever: {err:?}"
+        );
+
+        // GST at time zero is the synchronous control: same model, same code
+        // path, agreement as usual.
+        let control =
+            run_partition_experiment(3, 3, TimingModel::PartialSynchrony { gst: 0, bound: 1 }, 13)
+                .unwrap();
+        assert!(control.agreement, "gst = 0 is synchrony: {control:?}");
     }
 
     #[test]

@@ -13,15 +13,25 @@
 //! [`DelayModel`]. With [`DelayModel::Synchronous`] every message takes exactly one
 //! tick and the engine behaves like the synchronous engine; with a partitioned model
 //! the cross-partition delay (or outright omission, for the asynchronous case) builds
-//! exactly the executions of Lemmas 14 and 15.
+//! exactly the executions of Lemmas 14 and 15; with [`DelayModel::Gst`] messages
+//! stall until a global stabilisation time and flow with a bounded delay after it —
+//! the partial-synchrony regime the impossibility results leave open.
+//!
+//! Since the discrete-event scheduler landed ([`crate::event`]), this engine is a
+//! thin facade over [`EventEngine`] with a zero-skew, one-unit-per-tick timing and
+//! the [`DelayModel`] translated to a per-link [`LinkDelay`]: the tick-delivery
+//! loop this module used to carry lives there now, shared with every other timing
+//! model. All nodes are correct — the impossibility constructions need no
+//! Byzantine nodes, which is precisely what makes them so damning.
 
 use std::collections::HashMap;
 
+use crate::adversary::SilentAdversary;
 use crate::error::SimError;
+use crate::event::{EventEngine, EventTiming, LinkDelay};
 use crate::id::NodeId;
-use crate::message::{Destination, Directed, Envelope};
-use crate::metrics::{Metrics, RoundMetrics};
-use crate::node::{Protocol, RoundContext};
+use crate::metrics::Metrics;
+use crate::node::Protocol;
 
 /// Assignment of nodes to partition groups.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -74,151 +84,109 @@ pub enum DelayModel {
         /// Cross-partition delay in ticks (`None` = unbounded / never delivered).
         cross_delay: Option<u64>,
     },
+    /// Partial synchrony: every message sent before the global stabilisation
+    /// time `gst` arrives at `gst + bound`; messages sent at or after `gst`
+    /// take `bound` ticks. Before stabilisation the network is effectively
+    /// asynchronous (unbounded but finite delay); after it, synchronous with a
+    /// known bound — the classic DLS régime the Section IX impossibilities
+    /// bracket from both sides.
+    Gst {
+        /// Global stabilisation time, in ticks.
+        gst: u64,
+        /// Post-stabilisation delivery bound, in ticks.
+        bound: u64,
+    },
 }
 
 impl DelayModel {
-    fn delay(&self, from: NodeId, to: NodeId) -> Option<u64> {
+    /// The per-link delay function of this model, as understood by the
+    /// discrete-event scheduler ([`crate::event::EventEngine`]).
+    pub fn link_delay(&self) -> LinkDelay {
         match self {
-            DelayModel::Synchronous => Some(1),
-            DelayModel::Partitioned { spec, cross_delay } => {
-                if spec.same_group(from, to) {
-                    Some(1)
-                } else {
-                    *cross_delay
-                }
-            }
+            DelayModel::Synchronous => LinkDelay::Constant(1),
+            DelayModel::Partitioned { spec, cross_delay } => LinkDelay::Partitioned {
+                spec: spec.clone(),
+                same: 1,
+                cross: *cross_delay,
+            },
+            DelayModel::Gst { gst, bound } => LinkDelay::Gst {
+                gst: *gst,
+                bound: (*bound).max(1),
+            },
         }
     }
 }
 
 /// An engine where every message carries an individual delivery delay (see module docs).
 ///
-/// All nodes are correct — the impossibility constructions need no Byzantine nodes,
-/// which is precisely what makes them so damning: even with zero failures, not knowing
-/// `n` makes agreement impossible without synchrony.
+/// A facade over [`EventEngine`] with all nodes correct, one virtual unit per
+/// tick and zero timer skew: every live node steps every tick, and the
+/// [`DelayModel`] decides when (or whether) each message arrives.
 pub struct DelayEngine<N: Protocol> {
-    nodes: Vec<N>,
-    /// Messages in flight: (delivery_tick, directed message).
-    in_flight: Vec<(u64, Directed<N::Payload>)>,
-    tick: u64,
-    model: DelayModel,
-    metrics: Metrics,
+    inner: EventEngine<N, SilentAdversary>,
 }
 
 impl<N: Protocol> DelayEngine<N> {
     /// Creates a delay engine over the given nodes and delay model.
     pub fn new(nodes: Vec<N>, model: DelayModel) -> Self {
+        let timing = EventTiming {
+            delay: model.link_delay(),
+            ..EventTiming::synchronous()
+        };
         DelayEngine {
-            nodes,
-            in_flight: Vec::new(),
-            tick: 0,
-            model,
-            metrics: Metrics::new(),
+            inner: EventEngine::new(nodes, SilentAdversary, Vec::new(), timing),
         }
     }
 
     /// The number of ticks executed so far.
     pub fn tick(&self) -> u64 {
-        self.tick
+        self.inner.round()
     }
 
-    /// Collected metrics (one [`RoundMetrics`] entry per tick).
+    /// Collected metrics (one [`crate::metrics::RoundMetrics`] entry per tick).
+    ///
+    /// Deliveries are attributed to the tick the message was *sent* in (the
+    /// scheduler's convention), and deduplication happens against everything a
+    /// recipient has not yet consumed rather than per arrival tick.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.inner.metrics()
     }
 
     /// The nodes, in insertion order.
     pub fn nodes(&self) -> &[N] {
-        &self.nodes
+        self.inner.nodes()
     }
 
     /// The `(id, output)` pairs of all nodes.
     pub fn outputs(&self) -> Vec<(NodeId, Option<N::Output>)> {
-        self.nodes.iter().map(|n| (n.id(), n.output())).collect()
+        self.inner.outputs()
     }
 
-    /// Number of messages still in flight (not yet delivered).
+    /// Number of messages still in flight (not yet delivered). Messages the
+    /// model refuses to deliver at all (`cross_delay: None`) are dropped at
+    /// send time and never counted.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        self.inner.in_flight()
     }
 
     /// Executes one tick: delivers due messages, steps every live node, and enqueues
     /// the produced messages with delays from the model.
     pub fn run_tick(&mut self) {
-        self.tick += 1;
-        let now = self.tick;
-        let ids: Vec<NodeId> = self.nodes.iter().map(|n| n.id()).collect();
-
-        // Collect deliveries due at this tick, grouped by recipient, deduplicated per
-        // (sender, payload) pair.
-        let mut due: HashMap<NodeId, Vec<Envelope<N::Payload>>> = HashMap::new();
-        let mut still_in_flight = Vec::with_capacity(self.in_flight.len());
-        let mut deliveries = 0u64;
-        for (when, msg) in std::mem::take(&mut self.in_flight) {
-            if when <= now {
-                let inbox = due.entry(msg.to).or_default();
-                if !inbox
-                    .iter()
-                    .any(|e| e.from == msg.from && e.payload == msg.payload)
-                {
-                    deliveries += 1;
-                    inbox.push(Envelope::new(msg.from, msg.payload));
-                }
-            } else {
-                still_in_flight.push((when, msg));
-            }
-        }
-        self.in_flight = still_in_flight;
-
-        let ctx = RoundContext::new(now);
-        let mut sent = 0u64;
-        let mut live = 0u64;
-        for node in &mut self.nodes {
-            if node.terminated() {
-                continue;
-            }
-            live += 1;
-            let id = node.id();
-            let inbox = due.remove(&id).unwrap_or_default();
-            for out in node.step(&ctx, &inbox) {
-                let recipients: Vec<NodeId> = match out.dest {
-                    Destination::Broadcast => ids.clone(),
-                    Destination::Unicast(to) => vec![to],
-                };
-                // One allocation per produced message; every in-flight copy is a
-                // handle to it, mirroring the synchronous engine's zero-copy plane.
-                let payload = crate::shared::Shared::new(out.payload);
-                for to in recipients {
-                    sent += 1;
-                    if let Some(delay) = self.model.delay(id, to) {
-                        self.in_flight
-                            .push((now + delay, Directed::new(id, to, payload.clone())));
-                    }
-                    // A `None` delay means the message is never delivered (asynchronous
-                    // omission of cross-partition traffic).
-                }
-            }
-        }
-
-        self.metrics.record_round(RoundMetrics {
-            round: now,
-            correct_messages: sent,
-            byzantine_messages: 0,
-            deliveries,
-            live_correct_nodes: live,
-        });
+        self.inner
+            .run_round()
+            .expect("a silent adversary cannot forge senders");
     }
 
     /// Runs ticks until every node has terminated or `max_ticks` is reached.
     pub fn run_until_all_terminated(&mut self, max_ticks: u64) -> Result<u64, SimError> {
-        while self.tick < max_ticks {
-            if self.nodes.iter().all(|n| n.terminated()) {
-                return Ok(self.tick);
+        while self.tick() < max_ticks {
+            if self.inner.nodes().iter().all(|n| n.terminated()) {
+                return Ok(self.tick());
             }
             self.run_tick();
         }
-        if self.nodes.iter().all(|n| n.terminated()) {
-            Ok(self.tick)
+        if self.inner.nodes().iter().all(|n| n.terminated()) {
+            Ok(self.tick())
         } else {
             Err(SimError::MaxRoundsExceeded { limit: max_ticks })
         }
@@ -228,7 +196,8 @@ impl<N: Protocol> DelayEngine<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::Outgoing;
+    use crate::message::{Envelope, Outgoing};
+    use crate::node::RoundContext;
 
     /// Decides the majority value among the first `quorum`-ish messages it sees: a toy
     /// stand-in for an agreement protocol that does not know how many nodes exist.
@@ -340,6 +309,40 @@ mod tests {
         // The cross-partition messages exist but are still in flight: bounded delay,
         // unknown to the nodes, is enough to break agreement (Lemma 15).
         assert!(engine.in_flight() > 0);
+    }
+
+    #[test]
+    fn gst_model_stalls_every_delivery_until_stabilisation() {
+        // Before GST the network is silent everywhere: every message sent
+        // before tick 50 arrives at tick 51, long after the naive voters stop
+        // waiting at tick 3 — they decide having heard nothing at all.
+        let mut engine = DelayEngine::new(
+            voters(&[(1, 1), (2, 1), (3, 0), (4, 0)]),
+            DelayModel::Gst { gst: 50, bound: 1 },
+        );
+        engine.run_until_all_terminated(10).unwrap();
+        assert!(
+            engine.outputs().into_iter().all(|(_, o)| o.is_some()),
+            "nodes decide without hearing anybody"
+        );
+        assert_eq!(engine.metrics().deliveries, 0, "nothing arrives before GST");
+        // One broadcast round: 4 senders × 4 recipients, all still queued.
+        assert_eq!(engine.in_flight(), 16);
+
+        // With gst = 0 the same model is synchronous-with-bound-1 from the
+        // start: everything arrives and agreement goes through.
+        let mut engine = DelayEngine::new(
+            voters(&[(1, 1), (2, 1), (3, 0), (4, 1)]),
+            DelayModel::Gst { gst: 0, bound: 1 },
+        );
+        engine.run_until_all_terminated(10).unwrap();
+        let outputs: Vec<u8> = engine
+            .outputs()
+            .into_iter()
+            .map(|(_, o)| o.unwrap())
+            .collect();
+        assert!(outputs.iter().all(|&o| o == outputs[0]));
+        assert_eq!(engine.metrics().deliveries, 16);
     }
 
     #[test]

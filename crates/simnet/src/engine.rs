@@ -139,14 +139,14 @@ impl RunOutcome {
 /// The schedule says *who* joins or leaves and *when*; the `joiner` callback says how
 /// to construct a correct node for a joining identifier (the engine cannot know how
 /// to initialise protocol state). Registered with [`SyncEngine::set_churn`].
-struct ChurnDriver<N> {
-    schedule: ChurnSchedule,
-    joiner: Box<dyn FnMut(NodeId) -> N>,
+pub(crate) struct ChurnDriver<N> {
+    pub(crate) schedule: ChurnSchedule,
+    pub(crate) joiner: Box<dyn FnMut(NodeId) -> N>,
     /// Highest round whose events have been (at least partially) applied. Guards a
     /// retried `run_round` after a failed event from re-applying the round's earlier
     /// events (which would turn one inapplicable event into spurious DuplicateId
     /// errors for the events that did apply).
-    applied_upto: u64,
+    pub(crate) applied_upto: u64,
 }
 
 /// A deterministic, multiply-rotate hasher for the engine's *internal* maps
@@ -156,7 +156,7 @@ struct ChurnDriver<N> {
 /// Collisions are harmless for correctness: the maps store full keys, and a
 /// payload-digest collision still falls back to the exact scan in [`deliver`].
 #[derive(Clone, Copy, Default)]
-struct FastHasher(u64);
+pub(crate) struct FastHasher(u64);
 
 impl FastHasher {
     #[inline]
@@ -197,16 +197,16 @@ impl Hasher for FastHasher {
     }
 }
 
-type FastState = BuildHasherDefault<FastHasher>;
+pub(crate) type FastState = BuildHasherDefault<FastHasher>;
 
 /// A recipient's accumulating inbox: the delivered envelopes plus the
 /// `(sender, payload digest)` pairs already seen, for O(1)-expected
 /// deduplication. Buffers are recycled through the engine's spare pool rather
 /// than reallocated.
 #[derive(Debug)]
-struct Inbox<P> {
-    messages: Vec<Envelope<P>>,
-    seen: HashSet<(NodeId, u64), FastState>,
+pub(crate) struct Inbox<P> {
+    pub(crate) messages: Vec<Envelope<P>>,
+    pub(crate) seen: HashSet<(NodeId, u64), FastState>,
 }
 
 impl<P> Default for Inbox<P> {
@@ -219,54 +219,72 @@ impl<P> Default for Inbox<P> {
 }
 
 impl<P> Inbox<P> {
-    fn recycle(&mut self) {
+    pub(crate) fn recycle(&mut self) {
         self.messages.clear();
         self.seen.clear();
     }
 }
 
-/// Wall-clock time accumulated in each phase of [`SyncEngine::run_round`], in
-/// nanoseconds. `produce` is phase 1 (nodes consuming inboxes and producing
-/// traffic), `adversary` phase 2, `deliver` phase 3; `step` is the per-round
-/// bookkeeping around them (churn application, inbox staging and recycling,
-/// membership maintenance, metrics). Timings are measurement-only: they never
-/// influence execution, and reports never contain them, so runs stay
-/// bit-for-bit reproducible.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Wall-clock time accumulated per named phase of an engine's round loop, in
+/// nanoseconds. The phase set is engine-specific: [`SyncEngine`] accumulates
+/// `produce` (phase 1, nodes consuming inboxes and producing traffic),
+/// `adversary` (phase 2), `deliver` (phase 3) and `step` (the per-round
+/// bookkeeping around them: churn application, inbox staging and recycling,
+/// membership maintenance, metrics); the event engine additionally reports
+/// `schedule` (clock advance plus delay-model expansion into the delivery
+/// queue) and `dispatch` (popping due deliveries into inboxes). Timings are
+/// measurement-only: they never influence execution, and reports never contain
+/// them, so runs stay bit-for-bit reproducible.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
-    /// Phase 1 — node stepping and traffic production.
-    pub produce_ns: u64,
-    /// Phase 2 — adversary observation and injection.
-    pub adversary_ns: u64,
-    /// Phase 3 — inbox delivery and deduplication.
-    pub deliver_ns: u64,
-    /// Everything else in `run_round` (churn, staging, recycling, metrics).
-    pub step_ns: u64,
+    /// `(phase name, accumulated nanoseconds)`, in first-recorded order.
+    slots: Vec<(&'static str, u64)>,
 }
 
 impl PhaseTimings {
-    /// Total time spent inside `run_round`.
-    pub fn total_ns(&self) -> u64 {
-        self.produce_ns + self.adversary_ns + self.deliver_ns + self.step_ns
+    /// An empty record (no phase measured yet).
+    pub fn new() -> Self {
+        PhaseTimings::default()
     }
 
-    /// Name of the phase with the largest accumulated time.
+    /// Adds `ns` nanoseconds to a named phase, creating the slot on first use.
+    pub fn add(&mut self, phase: &'static str, ns: u64) {
+        match self.slots.iter_mut().find(|(name, _)| *name == phase) {
+            Some(slot) => slot.1 += ns,
+            None => self.slots.push((phase, ns)),
+        }
+    }
+
+    /// Accumulated nanoseconds of a named phase (0 if never recorded).
+    pub fn get(&self, phase: &str) -> u64 {
+        self.slots
+            .iter()
+            .find(|(name, _)| *name == phase)
+            .map_or(0, |(_, ns)| *ns)
+    }
+
+    /// The recorded `(phase, nanoseconds)` slots, in first-recorded order.
+    pub fn phases(&self) -> &[(&'static str, u64)] {
+        &self.slots
+    }
+
+    /// Total time spent across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.slots.iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Name of the phase with the largest accumulated time (`"idle"` if nothing
+    /// was recorded yet).
     pub fn dominant(&self) -> &'static str {
-        let phases = [
-            ("produce", self.produce_ns),
-            ("adversary", self.adversary_ns),
-            ("deliver", self.deliver_ns),
-            ("step", self.step_ns),
-        ];
-        phases
+        self.slots
             .iter()
             .max_by_key(|(_, ns)| *ns)
             .map(|(name, _)| *name)
-            .unwrap_or("produce")
+            .unwrap_or("idle")
     }
 }
 
-fn elapsed_ns(since: Instant) -> u64 {
+pub(crate) fn elapsed_ns(since: Instant) -> u64 {
     since.elapsed().as_nanos() as u64
 }
 
@@ -279,7 +297,7 @@ fn elapsed_ns(since: Instant) -> u64 {
 /// inbox to a per-round slot, so the common path is one fast-hashed set insert
 /// plus a vector push, regardless of payload size or fan-out.
 #[allow(clippy::too_many_arguments)]
-fn deliver<P: PartialEq>(
+pub(crate) fn deliver<P: PartialEq>(
     inbox: &mut Inbox<P>,
     trace: &mut Option<TraceLog<P>>,
     byzantine_index: &HashSet<NodeId>,
@@ -318,14 +336,14 @@ fn deliver<P: PartialEq>(
 /// `nodes`) and appends the produced traffic, returning the live-node count. Stored
 /// as a plain function pointer so the parallel variant — which needs `N: Send` —
 /// can be installed without putting that bound on the whole engine.
-type StepperFn<N> = fn(
+pub(crate) type StepperFn<N> = fn(
     &mut [N],
     &RoundContext,
     &mut [Option<Inbox<<N as Protocol>::Payload>>],
     &mut RoundTraffic<<N as Protocol>::Payload>,
 ) -> u64;
 
-fn step_serial<N: Protocol>(
+pub(crate) fn step_serial<N: Protocol>(
     nodes: &mut [N],
     ctx: &RoundContext,
     inboxes: &mut [Option<Inbox<N::Payload>>],
@@ -352,7 +370,7 @@ fn step_serial<N: Protocol>(
     live
 }
 
-fn step_parallel<N>(
+pub(crate) fn step_parallel<N>(
     nodes: &mut [N],
     ctx: &RoundContext,
     inboxes: &mut [Option<Inbox<N::Payload>>],
@@ -602,7 +620,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
     /// Wall-clock time accumulated per round phase since the engine was created
     /// (see [`PhaseTimings`]). Measurement-only; never part of a report.
     pub fn phase_timings(&self) -> PhaseTimings {
-        self.timings
+        self.timings.clone()
     }
 
     /// Overrides the node count at which the parallel step path engages (see
@@ -697,7 +715,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             Some(parallel) if self.nodes.len() >= self.config.parallel_node_threshold => parallel,
             _ => step_serial::<N>,
         };
-        self.timings.step_ns += elapsed_ns(step_started);
+        self.timings.add("step", elapsed_ns(step_started));
         let produce_started = Instant::now();
         let live = stepper(
             &mut self.nodes,
@@ -705,7 +723,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             &mut self.step_inboxes,
             &mut self.traffic,
         );
-        self.timings.produce_ns += elapsed_ns(produce_started);
+        self.timings.add("produce", elapsed_ns(produce_started));
         let step_started = Instant::now();
         for mut inbox in self.step_inboxes.drain(..).flatten() {
             inbox.recycle();
@@ -717,7 +735,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         // (O(1) membership check per entry).
         let correct_index = &self.correct_index;
         self.inboxes.retain(|id, _| correct_index.contains(id));
-        self.timings.step_ns += elapsed_ns(step_started);
+        self.timings.add("step", elapsed_ns(step_started));
 
         // Phase 2 (adversary): the rushing adversary observes the round's traffic
         // (lazily expanded) and injects its own directed messages.
@@ -734,7 +752,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
                 return Err(SimError::ForgedSender { claimed: msg.from });
             }
         }
-        self.timings.adversary_ns += elapsed_ns(adversary_started);
+        self.timings.add("adversary", elapsed_ns(adversary_started));
 
         // Phase 3 (deliver): build next-round inboxes. A broadcast reaches each
         // *correct* recipient as a reference-count bump of its one shared payload
@@ -827,7 +845,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             }
         }
 
-        self.timings.deliver_ns += elapsed_ns(deliver_started);
+        self.timings.add("deliver", elapsed_ns(deliver_started));
 
         let step_started = Instant::now();
         self.metrics.record_round(RoundMetrics {
@@ -837,7 +855,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             deliveries,
             live_correct_nodes: live,
         });
-        self.timings.step_ns += elapsed_ns(step_started);
+        self.timings.add("step", elapsed_ns(step_started));
         Ok(())
     }
 
@@ -1142,9 +1160,9 @@ mod tests {
         assert!(
             timings.total_ns()
                 >= timings
-                    .produce_ns
-                    .max(timings.adversary_ns)
-                    .max(timings.deliver_ns),
+                    .get("produce")
+                    .max(timings.get("adversary"))
+                    .max(timings.get("deliver")),
             "the total covers every phase"
         );
         assert!(["produce", "adversary", "deliver", "step"].contains(&timings.dominant()));

@@ -1,0 +1,30 @@
+//! Discrete-event simulation: virtual time, per-link delays, reordering and
+//! partial synchrony behind the same `Simulation` plumbing as the synchronous
+//! engine.
+//!
+//! The paper's hardest results are *about* timing: Section IX proves that
+//! agreement without knowledge of `n` and `f` is impossible in asynchronous
+//! and semi-synchronous systems, and the constructions behind Lemmas 14/15 are
+//! delay schedules. This module generalises the repository's scenario space
+//! from "synchronous rounds only" to arbitrary deterministic timing:
+//!
+//! * [`VirtualClock`] / [`NodeTimers`] — virtual time and seeded per-node
+//!   round timers (zero skew degenerates to lock-step rounds);
+//! * [`DeliveryQueue`] / [`Flight`] — a deterministic priority queue of
+//!   timestamped deliveries, ordered by `(arrival, reorder key, sequence)`;
+//! * [`DelaySpec`] / [`TimingSpec`] / [`EngineKind`] — the serialisable
+//!   timing axis carried by [`ScenarioSpec`](crate::sim::ScenarioSpec);
+//! * [`LinkDelay`] / [`EventTiming`] — the resolved runtime delay models
+//!   (constant, seeded jitter, partitioned, GST partial synchrony);
+//! * [`EventEngine`] — the engine itself, byte-identical to
+//!   [`SyncEngine`](crate::SyncEngine) under [`EventTiming::synchronous`].
+
+pub mod clock;
+pub mod delay;
+pub mod engine;
+pub mod queue;
+
+pub use clock::{NodeTimers, VirtualClock};
+pub use delay::{DelaySpec, EngineKind, EventTiming, LinkDelay, TimingSpec};
+pub use engine::EventEngine;
+pub use queue::{DeliveryQueue, Flight};

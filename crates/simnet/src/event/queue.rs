@@ -1,0 +1,153 @@
+//! The deterministic delivery queue.
+//!
+//! Every scheduled message is a [`Flight`]: a payload handle plus its arrival
+//! time, a seeded reorder key and a global sequence number. The queue pops
+//! flights in `(when, key, seq)` order — virtual arrival time first, then the
+//! reorder key (all zero when reordering is off, so scheduling order is
+//! preserved), then the sequence number as the final, always-distinct
+//! tie-break. Because the comparison never inspects the payload, determinism
+//! holds for any payload type and the queue needs no `Ord` bound on `P`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::id::NodeId;
+use crate::shared::Shared;
+
+/// A message in flight: scheduled, not yet delivered.
+#[derive(Clone, Debug)]
+pub struct Flight<P> {
+    /// Virtual time at which the message arrives.
+    pub when: u64,
+    /// Seeded reorder key; 0 when reordering is disabled.
+    pub key: u64,
+    /// Global scheduling sequence number (unique per engine run).
+    pub seq: u64,
+    /// The engine round in which the message was sent (for metrics attribution).
+    pub sent_round: u64,
+    /// True sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Payload handle, shared with the traffic plane — no copy.
+    pub payload: Shared<P>,
+}
+
+/// Heap entry wrapper so ordering lives here rather than on `Flight` itself
+/// (flights are plain data; only the queue cares about priority).
+struct Entry<P>(Flight<P>);
+
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+
+impl<P> Eq for Entry<P> {}
+
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest flight on top.
+        (other.0.when, other.0.key, other.0.seq).cmp(&(self.0.when, self.0.key, self.0.seq))
+    }
+}
+
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of [`Flight`]s ordered by `(when, key, seq)`.
+pub struct DeliveryQueue<P> {
+    heap: BinaryHeap<Entry<P>>,
+}
+
+impl<P> Default for DeliveryQueue<P> {
+    fn default() -> Self {
+        DeliveryQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<P> DeliveryQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        DeliveryQueue::default()
+    }
+
+    /// Schedules a flight.
+    pub fn push(&mut self, flight: Flight<P>) {
+        self.heap.push(Entry(flight));
+    }
+
+    /// Pops the earliest flight arriving at or before `horizon`, if any.
+    pub fn pop_due(&mut self, horizon: u64) -> Option<Flight<P>> {
+        if self
+            .heap
+            .peek()
+            .is_some_and(|entry| entry.0.when <= horizon)
+        {
+            self.heap.pop().map(|entry| entry.0)
+        } else {
+            None
+        }
+    }
+
+    /// Arrival time of the earliest pending flight.
+    pub fn peek_when(&self) -> Option<u64> {
+        self.heap.peek().map(|entry| entry.0.when)
+    }
+
+    /// Number of messages still in flight.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight(when: u64, key: u64, seq: u64) -> Flight<u32> {
+        Flight {
+            when,
+            key,
+            seq,
+            sent_round: 1,
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            payload: Shared::new(0),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_key_seq_order() {
+        let mut queue = DeliveryQueue::new();
+        queue.push(flight(5, 0, 3));
+        queue.push(flight(3, 9, 1));
+        queue.push(flight(3, 1, 2));
+        queue.push(flight(3, 1, 0));
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop_due(u64::MAX))
+            .map(|f| f.seq)
+            .collect();
+        assert_eq!(order, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn respects_the_horizon() {
+        let mut queue = DeliveryQueue::new();
+        queue.push(flight(10, 0, 0));
+        queue.push(flight(4, 0, 1));
+        assert_eq!(queue.pop_due(5).map(|f| f.seq), Some(1));
+        assert_eq!(queue.pop_due(5).map(|f| f.seq), None);
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.peek_when(), Some(10));
+    }
+}

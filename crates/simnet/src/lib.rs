@@ -84,6 +84,7 @@ pub mod delay;
 pub mod dynamic;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod faults;
 pub mod id;
 pub mod message;
@@ -106,6 +107,7 @@ pub use delay::{DelayEngine, DelayModel, PartitionSpec};
 pub use dynamic::{ChurnEvent, ChurnSchedule};
 pub use engine::{EngineConfig, PhaseTimings, RunOutcome, SyncEngine};
 pub use error::SimError;
+pub use event::{DelaySpec, EngineKind, EventEngine, EventTiming, LinkDelay, TimingSpec};
 pub use faults::{
     Collusion, NoiseAdversary, RecordingAdversary, RoundWindow, StaggeredCrash, TamperAdversary,
 };

@@ -41,10 +41,11 @@ use serde::{Deserialize, Serialize};
 use crate::adversary::{Adversary, ReplayAdversary};
 use crate::attack::{AttackBehavior, AttackPlan, CompiledStep, PlanAdversary};
 use crate::dynamic::ChurnSchedule;
-use crate::engine::SyncEngine;
+use crate::engine::{PhaseTimings, SyncEngine};
 use crate::error::SimError;
+use crate::event::{EngineKind, EventEngine, EventTiming};
 use crate::id::{IdSpace, NodeId};
-use crate::metrics::RoundMetrics;
+use crate::metrics::{Metrics, RoundMetrics};
 use crate::node::Protocol;
 use crate::vocab::{PayloadVocab, VocabAdversary};
 
@@ -138,6 +139,10 @@ pub struct ScenarioSpec {
     /// Composed attack plan; when present it supersedes `adversary` (which is kept
     /// in sync for pure preset plans). Absent in pre-plan recorded reports.
     pub attack: Option<AttackPlan>,
+    /// Which engine executes the scenario. `None` (and absent in pre-event
+    /// recorded reports) means the synchronous engine; `Some(EngineKind::Event(_))`
+    /// selects the discrete-event engine under the given timing.
+    pub engine: Option<EngineKind>,
 }
 
 impl ScenarioSpec {
@@ -151,15 +156,29 @@ impl ScenarioSpec {
         self.n() > 3 * self.byzantine
     }
 
+    /// Whether the scenario's timing is within the paper's synchronous model:
+    /// either the synchronous engine, or the event engine under zero-jitter
+    /// timing (which is byte-identical to it). Delayed, skewed or reordered
+    /// timings reproduce the Section IX constructions, under which the
+    /// theorems explicitly do *not* hold.
+    pub fn timing_admissible(&self) -> bool {
+        match &self.engine {
+            None | Some(EngineKind::Sync) => true,
+            Some(EngineKind::Event(timing)) => timing.is_synchronous(),
+        }
+    }
+
     /// Whether the scenario is admissible under the paper's model: `n > 3f` at the
-    /// start *and* at every round of the churn schedule. Property-based harnesses
-    /// only assert the theorems on admissible scenarios.
+    /// start *and* at every round of the churn schedule, *and* the timing is
+    /// synchronous (see [`ScenarioSpec::timing_admissible`]). Property-based
+    /// harnesses only assert the theorems on admissible scenarios.
     pub fn admissible(&self) -> bool {
         self.resilient()
             && self
                 .churn
                 .first_resiliency_violation(self.correct, self.byzantine)
                 .is_none()
+            && self.timing_admissible()
     }
 }
 
@@ -196,6 +215,7 @@ impl Default for ScenarioBuilder {
                 adversary: AdversaryKind::Silent,
                 churn: ChurnSchedule::empty(),
                 attack: None,
+                engine: None,
             },
         }
     }
@@ -258,6 +278,14 @@ impl ScenarioBuilder {
     /// Attaches a churn schedule, applied by the engine between rounds.
     pub fn churn(mut self, churn: ChurnSchedule) -> Self {
         self.spec.churn = churn;
+        self
+    }
+
+    /// Selects the engine that executes the scenario (see [`EngineKind`]).
+    /// [`EngineKind::event`] selects the discrete-event engine under
+    /// zero-jitter timing, which is byte-identical to the synchronous engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.spec.engine = Some(engine);
         self
     }
 
@@ -529,11 +557,93 @@ pub fn compile_attack_plan<F: ProtocolFactory + ?Sized>(
     }
 }
 
+/// The engine a [`Harness`] drives, selected by the scenario's [`EngineKind`].
+/// Both variants run the same nodes and boxed adversary; the host dispatches
+/// the handful of operations the harness needs, so the factory/report plumbing
+/// is engine-agnostic.
+enum EngineHost<F: ProtocolFactory> {
+    /// The lock-step synchronous engine (the default).
+    Sync(SyncEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>>),
+    /// The discrete-event engine under a resolved timing.
+    Event(EventEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>>),
+}
+
+impl<F: ProtocolFactory> EngineHost<F> {
+    fn round(&self) -> u64 {
+        match self {
+            EngineHost::Sync(engine) => engine.round(),
+            EngineHost::Event(engine) => engine.round(),
+        }
+    }
+
+    fn nodes(&self) -> &[F::Node] {
+        match self {
+            EngineHost::Sync(engine) => engine.nodes(),
+            EngineHost::Event(engine) => engine.nodes(),
+        }
+    }
+
+    fn nodes_mut(&mut self) -> &mut [F::Node] {
+        match self {
+            EngineHost::Sync(engine) => engine.nodes_mut(),
+            EngineHost::Event(engine) => engine.nodes_mut(),
+        }
+    }
+
+    fn metrics(&self) -> &Metrics {
+        match self {
+            EngineHost::Sync(engine) => engine.metrics(),
+            EngineHost::Event(engine) => engine.metrics(),
+        }
+    }
+
+    fn run_round(&mut self) -> Result<(), SimError> {
+        match self {
+            EngineHost::Sync(engine) => engine.run_round(),
+            EngineHost::Event(engine) => engine.run_round(),
+        }
+    }
+
+    fn phase_timings(&self) -> PhaseTimings {
+        match self {
+            EngineHost::Sync(engine) => engine.phase_timings(),
+            EngineHost::Event(engine) => engine.phase_timings(),
+        }
+    }
+
+    fn set_parallel_node_threshold(&mut self, threshold: usize) {
+        match self {
+            EngineHost::Sync(engine) => engine.set_parallel_node_threshold(threshold),
+            EngineHost::Event(engine) => engine.set_parallel_node_threshold(threshold),
+        }
+    }
+
+    fn set_churn(&mut self, schedule: ChurnSchedule, joiner: Box<dyn FnMut(NodeId) -> F::Node>) {
+        match self {
+            EngineHost::Sync(engine) => engine.set_churn(schedule, joiner),
+            EngineHost::Event(engine) => engine.set_churn(schedule, joiner),
+        }
+    }
+}
+
+impl<F: ProtocolFactory> EngineHost<F>
+where
+    F::Node: Send,
+    <F::Node as Protocol>::Payload: Send + Sync,
+{
+    fn enable_parallel_stepping(&mut self) {
+        match self {
+            EngineHost::Sync(engine) => engine.enable_parallel_stepping(),
+            EngineHost::Event(engine) => engine.enable_parallel_stepping(),
+        }
+    }
+}
+
 /// A typed, runnable simulation: engine + factory + scenario context.
 pub struct Harness<F: ProtocolFactory> {
     factory: F,
     ctx: BuildContext,
-    engine: SyncEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>>,
+    engine: EngineHost<F>,
     stop: StopCondition,
     adversary_name: String,
 }
@@ -546,7 +656,17 @@ impl<F: ProtocolFactory> Harness<F> {
         adversary_name: String,
     ) -> Self {
         let nodes = factory.build_nodes(&ctx);
-        let mut engine = SyncEngine::new(nodes, adversary, ctx.byzantine_ids.clone());
+        let mut engine = match &ctx.spec.engine {
+            None | Some(EngineKind::Sync) => {
+                EngineHost::Sync(SyncEngine::new(nodes, adversary, ctx.byzantine_ids.clone()))
+            }
+            Some(EngineKind::Event(timing)) => EngineHost::Event(EventEngine::new(
+                nodes,
+                adversary,
+                ctx.byzantine_ids.clone(),
+                EventTiming::from_spec(timing, ctx.spec.seed, &ctx.correct_ids),
+            )),
+        };
         let stop = factory.stop_condition();
         if !ctx.spec.churn.is_empty() {
             // The engine applies the schedule itself; joining correct nodes are
@@ -597,7 +717,7 @@ impl<F: ProtocolFactory> Harness<F> {
     /// [`PhaseTimings`](crate::engine::PhaseTimings)). Measurement-only — reports
     /// never contain timings, so recorded baselines stay byte-identical across
     /// machines.
-    pub fn phase_timings(&self) -> crate::engine::PhaseTimings {
+    pub fn phase_timings(&self) -> PhaseTimings {
         self.engine.phase_timings()
     }
 
@@ -612,16 +732,52 @@ impl<F: ProtocolFactory> Harness<F> {
         &self.ctx
     }
 
-    /// The underlying engine (escape hatch for inspection beyond the report).
+    /// The underlying synchronous engine (escape hatch for inspection beyond the
+    /// report).
+    ///
+    /// # Panics
+    /// Panics for a scenario that selected [`EngineKind::Event`]; event-engine
+    /// harnesses are driven through the engine-agnostic harness API
+    /// ([`Harness::run`], [`Harness::parallel_threshold`], …).
     pub fn engine(&self) -> &SyncEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>> {
-        &self.engine
+        match &self.engine {
+            EngineHost::Sync(engine) => engine,
+            EngineHost::Event(_) => {
+                panic!("Harness::engine is only available for sync-engine scenarios")
+            }
+        }
     }
 
-    /// Mutable access to the underlying engine.
+    /// Mutable access to the underlying synchronous engine.
+    ///
+    /// # Panics
+    /// Panics for a scenario that selected [`EngineKind::Event`] (see
+    /// [`Harness::engine`]).
     pub fn engine_mut(
         &mut self,
     ) -> &mut SyncEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>> {
-        &mut self.engine
+        match &mut self.engine {
+            EngineHost::Sync(engine) => engine,
+            EngineHost::Event(_) => {
+                panic!("Harness::engine_mut is only available for sync-engine scenarios")
+            }
+        }
+    }
+
+    /// The underlying event engine, for scenarios that selected
+    /// [`EngineKind::Event`] (the event-side counterpart of [`Harness::engine`]).
+    ///
+    /// # Panics
+    /// Panics for sync-engine scenarios.
+    pub fn event_engine(
+        &self,
+    ) -> &EventEngine<F::Node, BoxedAdversary<<F::Node as Protocol>::Payload>> {
+        match &self.engine {
+            EngineHost::Event(engine) => engine,
+            EngineHost::Sync(_) => {
+                panic!("Harness::event_engine is only available for event-engine scenarios")
+            }
+        }
     }
 
     /// The correct nodes (escape hatch for protocol-specific inspection).
@@ -1045,5 +1201,51 @@ mod tests {
         let value = serde::Serialize::to_value(&spec);
         let back: ScenarioSpec = serde::Deserialize::from_value(&value).unwrap();
         assert_eq!(back, spec);
+
+        let event_spec = Simulation::scenario()
+            .engine(EngineKind::event())
+            .spec()
+            .clone();
+        let value = serde::Serialize::to_value(&event_spec);
+        let back: ScenarioSpec = serde::Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, event_spec);
+    }
+
+    #[test]
+    fn specs_without_an_engine_field_deserialize_as_sync() {
+        // Pre-event recorded reports carry no `engine` key; they must keep
+        // loading (as sync-engine scenarios) so recorded baselines stay valid.
+        let spec = Simulation::scenario().spec().clone();
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&spec) else {
+            panic!("a spec serialises as an object");
+        };
+        fields.retain(|(name, _)| name != "engine");
+        let back: ScenarioSpec = serde::Deserialize::from_value(&serde::Value::Object(fields))
+            .expect("engine-less spec still deserialises");
+        assert_eq!(back.engine, None);
+        assert!(back.timing_admissible());
+    }
+
+    #[test]
+    fn non_synchronous_timing_is_inadmissible() {
+        use crate::event::{DelaySpec, TimingSpec};
+        let sync_spec = Simulation::scenario().spec().clone();
+        assert!(sync_spec.admissible());
+        let zero_jitter = Simulation::scenario()
+            .engine(EngineKind::event())
+            .spec()
+            .clone();
+        assert!(zero_jitter.admissible(), "zero-jitter event == sync model");
+        let delayed = Simulation::scenario()
+            .engine(EngineKind::Event(
+                TimingSpec::synchronous().with_delay(DelaySpec::Gst { gst: 10, bound: 2 }),
+            ))
+            .spec()
+            .clone();
+        assert!(!delayed.timing_admissible());
+        assert!(
+            !delayed.admissible(),
+            "the paper's theorems assume synchrony; GST timing is out of model"
+        );
     }
 }

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::attack::AttackPlan;
 use crate::dynamic::ChurnSchedule;
+use crate::event::{DelaySpec, EngineKind, TimingSpec};
 use crate::id::IdSpace;
 use crate::rng::derive_seed;
 use crate::sim::{ScenarioBuilder, ScenarioSpec, Simulation};
@@ -36,6 +37,7 @@ pub struct ScenarioGrid<P> {
     plans: Vec<AttackPlan>,
     churns: Vec<ChurnSchedule>,
     id_spaces: Vec<IdSpace>,
+    delay_models: Vec<DelaySpec>,
     trials: u64,
     base_seed: u64,
     max_rounds: u64,
@@ -49,6 +51,7 @@ impl<P> Default for ScenarioGrid<P> {
             plans: vec![AttackPlan::preset(crate::sim::AdversaryKind::Silent)],
             churns: vec![ChurnSchedule::empty()],
             id_spaces: vec![IdSpace::default()],
+            delay_models: vec![DelaySpec::Synchronous],
             trials: 1,
             base_seed: 0,
             max_rounds: 400,
@@ -120,6 +123,24 @@ impl<P: Clone> ScenarioGrid<P> {
         self
     }
 
+    /// Sets a single link-delay model for every case (collapses the timing axis
+    /// to one point). [`DelaySpec::Synchronous`] keeps the classic synchronous
+    /// engine; anything else routes the case through the discrete-event engine.
+    pub fn delay_model(mut self, delay: DelaySpec) -> Self {
+        self.delay_models = vec![delay];
+        self
+    }
+
+    /// Sets the link-delay axis: every case is enumerated once per delay model,
+    /// so a sweep probes synchronous, jittered and partially synchronous timing
+    /// side by side. [`DelaySpec::Synchronous`] cases leave the spec's engine
+    /// unset (the synchronous engine runs them, byte-identical to a grid
+    /// without this axis); other models run on the discrete-event engine.
+    pub fn delay_models(mut self, delay_models: impl Into<Vec<DelaySpec>>) -> Self {
+        self.delay_models = delay_models.into();
+        self
+    }
+
     /// Total number of cases the grid enumerates.
     pub fn len(&self) -> u64 {
         self.protocols.len() as u64
@@ -127,6 +148,7 @@ impl<P: Clone> ScenarioGrid<P> {
             * self.plans.len() as u64
             * self.churns.len() as u64
             * self.id_spaces.len() as u64
+            * self.delay_models.len() as u64
             * self.trials
     }
 
@@ -136,9 +158,9 @@ impl<P: Clone> ScenarioGrid<P> {
     }
 
     /// The `index`-th case (0-based). Pure in the grid definition: trial varies
-    /// fastest, then identifier layout, churn, plan, size, and protocol slowest —
-    /// and the case seed is `derive_seed(base_seed, index)`, so every case owns
-    /// an independent stream.
+    /// fastest, then delay model, identifier layout, churn, plan, size, and
+    /// protocol slowest — and the case seed is `derive_seed(base_seed, index)`,
+    /// so every case owns an independent stream.
     ///
     /// Panics if `index >= len()`.
     pub fn case(&self, index: u64) -> SweepCase<P> {
@@ -146,6 +168,8 @@ impl<P: Clone> ScenarioGrid<P> {
         let mut rest = index;
         let trial = rest % self.trials;
         rest /= self.trials;
+        let delay = &self.delay_models[(rest % self.delay_models.len() as u64) as usize];
+        rest /= self.delay_models.len() as u64;
         let id_space = self.id_spaces[(rest % self.id_spaces.len() as u64) as usize];
         rest /= self.id_spaces.len() as u64;
         let churn = &self.churns[(rest % self.churns.len() as u64) as usize];
@@ -156,16 +180,23 @@ impl<P: Clone> ScenarioGrid<P> {
         rest /= self.sizes.len() as u64;
         let protocol = self.protocols[rest as usize].clone();
 
-        let spec = Simulation::scenario()
+        let mut builder = Simulation::scenario()
             .correct(correct)
             .byzantine(byzantine)
             .ids(id_space)
             .seed(derive_seed(self.base_seed, index))
             .max_rounds(self.max_rounds)
             .churn(churn.clone())
-            .attack(plan.clone())
-            .spec()
-            .clone();
+            .attack(plan.clone());
+        // A synchronous delay model keeps the engine axis unset, so grids that
+        // never touch the timing axis produce byte-identical specs to before
+        // the axis existed.
+        if *delay != DelaySpec::Synchronous {
+            builder = builder.engine(EngineKind::Event(
+                TimingSpec::synchronous().with_delay(delay.clone()),
+            ));
+        }
+        let spec = builder.spec().clone();
         SweepCase {
             index,
             trial,
@@ -280,6 +311,35 @@ mod tests {
         let collapsed = grid.clone().ids(IdSpace::Random);
         assert_eq!(collapsed.len(), 2);
         assert_eq!(collapsed.case(1).spec.id_space, IdSpace::Random);
+    }
+
+    #[test]
+    fn delay_model_axis_multiplies_and_routes_to_the_event_engine() {
+        let grid = ScenarioGrid::<&'static str>::new()
+            .protocols(vec!["a"])
+            .sizes(vec![(4, 1)])
+            .delay_models(vec![
+                DelaySpec::Synchronous,
+                DelaySpec::Gst { gst: 40, bound: 2 },
+            ])
+            .trials(2);
+        assert_eq!(grid.len(), 2 * 2, "delay axis multiplies the case count");
+        // Trial varies fastest, delay model second. Synchronous cases leave the
+        // engine unset — byte-identical to a grid without the axis.
+        assert_eq!(grid.case(0).spec.engine, None);
+        assert_eq!(grid.case(1).spec.engine, None);
+        let event = grid.case(2).spec.engine.clone().expect("event engine set");
+        assert_eq!(
+            event,
+            EngineKind::Event(
+                TimingSpec::synchronous().with_delay(DelaySpec::Gst { gst: 40, bound: 2 })
+            )
+        );
+        assert_eq!(grid.case(3).spec.engine, grid.case(2).spec.engine);
+        // A single `.delay_model(...)` call collapses the axis again.
+        let collapsed = grid.clone().delay_model(DelaySpec::Synchronous);
+        assert_eq!(collapsed.len(), 2);
+        assert_eq!(collapsed.case(0).spec.engine, None);
     }
 
     #[test]

@@ -24,6 +24,9 @@ fn describe(model: TimingModel) -> String {
             format!("semi-synchronous (unknown Δ = {cross_delay} ticks)")
         }
         TimingModel::Asynchronous => "asynchronous (unbounded delays)".to_string(),
+        TimingModel::PartialSynchrony { gst, bound } => {
+            format!("partially synchronous (GST = {gst}, δ = {bound})")
+        }
     }
 }
 
@@ -81,6 +84,23 @@ fn main() {
                  itself and could not tell that the other side existed"
             );
         }
+    }
+
+    // Partial synchrony in the DLS sense is not enough either: a stabilisation
+    // time later than the algorithm's initialisation rounds silences the whole
+    // network long enough that the member estimates freeze empty, and the late
+    // traffic cannot restore liveness — the run never terminates at all.
+    let late_gst = TimingModel::PartialSynchrony { gst: 5, bound: 1 };
+    match run_partition_experiment(partitions.0, partitions.1, late_gst, 7) {
+        Err(error) => println!(
+            "\n{}: no node ever decides ({error})\n    -> the silent prologue freezes every \
+             member estimate; even a fully synchronous network after GST cannot revive the run",
+            describe(late_gst)
+        ),
+        Ok(outcome) => println!(
+            "\n{}: unexpectedly terminated ({outcome:?})",
+            describe(late_gst)
+        ),
     }
 
     println!(
