@@ -8,6 +8,7 @@
 //! cargo run -p uba-bench --release --bin experiments -- fuzz [--smoke] [--out path]
 //! cargo run -p uba-bench --release --bin experiments -- fuzz --boundary [--smoke]
 //! cargo run -p uba-bench --release --bin experiments -- fuzz --replay path
+//! cargo run -p uba-bench --release --bin experiments -- soak [--smoke] [--engine sync|event] [path]
 //! ```
 //!
 //! `baseline` regenerates `BENCH_baseline.json`: the fixed scenario grid run through
@@ -25,6 +26,13 @@
 //! `fuzz --boundary` sweeps scenarios pinned *at* `n = 3f` and **fails if no
 //! case violates a theorem property**: outside the resiliency bound a violation
 //! is the expected outcome (it demonstrates the bound is tight).
+//!
+//! `soak` runs the long-horizon crash/restart soak (`uba_bench::soak`,
+//! `docs/RECOVERY.md`): thousands of rounds at `n = 256` (hundreds at `n = 64`
+//! with `--smoke`) under continuous crash/restart churn, on both engines,
+//! writing per-round latency percentiles and the live-allocation memory proxy
+//! to `BENCH_soak.json`. The exit code is 1 when any row shows monotone memory
+//! growth or fails the recovery oracles.
 //!
 //! `fuzz` runs the deterministic property-fuzz grid (`uba_bench::fuzz`,
 //! `docs/FUZZING.md`): every protocol/baseline family × attack plans × churn ×
@@ -329,8 +337,71 @@ fn run_scaling(args: &[String]) {
     );
 }
 
+fn run_soak(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let engines: Vec<Option<uba_simnet::EngineKind>> = match flag_value(args, "--engine") {
+        None => vec![None, Some(uba_simnet::EngineKind::event())],
+        Some("sync") => vec![None],
+        Some("event") => vec![Some(uba_simnet::EngineKind::event())],
+        Some(other) => {
+            eprintln!("--engine expects sync or event, got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let engine_value_pos = args.iter().position(|a| a == "--engine").map(|p| p + 1);
+    let path = std::path::PathBuf::from(
+        args.iter()
+            .enumerate()
+            .find(|(i, a)| !a.starts_with("--") && Some(*i) != engine_value_pos)
+            .map(|(_, a)| a.as_str())
+            .unwrap_or("BENCH_soak.json"),
+    );
+    let config = if smoke {
+        uba_bench::SoakConfig::smoke()
+    } else {
+        uba_bench::SoakConfig::full()
+    };
+    eprintln!(
+        "soaking n = {} for {} rounds under crash/restart churn every {} rounds \
+         (smoke = {smoke}, {} engine(s))…",
+        config.nodes,
+        config.rounds,
+        config.crash_period,
+        engines.len()
+    );
+    let started = std::time::Instant::now();
+    let file = uba_bench::soak::soak_file_with(smoke, &config, &engines);
+    println!("{}", uba_bench::soak_table(&file));
+    let json = serde_json::to_string_pretty(&file).expect("soak files serialise");
+    if let Err(error) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {error}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {} ({} bytes) in {:.2?}",
+        path.display(),
+        json.len(),
+        started.elapsed()
+    );
+    if !file.passed() {
+        for row in file.rows.iter().filter(|r| !r.passed()) {
+            eprintln!(
+                "soak FAILED on the {} engine: leak = {} (growth {:.3}), oracles passed = {}",
+                row.engine, row.leak, row.growth, row.oracles_passed
+            );
+        }
+        std::process::exit(1);
+    }
+    eprintln!("memory flat and recovery oracles clean on every engine ✓");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("soak") {
+        run_soak(&args[1..]);
+        return;
+    }
 
     if args.first().map(String::as_str) == Some("scaling") {
         run_scaling(&args[1..]);
@@ -373,7 +444,7 @@ fn main() {
             .map(|name| {
                 let f = experiment_by_name(name).unwrap_or_else(|| {
                     eprintln!(
-                        "unknown experiment '{name}'; expected e1..e14, 'all', 'baseline', 'scaling' or 'fuzz'"
+                        "unknown experiment '{name}'; expected e1..e14, 'all', 'baseline', 'scaling', 'soak' or 'fuzz'"
                     );
                     std::process::exit(2);
                 });

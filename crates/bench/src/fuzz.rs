@@ -2,7 +2,8 @@
 //! counterexample minimiser.
 //!
 //! The pipeline is: a [`ScenarioGrid`] enumerates protocols × `(n, f)` sizes ×
-//! [`AttackPlan`]s × churn schedules × derived seeds (`uba_simnet::sweep`); each
+//! [`AttackPlan`]s × churn schedules × crash plans × derived seeds
+//! (`uba_simnet::sweep`); each
 //! case runs through the `Simulation` builder via [`run_case`] with deterministic,
 //! seed-derived inputs; the `uba-checker` oracles plus a few structural liveness
 //! checks act as the *properties* ([`case_failures`]); and any failing case is
@@ -32,8 +33,10 @@ use uba_core::sim::{
 };
 use uba_simnet::attack::{AttackBehavior, AttackPlan, AttackStep, SemanticStrategy};
 use uba_simnet::sim::{AdversaryKind, RunReport, ScenarioBuilder, ScenarioSpec};
-use uba_simnet::sweep::{ScenarioGrid, SweepCase};
-use uba_simnet::{ChurnEvent, ChurnSchedule, EngineKind, IdSpace, NodeId, TimingSpec};
+use uba_simnet::sweep::{CrashPlan, ScenarioGrid, SweepCase};
+use uba_simnet::{
+    ChurnEvent, ChurnSchedule, EngineKind, IdSpace, NodeId, RestartPolicy, TimingSpec,
+};
 
 use crate::montecarlo::{run_trials, SweepConfig};
 use crate::table::Table;
@@ -164,7 +167,11 @@ impl FuzzCase {
     pub fn from_sweep(case: &SweepCase<ProtocolId>) -> Self {
         let mut spec = case.spec.clone();
         if case.protocol.needs_consecutive_ids() {
+            // The sweep grid resolved any crash-plan victims against the
+            // *original* identifier layout; switching the layout out from
+            // under them would leave the schedule crashing ghosts.
             spec.id_space = IdSpace::Consecutive;
+            rebind_crash_victims(&mut spec);
         }
         FuzzCase {
             protocol: case.protocol,
@@ -186,6 +193,44 @@ impl FuzzCase {
                 .map(AttackPlan::label)
                 .unwrap_or_else(|| self.spec.adversary.name().to_string()),
         )
+    }
+}
+
+/// Re-resolves the crash/restart victims of a spec whose population or
+/// identifier layout changed after the sweep grid resolved them (the
+/// consecutive-id normalisation of [`FuzzCase::from_sweep`], the
+/// population-shrinking moves of [`shrink_case`]): any crash-cycle identifier
+/// that is no longer a live *correct* identifier of the current layout is
+/// redirected onto the first correct identifier not already claimed by another
+/// cycle, and cycles that cannot be re-homed (more victims than correct nodes)
+/// are dropped. A spec whose victims are all still valid is left untouched, so
+/// the pass is idempotent and free on crash-less specs.
+fn rebind_crash_victims(spec: &mut ScenarioSpec) {
+    let victims = spec.churn.crash_cycle_ids();
+    if victims.is_empty() {
+        return;
+    }
+    let ids = spec
+        .id_space
+        .generate(spec.correct + spec.byzantine, spec.seed);
+    let correct_ids = &ids[..spec.correct];
+    let mut taken: Vec<NodeId> = victims
+        .iter()
+        .copied()
+        .filter(|v| correct_ids.contains(v))
+        .collect();
+    let mut mapping = Vec::new();
+    for old in victims.iter().filter(|v| !correct_ids.contains(v)) {
+        match correct_ids.iter().find(|id| !taken.contains(id)) {
+            Some(&new) => {
+                taken.push(new);
+                mapping.push((*old, new));
+            }
+            None => spec.churn = spec.churn.without_crash_cycle(*old),
+        }
+    }
+    if !mapping.is_empty() {
+        spec.churn = spec.churn.retarget_crash_cycles(&mapping);
     }
 }
 
@@ -262,13 +307,27 @@ pub fn case_failures(case: &FuzzCase, report: &RunReport) -> Vec<String> {
     if !case.spec.admissible() {
         return Vec::new();
     }
+    // A crash/restart schedule suspends the theorem properties: the victim's
+    // volatile state is lost mid-run and the messages addressed to it while it
+    // was down are gone, so the paper's guarantees (which assume a correct node
+    // participates in every round) make no promise. What such a run *must*
+    // satisfy are the recovery oracles — no cross-restart equivocation, a
+    // replayed state consistent with the pre-crash prefix, no double-consumed
+    // input — so those are the only properties asserted.
+    let crash_recovery = case.spec.churn.has_crash_events();
     let mut failures = Vec::new();
     for verdict in &report.verdicts {
+        if crash_recovery && verdict.oracle != "recovery" {
+            continue;
+        }
         if !verdict.passed {
             for violation in &verdict.violations {
                 failures.push(format!("oracle {}: {}", verdict.oracle, violation));
             }
         }
+    }
+    if crash_recovery {
+        return failures;
     }
     if case.protocol.expects_termination() && !report.status.is_completed() {
         failures.push(format!(
@@ -578,9 +637,24 @@ pub fn default_churns() -> Vec<ChurnSchedule> {
     ]
 }
 
+/// The crash/restart axis of the default grids: alongside the implicit
+/// crash-free point, one mid-agreement crash of a correct node with a clean
+/// restart two rounds later — enough to drive the WAL replay path and the
+/// recovery oracles through every family, engine and attack plan. Crash-bearing
+/// cases assert *only* the recovery properties (see [`case_failures`]).
+pub fn default_crash_plans() -> Vec<CrashPlan> {
+    vec![CrashPlan {
+        victim: 1,
+        crash_round: 2,
+        restart_round: 4,
+        policy: RestartPolicy::Clean,
+    }]
+}
+
 /// The bounded deterministic grid behind `experiments -- fuzz`: every protocol
-/// family under every default plan and churn schedule. `smoke` trims the axes to
-/// the CI-sized grid (fixed seed, a few hundred cases, a handful of seconds).
+/// family under every default plan, churn schedule and crash plan. `smoke`
+/// trims the axes to the CI-sized grid (fixed seed, a few hundred cases, a
+/// handful of seconds).
 pub fn default_grid(smoke: bool) -> ScenarioGrid<ProtocolId> {
     let sizes: Vec<(usize, usize)> = if smoke {
         vec![(4, 1), (7, 2)]
@@ -592,6 +666,7 @@ pub fn default_grid(smoke: bool) -> ScenarioGrid<ProtocolId> {
         .sizes(sizes)
         .plans(default_plans(smoke))
         .churns(default_churns())
+        .crash_plans(default_crash_plans())
         .trials(if smoke { 2 } else { 4 })
         .base_seed(0xF0CC_5EED)
         .max_rounds(400)
@@ -665,13 +740,18 @@ pub fn fuzz_grid(
 /// halve/decrement the correct population, halve/decrement/zero the Byzantine
 /// population, simplify an exotic identifier layout back to the default, drop
 /// the engine axis (or soften non-synchronous timing to zero-jitter), drop one
-/// churn event, drop one attack-plan step.
+/// churn event (whole crash/restart cycles count as one event), drop one
+/// attack-plan step. Every move re-resolves crash victims against the mutated
+/// population ([`rebind_crash_victims`]), so shrinking the network out from
+/// under a crash schedule yields a runnable candidate rather than an
+/// unknown-node engine error.
 fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
     let mut out = Vec::new();
     let spec = &case.spec;
     let mut with_spec = |mutate: &dyn Fn(&mut ScenarioSpec)| {
         let mut candidate = case.clone();
         mutate(&mut candidate.spec);
+        rebind_crash_victims(&mut candidate.spec);
         out.push(candidate);
     };
     let min_correct = case.protocol.min_correct();
@@ -704,7 +784,17 @@ fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         });
     }
     for index in 0..spec.churn.len() {
+        // A crash or a restart never shrinks alone: dropping the crash leaves a
+        // restart of a never-crashed node, dropping the restart strands the
+        // victim — both are engine errors, not smaller demonstrations. Whole
+        // cycles shrink as one move below.
+        if spec.churn.events()[index].1.is_crash_cycle() {
+            continue;
+        }
         with_spec(&|s: &mut ScenarioSpec| s.churn = s.churn.without_event(index));
+    }
+    for id in spec.churn.crash_cycle_ids() {
+        with_spec(&|s: &mut ScenarioSpec| s.churn = s.churn.without_crash_cycle(id));
     }
     if let Some(plan) = &spec.attack {
         for index in 0..plan.len() {
@@ -908,6 +998,132 @@ mod tests {
         assert!(candidates
             .iter()
             .any(|c| c.spec.attack.as_ref().unwrap().len() == 1));
+    }
+
+    #[test]
+    fn crash_cycles_shrink_as_a_unit_and_victims_rebind() {
+        let base = Simulation::scenario()
+            .correct(8)
+            .byzantine(2)
+            .seed(11)
+            .spec()
+            .clone();
+        let victim = base.id_space.generate(10, base.seed)[1];
+        let case = FuzzCase {
+            protocol: ProtocolId::Consensus,
+            spec: Simulation::scenario()
+                .correct(8)
+                .byzantine(2)
+                .seed(11)
+                .churn(
+                    ChurnSchedule::empty()
+                        .with(2, ChurnEvent::Crash(victim))
+                        .with(3, ChurnEvent::JoinByzantine(NodeId::new(9_000_001)))
+                        .with(
+                            4,
+                            ChurnEvent::Restart {
+                                id: victim,
+                                policy: RestartPolicy::Clean,
+                            },
+                        ),
+                )
+                .spec()
+                .clone(),
+        };
+        let candidates = shrink_candidates(&case);
+        // No candidate ever carries half a cycle: a crash without its restart
+        // (or vice versa) is an engine error, not a smaller demonstration.
+        for candidate in &candidates {
+            let crashes = candidate
+                .spec
+                .churn
+                .events()
+                .iter()
+                .filter(|(_, e)| matches!(e, ChurnEvent::Crash(_)))
+                .count();
+            let restarts = candidate
+                .spec
+                .churn
+                .events()
+                .iter()
+                .filter(|(_, e)| matches!(e, ChurnEvent::Restart { .. }))
+                .count();
+            assert_eq!(crashes, restarts, "orphaned cycle in {candidate:?}");
+        }
+        // The whole-cycle move exists and leaves the join event alone…
+        assert!(candidates
+            .iter()
+            .any(|c| !c.spec.churn.has_crash_events() && c.spec.churn.len() == 1));
+        // …and the join event still shrinks individually, keeping the cycle.
+        assert!(candidates
+            .iter()
+            .any(|c| c.spec.churn.len() == 2 && c.spec.churn.has_crash_events()));
+        // Population moves re-home the victim inside the shrunken layout.
+        let halved = candidates
+            .iter()
+            .find(|c| c.spec.correct == 4)
+            .expect("halving move");
+        let ids = halved.spec.id_space.generate(6, halved.spec.seed);
+        let rebound = halved.spec.churn.crash_cycle_ids()[0];
+        assert!(
+            ids[..4].contains(&rebound),
+            "victim {rebound:?} is a live correct identifier"
+        );
+    }
+
+    #[test]
+    fn from_sweep_rebinds_crash_victims_for_consecutive_id_families() {
+        let grid = ScenarioGrid::new()
+            .protocols(vec![ProtocolId::PhaseKing])
+            .sizes(vec![(4, 1)])
+            .crash_plans(default_crash_plans())
+            .max_rounds(60);
+        // Index 0 is the implicit crash-free point; index 1 carries the plan.
+        let case = FuzzCase::from_sweep(&grid.case(1));
+        assert_eq!(case.spec.id_space, IdSpace::Consecutive);
+        let victims = case.spec.churn.crash_cycle_ids();
+        assert_eq!(victims.len(), 1);
+        let ids = IdSpace::Consecutive.generate(5, case.spec.seed);
+        assert!(
+            ids[..4].contains(&victims[0]),
+            "victim survives the consecutive-id normalisation"
+        );
+        // The rebound schedule is actually runnable and clean.
+        let report = run_case(&case);
+        assert_eq!(case_failures(&case, &report), Vec::<String>::new());
+    }
+
+    #[test]
+    fn crash_cases_assert_only_the_recovery_properties() {
+        let grid = ScenarioGrid::new()
+            .protocols(vec![ProtocolId::Consensus])
+            .sizes(vec![(4, 1)])
+            .crash_plans(default_crash_plans())
+            .max_rounds(60);
+        let case = FuzzCase::from_sweep(&grid.case(1));
+        assert!(case.spec.churn.has_crash_events());
+        assert!(case.spec.admissible(), "one crash keeps n > 3f");
+        let mut report = run_case(&case);
+        assert_eq!(case_failures(&case, &report), Vec::<String>::new());
+        let restarts = &report.recovery.as_ref().expect("crash run").restarts;
+        assert_eq!(restarts.len(), 1);
+        // A tampered theorem section is invisible to a crash-bearing case —
+        // the paper makes no promise once a correct node loses rounds…
+        let section = report.consensus.as_mut().expect("consensus section");
+        assert!(!section.decisions.is_empty());
+        section.decisions[0].value = 1 - section.decisions[0].value;
+        attach_verdicts(&mut report);
+        assert_eq!(case_failures(&case, &report), Vec::<String>::new());
+        // …but a violated recovery property is exactly what it must catch.
+        report.recovery.as_mut().expect("crash run").restarts[0].send_conflicts = 3;
+        attach_verdicts(&mut report);
+        let failures = case_failures(&case, &report);
+        assert!(
+            failures
+                .iter()
+                .any(|f| property_id(f) == "recovery/equivocation"),
+            "unexpected failures: {failures:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod experiments_ext;
 pub mod fuzz;
 pub mod montecarlo;
 pub mod scaling;
+pub mod soak;
 pub mod table;
 pub mod workload;
 
@@ -38,4 +39,5 @@ pub use fuzz::{
 };
 pub use montecarlo::{ResilienceSweep, SweepConfig};
 pub use scaling::{scaling_file, write_scaling, ScalingFile};
+pub use soak::{run_soak, soak_file, soak_table, write_soak, SoakConfig, SoakFile, SoakRow};
 pub use table::Table;

@@ -1,0 +1,460 @@
+//! Long-horizon soak runs under continuous crash/restart churn
+//! (`BENCH_soak.json`).
+//!
+//! The crash-recovery subsystem (`uba_simnet::wal`, `docs/RECOVERY.md`) adds a
+//! per-node write-ahead log and a restart path to both engines; the failure
+//! mode such machinery invites is not a wrong answer on round 3 but a slow one
+//! on round 3000 — logs that never compact, inboxes that accumulate envelopes
+//! for nodes that keep leaving, restart bookkeeping that grows per cycle. The
+//! soak driver runs the dynamic total-ordering workload for thousands of rounds
+//! at `n ≥ 256` (hundreds at `n = 64` for the CI smoke) while a rotating set of
+//! correct nodes crashes and cleanly restarts every few rounds, and samples two
+//! things per round:
+//!
+//! * a **peak-RSS proxy** — live [`Shared`](uba_simnet::Shared) payload
+//!   allocations ([`uba_simnet::shared::live_allocations`]) plus the envelopes
+//!   queued in engine inboxes plus the records held across the write-ahead
+//!   logs. A leak shows up here long before wall-clock memory measurements
+//!   would notice it, and deterministically;
+//! * the **per-round step latency**, reported as p50/p95/p99 percentiles.
+//!
+//! The proxy is a sawtooth by construction — logs fill and compact, inboxes
+//! fill and drain — so the leak gate discards the first third of the run as
+//! warm-up (logs filling from empty look exactly like a leak) and compares
+//! the **floor** (minimum) of the proxy over the middle third against the
+//! floor over the last third: compaction cycles leave the floor flat, while a
+//! true leak raises it round over round. A run whose floor keeps climbing
+//! fails ([`SoakRow::leak`]); the sawtooth's peak is recorded alongside as
+//! the headline RSS proxy.
+//! Every run also replays the recovery oracles over its final report
+//! ([`SoakRow::oracles_passed`]) — a soak that survives on memory but
+//! equivocates across a restart is still a failure. Both engines produce a row
+//! (`engine: "sync"` / `"event"`), and the whole file fails if any row does.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run -p uba-bench --release --bin experiments -- soak [--smoke]
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use uba_checker::attach_verdicts;
+use uba_core::sim::{TotalOrderFactory, TotalOrderPlan};
+use uba_simnet::{
+    ChurnEvent, ChurnSchedule, EngineKind, IdSpace, NodeId, RestartPolicy, Simulation,
+};
+
+use crate::table::Table;
+
+/// Base seed of the soak grid (distinct from the baseline and scaling seeds so
+/// the three files never share identifier layouts).
+pub const SEED: u64 = 0x50AC_5EED;
+
+/// The shape of one soak run: how many nodes, for how long, and how hard the
+/// crash/restart churn hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoakConfig {
+    /// Correct-node population (the soak runs without Byzantine identities —
+    /// the adversary under test is time, not equivocation).
+    pub nodes: usize,
+    /// Rounds to execute.
+    pub rounds: u64,
+    /// A crash is scheduled every `crash_period` rounds.
+    pub crash_period: u64,
+    /// Rounds a victim stays down before its clean restart.
+    pub downtime: u64,
+    /// Distinct victims the crash schedule rotates over.
+    pub victims: usize,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl SoakConfig {
+    /// The CI smoke shape: hundreds of rounds at `n = 64`.
+    pub fn smoke() -> Self {
+        SoakConfig {
+            nodes: 64,
+            rounds: 300,
+            crash_period: 5,
+            downtime: 2,
+            victims: 8,
+            seed: SEED,
+        }
+    }
+
+    /// The full long-horizon shape: thousands of rounds at `n = 256`.
+    pub fn full() -> Self {
+        SoakConfig {
+            nodes: 256,
+            rounds: 2_000,
+            crash_period: 5,
+            downtime: 2,
+            victims: 32,
+            seed: SEED,
+        }
+    }
+
+    /// A tiny shape for the integration tests (a second, not minutes). Long
+    /// enough that the write-ahead logs complete at least one fill/compact
+    /// cycle per third of the run — the floor-based leak gate needs a full
+    /// sawtooth period inside each window it compares.
+    pub fn tiny() -> Self {
+        SoakConfig {
+            nodes: 8,
+            rounds: 400,
+            crash_period: 5,
+            downtime: 2,
+            victims: 3,
+            seed: SEED,
+        }
+    }
+}
+
+/// One soak run: one engine, one population, one long churn-ridden execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SoakRow {
+    /// Which engine executed the run (`"sync"` or `"event"`).
+    pub engine: String,
+    /// Correct-node population.
+    pub nodes: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Crash/restart cycles completed (restart records written).
+    pub restarts: usize,
+    /// Median per-round step latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile per-round step latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile per-round step latency, microseconds.
+    pub p99_us: f64,
+    /// Floor (minimum) of the memory proxy over the middle third of the run
+    /// (the first third is warm-up and not compared).
+    pub live_mid_third: f64,
+    /// Floor (minimum) of the memory proxy over the last third of the run.
+    pub live_last_third: f64,
+    /// Peak of the memory proxy over the whole run — the RSS-proxy headline.
+    pub live_peak: f64,
+    /// `live_last_third / live_mid_third` — the monotone-growth signal.
+    pub growth: f64,
+    /// Whether the leak gate tripped (the last third's floor meaningfully
+    /// above the first's).
+    pub leak: bool,
+    /// Whether the recovery oracles accepted the final report.
+    pub oracles_passed: bool,
+    /// Wall-clock of the whole run, milliseconds (documentation, not a gate).
+    pub wall_ms: f64,
+}
+
+impl SoakRow {
+    /// Whether the row passes both gates: flat memory and clean oracles.
+    pub fn passed(&self) -> bool {
+        !self.leak && self.oracles_passed
+    }
+}
+
+/// The serialised soak result (`BENCH_soak.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SoakFile {
+    /// Seed the runs derive from.
+    pub seed: u64,
+    /// Whether this is the CI smoke shape.
+    pub smoke: bool,
+    /// One row per engine.
+    pub rows: Vec<SoakRow>,
+}
+
+impl SoakFile {
+    /// Whether every row passes its gates.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(SoakRow::passed)
+    }
+}
+
+/// The continuous crash/restart schedule of a soak run: every
+/// `crash_period` rounds the next victim (rotating over `victims`) crashes,
+/// restarting cleanly `downtime` rounds later. Cycles that would not complete
+/// inside the round budget are not scheduled — a node left down at the end of
+/// the run would turn the leak gate into a population measurement.
+pub fn soak_churn(
+    victims: &[NodeId],
+    rounds: u64,
+    crash_period: u64,
+    downtime: u64,
+) -> ChurnSchedule {
+    let mut churn = ChurnSchedule::empty();
+    let mut slot = 0usize;
+    let mut round = 2u64;
+    while round + downtime < rounds && !victims.is_empty() {
+        let victim = victims[slot % victims.len()];
+        churn = churn.with(round, ChurnEvent::Crash(victim)).with(
+            round + downtime,
+            ChurnEvent::Restart {
+                id: victim,
+                policy: RestartPolicy::Clean,
+            },
+        );
+        slot += 1;
+        round += crash_period;
+    }
+    churn
+}
+
+/// Index of the `p`-th percentile (0.0 ≤ p ≤ 1.0) in an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The floor of a window: its minimum, or 0 when empty. Sawtooth signals
+/// (fill/compact logs, fill/drain inboxes) keep a flat floor; leaks raise it.
+fn floor(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Executes one soak run and reduces it to a [`SoakRow`]. `engine: None` is
+/// the synchronous engine, `Some(EngineKind::event())` the discrete-event one.
+pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
+    let ids = IdSpace::default().generate(config.nodes, config.seed);
+    // Victims rotate over indices 1.. so the event-submitting founder (index 0)
+    // is always up when the workload hands it an event.
+    let victims: Vec<NodeId> = (1..=config.victims.min(config.nodes.saturating_sub(1)))
+        .map(|i| ids[i])
+        .collect();
+    let churn = soak_churn(
+        &victims,
+        config.rounds,
+        config.crash_period,
+        config.downtime,
+    );
+    // A steady total-ordering workload: founder 0 submits one event every
+    // other round, so chains keep growing for the whole horizon.
+    let mut plan = TotalOrderPlan::rounds(config.rounds);
+    for round in (1..config.rounds).step_by(2) {
+        plan = plan.event(round, 0, round);
+    }
+    let mut scenario = Simulation::scenario()
+        .correct(config.nodes)
+        .seed(config.seed)
+        .max_rounds(config.rounds + 1)
+        .churn(churn);
+    if let Some(kind) = engine.clone() {
+        scenario = scenario.engine(kind);
+    }
+    let mut harness = scenario.build(TotalOrderFactory::new(plan));
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(config.rounds as usize);
+    let mut live: Vec<f64> = Vec::with_capacity(config.rounds as usize);
+    let started = Instant::now();
+    while !harness.stopped() && harness.rounds_executed() < config.rounds {
+        let step = Instant::now();
+        harness.step_round().expect("soak schedules are admissible");
+        latencies_us.push(step.elapsed().as_secs_f64() * 1e6);
+        let proxy = uba_simnet::shared::live_allocations() as usize
+            + harness.queued_envelopes()
+            + harness.wal_entries();
+        live.push(proxy as f64);
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut report = harness.report_now();
+    attach_verdicts(&mut report);
+    let restarts = harness.recovery_restarts().len();
+
+    let third = live.len() / 3;
+    let live_mid_third = floor(&live[third..2 * third]);
+    let live_last_third = floor(&live[live.len() - third..]);
+    let live_peak = live.iter().copied().fold(0.0, f64::max);
+    let growth = if live_mid_third > 0.0 {
+        live_last_third / live_mid_third
+    } else {
+        1.0
+    };
+    // The allocation counter is process-global, so tolerate a small absolute
+    // drift (concurrent test threads allocate payloads too) on top of the
+    // relative margin; a real leak accumulates every round and dwarfs both.
+    let leak = live_last_third > live_mid_third * 1.25 + 256.0;
+
+    let mut sorted = latencies_us.clone();
+    sorted.sort_by(f64::total_cmp);
+    SoakRow {
+        engine: match engine {
+            None => "sync".to_string(),
+            Some(_) => "event".to_string(),
+        },
+        nodes: config.nodes,
+        rounds: harness.rounds_executed(),
+        restarts,
+        p50_us: percentile(&sorted, 0.50),
+        p95_us: percentile(&sorted, 0.95),
+        p99_us: percentile(&sorted, 0.99),
+        live_mid_third,
+        live_last_third,
+        live_peak,
+        growth,
+        leak,
+        oracles_passed: report.verdicts_passed(),
+        wall_ms,
+    }
+}
+
+/// Runs the soak shape on both engines and assembles the file.
+pub fn soak_file(smoke: bool) -> SoakFile {
+    let config = if smoke {
+        SoakConfig::smoke()
+    } else {
+        SoakConfig::full()
+    };
+    soak_file_with(smoke, &config, &[None, Some(EngineKind::event())])
+}
+
+/// [`soak_file`] with an explicit config and engine list (the `--engine` flag
+/// and the integration tests).
+pub fn soak_file_with(
+    smoke: bool,
+    config: &SoakConfig,
+    engines: &[Option<EngineKind>],
+) -> SoakFile {
+    SoakFile {
+        seed: config.seed,
+        smoke,
+        rows: engines
+            .iter()
+            .map(|engine| run_soak(config, engine.clone()))
+            .collect(),
+    }
+}
+
+/// Writes `BENCH_soak.json` (or `path`) and returns the serialised JSON.
+pub fn write_soak(path: &Path, smoke: bool) -> std::io::Result<String> {
+    let file = soak_file(smoke);
+    let json = serde_json::to_string_pretty(&file).expect("soak files serialise");
+    std::fs::write(path, &json)?;
+    Ok(json)
+}
+
+/// Renders the file as the table the `experiments` binary prints.
+pub fn soak_table(file: &SoakFile) -> Table {
+    let mut table = Table::new(
+        format!(
+            "soak: long-horizon crash/restart churn (seed {:#x}, smoke = {})",
+            file.seed, file.smoke
+        ),
+        &[
+            "engine",
+            "n",
+            "rounds",
+            "restarts",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+            "floor 2/3",
+            "floor 3/3",
+            "peak",
+            "growth",
+            "verdict",
+        ],
+    );
+    for row in &file.rows {
+        table.push_row(vec![
+            row.engine.clone(),
+            row.nodes.to_string(),
+            row.rounds.to_string(),
+            row.restarts.to_string(),
+            format!("{:.1}", row.p50_us),
+            format!("{:.1}", row.p95_us),
+            format!("{:.1}", row.p99_us),
+            format!("{:.1}", row.live_mid_third),
+            format!("{:.1}", row.live_last_third),
+            format!("{:.1}", row.live_peak),
+            format!("{:.3}", row.growth),
+            if row.passed() {
+                "ok".to_string()
+            } else if row.leak {
+                "LEAK".to_string()
+            } else {
+                "ORACLE FAIL".to_string()
+            },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_churn_schedule_rotates_victims_and_completes_every_cycle() {
+        let victims: Vec<NodeId> = (1..=3).map(NodeId::new).collect();
+        let churn = soak_churn(&victims, 30, 5, 2);
+        assert!(churn.has_crash_events());
+        // Every crash has its restart inside the horizon.
+        let crashes = churn
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, ChurnEvent::Crash(_)))
+            .count();
+        let restarts = churn
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, ChurnEvent::Restart { .. }))
+            .count();
+        assert_eq!(crashes, restarts);
+        assert!(churn.horizon() < 30);
+        // All three victims get their turn.
+        assert_eq!(churn.crash_cycle_ids().len(), 3);
+        assert_eq!(
+            churn.first_resiliency_violation(8, 0),
+            None,
+            "rotating single crashes keep n > 3f trivially at f = 0"
+        );
+    }
+
+    #[test]
+    fn a_tiny_soak_run_is_flat_and_clean_on_both_engines() {
+        let config = SoakConfig::tiny();
+        for engine in [None, Some(EngineKind::event())] {
+            let row = run_soak(&config, engine);
+            assert_eq!(row.rounds, config.rounds);
+            assert!(row.restarts > 5, "churn actually ran: {row:?}");
+            assert!(row.oracles_passed, "recovery oracles clean: {row:?}");
+            assert!(!row.leak, "no monotone growth: {row:?}");
+            assert!(row.p50_us > 0.0 && row.p99_us >= row.p50_us);
+        }
+    }
+
+    #[test]
+    fn soak_files_serialise_and_gate_on_their_rows() {
+        let config = SoakConfig::tiny();
+        let file = soak_file_with(true, &config, &[None]);
+        assert_eq!(file.rows.len(), 1);
+        assert_eq!(file.rows[0].engine, "sync");
+        assert!(file.passed());
+        let json = serde_json::to_string_pretty(&file).unwrap();
+        let back: SoakFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, file);
+        let mut failing = file.clone();
+        failing.rows[0].leak = true;
+        assert!(!failing.passed());
+        // The table renders a row per engine without panicking.
+        assert!(format!("{}", soak_table(&file)).contains("sync"));
+    }
+
+    #[test]
+    fn percentiles_read_the_sorted_tail() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -20,6 +20,10 @@
 //! | Theorem 5 — parallel consensus: validity, agreement, termination | [`parallel::check_parallel_consensus`] |
 //! | Theorem 6 — total ordering: chain-prefix, chain-growth | [`chain::check_chain_prefix`], [`chain::check_chain_growth`] |
 //!
+//! Crash/restart executions additionally run the [`recovery`] oracles —
+//! cross-restart equivocation, state-prefix consistency and double-consume —
+//! whenever a report carries a recovery section (see `docs/RECOVERY.md`).
+//!
 //! The [`run_report`] module replays the applicable oracles directly over a
 //! [`RunReport`](uba_core::sim::RunReport) produced by the `Simulation` driver —
 //! [`attach_verdicts`] stamps the verdicts into the report itself, which is how the
@@ -43,11 +47,13 @@ pub mod broadcast;
 pub mod chain;
 pub mod consensus;
 pub mod parallel;
+pub mod recovery;
 pub mod report;
 pub mod rotor;
 pub mod run_report;
 pub mod trace;
 
+pub use recovery::check_recovery;
 pub use report::{CheckReport, Violation};
 pub use run_report::{attach_verdicts, check_run_report, report_verdicts};
 pub use trace::{attribute_trace, check_zero_copy, TraceAttribution};

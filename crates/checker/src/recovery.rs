@@ -1,0 +1,151 @@
+//! Recovery-correctness oracles for crash/restart executions.
+//!
+//! A crash-recovery subsystem can fail in ways none of the paper's theorem
+//! oracles observe: a restarted node can *equivocate across its own restart*
+//! (resend a round with different contents than it sent before crashing — the
+//! distributed-systems analogue of a node signing two ballots), come back with
+//! a state inconsistent with its pre-crash prefix, or consume the same input
+//! round twice. The engine's [`RecoveryManager`] audits every replay and
+//! records the evidence in one [`RestartRecord`] per completed crash/restart
+//! cycle; this module turns those records into executable properties:
+//!
+//! * `recovery/equivocation` — replaying the write-ahead log reproduced, for
+//!   every logged round, exactly the message digests the node sent before the
+//!   crash (`send_conflicts == 0`). A conflict means the network saw one thing
+//!   and the recovered node believes another.
+//! * `recovery/state-prefix` — every round recovered from the log was actually
+//!   re-stepped into the node (`replayed_rounds == recovered_rounds`), i.e. the
+//!   post-restart state is the deterministic function of the pre-crash prefix.
+//! * `recovery/double-consume` — the committed rounds in the log were strictly
+//!   increasing (`consumed_monotone`), so no inbox was consumed twice and no
+//!   round was committed out of order.
+//!
+//! The oracles run automatically whenever a [`RunReport`] carries a
+//! [`RecoverySection`] (see [`crate::run_report`]); crash-free reports carry
+//! none and contribute zero checks.
+//!
+//! [`RecoveryManager`]: uba_core::sim::RunReport
+//! [`RunReport`]: uba_core::sim::RunReport
+
+use uba_core::sim::{RecoverySection, RestartRecord};
+
+use crate::report::CheckReport;
+
+/// Runs the three recovery oracles over every restart of a run.
+pub fn check_recovery(section: &RecoverySection) -> CheckReport {
+    let mut report = CheckReport::new();
+    for restart in &section.restarts {
+        check_restart(restart, &mut report);
+    }
+    report
+}
+
+fn check_restart(restart: &RestartRecord, report: &mut CheckReport) {
+    let node = restart.node;
+    report.expect(restart.send_conflicts == 0, "recovery/equivocation", || {
+        format!(
+            "{node} equivocated across its restart in round {}: replaying its \
+                 write-ahead log produced different messages than it sent before \
+                 crashing in {} of {} replayed rounds",
+            restart.restart_round, restart.send_conflicts, restart.replayed_rounds,
+        )
+    });
+    report.expect(
+        restart.replayed_rounds == restart.recovered_rounds,
+        "recovery/state-prefix",
+        || {
+            format!(
+                "{node} restarted in round {} with a state inconsistent with its \
+                 pre-crash prefix: {} rounds recovered from the log but only {} \
+                 re-stepped into the node",
+                restart.restart_round, restart.recovered_rounds, restart.replayed_rounds,
+            )
+        },
+    );
+    report.expect(restart.consumed_monotone, "recovery/double-consume", || {
+        format!(
+            "{node}'s write-ahead log committed non-monotone rounds before its \
+             crash in round {}: some inbox was consumed twice or committed out \
+             of order",
+            restart.crash_round,
+        )
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_core::sim::RestartPolicy;
+    use uba_simnet::NodeId;
+
+    fn clean_restart() -> RestartRecord {
+        RestartRecord {
+            node: NodeId::new(7),
+            crash_round: 3,
+            restart_round: 5,
+            policy: RestartPolicy::Clean,
+            recovered_rounds: 2,
+            replayed_rounds: 2,
+            send_conflicts: 0,
+            dropped_records: 0,
+            consumed_monotone: true,
+        }
+    }
+
+    #[test]
+    fn a_clean_restart_passes_all_three_oracles() {
+        let section = RecoverySection {
+            restarts: vec![clean_restart()],
+        };
+        let report = check_recovery(&section);
+        assert!(report.passed());
+        assert_eq!(report.checks, 3);
+    }
+
+    #[test]
+    fn a_send_conflict_is_an_equivocation() {
+        let section = RecoverySection {
+            restarts: vec![RestartRecord {
+                send_conflicts: 1,
+                ..clean_restart()
+            }],
+        };
+        let report = check_recovery(&section);
+        assert!(!report.passed());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].property, "recovery/equivocation");
+    }
+
+    #[test]
+    fn a_short_replay_violates_the_state_prefix() {
+        let section = RecoverySection {
+            restarts: vec![RestartRecord {
+                replayed_rounds: 1,
+                ..clean_restart()
+            }],
+        };
+        let report = check_recovery(&section);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].property, "recovery/state-prefix");
+    }
+
+    #[test]
+    fn non_monotone_commits_are_a_double_consume() {
+        let section = RecoverySection {
+            restarts: vec![RestartRecord {
+                consumed_monotone: false,
+                ..clean_restart()
+            }],
+        };
+        let report = check_recovery(&section);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].property, "recovery/double-consume");
+    }
+
+    #[test]
+    fn an_empty_section_contributes_no_checks() {
+        let report = check_recovery(&RecoverySection { restarts: vec![] });
+        assert!(report.passed());
+        assert_eq!(report.checks, 0);
+    }
+}

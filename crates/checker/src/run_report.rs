@@ -119,6 +119,9 @@ fn section_reports(report: &RunReport) -> Vec<(&'static str, CheckReport)> {
             crate::approx::check_approx(&approx.inputs, &approx.outputs),
         ));
     }
+    if let Some(recovery) = &report.recovery {
+        reports.push(("recovery", crate::recovery::check_recovery(recovery)));
+    }
     reports
 }
 

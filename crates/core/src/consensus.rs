@@ -26,7 +26,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
+use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, Recoverable, RoundContext};
 
 use crate::membership::SenderTracker;
 use crate::quorum::{meets_one_third, meets_two_thirds};
@@ -223,6 +223,12 @@ impl<V: Opinion> Consensus<V> {
             }
         }
         tally
+    }
+}
+
+impl<V: Opinion> Recoverable for Consensus<V> {
+    fn snapshot(&self) -> Self {
+        self.clone()
     }
 }
 

@@ -20,7 +20,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
+use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, Recoverable, RoundContext};
 
 use crate::early_consensus::{EarlyConsensus, InstanceId, InstanceVote, ParallelMessage};
 use crate::membership::SenderTracker;
@@ -177,6 +177,12 @@ impl<V: Opinion> ParallelConsensus<V> {
                 .push((envelope.from, vote));
         }
         votes
+    }
+}
+
+impl<V: Opinion> Recoverable for ParallelConsensus<V> {
+    fn snapshot(&self) -> Self {
+        self.clone()
     }
 }
 

@@ -23,7 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
+use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, Recoverable, RoundContext};
 
 use crate::membership::SenderTracker;
 use crate::quorum::{meets_one_third, meets_two_thirds};
@@ -151,6 +151,12 @@ impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> ReliableBroadcast<M> {
             }
         }
         tally
+    }
+}
+
+impl<M: Clone + Ord + std::fmt::Debug + std::hash::Hash> Recoverable for ReliableBroadcast<M> {
+    fn snapshot(&self) -> Self {
+        self.clone()
     }
 }
 

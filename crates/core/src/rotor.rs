@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
+use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, Recoverable, RoundContext};
 
 use crate::membership::SenderTracker;
 use crate::quorum::{meets_one_third, meets_two_thirds};
@@ -258,6 +258,12 @@ impl<V: Opinion> RotorCoordinator<V> {
     /// The node's current `n_v`.
     pub fn n_v(&self) -> usize {
         self.senders.n_v()
+    }
+}
+
+impl<V: Opinion> Recoverable for RotorCoordinator<V> {
+    fn snapshot(&self) -> Self {
+        self.clone()
     }
 }
 

@@ -38,19 +38,20 @@ use std::collections::BTreeSet;
 use uba_simnet::adversary::SilentAdversary;
 use uba_simnet::sim::scripted_attack_behavior;
 use uba_simnet::vocab::{PayloadVocab, VocabScene};
-use uba_simnet::{AdversaryView, FnAdversary, NodeId, Protocol};
+use uba_simnet::{AdversaryView, FnAdversary, NodeId, Protocol, Recoverable, Snapshotter};
 
 pub use uba_simnet::attack::{ActorRange, AttackBehavior, AttackPlan, AttackStep};
 pub use uba_simnet::sim::{
     approx_section_from_values, consensus_section_from_parts, ApproxSection, BroadcastSection,
     ChainSection, ConsensusDecision, ConsensusSection, MessageStats, NodeAcceptSet, NodePairs,
-    NodeReport, OracleVerdict, ParallelSection, RotorSection, SpreadSection,
+    NodeReport, OracleVerdict, ParallelSection, RecoverySection, RotorSection, SpreadSection,
 };
 pub use uba_simnet::sim::{
     AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
     RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,
 };
-pub use uba_simnet::sweep::{ScenarioGrid, SweepCase};
+pub use uba_simnet::sweep::{CrashPlan, ScenarioGrid, SweepCase};
+pub use uba_simnet::wal::{RestartPolicy, RestartRecord, WalConfig, WalFault};
 
 use crate::adversaries::{
     AnnounceThenSilent, AnnounceToSubset, EquivocatingSource, GhostPairInjector, PartialAnnounce,
@@ -103,6 +104,10 @@ impl ConsensusFactory {
 
 impl ProtocolFactory for ConsensusFactory {
     type Node = Consensus<u64>;
+
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        Some(Box::new(|node| node.snapshot()))
+    }
 
     fn protocol_name(&self) -> String {
         "consensus".into()
@@ -300,6 +305,10 @@ impl BroadcastFactory {
 impl ProtocolFactory for BroadcastFactory {
     type Node = ReliableBroadcast<u64>;
 
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        Some(Box::new(|node| node.snapshot()))
+    }
+
     fn protocol_name(&self) -> String {
         "reliable-broadcast".into()
     }
@@ -448,6 +457,10 @@ pub struct RotorFactory;
 
 impl ProtocolFactory for RotorFactory {
     type Node = RotorCoordinator<u64>;
+
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        Some(Box::new(|node| node.snapshot()))
+    }
 
     fn protocol_name(&self) -> String {
         "rotor".into()
@@ -612,6 +625,10 @@ impl ApproxFactory {
 impl ProtocolFactory for ApproxFactory {
     type Node = ApproxAgreement;
 
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        Some(Box::new(|node| node.snapshot()))
+    }
+
     fn protocol_name(&self) -> String {
         "approx-agreement".into()
     }
@@ -719,6 +736,10 @@ impl IteratedApproxFactory {
 
 impl ProtocolFactory for IteratedApproxFactory {
     type Node = IteratedApproxAgreement;
+
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        Some(Box::new(|node| node.snapshot()))
+    }
 
     fn protocol_name(&self) -> String {
         "iterated-approx".into()
@@ -837,6 +858,10 @@ impl ParallelConsensusFactory {
 
 impl ProtocolFactory for ParallelConsensusFactory {
     type Node = ParallelConsensus<u64>;
+
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        Some(Box::new(|node| node.snapshot()))
+    }
 
     fn protocol_name(&self) -> String {
         "parallel-consensus".into()
@@ -1105,6 +1130,10 @@ impl<E: Opinion> TotalOrderFactory<E> {
 
 impl<E: Opinion + 'static> ProtocolFactory for TotalOrderFactory<E> {
     type Node = TotalOrderNode<E>;
+
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        Some(Box::new(|node| node.snapshot()))
+    }
 
     fn protocol_name(&self) -> String {
         "total-order".into()

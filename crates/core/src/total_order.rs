@@ -23,7 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, RoundContext};
+use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, Recoverable, RoundContext};
 
 use crate::early_consensus::ParallelMessage;
 use crate::parallel_consensus::ParallelConsensus;
@@ -246,6 +246,12 @@ impl<E: Opinion> TotalOrderNode<E> {
             // The instance is no longer needed; drop its state to bound memory.
             self.instances.remove(&next);
         }
+    }
+}
+
+impl<E: Opinion> Recoverable for TotalOrderNode<E> {
+    fn snapshot(&self) -> Self {
+        self.clone()
     }
 }
 

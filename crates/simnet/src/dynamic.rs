@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::id::NodeId;
+use crate::wal::RestartPolicy;
 
 /// A single membership change.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +24,18 @@ pub enum ChurnEvent {
     LeaveCorrect(NodeId),
     /// A Byzantine identity leaves.
     LeaveByzantine(NodeId),
+    /// A node crashes: its volatile state is lost, its durable WAL survives.
+    /// Applying this event requires recovery to be enabled on the engine (see
+    /// [`SyncEngine::enable_recovery`](crate::SyncEngine::enable_recovery)).
+    Crash(NodeId),
+    /// A previously crashed node restarts, replaying its WAL (after the
+    /// policy's fault, if any) and re-announcing through the membership path.
+    Restart {
+        /// The crashed node that restarts.
+        id: NodeId,
+        /// The log fault applied before replay (or [`RestartPolicy::Clean`]).
+        policy: RestartPolicy,
+    },
 }
 
 impl ChurnEvent {
@@ -32,16 +45,24 @@ impl ChurnEvent {
             ChurnEvent::JoinCorrect(id)
             | ChurnEvent::JoinByzantine(id)
             | ChurnEvent::LeaveCorrect(id)
-            | ChurnEvent::LeaveByzantine(id) => id,
+            | ChurnEvent::LeaveByzantine(id)
+            | ChurnEvent::Crash(id)
+            | ChurnEvent::Restart { id, .. } => id,
         }
     }
 
-    /// Whether the event is a join (of either kind).
+    /// Whether the event is a join (of either kind). A [`ChurnEvent::Restart`]
+    /// is *not* a join: the identity was already admitted before it crashed.
     pub fn is_join(&self) -> bool {
         matches!(
             self,
             ChurnEvent::JoinCorrect(_) | ChurnEvent::JoinByzantine(_)
         )
+    }
+
+    /// Whether the event is part of a crash/restart cycle.
+    pub fn is_crash_cycle(&self) -> bool {
+        matches!(self, ChurnEvent::Crash(_) | ChurnEvent::Restart { .. })
     }
 }
 
@@ -87,6 +108,57 @@ impl ChurnSchedule {
         shrunk
     }
 
+    /// The schedule with every [`ChurnEvent::Crash`] / [`ChurnEvent::Restart`]
+    /// affecting `id` removed — the crash-cycle shrinking move. Dropping a
+    /// crash without its restart (or vice versa) would leave an inapplicable
+    /// schedule, so the cycle shrinks as a unit.
+    pub fn without_crash_cycle(&self, id: NodeId) -> ChurnSchedule {
+        let mut shrunk = self.clone();
+        shrunk
+            .events
+            .retain(|(_, e)| !(e.is_crash_cycle() && e.id() == id));
+        shrunk
+    }
+
+    /// The schedule with each crash/restart event whose identifier appears as
+    /// an `old` key of `mapping` redirected onto its `new` replacement. The
+    /// mapping is applied in one pass, so replacements cannot cascade into each
+    /// other even when a `new` identifier equals another pair's `old` one.
+    /// Non-crash events are never retargeted — join/leave identifiers are part
+    /// of the scenario, not resolved against a population layout.
+    pub fn retarget_crash_cycles(&self, mapping: &[(NodeId, NodeId)]) -> ChurnSchedule {
+        let mut out = self.clone();
+        for (_, event) in &mut out.events {
+            if !event.is_crash_cycle() {
+                continue;
+            }
+            if let Some(&(_, new)) = mapping.iter().find(|(old, _)| *old == event.id()) {
+                *event = match *event {
+                    ChurnEvent::Restart { policy, .. } => ChurnEvent::Restart { id: new, policy },
+                    _ => ChurnEvent::Crash(new),
+                };
+            }
+        }
+        out
+    }
+
+    /// Whether the schedule contains any crash or restart event.
+    pub fn has_crash_events(&self) -> bool {
+        self.events.iter().any(|(_, e)| e.is_crash_cycle())
+    }
+
+    /// The distinct identifiers with at least one crash/restart event, in first
+    /// appearance order.
+    pub fn crash_cycle_ids(&self) -> Vec<NodeId> {
+        let mut ids = Vec::new();
+        for (_, event) in &self.events {
+            if event.is_crash_cycle() && !ids.contains(&event.id()) {
+                ids.push(event.id());
+            }
+        }
+        ids
+    }
+
     /// All events scheduled to take effect before `round`, in insertion order.
     pub fn events_before_round(&self, round: u64) -> Vec<ChurnEvent> {
         self.events
@@ -118,11 +190,40 @@ impl ChurnSchedule {
     pub fn peak_byzantine(&self, initial: usize) -> usize {
         let mut byz = initial as i64;
         let mut peak = byz;
+        // Identity tracking for crash/restart: a Byzantine identity known from
+        // a `JoinByzantine` event that crashes leaves the system until its
+        // restart — the restart must restore it, not double-count it. Crashes
+        // of identifiers never seen joining as Byzantine are treated as
+        // correct-node crashes and do not move the count.
+        let mut known_byz: Vec<NodeId> = Vec::new();
+        let mut crashed_byz: Vec<NodeId> = Vec::new();
         for round in 1..=self.horizon() {
             for event in self.events_before_round(round) {
                 match event {
-                    ChurnEvent::JoinByzantine(_) => byz += 1,
-                    ChurnEvent::LeaveByzantine(_) => byz -= 1,
+                    ChurnEvent::JoinByzantine(id) => {
+                        byz += 1;
+                        if !known_byz.contains(&id) {
+                            known_byz.push(id);
+                        }
+                    }
+                    ChurnEvent::LeaveByzantine(id) => {
+                        byz -= 1;
+                        known_byz.retain(|&b| b != id);
+                    }
+                    ChurnEvent::Crash(id) => {
+                        if known_byz.contains(&id) {
+                            byz -= 1;
+                            known_byz.retain(|&b| b != id);
+                            crashed_byz.push(id);
+                        }
+                    }
+                    ChurnEvent::Restart { id, .. } => {
+                        if crashed_byz.contains(&id) {
+                            byz += 1;
+                            crashed_byz.retain(|&b| b != id);
+                            known_byz.push(id);
+                        }
+                    }
                     ChurnEvent::JoinCorrect(_) | ChurnEvent::LeaveCorrect(_) => {}
                 }
                 peak = peak.max(byz);
@@ -144,13 +245,43 @@ impl ChurnSchedule {
     ) -> Option<u64> {
         let mut correct = initial_correct as i64;
         let mut byz = initial_byzantine as i64;
+        // Same identity tracking as `peak_byzantine`: a crash removes the node
+        // from whichever population it belongs to, a restart restores it.
+        let mut known_byz: Vec<NodeId> = Vec::new();
+        let mut crashed_byz: Vec<NodeId> = Vec::new();
         for round in 1..=self.horizon() {
             for event in self.events_before_round(round) {
                 match event {
                     ChurnEvent::JoinCorrect(_) => correct += 1,
                     ChurnEvent::LeaveCorrect(_) => correct -= 1,
-                    ChurnEvent::JoinByzantine(_) => byz += 1,
-                    ChurnEvent::LeaveByzantine(_) => byz -= 1,
+                    ChurnEvent::JoinByzantine(id) => {
+                        byz += 1;
+                        if !known_byz.contains(&id) {
+                            known_byz.push(id);
+                        }
+                    }
+                    ChurnEvent::LeaveByzantine(id) => {
+                        byz -= 1;
+                        known_byz.retain(|&b| b != id);
+                    }
+                    ChurnEvent::Crash(id) => {
+                        if known_byz.contains(&id) {
+                            byz -= 1;
+                            known_byz.retain(|&b| b != id);
+                            crashed_byz.push(id);
+                        } else {
+                            correct -= 1;
+                        }
+                    }
+                    ChurnEvent::Restart { id, .. } => {
+                        if crashed_byz.contains(&id) {
+                            byz += 1;
+                            crashed_byz.retain(|&b| b != id);
+                            known_byz.push(id);
+                        } else {
+                            correct += 1;
+                        }
+                    }
                 }
             }
             let n = correct + byz;
@@ -200,6 +331,112 @@ mod tests {
         // 4 correct, 1 byzantine; adding another byzantine at round 2 gives n = 6, f = 2:
         // 6 > 6 is false, so round 2 violates n > 3f.
         let schedule = ChurnSchedule::empty().with(2, ChurnEvent::JoinByzantine(NodeId::new(50)));
+        assert_eq!(schedule.first_resiliency_violation(4, 1), Some(2));
+    }
+
+    #[test]
+    fn peak_byzantine_does_not_double_count_a_crash_restart_cycle() {
+        // One initial Byzantine identity; id 9 joins as Byzantine before round
+        // 2 (peak 2), crashes before round 3 (back to 1) and restarts before
+        // round 5. The restart restores the crashed identity — it must not be
+        // counted as a *new* Byzantine join, so the peak stays 2.
+        let id9 = NodeId::new(9);
+        let schedule = ChurnSchedule::empty()
+            .with(2, ChurnEvent::JoinByzantine(id9))
+            .with(3, ChurnEvent::Crash(id9))
+            .with(
+                5,
+                ChurnEvent::Restart {
+                    id: id9,
+                    policy: RestartPolicy::Clean,
+                },
+            );
+        assert_eq!(schedule.peak_byzantine(1), 2);
+        // Without the crash the same join alone already peaks at 2.
+        assert_eq!(
+            ChurnSchedule::empty()
+                .with(2, ChurnEvent::JoinByzantine(id9))
+                .peak_byzantine(1),
+            2
+        );
+    }
+
+    #[test]
+    fn crash_cycle_helpers_identify_and_remove_cycles() {
+        let a = NodeId::new(4);
+        let b = NodeId::new(5);
+        let schedule = ChurnSchedule::empty()
+            .with(2, ChurnEvent::Crash(a))
+            .with(3, ChurnEvent::JoinCorrect(NodeId::new(8)))
+            .with(
+                4,
+                ChurnEvent::Restart {
+                    id: a,
+                    policy: RestartPolicy::Clean,
+                },
+            )
+            .with(5, ChurnEvent::Crash(b));
+        assert!(schedule.has_crash_events());
+        assert_eq!(schedule.crash_cycle_ids(), vec![a, b]);
+        let shrunk = schedule.without_crash_cycle(a);
+        assert_eq!(shrunk.len(), 2);
+        assert_eq!(shrunk.crash_cycle_ids(), vec![b]);
+        assert!(!ChurnSchedule::empty()
+            .with(1, ChurnEvent::JoinCorrect(a))
+            .has_crash_events());
+    }
+
+    #[test]
+    fn retargeting_crash_cycles_is_one_pass_and_leaves_other_events_alone() {
+        let a = NodeId::new(4);
+        let b = NodeId::new(5);
+        let schedule = ChurnSchedule::empty()
+            .with(2, ChurnEvent::Crash(a))
+            .with(3, ChurnEvent::JoinCorrect(b))
+            .with(
+                4,
+                ChurnEvent::Restart {
+                    id: a,
+                    policy: RestartPolicy::Clean,
+                },
+            )
+            .with(5, ChurnEvent::Crash(b));
+        // a → b and b → 6 in one pass: the crash of `a` must land on `b`
+        // without then cascading through the second pair onto 6, and the
+        // JoinCorrect(b) event must keep its identifier.
+        let retargeted = schedule.retarget_crash_cycles(&[(a, b), (b, NodeId::new(6))]);
+        assert_eq!(
+            retargeted.events()[0],
+            (2, ChurnEvent::Crash(b)),
+            "crash retargeted once"
+        );
+        assert_eq!(retargeted.events()[1], (3, ChurnEvent::JoinCorrect(b)));
+        assert_eq!(
+            retargeted.events()[2],
+            (
+                4,
+                ChurnEvent::Restart {
+                    id: b,
+                    policy: RestartPolicy::Clean,
+                }
+            ),
+            "restart follows its crash and keeps the policy"
+        );
+        assert_eq!(
+            retargeted.events()[3],
+            (5, ChurnEvent::Crash(NodeId::new(6)))
+        );
+        // An empty mapping is the identity.
+        assert_eq!(schedule.retarget_crash_cycles(&[]), schedule);
+    }
+
+    #[test]
+    fn resiliency_counts_a_correct_crash_as_a_departure() {
+        // 4 correct, 1 Byzantine: crashing a correct node before round 2 gives
+        // n = 4, f = 1 — 4 > 3 still holds; crashing two violates (3 ≤ 3).
+        let schedule = ChurnSchedule::empty().with(2, ChurnEvent::Crash(NodeId::new(1)));
+        assert_eq!(schedule.first_resiliency_violation(4, 1), None);
+        let schedule = schedule.with(2, ChurnEvent::Crash(NodeId::new(2)));
         assert_eq!(schedule.first_resiliency_violation(4, 1), Some(2));
     }
 

@@ -58,6 +58,7 @@ use crate::node::{Protocol, RoundContext};
 use crate::shared::Shared;
 use crate::trace::{TraceEvent, TraceLog};
 use crate::traffic::{RoundTraffic, TrafficItem};
+use crate::wal::{RecoveryManager, RestartPolicy, RestartRecord, Snapshotter, WalConfig};
 
 /// Knobs controlling an engine run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -463,6 +464,8 @@ pub struct SyncEngine<N: Protocol, A: Adversary<N::Payload>> {
     trace: Option<TraceLog<N::Payload>>,
     config: EngineConfig,
     churn: Option<ChurnDriver<N>>,
+    /// The crash-recovery subsystem; `None` until [`SyncEngine::enable_recovery`].
+    recovery: Option<RecoveryManager<N>>,
 }
 
 impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
@@ -505,6 +508,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             trace,
             config,
             churn: None,
+            recovery: None,
         }
     }
 
@@ -545,6 +549,8 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
                 ChurnEvent::LeaveCorrect(id) => self.remove_node(id).map(|_| ()),
                 ChurnEvent::JoinByzantine(id) => self.add_byzantine_id(id),
                 ChurnEvent::LeaveByzantine(id) => self.remove_byzantine_id(id),
+                ChurnEvent::Crash(id) => self.crash_node(id, round),
+                ChurnEvent::Restart { id, policy } => self.restart_node(id, policy, round),
             };
             if let Err(error) = applied {
                 result = Err(error);
@@ -553,6 +559,49 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         }
         self.churn = Some(driver);
         result
+    }
+
+    /// Crashes a node before `round` executes: a Byzantine identity is handed
+    /// back by the adversary (only bookkeeping — its "state" is the
+    /// adversary's); a correct node is removed and its volatile state dropped,
+    /// leaving the base snapshot plus write-ahead log as the only survivors.
+    fn crash_node(&mut self, id: NodeId, round: u64) -> Result<(), SimError> {
+        if self.recovery.is_none() {
+            return Err(SimError::RecoveryDisabled(id));
+        }
+        if self.byzantine_index.contains(&id) {
+            self.remove_byzantine_id(id)?;
+            self.recovery
+                .as_mut()
+                .expect("checked above")
+                .crash_byzantine(id);
+            return Ok(());
+        }
+        let node = self.remove_node(id)?;
+        self.recovery
+            .as_mut()
+            .expect("checked above")
+            .crash(node, round);
+        Ok(())
+    }
+
+    /// Restarts a crashed node before `round` executes: replays its log per
+    /// the policy and re-admits it through the ordinary membership path (so it
+    /// re-announces exactly like a churn joiner).
+    fn restart_node(
+        &mut self,
+        id: NodeId,
+        policy: RestartPolicy,
+        round: u64,
+    ) -> Result<(), SimError> {
+        let Some(recovery) = self.recovery.as_mut() else {
+            return Err(SimError::RecoveryDisabled(id));
+        };
+        if recovery.take_crashed_byzantine(id) {
+            return self.add_byzantine_id(id);
+        }
+        let node = recovery.restart(id, policy, round)?;
+        self.add_node(node)
     }
 
     /// Validates that no identifier is used twice across correct and Byzantine nodes.
@@ -635,6 +684,49 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         self.trace.as_ref()
     }
 
+    /// Enables crash recovery with the default [`WalConfig`]: every correct
+    /// node's rounds are write-ahead logged (inbox consumed, message digests
+    /// sent, round committed) so [`ChurnEvent::Crash`] / [`ChurnEvent::Restart`]
+    /// events become applicable. `snapshot` clones protocol state (for a
+    /// [`Recoverable`](crate::node::Recoverable) node, `|n| n.snapshot()`).
+    /// On a crash-free run the logging is observationally silent: reports,
+    /// metrics and traces are byte-identical to a run without recovery.
+    pub fn enable_recovery(&mut self, snapshot: Snapshotter<N>) {
+        self.enable_recovery_with(snapshot, WalConfig::default());
+    }
+
+    /// Enables crash recovery with an explicit log configuration (tests use a
+    /// `sync_every > 1` cadence to open an unsynced suffix for fault injection).
+    pub fn enable_recovery_with(&mut self, snapshot: Snapshotter<N>, config: WalConfig) {
+        self.recovery = Some(RecoveryManager::with_config(snapshot, config));
+    }
+
+    /// Whether crash recovery is enabled.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Every restart performed so far (empty if recovery is disabled or no
+    /// crash/restart cycle has completed yet).
+    pub fn recovery_restarts(&self) -> &[RestartRecord] {
+        self.recovery.as_ref().map_or(&[], |r| r.restarts())
+    }
+
+    /// Envelopes currently queued across all accumulated inboxes — one
+    /// component of the soak driver's memory proxy.
+    pub fn queued_envelopes(&self) -> usize {
+        self.inboxes
+            .values()
+            .map(|inbox| inbox.messages.len())
+            .sum()
+    }
+
+    /// Records currently held across all write-ahead logs (0 if recovery is
+    /// disabled) — the other component of the soak memory proxy.
+    pub fn wal_entries(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |r| r.wal_entries())
+    }
+
     /// Adds a correct node between rounds (dynamic join). The node starts executing
     /// from its own round 1 in the next engine round; its inbox starts empty.
     pub fn add_node(&mut self, node: N) -> Result<(), SimError> {
@@ -711,6 +803,18 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
                 self.inboxes.remove(&node.id())
             });
         }
+        // Write-ahead: the inbox a node is about to consume is logged before
+        // the node steps, so a crash mid-round loses the step, never tears it.
+        if let Some(recovery) = &mut self.recovery {
+            for (node, slot) in self.nodes.iter().zip(&self.step_inboxes) {
+                if node.terminated() {
+                    continue;
+                }
+                let empty: &[Envelope<N::Payload>] = &[];
+                let inbox = slot.as_ref().map_or(empty, |b| b.messages.as_slice());
+                recovery.begin_step(node, self.round, inbox);
+            }
+        }
         let stepper = match self.parallel_stepper {
             Some(parallel) if self.nodes.len() >= self.config.parallel_node_threshold => parallel,
             _ => step_serial::<N>,
@@ -735,6 +839,24 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         // (O(1) membership check per entry).
         let correct_index = &self.correct_index;
         self.inboxes.retain(|id, _| correct_index.contains(id));
+        // Log the digests of every produced message and commit the round —
+        // *before* the adversary phase: a send becomes network-visible only
+        // once it is durable in its sender's log.
+        if let Some(recovery) = &mut self.recovery {
+            for item in self.traffic.items() {
+                match item {
+                    TrafficItem::Broadcast { from, payload } => {
+                        recovery.log_sent(*from, payload.digest())
+                    }
+                    TrafficItem::Unicast(message) => {
+                        recovery.log_sent(message.from, message.payload.digest())
+                    }
+                }
+            }
+            for node in &self.nodes {
+                recovery.commit_step(node);
+            }
+        }
         self.timings.add("step", elapsed_ns(step_started));
 
         // Phase 2 (adversary): the rushing adversary observes the round's traffic
@@ -963,7 +1085,7 @@ mod tests {
 
     /// A node that broadcasts its id's parity in round 1 and from round 2 on outputs
     /// the number of distinct senders it has heard from.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct Counter {
         id: NodeId,
         senders: std::collections::HashSet<NodeId>,
@@ -1259,6 +1381,117 @@ mod tests {
         assert!(engine.add_byzantine_id(NodeId::new(600)).is_err());
         engine.remove_byzantine_id(NodeId::new(600)).unwrap();
         assert!(engine.remove_byzantine_id(NodeId::new(600)).is_err());
+    }
+
+    #[test]
+    fn crash_without_recovery_is_an_error() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
+        let schedule = ChurnSchedule::empty().with(1, ChurnEvent::Crash(NodeId::new(10)));
+        engine.set_churn(schedule, |id| Counter::new(id, 100));
+        assert_eq!(
+            engine.run_rounds(1).unwrap_err(),
+            SimError::RecoveryDisabled(NodeId::new(10))
+        );
+    }
+
+    #[test]
+    fn crash_and_restart_recover_a_correct_node_through_the_wal() {
+        let crashed = NodeId::new(10);
+        let mut engine = SyncEngine::new(nodes(4), SilentAdversary, vec![]);
+        engine.enable_recovery(Box::new(Counter::clone));
+        let schedule = ChurnSchedule::empty()
+            .with(2, ChurnEvent::Crash(crashed))
+            .with(
+                3,
+                ChurnEvent::Restart {
+                    id: crashed,
+                    policy: RestartPolicy::Clean,
+                },
+            );
+        engine.set_churn(schedule, |id| Counter::new(id, 3));
+        engine.run_rounds(3).unwrap();
+        // Round 2 ran without the crashed node.
+        assert_eq!(engine.metrics().per_round[1].live_correct_nodes, 3);
+        // The restart replayed the one committed pre-crash round faithfully.
+        let restarts = engine.recovery_restarts();
+        assert_eq!(restarts.len(), 1);
+        assert_eq!(restarts[0].node, crashed);
+        assert_eq!(restarts[0].crash_round, 2);
+        assert_eq!(restarts[0].restart_round, 3);
+        assert_eq!(restarts[0].recovered_rounds, 1);
+        assert_eq!(restarts[0].replayed_rounds, 1);
+        assert_eq!(restarts[0].send_conflicts, 0);
+        assert!(restarts[0].consumed_monotone);
+        // The survivors heard all four senders; the crashed node lost the
+        // deliveries addressed to it while it was down but still decided.
+        for (id, out) in engine.outputs() {
+            if id == crashed {
+                assert_eq!(out, Some(0), "inboxes queued while down are dropped");
+            } else {
+                assert_eq!(out, Some(4));
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_crash_cycle_moves_the_identity_out_and_back() {
+        let byz = NodeId::new(900);
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![byz]);
+        engine.enable_recovery(Box::new(Counter::clone));
+        let schedule = ChurnSchedule::empty().with(1, ChurnEvent::Crash(byz)).with(
+            2,
+            ChurnEvent::Restart {
+                id: byz,
+                policy: RestartPolicy::Clean,
+            },
+        );
+        engine.set_churn(schedule, |id| Counter::new(id, 100));
+        engine.run_rounds(1).unwrap();
+        assert!(engine.byzantine_ids().is_empty(), "crashed before round 1");
+        engine.run_rounds(1).unwrap();
+        assert_eq!(engine.byzantine_ids(), &[byz], "restored before round 2");
+        assert!(
+            engine.recovery_restarts().is_empty(),
+            "a Byzantine cycle is membership bookkeeping, not a WAL replay"
+        );
+    }
+
+    #[test]
+    fn restart_of_a_never_crashed_node_is_unknown() {
+        let mut engine = SyncEngine::new(nodes(3), SilentAdversary, vec![]);
+        engine.enable_recovery(Box::new(Counter::clone));
+        let schedule = ChurnSchedule::empty().with(
+            1,
+            ChurnEvent::Restart {
+                id: NodeId::new(77),
+                policy: RestartPolicy::Clean,
+            },
+        );
+        engine.set_churn(schedule, |id| Counter::new(id, 100));
+        assert_eq!(
+            engine.run_rounds(1).unwrap_err(),
+            SimError::UnknownNode(NodeId::new(77))
+        );
+    }
+
+    #[test]
+    fn recovery_on_a_crash_free_run_is_observationally_silent() {
+        let run = |recover: bool| {
+            let mut engine = SyncEngine::new(nodes(5), SilentAdversary, vec![]);
+            if recover {
+                engine.enable_recovery(Box::new(Counter::clone));
+            }
+            engine.run_to_termination(10).unwrap();
+            (engine.metrics().clone(), engine.outputs())
+        };
+        let (plain_metrics, plain_outputs) = run(false);
+        let (recovery_metrics, recovery_outputs) = run(true);
+        assert_eq!(plain_metrics, recovery_metrics);
+        assert_eq!(plain_outputs.len(), recovery_outputs.len());
+        for ((id_a, out_a), (id_b, out_b)) in plain_outputs.iter().zip(&recovery_outputs) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(out_a, out_b);
+        }
     }
 
     #[test]

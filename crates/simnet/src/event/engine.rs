@@ -49,6 +49,7 @@ use crate::node::{Protocol, RoundContext};
 use crate::rng::derive_seed;
 use crate::trace::TraceLog;
 use crate::traffic::{RoundTraffic, TrafficItem};
+use crate::wal::{RecoveryManager, RestartPolicy, RestartRecord, Snapshotter, WalConfig};
 
 use super::clock::{NodeTimers, VirtualClock};
 use super::delay::{EventTiming, LinkDelay};
@@ -80,6 +81,8 @@ pub struct EventEngine<N: Protocol, A: Adversary<N::Payload>> {
     trace: Option<TraceLog<N::Payload>>,
     config: EngineConfig,
     churn: Option<ChurnDriver<N>>,
+    /// The crash-recovery subsystem; `None` until [`EventEngine::enable_recovery`].
+    recovery: Option<RecoveryManager<N>>,
 }
 
 impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
@@ -139,6 +142,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
             trace,
             config,
             churn: None,
+            recovery: None,
         }
     }
 
@@ -174,6 +178,8 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
                 ChurnEvent::LeaveCorrect(id) => self.remove_node(id).map(|_| ()),
                 ChurnEvent::JoinByzantine(id) => self.add_byzantine_id(id),
                 ChurnEvent::LeaveByzantine(id) => self.remove_byzantine_id(id),
+                ChurnEvent::Crash(id) => self.crash_node(id, round),
+                ChurnEvent::Restart { id, policy } => self.restart_node(id, policy, round),
             };
             if let Err(error) = applied {
                 result = Err(error);
@@ -182,6 +188,49 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
         }
         self.churn = Some(driver);
         result
+    }
+
+    /// Crashes a node before the batch for `round` executes (see
+    /// [`SyncEngine::set_churn`] for the crash semantics — identical here).
+    ///
+    /// [`SyncEngine::set_churn`]: crate::SyncEngine::set_churn
+    fn crash_node(&mut self, id: NodeId, round: u64) -> Result<(), SimError> {
+        if self.recovery.is_none() {
+            return Err(SimError::RecoveryDisabled(id));
+        }
+        if self.byzantine_index.contains(&id) {
+            self.remove_byzantine_id(id)?;
+            self.recovery
+                .as_mut()
+                .expect("checked above")
+                .crash_byzantine(id);
+            return Ok(());
+        }
+        let node = self.remove_node(id)?;
+        self.recovery
+            .as_mut()
+            .expect("checked above")
+            .crash(node, round);
+        Ok(())
+    }
+
+    /// Restarts a crashed node before the batch for `round` executes: replays
+    /// its log per the policy and re-admits it through the ordinary membership
+    /// path, which arms its timer for the batch that admitted it.
+    fn restart_node(
+        &mut self,
+        id: NodeId,
+        policy: RestartPolicy,
+        round: u64,
+    ) -> Result<(), SimError> {
+        let Some(recovery) = self.recovery.as_mut() else {
+            return Err(SimError::RecoveryDisabled(id));
+        };
+        if recovery.take_crashed_byzantine(id) {
+            return self.add_byzantine_id(id);
+        }
+        let node = recovery.restart(id, policy, round)?;
+        self.add_node(node)
     }
 
     /// Validates that no identifier is used twice across correct and Byzantine nodes.
@@ -269,6 +318,46 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
     /// The trace log, if tracing was enabled in the configuration.
     pub fn trace(&self) -> Option<&TraceLog<N::Payload>> {
         self.trace.as_ref()
+    }
+
+    /// Enables crash recovery with the default [`WalConfig`] (see
+    /// [`SyncEngine::enable_recovery`] — the semantics are identical, with the
+    /// write-ahead hooks running per batch on the due nodes).
+    ///
+    /// [`SyncEngine::enable_recovery`]: crate::SyncEngine::enable_recovery
+    pub fn enable_recovery(&mut self, snapshot: Snapshotter<N>) {
+        self.enable_recovery_with(snapshot, WalConfig::default());
+    }
+
+    /// Enables crash recovery with an explicit log configuration.
+    pub fn enable_recovery_with(&mut self, snapshot: Snapshotter<N>, config: WalConfig) {
+        self.recovery = Some(RecoveryManager::with_config(snapshot, config));
+    }
+
+    /// Whether crash recovery is enabled.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Every restart performed so far (empty if recovery is disabled or no
+    /// crash/restart cycle has completed yet).
+    pub fn recovery_restarts(&self) -> &[RestartRecord] {
+        self.recovery.as_ref().map_or(&[], |r| r.restarts())
+    }
+
+    /// Envelopes currently queued across all accumulated inboxes — one
+    /// component of the soak driver's memory proxy.
+    pub fn queued_envelopes(&self) -> usize {
+        self.inboxes
+            .values()
+            .map(|inbox| inbox.messages.len())
+            .sum()
+    }
+
+    /// Records currently held across all write-ahead logs (0 if recovery is
+    /// disabled) — the other component of the soak memory proxy.
+    pub fn wal_entries(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |r| r.wal_entries())
     }
 
     /// Adds a correct node. Before the first batch the node joins the initial
@@ -375,6 +464,26 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
                 None
             });
         }
+        // Write-ahead: log each due node's inbox under the round number its
+        // step context will carry (the batch round when every timer fired, the
+        // node's local round in a skewed partial batch) before it steps.
+        if let Some(recovery) = &mut self.recovery {
+            for (index, node) in self.nodes.iter().enumerate() {
+                if !due[index] || node.terminated() {
+                    continue;
+                }
+                let node_round = if batch_full {
+                    self.round
+                } else {
+                    self.timers.fires(node.id()) + 1
+                };
+                let empty: &[Envelope<N::Payload>] = &[];
+                let inbox = self.step_inboxes[index]
+                    .as_ref()
+                    .map_or(empty, |b| b.messages.as_slice());
+                recovery.begin_step(node, node_round, inbox);
+            }
+        }
         self.timings.add("step", elapsed_ns(step_started));
 
         let produce_started = Instant::now();
@@ -435,6 +544,24 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
         }
         let correct_index = &self.correct_index;
         self.inboxes.retain(|id, _| correct_index.contains(id));
+        // Log the digests of every produced message and commit the batch's open
+        // rounds — *before* the adversary phase: a send becomes network-visible
+        // only once it is durable in its sender's log.
+        if let Some(recovery) = &mut self.recovery {
+            for item in self.traffic.items() {
+                match item {
+                    TrafficItem::Broadcast { from, payload } => {
+                        recovery.log_sent(*from, payload.digest())
+                    }
+                    TrafficItem::Unicast(message) => {
+                        recovery.log_sent(message.from, message.payload.digest())
+                    }
+                }
+            }
+            for node in &self.nodes {
+                recovery.commit_step(node);
+            }
+        }
         self.timings.add("step", elapsed_ns(step_started));
 
         // Phase 2 (adversary): identical to the sync engine — the rushing view
@@ -652,7 +779,7 @@ mod tests {
 
     /// Broadcasts its id's parity in round 1; from `decide_round` on, outputs
     /// the number of distinct senders heard so far.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     struct Counter {
         id: NodeId,
         senders: std::collections::HashSet<NodeId>,
@@ -796,6 +923,45 @@ mod tests {
             engine.metrics().clone()
         };
         assert_eq!(run(7), run(7), "same seed, same execution");
+    }
+
+    #[test]
+    fn crash_restart_cycles_match_the_sync_engine_exactly() {
+        use crate::dynamic::ChurnSchedule;
+        use crate::wal::RestartPolicy;
+        let crashed = NodeId::new(11);
+        let schedule = || {
+            ChurnSchedule::empty()
+                .with(2, ChurnEvent::Crash(crashed))
+                .with(
+                    3,
+                    ChurnEvent::Restart {
+                        id: crashed,
+                        policy: RestartPolicy::Clean,
+                    },
+                )
+        };
+        let mut sync = SyncEngine::new(counters(4), SilentAdversary, vec![]);
+        sync.enable_recovery(Box::new(Counter::clone));
+        sync.set_churn(schedule(), |id| Counter::new(id, 3));
+        sync.run_rounds(3).unwrap();
+
+        let mut event = event_engine(4, EventTiming::synchronous());
+        event.enable_recovery(Box::new(Counter::clone));
+        event.set_churn(schedule(), |id| Counter::new(id, 3));
+        event.run_rounds(3).unwrap();
+
+        assert_eq!(sync.recovery_restarts(), event.recovery_restarts());
+        assert_eq!(event.recovery_restarts().len(), 1);
+        assert_eq!(event.recovery_restarts()[0].send_conflicts, 0);
+        assert_eq!(sync.metrics(), event.metrics());
+        let sync_outputs = sync.outputs();
+        let event_outputs = event.outputs();
+        assert_eq!(sync_outputs.len(), event_outputs.len());
+        for ((id_a, out_a), (id_b, out_b)) in sync_outputs.iter().zip(&event_outputs) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(out_a, out_b);
+        }
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub mod sweep;
 pub mod trace;
 pub mod traffic;
 pub mod vocab;
+pub mod wal;
 
 pub use adversary::{Adversary, AdversaryView, FnAdversary, SilentAdversary};
 pub use attack::{
@@ -114,14 +115,18 @@ pub use faults::{
 pub use id::{IdSpace, NodeId};
 pub use message::{Destination, Directed, Envelope, Outgoing};
 pub use metrics::{Metrics, RoundMetrics};
-pub use node::{Protocol, RoundContext};
+pub use node::{Protocol, Recoverable, RoundContext};
 pub use shared::Shared;
 pub use sim::{
     AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
-    RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,
+    RecoverySection, RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation,
+    StopCondition,
 };
 pub use stats::{Histogram, RateEstimate, Summary};
-pub use sweep::{ScenarioGrid, SweepCase};
+pub use sweep::{CrashPlan, ScenarioGrid, SweepCase};
 pub use trace::{TraceEvent, TraceLog};
 pub use traffic::{RoundTraffic, SentRef, TrafficItem};
 pub use vocab::{input_extremes, PayloadVocab, VocabAdversary, VocabScene};
+pub use wal::{
+    RecoveryManager, RestartPolicy, RestartRecord, Snapshotter, Wal, WalConfig, WalFault, WalRecord,
+};

@@ -78,6 +78,31 @@ pub trait Protocol {
     }
 }
 
+/// A protocol whose state can be snapshotted and restored — the extension the
+/// crash-recovery subsystem requires (see [`wal`](crate::wal)).
+///
+/// The engine's [`RecoveryManager`](crate::wal::RecoveryManager) snapshots a
+/// node's state when its write-ahead log opens (and on compaction), and after a
+/// crash rebuilds the node by replaying the logged rounds over the snapshot.
+/// For the deterministic state machines of this workspace a snapshot is simply
+/// a clone, so implementations are one line:
+///
+/// ```ignore
+/// impl Recoverable for MyNode {
+///     fn snapshot(&self) -> Self { self.clone() }
+/// }
+/// ```
+pub trait Recoverable: Protocol + Sized {
+    /// A faithful copy of the node's current protocol state.
+    fn snapshot(&self) -> Self;
+
+    /// Reconstructs a node from a snapshot. The default is the identity —
+    /// WAL replay, not this hook, brings the state forward to the crash point.
+    fn restore(snapshot: Self) -> Self {
+        snapshot
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,9 @@ use serde::{Deserialize, Error, Serialize, Value};
 /// Process-wide count of payload allocations (see [`Shared::allocations`]).
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide count of payload deallocations (see [`live_allocations`]).
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
 /// The digest the dedup set keys on: identical to hashing the payload through
 /// `DefaultHasher` directly, so executions are bit-for-bit identical to the
 /// engine that hashed per delivery.
@@ -42,9 +45,25 @@ fn digest_of<P: Hash>(value: &P) -> u64 {
     hasher.finish()
 }
 
+/// The digest a payload *would* carry if wrapped into a [`Shared`] handle —
+/// the same `DefaultHasher` stream [`Shared::new`] caches. The WAL replay path
+/// uses this to audit re-produced messages against logged `Sent` digests
+/// without allocating a handle per replayed message.
+pub fn payload_digest<P: Hash>(value: &P) -> u64 {
+    digest_of(value)
+}
+
 struct SharedInner<P> {
     digest: u64,
     value: P,
+}
+
+impl<P> Drop for SharedInner<P> {
+    /// Counts the drop of the allocation (the inner value drops when the last
+    /// handle goes away), so [`live_allocations`] can report a gauge.
+    fn drop(&mut self) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A reference-counted, immutable payload handle (see module docs).
@@ -96,6 +115,20 @@ impl<P> Shared<P> {
 /// O(#broadcasts), not O(n · #broadcasts).
 pub fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total payload allocations already dropped by this process (monotone
+/// counter, bumped when the last handle of an allocation goes away).
+pub fn deallocations() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Payload allocations currently alive: [`allocations`] minus
+/// [`deallocations`]. This is the RSS proxy the soak driver samples per round
+/// to detect monotone growth — a leak shows up here long before wall-clock
+/// memory measurements would notice it.
+pub fn live_allocations() -> u64 {
+    allocations().saturating_sub(deallocations())
 }
 
 impl<P: Hash + Clone> Shared<P> {
@@ -268,6 +301,28 @@ mod tests {
     #[test]
     fn debug_renders_the_payload_only() {
         assert_eq!(format!("{:?}", Shared::new(5u8)), "5");
+    }
+
+    #[test]
+    fn payload_digest_matches_the_cached_digest() {
+        let payload = vec![1u64, 2, 3];
+        assert_eq!(payload_digest(&payload), Shared::new(payload).digest());
+    }
+
+    #[test]
+    fn dropping_the_last_handle_counts_a_deallocation() {
+        // Other tests allocate and drop concurrently, so only lower bounds are
+        // assertable against the process-global counters.
+        let dropped_before = deallocations();
+        let handles: Vec<Shared<u64>> = (0..10).map(Shared::new).collect();
+        let clones = handles.clone();
+        drop(handles);
+        drop(clones);
+        assert!(
+            deallocations() - dropped_before >= 10,
+            "the last handles freed the allocations"
+        );
+        assert!(allocations() >= deallocations() || live_allocations() == 0);
     }
 
     /// Seeded property sweeps (the workspace's stand-in for proptest): over

@@ -48,6 +48,7 @@ use crate::id::{IdSpace, NodeId};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::node::Protocol;
 use crate::vocab::{PayloadVocab, VocabAdversary};
+use crate::wal::{RestartRecord, Snapshotter};
 
 /// A boxed, dynamically dispatched adversary — the form in which
 /// [`ProtocolFactory::adversary`] returns strategies so one harness type covers
@@ -468,6 +469,18 @@ pub trait ProtocolFactory {
         })
     }
 
+    /// Returns the snapshot constructor the crash-recovery subsystem uses for this
+    /// protocol's nodes, or `None` when the protocol does not support crash/restart
+    /// churn. When the scenario's churn schedule contains [`ChurnEvent::Crash`]
+    /// events and this returns `Some`, the harness enables recovery automatically;
+    /// for a [`Recoverable`](crate::node::Recoverable) node the override is one
+    /// line: `Some(Box::new(|node| node.snapshot()))`.
+    ///
+    /// [`ChurnEvent::Crash`]: crate::dynamic::ChurnEvent::Crash
+    fn snapshotter(&self) -> Option<Snapshotter<Self::Node>> {
+        None
+    }
+
     /// Hook invoked before every engine round — the place to inject external inputs
     /// (events to order, leave announcements) into the nodes.
     fn before_round(&mut self, _round: u64, _nodes: &mut [Self::Node]) {}
@@ -624,6 +637,34 @@ impl<F: ProtocolFactory> EngineHost<F> {
             EngineHost::Event(engine) => engine.set_churn(schedule, joiner),
         }
     }
+
+    fn enable_recovery(&mut self, snapshot: Snapshotter<F::Node>) {
+        match self {
+            EngineHost::Sync(engine) => engine.enable_recovery(snapshot),
+            EngineHost::Event(engine) => engine.enable_recovery(snapshot),
+        }
+    }
+
+    fn recovery_restarts(&self) -> &[RestartRecord] {
+        match self {
+            EngineHost::Sync(engine) => engine.recovery_restarts(),
+            EngineHost::Event(engine) => engine.recovery_restarts(),
+        }
+    }
+
+    fn queued_envelopes(&self) -> usize {
+        match self {
+            EngineHost::Sync(engine) => engine.queued_envelopes(),
+            EngineHost::Event(engine) => engine.queued_envelopes(),
+        }
+    }
+
+    fn wal_entries(&self) -> usize {
+        match self {
+            EngineHost::Sync(engine) => engine.wal_entries(),
+            EngineHost::Event(engine) => engine.wal_entries(),
+        }
+    }
 }
 
 impl<F: ProtocolFactory> EngineHost<F>
@@ -676,6 +717,16 @@ impl<F: ProtocolFactory> Harness<F> {
             let joiner = factory.joiner(&ctx);
             engine.set_churn(ctx.spec.churn.clone(), joiner);
         }
+        // Crash/restart churn needs the recovery subsystem; it is enabled
+        // automatically when the schedule contains crash events and the factory
+        // can snapshot its nodes. (A crash-free run with recovery enabled is
+        // byte-identical to one without, so over-enabling would also be safe —
+        // but keeping it off preserves the zero-cost default.)
+        if ctx.spec.churn.has_crash_events() {
+            if let Some(snapshot) = factory.snapshotter() {
+                engine.enable_recovery(snapshot);
+            }
+        }
         Harness {
             factory,
             ctx,
@@ -725,6 +776,41 @@ impl<F: ProtocolFactory> Harness<F> {
     pub fn stop_when(mut self, stop: StopCondition) -> Self {
         self.stop = stop;
         self
+    }
+
+    /// Force-enables the crash-recovery subsystem even without crash events in
+    /// the churn schedule. The recovery-equivalence suite uses this to pin that
+    /// write-ahead logging is observationally silent on crash-free runs.
+    ///
+    /// # Panics
+    /// Panics if the factory provides no [`ProtocolFactory::snapshotter`].
+    pub fn enable_recovery(mut self) -> Self {
+        let snapshot = self.factory.snapshotter().unwrap_or_else(|| {
+            panic!(
+                "protocol `{}` has no snapshotter; it cannot enable recovery",
+                self.factory.protocol_name()
+            )
+        });
+        self.engine.enable_recovery(snapshot);
+        self
+    }
+
+    /// Every crash/restart cycle completed so far (empty when recovery is
+    /// disabled or nothing has restarted yet).
+    pub fn recovery_restarts(&self) -> &[RestartRecord] {
+        self.engine.recovery_restarts()
+    }
+
+    /// Envelopes currently queued in the engine's inboxes — one component of
+    /// the soak driver's memory proxy.
+    pub fn queued_envelopes(&self) -> usize {
+        self.engine.queued_envelopes()
+    }
+
+    /// Records currently held across the engine's write-ahead logs (0 when
+    /// recovery is disabled) — the other component of the soak memory proxy.
+    pub fn wal_entries(&self) -> usize {
+        self.engine.wal_entries()
     }
 
     /// The build context (scenario spec and identifier split).
@@ -791,6 +877,45 @@ impl<F: ProtocolFactory> Harness<F> {
             StopCondition::AllOutput => self.engine.nodes().iter().all(|n| n.output().is_some()),
             StopCondition::FixedRounds(rounds) => self.engine.round() >= rounds,
         }
+    }
+
+    /// Whether the stop condition currently holds (what [`Harness::run`] checks
+    /// before each round) — exposed for drivers that step rounds themselves.
+    pub fn stopped(&self) -> bool {
+        self.stop_satisfied()
+    }
+
+    /// The number of rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.engine.round()
+    }
+
+    /// Executes exactly one engine round, including the factory's
+    /// [`ProtocolFactory::before_round`] input hook — the per-round driving
+    /// surface the long-horizon soak driver uses to measure each round
+    /// individually instead of calling [`Harness::run`] once.
+    pub fn step_round(&mut self) -> Result<(), SimError> {
+        self.factory
+            .before_round(self.engine.round() + 1, self.engine.nodes_mut());
+        self.engine.run_round()
+    }
+
+    /// Assembles a [`RunReport`] of the run *so far* without driving the engine
+    /// further (the status is `Completed` only if the stop condition holds).
+    pub fn report_now(&self) -> RunReport {
+        let status = if self.stop_satisfied() {
+            RunStatus::Completed {
+                rounds: self.engine.round(),
+            }
+        } else {
+            RunStatus::MaxRoundsExceeded {
+                limit: self.ctx.spec.max_rounds,
+            }
+        };
+        let mut report = self.base_report(status);
+        self.factory
+            .record(&self.ctx, self.engine.nodes(), &mut report);
+        report
     }
 
     /// Drives the engine to the stop condition (or the scenario's round cap) and
@@ -860,6 +985,12 @@ impl<F: ProtocolFactory> Harness<F> {
             spreads: None,
             parallel: None,
             chain: None,
+            recovery: {
+                let restarts = self.engine.recovery_restarts();
+                (!restarts.is_empty()).then(|| RecoverySection {
+                    restarts: restarts.to_vec(),
+                })
+            },
             verdicts: Vec::new(),
         }
     }
@@ -1084,6 +1215,16 @@ pub struct ChainSection {
     pub prefix_ok: bool,
 }
 
+/// Crash-recovery section of a report: one record per completed crash/restart
+/// cycle, in restart order. Absent (and absent from crash-free recorded
+/// reports) when no node restarted — which keeps crash-free runs with recovery
+/// enabled byte-identical to runs without it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoverySection {
+    /// Every restart performed during the run.
+    pub restarts: Vec<RestartRecord>,
+}
+
 /// A property-oracle verdict attached by the `checker` crate.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OracleVerdict {
@@ -1129,6 +1270,8 @@ pub struct RunReport {
     pub parallel: Option<ParallelSection>,
     /// Total-ordering results.
     pub chain: Option<ChainSection>,
+    /// Crash-recovery results; `None` unless a crash/restart cycle completed.
+    pub recovery: Option<RecoverySection>,
     /// Property-oracle verdicts (attached by `uba_checker::attach_verdicts`).
     pub verdicts: Vec<OracleVerdict>,
 }

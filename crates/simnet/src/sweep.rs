@@ -21,11 +21,33 @@
 use serde::{Deserialize, Serialize};
 
 use crate::attack::AttackPlan;
-use crate::dynamic::ChurnSchedule;
+use crate::dynamic::{ChurnEvent, ChurnSchedule};
 use crate::event::{DelaySpec, EngineKind, TimingSpec};
 use crate::id::IdSpace;
 use crate::rng::derive_seed;
 use crate::sim::{ScenarioBuilder, ScenarioSpec, Simulation};
+use crate::wal::RestartPolicy;
+
+/// A declarative crash/restart cycle resolved per case: the `victim`-th correct
+/// node (in construction order, wrapped modulo the case's correct count, so one
+/// plan is meaningful across every size on the grid) crashes before
+/// `crash_round` and restarts under `policy` before `restart_round`. Resolution
+/// happens inside [`ScenarioGrid::case`] against the case's own identifier
+/// split, so the same plan names a different concrete [`NodeId`] per layout and
+/// seed — exactly like the other declarative axes.
+///
+/// [`NodeId`]: crate::id::NodeId
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Index of the crashing node among the correct nodes (modulo their count).
+    pub victim: usize,
+    /// The round before which the victim crashes.
+    pub crash_round: u64,
+    /// The round before which the victim restarts (replaying its log).
+    pub restart_round: u64,
+    /// How the victim's write-ahead log is treated at restart.
+    pub policy: RestartPolicy,
+}
 
 /// A grid of scenarios over protocols, sizes, attack plans, churn schedules and
 /// seeds. Build with the fluent setters, then enumerate with [`ScenarioGrid::case`]
@@ -38,6 +60,7 @@ pub struct ScenarioGrid<P> {
     churns: Vec<ChurnSchedule>,
     id_spaces: Vec<IdSpace>,
     delay_models: Vec<DelaySpec>,
+    crash_plans: Vec<Option<CrashPlan>>,
     trials: u64,
     base_seed: u64,
     max_rounds: u64,
@@ -52,6 +75,7 @@ impl<P> Default for ScenarioGrid<P> {
             churns: vec![ChurnSchedule::empty()],
             id_spaces: vec![IdSpace::default()],
             delay_models: vec![DelaySpec::Synchronous],
+            crash_plans: vec![None],
             trials: 1,
             base_seed: 0,
             max_rounds: 400,
@@ -141,6 +165,24 @@ impl<P: Clone> ScenarioGrid<P> {
         self
     }
 
+    /// Sets a single crash plan for every case (collapses the crash axis to one
+    /// point; `None` restores the crash-free default).
+    pub fn crash_plan(mut self, plan: Option<CrashPlan>) -> Self {
+        self.crash_plans = vec![plan];
+        self
+    }
+
+    /// Sets the crash-plan axis: every case is enumerated once crash-free
+    /// *plus* once per plan, so a sweep probes the same scenario with and
+    /// without mid-run crash/restart cycles side by side. The resolved crash
+    /// and restart events are appended to the case's churn schedule.
+    pub fn crash_plans(mut self, plans: impl Into<Vec<CrashPlan>>) -> Self {
+        self.crash_plans = std::iter::once(None)
+            .chain(plans.into().into_iter().map(Some))
+            .collect();
+        self
+    }
+
     /// Total number of cases the grid enumerates.
     pub fn len(&self) -> u64 {
         self.protocols.len() as u64
@@ -149,6 +191,7 @@ impl<P: Clone> ScenarioGrid<P> {
             * self.churns.len() as u64
             * self.id_spaces.len() as u64
             * self.delay_models.len() as u64
+            * self.crash_plans.len() as u64
             * self.trials
     }
 
@@ -158,9 +201,10 @@ impl<P: Clone> ScenarioGrid<P> {
     }
 
     /// The `index`-th case (0-based). Pure in the grid definition: trial varies
-    /// fastest, then delay model, identifier layout, churn, plan, size, and
-    /// protocol slowest — and the case seed is `derive_seed(base_seed, index)`,
-    /// so every case owns an independent stream.
+    /// fastest, then crash plan, delay model, identifier layout, churn, plan,
+    /// size, and protocol slowest — and the case seed is
+    /// `derive_seed(base_seed, index)`, so every case owns an independent
+    /// stream.
     ///
     /// Panics if `index >= len()`.
     pub fn case(&self, index: u64) -> SweepCase<P> {
@@ -168,6 +212,8 @@ impl<P: Clone> ScenarioGrid<P> {
         let mut rest = index;
         let trial = rest % self.trials;
         rest /= self.trials;
+        let crash_plan = &self.crash_plans[(rest % self.crash_plans.len() as u64) as usize];
+        rest /= self.crash_plans.len() as u64;
         let delay = &self.delay_models[(rest % self.delay_models.len() as u64) as usize];
         rest /= self.delay_models.len() as u64;
         let id_space = self.id_spaces[(rest % self.id_spaces.len() as u64) as usize];
@@ -180,13 +226,35 @@ impl<P: Clone> ScenarioGrid<P> {
         rest /= self.sizes.len() as u64;
         let protocol = self.protocols[rest as usize].clone();
 
+        let seed = derive_seed(self.base_seed, index);
+        // A crash plan resolves against the same identifier split the scenario
+        // will generate (first `correct` generated ids are the correct nodes),
+        // then rides on the churn schedule as ordinary crash/restart events.
+        let churn = match crash_plan {
+            None => churn.clone(),
+            Some(plan) if correct > 0 => {
+                let ids = id_space.generate(correct + byzantine, seed);
+                let victim = ids[plan.victim % correct];
+                churn
+                    .clone()
+                    .with(plan.crash_round, ChurnEvent::Crash(victim))
+                    .with(
+                        plan.restart_round,
+                        ChurnEvent::Restart {
+                            id: victim,
+                            policy: plan.policy,
+                        },
+                    )
+            }
+            Some(_) => churn.clone(),
+        };
         let mut builder = Simulation::scenario()
             .correct(correct)
             .byzantine(byzantine)
             .ids(id_space)
-            .seed(derive_seed(self.base_seed, index))
+            .seed(seed)
             .max_rounds(self.max_rounds)
-            .churn(churn.clone())
+            .churn(churn)
             .attack(plan.clone());
         // A synchronous delay model keeps the engine axis unset, so grids that
         // never touch the timing axis produce byte-identical specs to before
@@ -340,6 +408,33 @@ mod tests {
         let collapsed = grid.clone().delay_model(DelaySpec::Synchronous);
         assert_eq!(collapsed.len(), 2);
         assert_eq!(collapsed.case(0).spec.engine, None);
+    }
+
+    #[test]
+    fn crash_plan_axis_adds_a_crash_free_point_and_resolves_victims() {
+        let grid = ScenarioGrid::<&'static str>::new()
+            .protocols(vec!["a"])
+            .sizes(vec![(4, 1)])
+            .crash_plans(vec![CrashPlan {
+                victim: 1,
+                crash_round: 2,
+                restart_round: 4,
+                policy: RestartPolicy::Clean,
+            }])
+            .trials(2);
+        // One crash-free point plus one per plan, each with both trials.
+        assert_eq!(grid.len(), 2 * 2, "crash axis multiplies the case count");
+        assert!(!grid.case(0).spec.churn.has_crash_events());
+        assert!(!grid.case(1).spec.churn.has_crash_events());
+        let case = grid.case(2);
+        assert!(case.spec.churn.has_crash_events());
+        // The victim is the second *generated* correct id of this very case.
+        let ids = case.spec.id_space.generate(5, case.spec.seed);
+        assert_eq!(case.spec.churn.crash_cycle_ids(), vec![ids[1]]);
+        // A single `.crash_plan(None)` collapses the axis again.
+        let collapsed = grid.clone().crash_plan(None);
+        assert_eq!(collapsed.len(), 2);
+        assert!(!collapsed.case(0).spec.churn.has_crash_events());
     }
 
     #[test]

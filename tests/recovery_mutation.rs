@@ -1,0 +1,86 @@
+//! The recovery mutation check: the crash-recovery oracles are only
+//! trustworthy if they *fire* when replay is actually broken. This suite
+//! injects a deliberate bug into the write-ahead replay path through the
+//! runtime hook `uba_simnet::wal::mutation` (skipping the re-step of every
+//! logged round whose sent-record is non-empty, so a restarted node's audited
+//! sends no longer match its durable log — cross-restart equivocation), then
+//! asserts the crash-plan axis of the fuzz grid detects it, shrinks the
+//! counterexample to at most 8 nodes, and that the serialized reproducer flips
+//! back to passing once the bug is removed.
+//!
+//! The mutation toggle is process-global, so this file holds exactly one test —
+//! integration-test binaries run in their own processes, which keeps the
+//! mutation from leaking into the rest of the suite.
+
+use uba_bench::fuzz::{
+    case_failures, default_crash_plans, fuzz_grid, property_id, run_case, Counterexample,
+    ProtocolId,
+};
+use uba_simnet::sweep::ScenarioGrid;
+use uba_simnet::wal::mutation;
+
+#[test]
+fn fuzzer_finds_the_injected_replay_bug_and_shrinks_it_to_eight_nodes_or_fewer() {
+    mutation::set_skip_sent_replay(true);
+
+    // A sliver of the default grid: one family, one size, the crash-plan axis
+    // (crash-free point + one clean crash/restart cycle) and two seeds. The
+    // crash-free points stay green — the bug only bites when a restart replays
+    // a log — so the counterexamples isolate the crash-bearing cases.
+    let grid = ScenarioGrid::new()
+        .protocols(vec![ProtocolId::Consensus])
+        .sizes(vec![(7, 2)])
+        .crash_plans(default_crash_plans())
+        .trials(2)
+        .base_seed(0x0DD_CA5E);
+    let outcome = fuzz_grid(&grid, 2, 1);
+    assert!(
+        !outcome.passed(),
+        "the injected replay-skipping bug must be detected"
+    );
+    let counterexample = &outcome.counterexamples[0];
+    assert!(
+        counterexample
+            .failures
+            .iter()
+            .any(|failure| property_id(failure) == "recovery/equivocation"),
+        "the cross-restart equivocation oracle must be the property that fired: {:?}",
+        counterexample.failures
+    );
+
+    // The shrinker must reach a small reproducer while keeping the crash/restart
+    // cycle intact (cycles shrink as a unit, victims rebind across population
+    // moves — dropping either half alone would be an engine error, not a bug).
+    assert!(
+        counterexample.shrunk.spec.n() <= 8,
+        "shrunk to n = {} (correct = {}, byzantine = {}), expected ≤ 8",
+        counterexample.shrunk.spec.n(),
+        counterexample.shrunk.spec.correct,
+        counterexample.shrunk.spec.byzantine
+    );
+    assert!(counterexample.shrink_steps > 0, "shrinking must make moves");
+    assert!(
+        counterexample.shrunk.spec.churn.has_crash_events(),
+        "the reproducer must keep a crash/restart cycle — without one the bug is unreachable"
+    );
+
+    // The counterexample survives a serde round trip and still reproduces — the
+    // `fuzz --replay` contract.
+    let json = serde_json::to_string(counterexample).expect("counterexamples serialise");
+    let replayed: Counterexample =
+        serde_json::from_str(&json).expect("counterexamples deserialise");
+    assert_eq!(&replayed, counterexample);
+    let report = run_case(&replayed.shrunk);
+    assert!(
+        !case_failures(&replayed.shrunk, &report).is_empty(),
+        "the replayed reproducer must still fail while the bug is present"
+    );
+
+    // Remove the bug: the same reproducer must pass every property again.
+    mutation::set_skip_sent_replay(false);
+    let healthy = run_case(&replayed.shrunk);
+    assert!(
+        case_failures(&replayed.shrunk, &healthy).is_empty(),
+        "with the mutation disabled the reproducer must pass"
+    );
+}
