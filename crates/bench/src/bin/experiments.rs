@@ -9,6 +9,7 @@
 //! cargo run -p uba-bench --release --bin experiments -- fuzz --boundary [--smoke]
 //! cargo run -p uba-bench --release --bin experiments -- fuzz --replay path
 //! cargo run -p uba-bench --release --bin experiments -- soak [--smoke] [--engine sync|event] [path]
+//! cargo run -p uba-bench --release --bin experiments -- stream [--smoke] [path]
 //! ```
 //!
 //! `baseline` regenerates `BENCH_baseline.json`: the fixed scenario grid run through
@@ -28,11 +29,25 @@
 //! is the expected outcome (it demonstrates the bound is tight).
 //!
 //! `soak` runs the long-horizon crash/restart soak (`uba_bench::soak`,
-//! `docs/RECOVERY.md`): thousands of rounds at `n = 256` (hundreds at `n = 64`
-//! with `--smoke`) under continuous crash/restart churn, on both engines,
+//! `docs/RECOVERY.md`): thousands of rounds at `n = 64` (hundreds with
+//! `--smoke`) under continuous crash/restart churn, on both engines,
 //! writing per-round latency percentiles and the live-allocation memory proxy
-//! to `BENCH_soak.json`. The exit code is 1 when any row shows monotone memory
-//! growth or fails the recovery oracles.
+//! to `BENCH_soak.json` (`BENCH_soak_smoke.json` for `--smoke`; a smoke run
+//! refuses to overwrite a full artifact). Fresh percentiles are compared
+//! against the committed file with a generous margin — drift is reported,
+//! never hard-failed, since wall-clock numbers are machine-dependent. The
+//! exit code is 1 when any row shows monotone memory growth, has too few
+//! samples for the leak gate, or fails the recovery oracles.
+//!
+//! `stream` runs the pipelined multi-shot agreement stream (`uba_bench::stream`,
+//! `docs/STREAMING.md`): an open-loop Zipf-keyed request generator batched into
+//! overlapping consensus instances and batched total-order events, on both
+//! engines, recording decisions/sec, msgs/sec, batch-size histograms and
+//! request-latency percentiles to `BENCH_stream.json`. With `--smoke` only the
+//! smoke rows are re-run and their deterministic columns are gated against the
+//! committed artifact (count drift exits 1, the CI regression guard); the
+//! committed full rows are carried over unchanged. Wall-clock rates are
+//! recorded, never gated. The exit code is 1 when any row fails its oracles.
 //!
 //! `fuzz` runs the deterministic property-fuzz grid (`uba_bench::fuzz`,
 //! `docs/FUZZING.md`): every protocol/baseline family × attack plans × churn ×
@@ -349,13 +364,40 @@ fn run_soak(args: &[String]) {
         }
     };
     let engine_value_pos = args.iter().position(|a| a == "--engine").map(|p| p + 1);
+    // Smoke and full runs default to *different* files: the checked-in
+    // BENCH_soak.json is the full 2000-round artifact, and a smoke run must
+    // never silently replace it with the short shape (which is exactly what
+    // happened when both presets shared one default path).
+    let default_path = if smoke {
+        "BENCH_soak_smoke.json"
+    } else {
+        "BENCH_soak.json"
+    };
     let path = std::path::PathBuf::from(
         args.iter()
             .enumerate()
             .find(|(i, a)| !a.starts_with("--") && Some(*i) != engine_value_pos)
             .map(|(_, a)| a.as_str())
-            .unwrap_or("BENCH_soak.json"),
+            .unwrap_or(default_path),
     );
+    // The committed file at the target path, when there is one: the refusal
+    // check and the latency-regression gate both read it, and both must do so
+    // before the fresh run overwrites it.
+    let committed: Option<uba_bench::SoakFile> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok());
+    if smoke {
+        if let Some(existing) = &committed {
+            if !existing.smoke {
+                eprintln!(
+                    "refusing to overwrite {} with a --smoke run: it holds a full \
+                     (non-smoke) artifact; pass an explicit path to override",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let config = if smoke {
         uba_bench::SoakConfig::smoke()
     } else {
@@ -372,6 +414,28 @@ fn run_soak(args: &[String]) {
     let started = std::time::Instant::now();
     let file = uba_bench::soak::soak_file_with(smoke, &config, &engines);
     println!("{}", uba_bench::soak_table(&file));
+    // Wall-clock latency regression gate: recorded, never hard-failed (the
+    // same policy scaling-smoke applies to wall-clock columns — machine noise
+    // must not break CI; the drift lines are there for humans to read).
+    match &committed {
+        Some(committed) => {
+            let drift = uba_bench::soak::latency_drift(&file, committed, 3.0, 2_000.0);
+            if drift.is_empty() {
+                eprintln!(
+                    "step-latency percentiles within margin of the committed {} ✓",
+                    path.display()
+                );
+            } else {
+                for line in &drift {
+                    eprintln!("WARNING {line}");
+                }
+            }
+        }
+        None => eprintln!(
+            "no committed {} to compare step latencies against",
+            path.display()
+        ),
+    }
     let json = serde_json::to_string_pretty(&file).expect("soak files serialise");
     if let Err(error) = std::fs::write(&path, &json) {
         eprintln!("cannot write {}: {error}", path.display());
@@ -386,8 +450,9 @@ fn run_soak(args: &[String]) {
     if !file.passed() {
         for row in file.rows.iter().filter(|r| !r.passed()) {
             eprintln!(
-                "soak FAILED on the {} engine: leak = {} (growth {:.3}), oracles passed = {}",
-                row.engine, row.leak, row.growth, row.oracles_passed
+                "soak FAILED on the {} engine: leak = {} (growth {:.3}), \
+                 insufficient samples = {}, oracles passed = {}",
+                row.engine, row.leak, row.growth, row.insufficient_samples, row.oracles_passed
             );
         }
         std::process::exit(1);
@@ -395,8 +460,88 @@ fn run_soak(args: &[String]) {
     eprintln!("memory flat and recovery oracles clean on every engine ✓");
 }
 
+fn run_stream(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path = std::path::PathBuf::from(
+        args.iter()
+            .find(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("BENCH_stream.json"),
+    );
+    let committed = uba_bench::stream::read_stream(&path);
+    // A smoke run is the CI regression gate: it needs a committed, well-formed
+    // artifact to compare against — a missing or unparseable BENCH_stream.json
+    // is itself a failure, not a free pass.
+    if smoke && committed.is_none() {
+        eprintln!(
+            "stream --smoke needs a committed, well-formed {} to gate against \
+             (regenerate it with `experiments -- stream`)",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("streaming pipelined agreement instances through both engines (smoke = {smoke})…");
+    let started = std::time::Instant::now();
+    let fresh = uba_bench::stream_file(smoke);
+    println!("{}", uba_bench::stream_table(&fresh));
+    // A smoke run regenerates only the smoke rows; the committed full rows (if
+    // any) are carried over so the artifact never loses its full shape to a CI
+    // run — the failure mode the soak artifact had.
+    let file = match (&committed, smoke) {
+        (Some(committed), true) => {
+            let drift = uba_bench::stream_drift(&fresh, committed);
+            if !drift.is_empty() {
+                eprintln!(
+                    "stream counts drifted from the committed {}:",
+                    path.display()
+                );
+                for line in &drift {
+                    eprintln!("  {line}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!("deterministic stream counts unchanged ✓");
+            let mut merged = fresh.clone();
+            merged.rows.extend(
+                committed
+                    .rows
+                    .iter()
+                    .filter(|row| row.preset != "smoke")
+                    .cloned(),
+            );
+            merged
+        }
+        _ => fresh,
+    };
+    let json = uba_bench::write_stream(&path, &file).unwrap_or_else(|error| {
+        eprintln!("cannot write {}: {error}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {} ({} bytes) in {:.2?}",
+        path.display(),
+        json.len(),
+        started.elapsed()
+    );
+    if file.rows.iter().any(|row| !row.oracles_passed) {
+        for row in file.rows.iter().filter(|r| !r.oracles_passed) {
+            eprintln!(
+                "stream FAILED its oracles: {} {} on the {} engine",
+                row.preset, row.family, row.engine
+            );
+        }
+        std::process::exit(1);
+    }
+    eprintln!("stream oracles clean on every row ✓");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("stream") {
+        run_stream(&args[1..]);
+        return;
+    }
 
     if args.first().map(String::as_str) == Some("soak") {
         run_soak(&args[1..]);

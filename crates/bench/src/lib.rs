@@ -27,6 +27,7 @@ pub mod fuzz;
 pub mod montecarlo;
 pub mod scaling;
 pub mod soak;
+pub mod stream;
 pub mod table;
 pub mod workload;
 
@@ -40,4 +41,8 @@ pub use fuzz::{
 pub use montecarlo::{ResilienceSweep, SweepConfig};
 pub use scaling::{scaling_file, write_scaling, ScalingFile};
 pub use soak::{run_soak, soak_file, soak_table, write_soak, SoakConfig, SoakFile, SoakRow};
+pub use stream::{
+    run_consensus_stream, run_total_order_stream, stream_drift, stream_file, stream_table,
+    write_stream, StreamConfig, StreamFile, StreamOutcome, StreamRow,
+};
 pub use table::Table;

@@ -6,10 +6,11 @@
 //! mode such machinery invites is not a wrong answer on round 3 but a slow one
 //! on round 3000 — logs that never compact, inboxes that accumulate envelopes
 //! for nodes that keep leaving, restart bookkeeping that grows per cycle. The
-//! soak driver runs the dynamic total-ordering workload for thousands of rounds
-//! at `n ≥ 256` (hundreds at `n = 64` for the CI smoke) while a rotating set of
-//! correct nodes crashes and cleanly restarts every few rounds, and samples two
-//! things per round:
+//! soak driver runs the dynamic total-ordering workload at `n = 64` for
+//! thousands of rounds (hundreds for the CI smoke — the horizon, not the
+//! population, is the soak axis; see [`SoakConfig::full`]) while a rotating
+//! set of correct nodes crashes and cleanly restarts every few rounds, and
+//! samples two things per round:
 //!
 //! * a **peak-RSS proxy** — live [`Shared`](uba_simnet::Shared) payload
 //!   allocations ([`uba_simnet::shared::live_allocations`]) plus the envelopes
@@ -45,7 +46,8 @@ use serde::{Deserialize, Serialize};
 use uba_checker::attach_verdicts;
 use uba_core::sim::{TotalOrderFactory, TotalOrderPlan};
 use uba_simnet::{
-    ChurnEvent, ChurnSchedule, EngineKind, IdSpace, NodeId, RestartPolicy, Simulation,
+    ChurnEvent, ChurnSchedule, EngineKind, Harness, IdSpace, NodeId, RestartPolicy, Simulation,
+    WalConfig,
 };
 
 use crate::table::Table;
@@ -53,6 +55,13 @@ use crate::table::Table;
 /// Base seed of the soak grid (distinct from the baseline and scaling seeds so
 /// the three files never share identifier layouts).
 pub const SEED: u64 = 0x50AC_5EED;
+
+/// Minimum samples each leak-gate window must hold for the floor comparison to
+/// mean anything. Below this the gate cannot distinguish a leak from noise —
+/// `third = live.len() / 3` can even reach 0, making both window floors vacuous
+/// — so the row is reported as [`SoakRow::insufficient_samples`] and fails
+/// instead of silently passing.
+pub const MIN_WINDOW_SAMPLES: usize = 8;
 
 /// The shape of one soak run: how many nodes, for how long, and how hard the
 /// crash/restart churn hits.
@@ -71,6 +80,13 @@ pub struct SoakConfig {
     pub victims: usize,
     /// Scenario seed.
     pub seed: u64,
+    /// Write-ahead-log records per node before the round commit folds the log
+    /// into a fresh snapshot base ([`WalConfig::compact_after`]). A restart
+    /// replays everything since the last compaction, so this — not the
+    /// horizon — must bound replay cost: the library default of 1024 records
+    /// never triggered inside a 300-round smoke, which made every restart
+    /// replay the whole run so far and pushed p50 step latency near a second.
+    pub compact_after: usize,
 }
 
 impl SoakConfig {
@@ -83,18 +99,30 @@ impl SoakConfig {
             downtime: 2,
             victims: 8,
             seed: SEED,
+            compact_after: 64,
         }
     }
 
-    /// The full long-horizon shape: thousands of rounds at `n = 256`.
+    /// The full long-horizon shape: the smoke population held for 2000 rounds
+    /// (6.7× the smoke horizon, ~12 write-ahead-log fill/compact cycles per
+    /// leak-gate window, 395 completed crash/restart cycles).
+    ///
+    /// The horizon, not the population, is the soak axis: a leak or a
+    /// compaction failure accumulates per round, so stretching rounds is what
+    /// exposes it. Population is capped where the workload stays generatable —
+    /// every node drives one outstanding consensus instance per round across
+    /// the ~5n/2-round finality window, so per-round cost grows ~n³ (at
+    /// n = 256 a single round costs near a minute and the 2000-round run
+    /// would take over a day per engine).
     pub fn full() -> Self {
         SoakConfig {
-            nodes: 256,
+            nodes: 64,
             rounds: 2_000,
             crash_period: 5,
             downtime: 2,
-            victims: 32,
+            victims: 16,
             seed: SEED,
+            compact_after: 64,
         }
     }
 
@@ -110,6 +138,7 @@ impl SoakConfig {
             downtime: 2,
             victims: 3,
             seed: SEED,
+            compact_after: 64,
         }
     }
 }
@@ -143,6 +172,11 @@ pub struct SoakRow {
     /// Whether the leak gate tripped (the last third's floor meaningfully
     /// above the first's).
     pub leak: bool,
+    /// Whether the run was too short for the leak gate to judge: each
+    /// comparison window held fewer than [`MIN_WINDOW_SAMPLES`] samples, so
+    /// the floors are noise (or, below 3 samples, literally empty). Such a
+    /// row fails — "too short to check" must not read as "no leak".
+    pub insufficient_samples: bool,
     /// Whether the recovery oracles accepted the final report.
     pub oracles_passed: bool,
     /// Wall-clock of the whole run, milliseconds (documentation, not a gate).
@@ -150,9 +184,10 @@ pub struct SoakRow {
 }
 
 impl SoakRow {
-    /// Whether the row passes both gates: flat memory and clean oracles.
+    /// Whether the row passes its gates: enough samples to judge, flat
+    /// memory, and clean oracles.
     pub fn passed(&self) -> bool {
-        !self.leak && self.oracles_passed
+        !self.leak && !self.insufficient_samples && self.oracles_passed
     }
 }
 
@@ -221,9 +256,13 @@ fn floor(values: &[f64]) -> f64 {
     values.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
-/// Executes one soak run and reduces it to a [`SoakRow`]. `engine: None` is
-/// the synchronous engine, `Some(EngineKind::event())` the discrete-event one.
-pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
+/// Builds the soak workload harness: the dynamic total-ordering protocol under
+/// rotating crash/restart churn, with the write-ahead logs compacting every
+/// [`SoakConfig::compact_after`] records (the replay-cost bound).
+pub fn build_soak_harness(
+    config: &SoakConfig,
+    engine: Option<EngineKind>,
+) -> Harness<TotalOrderFactory<u64>> {
     let ids = IdSpace::default().generate(config.nodes, config.seed);
     // Victims rotate over indices 1.. so the event-submitting founder (index 0)
     // is always up when the workload hands it an event.
@@ -247,10 +286,21 @@ pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
         .seed(config.seed)
         .max_rounds(config.rounds + 1)
         .churn(churn);
-    if let Some(kind) = engine.clone() {
+    if let Some(kind) = engine {
         scenario = scenario.engine(kind);
     }
-    let mut harness = scenario.build(TotalOrderFactory::new(plan));
+    scenario
+        .build(TotalOrderFactory::new(plan))
+        .wal_config(WalConfig {
+            compact_after: config.compact_after,
+            ..WalConfig::default()
+        })
+}
+
+/// Executes one soak run and reduces it to a [`SoakRow`]. `engine: None` is
+/// the synchronous engine, `Some(EngineKind::event())` the discrete-event one.
+pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
+    let mut harness = build_soak_harness(config, engine.clone());
 
     let mut latencies_us: Vec<f64> = Vec::with_capacity(config.rounds as usize);
     let mut live: Vec<f64> = Vec::with_capacity(config.rounds as usize);
@@ -271,6 +321,7 @@ pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
     let restarts = harness.recovery_restarts().len();
 
     let third = live.len() / 3;
+    let insufficient_samples = third < MIN_WINDOW_SAMPLES;
     let live_mid_third = floor(&live[third..2 * third]);
     let live_last_third = floor(&live[live.len() - third..]);
     let live_peak = live.iter().copied().fold(0.0, f64::max);
@@ -282,7 +333,9 @@ pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
     // The allocation counter is process-global, so tolerate a small absolute
     // drift (concurrent test threads allocate payloads too) on top of the
     // relative margin; a real leak accumulates every round and dwarfs both.
-    let leak = live_last_third > live_mid_third * 1.25 + 256.0;
+    // Windows below MIN_WINDOW_SAMPLES cannot support the comparison at all;
+    // they fail via `insufficient_samples` rather than judging leakiness.
+    let leak = !insufficient_samples && live_last_third > live_mid_third * 1.25 + 256.0;
 
     let mut sorted = latencies_us.clone();
     sorted.sort_by(f64::total_cmp);
@@ -302,9 +355,53 @@ pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
         live_peak,
         growth,
         leak,
+        insufficient_samples,
         oracles_passed: report.verdicts_passed(),
         wall_ms,
     }
+}
+
+/// Compares a fresh soak run's step-latency percentiles against the committed
+/// artifact, returning one human-readable line per regression. The margin is
+/// deliberately generous — committed percentiles × `factor`, plus `floor_us`
+/// to absorb scheduler noise on short rows — because these are wall-clock
+/// numbers: CI records the drift lines without hard-failing on them (the same
+/// policy `scaling-smoke` applies to wall-clock columns), while a developer
+/// chasing a latency regression runs the gate strictly.
+pub fn latency_drift(
+    current: &SoakFile,
+    committed: &SoakFile,
+    factor: f64,
+    floor_us: f64,
+) -> Vec<String> {
+    let mut drift = Vec::new();
+    for row in &current.rows {
+        let Some(base) = committed
+            .rows
+            .iter()
+            .find(|base| base.engine == row.engine && base.nodes == row.nodes)
+        else {
+            drift.push(format!(
+                "latency gate: no committed row for engine {} at n = {}",
+                row.engine, row.nodes
+            ));
+            continue;
+        };
+        for (name, fresh, recorded) in [
+            ("p95", row.p95_us, base.p95_us),
+            ("p99", row.p99_us, base.p99_us),
+        ] {
+            let bound = recorded * factor + floor_us;
+            if fresh > bound {
+                drift.push(format!(
+                    "latency gate: {} n={} {name} = {fresh:.1}µs exceeds committed \
+                     {recorded:.1}µs × {factor} + {floor_us:.0}µs = {bound:.1}µs",
+                    row.engine, row.nodes
+                ));
+            }
+        }
+    }
+    drift
 }
 
 /// Runs the soak shape on both engines and assembles the file.
@@ -379,6 +476,8 @@ pub fn soak_table(file: &SoakFile) -> Table {
             format!("{:.3}", row.growth),
             if row.passed() {
                 "ok".to_string()
+            } else if row.insufficient_samples {
+                "TOO SHORT".to_string()
             } else if row.leak {
                 "LEAK".to_string()
             } else {
@@ -448,6 +547,79 @@ mod tests {
         assert!(!failing.passed());
         // The table renders a row per engine without panicking.
         assert!(format!("{}", soak_table(&file)).contains("sync"));
+    }
+
+    #[test]
+    fn runs_too_short_for_the_leak_gate_fail_explicitly() {
+        // 12 samples → windows of 4 < MIN_WINDOW_SAMPLES: the old gate would
+        // have reported growth 1.0 / leak false and silently passed.
+        let config = SoakConfig {
+            rounds: 12,
+            ..SoakConfig::tiny()
+        };
+        let row = run_soak(&config, None);
+        assert!(row.insufficient_samples, "windows of 4 are not judgeable");
+        assert!(!row.leak, "no leak verdict without samples");
+        assert!(
+            !row.passed(),
+            "too-short rows must fail, not pass vacuously"
+        );
+        assert!(
+            format!("{}", soak_table(&soak_file_with(true, &config, &[None])))
+                .contains("TOO SHORT")
+        );
+    }
+
+    #[test]
+    fn restart_replay_cost_is_bounded_by_the_compaction_period_not_the_horizon() {
+        // Doubling the horizon must not grow the worst-case restart replay:
+        // with `compact_after` well below the horizon, every restart replays at
+        // most one compaction period of records, however long the run has been
+        // going. (With the library default of 1024 records this was linear —
+        // every restart replayed the whole run so far.)
+        let max_replay = |rounds: u64| -> u64 {
+            let config = SoakConfig {
+                rounds,
+                ..SoakConfig::tiny()
+            };
+            let mut harness = build_soak_harness(&config, None);
+            while !harness.stopped() && harness.rounds_executed() < config.rounds {
+                harness.step_round().expect("soak schedules are admissible");
+            }
+            harness
+                .recovery_restarts()
+                .iter()
+                .map(|restart| restart.replayed_rounds)
+                .max()
+                .expect("the churn schedule restarts nodes")
+        };
+        let short = max_replay(150);
+        let long = max_replay(300);
+        assert!(short > 0, "restarts replay at least the round in flight");
+        assert!(
+            long <= short,
+            "replay cost grew with the horizon: max {long} rounds at 300 vs \
+             {short} at 150 — compaction is not bounding the log"
+        );
+    }
+
+    #[test]
+    fn the_latency_gate_flags_only_percentiles_beyond_the_margin() {
+        let config = SoakConfig::tiny();
+        let committed = soak_file_with(true, &config, &[None]);
+        let mut current = committed.clone();
+        assert_eq!(
+            latency_drift(&current, &committed, 3.0, 2_000.0),
+            Vec::<String>::new(),
+            "identical files are inside any margin"
+        );
+        current.rows[0].p99_us = committed.rows[0].p99_us * 3.0 + 2_001.0;
+        let drift = latency_drift(&current, &committed, 3.0, 2_000.0);
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].contains("p99"), "{drift:?}");
+        current.rows[0].engine = "exotic".to_string();
+        let missing = latency_drift(&current, &committed, 3.0, 2_000.0);
+        assert!(missing[0].contains("no committed row"), "{missing:?}");
     }
 
     #[test]

@@ -103,6 +103,57 @@ pub fn event_payloads(ids: &[NodeId], rounds: u64) -> Vec<Vec<u64>> {
         .collect()
 }
 
+/// One synthetic client request in an open-loop stream workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamRequest {
+    /// The round in which the request arrives at the system (1-based).
+    pub arrival_round: u64,
+    /// The key the request touches (Zipf-skewed; key 0 is the hottest).
+    pub key: u64,
+}
+
+/// Open-loop client-request stream: arrivals are scheduled by `rate` (requests
+/// per round, fractional rates supported) independently of how fast the system
+/// decides — the open-loop discipline — and keys are drawn Zipf(`zipf_s`) from
+/// `0..key_space`, the standard skewed-popularity shape (a few hot keys take
+/// most of the traffic). Pure function of its parameters and the seed.
+pub fn open_loop_requests(
+    rounds: u64,
+    rate: f64,
+    zipf_s: f64,
+    key_space: usize,
+    seed: u64,
+) -> Vec<StreamRequest> {
+    assert!(rate >= 0.0, "arrival rate must be non-negative");
+    assert!(key_space > 0, "key space must be non-empty");
+    // Zipf inverse-CDF table: cumulative weights of 1 / rank^s.
+    let mut cumulative = Vec::with_capacity(key_space);
+    let mut total = 0.0;
+    for rank in 1..=key_space {
+        total += 1.0 / (rank as f64).powf(zipf_s);
+        cumulative.push(total);
+    }
+    let mut rng = seeded_rng(derive_seed(seed, 0x5E));
+    let mut requests = Vec::new();
+    let mut scheduled = 0u64;
+    for round in 1..=rounds {
+        // Deterministic open-loop pacing: by the end of round r exactly
+        // floor(r * rate) requests have arrived, so fractional rates spread
+        // evenly instead of rounding per round.
+        let due = (round as f64 * rate).floor() as u64;
+        for _ in scheduled..due {
+            let u = rng.gen_range(0.0..total);
+            let key = cumulative.partition_point(|&c| c <= u) as u64;
+            requests.push(StreamRequest {
+                arrival_round: round,
+                key,
+            });
+        }
+        scheduled = due;
+    }
+    requests
+}
+
 /// Generates the standard `(correct, byzantine)` identifier split used across the
 /// experiment suite.
 pub fn split_ids(correct: usize, byzantine: usize, seed: u64) -> (Vec<NodeId>, Vec<NodeId>) {
@@ -178,6 +229,26 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 24, "every (node, round) event is unique");
+    }
+
+    #[test]
+    fn open_loop_requests_pace_and_skew_deterministically() {
+        let requests = open_loop_requests(100, 7.5, 1.1, 64, 33);
+        assert_eq!(requests.len(), 750, "open-loop: floor(rounds * rate)");
+        assert_eq!(requests, open_loop_requests(100, 7.5, 1.1, 64, 33));
+        assert!(requests
+            .iter()
+            .all(|r| (1..=100).contains(&r.arrival_round)));
+        assert!(requests.iter().all(|r| r.key < 64));
+        // Zipf skew: the hottest key beats the coldest decile combined.
+        let hot = requests.iter().filter(|r| r.key == 0).count();
+        let cold = requests.iter().filter(|r| r.key >= 58).count();
+        assert!(hot > cold, "hot key {hot} vs cold tail {cold}");
+        // Fractional pacing never bunches: at most ceil(rate) arrivals per round.
+        for round in 1..=100u64 {
+            let in_round = requests.iter().filter(|r| r.arrival_round == round).count();
+            assert!(in_round <= 8, "round {round} got {in_round} arrivals");
+        }
     }
 
     #[test]

@@ -51,9 +51,11 @@ pub mod recovery;
 pub mod report;
 pub mod rotor;
 pub mod run_report;
+pub mod stream;
 pub mod trace;
 
 pub use recovery::check_recovery;
 pub use report::{CheckReport, Violation};
 pub use run_report::{attach_verdicts, check_run_report, report_verdicts};
+pub use stream::check_stream;
 pub use trace::{attribute_trace, check_zero_copy, TraceAttribution};

@@ -122,6 +122,9 @@ fn section_reports(report: &RunReport) -> Vec<(&'static str, CheckReport)> {
     if let Some(recovery) = &report.recovery {
         reports.push(("recovery", crate::recovery::check_recovery(recovery)));
     }
+    if let Some(stream) = &report.stream {
+        reports.push(("stream", crate::stream::check_stream(stream)));
+    }
     reports
 }
 

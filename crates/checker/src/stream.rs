@@ -1,0 +1,217 @@
+//! Cross-instance oracles for pipelined agreement streams.
+//!
+//! A stream run (see `uba_simnet::stream`) decides many overlapping agreement
+//! instances in one execution. Per-instance safety is the same agreement
+//! property the single-shot oracles check; what is *new* is the cross-instance
+//! claim: the concatenation of decided batches **in instance order** is one
+//! total order shared by every node. Because instances are totally ordered by
+//! their tags at scheduling time, that reduces to three checkable properties
+//! over the recorded [`StreamSection`]:
+//!
+//! * `stream/agreement` — within each instance, every node that decided
+//!   produced the same agreement digest (per-instance safety);
+//! * `stream/decide-round` — nobody decided an instance before it started, and
+//!   the recorded decide round is present exactly when the output is (the
+//!   bookkeeping the latency percentiles are computed from);
+//! * `stream/total-order` — instance tags are unique and strictly increasing,
+//!   and the section's summary flags (`agreement`, `completed`, per-instance
+//!   `decided`) match the per-node evidence — so any two nodes' decided
+//!   prefixes agree on every instance they share, which is exactly
+//!   cross-instance total-order consistency given per-instance agreement.
+//!
+//! The oracle runs automatically whenever a [`RunReport`] carries a stream
+//! section (see [`crate::run_report`]); single-shot reports carry none and
+//! contribute zero checks.
+//!
+//! [`RunReport`]: uba_core::sim::RunReport
+
+use uba_core::sim::{StreamInstanceReport, StreamSection};
+
+use crate::report::CheckReport;
+
+/// Runs the stream oracles over a recorded stream section.
+pub fn check_stream(section: &StreamSection) -> CheckReport {
+    let mut report = CheckReport::new();
+    let mut previous_tag: Option<u64> = None;
+    for instance in &section.instances {
+        check_instance(instance, &mut report);
+        report.expect(
+            previous_tag.is_none_or(|previous| previous < instance.instance),
+            "stream/total-order",
+            || {
+                format!(
+                    "instance tags are not strictly increasing: {:?} is followed by {}",
+                    previous_tag, instance.instance
+                )
+            },
+        );
+        previous_tag = Some(instance.instance);
+    }
+    let agreement = section.instances.iter().all(|i| i.agreement);
+    report.expect(section.agreement == agreement, "stream/total-order", || {
+        format!(
+            "the section's summary claims agreement = {} but the instances say {}",
+            section.agreement, agreement
+        )
+    });
+    let completed = section.instances.iter().filter(|i| i.decided).count();
+    report.expect(section.completed == completed, "stream/total-order", || {
+        format!(
+            "the section's summary claims {} completed instances but the instances say {}",
+            section.completed, completed
+        )
+    });
+    report
+}
+
+fn check_instance(instance: &StreamInstanceReport, report: &mut CheckReport) {
+    let tag = instance.instance;
+    let digests: Vec<&String> = instance
+        .outputs
+        .iter()
+        .filter_map(|(_, digest)| digest.as_ref())
+        .collect();
+    report.expect(
+        digests.windows(2).all(|pair| pair[0] == pair[1]),
+        "stream/agreement",
+        || {
+            format!(
+                "instance {tag} violated agreement: nodes decided {:?}",
+                instance.outputs
+            )
+        },
+    );
+    let decided = instance.outputs.iter().all(|(_, digest)| digest.is_some());
+    report.expect(instance.decided == decided, "stream/total-order", || {
+        format!(
+            "instance {tag} is flagged decided = {} but the per-node outputs say {}",
+            instance.decided, decided
+        )
+    });
+    for (node, decide_round) in &instance.decide_rounds {
+        report.expect(
+            decide_round.is_none_or(|round| round >= instance.start_round),
+            "stream/decide-round",
+            || {
+                format!(
+                    "{node} decided instance {tag} in round {:?}, before its start round {}",
+                    decide_round, instance.start_round
+                )
+            },
+        );
+        let output_present = instance
+            .outputs
+            .iter()
+            .any(|(id, digest)| id == node && digest.is_some());
+        report.expect(
+            decide_round.is_some() == output_present,
+            "stream/decide-round",
+            || {
+                format!(
+                    "{node}'s bookkeeping for instance {tag} is inconsistent: decide round \
+                     {decide_round:?} but output present = {output_present}",
+                )
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_simnet::NodeId;
+
+    fn decided_instance(tag: u64, start_round: u64, value: &str) -> StreamInstanceReport {
+        let nodes = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        StreamInstanceReport {
+            instance: tag,
+            start_round,
+            batch_size: 4,
+            outputs: nodes
+                .iter()
+                .map(|&id| (id, Some(value.to_string())))
+                .collect(),
+            decide_rounds: nodes
+                .iter()
+                .map(|&id| (id, Some(start_round + 9)))
+                .collect(),
+            agreement: true,
+            decided: true,
+        }
+    }
+
+    fn section(instances: Vec<StreamInstanceReport>) -> StreamSection {
+        let agreement = instances.iter().all(|i| i.agreement);
+        let completed = instances.iter().filter(|i| i.decided).count();
+        StreamSection {
+            instances,
+            agreement,
+            completed,
+        }
+    }
+
+    #[test]
+    fn a_clean_stream_passes() {
+        let report = check_stream(&section(vec![
+            decided_instance(0, 1, "17"),
+            decided_instance(1, 4, "29"),
+        ]));
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn a_split_decision_violates_agreement() {
+        let mut bad = decided_instance(0, 1, "17");
+        bad.outputs[2].1 = Some("18".to_string());
+        let report = check_stream(&section(vec![bad]));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "stream/agreement"));
+    }
+
+    #[test]
+    fn out_of_order_tags_violate_the_total_order() {
+        let report = check_stream(&section(vec![
+            decided_instance(1, 1, "17"),
+            decided_instance(0, 4, "29"),
+        ]));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "stream/total-order"));
+    }
+
+    #[test]
+    fn deciding_before_the_start_round_is_caught() {
+        let mut bad = decided_instance(0, 10, "17");
+        bad.decide_rounds[0].1 = Some(6);
+        let report = check_stream(&section(vec![bad]));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "stream/decide-round"));
+    }
+
+    #[test]
+    fn a_tampered_summary_flag_is_caught() {
+        let mut stream = section(vec![decided_instance(0, 1, "17")]);
+        stream.completed = 0;
+        let report = check_stream(&stream);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.property == "stream/total-order"));
+    }
+
+    #[test]
+    fn an_undecided_instance_is_not_a_violation() {
+        let mut pending = decided_instance(0, 1, "17");
+        pending.outputs[2].1 = None;
+        pending.decide_rounds[2].1 = None;
+        pending.decided = false;
+        let report = check_stream(&section(vec![pending]));
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+}

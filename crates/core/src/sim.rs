@@ -50,6 +50,9 @@ pub use uba_simnet::sim::{
     AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
     RunReport, RunStatus, ScenarioBuilder, ScenarioSpec, Simulation, StopCondition,
 };
+pub use uba_simnet::stream::{
+    MuxNode, StreamDriver, StreamInstance, StreamInstanceReport, StreamSection,
+};
 pub use uba_simnet::sweep::{CrashPlan, ScenarioGrid, SweepCase};
 pub use uba_simnet::wal::{RestartPolicy, RestartRecord, WalConfig, WalFault};
 
@@ -100,6 +103,29 @@ impl ConsensusFactory {
             _ => (0, 1),
         }
     }
+}
+
+/// Builds a pipelined consensus stream: one [`ConsensusFactory`] instance per
+/// schedule entry `(start_round, batch_size, batch_value)`, all `n` nodes of an
+/// instance proposing the same content-addressed batch value (the leader's
+/// batch digest, the way a blockchain's replicas vote on a block hash). The
+/// agreement digest compares decided *values* only, so two nodes deciding the
+/// same value in different phases or rounds do not count as disagreement.
+pub fn consensus_stream(
+    n: usize,
+    schedule: impl IntoIterator<Item = (u64, usize, u64)>,
+) -> StreamDriver<ConsensusFactory> {
+    let mut driver = StreamDriver::new("consensus").digest(std::sync::Arc::new(
+        |decision: &crate::consensus::Decision<u64>| decision.value.to_string(),
+    ));
+    for (start_round, batch_size, batch_value) in schedule {
+        driver = driver.push(
+            start_round,
+            batch_size,
+            ConsensusFactory::new(vec![batch_value; n]),
+        );
+    }
+    driver
 }
 
 impl ProtocolFactory for ConsensusFactory {

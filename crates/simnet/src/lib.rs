@@ -94,6 +94,7 @@ pub mod rng;
 pub mod shared;
 pub mod sim;
 pub mod stats;
+pub mod stream;
 pub mod sweep;
 pub mod trace;
 pub mod traffic;
@@ -123,6 +124,9 @@ pub use sim::{
     StopCondition,
 };
 pub use stats::{Histogram, RateEstimate, Summary};
+pub use stream::{
+    InstanceSlot, MuxNode, StreamDriver, StreamInstance, StreamInstanceReport, StreamSection,
+};
 pub use sweep::{CrashPlan, ScenarioGrid, SweepCase};
 pub use trace::{TraceEvent, TraceLog};
 pub use traffic::{RoundTraffic, SentRef, TrafficItem};

@@ -48,7 +48,7 @@ use crate::id::{IdSpace, NodeId};
 use crate::metrics::{Metrics, RoundMetrics};
 use crate::node::Protocol;
 use crate::vocab::{PayloadVocab, VocabAdversary};
-use crate::wal::{RestartRecord, Snapshotter};
+use crate::wal::{RestartRecord, Snapshotter, WalConfig};
 
 /// A boxed, dynamically dispatched adversary — the form in which
 /// [`ProtocolFactory::adversary`] returns strategies so one harness type covers
@@ -645,6 +645,13 @@ impl<F: ProtocolFactory> EngineHost<F> {
         }
     }
 
+    fn enable_recovery_with(&mut self, snapshot: Snapshotter<F::Node>, config: WalConfig) {
+        match self {
+            EngineHost::Sync(engine) => engine.enable_recovery_with(snapshot, config),
+            EngineHost::Event(engine) => engine.enable_recovery_with(snapshot, config),
+        }
+    }
+
     fn recovery_restarts(&self) -> &[RestartRecord] {
         match self {
             EngineHost::Sync(engine) => engine.recovery_restarts(),
@@ -792,6 +799,26 @@ impl<F: ProtocolFactory> Harness<F> {
             )
         });
         self.engine.enable_recovery(snapshot);
+        self
+    }
+
+    /// (Re-)enables crash-recovery under an explicit [`WalConfig`], replacing the
+    /// default-configured manager the harness installs for crash churn. The knob
+    /// that matters operationally is [`WalConfig::compact_after`]: a restart
+    /// replays every record since the last compaction, so on long horizons the
+    /// compaction period — not the horizon — must bound replay cost. Call before
+    /// any round has run; reconfiguring mid-run would discard logged state.
+    ///
+    /// # Panics
+    /// Panics if the factory provides no [`ProtocolFactory::snapshotter`].
+    pub fn wal_config(mut self, config: WalConfig) -> Self {
+        let snapshot = self.factory.snapshotter().unwrap_or_else(|| {
+            panic!(
+                "protocol `{}` has no snapshotter; it cannot enable recovery",
+                self.factory.protocol_name()
+            )
+        });
+        self.engine.enable_recovery_with(snapshot, config);
         self
     }
 
@@ -991,6 +1018,7 @@ impl<F: ProtocolFactory> Harness<F> {
                     restarts: restarts.to_vec(),
                 })
             },
+            stream: None,
             verdicts: Vec::new(),
         }
     }
@@ -1272,6 +1300,9 @@ pub struct RunReport {
     pub chain: Option<ChainSection>,
     /// Crash-recovery results; `None` unless a crash/restart cycle completed.
     pub recovery: Option<RecoverySection>,
+    /// Pipelined-stream results; `None` unless the run used a
+    /// [`StreamDriver`](crate::stream::StreamDriver).
+    pub stream: Option<crate::stream::StreamSection>,
     /// Property-oracle verdicts (attached by `uba_checker::attach_verdicts`).
     pub verdicts: Vec<OracleVerdict>,
 }

@@ -1,0 +1,417 @@
+//! Multi-instance pipelined agreement streams.
+//!
+//! A single scenario runs *one* agreement; a serving workload runs a **stream**
+//! of them, overlapping in time so the next instance starts before the previous
+//! one decides. This module provides the generic machinery for that shape:
+//!
+//! * [`MuxNode`] — a node that multiplexes many instances of an inner
+//!   [`Protocol`] over one wire. Every payload is tagged with the instance it
+//!   belongs to (`(instance, inner)`), so a single engine round carries traffic
+//!   for every in-flight instance and the tag travels through
+//!   [`Envelope`](crate::message::Envelope) exactly like any other payload.
+//! * [`StreamDriver`] — a [`ProtocolFactory`] that builds one inner factory per
+//!   instance, staggers their start rounds (the pipeline), and records a
+//!   [`StreamSection`] into the [`RunReport`] with per-instance decisions,
+//!   decide rounds and batch sizes for the checker's cross-instance oracle.
+//!
+//! The batching rule lives one layer up (see `docs/STREAMING.md`): client
+//! requests are packed into one batch per (instance, proposer), so each
+//! broadcast is **one** [`Shared`](crate::shared::Shared) arena payload no
+//! matter how many requests it carries — per-delivery cost is paid once per
+//! batch, not once per request.
+//!
+//! Streams model the fault-free serving path: the driver maps every adversary
+//! kind to the silent strategy and stream scenarios run with `byzantine(0)`.
+//! Under faults, per-instance safety is already covered by the single-shot
+//! scenarios; the stream exists to measure pipelined throughput.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::SilentAdversary;
+use crate::id::NodeId;
+use crate::message::{Envelope, Outgoing};
+use crate::node::{Protocol, RoundContext};
+use crate::sim::{AdversaryKind, BuildContext, NamedAdversary, ProtocolFactory, RunReport};
+
+/// One inner-protocol instance inside a [`MuxNode`].
+#[derive(Clone, Debug)]
+pub struct InstanceSlot<N> {
+    /// The tag carried by every payload of this instance.
+    pub tag: u64,
+    /// Global round in which the instance starts (its local round 1).
+    pub start_round: u64,
+    /// The inner protocol node.
+    pub node: N,
+    /// Global round in which this node's instance terminated, if it has.
+    pub decided_round: Option<u64>,
+}
+
+/// A node multiplexing many instances of an inner [`Protocol`] over one wire.
+///
+/// Payloads are `(instance_tag, inner_payload)`; each round the node demuxes
+/// its inbox by tag, steps every started-and-undecided instance with a *local*
+/// round number (`global - start_round`), and retags everything the instances
+/// send. An instance whose start round has not arrived yet neither sends nor
+/// receives. The node terminates when every instance has.
+#[derive(Clone, Debug)]
+pub struct MuxNode<N: Protocol> {
+    id: NodeId,
+    slots: Vec<InstanceSlot<N>>,
+}
+
+impl<N: Protocol> MuxNode<N> {
+    /// Builds a mux node over the given instance slots (all for the same
+    /// [`NodeId`]). Tags must be unique; start rounds must be ≥ 1.
+    pub fn new(id: NodeId, slots: Vec<InstanceSlot<N>>) -> Self {
+        MuxNode { id, slots }
+    }
+
+    /// The instance slots, in tag order.
+    pub fn slots(&self) -> &[InstanceSlot<N>] {
+        &self.slots
+    }
+}
+
+impl<N: Protocol> Protocol for MuxNode<N> {
+    type Payload = (u64, N::Payload);
+    /// The number of instances that have terminated (present once all have).
+    type Output = usize;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn step(
+        &mut self,
+        ctx: &RoundContext,
+        inbox: &[Envelope<Self::Payload>],
+    ) -> Vec<Outgoing<Self::Payload>> {
+        let mut outgoing = Vec::new();
+        for slot in &mut self.slots {
+            if ctx.round < slot.start_round || slot.node.terminated() {
+                continue;
+            }
+            // Demuxing re-wraps each matching payload in a fresh `Shared`; the
+            // per-delivery clone is bounded by the inner payload size, which the
+            // batching rule keeps at one arena payload per (instance, proposer).
+            let inner_inbox: Vec<Envelope<N::Payload>> = inbox
+                .iter()
+                .filter(|envelope| envelope.payload.get().0 == slot.tag)
+                .map(|envelope| Envelope::new(envelope.from, envelope.payload.get().1.clone()))
+                .collect();
+            let local = RoundContext::new(ctx.round - slot.start_round + 1);
+            for sent in slot.node.step(&local, &inner_inbox) {
+                outgoing.push(Outgoing {
+                    dest: sent.dest,
+                    payload: (slot.tag, sent.payload),
+                });
+            }
+            if slot.node.terminated() && slot.decided_round.is_none() {
+                slot.decided_round = Some(ctx.round);
+            }
+        }
+        outgoing
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        self.terminated()
+            .then(|| self.slots.iter().filter(|s| s.node.terminated()).count())
+    }
+
+    fn terminated(&self) -> bool {
+        self.slots.iter().all(|slot| slot.node.terminated())
+    }
+}
+
+/// How a [`StreamDriver`] renders an inner output into the per-instance
+/// agreement digest recorded in the [`StreamSection`]. Two digests are equal
+/// iff the instance's decision is (for the oracle's purposes) the same.
+pub type OutputDigest<N> = Arc<dyn Fn(&<N as Protocol>::Output) -> String + Send + Sync>;
+
+/// One instance scheduled on a [`StreamDriver`].
+pub struct StreamInstance<F> {
+    /// Global round in which the instance starts.
+    pub start_round: u64,
+    /// Number of client requests batched into this instance (recorded only).
+    pub batch_size: usize,
+    /// The factory building this instance's nodes.
+    pub factory: F,
+}
+
+/// A [`ProtocolFactory`] running a pipelined stream of inner-protocol
+/// instances behind [`MuxNode`]s.
+///
+/// Each scheduled [`StreamInstance`] gets its own inner factory; `build_nodes`
+/// builds every instance's nodes and transposes them into one [`MuxNode`] per
+/// participant. Instances start at their scheduled rounds and overlap freely;
+/// the run stops when all of them have terminated.
+///
+/// Restrictions (checked where possible, documented otherwise):
+/// * inner factories must not rely on `before_round` input injection — the
+///   slots are scattered across mux nodes, so there is no per-instance
+///   `&mut [Node]` slice to hand them (consensus-style factories, which take
+///   their inputs at construction, stream fine; total-order streams batch
+///   through the plan instead and need no mux);
+/// * streams are fault-free: every adversary kind maps to the silent strategy.
+pub struct StreamDriver<F: ProtocolFactory> {
+    name: String,
+    instances: Vec<StreamInstance<F>>,
+    digest: OutputDigest<F::Node>,
+}
+
+impl<F: ProtocolFactory> StreamDriver<F> {
+    /// Creates an empty driver. `inner_name` is the inner protocol's name; the
+    /// driver reports as `stream(inner_name)`.
+    pub fn new(inner_name: &str) -> Self {
+        StreamDriver {
+            name: format!("stream({inner_name})"),
+            instances: Vec::new(),
+            digest: Arc::new(|output| format!("{output:?}")),
+        }
+    }
+
+    /// Replaces the agreement digest (default: the output's `Debug` rendering).
+    /// Use this when the inner output carries per-node fields (e.g. a decide
+    /// round) that must not count as disagreement.
+    pub fn digest(mut self, digest: OutputDigest<F::Node>) -> Self {
+        self.digest = digest;
+        self
+    }
+
+    /// Schedules an instance. Tags are assigned in push order, starting at 0.
+    pub fn push(mut self, start_round: u64, batch_size: usize, factory: F) -> Self {
+        assert!(start_round >= 1, "instance start rounds are 1-based");
+        self.instances.push(StreamInstance {
+            start_round,
+            batch_size,
+            factory,
+        });
+        self
+    }
+
+    /// Number of scheduled instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether no instances are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+impl<F: ProtocolFactory> ProtocolFactory for StreamDriver<F> {
+    type Node = MuxNode<F::Node>;
+
+    fn protocol_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn build_nodes(&mut self, ctx: &BuildContext) -> Vec<Self::Node> {
+        assert!(
+            !self.instances.is_empty(),
+            "a stream needs at least one scheduled instance"
+        );
+        let mut muxes: Vec<Vec<InstanceSlot<F::Node>>> =
+            ctx.correct_ids.iter().map(|_| Vec::new()).collect();
+        for (tag, instance) in self.instances.iter_mut().enumerate() {
+            let nodes = instance.factory.build_nodes(ctx);
+            assert_eq!(
+                nodes.len(),
+                ctx.correct_ids.len(),
+                "inner factory built a different node count than the scenario"
+            );
+            for (participant, node) in nodes.into_iter().enumerate() {
+                muxes[participant].push(InstanceSlot {
+                    tag: tag as u64,
+                    start_round: instance.start_round,
+                    node,
+                    decided_round: None,
+                });
+            }
+        }
+        ctx.correct_ids
+            .iter()
+            .zip(muxes)
+            .map(|(&id, slots)| MuxNode::new(id, slots))
+            .collect()
+    }
+
+    fn adversary(
+        &self,
+        _kind: AdversaryKind,
+        _ctx: &BuildContext,
+    ) -> NamedAdversary<<Self::Node as Protocol>::Payload> {
+        // Streams measure the fault-free serving path; see the module docs.
+        NamedAdversary::new("silent", SilentAdversary)
+    }
+
+    fn record(&self, _ctx: &BuildContext, nodes: &[Self::Node], report: &mut RunReport) {
+        let mut instances = Vec::with_capacity(self.instances.len());
+        for (tag, instance) in self.instances.iter().enumerate() {
+            let mut outputs = Vec::with_capacity(nodes.len());
+            let mut decide_rounds = Vec::with_capacity(nodes.len());
+            for node in nodes {
+                let slot = &node.slots()[tag];
+                debug_assert_eq!(slot.tag, tag as u64);
+                outputs.push((node.id(), slot.node.output().map(|o| (self.digest)(&o))));
+                decide_rounds.push((node.id(), slot.decided_round));
+            }
+            let digests: Vec<&String> = outputs.iter().filter_map(|(_, d)| d.as_ref()).collect();
+            let agreement = digests.windows(2).all(|pair| pair[0] == pair[1]);
+            let decided = outputs.iter().all(|(_, digest)| digest.is_some());
+            instances.push(StreamInstanceReport {
+                instance: tag as u64,
+                start_round: instance.start_round,
+                batch_size: instance.batch_size,
+                outputs,
+                decide_rounds,
+                agreement,
+                decided,
+            });
+        }
+        let agreement = instances.iter().all(|i| i.agreement);
+        let completed = instances.iter().filter(|i| i.decided).count();
+        report.stream = Some(StreamSection {
+            instances,
+            agreement,
+            completed,
+        });
+    }
+}
+
+/// Per-instance outcome recorded by a [`StreamDriver`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamInstanceReport {
+    /// The instance tag (its position in the stream's total order).
+    pub instance: u64,
+    /// Global round in which the instance started.
+    pub start_round: u64,
+    /// Number of client requests batched into the instance.
+    pub batch_size: usize,
+    /// Per-node agreement digest of the instance output (`None` = undecided).
+    pub outputs: Vec<(NodeId, Option<String>)>,
+    /// Global round in which each node's instance terminated.
+    pub decide_rounds: Vec<(NodeId, Option<u64>)>,
+    /// Whether every node that decided produced the same digest.
+    pub agreement: bool,
+    /// Whether every node decided this instance.
+    pub decided: bool,
+}
+
+/// Stream-level results recorded into a [`RunReport`] by a [`StreamDriver`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamSection {
+    /// One report per scheduled instance, in tag order.
+    pub instances: Vec<StreamInstanceReport>,
+    /// Whether every instance satisfied per-instance agreement.
+    pub agreement: bool,
+    /// How many instances every node decided.
+    pub completed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Destination;
+
+    /// A toy protocol: broadcasts its input in round 1, outputs the smallest
+    /// value heard in round 2, then terminates.
+    #[derive(Clone, Debug)]
+    struct MinOnce {
+        id: NodeId,
+        input: u64,
+        output: Option<u64>,
+    }
+
+    impl Protocol for MinOnce {
+        type Payload = u64;
+        type Output = u64;
+
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn step(&mut self, ctx: &RoundContext, inbox: &[Envelope<u64>]) -> Vec<Outgoing<u64>> {
+            match ctx.round {
+                1 => vec![Outgoing::broadcast(self.input)],
+                _ => {
+                    if self.output.is_none() {
+                        let heard = inbox.iter().map(|e| *e.payload.get()).min();
+                        self.output = Some(heard.map_or(self.input, |m| m.min(self.input)));
+                    }
+                    Vec::new()
+                }
+            }
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.output
+        }
+    }
+
+    fn slot(tag: u64, start: u64, id: NodeId, input: u64) -> InstanceSlot<MinOnce> {
+        InstanceSlot {
+            tag,
+            start_round: start,
+            node: MinOnce {
+                id,
+                input,
+                output: None,
+            },
+            decided_round: None,
+        }
+    }
+
+    #[test]
+    fn the_mux_demuxes_by_tag_and_staggers_starts() {
+        let a = NodeId::new(1);
+        let mut node = MuxNode::new(a, vec![slot(0, 1, a, 10), slot(1, 3, a, 20)]);
+
+        // Round 1: only instance 0 is live; it broadcasts tagged payloads.
+        let out = node.step(&RoundContext::new(1), &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, (0, 10));
+        assert!(matches!(out[0].dest, Destination::Broadcast));
+
+        // Round 2: instance 0 hears a tagged 7 (and ignores instance 1 traffic),
+        // decides min(10, 7) = 7; instance 1 still has not started.
+        let b = NodeId::new(2);
+        let inbox = vec![
+            Envelope::new(b, (0u64, 7u64)),
+            Envelope::new(b, (1u64, 999u64)),
+        ];
+        let out = node.step(&RoundContext::new(2), &inbox);
+        assert!(out.is_empty());
+        assert_eq!(node.slots()[0].node.output, Some(7));
+        assert_eq!(node.slots()[0].decided_round, Some(2));
+        assert!(!node.terminated());
+
+        // Round 3: instance 1 starts at its local round 1 and broadcasts.
+        let out = node.step(&RoundContext::new(3), &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, (1, 20));
+
+        // Round 4: instance 1 decides on its own input; the mux terminates.
+        let out = node.step(&RoundContext::new(4), &[]);
+        assert!(out.is_empty());
+        assert_eq!(node.slots()[1].node.output, Some(20));
+        assert!(node.terminated());
+        assert_eq!(node.output(), Some(2));
+    }
+
+    #[test]
+    fn terminated_instances_stop_stepping() {
+        let a = NodeId::new(1);
+        let mut node = MuxNode::new(a, vec![slot(0, 1, a, 5)]);
+        node.step(&RoundContext::new(1), &[]);
+        node.step(&RoundContext::new(2), &[]);
+        assert!(node.terminated());
+        // Further rounds are no-ops and do not disturb the decide round.
+        let out = node.step(&RoundContext::new(3), &[]);
+        assert!(out.is_empty());
+        assert_eq!(node.slots()[0].decided_round, Some(2));
+    }
+}
