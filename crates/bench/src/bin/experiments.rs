@@ -9,7 +9,7 @@
 //! cargo run -p uba-bench --release --bin experiments -- fuzz --boundary [--smoke]
 //! cargo run -p uba-bench --release --bin experiments -- fuzz --replay path
 //! cargo run -p uba-bench --release --bin experiments -- soak [--smoke] [--engine sync|event] [path]
-//! cargo run -p uba-bench --release --bin experiments -- stream [--smoke] [path]
+//! cargo run -p uba-bench --release --bin experiments -- stream [--smoke] [--window-sweep] [path]
 //! ```
 //!
 //! `baseline` regenerates `BENCH_baseline.json`: the fixed scenario grid run through
@@ -48,6 +48,11 @@
 //! committed artifact (count drift exits 1, the CI regression guard); the
 //! committed full rows are carried over unchanged. Wall-clock rates are
 //! recorded, never gated. The exit code is 1 when any row fails its oracles.
+//! Every non-`--window-sweep` run also regenerates the active-window sweep
+//! (per-round mux cost vs window size, `docs/STREAMING.md`); `--window-sweep`
+//! regenerates *only* that section, carrying the committed rows over. The
+//! sweep's slope gate — doubling the horizon at a fixed window must not grow
+//! per-round cost beyond 1.1× — is deterministic and hard-fails in any mode.
 //!
 //! `fuzz` runs the deterministic property-fuzz grid (`uba_bench::fuzz`,
 //! `docs/FUZZING.md`): every protocol/baseline family × attack plans × churn ×
@@ -404,8 +409,8 @@ fn run_soak(args: &[String]) {
         uba_bench::SoakConfig::full()
     };
     eprintln!(
-        "soaking n = {} for {} rounds under crash/restart churn every {} rounds \
-         (smoke = {smoke}, {} engine(s))…",
+        "soaking n = {} for {} rounds under rotating clean/faulty crash/restart churn \
+         every {} rounds, traffic GC on (smoke = {smoke}, {} engine(s))…",
         config.nodes,
         config.rounds,
         config.crash_period,
@@ -447,21 +452,43 @@ fn run_soak(args: &[String]) {
         json.len(),
         started.elapsed()
     );
+    // The slope gate's numbers are worth a line even when green: CI uploads
+    // this log, so the trend is visible without opening the artifact.
+    for row in &file.rows {
+        eprintln!(
+            "slope gate: {} n={} median step latency {:.1}µs (mid third) → {:.1}µs \
+             (last third), slope {:.3} (bound {} × mid + {}µs)",
+            row.engine,
+            row.nodes,
+            row.lat_mid_third_us,
+            row.lat_last_third_us,
+            row.lat_slope,
+            uba_bench::soak::LATENCY_SLOPE_MARGIN,
+            uba_bench::soak::LATENCY_SLOPE_FLOOR_US,
+        );
+    }
     if !file.passed() {
         for row in file.rows.iter().filter(|r| !r.passed()) {
             eprintln!(
-                "soak FAILED on the {} engine: leak = {} (growth {:.3}), \
-                 insufficient samples = {}, oracles passed = {}",
-                row.engine, row.leak, row.growth, row.insufficient_samples, row.oracles_passed
+                "soak FAILED on the {} engine: leak = {} (growth {:.3}), latency drift = {} \
+                 (slope {:.3}), insufficient samples = {}, oracles passed = {}",
+                row.engine,
+                row.leak,
+                row.growth,
+                row.lat_drift,
+                row.lat_slope,
+                row.insufficient_samples,
+                row.oracles_passed
             );
         }
         std::process::exit(1);
     }
-    eprintln!("memory flat and recovery oracles clean on every engine ✓");
+    eprintln!("memory flat, step latency flat and recovery oracles clean on every engine ✓");
 }
 
 fn run_stream(args: &[String]) {
     let smoke = args.iter().any(|a| a == "--smoke");
+    let sweep_only = args.iter().any(|a| a == "--window-sweep");
     let path = std::path::PathBuf::from(
         args.iter()
             .find(|a| !a.starts_with("--"))
@@ -471,23 +498,52 @@ fn run_stream(args: &[String]) {
     let committed = uba_bench::stream::read_stream(&path);
     // A smoke run is the CI regression gate: it needs a committed, well-formed
     // artifact to compare against — a missing or unparseable BENCH_stream.json
-    // is itself a failure, not a free pass.
-    if smoke && committed.is_none() {
+    // is itself a failure, not a free pass. A sweep-only run splices into the
+    // committed rows, so it needs them too.
+    if (smoke || sweep_only) && committed.is_none() {
         eprintln!(
-            "stream --smoke needs a committed, well-formed {} to gate against \
+            "stream {} needs a committed, well-formed {} to gate against \
              (regenerate it with `experiments -- stream`)",
+            if smoke { "--smoke" } else { "--window-sweep" },
             path.display()
         );
         std::process::exit(1);
     }
-    eprintln!("streaming pipelined agreement instances through both engines (smoke = {smoke})…");
     let started = std::time::Instant::now();
-    let fresh = uba_bench::stream_file(smoke);
-    println!("{}", uba_bench::stream_table(&fresh));
+    let fresh = if sweep_only {
+        // Only the active-window sweep; the committed measurement rows ride
+        // along untouched.
+        eprintln!("sweeping per-round mux cost across active-window sizes…");
+        let mut file = committed.clone().expect("checked above");
+        file.window_sweep = uba_bench::stream::window_sweep_rows();
+        file
+    } else {
+        eprintln!(
+            "streaming pipelined agreement instances through both engines (smoke = {smoke})…"
+        );
+        let file = uba_bench::stream_file(smoke);
+        println!("{}", uba_bench::stream_table(&file));
+        file
+    };
+    println!(
+        "{}",
+        uba_bench::stream::window_sweep_table(&fresh.window_sweep)
+    );
+    // The active-window property is deterministic (pure step counters), so it
+    // hard-gates in every mode: per-round cost must not grow with the horizon.
+    let slope = uba_bench::stream::window_sweep_slope(&fresh.window_sweep);
+    if !slope.is_empty() {
+        eprintln!("active-window sweep slope gate FAILED:");
+        for line in &slope {
+            eprintln!("  {line}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("per-round cost flat in the horizon at every window size ✓");
     // A smoke run regenerates only the smoke rows; the committed full rows (if
     // any) are carried over so the artifact never loses its full shape to a CI
     // run — the failure mode the soak artifact had.
-    let file = match (&committed, smoke) {
+    let file = match (&committed, smoke && !sweep_only) {
         (Some(committed), true) => {
             let drift = uba_bench::stream_drift(&fresh, committed);
             if !drift.is_empty() {

@@ -6,10 +6,16 @@
 //! mode such machinery invites is not a wrong answer on round 3 but a slow one
 //! on round 3000 — logs that never compact, inboxes that accumulate envelopes
 //! for nodes that keep leaving, restart bookkeeping that grows per cycle. The
-//! soak driver runs the dynamic total-ordering workload at `n = 64` for
-//! thousands of rounds (hundreds for the CI smoke — the horizon, not the
-//! population, is the soak axis; see [`SoakConfig::full`]) while a rotating
-//! set of correct nodes crashes and cleanly restarts every few rounds, and
+//! soak driver runs the dynamic total-ordering workload at `n = 128` for
+//! thousands of rounds (`n = 64` for hundreds of rounds in the CI smoke — the
+//! horizon, not the population, is the soak axis; see [`SoakConfig::full`])
+//! while a rotating set of correct nodes crashes and restarts every few
+//! rounds — the restart policy itself rotates through [`SOAK_POLICIES`]:
+//! clean replays and all three write-ahead-log fault shapes (torn tail, lost
+//! unsynced suffix, corrupt record), with [`SoakConfig::sync_every`] raised
+//! above 1 so the faults have an unsynced suffix to bite. Engine-level
+//! retired-tag traffic GC runs throughout (`Harness::traffic_gc`), pruning
+//! queued envelopes for instances every live node has finalised. Each run
 //! samples two things per round:
 //!
 //! * a **peak-RSS proxy** — live [`Shared`](uba_simnet::Shared) payload
@@ -17,7 +23,13 @@
 //!   queued in engine inboxes plus the records held across the write-ahead
 //!   logs. A leak shows up here long before wall-clock memory measurements
 //!   would notice it, and deterministically;
-//! * the **per-round step latency**, reported as p50/p95/p99 percentiles.
+//! * the **per-round step latency**, reported as p50/p95/p99 percentiles,
+//!   plus a **slope gate**: the median step latency over the last third of
+//!   the run must stay within [`LATENCY_SLOPE_MARGIN`] of the middle third's
+//!   median (warm-up excluded). Percentiles drifting against the *committed*
+//!   artifact are machine-dependent and only warned about; the slope compares
+//!   the run against *itself*, so a run that gets slower round over round —
+//!   the time-shaped twin of a memory leak — hard-fails.
 //!
 //! The proxy is a sawtooth by construction — logs fill and compact, inboxes
 //! fill and drain — so the leak gate discards the first third of the run as
@@ -47,7 +59,7 @@ use uba_checker::attach_verdicts;
 use uba_core::sim::{TotalOrderFactory, TotalOrderPlan};
 use uba_simnet::{
     ChurnEvent, ChurnSchedule, EngineKind, Harness, IdSpace, NodeId, RestartPolicy, Simulation,
-    WalConfig,
+    WalConfig, WalFault,
 };
 
 use crate::table::Table;
@@ -62,6 +74,30 @@ pub const SEED: u64 = 0x50AC_5EED;
 /// — so the row is reported as [`SoakRow::insufficient_samples`] and fails
 /// instead of silently passing.
 pub const MIN_WINDOW_SAMPLES: usize = 8;
+
+/// The restart-policy rotation of the soak churn: every completed
+/// crash/restart cycle uses the next policy, so a long run exercises clean
+/// replays and every write-ahead-log fault shape continuously. Faults only
+/// damage the unsynced suffix (≤ [`SoakConfig::sync_every`] rounds of
+/// records), far inside the ~5n/2-round finality window, so replay from the
+/// durable prefix always converges — the recovery oracles hold the soak to
+/// that.
+pub const SOAK_POLICIES: [RestartPolicy; 4] = [
+    RestartPolicy::Clean,
+    RestartPolicy::Fault(WalFault::TornTail),
+    RestartPolicy::Fault(WalFault::LoseUnsynced),
+    RestartPolicy::Fault(WalFault::Corrupt),
+];
+
+/// The latency slope gate's margin: the last third's median step latency may
+/// exceed the middle third's by at most this factor plus
+/// [`LATENCY_SLOPE_FLOOR_US`] (medians are robust, but short windows on a
+/// noisy box still jitter). A run that degrades beyond this is getting slower
+/// as it ages — the failure mode the soak exists to catch.
+pub const LATENCY_SLOPE_MARGIN: f64 = 2.0;
+
+/// Absolute slack added on top of [`LATENCY_SLOPE_MARGIN`], microseconds.
+pub const LATENCY_SLOPE_FLOOR_US: f64 = 500.0;
 
 /// The shape of one soak run: how many nodes, for how long, and how hard the
 /// crash/restart churn hits.
@@ -87,6 +123,12 @@ pub struct SoakConfig {
     /// never triggered inside a 300-round smoke, which made every restart
     /// replay the whole run so far and pushed p50 step latency near a second.
     pub compact_after: usize,
+    /// Fsync cadence ([`WalConfig::sync_every`]): round commits between
+    /// syncs. The library default of 1 makes every [`WalFault`] a no-op
+    /// (faults only damage the unsynced suffix), so the soak raises it — the
+    /// rotating faulty restarts then each lose up to `sync_every - 1` rounds
+    /// of records and must still replay to oracle-accepted state.
+    pub sync_every: u64,
 }
 
 impl SoakConfig {
@@ -100,29 +142,31 @@ impl SoakConfig {
             victims: 8,
             seed: SEED,
             compact_after: 64,
+            sync_every: 2,
         }
     }
 
-    /// The full long-horizon shape: the smoke population held for 2000 rounds
-    /// (6.7× the smoke horizon, ~12 write-ahead-log fill/compact cycles per
-    /// leak-gate window, 395 completed crash/restart cycles).
+    /// The full long-horizon shape: `n = 128` held for 2000 rounds under the
+    /// rotating clean/faulty restart churn (~12 write-ahead-log fill/compact
+    /// cycles per leak-gate window, hundreds of completed crash/restart
+    /// cycles, every fault shape exercised ~100 times).
     ///
-    /// The horizon, not the population, is the soak axis: a leak or a
+    /// The horizon, not the population, is the primary soak axis: a leak or a
     /// compaction failure accumulates per round, so stretching rounds is what
-    /// exposes it. Population is capped where the workload stays generatable —
-    /// every node drives one outstanding consensus instance per round across
-    /// the ~5n/2-round finality window, so per-round cost grows ~n³ (at
-    /// n = 256 a single round costs near a minute and the 2000-round run
-    /// would take over a day per engine).
+    /// exposes it. `n = 128` doubles the previous frontier — affordable since
+    /// the stream plane's projection demux removed the per-delivery payload
+    /// clone from the total-order hot path; per-round cost still grows ~n³,
+    /// which is what caps the population here.
     pub fn full() -> Self {
         SoakConfig {
-            nodes: 64,
+            nodes: 128,
             rounds: 2_000,
             crash_period: 5,
             downtime: 2,
             victims: 16,
             seed: SEED,
             compact_after: 64,
+            sync_every: 4,
         }
     }
 
@@ -139,6 +183,7 @@ impl SoakConfig {
             victims: 3,
             seed: SEED,
             compact_after: 64,
+            sync_every: 2,
         }
     }
 }
@@ -179,15 +224,30 @@ pub struct SoakRow {
     pub insufficient_samples: bool,
     /// Whether the recovery oracles accepted the final report.
     pub oracles_passed: bool,
+    /// Median step latency over the middle third of the run, microseconds
+    /// (the slope gate's baseline window; the first third is warm-up).
+    #[serde(default)]
+    pub lat_mid_third_us: f64,
+    /// Median step latency over the last third of the run, microseconds.
+    #[serde(default)]
+    pub lat_last_third_us: f64,
+    /// `lat_last_third_us / lat_mid_third_us` — the slowdown signal.
+    #[serde(default)]
+    pub lat_slope: f64,
+    /// Whether the slope gate tripped: the run got meaningfully slower as it
+    /// aged (last third beyond [`LATENCY_SLOPE_MARGIN`] × the middle third
+    /// plus [`LATENCY_SLOPE_FLOOR_US`]).
+    #[serde(default)]
+    pub lat_drift: bool,
     /// Wall-clock of the whole run, milliseconds (documentation, not a gate).
     pub wall_ms: f64,
 }
 
 impl SoakRow {
     /// Whether the row passes its gates: enough samples to judge, flat
-    /// memory, and clean oracles.
+    /// memory, flat step latency, and clean oracles.
     pub fn passed(&self) -> bool {
-        !self.leak && !self.insufficient_samples && self.oracles_passed
+        !self.leak && !self.insufficient_samples && !self.lat_drift && self.oracles_passed
     }
 }
 
@@ -211,9 +271,11 @@ impl SoakFile {
 
 /// The continuous crash/restart schedule of a soak run: every
 /// `crash_period` rounds the next victim (rotating over `victims`) crashes,
-/// restarting cleanly `downtime` rounds later. Cycles that would not complete
-/// inside the round budget are not scheduled — a node left down at the end of
-/// the run would turn the leak gate into a population measurement.
+/// restarting `downtime` rounds later under the next [`SOAK_POLICIES`] entry
+/// — clean, torn tail, lost suffix, corrupt record, repeating. Cycles that
+/// would not complete inside the round budget are not scheduled — a node left
+/// down at the end of the run would turn the leak gate into a population
+/// measurement.
 pub fn soak_churn(
     victims: &[NodeId],
     rounds: u64,
@@ -229,7 +291,7 @@ pub fn soak_churn(
             round + downtime,
             ChurnEvent::Restart {
                 id: victim,
-                policy: RestartPolicy::Clean,
+                policy: SOAK_POLICIES[slot % SOAK_POLICIES.len()],
             },
         );
         slot += 1;
@@ -257,8 +319,10 @@ fn floor(values: &[f64]) -> f64 {
 }
 
 /// Builds the soak workload harness: the dynamic total-ordering protocol under
-/// rotating crash/restart churn, with the write-ahead logs compacting every
-/// [`SoakConfig::compact_after`] records (the replay-cost bound).
+/// rotating clean/faulty crash/restart churn, with the write-ahead logs
+/// syncing every [`SoakConfig::sync_every`] commits (so faults have a suffix
+/// to damage) and compacting every [`SoakConfig::compact_after`] records (the
+/// replay-cost bound), and engine-level retired-tag traffic GC on.
 pub fn build_soak_harness(
     config: &SoakConfig,
     engine: Option<EngineKind>,
@@ -293,8 +357,9 @@ pub fn build_soak_harness(
         .build(TotalOrderFactory::new(plan))
         .wal_config(WalConfig {
             compact_after: config.compact_after,
-            ..WalConfig::default()
+            sync_every: config.sync_every,
         })
+        .traffic_gc()
 }
 
 /// Executes one soak run and reduces it to a [`SoakRow`]. `engine: None` is
@@ -337,6 +402,25 @@ pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
     // they fail via `insufficient_samples` rather than judging leakiness.
     let leak = !insufficient_samples && live_last_third > live_mid_third * 1.25 + 256.0;
 
+    // The latency slope gate over the same thirds the leak gate uses: medians,
+    // not floors, because step latency is noise around a level, not a
+    // sawtooth. A run that ages into slowness fails against itself — no
+    // committed artifact or machine baseline involved.
+    let window_median = |window: &[f64]| -> f64 {
+        let mut sorted = window.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        percentile(&sorted, 0.50)
+    };
+    let lat_mid_third_us = window_median(&latencies_us[third..2 * third]);
+    let lat_last_third_us = window_median(&latencies_us[latencies_us.len() - third..]);
+    let lat_slope = if lat_mid_third_us > 0.0 {
+        lat_last_third_us / lat_mid_third_us
+    } else {
+        1.0
+    };
+    let lat_drift = !insufficient_samples
+        && lat_last_third_us > lat_mid_third_us * LATENCY_SLOPE_MARGIN + LATENCY_SLOPE_FLOOR_US;
+
     let mut sorted = latencies_us.clone();
     sorted.sort_by(f64::total_cmp);
     SoakRow {
@@ -357,6 +441,10 @@ pub fn run_soak(config: &SoakConfig, engine: Option<EngineKind>) -> SoakRow {
         leak,
         insufficient_samples,
         oracles_passed: report.verdicts_passed(),
+        lat_mid_third_us,
+        lat_last_third_us,
+        lat_slope,
+        lat_drift,
         wall_ms,
     }
 }
@@ -458,6 +546,7 @@ pub fn soak_table(file: &SoakFile) -> Table {
             "floor 3/3",
             "peak",
             "growth",
+            "lat slope",
             "verdict",
         ],
     );
@@ -474,12 +563,15 @@ pub fn soak_table(file: &SoakFile) -> Table {
             format!("{:.1}", row.live_last_third),
             format!("{:.1}", row.live_peak),
             format!("{:.3}", row.growth),
+            format!("{:.3}", row.lat_slope),
             if row.passed() {
                 "ok".to_string()
             } else if row.insufficient_samples {
                 "TOO SHORT".to_string()
             } else if row.leak {
                 "LEAK".to_string()
+            } else if row.lat_drift {
+                "SLOW".to_string()
             } else {
                 "ORACLE FAIL".to_string()
             },
@@ -512,6 +604,21 @@ mod tests {
         assert!(churn.horizon() < 30);
         // All three victims get their turn.
         assert_eq!(churn.crash_cycle_ids().len(), 3);
+        // The restart policy rotates: a long enough schedule exercises clean
+        // replays and faulty ones.
+        let policies: Vec<RestartPolicy> = churn
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ChurnEvent::Restart { policy, .. } => Some(*policy),
+                _ => None,
+            })
+            .collect();
+        assert!(policies.contains(&RestartPolicy::Clean));
+        assert!(policies
+            .iter()
+            .any(|p| matches!(p, RestartPolicy::Fault(_))));
+        assert_eq!(&policies[..4], &SOAK_POLICIES);
         assert_eq!(
             churn.first_resiliency_violation(8, 0),
             None,
@@ -525,11 +632,29 @@ mod tests {
         for engine in [None, Some(EngineKind::event())] {
             let row = run_soak(&config, engine);
             assert_eq!(row.rounds, config.rounds);
-            assert!(row.restarts > 5, "churn actually ran: {row:?}");
+            assert!(
+                row.restarts > SOAK_POLICIES.len(),
+                "churn cycles through every restart policy at least once: {row:?}"
+            );
             assert!(row.oracles_passed, "recovery oracles clean: {row:?}");
             assert!(!row.leak, "no monotone growth: {row:?}");
+            assert!(!row.lat_drift, "no round-over-round slowdown: {row:?}");
+            assert!(row.lat_slope > 0.0, "slope computed: {row:?}");
             assert!(row.p50_us > 0.0 && row.p99_us >= row.p50_us);
         }
+    }
+
+    #[test]
+    fn the_slope_gate_fails_runs_that_age_into_slowness() {
+        let config = SoakConfig::tiny();
+        let mut file = soak_file_with(true, &config, &[None]);
+        assert!(file.passed());
+        let row = &mut file.rows[0];
+        row.lat_last_third_us =
+            row.lat_mid_third_us * LATENCY_SLOPE_MARGIN + LATENCY_SLOPE_FLOOR_US + 1.0;
+        row.lat_drift = true;
+        assert!(!file.passed(), "a slowing run must fail the file");
+        assert!(format!("{}", soak_table(&file)).contains("SLOW"));
     }
 
     #[test]

@@ -31,6 +31,14 @@
 //! message counts, decisions and latency percentiles *in rounds* are exact
 //! functions of the seed and are gated by [`stream_drift`]; wall-clock rates
 //! (`decisions_per_sec`, `msgs_per_sec`, `wall_ms`) are recorded, never gated.
+//!
+//! **Window sweep** ([`window_sweep_rows`]): the active-window cost model made
+//! measurable. Waves of `W` simultaneous instances start every fixed period;
+//! decided instances retire, so the per-round mux cost tracks the *active
+//! window* `W`, not the total horizon. Each row records the deterministic
+//! [`MuxWork`] counters summed across nodes; [`window_sweep_slope`] hard-gates
+//! the retirement property — doubling the horizon at fixed `W` must not move
+//! per-round cost by more than 10%.
 
 use std::path::Path;
 use std::time::Instant;
@@ -44,7 +52,7 @@ use uba_core::sim::{
 };
 use uba_simnet::rng::derive_seed;
 use uba_simnet::shared::payload_digest;
-use uba_simnet::{EngineKind, Histogram};
+use uba_simnet::{EngineKind, Histogram, MuxWork};
 
 use crate::table::Table;
 use crate::workload::{open_loop_requests, StreamRequest};
@@ -166,6 +174,47 @@ pub struct StreamOutcome {
     pub wall_ms: f64,
 }
 
+/// Execution knobs orthogonal to the workload shape: which engine drives the
+/// run, whether nodes step in parallel, and the two active-window switches —
+/// mux-level instance retirement and engine-level retired-tag traffic GC.
+/// Both switches are observationally silent (`tests/stream_equivalence.rs`
+/// pins report byte-identity across every combination); they only change how
+/// much memory and per-round work the run carries.
+#[derive(Clone, Debug)]
+pub struct StreamOptions {
+    /// `None` is the sync engine.
+    pub engine: Option<EngineKind>,
+    /// Parallel node stepping.
+    pub parallel: bool,
+    /// Retire decided mux slots into compact records (default on).
+    pub retirement: bool,
+    /// Prune queued engine traffic addressed to globally-retired instances
+    /// (default off, matching the engines' own default).
+    pub traffic_gc: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            engine: None,
+            parallel: false,
+            retirement: true,
+            traffic_gc: false,
+        }
+    }
+}
+
+impl StreamOptions {
+    /// The legacy knob set: a named engine and a parallel-stepping switch.
+    pub fn on_engine(engine: Option<EngineKind>, parallel: bool) -> Self {
+        StreamOptions {
+            engine,
+            parallel,
+            ..StreamOptions::default()
+        }
+    }
+}
+
 /// Runs a pipelined consensus stream. `engine = None` is the sync engine;
 /// `parallel` turns on parallel node stepping.
 pub fn run_consensus_stream(
@@ -173,6 +222,11 @@ pub fn run_consensus_stream(
     engine: Option<EngineKind>,
     parallel: bool,
 ) -> StreamOutcome {
+    run_consensus_stream_with(config, &StreamOptions::on_engine(engine, parallel))
+}
+
+/// [`run_consensus_stream`] with the full [`StreamOptions`] knob set.
+pub fn run_consensus_stream_with(config: &StreamConfig, options: &StreamOptions) -> StreamOutcome {
     let requests = open_loop_requests(
         config.instances as u64 * config.spacing,
         config.rate,
@@ -199,7 +253,7 @@ pub fn run_consensus_stream(
             .byzantine(0)
             .seed(config.seed)
             .max_rounds(max_rounds);
-        if let Some(kind) = engine.clone() {
+        if let Some(kind) = options.engine.clone() {
             builder = builder.engine(kind);
         }
         builder
@@ -210,8 +264,11 @@ pub fn run_consensus_stream(
         // guarantee the stream_equivalence pin holds us to.
         let factory = ConsensusFactory::new(vec![batch_value(&batches[0]); config.nodes]);
         let mut harness = scenario(last_start + CONSENSUS_TAIL).build(factory);
-        if parallel {
+        if options.parallel {
             harness = harness.parallel_stepping();
+        }
+        if options.traffic_gc {
+            harness = harness.traffic_gc();
         }
         harness.run().expect("consensus stream run")
     } else {
@@ -225,10 +282,14 @@ pub fn run_consensus_stream(
                     batch_value(batch),
                 )
             }),
-        );
+        )
+        .retirement(options.retirement);
         let mut harness = scenario(last_start + CONSENSUS_TAIL).build(driver);
-        if parallel {
+        if options.parallel {
             harness = harness.parallel_stepping();
+        }
+        if options.traffic_gc {
+            harness = harness.traffic_gc();
         }
         harness.run().expect("consensus stream run")
     };
@@ -295,6 +356,18 @@ pub fn run_total_order_stream(
     engine: Option<EngineKind>,
     parallel: bool,
 ) -> StreamOutcome {
+    run_total_order_stream_with(config, &StreamOptions::on_engine(engine, parallel))
+}
+
+/// [`run_total_order_stream`] with the full [`StreamOptions`] knob set.
+/// Retirement is a mux knob and does not apply here; the total-order node has
+/// its own finality-driven retirement (`advance_finality` drops finalised
+/// instances), and `traffic_gc` prunes engine traffic below its finalised
+/// frontier.
+pub fn run_total_order_stream_with(
+    config: &StreamConfig,
+    options: &StreamOptions,
+) -> StreamOutcome {
     let (plan, requests) = total_order_plan(config);
     let total_rounds = config.rounds + total_order_tail(config.nodes);
     let mut builder = Simulation::scenario()
@@ -302,13 +375,16 @@ pub fn run_total_order_stream(
         .byzantine(0)
         .seed(config.seed)
         .max_rounds(total_rounds + 1);
-    if let Some(kind) = engine.clone() {
+    if let Some(kind) = options.engine.clone() {
         builder = builder.engine(kind);
     }
     let mut harness: Harness<TotalOrderFactory<Vec<u64>>> =
         builder.build(TotalOrderFactory::new(plan));
-    if parallel {
+    if options.parallel {
         harness = harness.parallel_stepping();
+    }
+    if options.traffic_gc {
+        harness = harness.traffic_gc();
     }
     let started = Instant::now();
     // Manual stepping (the same loop `Harness::run` uses) so the round each
@@ -420,6 +496,134 @@ pub struct StreamRow {
     pub oracles_passed: bool,
 }
 
+/// One point of the active-window cost sweep: waves of `window` simultaneous
+/// consensus instances, `waves` waves in total, with decided slots retiring
+/// and engine traffic GC on. Everything but `wall_ms` is an exact function of
+/// the seed (the [`MuxWork`] counters are pure message-count arithmetic).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowSweepRow {
+    /// Active-window size: instances started simultaneously per wave.
+    pub window: usize,
+    /// Number of waves (the horizon; doubling it must not move per-round cost).
+    pub waves: u64,
+    /// Total instances scheduled (`window * waves`).
+    pub instances: u64,
+    /// Rounds the run executed.
+    pub rounds: u64,
+    /// Live-slot steps summed across nodes (the per-round work the mux does).
+    pub slot_steps: u64,
+    /// Inbox envelopes demuxed into the tag index, summed across nodes.
+    pub envelopes_indexed: u64,
+    /// Envelopes consumed at zero clones for retired/unscheduled tags.
+    pub dropped_retired: u64,
+    /// `slot_steps / rounds`: the per-round cost the sweep plots against
+    /// `window`. Flat in `waves` iff retirement keeps the window bounded.
+    pub steps_per_round: f64,
+    /// Wall-clock milliseconds (recorded, never gated).
+    pub wall_ms: f64,
+}
+
+/// Rounds between consecutive waves in the window sweep: comfortably above
+/// the fault-free decide latency, so one wave retires before the next starts
+/// and the active window is exactly `window`.
+pub const SWEEP_WAVE_PERIOD: u64 = 8;
+
+/// Horizon doubling at fixed window may move per-round cost by at most this
+/// factor (the tail after the last wave dilutes the average slightly, so the
+/// honest ratio sits just *below* 1.0; anything above 1.1 means decided
+/// instances are still being paid for).
+pub const SWEEP_SLOPE_MARGIN: f64 = 1.1;
+
+/// Runs the active-window sweep: `window ∈ {1, 2, 4, 8}` × `waves ∈ {8, 16}`,
+/// on the sync engine with retirement and engine traffic GC enabled.
+pub fn window_sweep_rows() -> Vec<WindowSweepRow> {
+    let nodes = 6;
+    let mut rows = Vec::new();
+    for &window in &[1usize, 2, 4, 8] {
+        for &waves in &[8u64, 16] {
+            let schedule: Vec<(u64, usize, u64)> = (0..waves)
+                .flat_map(|wave| {
+                    (0..window).map(move |slot| {
+                        let tag = wave * window as u64 + slot as u64;
+                        (
+                            wave * SWEEP_WAVE_PERIOD + 1,
+                            1usize,
+                            payload_digest(&(STREAM_SEED ^ tag)),
+                        )
+                    })
+                })
+                .collect();
+            let instances = schedule.len() as u64;
+            let last_start = (waves - 1) * SWEEP_WAVE_PERIOD + 1;
+            let driver = consensus_stream(nodes, schedule);
+            let mut harness = Simulation::scenario()
+                .correct(nodes)
+                .byzantine(0)
+                .seed(STREAM_SEED)
+                .max_rounds(last_start + CONSENSUS_TAIL)
+                .build(driver)
+                .traffic_gc();
+            let started = Instant::now();
+            let report = harness.run().expect("window sweep run");
+            let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            let mut work = MuxWork::default();
+            for node in harness.nodes() {
+                let w = node.work();
+                work.envelopes_indexed += w.envelopes_indexed;
+                work.slot_steps += w.slot_steps;
+                work.dropped_retired += w.dropped_retired;
+            }
+            rows.push(WindowSweepRow {
+                window,
+                waves,
+                instances,
+                rounds: report.rounds,
+                slot_steps: work.slot_steps,
+                envelopes_indexed: work.envelopes_indexed,
+                dropped_retired: work.dropped_retired,
+                steps_per_round: work.slot_steps as f64 / report.rounds.max(1) as f64,
+                wall_ms,
+            });
+        }
+    }
+    rows
+}
+
+/// The sweep's hard gate: for every window size present at two horizons, the
+/// per-round cost at the longer horizon must stay within
+/// [`SWEEP_SLOPE_MARGIN`] of the shorter one. Returns violation lines; empty
+/// means the active-window property holds.
+pub fn window_sweep_slope(rows: &[WindowSweepRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut windows: Vec<usize> = rows.iter().map(|r| r.window).collect();
+    windows.sort_unstable();
+    windows.dedup();
+    for window in windows {
+        let mut at_window: Vec<&WindowSweepRow> =
+            rows.iter().filter(|r| r.window == window).collect();
+        at_window.sort_by_key(|r| r.waves);
+        for pair in at_window.windows(2) {
+            let (short, long) = (pair[0], pair[1]);
+            if short.steps_per_round <= 0.0 {
+                violations.push(format!(
+                    "window {window}: zero per-round cost at {} waves (no work measured)",
+                    short.waves
+                ));
+                continue;
+            }
+            let ratio = long.steps_per_round / short.steps_per_round;
+            if ratio > SWEEP_SLOPE_MARGIN {
+                violations.push(format!(
+                    "window {window}: per-round cost grew {ratio:.3}× going from {} to {} \
+                     waves ({:.3} → {:.3} slot steps/round; bound {SWEEP_SLOPE_MARGIN})",
+                    short.waves, long.waves, short.steps_per_round, long.steps_per_round
+                ));
+            }
+        }
+    }
+    violations
+}
+
 /// The `BENCH_stream.json` artifact.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StreamFile {
@@ -427,6 +631,9 @@ pub struct StreamFile {
     pub seed: u64,
     /// One row per (preset, family, engine).
     pub rows: Vec<StreamRow>,
+    /// The active-window cost sweep (empty in pre-sweep artifacts).
+    #[serde(default)]
+    pub window_sweep: Vec<WindowSweepRow>,
 }
 
 fn outcome_row(
@@ -489,7 +696,8 @@ pub fn stream_rows(preset: &str, config: &StreamConfig) -> Vec<StreamRow> {
     rows
 }
 
-/// Builds the artifact: smoke rows always, full rows unless `smoke_only`.
+/// Builds the artifact: smoke rows always, full rows unless `smoke_only`, and
+/// the (cheap, deterministic) active-window sweep in both shapes.
 pub fn stream_file(smoke_only: bool) -> StreamFile {
     let mut rows = stream_rows("smoke", &StreamConfig::smoke());
     if !smoke_only {
@@ -498,6 +706,7 @@ pub fn stream_file(smoke_only: bool) -> StreamFile {
     StreamFile {
         seed: STREAM_SEED,
         rows,
+        window_sweep: window_sweep_rows(),
     }
 }
 
@@ -579,7 +788,95 @@ pub fn stream_drift(current: &StreamFile, committed: &StreamFile) -> Vec<String>
             recorded.oracles_passed.to_string(),
         );
     }
+    // The sweep's counters are pure count arithmetic, so they gate like the
+    // row counts. A committed artifact with no sweep section predates the
+    // sweep — nothing to compare against, not a drift.
+    if !committed.window_sweep.is_empty() {
+        for row in &current.window_sweep {
+            let Some(recorded) = committed
+                .window_sweep
+                .iter()
+                .find(|r| r.window == row.window && r.waves == row.waves)
+            else {
+                drift.push(format!(
+                    "no committed window-sweep row at window = {}, waves = {}",
+                    row.window, row.waves
+                ));
+                continue;
+            };
+            let mut field = |name: &str, fresh: String, committed: String| {
+                if fresh != committed {
+                    drift.push(format!(
+                        "window sweep (window = {}, waves = {}): {} drifted from {} to {}",
+                        row.window, row.waves, name, committed, fresh
+                    ));
+                }
+            };
+            field(
+                "instances",
+                row.instances.to_string(),
+                recorded.instances.to_string(),
+            );
+            field(
+                "rounds",
+                row.rounds.to_string(),
+                recorded.rounds.to_string(),
+            );
+            field(
+                "slot_steps",
+                row.slot_steps.to_string(),
+                recorded.slot_steps.to_string(),
+            );
+            field(
+                "envelopes_indexed",
+                row.envelopes_indexed.to_string(),
+                recorded.envelopes_indexed.to_string(),
+            );
+            field(
+                "dropped_retired",
+                row.dropped_retired.to_string(),
+                recorded.dropped_retired.to_string(),
+            );
+            field(
+                "steps_per_round",
+                format!("{:.3}", row.steps_per_round),
+                format!("{:.3}", recorded.steps_per_round),
+            );
+        }
+    }
     drift
+}
+
+/// Renders the active-window sweep as a terminal table.
+pub fn window_sweep_table(rows: &[WindowSweepRow]) -> Table {
+    let mut table = Table::new(
+        "window sweep: per-round mux cost vs active-window size".to_string(),
+        &[
+            "window",
+            "waves",
+            "instances",
+            "rounds",
+            "slot steps",
+            "indexed",
+            "dropped",
+            "steps/round",
+            "wall ms",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.window.to_string(),
+            row.waves.to_string(),
+            row.instances.to_string(),
+            row.rounds.to_string(),
+            row.slot_steps.to_string(),
+            row.envelopes_indexed.to_string(),
+            row.dropped_retired.to_string(),
+            format!("{:.3}", row.steps_per_round),
+            format!("{:.1}", row.wall_ms),
+        ]);
+    }
+    table
 }
 
 /// Renders the artifact as a terminal table.
@@ -707,6 +1004,7 @@ mod tests {
         let file = StreamFile {
             seed: 1,
             rows: vec![row.clone()],
+            window_sweep: Vec::new(),
         };
         assert!(stream_drift(&file, &file).is_empty());
 
@@ -722,6 +1020,75 @@ mod tests {
         let lines = stream_drift(&renamed, &file);
         assert_eq!(lines.len(), 1);
         assert!(lines[0].contains("no committed"));
+    }
+
+    #[test]
+    fn retirement_and_traffic_gc_leave_the_report_byte_identical() {
+        let base = run_consensus_stream(&tiny(), None, false);
+        let keeping = run_consensus_stream_with(
+            &tiny(),
+            &StreamOptions {
+                retirement: false,
+                ..StreamOptions::default()
+            },
+        );
+        let gc = run_consensus_stream_with(
+            &tiny(),
+            &StreamOptions {
+                traffic_gc: true,
+                ..StreamOptions::default()
+            },
+        );
+        assert_eq!(base.report, keeping.report, "retirement is silent");
+        assert_eq!(base.report, gc.report, "traffic GC is silent");
+        assert_eq!(base.latencies_rounds, keeping.latencies_rounds);
+        assert_eq!(base.latencies_rounds, gc.latencies_rounds);
+    }
+
+    #[test]
+    fn the_window_sweep_is_deterministic_and_flat_in_the_horizon() {
+        let rows = window_sweep_rows();
+        assert_eq!(rows.len(), 8, "4 windows × 2 horizons");
+        let again = window_sweep_rows();
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.slot_steps, b.slot_steps);
+            assert_eq!(a.envelopes_indexed, b.envelopes_indexed);
+            assert_eq!(a.dropped_retired, b.dropped_retired);
+            assert_eq!(a.rounds, b.rounds);
+        }
+        let violations = window_sweep_slope(&rows);
+        assert!(violations.is_empty(), "{violations:?}");
+        // Doubling the window roughly doubles per-round cost (the sweep's
+        // point): the widest window costs strictly more per round than the
+        // narrowest at the same horizon.
+        let narrow = rows
+            .iter()
+            .find(|r| r.window == 1 && r.waves == 8)
+            .expect("window 1 row");
+        let wide = rows
+            .iter()
+            .find(|r| r.window == 8 && r.waves == 8)
+            .expect("window 8 row");
+        assert!(wide.steps_per_round > 4.0 * narrow.steps_per_round);
+    }
+
+    #[test]
+    fn the_slope_gate_flags_cost_that_grows_with_the_horizon() {
+        let flat = |waves: u64, steps: u64| WindowSweepRow {
+            window: 2,
+            waves,
+            instances: 2 * waves,
+            rounds: 10 * waves,
+            slot_steps: steps,
+            envelopes_indexed: steps,
+            dropped_retired: 0,
+            steps_per_round: steps as f64 / (10 * waves) as f64,
+            wall_ms: 0.0,
+        };
+        assert!(window_sweep_slope(&[flat(8, 800), flat(16, 1_600)]).is_empty());
+        let violations = window_sweep_slope(&[flat(8, 800), flat(16, 3_200)]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("window 2"));
     }
 
     #[test]

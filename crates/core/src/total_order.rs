@@ -249,13 +249,13 @@ impl<E: Opinion> TotalOrderNode<E> {
     }
 }
 
-impl<E: Opinion> Recoverable for TotalOrderNode<E> {
+impl<E: Opinion + Send + Sync + 'static> Recoverable for TotalOrderNode<E> {
     fn snapshot(&self) -> Self {
         self.clone()
     }
 }
 
-impl<E: Opinion> Protocol for TotalOrderNode<E> {
+impl<E: Opinion + Send + Sync + 'static> Protocol for TotalOrderNode<E> {
     type Payload = TotalOrderMessage<E>;
     type Output = Vec<OrderedEvent<E>>;
 
@@ -331,11 +331,29 @@ impl<E: Opinion> Protocol for TotalOrderNode<E> {
                         event_inputs.push((envelope.from.raw(), event.clone()));
                     }
                 }
-                TotalOrderMessage::Instance(instance_round, inner) => {
-                    instance_inbox
-                        .entry(*instance_round)
-                        .or_default()
-                        .push(Envelope::new(envelope.from, inner.clone()));
+                TotalOrderMessage::Instance(instance_round, _) => {
+                    // Only instances that will actually be driven this round
+                    // consume their inboxes: the one started this round (`r`)
+                    // and the outstanding undecided ones. Traffic for decided
+                    // or finalised-and-dropped instances used to be cloned
+                    // here and then dropped unread; now it costs nothing. The
+                    // payload itself is a borrowing projection out of the
+                    // `Instance` variant — no clone of the inner message.
+                    let live = *instance_round == r
+                        || self
+                            .instances
+                            .get(instance_round)
+                            .is_some_and(|instance| instance.decided.is_none());
+                    if live {
+                        let inner = envelope.payload.project(|payload| match payload {
+                            TotalOrderMessage::Instance(_, message) => message,
+                            _ => unreachable!("projecting a non-instance payload"),
+                        });
+                        instance_inbox
+                            .entry(*instance_round)
+                            .or_default()
+                            .push(Envelope::new(envelope.from, inner));
+                    }
                 }
             }
         }
@@ -405,6 +423,30 @@ impl<E: Opinion> Protocol for TotalOrderNode<E> {
     /// Total ordering never terminates; the driver decides how long to run.
     fn terminated(&self) -> bool {
         false
+    }
+
+    fn instance_of(&self, payload: &TotalOrderMessage<E>) -> Option<u64> {
+        match payload {
+            TotalOrderMessage::Instance(round, _) => Some(*round),
+            // An event witnessed in round `t` is input to round `t + 1`'s
+            // instance, so that is the instance whose retirement makes it dead.
+            TotalOrderMessage::Event(round, _) => Some(round + 1),
+            // Membership traffic is never instance-scoped.
+            TotalOrderMessage::Present | TotalOrderMessage::Ack(_) | TotalOrderMessage::Absent => {
+                None
+            }
+        }
+    }
+
+    fn retired_frontier(&self) -> u64 {
+        // Every instance ≤ `finalized_upto` is decided, appended to the chain
+        // and dropped from `instances`; the finality rule keeps the node's
+        // round far past the window in which an event for such an instance
+        // could still become an input (`tag + 1 == r`). So everything strictly
+        // below `finalized_upto` can never be read or sent again — exactly the
+        // frontier contract. (A fresh joiner reports its adopted base round,
+        // which by the same argument it will never look behind.)
+        self.finalized_upto
     }
 }
 

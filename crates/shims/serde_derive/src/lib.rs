@@ -9,7 +9,10 @@
 //! * structs with named fields, tuple structs (including newtypes), unit structs;
 //! * enums with unit, tuple and struct variants;
 //! * type generics without bounds or lifetimes (e.g. `Envelope<P>`), which are
-//!   bounded by the respective serde trait in the generated impl.
+//!   bounded by the respective serde trait in the generated impl;
+//! * `#[serde(default)]` on named struct fields: a missing field deserialises
+//!   to `Default::default()` instead of erroring, so artifacts written before
+//!   a field existed still load. Other `#[serde(...)]` options are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -22,10 +25,17 @@ struct Item {
 
 #[derive(Debug)]
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: tolerate the field's absence on deserialize.
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -42,7 +52,7 @@ enum VariantFields {
 }
 
 /// Derives the shim `serde::Serialize` for a struct or enum.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     generate_serialize(&item)
@@ -51,7 +61,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the shim `serde::Deserialize` for a struct or enum.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     generate_deserialize(&item)
@@ -170,17 +180,59 @@ fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
     params
 }
 
-/// Parses `{ name: Type, ... }` field lists, returning the field names.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// True for a `serde(...)` attribute body that lists `default`.
+fn attribute_requests_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(path)), Some(TokenTree::Group(options)))
+            if path.to_string() == "serde" && options.delimiter() == Delimiter::Parenthesis =>
+        {
+            options
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(opt) if opt.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Parses `{ name: Type, ... }` field lists, returning the field names and
+/// their `#[serde(default)]` markers.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0usize;
     while pos < tokens.len() {
-        skip_attributes_and_visibility(&tokens, &mut pos);
+        // The attribute/visibility prefix, inspected (not just skipped) so a
+        // `#[serde(default)]` marker sticks to its field.
+        let mut default = false;
+        loop {
+            match tokens.get(pos) {
+                Some(TokenTree::Punct(punct)) if punct.as_char() == '#' => {
+                    if let Some(TokenTree::Group(body)) = tokens.get(pos + 1) {
+                        default |= attribute_requests_default(body.stream());
+                    }
+                    pos += 2;
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    pos += 1;
+                    if matches!(
+                        tokens.get(pos),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
             break;
         };
-        fields.push(name.to_string());
+        fields.push(Field {
+            name: name.to_string(),
+            default,
+        });
         pos += 1;
         assert!(
             matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
@@ -248,7 +300,12 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
             }
             Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
                 pos += 1;
-                VariantFields::Named(parse_named_fields(group.stream()))
+                VariantFields::Named(
+                    parse_named_fields(group.stream())
+                        .into_iter()
+                        .map(|field| field.name)
+                        .collect(),
+                )
             }
             _ => VariantFields::Unit,
         };
@@ -294,7 +351,8 @@ fn generate_serialize(item: &Item) -> String {
         Kind::NamedStruct(fields) => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .map(|field| {
+                    let f = &field.name;
                     format!(
                         "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
                     )
@@ -375,7 +433,19 @@ fn generate_deserialize(item: &Item) -> String {
         Kind::NamedStruct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__value.field({f:?})?)?"))
+                .map(|field| {
+                    let f = &field.name;
+                    if field.default {
+                        // `#[serde(default)]`: absence is not an error.
+                        format!(
+                            "{f}: match __value.field({f:?}) {{ \
+                             Ok(__field) => ::serde::Deserialize::from_value(__field)?, \
+                             Err(_) => ::core::default::Default::default() }}"
+                        )
+                    } else {
+                        format!("{f}: ::serde::Deserialize::from_value(__value.field({f:?})?)?")
+                    }
+                })
                 .collect();
             format!("Ok({type_name} {{ {} }})", inits.join(", "))
         }

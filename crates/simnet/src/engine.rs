@@ -466,6 +466,8 @@ pub struct SyncEngine<N: Protocol, A: Adversary<N::Payload>> {
     churn: Option<ChurnDriver<N>>,
     /// The crash-recovery subsystem; `None` until [`SyncEngine::enable_recovery`].
     recovery: Option<RecoveryManager<N>>,
+    /// Retired-traffic GC; off until [`SyncEngine::enable_traffic_gc`].
+    traffic_gc: bool,
 }
 
 impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
@@ -509,6 +511,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
             config,
             churn: None,
             recovery: None,
+            traffic_gc: false,
         }
     }
 
@@ -706,6 +709,28 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         self.recovery.is_some()
     }
 
+    /// Enables retired-traffic garbage collection. After each round's delivery
+    /// the engine computes the minimum [`Protocol::retired_frontier`] over the
+    /// live nodes and prunes queued envelopes whose
+    /// [`Protocol::instance_of`] tag lies below it — traffic no node will ever
+    /// read again (a decided instance neither sends nor consumes).
+    ///
+    /// GC is observationally silent on reports: deliveries are counted when a
+    /// message enters an inbox, and a pruned message is by construction one
+    /// its recipient would have dropped unread. The one contract it relies on
+    /// is that correct nodes never *resend* a payload for a globally retired
+    /// instance (pruning also forgets the message from the exact-match dedup
+    /// fallback, so such a resend could double-deliver) — true for every
+    /// stream protocol here, which stops sending at decide time.
+    pub fn enable_traffic_gc(&mut self) {
+        self.traffic_gc = true;
+    }
+
+    /// Whether retired-traffic GC is enabled.
+    pub fn traffic_gc_enabled(&self) -> bool {
+        self.traffic_gc
+    }
+
     /// Every restart performed so far (empty if recovery is disabled or no
     /// crash/restart cycle has completed yet).
     pub fn recovery_restarts(&self) -> &[RestartRecord] {
@@ -886,7 +911,9 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
         let byz_count = byzantine_traffic.len() as u64;
         let delivery_round = self.round + 1;
         let mut deliveries = 0u64;
+        let do_gc = self.traffic_gc;
         let SyncEngine {
+            nodes,
             traffic,
             inboxes,
             spare_inboxes,
@@ -964,6 +991,31 @@ impl<N: Protocol, A: Adversary<N::Payload>> SyncEngine<N, A> {
                 spare_inboxes.push(inbox);
             } else {
                 inboxes.insert(id, inbox);
+            }
+        }
+
+        // Retired-traffic GC (see [`SyncEngine::enable_traffic_gc`]): prune
+        // queued envelopes for instances below every live node's retired
+        // frontier. Payload classification is payload-only, so any node can
+        // serve as the probe; the `seen` dedup sets are deliberately left
+        // alone (dedup state persists exactly as for terminated nodes).
+        if do_gc {
+            let frontier = nodes
+                .iter()
+                .map(|node| node.retired_frontier())
+                .min()
+                .unwrap_or(0);
+            if frontier > 0 {
+                if let Some(probe) = nodes.first() {
+                    for inbox in inboxes.values_mut() {
+                        inbox.messages.retain(|envelope| {
+                            match probe.instance_of(envelope.payload.get()) {
+                                Some(tag) => tag >= frontier,
+                                None => true,
+                            }
+                        });
+                    }
+                }
             }
         }
 

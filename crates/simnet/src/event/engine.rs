@@ -83,6 +83,8 @@ pub struct EventEngine<N: Protocol, A: Adversary<N::Payload>> {
     churn: Option<ChurnDriver<N>>,
     /// The crash-recovery subsystem; `None` until [`EventEngine::enable_recovery`].
     recovery: Option<RecoveryManager<N>>,
+    /// Retired-traffic GC; off until [`EventEngine::enable_traffic_gc`].
+    traffic_gc: bool,
 }
 
 impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
@@ -143,6 +145,7 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
             config,
             churn: None,
             recovery: None,
+            traffic_gc: false,
         }
     }
 
@@ -337,6 +340,23 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
     /// Whether crash recovery is enabled.
     pub fn recovery_enabled(&self) -> bool {
         self.recovery.is_some()
+    }
+
+    /// Enables retired-traffic garbage collection: after each batch's dispatch
+    /// the engine prunes queued *inbox* envelopes whose
+    /// [`Protocol::instance_of`] tag lies below the minimum
+    /// [`Protocol::retired_frontier`] over the live nodes. In-flight messages
+    /// (the delivery queue) are never pruned — deliveries are counted when a
+    /// flight lands in an inbox, so dropping a flight would change the
+    /// metrics; an inbox entry's delivery is already on the books. Same
+    /// observational-silence contract as `SyncEngine::enable_traffic_gc`.
+    pub fn enable_traffic_gc(&mut self) {
+        self.traffic_gc = true;
+    }
+
+    /// Whether retired-traffic GC is enabled.
+    pub fn traffic_gc_enabled(&self) -> bool {
+        self.traffic_gc
     }
 
     /// Every restart performed so far (empty if recovery is disabled or no
@@ -689,6 +709,31 @@ impl<N: Protocol, A: Adversary<N::Payload>> EventEngine<N, A> {
                 }
             }
             self.inboxes.insert(flight.to, inbox);
+        }
+
+        // Retired-traffic GC (see [`EventEngine::enable_traffic_gc`]): prune
+        // inbox envelopes for instances below every live node's retired
+        // frontier. Flights stay untouched; `seen` dedup sets stay untouched.
+        if self.traffic_gc {
+            let frontier = self
+                .nodes
+                .iter()
+                .map(|node| node.retired_frontier())
+                .min()
+                .unwrap_or(0);
+            if frontier > 0 {
+                let nodes = &self.nodes;
+                if let Some(probe) = nodes.first() {
+                    for inbox in self.inboxes.values_mut() {
+                        inbox.messages.retain(|envelope| {
+                            match probe.instance_of(envelope.payload.get()) {
+                                Some(tag) => tag >= frontier,
+                                None => true,
+                            }
+                        });
+                    }
+                }
+            }
         }
         self.timings.add("dispatch", elapsed_ns(dispatch_started));
         Ok(())

@@ -125,7 +125,8 @@ pub use sim::{
 };
 pub use stats::{Histogram, RateEstimate, Summary};
 pub use stream::{
-    InstanceSlot, MuxNode, StreamDriver, StreamInstance, StreamInstanceReport, StreamSection,
+    CompletedInstance, InstanceSlot, InstanceState, MuxNode, MuxWork, StreamDriver, StreamInstance,
+    StreamInstanceReport, StreamSection,
 };
 pub use sweep::{CrashPlan, ScenarioGrid, SweepCase};
 pub use trace::{TraceEvent, TraceLog};

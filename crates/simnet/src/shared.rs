@@ -66,12 +66,65 @@ impl<P> Drop for SharedInner<P> {
     }
 }
 
+/// Borrowing-projection support: a source allocation that can lend out a `&P`
+/// view of one of its fields. Implemented for tuple allocations, so a handle
+/// over `(tag, inner)` can expose a `Shared<Inner>` without cloning `inner` —
+/// the stream plane's demux ([`Shared::project_second`]). The projected handle
+/// keeps the whole source allocation alive and borrows the field out of it.
+///
+/// The `Send + Sync` supertraits keep `Shared<P>`'s auto traits intact: a
+/// projected handle crosses the same scoped-thread boundaries the owned form
+/// does (the engine's parallel step path).
+trait ProjectTo<P>: Send + Sync {
+    fn projected(&self) -> &P;
+}
+
+impl<T, P> ProjectTo<P> for SharedInner<(T, P)>
+where
+    T: Send + Sync,
+    P: Send + Sync,
+{
+    fn projected(&self) -> &P {
+        &self.value.1
+    }
+}
+
+/// The general projection adapter behind [`Shared::project`]: a source
+/// allocation plus a capture-free view function selecting a component of it
+/// (e.g. the payload inside an enum variant). One small adapter allocation,
+/// never a payload clone — and not a *counted* payload allocation.
+struct FieldProjection<P, Q> {
+    source: Arc<SharedInner<P>>,
+    view: fn(&P) -> &Q,
+}
+
+impl<P, Q> ProjectTo<Q> for FieldProjection<P, Q>
+where
+    P: Send + Sync,
+    Q: Send + Sync,
+{
+    fn projected(&self) -> &Q {
+        (self.view)(&self.source.value)
+    }
+}
+
+/// The two shapes a handle can take: the allocating form, and a borrowing view
+/// into another handle's allocation. Projected handles bump neither
+/// [`allocations`] nor [`deallocations`] — they are views, not payloads.
+enum Repr<P> {
+    Owned(Arc<SharedInner<P>>),
+    Projected {
+        source: Arc<dyn ProjectTo<P>>,
+        digest: u64,
+    },
+}
+
 /// A reference-counted, immutable payload handle (see module docs).
 ///
 /// `Shared<P>` derefs to `P`, compares/hashes by value, and passes through serde
 /// transparently, so it can replace `P` in any receive-side position without
 /// changing observable behaviour — only the allocation profile.
-pub struct Shared<P>(Arc<SharedInner<P>>);
+pub struct Shared<P>(Repr<P>);
 
 impl<P: Hash> Shared<P> {
     /// Wraps a payload, computing its dedup digest once. This is the **only**
@@ -80,32 +133,96 @@ impl<P: Hash> Shared<P> {
     pub fn new(value: P) -> Self {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         let digest = digest_of(&value);
-        Shared(Arc::new(SharedInner { digest, value }))
+        Shared(Repr::Owned(Arc::new(SharedInner { digest, value })))
+    }
+}
+
+impl<T, P> Shared<(T, P)>
+where
+    T: Send + Sync + 'static,
+    P: Hash + Clone + Send + Sync + 'static,
+{
+    /// A borrowing view of the tuple's second field: `Shared<(T, P)>` →
+    /// `Shared<P>` **without cloning `P` and without a payload allocation**.
+    /// The view keeps the tuple allocation alive and pays exactly one hash (the
+    /// projected digest — the same `DefaultHasher` stream [`Shared::new`] would
+    /// cache for the field), so a demux that used to re-wrap every matching
+    /// payload now hands out views whose digests, values and comparisons are
+    /// indistinguishable from the re-wrapped originals.
+    pub fn project_second(&self) -> Shared<P> {
+        match &self.0 {
+            Repr::Owned(inner) => Shared(Repr::Projected {
+                digest: digest_of(&inner.value.1),
+                source: Arc::clone(inner) as Arc<dyn ProjectTo<P>>,
+            }),
+            // Projecting a projection (a doubly-nested mux) has no single
+            // source allocation to borrow from: materialise the field instead.
+            Repr::Projected { source, .. } => Shared::new(source.projected().1.clone()),
+        }
+    }
+}
+
+impl<P> Shared<P>
+where
+    P: Send + Sync + 'static,
+{
+    /// A borrowing view of any component `view` can reach — the general form
+    /// of [`Shared::project_second`], for shapes a tuple projection cannot
+    /// express (the payload inside an enum variant, a struct field). `view`
+    /// must be a plain capture-free `fn` so the view stays `Send + Sync`, and
+    /// it must be total for this handle's value: the demux that calls it has
+    /// already matched the variant it projects out of.
+    ///
+    /// Costs one digest hash and one small (uncounted) adapter allocation —
+    /// never a clone of `Q`. On an already-projected handle it falls back to
+    /// materialising the component.
+    pub fn project<Q>(&self, view: fn(&P) -> &Q) -> Shared<Q>
+    where
+        Q: Hash + Clone + Send + Sync + 'static,
+    {
+        match &self.0 {
+            Repr::Owned(inner) => Shared(Repr::Projected {
+                digest: digest_of(view(&inner.value)),
+                source: Arc::new(FieldProjection {
+                    source: Arc::clone(inner),
+                    view,
+                }),
+            }),
+            Repr::Projected { source, .. } => Shared::new(view(source.projected()).clone()),
+        }
     }
 }
 
 impl<P> Shared<P> {
     /// The wrapped payload.
     pub fn get(&self) -> &P {
-        &self.0.value
+        match &self.0 {
+            Repr::Owned(inner) => &inner.value,
+            Repr::Projected { source, .. } => source.projected(),
+        }
     }
 
-    /// The payload's cached 64-bit digest (computed once, at allocation).
+    /// The payload's cached 64-bit digest (computed once, at allocation — or at
+    /// projection, for a borrowed view).
     pub fn digest(&self) -> u64 {
-        self.0.digest
+        match &self.0 {
+            Repr::Owned(inner) => inner.digest,
+            Repr::Projected { digest, .. } => *digest,
+        }
     }
 
-    /// Whether two handles point at the *same* allocation — the zero-copy
-    /// witness: a forwarded or fan-out-delivered payload keeps its pointer.
+    /// Whether two handles point at the *same* payload in memory — the
+    /// zero-copy witness: a forwarded or fan-out-delivered payload keeps its
+    /// pointer, and a projected view aliases the field it was projected from.
     pub fn ptr_eq(a: &Self, b: &Self) -> bool {
-        Arc::ptr_eq(&a.0, &b.0)
+        std::ptr::eq(a.get(), b.get())
     }
 
-    /// The allocation's address, as an opaque token. Distinct live handles with
-    /// equal tokens share one allocation; tests use this to prove a delivery
-    /// fan-out did not silently re-materialise payloads.
+    /// The payload's address, as an opaque token. Distinct live handles with
+    /// equal tokens share one payload in memory; tests use this to prove a
+    /// delivery fan-out did not silently re-materialise payloads.
     pub fn token(&self) -> usize {
-        Arc::as_ptr(&self.0) as usize
+        self.get() as *const P as usize
     }
 }
 
@@ -141,13 +258,23 @@ impl<P: Hash + Clone> Shared<P> {
     /// attacks that fabricate whole payloads go through [`Shared::new`]
     /// instead: one allocation per *distinct* fabrication.)
     pub fn modify(&mut self, mutate: impl FnOnce(&mut P)) {
-        match Arc::get_mut(&mut self.0) {
-            Some(inner) => {
-                mutate(&mut inner.value);
-                inner.digest = digest_of(&inner.value);
-            }
-            None => {
-                let mut value = self.0.value.clone();
+        match &mut self.0 {
+            Repr::Owned(arc) => match Arc::get_mut(arc) {
+                Some(inner) => {
+                    mutate(&mut inner.value);
+                    inner.digest = digest_of(&inner.value);
+                }
+                None => {
+                    let mut value = arc.value.clone();
+                    mutate(&mut value);
+                    *self = Shared::new(value);
+                }
+            },
+            // A projected view never owns its allocation (the source tuple
+            // does): a write materialises the field, exactly like the shared
+            // copy-on-write case.
+            Repr::Projected { source, .. } => {
+                let mut value = source.projected().clone();
                 mutate(&mut value);
                 *self = Shared::new(value);
             }
@@ -158,7 +285,13 @@ impl<P: Hash + Clone> Shared<P> {
 impl<P> Clone for Shared<P> {
     /// A reference-count bump — never a payload clone.
     fn clone(&self) -> Self {
-        Shared(Arc::clone(&self.0))
+        Shared(match &self.0 {
+            Repr::Owned(inner) => Repr::Owned(Arc::clone(inner)),
+            Repr::Projected { source, digest } => Repr::Projected {
+                source: Arc::clone(source),
+                digest: *digest,
+            },
+        })
     }
 }
 
@@ -166,13 +299,13 @@ impl<P> std::ops::Deref for Shared<P> {
     type Target = P;
 
     fn deref(&self) -> &P {
-        &self.0.value
+        self.get()
     }
 }
 
 impl<P> AsRef<P> for Shared<P> {
     fn as_ref(&self) -> &P {
-        &self.0.value
+        self.get()
     }
 }
 
@@ -186,13 +319,13 @@ impl<P: fmt::Debug> fmt::Debug for Shared<P> {
     /// Transparent: renders exactly like the wrapped payload, so debug output
     /// recorded in reports is unchanged.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.value.fmt(f)
+        self.get().fmt(f)
     }
 }
 
 impl<P: PartialEq> PartialEq for Shared<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.0.value == other.0.value
+        self.get() == other.get()
     }
 }
 
@@ -201,7 +334,7 @@ impl<P: Eq> Eq for Shared<P> {}
 /// Compare a handle directly against a payload value (`envelope.payload == X`).
 impl<P: PartialEq> PartialEq<P> for Shared<P> {
     fn eq(&self, other: &P) -> bool {
-        self.0.value == *other
+        *self.get() == *other
     }
 }
 
@@ -209,13 +342,13 @@ impl<P: Hash> Hash for Shared<P> {
     /// By value, consistent with `Eq` (the cached digest is an engine-internal
     /// fast path, not the `Hash` impl).
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.0.value.hash(state);
+        self.get().hash(state);
     }
 }
 
 impl<P: Serialize> Serialize for Shared<P> {
     fn to_value(&self) -> Value {
-        self.0.value.to_value()
+        self.get().to_value()
     }
 }
 
@@ -307,6 +440,82 @@ mod tests {
     fn payload_digest_matches_the_cached_digest() {
         let payload = vec![1u64, 2, 3];
         assert_eq!(payload_digest(&payload), Shared::new(payload).digest());
+    }
+
+    #[test]
+    fn projection_borrows_without_allocating() {
+        let before = allocations();
+        let tagged: Shared<(u64, Vec<u32>)> = Shared::new((7, vec![1, 2, 3]));
+        let view = tagged.project_second();
+        assert_eq!(allocations() - before, 1, "the view is not an allocation");
+        // The view aliases the field inside the tuple allocation…
+        assert_eq!(view.token(), &tagged.get().1 as *const Vec<u32> as usize);
+        assert_eq!(*view, vec![1, 2, 3]);
+        // …and its digest is exactly what re-wrapping the field would cache.
+        assert_eq!(view.digest(), payload_digest(&vec![1u32, 2, 3]));
+        assert_eq!(view.digest(), Shared::new(vec![1u32, 2, 3]).digest());
+        // Two views of one source alias each other; a re-wrap does not.
+        let sibling = tagged.project_second();
+        assert!(Shared::ptr_eq(&view, &sibling));
+        assert_eq!(view.token(), sibling.token());
+        assert!(!Shared::ptr_eq(&view, &Shared::new(vec![1u32, 2, 3])));
+    }
+
+    #[test]
+    fn projection_keeps_the_source_allocation_alive() {
+        let dropped_before = deallocations();
+        let view = {
+            let tagged: Shared<(u64, u64)> = Shared::new((1, 42));
+            tagged.project_second()
+        };
+        assert_eq!(*view, 42, "the view outlives the original handle");
+        drop(view);
+        assert!(
+            deallocations() > dropped_before,
+            "dropping the last view frees the source allocation"
+        );
+    }
+
+    #[test]
+    fn modifying_a_projection_materialises_a_copy() {
+        let tagged: Shared<(u64, u64)> = Shared::new((1, 10));
+        let mut view = tagged.project_second();
+        view.modify(|v| *v += 5);
+        assert_eq!(*view, 15);
+        assert_eq!(tagged.get().1, 10, "the source tuple is untouched");
+        assert_eq!(view.digest(), payload_digest(&15u64));
+    }
+
+    #[test]
+    fn general_projection_reaches_into_enum_variants() {
+        #[derive(Clone, Debug, PartialEq, Hash)]
+        enum Wire {
+            Tagged(u64, Vec<u32>),
+        }
+        let message = Shared::new(Wire::Tagged(3, vec![9, 9, 9]));
+        let before = allocations();
+        let view: Shared<Vec<u32>> = message.project(|m| {
+            let Wire::Tagged(_, inner) = m;
+            inner
+        });
+        assert_eq!(allocations() - before, 0, "a view is not an allocation");
+        assert_eq!(*view, vec![9, 9, 9]);
+        let Wire::Tagged(_, inner) = message.get();
+        assert!(
+            std::ptr::eq(view.get(), inner),
+            "the view borrows the field"
+        );
+        assert_eq!(view.digest(), payload_digest(&vec![9u32, 9, 9]));
+        assert_eq!(view.digest(), Shared::new(vec![9u32, 9, 9]).digest());
+    }
+
+    #[test]
+    fn projecting_a_projection_falls_back_to_a_copy() {
+        let nested: Shared<(u8, (u64, u64))> = Shared::new((0, (1, 99)));
+        let inner = nested.project_second();
+        let twice = inner.project_second();
+        assert_eq!(*twice, 99);
+        assert_eq!(twice.digest(), payload_digest(&99u64));
     }
 
     #[test]

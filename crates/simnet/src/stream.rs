@@ -14,6 +14,21 @@
 //!   [`StreamSection`] into the [`RunReport`] with per-instance decisions,
 //!   decide rounds and batch sizes for the checker's cross-instance oracle.
 //!
+//! Per-round cost is proportional to the **active window**, not the horizon:
+//! each step builds one tag index over the inbox (a single pass), envelopes are
+//! handed to inner instances as borrowing projections
+//! ([`Shared::project_second`](crate::shared::Shared::project_second) — no
+//! payload clone), and decided slots are **retired** out of the scan path into
+//! compact [`CompletedInstance`] records, so [`MuxNode::output`] and
+//! [`MuxNode::terminated`] are O(1) counter reads and a long-finished stream
+//! prefix costs nothing per round. Traffic addressed to a retired tag is
+//! dropped during indexing at zero clones (counted in [`MuxWork`]); the engine
+//! can additionally prune such traffic before delivery (see
+//! `SyncEngine::enable_traffic_gc`). Retirement is observationally silent:
+//! reports are byte-identical with it on or off (see
+//! `tests/stream_equivalence.rs`), and `docs/STREAMING.md` documents the cost
+//! model.
+//!
 //! The batching rule lives one layer up (see `docs/STREAMING.md`): client
 //! requests are packed into one batch per (instance, proposer), so each
 //! broadcast is **one** [`Shared`](crate::shared::Shared) arena payload no
@@ -25,11 +40,13 @@
 //! Under faults, per-instance safety is already covered by the single-shot
 //! scenarios; the stream exists to measure pipelined throughput.
 
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::adversary::SilentAdversary;
+use crate::engine::FastState;
 use crate::id::NodeId;
 use crate::message::{Envelope, Outgoing};
 use crate::node::{Protocol, RoundContext};
@@ -48,33 +65,176 @@ pub struct InstanceSlot<N> {
     pub decided_round: Option<u64>,
 }
 
+/// The compact record a decided slot retires into: everything the stream
+/// report needs, without the inner node's state or a place in the scan path.
+#[derive(Clone, Debug)]
+pub struct CompletedInstance<N: Protocol> {
+    /// The tag the instance carried on the wire.
+    pub tag: u64,
+    /// Global round in which the instance started.
+    pub start_round: u64,
+    /// Global round in which this node's instance terminated (`None` only for
+    /// slots already terminated when the mux was built, which never step).
+    pub decided_round: Option<u64>,
+    /// The instance's final output.
+    pub output: Option<N::Output>,
+}
+
+/// A live or retired instance, as seen through [`MuxNode::instance`].
+pub enum InstanceState<'a, N: Protocol> {
+    /// The instance still occupies a slot in the scan path.
+    Live(&'a InstanceSlot<N>),
+    /// The instance has decided and been retired.
+    Completed(&'a CompletedInstance<N>),
+}
+
+/// Per-node demux work counters, maintained by [`MuxNode::step`]. Measurement
+/// only — these never enter a [`RunReport`], so they cannot perturb the
+/// byte-identity pins; the window-sweep benchmark reads them to prove per-round
+/// cost tracks the active window rather than the horizon.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxWork {
+    /// Envelopes examined while building the per-step tag index (exactly the
+    /// inbox sizes summed over steps — every envelope is looked at once).
+    pub envelopes_indexed: u64,
+    /// Inner-instance steps executed (live slots × rounds they were live).
+    pub slot_steps: u64,
+    /// Envelopes dropped because their tag matched no live slot (instance
+    /// already retired or never scheduled) — at zero payload clones.
+    pub dropped_retired: u64,
+}
+
 /// A node multiplexing many instances of an inner [`Protocol`] over one wire.
 ///
-/// Payloads are `(instance_tag, inner_payload)`; each round the node demuxes
-/// its inbox by tag, steps every started-and-undecided instance with a *local*
-/// round number (`global - start_round`), and retags everything the instances
-/// send. An instance whose start round has not arrived yet neither sends nor
-/// receives. The node terminates when every instance has.
+/// Payloads are `(instance_tag, inner_payload)`; each round the node builds one
+/// tag index over its inbox, steps every started-and-undecided instance with a
+/// *local* round number (`global - start_round`) and a projected (not cloned)
+/// inbox, and retags everything the instances send. An instance whose start
+/// round has not arrived yet neither sends nor receives. Decided instances are
+/// retired into [`CompletedInstance`] records (unless
+/// [`MuxNode::set_retirement`] turned retirement off), and the node terminates
+/// when the decided count reaches the instance count.
+///
+/// Tags are assumed dense from 0 (the [`StreamDriver`] assigns them in push
+/// order); the retired frontier reported to the engine's traffic GC is the
+/// length of the decided prefix.
 #[derive(Clone, Debug)]
 pub struct MuxNode<N: Protocol> {
     id: NodeId,
     slots: Vec<InstanceSlot<N>>,
+    completed: Vec<CompletedInstance<N>>,
+    completed_index: HashMap<u64, usize, FastState>,
+    total: usize,
+    decided: usize,
+    retire: bool,
+    work: MuxWork,
+    frontier: u64,
+    pending_decided: BTreeSet<u64>,
 }
 
 impl<N: Protocol> MuxNode<N> {
     /// Builds a mux node over the given instance slots (all for the same
     /// [`NodeId`]). Tags must be unique; start rounds must be ≥ 1.
     pub fn new(id: NodeId, slots: Vec<InstanceSlot<N>>) -> Self {
-        MuxNode { id, slots }
+        let total = slots.len();
+        let mut node = MuxNode {
+            id,
+            slots,
+            completed: Vec::new(),
+            completed_index: HashMap::default(),
+            total,
+            decided: 0,
+            retire: true,
+            work: MuxWork::default(),
+            frontier: 0,
+            pending_decided: BTreeSet::new(),
+        };
+        // A slot already terminated at build time counts as decided now and is
+        // swept into `completed` lazily on the first step; `decided_round`
+        // stays `None`, matching the step guard that never assigns one.
+        let built_decided: Vec<u64> = node
+            .slots
+            .iter()
+            .filter(|slot| slot.node.terminated())
+            .map(|slot| slot.tag)
+            .collect();
+        node.decided += built_decided.len();
+        for tag in built_decided {
+            node.note_decided(tag);
+        }
+        node
     }
 
-    /// The instance slots, in tag order.
+    /// The **live** (undecided) instance slots, in tag order.
     pub fn slots(&self) -> &[InstanceSlot<N>] {
         &self.slots
     }
+
+    /// The retired instances, in retirement order.
+    pub fn completed(&self) -> &[CompletedInstance<N>] {
+        &self.completed
+    }
+
+    /// The demux work counters accumulated so far.
+    pub fn work(&self) -> MuxWork {
+        self.work
+    }
+
+    /// Looks an instance up by tag, live or retired.
+    pub fn instance(&self, tag: u64) -> Option<InstanceState<'_, N>> {
+        if let Some(&at) = self.completed_index.get(&tag) {
+            return Some(InstanceState::Completed(&self.completed[at]));
+        }
+        self.slots
+            .iter()
+            .find(|slot| slot.tag == tag)
+            .map(InstanceState::Live)
+    }
+
+    /// Turns retirement on or off (on by default). With retirement off,
+    /// decided slots stay in the slot vector — the pre-retirement behaviour,
+    /// kept byte-identical by `tests/stream_equivalence.rs`.
+    pub fn set_retirement(&mut self, on: bool) {
+        self.retire = on;
+    }
+
+    /// Records a decided tag and advances the contiguous decided-prefix
+    /// frontier past it if possible.
+    fn note_decided(&mut self, tag: u64) {
+        self.pending_decided.insert(tag);
+        while self.pending_decided.remove(&self.frontier) {
+            self.frontier += 1;
+        }
+    }
+
+    /// Moves every terminated slot out of the scan path into `completed`,
+    /// preserving the order of the remaining live slots (wire-traffic
+    /// byte-identity depends on slot order, so no swap-remove here).
+    fn retire_terminated(&mut self) {
+        let mut completed = std::mem::take(&mut self.completed);
+        let index = &mut self.completed_index;
+        self.slots.retain(|slot| {
+            if slot.node.terminated() {
+                index.insert(slot.tag, completed.len());
+                completed.push(CompletedInstance {
+                    tag: slot.tag,
+                    start_round: slot.start_round,
+                    decided_round: slot.decided_round,
+                    output: slot.node.output(),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        self.completed = completed;
+    }
 }
 
-impl<N: Protocol> Protocol for MuxNode<N> {
+impl<N: Protocol> Protocol for MuxNode<N>
+where
+    N::Payload: Send + Sync + 'static,
+{
     type Payload = (u64, N::Payload);
     /// The number of instances that have terminated (present once all have).
     type Output = usize;
@@ -88,19 +248,50 @@ impl<N: Protocol> Protocol for MuxNode<N> {
         ctx: &RoundContext,
         inbox: &[Envelope<Self::Payload>],
     ) -> Vec<Outgoing<Self::Payload>> {
+        // One pass over the inbox: index envelope positions by instance tag
+        // (positions, so arrival order inside each instance is preserved).
+        let mut index: HashMap<u64, Vec<usize>, FastState> = HashMap::default();
+        for (position, envelope) in inbox.iter().enumerate() {
+            index
+                .entry(envelope.payload.get().0)
+                .or_default()
+                .push(position);
+        }
+        self.work.envelopes_indexed += inbox.len() as u64;
+
         let mut outgoing = Vec::new();
+        let mut newly_decided: Vec<u64> = Vec::new();
+        let mut sweep = false;
         for slot in &mut self.slots {
-            if ctx.round < slot.start_round || slot.node.terminated() {
+            if ctx.round < slot.start_round {
+                // Not started: nobody has sent for this tag yet, so a match
+                // here cannot occur on the wire; drop it silently, exactly as
+                // the pre-index filter ignored it.
+                index.remove(&slot.tag);
                 continue;
             }
-            // Demuxing re-wraps each matching payload in a fresh `Shared`; the
-            // per-delivery clone is bounded by the inner payload size, which the
-            // batching rule keeps at one arena payload per (instance, proposer).
-            let inner_inbox: Vec<Envelope<N::Payload>> = inbox
-                .iter()
-                .filter(|envelope| envelope.payload.get().0 == slot.tag)
-                .map(|envelope| Envelope::new(envelope.from, envelope.payload.get().1.clone()))
+            if slot.node.terminated() {
+                // Reachable only with retirement off, or for a slot that was
+                // terminated at build time and awaits its lazy sweep. Consume
+                // the tag so the counter matches the retired path exactly.
+                if let Some(positions) = index.remove(&slot.tag) {
+                    self.work.dropped_retired += positions.len() as u64;
+                }
+                sweep = true;
+                continue;
+            }
+            // Project each matching envelope's inner payload out of the tagged
+            // tuple — a borrow of the same allocation, not a clone.
+            let inner_inbox: Vec<Envelope<N::Payload>> = index
+                .remove(&slot.tag)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|position| {
+                    let envelope = &inbox[position];
+                    Envelope::new(envelope.from, envelope.payload.project_second())
+                })
                 .collect();
+            self.work.slot_steps += 1;
             let local = RoundContext::new(ctx.round - slot.start_round + 1);
             for sent in slot.node.step(&local, &inner_inbox) {
                 outgoing.push(Outgoing {
@@ -110,18 +301,39 @@ impl<N: Protocol> Protocol for MuxNode<N> {
             }
             if slot.node.terminated() && slot.decided_round.is_none() {
                 slot.decided_round = Some(ctx.round);
+                newly_decided.push(slot.tag);
+                sweep = true;
             }
+        }
+        // Whatever is left in the index matched no slot at all: the instance
+        // was already retired (or never scheduled). Zero clones were paid.
+        for positions in index.into_values() {
+            self.work.dropped_retired += positions.len() as u64;
+        }
+        self.decided += newly_decided.len();
+        for tag in newly_decided {
+            self.note_decided(tag);
+        }
+        if self.retire && sweep {
+            self.retire_terminated();
         }
         outgoing
     }
 
     fn output(&self) -> Option<Self::Output> {
-        self.terminated()
-            .then(|| self.slots.iter().filter(|s| s.node.terminated()).count())
+        (self.decided == self.total).then_some(self.decided)
     }
 
     fn terminated(&self) -> bool {
-        self.slots.iter().all(|slot| slot.node.terminated())
+        self.decided == self.total
+    }
+
+    fn instance_of(&self, payload: &Self::Payload) -> Option<u64> {
+        Some(payload.0)
+    }
+
+    fn retired_frontier(&self) -> u64 {
+        self.frontier
     }
 }
 
@@ -159,6 +371,7 @@ pub struct StreamDriver<F: ProtocolFactory> {
     name: String,
     instances: Vec<StreamInstance<F>>,
     digest: OutputDigest<F::Node>,
+    retirement: bool,
 }
 
 impl<F: ProtocolFactory> StreamDriver<F> {
@@ -169,6 +382,7 @@ impl<F: ProtocolFactory> StreamDriver<F> {
             name: format!("stream({inner_name})"),
             instances: Vec::new(),
             digest: Arc::new(|output| format!("{output:?}")),
+            retirement: true,
         }
     }
 
@@ -177,6 +391,13 @@ impl<F: ProtocolFactory> StreamDriver<F> {
     /// round) that must not count as disagreement.
     pub fn digest(mut self, digest: OutputDigest<F::Node>) -> Self {
         self.digest = digest;
+        self
+    }
+
+    /// Turns instance retirement on or off for the built mux nodes (on by
+    /// default; the off path exists for the byte-identity pins).
+    pub fn retirement(mut self, on: bool) -> Self {
+        self.retirement = on;
         self
     }
 
@@ -202,7 +423,10 @@ impl<F: ProtocolFactory> StreamDriver<F> {
     }
 }
 
-impl<F: ProtocolFactory> ProtocolFactory for StreamDriver<F> {
+impl<F: ProtocolFactory> ProtocolFactory for StreamDriver<F>
+where
+    <F::Node as Protocol>::Payload: Send + Sync + 'static,
+{
     type Node = MuxNode<F::Node>;
 
     fn protocol_name(&self) -> String {
@@ -235,7 +459,11 @@ impl<F: ProtocolFactory> ProtocolFactory for StreamDriver<F> {
         ctx.correct_ids
             .iter()
             .zip(muxes)
-            .map(|(&id, slots)| MuxNode::new(id, slots))
+            .map(|(&id, slots)| {
+                let mut node = MuxNode::new(id, slots);
+                node.set_retirement(self.retirement);
+                node
+            })
             .collect()
     }
 
@@ -254,10 +482,19 @@ impl<F: ProtocolFactory> ProtocolFactory for StreamDriver<F> {
             let mut outputs = Vec::with_capacity(nodes.len());
             let mut decide_rounds = Vec::with_capacity(nodes.len());
             for node in nodes {
-                let slot = &node.slots()[tag];
-                debug_assert_eq!(slot.tag, tag as u64);
-                outputs.push((node.id(), slot.node.output().map(|o| (self.digest)(&o))));
-                decide_rounds.push((node.id(), slot.decided_round));
+                let (output, decided_round) = match node.instance(tag as u64) {
+                    Some(InstanceState::Live(slot)) => (
+                        slot.node.output().map(|o| (self.digest)(&o)),
+                        slot.decided_round,
+                    ),
+                    Some(InstanceState::Completed(done)) => (
+                        done.output.as_ref().map(|o| (self.digest)(o)),
+                        done.decided_round,
+                    ),
+                    None => (None, None),
+                };
+                outputs.push((node.id(), output));
+                decide_rounds.push((node.id(), decided_round));
             }
             let digests: Vec<&String> = outputs.iter().filter_map(|(_, d)| d.as_ref()).collect();
             let agreement = digests.windows(2).all(|pair| pair[0] == pair[1]);
@@ -316,6 +553,7 @@ pub struct StreamSection {
 mod tests {
     use super::*;
     use crate::message::Destination;
+    use crate::shared::allocations;
 
     /// A toy protocol: broadcasts its input in round 1, outputs the smallest
     /// value heard in round 2, then terminates.
@@ -365,6 +603,13 @@ mod tests {
         }
     }
 
+    fn completed_of(node: &MuxNode<MinOnce>, tag: u64) -> &CompletedInstance<MinOnce> {
+        match node.instance(tag) {
+            Some(InstanceState::Completed(done)) => done,
+            _ => panic!("instance {tag} should be retired"),
+        }
+    }
+
     #[test]
     fn the_mux_demuxes_by_tag_and_staggers_starts() {
         let a = NodeId::new(1);
@@ -385,9 +630,12 @@ mod tests {
         ];
         let out = node.step(&RoundContext::new(2), &inbox);
         assert!(out.is_empty());
-        assert_eq!(node.slots()[0].node.output, Some(7));
-        assert_eq!(node.slots()[0].decided_round, Some(2));
+        let done = completed_of(&node, 0);
+        assert_eq!(done.output, Some(7));
+        assert_eq!(done.decided_round, Some(2));
+        assert_eq!(node.slots().len(), 1, "only instance 1 is still live");
         assert!(!node.terminated());
+        assert_eq!(node.retired_frontier(), 1, "tag 0 is globally done locally");
 
         // Round 3: instance 1 starts at its local round 1 and broadcasts.
         let out = node.step(&RoundContext::new(3), &[]);
@@ -397,15 +645,17 @@ mod tests {
         // Round 4: instance 1 decides on its own input; the mux terminates.
         let out = node.step(&RoundContext::new(4), &[]);
         assert!(out.is_empty());
-        assert_eq!(node.slots()[1].node.output, Some(20));
+        assert_eq!(completed_of(&node, 1).output, Some(20));
         assert!(node.terminated());
         assert_eq!(node.output(), Some(2));
+        assert_eq!(node.retired_frontier(), 2);
     }
 
     #[test]
     fn terminated_instances_stop_stepping() {
         let a = NodeId::new(1);
         let mut node = MuxNode::new(a, vec![slot(0, 1, a, 5)]);
+        node.set_retirement(false);
         node.step(&RoundContext::new(1), &[]);
         node.step(&RoundContext::new(2), &[]);
         assert!(node.terminated());
@@ -413,5 +663,109 @@ mod tests {
         let out = node.step(&RoundContext::new(3), &[]);
         assert!(out.is_empty());
         assert_eq!(node.slots()[0].decided_round, Some(2));
+        // Even unretired, the decided slot never steps again.
+        assert_eq!(node.work().slot_steps, 2);
+    }
+
+    #[test]
+    fn demuxing_projects_instead_of_cloning() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut node = MuxNode::new(a, vec![slot(0, 1, a, 10)]);
+        node.step(&RoundContext::new(1), &[]);
+        let inbox = vec![Envelope::new(b, (0u64, 7u64))];
+        let before = allocations();
+        node.step(&RoundContext::new(2), &inbox);
+        assert_eq!(
+            allocations() - before,
+            0,
+            "demuxing a delivery must not allocate a payload copy"
+        );
+        assert_eq!(completed_of(&node, 0).output, Some(7));
+    }
+
+    #[test]
+    fn retired_and_unscheduled_traffic_is_dropped_at_zero_clones() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut node = MuxNode::new(a, vec![slot(0, 1, a, 5), slot(1, 1, a, 6)]);
+        // Both instances decide in round 2 and retire.
+        node.step(&RoundContext::new(1), &[]);
+        node.step(&RoundContext::new(2), &[]);
+        assert!(node.terminated());
+        assert_eq!(node.slots().len(), 0);
+        assert_eq!(node.completed().len(), 2);
+
+        // Late traffic for a retired tag and for a tag never scheduled: both
+        // are dropped during indexing, with no payload clone.
+        let inbox = vec![
+            Envelope::new(b, (0u64, 1u64)),
+            Envelope::new(b, (0u64, 2u64)),
+            Envelope::new(b, (9u64, 3u64)),
+        ];
+        let before = allocations();
+        let out = node.step(&RoundContext::new(3), &inbox);
+        assert!(out.is_empty());
+        assert_eq!(allocations() - before, 0, "dropping must not clone");
+        assert_eq!(node.work().dropped_retired, 3);
+        assert_eq!(node.work().envelopes_indexed, 3);
+    }
+
+    #[test]
+    fn retirement_on_and_off_produce_identical_wire_traffic() {
+        let build = || {
+            let a = NodeId::new(1);
+            MuxNode::new(
+                a,
+                vec![slot(0, 1, a, 4), slot(1, 2, a, 8), slot(2, 4, a, 2)],
+            )
+        };
+        let mut retiring = build();
+        let mut keeping = build();
+        keeping.set_retirement(false);
+        let b = NodeId::new(2);
+        for round in 1..=6u64 {
+            // A little cross-tag traffic, including a tag that retires early.
+            let inbox = vec![
+                Envelope::new(b, (0u64, 100 + round)),
+                Envelope::new(b, (1u64, 200 + round)),
+            ];
+            let sent_retiring = retiring.step(&RoundContext::new(round), &inbox);
+            let sent_keeping = keeping.step(&RoundContext::new(round), &inbox);
+            assert_eq!(
+                sent_retiring, sent_keeping,
+                "round {round}: retirement changed the wire traffic"
+            );
+            assert_eq!(retiring.output(), keeping.output());
+            assert_eq!(retiring.terminated(), keeping.terminated());
+        }
+        assert!(retiring.terminated());
+        assert_eq!(
+            retiring.work(),
+            keeping.work(),
+            "the work counters must agree: the kept decided slots consume \
+             their tags exactly like the leftover-index accounting"
+        );
+        assert!(retiring.slots().is_empty());
+        assert_eq!(keeping.slots().len(), 3);
+    }
+
+    #[test]
+    fn the_frontier_advances_over_the_decided_prefix_only() {
+        let a = NodeId::new(1);
+        // Instance 1 decides before instance 0 (it starts earlier).
+        let mut node = MuxNode::new(a, vec![slot(0, 4, a, 5), slot(1, 1, a, 6)]);
+        node.step(&RoundContext::new(1), &[]);
+        node.step(&RoundContext::new(2), &[]);
+        assert_eq!(node.completed().len(), 1, "instance 1 has retired");
+        assert_eq!(
+            node.retired_frontier(),
+            0,
+            "tag 0 is still live, so nothing below it is retired"
+        );
+        node.step(&RoundContext::new(4), &[]);
+        node.step(&RoundContext::new(5), &[]);
+        assert!(node.terminated());
+        assert_eq!(node.retired_frontier(), 2, "the prefix closed in one jump");
     }
 }
