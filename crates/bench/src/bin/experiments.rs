@@ -219,6 +219,11 @@ fn run_fuzz(args: &[String]) {
         run_boundary(smoke, workers, boundary_ids(args), out);
         return;
     }
+    if args.iter().any(|a| a == "--search") {
+        let out = flag_value(args, "--out").unwrap_or("SEARCH_counterexample.json");
+        run_search(smoke, workers, out);
+        return;
+    }
     let grid = uba_bench::default_grid(smoke);
     eprintln!(
         "fuzzing {} cases (smoke = {smoke}, {workers} workers)…",
@@ -250,6 +255,78 @@ fn run_fuzz(args: &[String]) {
         eprintln!("shrunk reproducer written to {out} (replay with fuzz --replay {out})");
     }
     std::process::exit(1);
+}
+
+/// Margin-guided search (`fuzz --search`): hill-climbs over mutated fuzz cases
+/// using the checker margins as fitness. Margins are *recorded* in the
+/// trajectory summary, never gated on — the only gates are "found a real
+/// (admissible) violation" and "found nothing at all" (a search that cannot
+/// even reach the documented boundary demonstrations has lost its teeth).
+fn run_search(smoke: bool, workers: usize, out: &str) {
+    let grid = uba_bench::default_grid(smoke);
+    let config = if smoke {
+        uba_bench::SearchConfig::smoke(workers)
+    } else {
+        uba_bench::SearchConfig::full(workers)
+    };
+    eprintln!(
+        "searching from a {}-case seed grid ({} restarts × {} steps, {workers} workers)…",
+        grid.len(),
+        config.restarts,
+        config.steps,
+    );
+    let started = std::time::Instant::now();
+    let outcome = uba_bench::search_grid(&grid, &config);
+    let accepted = outcome.trajectory.iter().filter(|s| s.accepted).count();
+    let tightest = outcome
+        .trajectory
+        .iter()
+        .map(|s| s.min_margin)
+        .min()
+        .unwrap_or(u64::MAX);
+    eprintln!(
+        "search finished in {:.2?}: {} evaluations, {} accepted moves, tightest margin seen {}",
+        started.elapsed(),
+        outcome.evaluations,
+        accepted,
+        tightest,
+    );
+    if outcome.counterexamples.is_empty() {
+        eprintln!("search found no violation within budget — the climb has lost its teeth");
+        std::process::exit(1);
+    }
+    let mut real_bug = false;
+    for counterexample in &outcome.counterexamples {
+        let kind = if counterexample.shrunk.spec.admissible() {
+            real_bug = true;
+            "ADMISSIBLE VIOLATION"
+        } else {
+            "boundary demonstration"
+        };
+        eprintln!(
+            "  [{kind}] {} (shrunk from {} in {} steps)",
+            counterexample.shrunk.describe(),
+            counterexample.original.describe(),
+            counterexample.shrink_steps,
+        );
+        for failure in &counterexample.failures {
+            eprintln!("    {failure}");
+        }
+    }
+    let first = &outcome.counterexamples[0];
+    let json = serde_json::to_string_pretty(first).expect("counterexamples serialise");
+    if let Err(error) = std::fs::write(out, &json) {
+        eprintln!("cannot write {out}: {error}");
+    } else {
+        eprintln!("shrunk reproducer written to {out} (replay with fuzz --replay {out})");
+    }
+    if real_bug {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "all {} counterexample(s) are expected boundary demonstrations ✓",
+        outcome.counterexamples.len()
+    );
 }
 
 fn run_scaling(args: &[String]) {

@@ -31,7 +31,9 @@ use uba_core::sim::{
     ApproxFactory, BroadcastFactory, ConsensusFactory, ParallelConsensusFactory, RotorFactory,
     TotalOrderFactory, TotalOrderPlan,
 };
-use uba_simnet::attack::{AttackBehavior, AttackPlan, AttackStep, SemanticStrategy};
+use uba_simnet::attack::{
+    AdaptiveStrategy, AttackBehavior, AttackPlan, AttackStep, SemanticStrategy,
+};
 use uba_simnet::sim::{AdversaryKind, RunReport, ScenarioBuilder, ScenarioSpec};
 use uba_simnet::sweep::{CrashPlan, ScenarioGrid, SweepCase};
 use uba_simnet::{
@@ -99,7 +101,7 @@ impl ProtocolId {
     }
 
     /// Whether the family's factories assume consecutive identifiers.
-    fn needs_consecutive_ids(self) -> bool {
+    pub(crate) fn needs_consecutive_ids(self) -> bool {
         matches!(self, ProtocolId::PhaseKing | ProtocolId::KnownRotor)
     }
 
@@ -122,7 +124,7 @@ impl ProtocolId {
     /// The smallest correct-node count a family's factory can be built with (the
     /// broadcast families need a correct designated sender; everything degrades
     /// gracefully to a single node).
-    fn min_correct(self) -> usize {
+    pub(crate) fn min_correct(self) -> usize {
         1
     }
 
@@ -205,7 +207,7 @@ impl FuzzCase {
 /// cycle, and cycles that cannot be re-homed (more victims than correct nodes)
 /// are dropped. A spec whose victims are all still valid is left untouched, so
 /// the pass is idempotent and free on crash-less specs.
-fn rebind_crash_victims(spec: &mut ScenarioSpec) {
+pub(crate) fn rebind_crash_victims(spec: &mut ScenarioSpec) {
     let victims = spec.churn.crash_cycle_ids();
     if victims.is_empty() {
         return;
@@ -438,6 +440,16 @@ pub fn boundary_plans() -> Vec<AttackPlan> {
             1,
             AttackBehavior::Preset(AdversaryKind::Silent),
         ),
+        // Stateful adaptive schedules: asymmetric delivery keyed off observed
+        // traffic. At `n = 3f` the starvation schedule is the sharpest equivocation
+        // -by-omission the library owns — it is what demonstrates tightness for the
+        // families whose oracles survive every *oblivious* plan above.
+        AttackPlan::new().behavior(AttackBehavior::Adaptive {
+            strategy: AdaptiveStrategy::StarveWeakest,
+        }),
+        AttackPlan::new().behavior(AttackBehavior::Adaptive {
+            strategy: AdaptiveStrategy::WithholdNearQuorum,
+        }),
     ]
 }
 
@@ -847,10 +859,18 @@ pub fn shrink_case_with(
         .iter()
         .map(|failure| property_id(failure).to_string())
         .collect();
+    // Admissibility is part of the bug's identity too: an in-bound agreement
+    // violation is a protocol bug, an `n = 3f` one is a tightness demonstration
+    // — shrinking must not turn one into the other even when the property id
+    // matches. (The grid oracles enforce this implicitly by returning nothing
+    // on the other side; the guard makes it hold for every oracle, including
+    // the [`replay_failures`] one the margin-guided search shrinks through.)
+    let admissible = original.spec.admissible();
     let keeps_the_bug = |case: &FuzzCase| {
-        still_failing(case)
-            .iter()
-            .any(|failure| original_ids.contains(property_id(failure)))
+        case.spec.admissible() == admissible
+            && still_failing(case)
+                .iter()
+                .any(|failure| original_ids.contains(property_id(failure)))
     };
     let mut current = original.clone();
     let mut shrink_steps = 0u64;

@@ -26,6 +26,7 @@ pub mod experiments_ext;
 pub mod fuzz;
 pub mod montecarlo;
 pub mod scaling;
+pub mod search;
 pub mod soak;
 pub mod stream;
 pub mod table;
@@ -40,6 +41,7 @@ pub use fuzz::{
 };
 pub use montecarlo::{ResilienceSweep, SweepConfig};
 pub use scaling::{scaling_file, write_scaling, ScalingFile};
+pub use search::{search_grid, SearchConfig, SearchOutcome, SearchStep};
 pub use soak::{run_soak, soak_file, soak_table, write_soak, SoakConfig, SoakFile, SoakRow};
 pub use stream::{
     run_consensus_stream, run_total_order_stream, stream_drift, stream_file, stream_table,

@@ -46,6 +46,7 @@ pub mod approx;
 pub mod broadcast;
 pub mod chain;
 pub mod consensus;
+pub mod margin;
 pub mod parallel;
 pub mod recovery;
 pub mod report;
@@ -54,6 +55,7 @@ pub mod run_report;
 pub mod stream;
 pub mod trace;
 
+pub use margin::margin_section;
 pub use recovery::check_recovery;
 pub use report::{CheckReport, Violation};
 pub use run_report::{attach_verdicts, check_run_report, report_verdicts};

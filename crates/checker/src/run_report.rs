@@ -51,12 +51,27 @@ pub fn report_verdicts(report: &RunReport) -> Vec<OracleVerdict> {
         .collect()
 }
 
-/// Runs every applicable oracle and stores the verdicts in the report itself.
+/// Runs every applicable oracle and stores both the verdicts and the paired
+/// distance-to-violation margins (see [`crate::margin`]) in the report itself.
 pub fn attach_verdicts(report: &mut RunReport) {
-    report.verdicts = report_verdicts(report);
+    let sections = section_reports(report);
+    report.verdicts = sections
+        .iter()
+        .map(|(oracle, section_report)| OracleVerdict {
+            oracle: oracle.to_string(),
+            passed: section_report.passed(),
+            checks: section_report.checks,
+            violations: section_report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect(),
+        })
+        .collect();
+    report.margins = crate::margin::margin_section(report, &sections);
 }
 
-fn section_reports(report: &RunReport) -> Vec<(&'static str, CheckReport)> {
+pub(crate) fn section_reports(report: &RunReport) -> Vec<(&'static str, CheckReport)> {
     let mut reports = Vec::new();
     if let Some(consensus) = &report.consensus {
         let observations: Vec<ConsensusObservation<u64>> = consensus

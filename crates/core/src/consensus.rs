@@ -28,6 +28,39 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use uba_simnet::{Envelope, NodeId, Outgoing, Protocol, Recoverable, RoundContext};
 
+/// Runtime mutation hooks for mutation-testing the fuzzing stack itself (see
+/// `uba_core::reliable_broadcast::mutation` for the pattern). Process-global:
+/// integration tests that flip a hook must run alone in their test binary.
+pub mod mutation {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// When set, a node that observes a *clean equivocation pair* in its input
+    /// tally — one sender voting exactly two distinct values, each of which is
+    /// also supported by at least one single-valued voter — decides the smaller
+    /// of the pair immediately, skipping the strong-prefer and rotor safeguards.
+    ///
+    /// The trigger shape is deliberately out of reach of every scripted
+    /// behaviour: the preset split-vote and the `Semantic`/`Equivocate`
+    /// partitions send *one* value per recipient (no per-sender pair), and the
+    /// `Noise` scatter only pairs values alongside the saturating garbage vote
+    /// from the same sender (value-set size 3, or a garbage value with no
+    /// single-valued supporter). Only an adaptive adversary that concentrates
+    /// the full plausible vocabulary — valid plus the boundary pair, no
+    /// garbage — on a single victim (`AdaptiveStrategy::StarveWeakest`)
+    /// produces the clean pair.
+    pub static DECIDE_ON_EQUIVOCATION_PAIR: AtomicBool = AtomicBool::new(false);
+
+    /// Whether the equivocation-pair early-decide mutation is active.
+    pub fn decide_on_equivocation_pair() -> bool {
+        DECIDE_ON_EQUIVOCATION_PAIR.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the equivocation-pair early-decide mutation.
+    pub fn set_decide_on_equivocation_pair(enabled: bool) {
+        DECIDE_ON_EQUIVOCATION_PAIR.store(enabled, Ordering::Relaxed);
+    }
+}
+
 use crate::membership::SenderTracker;
 use crate::quorum::{meets_one_third, meets_two_thirds};
 use crate::rotor::{RotorMessage, RotorState};
@@ -297,6 +330,15 @@ impl<V: Opinion> Protocol for Consensus<V> {
                             ConsensusMessage::Input(v) => Some(v),
                             _ => None,
                         });
+                        if mutation::decide_on_equivocation_pair() && self.decision.is_none() {
+                            if let Some(value) = clean_equivocation_pair(&tally) {
+                                self.decision = Some(Decision {
+                                    value,
+                                    phase: self.phase,
+                                    round: ctx.round,
+                                });
+                            }
+                        }
                         let mut out = Vec::new();
                         for (value, count) in tally.iter().map(|(v, s)| (v, s.len())) {
                             if meets_two_thirds(count, n_v) {
@@ -401,6 +443,31 @@ impl<V: Opinion> Protocol for Consensus<V> {
     fn output(&self) -> Option<Decision<V>> {
         self.decision.clone()
     }
+}
+
+/// Detects the [`mutation::DECIDE_ON_EQUIVOCATION_PAIR`] trigger in an input
+/// tally: a sender whose voted value-set is exactly a pair `{a, b}`, where each
+/// of `a` and `b` also has at least one supporter that voted *only* that value.
+/// Returns the smaller value of the first qualifying pair (senders iterate in
+/// identifier order, so the witness is deterministic).
+fn clean_equivocation_pair<V: Opinion>(tally: &VoteTally<V>) -> Option<V> {
+    let mut by_sender: BTreeMap<NodeId, Vec<&V>> = BTreeMap::new();
+    for (value, senders) in tally.iter() {
+        for &sender in senders {
+            by_sender.entry(sender).or_default().push(value);
+        }
+    }
+    let single_valued: BTreeSet<&V> = by_sender
+        .values()
+        .filter(|values| values.len() == 1)
+        .map(|values| values[0])
+        .collect();
+    by_sender.values().find_map(|values| match values[..] {
+        [a, b] if single_valued.contains(a) && single_valued.contains(b) => {
+            Some(a.clone().min(b.clone()))
+        }
+        _ => None,
+    })
 }
 
 #[cfg(test)]

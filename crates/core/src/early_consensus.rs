@@ -97,9 +97,11 @@ pub struct EarlyConsensus<V: Opinion> {
     started_phase: u64,
     /// Whether a message of each kind has been received during the first phase.
     seen_in_phase1: [bool; 3],
-    /// The most recent message of each kind this node sent (`None` = never sent),
-    /// used by the substitution rule.
-    last_sent: [Option<InstanceVote<V>>; 3],
+    /// The most recent message of each kind this node sent, tagged with the phase it
+    /// was sent in (`None` = never sent). The substitution rule only ever uses the
+    /// vote when it is from the *current* phase; a stale vote must not be replayed on
+    /// behalf of members that have since decided and gone silent.
+    last_sent: [Option<(u64, InstanceVote<V>)>; 3],
     /// Strong-prefer tally stashed in the rotor round, resolved one round later.
     stashed_strong: VoteTally<Option<V>>,
     /// The decision (`Some(None)` means "decided ⊥" — terminated with no output pair).
@@ -170,7 +172,11 @@ impl<V: Opinion> EarlyConsensus<V> {
     /// * a kind first heard in phase 1 fills `⊥` for every member that sent nothing of
     ///   that kind;
     /// * afterwards, a silent member is substituted with whatever this node itself
-    ///   sent most recently for that kind (possibly an abstention, which adds nothing).
+    ///   sent for that kind **in the current phase** (possibly an abstention, which
+    ///   adds nothing); if this node sent nothing for the kind this phase, the silent
+    ///   are read as `⊥`. Replaying a vote from an earlier phase would let a single
+    ///   straggler manufacture a unanimous quorum out of its own stale vote once the
+    ///   other members have decided and stopped talking — violating agreement.
     fn tally(
         &mut self,
         kind: Kind,
@@ -206,12 +212,11 @@ impl<V: Opinion> EarlyConsensus<V> {
             return tally;
         }
 
-        // Substitution for silent members.
-        let substitute: Option<InstanceVote<V>> = if phase == 1 && self.last_sent[idx].is_none() {
-            // First phase, first contact with this kind: fill ⊥ for the silent.
-            Some(InstanceVote::Value(None))
-        } else {
-            self.last_sent[idx].clone()
+        // Substitution for silent members: this node's own vote from the current
+        // phase if it cast one, otherwise `⊥`.
+        let substitute: Option<InstanceVote<V>> = match &self.last_sent[idx] {
+            Some((sent_phase, vote)) if *sent_phase == phase => Some(vote.clone()),
+            _ => Some(InstanceVote::Value(None)),
         };
         if let Some(InstanceVote::Value(value)) = substitute {
             for member in members.members() {
@@ -223,18 +228,18 @@ impl<V: Opinion> EarlyConsensus<V> {
         tally
     }
 
-    fn record_sent(&mut self, kind: Kind, vote: InstanceVote<V>) {
-        self.last_sent[kind as usize] = Some(vote);
+    fn record_sent(&mut self, kind: Kind, phase: u64, vote: InstanceVote<V>) {
+        self.last_sent[kind as usize] = Some((phase, vote));
     }
 
     /// Phase step 1: the node broadcasts its input opinion if it has one (lines 4–6).
-    pub fn step_input(&mut self) -> Option<ParallelMessage<V>> {
+    pub fn step_input(&mut self, phase: u64) -> Option<ParallelMessage<V>> {
         if self.decided.is_some() {
             return None;
         }
         match self.opinion.clone() {
             Some(value) => {
-                self.record_sent(Kind::Input, InstanceVote::Value(Some(value.clone())));
+                self.record_sent(Kind::Input, phase, InstanceVote::Value(Some(value.clone())));
                 Some(ParallelMessage::Input(self.instance, value))
             }
             None => None,
@@ -257,11 +262,11 @@ impl<V: Opinion> EarlyConsensus<V> {
             .find(|(_, count)| meets_two_thirds(*count, n_v));
         match preferred {
             Some((value, _)) => {
-                self.record_sent(Kind::Prefer, InstanceVote::Value(value.clone()));
+                self.record_sent(Kind::Prefer, phase, InstanceVote::Value(value.clone()));
                 ParallelMessage::Prefer(self.instance, value)
             }
             None => {
-                self.record_sent(Kind::Prefer, InstanceVote::Abstain);
+                self.record_sent(Kind::Prefer, phase, InstanceVote::Abstain);
                 ParallelMessage::NoPreference(self.instance)
             }
         }
@@ -288,11 +293,15 @@ impl<V: Opinion> EarlyConsensus<V> {
             .find(|(_, count)| meets_two_thirds(*count, n_v));
         match strong {
             Some((value, _)) => {
-                self.record_sent(Kind::StrongPrefer, InstanceVote::Value(value.clone()));
+                self.record_sent(
+                    Kind::StrongPrefer,
+                    phase,
+                    InstanceVote::Value(value.clone()),
+                );
                 ParallelMessage::StrongPrefer(self.instance, value)
             }
             None => {
-                self.record_sent(Kind::StrongPrefer, InstanceVote::Abstain);
+                self.record_sent(Kind::StrongPrefer, phase, InstanceVote::Abstain);
                 ParallelMessage::NoStrongPreference(self.instance)
             }
         }
@@ -369,7 +378,7 @@ mod tests {
     fn unanimous_instance_decides_its_value_in_one_phase() {
         let m = members(&[1, 2, 3, 4]);
         let mut inst = EarlyConsensus::with_input(7, 9u32, 1);
-        assert_eq!(inst.step_input(), Some(ParallelMessage::Input(7, 9)));
+        assert_eq!(inst.step_input(1), Some(ParallelMessage::Input(7, 9)));
         // Everyone sent input(9).
         let prefer = inst.step_prefer(
             &value_votes(&[(1, Some(9)), (2, Some(9)), (3, Some(9)), (4, Some(9))]),
@@ -405,7 +414,7 @@ mod tests {
         // no correct node has the pair, so the ⊥ fills dominate and the instance dies.
         let m = members(&[1, 2, 3, 4, 5]);
         let mut inst: EarlyConsensus<u32> = EarlyConsensus::without_input(3, 1);
-        assert_eq!(inst.step_input(), None);
+        assert_eq!(inst.step_input(1), None);
         // Only the Byzantine node 5 sent input(42); members 1–4 are filled with ⊥.
         let prefer = inst.step_prefer(&value_votes(&[(5, Some(42))]), &m, 5, 1);
         assert_eq!(
@@ -454,7 +463,7 @@ mod tests {
     fn abstentions_suppress_substitution_for_their_sender() {
         let m = members(&[1, 2, 3, 4, 5, 6]);
         let mut inst = EarlyConsensus::with_input(1, 7u32, 1);
-        inst.step_input();
+        inst.step_input(1);
         // Nodes 1–3 vote 7, nodes 4–5 abstain explicitly, node 6 is silent.
         // n_v = 6 → two thirds needs 4. Votes: 3 real + 1 substitution (node 6 silent,
         // we sent input(7)) = 4 → prefer(7).
@@ -466,10 +475,39 @@ mod tests {
     }
 
     #[test]
+    fn stale_votes_are_not_replayed_for_silent_members_in_later_phases() {
+        // Regression: a node whose opinion was reset to ⊥ at the end of phase 1 must
+        // not substitute its *phase-1* input(x) for members that decided ⊥ and went
+        // silent — that manufactured a unanimous quorum for x at a single straggler
+        // and broke agreement (found by the margin-guided search on total-order).
+        let m = members(&[1, 2, 3, 4]);
+        let mut inst = EarlyConsensus::with_input(199, 1u32, 1);
+        inst.step_input(1);
+        inst.step_prefer(&value_votes(&[(1, Some(1))]), &m, 4, 1);
+        inst.step_strong(&[], &m, 4, 1);
+        // The rotor round shows explicit abstentions, so strong support stays below
+        // n_v/3 and the node adopts the coordinator's ⊥ opinion.
+        let abstentions: Vec<(NodeId, InstanceVote<u32>)> = (2..=4)
+            .map(|id| (NodeId::new(id), InstanceVote::Abstain))
+            .collect();
+        inst.step_rotor_stash(&abstentions, &m, 1);
+        inst.step_resolve(Some(None), 4, 1);
+        assert_eq!(inst.opinion(), &None);
+        assert!(inst.decision().is_none());
+
+        // Phase 2: opinion is ⊥, so the node broadcasts no input; every other member
+        // is silent (they already decided ⊥). The silent must be read as ⊥ — not as
+        // echoes of this node's stale phase-1 input(1).
+        assert_eq!(inst.step_input(2), None);
+        let prefer = inst.step_prefer(&[], &m, 4, 2);
+        assert_eq!(prefer, ParallelMessage::Prefer(199, None));
+    }
+
+    #[test]
     fn coordinator_opinion_is_adopted_when_strong_support_is_low() {
         let m = members(&[1, 2, 3, 4, 5, 6]);
         let mut inst = EarlyConsensus::with_input(2, 1u32, 1);
-        inst.step_input();
+        inst.step_input(1);
         inst.step_prefer(&value_votes(&[(1, Some(1)), (2, Some(0))]), &m, 6, 1);
         inst.step_strong(&value_votes(&[(1, Some(1))]), &m, 6, 1);
         // Almost everyone explicitly reports "no strong preference", so fewer than

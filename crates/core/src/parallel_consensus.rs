@@ -237,9 +237,10 @@ impl<V: Opinion> Protocol for ParallelConsensus<V> {
                                 );
                             }
                         }
+                        let phase = self.phase;
                         self.instances
                             .values_mut()
-                            .filter_map(|i| i.step_input())
+                            .filter_map(|i| i.step_input(phase))
                             .collect()
                     }
                     PhaseStep::Prefer => {

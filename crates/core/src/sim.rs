@@ -38,13 +38,18 @@ use std::collections::BTreeSet;
 use uba_simnet::adversary::SilentAdversary;
 use uba_simnet::sim::scripted_attack_behavior;
 use uba_simnet::vocab::{PayloadVocab, VocabScene};
-use uba_simnet::{AdversaryView, FnAdversary, NodeId, Protocol, Recoverable, Snapshotter};
+use uba_simnet::{
+    Adversary, AdversaryView, Directed, FnAdversary, NodeId, Protocol, Recoverable, Snapshotter,
+};
 
-pub use uba_simnet::attack::{ActorRange, AttackBehavior, AttackPlan, AttackStep};
+pub use uba_simnet::attack::{
+    ActorRange, AdaptiveStrategy, AttackBehavior, AttackPlan, AttackStep,
+};
 pub use uba_simnet::sim::{
     approx_section_from_values, consensus_section_from_parts, ApproxSection, BroadcastSection,
-    ChainSection, ConsensusDecision, ConsensusSection, MessageStats, NodeAcceptSet, NodePairs,
-    NodeReport, OracleVerdict, ParallelSection, RecoverySection, RotorSection, SpreadSection,
+    ChainSection, ConsensusDecision, ConsensusSection, MarginMetric, MarginSection, MessageStats,
+    NodeAcceptSet, NodePairs, NodeReport, OracleMargin, OracleVerdict, ParallelSection,
+    RecoverySection, RotorSection, SpreadSection,
 };
 pub use uba_simnet::sim::{
     AdversaryKind, BoxedAdversary, BuildContext, Harness, NamedAdversary, ProtocolFactory,
@@ -1180,9 +1185,18 @@ impl<E: Opinion + Send + Sync + 'static> ProtocolFactory for TotalOrderFactory<E
     ) -> NamedAdversary<crate::total_order::TotalOrderMessage<E>> {
         match kind {
             AdversaryKind::Silent => NamedAdversary::new(kind.name(), SilentAdversary),
-            // Total-order messages carry arbitrary event payloads the scripted
-            // strategies cannot fabricate generically; protocol-specific attacks
-            // (e.g. MembershipFlapper) go through `build_with_adversary`.
+            // The strongest attack the family's message language admits: a
+            // split-brain schedule equivocating the embedded consensus votes of a
+            // Byzantine-witnessed event between the two halves of the correct
+            // nodes (see [`total_order_split_brain`]). At `n = 3f` it splits the
+            // chain; inside the bound the correct majority heals the split.
+            AdversaryKind::SplitVote | AdversaryKind::Worst => NamedAdversary::new(
+                "split-brain",
+                total_order_split_brain(self.plan.events.first().map(|(_, _, e)| e.clone())),
+            ),
+            // The remaining scripted strategies cannot fabricate arbitrary event
+            // payloads; protocol-specific attacks (e.g. MembershipFlapper) go
+            // through `build_with_adversary`.
             _ => NamedAdversary::new("silent", SilentAdversary),
         }
     }
@@ -1288,6 +1302,94 @@ impl<E: Opinion + 'static> PayloadVocab<crate::total_order::TotalOrderMessage<E>
         }
         out
     }
+}
+
+/// The split-brain adversary for the total-order family: the sharpest attack its
+/// message language admits, and the machine behind the family's `n = 3f` boundary
+/// demonstration.
+///
+/// Each Byzantine identity runs the same deterministic schedule every round `t`:
+///
+/// * `present` to everyone (membership), and `Instance(t, Init)` to everyone so the
+///   identity is counted into every embedded instance's `n_v` before the sender set
+///   freezes (the `Init` lands on the instance's echo round);
+/// * a fabricated `Event(t, e)` witnessed by the Byzantine identity — but only to
+///   the first half **A** of the correct nodes, so only A holds the input pair;
+/// * the equivocated vote ladder for that fabricated instance, each message timed
+///   to land exactly on the inner round that tallies its kind (input votes on local
+///   round 4, prefer on 5, strong-prefer on 6): value-side votes to A, `⊥`-side
+///   votes to the other half **B**.
+///
+/// At `n = 3f` the `2n_v/3` quorum at an A-node is reachable with the `f` Byzantine
+/// votes on top of A's own, while B simultaneously reaches a `⊥` quorum — the two
+/// halves decide differently in the very first phase and the chains diverge. Inside
+/// the bound (`n > 3f`) neither side can reach a quorum without a majority of the
+/// correct nodes, the plurality rule pulls every straggler onto the common value,
+/// and agreement holds — which is exactly the tightness statement of Theorem 6.
+pub fn total_order_split_brain<E: Opinion>(
+    event: Option<E>,
+) -> impl Adversary<crate::total_order::TotalOrderMessage<E>> {
+    FnAdversary::new(
+        move |view: &AdversaryView<'_, crate::total_order::TotalOrderMessage<E>>| {
+            use crate::early_consensus::ParallelMessage as Pm;
+            use crate::total_order::TotalOrderMessage as Tm;
+            let Some(event) = event.clone() else {
+                return Vec::new();
+            };
+            let t = view.round;
+            let half = view.correct_ids.len().div_ceil(2);
+            let (side_a, side_b) = view.correct_ids.split_at(half);
+            let mut out = Vec::new();
+            for &actor in view.byzantine_ids {
+                let instance = actor.raw();
+                for &to in view.correct_ids {
+                    out.push(Directed::new(actor, to, Tm::Present));
+                    out.push(Directed::new(actor, to, Tm::Instance(t, Pm::Init)));
+                }
+                for &to in side_a {
+                    out.push(Directed::new(actor, to, Tm::Event(t, event.clone())));
+                    if let Some(target) = t.checked_sub(2).filter(|r| *r >= 1) {
+                        out.push(Directed::new(
+                            actor,
+                            to,
+                            Tm::Instance(target, Pm::Input(instance, event.clone())),
+                        ));
+                    }
+                    if let Some(target) = t.checked_sub(3).filter(|r| *r >= 1) {
+                        out.push(Directed::new(
+                            actor,
+                            to,
+                            Tm::Instance(target, Pm::Prefer(instance, Some(event.clone()))),
+                        ));
+                    }
+                    if let Some(target) = t.checked_sub(4).filter(|r| *r >= 1) {
+                        out.push(Directed::new(
+                            actor,
+                            to,
+                            Tm::Instance(target, Pm::StrongPrefer(instance, Some(event.clone()))),
+                        ));
+                    }
+                }
+                for &to in side_b {
+                    if let Some(target) = t.checked_sub(3).filter(|r| *r >= 1) {
+                        out.push(Directed::new(
+                            actor,
+                            to,
+                            Tm::Instance(target, Pm::Prefer(instance, None)),
+                        ));
+                    }
+                    if let Some(target) = t.checked_sub(4).filter(|r| *r >= 1) {
+                        out.push(Directed::new(
+                            actor,
+                            to,
+                            Tm::Instance(target, Pm::StrongPrefer(instance, None)),
+                        ));
+                    }
+                }
+            }
+            out
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------

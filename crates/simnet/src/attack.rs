@@ -146,6 +146,19 @@ pub enum AttackBehavior {
         /// The vocabulary class to draw from.
         strategy: SemanticStrategy,
     },
+    /// A stateful adversary that *reacts to the observed traffic*: it tracks how
+    /// many messages every correct node has received so far and re-targets its
+    /// vocabulary payloads each round according to the chosen
+    /// [`AdaptiveStrategy`]. Deterministic under the run seed (ties break on the
+    /// smallest identifier), so plans containing adaptive steps replay and
+    /// shrink exactly like scripted ones. Factories without a payload vocabulary
+    /// substitute their worst scripted attack (same rule as [`Noise`]).
+    ///
+    /// [`Noise`]: AttackBehavior::Noise
+    Adaptive {
+        /// The traffic-reactive targeting rule.
+        strategy: AdaptiveStrategy,
+    },
 }
 
 /// Which class of a [`PayloadVocab`](crate::vocab::PayloadVocab) the
@@ -184,6 +197,47 @@ impl AttackBehavior {
             AttackBehavior::Outliers { .. } => "outliers".to_string(),
             AttackBehavior::Noise => "noise".to_string(),
             AttackBehavior::Semantic { strategy } => format!("semantic-{}", strategy.name()),
+            AttackBehavior::Adaptive { strategy } => format!("adaptive-{}", strategy.name()),
+        }
+    }
+}
+
+/// Traffic-reactive targeting rules for [`AttackBehavior::Adaptive`]. All three
+/// read the same signal — the cumulative number of messages each correct node
+/// has received from correct nodes since the step began — and differ only in
+/// where they aim the payload vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdaptiveStrategy {
+    /// Flood the correct node that has received the *fewest* messages so far
+    /// with the full plausible vocabulary (valid + boundary payloads, no
+    /// garbage): the node with the least information gets force-fed every
+    /// conflicting story at once, while everyone else hears nothing.
+    StarveWeakest,
+    /// Equivocate only toward the minority partition: nodes below the median
+    /// received-message count get the high boundary payload, the rest get the
+    /// low one — concentrated equivocation aimed where it is least likely to be
+    /// outvoted.
+    EquivocateMinority,
+    /// Imitate correct participants (valid payloads) toward everyone *except*
+    /// the node that has received the most traffic — starving whichever node is
+    /// closest to assembling a quorum.
+    WithholdNearQuorum,
+}
+
+impl AdaptiveStrategy {
+    /// Every adaptive strategy, for grids and mutation moves.
+    pub const ALL: [AdaptiveStrategy; 3] = [
+        AdaptiveStrategy::StarveWeakest,
+        AdaptiveStrategy::EquivocateMinority,
+        AdaptiveStrategy::WithholdNearQuorum,
+    ];
+
+    /// Stable lowercase name used in plan labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdaptiveStrategy::StarveWeakest => "starve-weakest",
+            AdaptiveStrategy::EquivocateMinority => "equivocate-minority",
+            AdaptiveStrategy::WithholdNearQuorum => "withhold-near-quorum",
         }
     }
 }

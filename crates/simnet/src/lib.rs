@@ -103,7 +103,8 @@ pub mod wal;
 
 pub use adversary::{Adversary, AdversaryView, FnAdversary, SilentAdversary};
 pub use attack::{
-    ActorRange, AttackBehavior, AttackPlan, AttackStep, PlanAdversary, SemanticStrategy,
+    ActorRange, AdaptiveStrategy, AttackBehavior, AttackPlan, AttackStep, PlanAdversary,
+    SemanticStrategy,
 };
 pub use delay::{DelayEngine, DelayModel, PartitionSpec};
 pub use dynamic::{ChurnEvent, ChurnSchedule};
@@ -131,7 +132,7 @@ pub use stream::{
 pub use sweep::{CrashPlan, ScenarioGrid, SweepCase};
 pub use trace::{TraceEvent, TraceLog};
 pub use traffic::{RoundTraffic, SentRef, TrafficItem};
-pub use vocab::{input_extremes, PayloadVocab, VocabAdversary, VocabScene};
+pub use vocab::{input_extremes, AdaptiveAdversary, PayloadVocab, VocabAdversary, VocabScene};
 pub use wal::{
     RecoveryManager, RestartPolicy, RestartRecord, Snapshotter, Wal, WalConfig, WalFault, WalRecord,
 };

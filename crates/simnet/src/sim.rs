@@ -527,6 +527,13 @@ pub fn scripted_attack_behavior<F: ProtocolFactory + ?Sized>(
             ),
             None => factory.adversary(AdversaryKind::Worst, ctx),
         },
+        AttackBehavior::Adaptive { strategy } => match factory.payload_vocab(ctx) {
+            Some(vocab) => NamedAdversary::new(
+                format!("adaptive-{}", strategy.name()),
+                crate::vocab::AdaptiveAdversary::new(vocab, *strategy, ctx.spec.seed),
+            ),
+            None => factory.adversary(AdversaryKind::Worst, ctx),
+        },
     }
 }
 
@@ -1037,6 +1044,7 @@ impl<F: ProtocolFactory> Harness<F> {
             },
             stream: None,
             verdicts: Vec::new(),
+            margins: MarginSection::default(),
         }
     }
 }
@@ -1270,6 +1278,60 @@ pub struct RecoverySection {
     pub restarts: Vec<RestartRecord>,
 }
 
+/// One named quantity contributing to an oracle margin (e.g. the
+/// rounds-to-budget slack behind a `liveness` margin). Purely informational:
+/// the invariant lives on [`OracleMargin::margin`], not on individual metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarginMetric {
+    /// Metric name (e.g. `"termination-slack"`).
+    pub name: String,
+    /// Metric value in the family's own units (rounds, nodes, scaled spread).
+    pub value: u64,
+}
+
+/// Quantitative distance-to-violation for one oracle family, attached by
+/// `uba_checker::margin` alongside the pass/fail [`OracleVerdict`]s.
+///
+/// Invariant (enforced by the checker, pinned by `tests/margin_oracles.rs`):
+/// `margin == 0` exactly when the paired verdict fails. A passing oracle
+/// always reports `margin >= 1`, with larger values meaning the run was
+/// further from violating the property — the fitness signal the search-guided
+/// fuzzer descends.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleMargin {
+    /// The oracle this margin is paired with (`"consensus"`, `"liveness"`, …).
+    pub oracle: String,
+    /// Distance to violation: 0 ⟺ the paired verdict fails, ≥ 1 otherwise.
+    pub margin: u64,
+    /// The raw quantities behind the margin, in a fixed per-family order.
+    pub metrics: Vec<MarginMetric>,
+}
+
+/// Margin section of a report: one [`OracleMargin`] per applicable oracle
+/// family, in a fixed order. Defaults to empty so pre-margin recorded reports
+/// still deserialise.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarginSection {
+    /// Per-oracle margins, in attachment order.
+    pub oracles: Vec<OracleMargin>,
+}
+
+impl MarginSection {
+    /// The margin paired with `oracle`, if that family applied to the run.
+    pub fn margin_for(&self, oracle: &str) -> Option<u64> {
+        self.oracles
+            .iter()
+            .find(|m| m.oracle == oracle)
+            .map(|m| m.margin)
+    }
+
+    /// The smallest margin across every attached family — the run's overall
+    /// distance to its nearest violation (0 when some oracle failed).
+    pub fn min_margin(&self) -> Option<u64> {
+        self.oracles.iter().map(|m| m.margin).min()
+    }
+}
+
 /// A property-oracle verdict attached by the `checker` crate.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OracleVerdict {
@@ -1322,6 +1384,11 @@ pub struct RunReport {
     pub stream: Option<crate::stream::StreamSection>,
     /// Property-oracle verdicts (attached by `uba_checker::attach_verdicts`).
     pub verdicts: Vec<OracleVerdict>,
+    /// Per-oracle distance-to-violation margins (attached by
+    /// `uba_checker::attach_verdicts` next to the verdicts). Empty in
+    /// pre-margin recorded reports.
+    #[serde(default)]
+    pub margins: MarginSection,
 }
 
 impl RunReport {

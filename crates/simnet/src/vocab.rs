@@ -28,10 +28,11 @@
 //! handle — so a noise round costs O(|vocabulary|) payload allocations, never
 //! O(|vocabulary| · n), keeping the zero-copy allocation accounting intact.
 
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 use crate::adversary::{Adversary, AdversaryView};
-use crate::attack::SemanticStrategy;
+use crate::attack::{AdaptiveStrategy, SemanticStrategy};
 use crate::id::NodeId;
 use crate::message::Directed;
 use crate::shared::Shared;
@@ -242,6 +243,143 @@ impl<P: Hash> Adversary<P> for VocabAdversary<P> {
     }
 }
 
+/// The adversary behind `AttackBehavior::Adaptive`: a *stateful* strategy that
+/// accumulates, round over round, how many messages every correct node has
+/// received from correct nodes, and re-aims its vocabulary payloads at
+/// whichever node the chosen [`AdaptiveStrategy`] singles out.
+///
+/// Everything is deterministic: the received counts live in a [`BTreeMap`], all
+/// arg-min/arg-max ties break toward the smallest identifier, and payload
+/// enumeration goes through the same pure-in-the-scene [`PayloadVocab`] calls
+/// the scripted vocabulary adversaries use — so runs replay byte-for-byte under
+/// the scenario seed and adaptive plan steps shrink like scripted ones.
+///
+/// Fabrications are hoisted exactly like [`VocabAdversary`]: one [`Shared`]
+/// allocation per distinct payload per round, fan-out by handle.
+pub struct AdaptiveAdversary<P> {
+    vocab: Box<dyn PayloadVocab<P>>,
+    strategy: AdaptiveStrategy,
+    seed: u64,
+    /// Cumulative messages received by each correct node since the step began.
+    received: BTreeMap<NodeId, u64>,
+}
+
+impl<P: Hash> AdaptiveAdversary<P> {
+    /// Creates an adaptive adversary over the factory's vocabulary. `seed` is
+    /// the scenario seed, exposed to the vocabulary through the scene.
+    pub fn new(vocab: Box<dyn PayloadVocab<P>>, strategy: AdaptiveStrategy, seed: u64) -> Self {
+        AdaptiveAdversary {
+            vocab,
+            strategy,
+            seed,
+            received: BTreeMap::new(),
+        }
+    }
+
+    /// Folds this round's observed correct traffic into the cumulative counts.
+    fn observe(&mut self, view: &AdversaryView<'_, P>) {
+        for &id in view.correct_ids {
+            self.received.entry(id).or_insert(0);
+        }
+        for sent in view.traffic() {
+            if view.correct_ids.contains(&sent.to) {
+                *self.received.entry(sent.to).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The live node with the smallest received count (ties → smallest id).
+    fn weakest(&self, correct_ids: &[NodeId]) -> Option<NodeId> {
+        correct_ids
+            .iter()
+            .copied()
+            .min_by_key(|id| (self.received.get(id).copied().unwrap_or(0), *id))
+    }
+
+    /// The live node with the largest received count (ties → smallest id).
+    fn strongest(&self, correct_ids: &[NodeId]) -> Option<NodeId> {
+        correct_ids.iter().copied().max_by_key(|id| {
+            (
+                self.received.get(id).copied().unwrap_or(0),
+                std::cmp::Reverse(*id),
+            )
+        })
+    }
+
+    /// Median received count over the live correct nodes.
+    fn median_received(&self, correct_ids: &[NodeId]) -> u64 {
+        let mut counts: Vec<u64> = correct_ids
+            .iter()
+            .map(|id| self.received.get(id).copied().unwrap_or(0))
+            .collect();
+        counts.sort_unstable();
+        counts.get(counts.len() / 2).copied().unwrap_or(0)
+    }
+}
+
+impl<P: Hash> Adversary<P> for AdaptiveAdversary<P> {
+    fn step(&mut self, view: &AdversaryView<'_, P>) -> Vec<Directed<P>> {
+        self.observe(view);
+        let scene = VocabScene {
+            round: view.round,
+            seed: self.seed,
+            correct_ids: view.correct_ids,
+            byzantine_ids: view.byzantine_ids,
+        };
+        let mut out = Vec::new();
+        match self.strategy {
+            AdaptiveStrategy::StarveWeakest => {
+                let Some(victim) = self.weakest(view.correct_ids) else {
+                    return out;
+                };
+                // The full *plausible* vocabulary — every valid and boundary
+                // payload, but no garbage — concentrated on the single node
+                // with the least information. No scripted behaviour produces
+                // this shape: the boundary pair lands on one recipient from
+                // one sender without the garbage flood that tags Noise.
+                let mut payloads = self.vocab.valid(&scene);
+                payloads.extend(self.vocab.boundary(&scene));
+                let victim_index = view.correct_ids.iter().position(|&id| id == victim);
+                VocabAdversary::fabricate(&mut out, view, payloads, |i, _| Some(i) == victim_index);
+            }
+            AdaptiveStrategy::EquivocateMinority => {
+                let payloads = self.vocab.boundary(&scene);
+                if payloads.len() < 2 {
+                    // No equivocation pair to aim: fall back to imitation.
+                    let valid = self.vocab.valid(&scene);
+                    VocabAdversary::fabricate(&mut out, view, valid, |_, _| true);
+                    return out;
+                }
+                let median = self.median_received(view.correct_ids);
+                let minority: Vec<bool> = view
+                    .correct_ids
+                    .iter()
+                    .map(|id| self.received.get(id).copied().unwrap_or(0) < median)
+                    .collect();
+                // Minority partition hears the last boundary payload (the
+                // "high" story), everyone else the first ("low") — each
+                // recipient hears exactly one side, aimed by observed traffic.
+                let last = payloads.len() - 1;
+                VocabAdversary::fabricate(&mut out, view, payloads, |i, j| {
+                    if minority.get(i).copied().unwrap_or(false) {
+                        j == last
+                    } else {
+                        j == 0
+                    }
+                });
+            }
+            AdaptiveStrategy::WithholdNearQuorum => {
+                let leader = self.strongest(view.correct_ids);
+                let leader_index =
+                    leader.and_then(|id| view.correct_ids.iter().position(|&node| node == id));
+                let valid = self.vocab.valid(&scene);
+                VocabAdversary::fabricate(&mut out, view, valid, |i, _| Some(i) != leader_index);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +518,106 @@ mod tests {
         );
         assert_eq!(scene.derived_value(1), scene.derived_value(1));
         assert_ne!(scene.derived_value(1), later.derived_value(1));
+    }
+
+    #[test]
+    fn starve_weakest_concentrates_the_plausible_vocab_on_one_victim() {
+        let t = RoundTraffic::new();
+        let mut adv =
+            AdaptiveAdversary::new(Box::new(ToyVocab), AdaptiveStrategy::StarveWeakest, 0);
+        let out = adv.step(&view(1, &t));
+        // No traffic observed yet: every count is 0, the tie breaks to the
+        // smallest id. valid {1} + boundary {10, 11} from both actors.
+        assert_eq!(out.len(), 2 * 3);
+        assert!(out.iter().all(|m| m.to == CORRECT[0]));
+        let mut values: Vec<u64> = out.iter().map(|m| *m.payload()).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values, vec![1, 10, 11], "valid + boundary, no garbage");
+    }
+
+    #[test]
+    fn starve_weakest_retargets_as_observed_traffic_accumulates() {
+        let mut t = RoundTraffic::new();
+        t.begin_round(CORRECT.iter().copied().chain(BYZ.iter().copied()));
+        // Every correct node except CORRECT[2] hears something in round 1.
+        for &to in &[CORRECT[0], CORRECT[1], CORRECT[3]] {
+            t.push_unicast(Directed::new(CORRECT[0], to, 5u64));
+        }
+        let mut adv =
+            AdaptiveAdversary::new(Box::new(ToyVocab), AdaptiveStrategy::StarveWeakest, 0);
+        let out = adv.step(&view(1, &t));
+        assert!(
+            out.iter().all(|m| m.to == CORRECT[2]),
+            "the victim is the node with the fewest received messages"
+        );
+    }
+
+    #[test]
+    fn withhold_near_quorum_starves_the_busiest_node() {
+        let mut t = RoundTraffic::new();
+        t.begin_round(CORRECT.iter().copied().chain(BYZ.iter().copied()));
+        t.push_unicast(Directed::new(CORRECT[0], CORRECT[1], 5u64));
+        let mut adv =
+            AdaptiveAdversary::new(Box::new(ToyVocab), AdaptiveStrategy::WithholdNearQuorum, 0);
+        let out = adv.step(&view(1, &t));
+        assert!(
+            out.iter().all(|m| m.to != CORRECT[1]),
+            "the leader hears nothing"
+        );
+        assert!(out.iter().all(|m| m.payload == 1), "imitation uses valid");
+        assert_eq!(out.len(), 2 * 3, "2 actors × the 3 non-leader nodes");
+    }
+
+    #[test]
+    fn equivocate_minority_splits_the_boundary_pair_by_received_count() {
+        let mut t = RoundTraffic::new();
+        t.begin_round(CORRECT.iter().copied().chain(BYZ.iter().copied()));
+        // CORRECT[0] and CORRECT[1] are behind; the rest hear one message.
+        for &to in &[CORRECT[2], CORRECT[3]] {
+            t.push_unicast(Directed::new(CORRECT[0], to, 5u64));
+        }
+        let mut adv =
+            AdaptiveAdversary::new(Box::new(ToyVocab), AdaptiveStrategy::EquivocateMinority, 0);
+        let out = adv.step(&view(1, &t));
+        for m in &out {
+            let minority = m.to == CORRECT[0] || m.to == CORRECT[1];
+            let expected = if minority { 11 } else { 10 };
+            assert_eq!(
+                *m.payload(),
+                expected,
+                "minority hears high, majority hears low"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_state_accumulates_across_rounds_deterministically() {
+        let make =
+            || AdaptiveAdversary::new(Box::new(ToyVocab), AdaptiveStrategy::StarveWeakest, 7);
+        let mut t1 = RoundTraffic::new();
+        t1.begin_round(CORRECT.iter().copied().chain(BYZ.iter().copied()));
+        t1.push_unicast(Directed::new(CORRECT[1], CORRECT[0], 9u64));
+        let replay = |adv: &mut AdaptiveAdversary<u64>, t1: &RoundTraffic<u64>| {
+            let empty = RoundTraffic::new();
+            let r1: Vec<(NodeId, u64)> = adv
+                .step(&view(1, t1))
+                .into_iter()
+                .map(|m| (m.to, *m.payload()))
+                .collect();
+            let r2: Vec<(NodeId, u64)> = adv
+                .step(&view(2, &empty))
+                .into_iter()
+                .map(|m| (m.to, *m.payload()))
+                .collect();
+            (r1, r2)
+        };
+        let a = replay(&mut make(), &t1);
+        let b = replay(&mut make(), &t1);
+        assert_eq!(a, b, "same observations, same targeting");
+        // After round 1, CORRECT[0] has heard one message; the round-2 victim
+        // moves to the next-smallest untouched id.
+        assert!(a.1.iter().all(|&(to, _)| to == CORRECT[1]));
     }
 
     #[test]

@@ -161,6 +161,77 @@ fn the_boundary_matrix_states_a_theorem_for_every_family() {
     );
 }
 
+/// The plan-axis split that gives the margin-guided search its teeth, pinned:
+/// the *boundary* grid speaks the adaptive vocabulary (the stateful schedules
+/// are what demonstrate tightness for families that survive every oblivious
+/// plan), while the *default* admissible grid carries no adaptive behaviour at
+/// all — an adaptive schedule in a search finding therefore always came from
+/// the search's own mutation moves, never from the seed grid.
+#[test]
+fn adaptive_schedules_are_a_boundary_and_search_vocabulary_not_a_grid_axis() {
+    use uba_bench::fuzz::{boundary_plans, default_plans};
+    use uba_simnet::attack::{AdaptiveStrategy, AttackBehavior};
+
+    let adaptive_strategies = |plans: &[AttackPlan]| -> Vec<AdaptiveStrategy> {
+        plans
+            .iter()
+            .flat_map(|plan| plan.steps.iter())
+            .filter_map(|step| match step.behavior {
+                AttackBehavior::Adaptive { strategy } => Some(strategy),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let boundary = adaptive_strategies(&boundary_plans());
+    assert!(
+        boundary.contains(&AdaptiveStrategy::StarveWeakest)
+            && boundary.contains(&AdaptiveStrategy::WithholdNearQuorum),
+        "the boundary plan axis carries the stateful adaptive schedules: {boundary:?}"
+    );
+    for smoke in [true, false] {
+        assert_eq!(
+            adaptive_strategies(&default_plans(smoke)),
+            Vec::<AdaptiveStrategy>::new(),
+            "default_plans(smoke = {smoke}) must stay adaptive-free — the \
+             search's advantage over the grid sweep depends on it"
+        );
+    }
+}
+
+/// The search-sharpened total-order pin. The family's boundary demonstration
+/// is the split-brain schedule (per-side vote ladders that reach a value
+/// quorum on one half and a `⊥` quorum on the other, exactly what `n = 3f`
+/// permits), and it already fires at the smallest boundary point the grid
+/// enumerates: the shrunk counterexample needs no more than n = 3 total nodes
+/// — well under the blanket ≤ 8 pin of the matrix test above.
+#[test]
+fn the_total_order_boundary_demonstration_is_minimal() {
+    let matrix = boundary_matrix(true, 4, boundary_id_spaces());
+    let row = matrix
+        .iter()
+        .find(|row| row.protocol == ProtocolId::TotalOrder)
+        .expect("total-order row exists");
+    let ce = row
+        .counterexample
+        .as_ref()
+        .expect("total-order yields an n = 3f counterexample");
+    assert!(
+        ce.shrunk.spec.n() <= 3,
+        "the total-order demonstration shrinks to the minimal boundary point, \
+         got n = {} ({})",
+        ce.shrunk.spec.n(),
+        ce.shrunk.describe()
+    );
+    assert!(
+        ce.failures
+            .iter()
+            .any(|failure| failure.contains("total-order")),
+        "the demonstration violates the chain-prefix property: {:?}",
+        ce.failures
+    );
+}
+
 /// Shrinking never trades one bug for another: every accepted move keeps a
 /// failure with the *same property id* the original case violated.
 #[test]

@@ -150,6 +150,151 @@ fn shrunk_reproducers_replay_the_same_property_id() {
     }
 }
 
+/// Guard parity for the search's reproducer file: a `SEARCH_counterexample.json`
+/// is the same [`Counterexample`] JSON a grid fuzz writes, judged by the same
+/// [`replay_failures`] oracle — so the stale-reproducer guard (a reproducer
+/// that replays green makes `fuzz --replay` exit non-zero) covers search
+/// findings exactly like grid findings. This runs a small boundary-seeded
+/// search, round-trips its first counterexample through JSON, and checks the
+/// replay reproduces the recorded failures with an original property id.
+///
+/// [`Counterexample`]: uba_bench::fuzz::Counterexample
+#[test]
+fn search_counterexamples_honour_the_stale_reproducer_guard() {
+    use uba_bench::fuzz::Counterexample;
+    use uba_bench::search::{search_grid, SearchConfig};
+    use uba_bench::{boundary_grid_with, property_id, replay_failures};
+    use uba_simnet::IdSpace;
+
+    let grid = boundary_grid_with(
+        true,
+        vec![ProtocolId::Consensus, ProtocolId::ParallelConsensus],
+        vec![IdSpace::default()],
+    );
+    let config = SearchConfig {
+        restarts: 4,
+        steps: 6,
+        base_seed: 0x5EA2_C45E,
+        workers: 4,
+        max_counterexamples: 3,
+    };
+    let outcome = search_grid(&grid, &config);
+    assert!(
+        outcome.found_violation(),
+        "the boundary-seeded search must find at least a boundary demonstration"
+    );
+    for ce in &outcome.counterexamples {
+        // The exact JSON `experiments -- fuzz --search` writes to
+        // SEARCH_counterexample.json.
+        let json = serde_json::to_string_pretty(ce).expect("counterexamples serialise");
+        let back: Counterexample = serde_json::from_str(&json).expect("counterexamples parse");
+        assert_eq!(&back, ce);
+
+        let report = run_case(&back.shrunk);
+        let replayed = replay_failures(&back.shrunk, &report);
+        assert!(
+            !replayed.is_empty(),
+            "{}: a search reproducer that replays green is stale (the --replay \
+             driver exits non-zero on it)",
+            back.shrunk.describe()
+        );
+        assert_eq!(
+            replayed,
+            back.failures,
+            "{}: replay must reproduce the recorded failures byte-identically",
+            back.shrunk.describe()
+        );
+        let original_report = run_case(&back.original);
+        let original_ids: Vec<String> = replay_failures(&back.original, &original_report)
+            .iter()
+            .map(|failure| property_id(failure).to_string())
+            .collect();
+        assert!(
+            replayed
+                .iter()
+                .any(|failure| original_ids.iter().any(|id| id == property_id(failure))),
+            "{}: shrunk into a different bug — original ids {:?}, replayed {:?}",
+            back.original.describe(),
+            original_ids,
+            replayed
+        );
+    }
+}
+
+/// Adaptive plan steps survive the property-id-preserving shrink round-trip:
+/// when the violation is *driven by* a stateful adaptive behaviour, the
+/// shrinker may drop redundant steps around it but never the adaptive step
+/// itself — dropping it loses the violated property, so the candidate is
+/// rejected. Pinned on the quorum-withholding schedule, which breaks parallel
+/// consensus at `n = 3f` with no mutation hook involved.
+#[test]
+fn adaptive_steps_survive_the_shrink_round_trip() {
+    use uba_bench::fuzz::shrink_case_with;
+    use uba_bench::{boundary_violations, replay_failures};
+    use uba_core::sim::Simulation;
+    use uba_simnet::attack::{ActorRange, AdaptiveStrategy, AttackStep};
+
+    let plan = AttackPlan::preset(AdversaryKind::Silent).step(
+        AttackStep::new(AttackBehavior::Adaptive {
+            strategy: AdaptiveStrategy::WithholdNearQuorum,
+        })
+        .actors(ActorRange::all()),
+    );
+    let case = FuzzCase {
+        protocol: ProtocolId::ParallelConsensus,
+        spec: Simulation::scenario()
+            .correct(4)
+            .byzantine(2)
+            .seed(3)
+            .max_rounds(150)
+            .attack(plan)
+            .spec()
+            .clone(),
+    };
+    let report = run_case(&case);
+    assert!(
+        !boundary_violations(&case, &report).is_empty(),
+        "the withholding schedule must split parallel consensus at n = 3f"
+    );
+
+    let counterexample = shrink_case_with(&case, &|candidate| {
+        let report = run_case(candidate);
+        replay_failures(candidate, &report)
+    });
+    let shrunk_plan = counterexample
+        .shrunk
+        .spec
+        .attack
+        .as_ref()
+        .expect("the shrunk case keeps a plan");
+    assert!(
+        shrunk_plan
+            .steps
+            .iter()
+            .any(|step| matches!(step.behavior, AttackBehavior::Adaptive { .. })),
+        "the adaptive step is the violation's driver and must survive: {}",
+        counterexample.shrunk.describe()
+    );
+    // The redundant silent step is shrinkable noise; the minimised plan is the
+    // adaptive schedule alone.
+    assert_eq!(
+        shrunk_plan.steps.len(),
+        1,
+        "the redundant preset step must shrink away: {}",
+        shrunk_plan.label()
+    );
+    assert!(
+        !counterexample.shrunk.spec.admissible(),
+        "shrinking preserves the boundary character of the demonstration"
+    );
+    // And the shrunk reproducer still replays its bug through the JSON the
+    // harness writes.
+    let json = serde_json::to_string(&counterexample.shrunk).expect("cases serialise");
+    let back: FuzzCase = serde_json::from_str(&json).expect("cases parse");
+    let report = run_case(&back);
+    assert!(!replay_failures(&back, &report).is_empty());
+}
+
 /// The composed plan shapes (windows, collusion, subset announces, outliers,
 /// replay) all drive real traffic against the consensus protocol without breaking
 /// its guarantees — the sweep axes are live, not vacuous.

@@ -1,0 +1,180 @@
+//! Margin/verdict pairing across every oracle family: for all ten
+//! protocol/baseline families, under passing and failing scenarios alike, a
+//! report's [`MarginSection`] must satisfy the construction invariant — a
+//! margin is `0` exactly when the thing it is paired with (an oracle verdict
+//! or a structural section boolean) fails, and at least `1` whenever it holds.
+//! That invariant is what makes the margins usable as a search fitness: the
+//! hill-climb (`uba_bench::search`) treats `margin == 0` as "on the violation
+//! surface" and any positive value as distance from it.
+//!
+//! [`MarginSection`]: uba_simnet::sim::MarginSection
+
+use uba_bench::fuzz::{run_case, FuzzCase, ProtocolId};
+use uba_simnet::attack::{AttackBehavior, AttackPlan, SemanticStrategy};
+use uba_simnet::sim::{AdversaryKind, MarginSection, RunReport};
+use uba_simnet::sweep::ScenarioGrid;
+
+/// Every family at an admissible size and at the `n = 3f` boundary, under a
+/// quiet plan and the two sharpest scripted ones, two derived seeds each —
+/// enough to exercise passing *and* failing verdicts for most families.
+fn margin_grid() -> ScenarioGrid<ProtocolId> {
+    ScenarioGrid::new()
+        .protocols(ProtocolId::ALL.to_vec())
+        .sizes(vec![(4, 1), (2, 1)])
+        .plans(vec![
+            AttackPlan::preset(AdversaryKind::Silent),
+            AttackPlan::preset(AdversaryKind::SplitVote),
+            AttackPlan::new().behavior(AttackBehavior::Semantic {
+                strategy: SemanticStrategy::Boundary,
+            }),
+        ])
+        .trials(2)
+        .base_seed(0x3A46_1235)
+        .max_rounds(150)
+}
+
+fn cases() -> Vec<FuzzCase> {
+    let grid = margin_grid();
+    (0..grid.len())
+        .map(|index| FuzzCase::from_sweep(&grid.case(index)))
+        .collect()
+}
+
+/// The `margin == 0 ⟺ paired outcome fails` invariant, for one report.
+fn assert_margin_invariant(case: &FuzzCase, report: &RunReport) {
+    let margins = &report.margins;
+    assert!(
+        !margins.oracles.is_empty(),
+        "{}: margins must be attached",
+        case.describe()
+    );
+
+    // Verdict-paired entries: one margin per oracle verdict, zero exactly on
+    // failure.
+    for verdict in &report.verdicts {
+        let margin = margins.margin_for(&verdict.oracle).unwrap_or_else(|| {
+            panic!(
+                "{}: verdict {} has no paired margin",
+                case.describe(),
+                verdict.oracle
+            )
+        });
+        assert_eq!(
+            margin == 0,
+            !verdict.passed,
+            "{}: margin invariant broken for oracle {} (margin {margin}, passed {})",
+            case.describe(),
+            verdict.oracle,
+            verdict.passed,
+        );
+    }
+
+    // Structural entries pair with their section booleans.
+    let structural: Vec<(&str, bool)> = [
+        Some(("liveness", report.status.is_completed())),
+        Some(("resiliency", report.scenario.admissible())),
+        report.rotor.as_ref().map(|s| ("rotor", s.good_round)),
+        report
+            .parallel
+            .as_ref()
+            .map(|s| ("parallel-consensus", s.agreement)),
+        report.chain.as_ref().map(|s| ("total-order", s.prefix_ok)),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    for (oracle, holds) in structural {
+        let margin = margins
+            .margin_for(oracle)
+            .unwrap_or_else(|| panic!("{}: no structural margin for {oracle}", case.describe()));
+        assert_eq!(
+            margin == 0,
+            !holds,
+            "{}: structural margin invariant broken for {oracle}",
+            case.describe(),
+        );
+    }
+}
+
+#[test]
+fn every_family_pairs_margins_with_verdicts_across_seeds() {
+    let mut failing_seen = 0usize;
+    let mut families_seen = 0usize;
+    let mut last_family = None;
+    for case in cases() {
+        let report = run_case(&case);
+        assert_margin_invariant(&case, &report);
+        if report.verdicts.iter().any(|v| !v.passed) {
+            failing_seen += 1;
+        }
+        if last_family != Some(case.protocol) {
+            last_family = Some(case.protocol);
+            families_seen += 1;
+        }
+    }
+    assert_eq!(
+        families_seen,
+        ProtocolId::ALL.len(),
+        "the grid must cover every family"
+    );
+    // The invariant must have been exercised on both sides: the boundary
+    // slice under the sharp plans produces genuinely failing verdicts.
+    assert!(
+        failing_seen > 0,
+        "no failing verdict anywhere — the zero side of the invariant went untested"
+    );
+}
+
+#[test]
+fn passing_margins_are_strictly_positive_and_fill_the_gradient() {
+    for case in cases().into_iter().take(12) {
+        let report = run_case(&case);
+        for oracle in &report.margins.oracles {
+            // u64 margins are non-negative by type; the clamp additionally
+            // guarantees a passing oracle never reports zero.
+            for metric in &oracle.metrics {
+                assert!(
+                    !metric.name.is_empty(),
+                    "{}: unnamed metric under {}",
+                    case.describe(),
+                    oracle.oracle
+                );
+            }
+            if oracle.margin > 0 {
+                assert!(
+                    oracle.margin >= 1,
+                    "{}: positive margin below the clamp",
+                    case.describe()
+                );
+            }
+        }
+        let min = report.margins.min_margin().expect("margins attached");
+        assert!(report
+            .margins
+            .oracles
+            .iter()
+            .any(|oracle| oracle.margin == min));
+    }
+}
+
+#[test]
+fn margin_sections_round_trip_through_serde() {
+    let mut last_family = None;
+    for case in cases() {
+        // One representative case per family keeps the round-trip sweep cheap.
+        if last_family == Some(case.protocol) {
+            continue;
+        }
+        last_family = Some(case.protocol);
+        let report = run_case(&case);
+        let json = serde_json::to_string(&report.margins).unwrap();
+        let back: MarginSection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report.margins, "{}", case.describe());
+
+        // The whole report (margins included) round-trips too — this is what
+        // the SEARCH/FUZZ reproducer files rely on.
+        let json = serde_json::to_string(&report).unwrap();
+        let full: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(full.margins, report.margins, "{}", case.describe());
+    }
+}

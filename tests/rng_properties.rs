@@ -10,9 +10,13 @@
 
 use std::collections::HashSet;
 
+use uba_bench::fuzz::ProtocolId;
 use uba_bench::montecarlo::{run_trials, SweepConfig};
+use uba_bench::search::{search_grid, SearchConfig};
 use uba_core::sim::{AdversaryKind, ScenarioExt, Simulation};
+use uba_simnet::attack::AttackPlan;
 use uba_simnet::rng::{derive_seed, seeded_rng};
+use uba_simnet::sweep::ScenarioGrid;
 
 /// The SplitMix64-finalizer outputs must never change: recorded baselines, the
 /// sweep grid enumeration and saved fuzz counterexamples all embed seeds derived
@@ -94,4 +98,75 @@ fn run_trials_reports_are_byte_identical_for_1_4_and_8_workers() {
     assert_eq!(serial.len(), 12);
     assert_eq!(serial, run(4), "4 workers must reproduce the serial bytes");
     assert_eq!(serial, run(8), "8 workers must reproduce the serial bytes");
+}
+
+/// The seed grid the search-determinism pins climb from: two families, two
+/// sizes, two scripted plans — small enough to finish in seconds, rich enough
+/// that the climbs mutate plans, populations and seeds.
+fn search_seed_grid() -> ScenarioGrid<ProtocolId> {
+    ScenarioGrid::new()
+        .protocols(vec![ProtocolId::Consensus, ProtocolId::Rotor])
+        .sizes(vec![(4, 1), (7, 2)])
+        .plans(vec![
+            AttackPlan::preset(AdversaryKind::Silent),
+            AttackPlan::preset(AdversaryKind::SplitVote),
+        ])
+        .trials(1)
+        .base_seed(0xD15C_0B01)
+        .max_rounds(300)
+}
+
+/// The margin-guided search is a pure function of its seed grid and config:
+/// the whole trajectory — every evaluated mutation, margin and acceptance
+/// decision — and the final counterexamples must be byte-identical run over
+/// run, and invariant in the worker count (1, 4 and 8), because restarts
+/// derive private RNG streams and never communicate. Compared on serialized
+/// JSON, so any drift in mutation order, margin computation or shrinking
+/// shows up byte for byte.
+#[test]
+fn search_trajectories_are_byte_identical_for_1_4_and_8_workers() {
+    let grid = search_seed_grid();
+    let run = |workers: usize| {
+        let config = SearchConfig {
+            restarts: 6,
+            steps: 12,
+            base_seed: 0x5EA2_C45E,
+            workers,
+            max_counterexamples: 3,
+        };
+        let outcome = search_grid(&grid, &config);
+        (
+            serde_json::to_string(&outcome.trajectory).expect("trajectories serialise"),
+            serde_json::to_string(&outcome.counterexamples).expect("counterexamples serialise"),
+            outcome.evaluations,
+        )
+    };
+    let serial = run(1);
+    let rerun = run(1);
+    assert_eq!(serial, rerun, "same seed must replay the same trajectory");
+    assert_eq!(serial, run(4), "4 workers must reproduce the serial search");
+    assert_eq!(serial, run(8), "8 workers must reproduce the serial search");
+}
+
+/// Changing the base seed must actually change the walk (otherwise the
+/// determinism pin above would hold vacuously for a constant function).
+#[test]
+fn search_trajectories_depend_on_the_base_seed() {
+    let grid = search_seed_grid();
+    let run = |base_seed: u64| {
+        let config = SearchConfig {
+            restarts: 2,
+            steps: 8,
+            base_seed,
+            workers: 2,
+            max_counterexamples: 1,
+        };
+        serde_json::to_string(&search_grid(&grid, &config).trajectory)
+            .expect("trajectories serialise")
+    };
+    assert_ne!(
+        run(0x5EA2_C45E),
+        run(0x0DD_5EED),
+        "different base seeds must explore differently"
+    );
 }

@@ -1,0 +1,163 @@
+//! Mutation-detection power of the margin-guided search: a planted consensus
+//! bug (`uba_core::consensus::mutation::DECIDE_ON_EQUIVOCATION_PAIR`) whose
+//! trigger — a *clean equivocation pair* in one node's input tally — is out of
+//! reach of every scripted attack behaviour and every plan the default fuzz
+//! grid enumerates. Only the stateful `AdaptiveStrategy::StarveWeakest`
+//! schedule, which concentrates the full plausible vocabulary on the single
+//! least-informed node, produces the shape; the grid sweep therefore stays
+//! green with the mutation active, while [`search_grid`] — whose mutation moves
+//! include the adaptive steps the grid cannot express — finds the admissible
+//! agreement violation and shrinks it to a pure-adaptive reproducer.
+//!
+//! The hook is process-global, so this file holds a single test function and
+//! runs alone in its own test binary (see `tests/fuzz_mutation.rs` for the
+//! pattern).
+
+use uba_bench::fuzz::{case_failures, fuzz_grid, replay_failures, run_case, FuzzCase, ProtocolId};
+use uba_bench::search::{search_grid, SearchConfig};
+use uba_core::consensus::mutation::set_decide_on_equivocation_pair;
+use uba_simnet::attack::{AdaptiveStrategy, AttackBehavior, AttackPlan};
+use uba_simnet::sim::{AdversaryKind, Simulation};
+use uba_simnet::sweep::ScenarioGrid;
+
+/// Restores the hook even if an assertion unwinds mid-test.
+struct HookGuard;
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        set_decide_on_equivocation_pair(false);
+    }
+}
+
+/// The consensus sliver both the grid sweep and the search are pointed at: one
+/// admissible size, silent-preset plans only — every adaptive behaviour in the
+/// search's findings got there through the search's own mutation moves.
+fn consensus_sliver() -> ScenarioGrid<ProtocolId> {
+    ScenarioGrid::new()
+        .protocols(vec![ProtocolId::Consensus])
+        .sizes(vec![(7, 2)])
+        .plans(vec![AttackPlan::preset(AdversaryKind::Silent)])
+        .trials(2)
+        .base_seed(0xF0CC_5EED)
+        .max_rounds(400)
+}
+
+fn starve_weakest_case(seed: u64) -> FuzzCase {
+    FuzzCase {
+        protocol: ProtocolId::Consensus,
+        spec: Simulation::scenario()
+            .correct(7)
+            .byzantine(2)
+            .seed(seed)
+            .max_rounds(400)
+            .attack(AttackPlan::new().behavior(AttackBehavior::Adaptive {
+                strategy: AdaptiveStrategy::StarveWeakest,
+            }))
+            .spec()
+            .clone(),
+    }
+}
+
+fn has_adaptive_step(case: &FuzzCase) -> bool {
+    case.spec
+        .attack
+        .as_ref()
+        .map(|plan| {
+            plan.steps
+                .iter()
+                .any(|step| matches!(step.behavior, AttackBehavior::Adaptive { .. }))
+        })
+        .unwrap_or(false)
+}
+
+#[test]
+fn the_search_finds_the_adaptive_only_consensus_mutation_the_grid_misses() {
+    let _guard = HookGuard;
+
+    // Without the mutation, the starving schedule is harmless in the
+    // admissible region — the planted hook, not the adversary, is the bug.
+    set_decide_on_equivocation_pair(false);
+    for seed in 0..4u64 {
+        let case = starve_weakest_case(seed);
+        let report = run_case(&case);
+        assert_eq!(
+            case_failures(&case, &report),
+            Vec::<String>::new(),
+            "adaptive schedule must be harmless without the mutation (seed {seed})"
+        );
+    }
+
+    set_decide_on_equivocation_pair(true);
+    let grid = consensus_sliver();
+
+    // The enumerated sweep cannot reach the trigger: no grid plan carries an
+    // adaptive behaviour, so the mutation survives the entire grid.
+    let sweep = fuzz_grid(&grid, 4, 3);
+    assert!(
+        sweep.passed(),
+        "the grid sweep must miss the adaptive-only mutation, found {:?}",
+        sweep
+            .counterexamples
+            .iter()
+            .map(|ce| ce.shrunk.describe())
+            .collect::<Vec<_>>(),
+    );
+
+    // The search, seeded from the very same grid, mutates its way to an
+    // adaptive schedule and catches the planted bug as an *admissible*
+    // agreement violation.
+    let outcome = search_grid(&grid, &SearchConfig::smoke(4));
+    assert!(outcome.found_violation(), "search must find the mutation");
+    let counterexample = outcome
+        .counterexamples
+        .iter()
+        .find(|ce| ce.original.spec.admissible())
+        .expect("an admissible violation, not just a boundary demonstration");
+    assert_eq!(counterexample.original.protocol, ProtocolId::Consensus);
+    assert!(
+        counterexample
+            .failures
+            .iter()
+            .any(|failure| failure.contains("consensus/agreement")),
+        "the planted bug is an agreement violation: {:?}",
+        counterexample.failures,
+    );
+
+    // Shrinking keeps the bug's identity: still admissible, still driven by an
+    // adaptive step (dropping it loses the violation, so the shrinker cannot),
+    // and small — the blanket fuzz-harness pin allows 8 total nodes and the
+    // shrunk reproducer fits it.
+    let shrunk = &counterexample.shrunk;
+    assert!(shrunk.spec.admissible(), "shrinking must stay admissible");
+    assert!(
+        has_adaptive_step(shrunk),
+        "the adaptive step is the trigger and must survive shrinking: {}",
+        shrunk.describe(),
+    );
+    assert!(
+        shrunk.spec.correct + shrunk.spec.byzantine <= 8,
+        "shrunk reproducer too large: {}",
+        shrunk.describe(),
+    );
+
+    // Replay parity discriminates the mutation: the reproducer fails exactly
+    // while the hook is active.
+    for case in [&counterexample.original, shrunk] {
+        let report = run_case(case);
+        assert!(
+            !replay_failures(case, &report).is_empty(),
+            "hook-on replay must reproduce: {}",
+            case.describe(),
+        );
+    }
+    set_decide_on_equivocation_pair(false);
+    for case in [&counterexample.original, shrunk] {
+        let report = run_case(case);
+        assert_eq!(
+            replay_failures(case, &report),
+            Vec::<String>::new(),
+            "hook-off replay must be green: {}",
+            case.describe(),
+        );
+    }
+}
